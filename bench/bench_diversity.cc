@@ -1,0 +1,71 @@
+// Table 6: quantifying ensemble diversity (Eq. 10). Compares DIV_F of the
+// diversity-driven CAE-Ensemble against an ensemble whose basic models are
+// trained independently from different random initialisations ("No
+// Diversity"). The paper reports the driven ensemble roughly 1.6-3.2x more
+// diverse; the reproduction target is driven > independent on both datasets.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/ensemble.h"
+#include "data/registry.h"
+#include "eval/table.h"
+
+using namespace caee;
+
+int main(int argc, char** argv) {
+  const bench::Flags flags = bench::Flags::Parse(argc, argv);
+  std::cout << "=== Table 6: ensemble diversity DIV_F (Eq. 10) ===\n\n";
+
+  eval::TablePrinter table({"Dataset", "No Diversity", "CAE-Ensemble",
+                            "Ratio"});
+  for (const std::string ds_name : {"ECG", "SMAP"}) {
+    auto ds = data::MakeDataset(ds_name, flags.scale, flags.seed);
+    if (!ds.ok()) {
+      std::cerr << ds.status() << "\n";
+      return 1;
+    }
+    core::EnsembleConfig driven;
+    driven.cae.embed_dim = 0;  // auto-size
+    driven.cae.num_layers = 2;
+    driven.window = 16;
+    driven.num_models = flags.models;
+    driven.epochs_per_model = flags.epochs;
+    driven.max_train_windows = 256;
+    // β = 0.5 rather than Table 2's per-dataset values: at β = 0.9 (SMAP)
+    // consecutive models start 90 % identical, which measures the transfer
+    // mechanism more than the diversity objective this table is about.
+    driven.beta = flags.beta >= 0 ? static_cast<float>(flags.beta) : 0.5f;
+    
+    driven.lambda =
+        flags.lambda >= 0 ? static_cast<float>(flags.lambda) : 0.8f;
+    // Paper-faithful for this experiment: the diversity term stays active
+    // through every epoch (no curriculum), so DIV_F measures the full
+    // effect of the objective.
+    driven.diversity_epoch_fraction = 1.0f;
+    driven.epochs_per_model = std::max<int64_t>(flags.epochs, 6);
+    driven.seed = flags.seed;
+
+    core::EnsembleConfig independent = driven;
+    independent.diversity_enabled = false;
+    independent.transfer_enabled = false;
+
+    core::CaeEnsemble e_driven(driven);
+    core::CaeEnsemble e_indep(independent);
+    if (!e_driven.Fit(ds->train).ok() || !e_indep.Fit(ds->train).ok()) {
+      std::cerr << "training failed on " << ds_name << "\n";
+      return 1;
+    }
+    const double div_driven = e_driven.Diversity(ds->test).value();
+    const double div_indep = e_indep.Diversity(ds->test).value();
+    table.AddRow({ds_name, eval::FormatDouble(div_indep, 4),
+                  eval::FormatDouble(div_driven, 4),
+                  eval::FormatDouble(div_indep > 0 ? div_driven / div_indep
+                                                   : 0.0,
+                                     2)});
+  }
+  std::cout << table.ToString()
+            << "\n(expected shape: CAE-Ensemble column > No Diversity "
+               "column, as in the paper)\n";
+  return 0;
+}

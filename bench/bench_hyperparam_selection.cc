@@ -1,0 +1,122 @@
+// Figures 14 & 15: unsupervised hyperparameter selection. Runs Algorithm 2
+// on ECG and SMAP, then reports each sweep ordered by validation
+// reconstruction error, annotated with the supervised PR/ROC each candidate
+// would have achieved on the labelled test set (computed here only for the
+// figure — the selection itself never sees labels). The paper's observation:
+// the median-error pick is not optimal but is robustly "good enough", and
+// usually beats the minimum-error pick.
+
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+#include "bench_util.h"
+#include "core/ensemble.h"
+#include "core/hyperparameter.h"
+#include "data/registry.h"
+#include "eval/runner.h"
+#include "eval/table.h"
+
+using namespace caee;
+
+namespace {
+
+// Supervised quality of a candidate triple, for annotation only.
+metrics::AccuracyReport AnnotateWithLabels(const ts::Dataset& ds,
+                                           const core::EnsembleConfig& base,
+                                           int64_t window, float beta,
+                                           float lambda, uint64_t seed) {
+  core::EnsembleConfig cfg = base;
+  cfg.window = window;
+  cfg.beta = beta;
+  cfg.lambda = lambda;
+  cfg.seed = seed;
+  core::CaeEnsemble ensemble(cfg);
+  if (!ensemble.Fit(ds.train).ok()) return {};
+  auto scores = ensemble.Score(ds.test);
+  if (!scores.ok()) return {};
+  return metrics::Evaluate(*scores, eval::TestLabels(ds.test));
+}
+
+void PrintSweep(const std::string& title,
+                std::vector<core::CandidateResult> sweep,
+                const ts::Dataset& ds, const core::EnsembleConfig& base,
+                uint64_t seed,
+                const std::function<std::string(const core::CandidateResult&)>&
+                    value_label) {
+  std::sort(sweep.begin(), sweep.end(),
+            [](const core::CandidateResult& a, const core::CandidateResult& b) {
+              return a.recon_error < b.recon_error;
+            });
+  const size_t median_idx = (sweep.size() - 1) / 2;
+  eval::TablePrinter table({"Value", "ReconErr", "PR", "ROC", "Median?"});
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const auto& c = sweep[i];
+    const auto r = AnnotateWithLabels(ds, base, c.window, c.beta, c.lambda,
+                                      seed);
+    table.AddRow({value_label(c), eval::FormatDouble(c.recon_error, 4),
+                  eval::FormatDouble(r.pr_auc), eval::FormatDouble(r.roc_auc),
+                  i == median_idx ? "<= selected" : ""});
+  }
+  std::cout << title << " (ordered by validation reconstruction error)\n"
+            << table.ToString() << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Flags flags = bench::Flags::Parse(argc, argv);
+  std::cout << "=== Figures 14-15: unsupervised hyperparameter selection "
+               "(median strategy) ===\n\n";
+
+  for (const std::string ds_name : {"ECG", "SMAP"}) {
+    auto ds = data::MakeDataset(ds_name, flags.scale, flags.seed);
+    if (!ds.ok()) {
+      std::cerr << ds.status() << "\n";
+      return 1;
+    }
+
+    core::SelectorConfig sel;
+    sel.base.cae.embed_dim = 12;
+    sel.base.cae.num_layers = 1;
+    sel.base.num_models = 2;
+    sel.base.epochs_per_model = 1;
+    sel.base.max_train_windows = 128;
+    sel.base.seed = flags.seed;
+    // Reduced ranges keep the default run fast; they cover the paper's
+    // span shape (w = 2^k, β = i/10, λ = 2^j).
+    sel.ranges.windows = {4, 8, 16, 32};
+    sel.ranges.betas = {0.1f, 0.3f, 0.5f, 0.7f, 0.9f};
+    sel.ranges.lambdas = {1.0f, 2.0f, 8.0f, 32.0f};
+    sel.random_search_trials = 5;
+    sel.seed = flags.seed;
+
+    core::HyperparameterSelector selector(sel);
+    auto result = selector.Select(ds->train);
+    if (!result.ok()) {
+      std::cerr << result.status() << "\n";
+      return 1;
+    }
+
+    std::cout << "--- " << ds_name << " ---\n";
+    std::cout << "phase-1 defaults (median of random search): w="
+              << result->defaults.window << " beta=" << result->defaults.beta
+              << " lambda=" << result->defaults.lambda << "\n";
+    std::cout << "selected: w=" << result->window << " beta=" << result->beta
+              << " lambda=" << result->lambda << "\n\n";
+
+    PrintSweep("Fig. 14(a/c) beta sweep", result->beta_sweep, *ds, sel.base,
+               flags.seed, [](const core::CandidateResult& c) {
+                 return eval::FormatDouble(c.beta, 1);
+               });
+    PrintSweep("Fig. 14(b/d) lambda sweep", result->lambda_sweep, *ds,
+               sel.base, flags.seed, [](const core::CandidateResult& c) {
+                 return eval::FormatDouble(c.lambda, 0);
+               });
+    PrintSweep("Fig. 15 window sweep", result->window_sweep, *ds, sel.base,
+               flags.seed, [](const core::CandidateResult& c) {
+                 return std::to_string(c.window);
+               });
+  }
+  return 0;
+}

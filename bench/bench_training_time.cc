@@ -1,0 +1,123 @@
+// Table 7: training-time comparison — RAE vs RAE-Ensemble and CAE vs
+// CAE-Ensemble, with the ensemble/single ratios. The paper's shape:
+//   (1) CAE trains faster than RAE (convolution parallelises; recurrence
+//       cannot),
+//   (2) RAE-Ensemble/RAE ratio ~ M (independent training),
+//   (3) CAE-Ensemble/CAE ratio < M (parameter transfer + early stopping
+//       make later basic models cheaper).
+
+#include <iostream>
+
+#include "baselines/rae.h"
+#include "baselines/rae_ensemble.h"
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "core/ensemble.h"
+#include "data/registry.h"
+#include "eval/table.h"
+
+using namespace caee;
+
+int main(int argc, char** argv) {
+  const bench::Flags flags = bench::Flags::Parse(argc, argv);
+  std::cout << "=== Table 7: training time (seconds; M=" << flags.models
+            << " basic models) ===\n\n";
+
+  // A reduced dataset list keeps the default run under a couple of minutes;
+  // pass --scale to push further.
+  const std::vector<std::string> datasets = {"ECG", "SMAP"};
+
+  eval::TablePrinter table({"Model", "ECG", "SMAP"});
+  std::vector<std::vector<double>> times(4,
+                                         std::vector<double>(datasets.size()));
+
+  for (size_t di = 0; di < datasets.size(); ++di) {
+    auto ds = data::MakeDataset(datasets[di], flags.scale, flags.seed);
+    if (!ds.ok()) {
+      std::cerr << ds.status() << "\n";
+      return 1;
+    }
+
+    // RAE (single).
+    baselines::RaeConfig rae_cfg;
+    rae_cfg.window = 16;
+    rae_cfg.hidden = 32;  // paper-representative recurrent width
+    rae_cfg.epochs = flags.epochs;
+    rae_cfg.max_train_windows = 256;
+    rae_cfg.seed = flags.seed;
+    {
+      baselines::Rae rae(rae_cfg);
+      if (!rae.Fit(ds->train).ok()) return 1;
+      times[0][di] = rae.train_seconds();
+    }
+    // RAE-Ensemble.
+    {
+      baselines::RaeEnsembleConfig cfg;
+      cfg.rae = rae_cfg;
+      cfg.num_models = flags.models;
+      cfg.seed = flags.seed;
+      baselines::RaeEnsemble ens(cfg);
+      if (!ens.Fit(ds->train).ok()) return 1;
+      times[1][di] = ens.train_seconds();
+    }
+
+    // CAE (single). Same epoch budget per model as the ensemble's members.
+    // Both CAE rows train with early stopping and epoch headroom: that is
+    // the mechanism Table 7 measures (transfer gives later basic models a
+    // head start, so they stop earlier). The recurrent baselines train a
+    // fixed epoch budget per model, as in Kieu et al.
+    core::EnsembleConfig cae_cfg;
+    cae_cfg.cae.embed_dim = 16;
+    cae_cfg.cae.num_layers = 2;
+    cae_cfg.window = 16;
+    cae_cfg.num_models = 1;
+    cae_cfg.epochs_per_model = 2 * flags.epochs;
+    cae_cfg.early_stop_rel_tol = 0.15f;
+    cae_cfg.diversity_enabled = false;
+    cae_cfg.transfer_enabled = false;
+    cae_cfg.max_train_windows = 256;
+    cae_cfg.seed = flags.seed;
+    {
+      core::CaeEnsemble cae(cae_cfg);
+      if (!cae.Fit(ds->train).ok()) return 1;
+      times[2][di] = cae.train_stats().train_seconds;
+    }
+    // CAE-Ensemble with transfer + early stopping (the Table 7 efficiency
+    // mechanism: later models start near their optimum and stop early).
+    {
+      core::EnsembleConfig cfg = cae_cfg;
+      cfg.num_models = flags.models;
+      cfg.diversity_enabled = true;
+      cfg.transfer_enabled = true;
+      cfg.beta = 0.7f;
+      cfg.lambda = 0.5f;
+      cfg.epochs_per_model = 2 * flags.epochs;
+      cfg.early_stop_rel_tol = 0.15f;
+      core::CaeEnsemble ens(cfg);
+      if (!ens.Fit(ds->train).ok()) return 1;
+      times[3][di] = ens.train_stats().train_seconds;
+    }
+  }
+
+  const char* names[4] = {"RAE", "RAE-Ensemble", "CAE", "CAE-Ensemble"};
+  for (int m = 0; m < 4; ++m) {
+    std::vector<std::string> row = {names[m]};
+    for (size_t di = 0; di < datasets.size(); ++di) {
+      row.push_back(eval::FormatDouble(times[m][di], 2));
+    }
+    table.AddRow(row);
+    if (m == 1 || m == 3) {
+      std::vector<std::string> ratio_row = {std::string(names[m]) + "/" +
+                                            names[m - 1] + " ratio"};
+      for (size_t di = 0; di < datasets.size(); ++di) {
+        ratio_row.push_back(eval::FormatDouble(
+            times[m - 1][di] > 0 ? times[m][di] / times[m - 1][di] : 0.0, 2));
+      }
+      table.AddRow(ratio_row);
+    }
+  }
+  std::cout << table.ToString()
+            << "\n(expected shape: CAE < RAE per model; CAE-Ensemble ratio < "
+               "RAE-Ensemble ratio, paper reports 5.9 vs 7.8 at M=8)\n";
+  return 0;
+}

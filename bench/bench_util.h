@@ -1,0 +1,98 @@
+// Shared helpers for the table/figure reproduction binaries: minimal flag
+// parsing and the default CPU-budget sizing. Every binary accepts:
+//   --scale=<f>     dataset length scale (default sized for a 2-core laptop)
+//   --models=<n>    ensemble size M
+//   --epochs=<n>    epochs per basic model
+//   --seed=<n>
+// plus bench-specific flags documented in each main().
+
+#ifndef CAEE_BENCH_BENCH_UTIL_H_
+#define CAEE_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "eval/detector.h"
+
+namespace caee {
+namespace bench {
+
+struct Flags {
+  double scale = 0.25;
+  int64_t models = 4;
+  int64_t epochs = 4;
+  uint64_t seed = 7;
+  double lambda = -1.0;  // < 0: use the per-dataset Table 2 value
+  double beta = -1.0;    // < 0: use the per-dataset Table 2 value
+  std::vector<std::string> datasets;   // empty: bench default
+  std::vector<std::string> detectors;  // empty: bench default
+
+  static Flags Parse(int argc, char** argv) {
+    Flags f;
+    auto split = [](const std::string& csv) {
+      std::vector<std::string> out;
+      size_t begin = 0;
+      while (begin <= csv.size()) {
+        const size_t comma = csv.find(',', begin);
+        const size_t end = comma == std::string::npos ? csv.size() : comma;
+        if (end > begin) out.push_back(csv.substr(begin, end - begin));
+        begin = end + 1;
+      }
+      return out;
+    };
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value_of = [&arg](const std::string& prefix) {
+        return arg.substr(prefix.size());
+      };
+      if (arg.rfind("--scale=", 0) == 0) {
+        f.scale = std::atof(value_of("--scale=").c_str());
+      } else if (arg.rfind("--models=", 0) == 0) {
+        f.models = std::atoll(value_of("--models=").c_str());
+      } else if (arg.rfind("--epochs=", 0) == 0) {
+        f.epochs = std::atoll(value_of("--epochs=").c_str());
+      } else if (arg.rfind("--seed=", 0) == 0) {
+        f.seed = std::strtoull(value_of("--seed=").c_str(), nullptr, 10);
+      } else if (arg.rfind("--lambda=", 0) == 0) {
+        f.lambda = std::atof(value_of("--lambda=").c_str());
+      } else if (arg.rfind("--beta=", 0) == 0) {
+        f.beta = std::atof(value_of("--beta=").c_str());
+      } else if (arg.rfind("--datasets=", 0) == 0) {
+        f.datasets = split(value_of("--datasets="));
+      } else if (arg.rfind("--detectors=", 0) == 0) {
+        f.detectors = split(value_of("--detectors="));
+      } else if (arg == "--help" || arg == "-h") {
+        std::cout << "flags: --scale=F --models=N --epochs=N --seed=N "
+                     "--lambda=F --beta=F --datasets=A,B --detectors=A,B\n";
+        std::exit(0);
+      }
+    }
+    return f;
+  }
+};
+
+/// \brief Detector sizing derived from the common flags (CPU-budget default).
+inline eval::SuiteConfig MakeSuite(const Flags& f) {
+  eval::SuiteConfig s;
+  s.window = 16;
+  s.embed_dim = 0;  // auto-size from dims
+  s.cae_layers = 2;
+  s.num_models = f.models;
+  s.epochs_per_model = f.epochs;
+  s.rnn_hidden = 16;
+  s.rnn_epochs = 2;
+  s.ae_epochs = 8;
+  s.batch_size = 32;  // more optimiser steps per epoch at CPU scale
+  s.lr = 2e-3f;
+  s.max_train_windows = 256;
+  s.seed = f.seed;
+  return s;
+}
+
+}  // namespace bench
+}  // namespace caee
+
+#endif  // CAEE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,104 @@
+// ECG monitoring (the paper's Figs. 11-12 narrative): ground-truth labels
+// mark whole arrhythmia *intervals*, but only a few observations inside each
+// interval deviate strongly. A point-wise detector therefore scores high
+// precision and low recall — this example makes that visible by printing
+// the score/label alignment around each labelled interval.
+
+#include <algorithm>
+#include <iostream>
+
+#include "core/ensemble.h"
+#include "data/registry.h"
+#include "eval/runner.h"
+#include "eval/table.h"
+#include "metrics/metrics.h"
+
+using namespace caee;
+
+int main() {
+  auto ds = data::MakeDataset("ECG", /*scale=*/0.35, /*seed=*/21);
+  if (!ds.ok()) {
+    std::cerr << ds.status() << "\n";
+    return 1;
+  }
+
+  core::EnsembleConfig config;
+  config.window = 16;
+  config.num_models = 4;
+  config.epochs_per_model = 4;
+  config.batch_size = 32;
+  config.lr = 2e-3f;
+  config.cae.embed_dim = 0;  // auto-size
+  config.cae.num_layers = 2;
+  config.lambda = 0.5f;  // MSE-normalised equivalent of Table 2's λ
+  config.beta = eval::Table2Hyperparameters("ECG").beta;
+  config.max_train_windows = 256;
+
+  core::CaeEnsemble ensemble(config);
+  if (Status s = ensemble.Fit(ds->train); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  auto scores = ensemble.Score(ds->test);
+  if (!scores.ok()) {
+    std::cerr << scores.status() << "\n";
+    return 1;
+  }
+  const auto labels = eval::TestLabels(ds->test);
+
+  // Find the labelled intervals.
+  struct Interval {
+    int64_t begin, end;
+  };
+  std::vector<Interval> intervals;
+  for (int64_t t = 0; t < ds->test.length(); ++t) {
+    if (labels[t] && (t == 0 || !labels[t - 1])) {
+      intervals.push_back({t, t});
+    }
+    if (labels[t]) intervals.back().end = t;
+  }
+  std::cout << "found " << intervals.size()
+            << " labelled anomaly intervals in the test series\n\n";
+
+  // Threshold at the top outlier-ratio percent.
+  const double threshold =
+      metrics::TopKThreshold(*scores, ds->test.OutlierRatio() * 100.0);
+
+  // Fig. 12 view: within each interval, how many observations actually
+  // exceed the threshold?
+  eval::TablePrinter table({"Interval", "Length", "Points above threshold",
+                            "Peak score / threshold"});
+  int64_t shown = 0;
+  for (const auto& iv : intervals) {
+    if (iv.end - iv.begin < 5) continue;  // show the interval-style ones
+    if (++shown > 8) break;
+    int64_t above = 0;
+    double peak = 0.0;
+    for (int64_t t = iv.begin; t <= iv.end; ++t) {
+      above += ((*scores)[t] > threshold);
+      peak = std::max(peak, (*scores)[t]);
+    }
+    table.AddRow({"[" + std::to_string(iv.begin) + ", " +
+                      std::to_string(iv.end) + "]",
+                  std::to_string(iv.end - iv.begin + 1),
+                  std::to_string(above),
+                  eval::FormatDouble(peak / std::max(1e-12, threshold), 1)});
+  }
+  std::cout << table.ToString() << "\n";
+
+  // Flag only a third of the labelled mass: with interval labels but point
+  // scores, flagged points still land inside labelled intervals, so
+  // precision stays high while recall is capped — the paper's Fig. 11-12
+  // observation. (At a budget equal to the label mass, precision == recall
+  // by definition.)
+  const auto at_k =
+      metrics::AtTopK(*scores, labels, ds->test.OutlierRatio() * 100.0 / 3.0);
+  const auto best = metrics::BestF1(*scores, labels);
+  std::cout << "at a third of the outlier-ratio budget: precision="
+            << eval::FormatDouble(at_k.precision)
+            << " recall=" << eval::FormatDouble(at_k.recall)
+            << "  (interval labels + point scores => precision > recall)\n";
+  std::cout << "best-F1 over all thresholds: "
+            << eval::FormatDouble(best.f1) << "\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Quickstart: train a CAE-Ensemble on a clean series, score a test series,
+// and flag outliers with a top-K% threshold. This is the smallest complete
+// use of the public API.
+
+#include <iostream>
+
+#include "core/ensemble.h"
+#include "data/registry.h"
+#include "metrics/metrics.h"
+
+using namespace caee;
+
+int main() {
+  // 1. Get data. Here: the generated SMD-like server-metrics profile.
+  //    To use your own data, load CSVs via data::LoadCsvDataset(...).
+  auto ds = data::MakeDataset("SMD", /*scale=*/0.3, /*seed=*/42);
+  if (!ds.ok()) {
+    std::cerr << ds.status() << "\n";
+    return 1;
+  }
+  std::cout << "dataset: " << ds->name << ", dims=" << ds->train.dims()
+            << ", train=" << ds->train.length()
+            << ", test=" << ds->test.length() << "\n";
+
+  // 2. Configure the ensemble. Defaults follow the paper; the sizes below
+  //    are scaled for a quick CPU run.
+  core::EnsembleConfig config;
+  config.window = 16;            // sliding-window length w
+  config.num_models = 4;         // basic models M
+  config.epochs_per_model = 4;   // n training epochs per basic model
+  config.lambda = 0.5f;          // diversity weight (Eq. 13)
+  config.beta = 0.5f;            // parameter-transfer fraction (Fig. 9)
+  config.cae.embed_dim = 0;      // embedding dimension D' (0 = auto-size)
+  config.cae.num_layers = 2;     // conv layers per encoder/decoder
+  config.batch_size = 32;
+  config.lr = 2e-3f;
+  config.max_train_windows = 256;
+
+  // 3. Train (unsupervised: labels are never read).
+  core::CaeEnsemble ensemble(config);
+  if (Status s = ensemble.Fit(ds->train); !s.ok()) {
+    std::cerr << "Fit failed: " << s << "\n";
+    return 1;
+  }
+  std::cout << "trained " << ensemble.num_models() << " basic models in "
+            << ensemble.train_stats().train_seconds << "s ("
+            << ensemble.train_stats().parameters_per_model
+            << " parameters each)\n";
+
+  // 4. Score the test series: one outlier score per observation.
+  auto scores = ensemble.Score(ds->test);
+  if (!scores.ok()) {
+    std::cerr << "Score failed: " << scores.status() << "\n";
+    return 1;
+  }
+
+  // 5. Threshold. With a known (or assumed) outlier ratio, flag the top-K%.
+  const double k_percent = ds->test.OutlierRatio() * 100.0;
+  const double threshold = metrics::TopKThreshold(*scores, k_percent);
+  int64_t flagged = 0;
+  for (double s : *scores) flagged += (s > threshold);
+  std::cout << "flagged " << flagged << " / " << scores->size()
+            << " observations as outliers (top " << k_percent << "%)\n";
+
+  // 6. Because this dataset is labelled, we can report accuracy.
+  std::vector<int> labels(ds->test.labels().begin(), ds->test.labels().end());
+  const auto report = metrics::Evaluate(*scores, labels);
+  std::cout << "best-F1 = " << report.f1 << ", PR-AUC = " << report.pr_auc
+            << ", ROC-AUC = " << report.roc_auc << "\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+#include <algorithm>
+// Server-fleet monitoring (the paper's SMD scenario): 38 correlated metrics
+// per machine, daily load cycles, legitimate deployments (level regime
+// changes), and anomalies that are spikes or sustained resource shifts.
+// Demonstrates: detector comparison on one dataset + per-anomaly inspection.
+
+#include <iostream>
+
+#include "data/registry.h"
+#include "eval/detector.h"
+#include "eval/runner.h"
+#include "eval/table.h"
+
+using namespace caee;
+
+int main() {
+  auto ds = data::MakeDataset("SMD", /*scale=*/0.3, /*seed=*/11);
+  if (!ds.ok()) {
+    std::cerr << ds.status() << "\n";
+    return 1;
+  }
+  std::cout << "server metrics: " << ds->train.dims() << " metrics, "
+            << ds->train.length() << " training observations\n\n";
+
+  eval::SuiteConfig suite;
+  suite.window = 16;
+  suite.embed_dim = 0;  // auto-size from the 38 metrics
+  suite.cae_layers = 2;
+  suite.num_models = 4;
+  suite.epochs_per_model = 4;
+  suite.rnn_hidden = 16;
+  suite.rnn_epochs = 2;
+  suite.batch_size = 32;
+  suite.lr = 2e-3f;
+  suite.max_train_windows = 256;
+  suite.lambda = 0.5f;  // MSE-normalised equivalent of Table 2's λ
+  suite.beta = eval::Table2Hyperparameters("SMD").beta;
+
+  // Compare a classic detector, a recurrent one, and the CAE-Ensemble.
+  eval::TablePrinter table({"Detector", "F1", "PR", "ROC", "fit s"});
+  std::vector<double> cae_scores;
+  for (const std::string name : {"ISF", "MAS", "RAE", "CAE-Ensemble"}) {
+    auto detector = eval::MakeDetector(name, suite);
+    if (!detector.ok()) {
+      std::cerr << detector.status() << "\n";
+      return 1;
+    }
+    auto result = eval::RunDetector(detector->get(), *ds);
+    if (!result.ok()) {
+      std::cerr << name << ": " << result.status() << "\n";
+      return 1;
+    }
+    table.AddRow({name, eval::FormatDouble(result->report.f1),
+                  eval::FormatDouble(result->report.pr_auc),
+                  eval::FormatDouble(result->report.roc_auc),
+                  eval::FormatDouble(result->fit_seconds, 1)});
+    if (name == "CAE-Ensemble") cae_scores = result->scores;
+  }
+  std::cout << table.ToString() << "\n";
+
+  // Operator view: list the top-scoring alerts with their ground truth.
+  const auto labels = eval::TestLabels(ds->test);
+  std::vector<size_t> order(cae_scores.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&cae_scores](size_t a, size_t b) {
+    return cae_scores[a] > cae_scores[b];
+  });
+  std::cout << "top 10 CAE-Ensemble alerts:\n";
+  for (size_t rank = 0; rank < 10 && rank < order.size(); ++rank) {
+    const size_t t = order[rank];
+    std::cout << "  t=" << t << "  score=" << eval::FormatDouble(
+                     cae_scores[t], 2)
+              << "  ground truth: "
+              << (labels[t] ? "ANOMALY" : "normal") << "\n";
+  }
+  return 0;
+}

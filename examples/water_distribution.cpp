@@ -1,0 +1,97 @@
+// Water-distribution intrusion detection (the paper's WADI scenario): 127
+// strongly-correlated hydraulic sensors, attacks appearing as sustained
+// manipulations of a few channels. Demonstrates the fully unsupervised
+// hyperparameter selection (Algorithm 2) before training the final model.
+
+#include <iostream>
+
+#include "core/ensemble.h"
+#include "core/hyperparameter.h"
+#include "data/registry.h"
+#include "eval/runner.h"
+#include "eval/table.h"
+
+using namespace caee;
+
+int main() {
+  auto ds = data::MakeDataset("WADI", /*scale=*/0.25, /*seed=*/7);
+  if (!ds.ok()) {
+    std::cerr << ds.status() << "\n";
+    return 1;
+  }
+  std::cout << "water network: " << ds->train.dims() << " sensors, "
+            << ds->train.length() << " normal-operation observations\n\n";
+
+  // Step 1: unsupervised hyperparameter selection on the unlabeled
+  // training series (median reconstruction-error strategy, Algorithm 2).
+  core::SelectorConfig sel;
+  sel.base.cae.embed_dim = 12;
+  sel.base.cae.num_layers = 1;
+  sel.base.num_models = 2;
+  sel.base.epochs_per_model = 1;
+  sel.base.max_train_windows = 96;
+  sel.ranges.windows = {8, 16};
+  sel.ranges.betas = {0.3f, 0.5f, 0.7f};
+  sel.ranges.lambdas = {0.1f, 0.3f, 0.5f};  // MSE-normalised band
+  sel.random_search_trials = 4;
+  sel.seed = 7;
+
+  core::HyperparameterSelector selector(sel);
+  auto choice = selector.Select(ds->train);
+  if (!choice.ok()) {
+    std::cerr << choice.status() << "\n";
+    return 1;
+  }
+  std::cout << "Algorithm 2 selected (no labels used): w=" << choice->window
+            << "  beta=" << choice->beta << "  lambda=" << choice->lambda
+            << "\n\n";
+
+  // Step 2: train the production model with the selected hyperparameters.
+  core::EnsembleConfig config;
+  config.window = choice->window;
+  config.beta = choice->beta;
+  config.lambda = choice->lambda;
+  config.num_models = 4;
+  config.epochs_per_model = 6;
+  config.batch_size = 32;
+  config.lr = 2e-3f;
+  config.cae.embed_dim = 0;  // auto-size
+  config.cae.num_layers = 2;
+  config.max_train_windows = 256;
+  config.seed = 7;
+
+  core::CaeEnsemble ensemble(config);
+  if (Status s = ensemble.Fit(ds->train); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  auto scores = ensemble.Score(ds->test);
+  if (!scores.ok()) {
+    std::cerr << scores.status() << "\n";
+    return 1;
+  }
+
+  // Step 3: evaluate against the attack labels.
+  const auto labels = eval::TestLabels(ds->test);
+  const auto report = metrics::Evaluate(*scores, labels);
+  std::cout << "attack-detection accuracy: F1="
+            << eval::FormatDouble(report.f1)
+            << " PR=" << eval::FormatDouble(report.pr_auc)
+            << " ROC=" << eval::FormatDouble(report.roc_auc) << "\n";
+
+  // Operational summary: alarm rate under a fixed alert budget of 5%.
+  const double threshold = metrics::TopKThreshold(*scores, 5.0);
+  int64_t alerts = 0, true_alerts = 0;
+  for (size_t t = 0; t < scores->size(); ++t) {
+    if ((*scores)[t] > threshold) {
+      ++alerts;
+      true_alerts += labels[t];
+    }
+  }
+  std::cout << "with a 5% alert budget: " << alerts << " alerts, "
+            << true_alerts << " during labelled attacks ("
+            << eval::FormatDouble(
+                   alerts ? 100.0 * true_alerts / alerts : 0.0, 1)
+            << "% hit rate)\n";
+  return 0;
+}

@@ -1,0 +1,348 @@
+#include "autograd/ops.h"
+
+#include <cmath>
+#include <utility>
+
+#include "tensor/tensor_ops.h"
+
+namespace caee {
+namespace ag {
+
+namespace {
+
+inline bool NeedsGrad(const Var& v) {
+  return v->requires_grad() || v->is_interior();
+}
+
+Var MakeNode(Tensor value, std::vector<Var> parents,
+             std::function<void(Variable*)> backward) {
+  Var out = std::make_shared<Variable>(std::move(value));
+  out->SetOp(std::move(parents), std::move(backward));
+  return out;
+}
+
+}  // namespace
+
+Var Add(const Var& a, const Var& b) {
+  return MakeNode(ops::Add(a->value(), b->value()), {a, b},
+                  [a, b](Variable* self) {
+                    if (NeedsGrad(a)) a->AccumulateGrad(self->grad());
+                    if (NeedsGrad(b)) b->AccumulateGrad(self->grad());
+                  });
+}
+
+Var Sub(const Var& a, const Var& b) {
+  return MakeNode(ops::Sub(a->value(), b->value()), {a, b},
+                  [a, b](Variable* self) {
+                    if (NeedsGrad(a)) a->AccumulateGrad(self->grad());
+                    if (NeedsGrad(b)) {
+                      b->AccumulateGrad(ops::Scale(self->grad(), -1.0f));
+                    }
+                  });
+}
+
+Var Mul(const Var& a, const Var& b) {
+  return MakeNode(ops::Mul(a->value(), b->value()), {a, b},
+                  [a, b](Variable* self) {
+                    if (NeedsGrad(a)) {
+                      a->AccumulateGrad(ops::Mul(self->grad(), b->value()));
+                    }
+                    if (NeedsGrad(b)) {
+                      b->AccumulateGrad(ops::Mul(self->grad(), a->value()));
+                    }
+                  });
+}
+
+Var Scale(const Var& a, float s) {
+  return MakeNode(ops::Scale(a->value(), s), {a}, [a, s](Variable* self) {
+    if (NeedsGrad(a)) a->AccumulateGrad(ops::Scale(self->grad(), s));
+  });
+}
+
+Var Neg(const Var& a) { return Scale(a, -1.0f); }
+
+Var AddBias(const Var& x, const Var& bias) {
+  return MakeNode(ops::AddBias(x->value(), bias->value()), {x, bias},
+                  [x, bias](Variable* self) {
+                    if (NeedsGrad(x)) x->AccumulateGrad(self->grad());
+                    if (NeedsGrad(bias)) {
+                      Tensor db(bias->value().shape());
+                      ops::AddBiasBackward(self->grad(), &db);
+                      bias->AccumulateGrad(db);
+                    }
+                  });
+}
+
+Var Sigmoid(const Var& x) {
+  Tensor y = ops::Sigmoid(x->value());
+  return MakeNode(std::move(y), {x}, [x](Variable* self) {
+    if (!NeedsGrad(x)) return;
+    const Tensor& yv = self->value();
+    const Tensor& dy = self->grad();
+    Tensor dx(yv.shape());
+    for (int64_t i = 0; i < yv.numel(); ++i) {
+      dx[i] = dy[i] * yv[i] * (1.0f - yv[i]);
+    }
+    x->AccumulateGrad(dx);
+  });
+}
+
+Var Tanh(const Var& x) {
+  Tensor y = ops::Tanh(x->value());
+  return MakeNode(std::move(y), {x}, [x](Variable* self) {
+    if (!NeedsGrad(x)) return;
+    const Tensor& yv = self->value();
+    const Tensor& dy = self->grad();
+    Tensor dx(yv.shape());
+    for (int64_t i = 0; i < yv.numel(); ++i) {
+      dx[i] = dy[i] * (1.0f - yv[i] * yv[i]);
+    }
+    x->AccumulateGrad(dx);
+  });
+}
+
+Var Relu(const Var& x) {
+  Tensor y = ops::Relu(x->value());
+  return MakeNode(std::move(y), {x}, [x](Variable* self) {
+    if (!NeedsGrad(x)) return;
+    const Tensor& xv = x->value();
+    const Tensor& dy = self->grad();
+    Tensor dx(xv.shape());
+    for (int64_t i = 0; i < xv.numel(); ++i) {
+      dx[i] = xv[i] > 0.0f ? dy[i] : 0.0f;
+    }
+    x->AccumulateGrad(dx);
+  });
+}
+
+Var Exp(const Var& x) {
+  Tensor y = ops::Exp(x->value());
+  return MakeNode(std::move(y), {x}, [x](Variable* self) {
+    if (!NeedsGrad(x)) return;
+    x->AccumulateGrad(ops::Mul(self->grad(), self->value()));
+  });
+}
+
+Var Log(const Var& x) {
+  Tensor y = ops::Log(x->value());
+  return MakeNode(std::move(y), {x}, [x](Variable* self) {
+    if (!NeedsGrad(x)) return;
+    const Tensor& xv = x->value();
+    const Tensor& dy = self->grad();
+    Tensor dx(xv.shape());
+    for (int64_t i = 0; i < xv.numel(); ++i) dx[i] = dy[i] / xv[i];
+    x->AccumulateGrad(dx);
+  });
+}
+
+Var Identity(const Var& x) {
+  return MakeNode(x->value(), {x}, [x](Variable* self) {
+    if (NeedsGrad(x)) x->AccumulateGrad(self->grad());
+  });
+}
+
+Var SoftmaxLastDim(const Var& x) {
+  Tensor y = ops::SoftmaxLastDim(x->value());
+  return MakeNode(std::move(y), {x}, [x](Variable* self) {
+    if (!NeedsGrad(x)) return;
+    const Tensor& yv = self->value();
+    const Tensor& dy = self->grad();
+    const int64_t d = yv.dim(yv.rank() - 1);
+    const int64_t rows = yv.numel() / d;
+    Tensor dx(yv.shape());
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* yr = yv.data() + r * d;
+      const float* dyr = dy.data() + r * d;
+      float* dxr = dx.data() + r * d;
+      double dot = 0.0;
+      for (int64_t j = 0; j < d; ++j) dot += double(dyr[j]) * yr[j];
+      for (int64_t j = 0; j < d; ++j) {
+        dxr[j] = yr[j] * (dyr[j] - static_cast<float>(dot));
+      }
+    }
+    x->AccumulateGrad(dx);
+  });
+}
+
+Var MatMul(const Var& a, const Var& b, bool trans_a, bool trans_b) {
+  Tensor y = ops::MatMul(a->value(), b->value(), trans_a, trans_b);
+  return MakeNode(std::move(y), {a, b},
+                  [a, b, trans_a, trans_b](Variable* self) {
+                    const Tensor& dc = self->grad();
+                    if (NeedsGrad(a)) {
+                      Tensor da =
+                          trans_a
+                              ? ops::MatMul(b->value(), dc, trans_b, true)
+                              : ops::MatMul(dc, b->value(), false, !trans_b);
+                      a->AccumulateGrad(da);
+                    }
+                    if (NeedsGrad(b)) {
+                      Tensor db =
+                          trans_b
+                              ? ops::MatMul(dc, a->value(), true, trans_a)
+                              : ops::MatMul(a->value(), dc, !trans_a, false);
+                      b->AccumulateGrad(db);
+                    }
+                  });
+}
+
+Var BatchedMatMul(const Var& a, const Var& b, bool trans_a, bool trans_b) {
+  Tensor y = ops::BatchedMatMul(a->value(), b->value(), trans_a, trans_b);
+  return MakeNode(
+      std::move(y), {a, b}, [a, b, trans_a, trans_b](Variable* self) {
+        const Tensor& dc = self->grad();
+        if (NeedsGrad(a)) {
+          Tensor da =
+              trans_a ? ops::BatchedMatMul(b->value(), dc, trans_b, true)
+                      : ops::BatchedMatMul(dc, b->value(), false, !trans_b);
+          a->AccumulateGrad(da);
+        }
+        if (NeedsGrad(b)) {
+          Tensor db =
+              trans_b ? ops::BatchedMatMul(dc, a->value(), true, trans_a)
+                      : ops::BatchedMatMul(a->value(), dc, !trans_a, false);
+          b->AccumulateGrad(db);
+        }
+      });
+}
+
+Var Conv1d(const Var& x, const Var& w, const Var& bias, int64_t pad_left,
+           int64_t pad_right) {
+  Tensor y = ops::Conv1d(x->value(), w->value(), bias->value(), pad_left,
+                         pad_right);
+  return MakeNode(
+      std::move(y), {x, w, bias}, [x, w, bias, pad_left](Variable* self) {
+        const Tensor& dy = self->grad();
+        if (NeedsGrad(x)) {
+          x->AccumulateGrad(ops::Conv1dBackwardInput(
+              dy, w->value(), x->value().dim(1), pad_left));
+        }
+        if (NeedsGrad(w)) {
+          w->AccumulateGrad(ops::Conv1dBackwardWeight(
+              dy, x->value(), w->value().dim(1), pad_left));
+        }
+        if (NeedsGrad(bias)) {
+          bias->AccumulateGrad(ops::Conv1dBackwardBias(dy));
+        }
+      });
+}
+
+Var Reshape(const Var& x, Shape new_shape) {
+  StatusOr<Tensor> reshaped = x->value().Reshape(new_shape);
+  CAEE_CHECK_MSG(reshaped.ok(), reshaped.status().ToString());
+  Shape old_shape = x->value().shape();
+  return MakeNode(std::move(reshaped).value(), {x},
+                  [x, old_shape](Variable* self) {
+                    if (!NeedsGrad(x)) return;
+                    StatusOr<Tensor> back = self->grad().Reshape(old_shape);
+                    CAEE_CHECK(back.ok());
+                    x->AccumulateGrad(back.value());
+                  });
+}
+
+Var BroadcastBatch(const Var& x, int64_t batch) {
+  const Tensor& xv = x->value();
+  CAEE_CHECK_MSG(xv.rank() == 2, "BroadcastBatch expects rank-2 input");
+  CAEE_CHECK_MSG(batch >= 1, "batch must be >= 1");
+  const int64_t w = xv.dim(0), d = xv.dim(1);
+  Tensor y(Shape{batch, w, d});
+  for (int64_t b = 0; b < batch; ++b) {
+    std::copy(xv.data(), xv.data() + w * d, y.data() + b * w * d);
+  }
+  return MakeNode(std::move(y), {x}, [x, batch, w, d](Variable* self) {
+    if (!NeedsGrad(x)) return;
+    const Tensor& dy = self->grad();
+    Tensor dx(Shape{w, d});
+    for (int64_t b = 0; b < batch; ++b) {
+      const float* src = dy.data() + b * w * d;
+      for (int64_t i = 0; i < w * d; ++i) dx[i] += src[i];
+    }
+    x->AccumulateGrad(dx);
+  });
+}
+
+Var ShiftTimeRight(const Var& x, int64_t steps) {
+  Tensor y = ops::ShiftTimeRight(x->value(), steps);
+  return MakeNode(std::move(y), {x}, [x, steps](Variable* self) {
+    if (!NeedsGrad(x)) return;
+    x->AccumulateGrad(ops::ShiftTimeRightBackward(self->grad(), steps));
+  });
+}
+
+Var SliceLastDim(const Var& x, int64_t begin, int64_t end) {
+  Tensor y = ops::SliceLastDim(x->value(), begin, end);
+  return MakeNode(std::move(y), {x}, [x, begin](Variable* self) {
+    if (!NeedsGrad(x)) return;
+    Tensor dx(x->value().shape());
+    ops::SliceLastDimBackward(self->grad(), begin, &dx);
+    x->AccumulateGrad(dx);
+  });
+}
+
+Var ConcatLastDim(const Var& a, const Var& b) {
+  Tensor y = ops::ConcatLastDim(a->value(), b->value());
+  const int64_t da = a->value().dim(a->value().rank() - 1);
+  const int64_t db = b->value().dim(b->value().rank() - 1);
+  return MakeNode(std::move(y), {a, b}, [a, b, da, db](Variable* self) {
+    const Tensor& dy = self->grad();
+    if (NeedsGrad(a)) {
+      a->AccumulateGrad(ops::SliceLastDim(dy, 0, da));
+    }
+    if (NeedsGrad(b)) {
+      b->AccumulateGrad(ops::SliceLastDim(dy, da, da + db));
+    }
+  });
+}
+
+Var Sum(const Var& x) {
+  Tensor y = Tensor::Scalar(static_cast<float>(x->value().Sum()));
+  return MakeNode(std::move(y), {x}, [x](Variable* self) {
+    if (!NeedsGrad(x)) return;
+    const float g = self->grad()[0];
+    Tensor dx(x->value().shape(), g);
+    x->AccumulateGrad(dx);
+  });
+}
+
+Var Mean(const Var& x) {
+  Tensor y = Tensor::Scalar(static_cast<float>(x->value().Mean()));
+  const float inv_n = x->value().numel() > 0
+                          ? 1.0f / static_cast<float>(x->value().numel())
+                          : 0.0f;
+  return MakeNode(std::move(y), {x}, [x, inv_n](Variable* self) {
+    if (!NeedsGrad(x)) return;
+    const float g = self->grad()[0] * inv_n;
+    Tensor dx(x->value().shape(), g);
+    x->AccumulateGrad(dx);
+  });
+}
+
+Var MseLoss(const Var& pred, const Var& target) {
+  CAEE_CHECK_MSG(pred->value().SameShape(target->value()),
+                 "MseLoss shape mismatch");
+  const int64_t n = pred->value().numel();
+  double acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double d = double(pred->value()[i]) - target->value()[i];
+    acc += d * d;
+  }
+  Tensor y = Tensor::Scalar(n > 0 ? static_cast<float>(acc / n) : 0.0f);
+  return MakeNode(std::move(y), {pred, target},
+                  [pred, target, n](Variable* self) {
+                    const float g = self->grad()[0];
+                    const float scale = n > 0 ? 2.0f * g / n : 0.0f;
+                    if (NeedsGrad(pred) || NeedsGrad(target)) {
+                      Tensor diff =
+                          ops::Sub(pred->value(), target->value());
+                      if (NeedsGrad(pred)) {
+                        pred->AccumulateGrad(ops::Scale(diff, scale));
+                      }
+                      if (NeedsGrad(target)) {
+                        target->AccumulateGrad(ops::Scale(diff, -scale));
+                      }
+                    }
+                  });
+}
+
+}  // namespace ag
+}  // namespace caee

@@ -1,0 +1,68 @@
+// Differentiable operation library over ag::Var.
+//
+// Every op builds one graph node whose closure implements the exact adjoint
+// of the forward kernel in tensor_ops. All ops are validated against central
+// finite differences in tests/autograd_test.cc.
+
+#ifndef CAEE_AUTOGRAD_OPS_H_
+#define CAEE_AUTOGRAD_OPS_H_
+
+#include "autograd/variable.h"
+
+namespace caee {
+namespace ag {
+
+// Elementwise ----------------------------------------------------------------
+Var Add(const Var& a, const Var& b);
+Var Sub(const Var& a, const Var& b);
+Var Mul(const Var& a, const Var& b);
+Var Scale(const Var& a, float s);
+Var Neg(const Var& a);
+/// \brief x + bias, bias broadcast over leading dims.
+Var AddBias(const Var& x, const Var& bias);
+
+Var Sigmoid(const Var& x);
+Var Tanh(const Var& x);
+Var Relu(const Var& x);
+Var Exp(const Var& x);
+Var Log(const Var& x);
+/// \brief Identity for the forward value; gradient passes unchanged. Useful
+/// for configurable activation slots.
+Var Identity(const Var& x);
+
+/// \brief Softmax over the last dimension.
+Var SoftmaxLastDim(const Var& x);
+
+// Linear algebra -------------------------------------------------------------
+Var MatMul(const Var& a, const Var& b, bool trans_a = false,
+           bool trans_b = false);
+Var BatchedMatMul(const Var& a, const Var& b, bool trans_a = false,
+                  bool trans_b = false);
+
+// Convolution ----------------------------------------------------------------
+/// \brief 1-D convolution, x (B,W,Cin), w (Cout,K,Cin), bias (Cout).
+Var Conv1d(const Var& x, const Var& w, const Var& bias, int64_t pad_left,
+           int64_t pad_right);
+
+// Shape / sequence -----------------------------------------------------------
+Var Reshape(const Var& x, Shape new_shape);
+/// \brief Tile a rank-2 (W,D) tensor into (batch,W,D); the gradient sums
+/// over the batch dimension. Used to add per-window position embeddings.
+Var BroadcastBatch(const Var& x, int64_t batch);
+Var ShiftTimeRight(const Var& x, int64_t steps);
+Var SliceLastDim(const Var& x, int64_t begin, int64_t end);
+Var ConcatLastDim(const Var& a, const Var& b);
+
+// Reductions / losses --------------------------------------------------------
+/// \brief Scalar sum of all elements.
+Var Sum(const Var& x);
+/// \brief Scalar mean of all elements.
+Var Mean(const Var& x);
+/// \brief mean((pred - target)^2) as a scalar. Gradients flow to both
+/// arguments (detach the target if it should be constant).
+Var MseLoss(const Var& pred, const Var& target);
+
+}  // namespace ag
+}  // namespace caee
+
+#endif  // CAEE_AUTOGRAD_OPS_H_

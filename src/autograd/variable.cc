@@ -1,0 +1,96 @@
+#include "autograd/variable.h"
+
+#include <unordered_set>
+
+#include "tensor/tensor_ops.h"
+
+namespace caee {
+namespace ag {
+
+Tensor& Variable::grad() {
+  if (!grad_) grad_ = std::make_unique<Tensor>(value_.shape());
+  return *grad_;
+}
+
+const Tensor& Variable::grad_or_zero() const {
+  static const Tensor* empty = new Tensor(Shape{0});
+  if (!grad_) return *empty;
+  return *grad_;
+}
+
+void Variable::AccumulateGrad(const Tensor& g) {
+  CAEE_CHECK_MSG(g.SameShape(value_),
+                 "gradient shape " << ShapeToString(g.shape())
+                                   << " != value shape "
+                                   << ShapeToString(value_.shape()));
+  ops::AddInPlace(g, &grad());
+}
+
+void Variable::ZeroGrad() { grad_.reset(); }
+
+Var Constant(Tensor value) {
+  return std::make_shared<Variable>(std::move(value), /*requires_grad=*/false);
+}
+
+Var Param(Tensor value) {
+  return std::make_shared<Variable>(std::move(value), /*requires_grad=*/true);
+}
+
+Var Detach(const Var& v) { return Constant(v->value()); }
+
+namespace {
+
+// Iterative post-order DFS producing a topological order (parents before
+// children in the returned vector; we then walk it in reverse).
+std::vector<Variable*> TopoOrder(const Var& root) {
+  std::vector<Variable*> order;
+  std::unordered_set<Variable*> visited;
+  struct Frame {
+    Variable* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (visited.insert(root.get()).second) {
+    stack.push_back({root.get(), 0});
+  }
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_parent < top.node->parents().size()) {
+      Variable* parent = top.node->parents()[top.next_parent++].get();
+      if (visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order.push_back(top.node);
+      stack.pop_back();
+    }
+  }
+  return order;  // post-order: parents precede children
+}
+
+}  // namespace
+
+void Backward(const Var& root, const Tensor* seed) {
+  CAEE_CHECK_MSG(root != nullptr, "Backward on null root");
+  if (seed != nullptr) {
+    root->AccumulateGrad(*seed);
+  } else {
+    CAEE_CHECK_MSG(root->value().numel() == 1,
+                   "Backward without seed requires a scalar root");
+    Tensor ones(root->value().shape());
+    ones.Fill(1.0f);
+    root->AccumulateGrad(ones);
+  }
+  std::vector<Variable*> order = TopoOrder(root);
+  // Reverse topological: children (outputs) first.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    (*it)->RunBackward();
+  }
+}
+
+void ZeroGradGraph(const Var& root) {
+  for (Variable* v : TopoOrder(root)) v->ZeroGrad();
+}
+
+}  // namespace ag
+}  // namespace caee

@@ -1,0 +1,92 @@
+// Reverse-mode automatic differentiation.
+//
+// A Variable is a node in a dynamically-built computation graph: it owns its
+// forward value, a lazily-allocated gradient buffer, strong references to its
+// parents, and a closure that pushes its gradient to those parents. Calling
+// Backward(root) runs a topological sweep from the root (typically a scalar
+// loss) and fills every reachable Variable's grad.
+
+#ifndef CAEE_AUTOGRAD_VARIABLE_H_
+#define CAEE_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace caee {
+namespace ag {
+
+class Variable;
+using Var = std::shared_ptr<Variable>;
+
+class Variable {
+ public:
+  /// \brief Leaf constructor. Prefer Constant() / Param() helpers.
+  explicit Variable(Tensor value, bool requires_grad = false)
+      : value_(std::move(value)), requires_grad_(requires_grad) {}
+
+  const Tensor& value() const { return value_; }
+  Tensor& mutable_value() { return value_; }
+
+  bool requires_grad() const { return requires_grad_; }
+  void set_requires_grad(bool rg) { requires_grad_ = rg; }
+
+  /// \brief True once a gradient buffer has been allocated.
+  bool has_grad() const { return grad_ != nullptr; }
+
+  /// \brief Gradient tensor; allocates a zero buffer on first use.
+  Tensor& grad();
+  const Tensor& grad_or_zero() const;
+
+  /// \brief dL/dthis += g.
+  void AccumulateGrad(const Tensor& g);
+
+  /// \brief Drop the gradient buffer (used between optimiser steps).
+  void ZeroGrad();
+
+  /// \brief True for graph-interior nodes produced by an op.
+  bool is_interior() const { return static_cast<bool>(backward_fn_); }
+
+  const std::vector<Var>& parents() const { return parents_; }
+
+  /// \brief Install op metadata; used by the op library only.
+  void SetOp(std::vector<Var> parents, std::function<void(Variable*)> fn) {
+    parents_ = std::move(parents);
+    backward_fn_ = std::move(fn);
+  }
+
+  void RunBackward() {
+    if (backward_fn_) backward_fn_(this);
+  }
+
+ private:
+  Tensor value_;
+  std::unique_ptr<Tensor> grad_;
+  bool requires_grad_;
+  std::vector<Var> parents_;
+  std::function<void(Variable*)> backward_fn_;
+};
+
+/// \brief Leaf that does not require a gradient (inputs, targets).
+Var Constant(Tensor value);
+
+/// \brief Leaf that requires a gradient (trainable parameters).
+Var Param(Tensor value);
+
+/// \brief A constant view of an existing variable's value: gradients stop
+/// here. Used to freeze the ensemble output F(X) inside the diversity term.
+Var Detach(const Var& v);
+
+/// \brief Run reverse-mode AD from `root`. If seed is null the root must be
+/// a single-element tensor and is seeded with 1.
+void Backward(const Var& root, const Tensor* seed = nullptr);
+
+/// \brief Zero the gradients of every node reachable from `root`.
+void ZeroGradGraph(const Var& root);
+
+}  // namespace ag
+}  // namespace caee
+
+#endif  // CAEE_AUTOGRAD_VARIABLE_H_

@@ -1,0 +1,169 @@
+#include "baselines/ae_ensemble.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "core/scoring.h"
+#include "nn/init.h"
+#include "optim/adam.h"
+
+namespace caee {
+namespace baselines {
+
+// Feed-forward AE (D -> h -> b -> h -> D, tanh) whose weights are elementwise
+// multiplied by fixed Bernoulli(1 - drop) masks: removed connections stay
+// removed for the model's lifetime (they receive no gradient either, since
+// d(W ⊙ M)/dW = M zeroes them out).
+class AeEnsemble::MaskedAutoencoder : public nn::Module {
+ public:
+  MaskedAutoencoder(int64_t dims, int64_t hidden, int64_t bottleneck,
+                    double drop_fraction, Rng* rng) {
+    layer_dims_ = {dims, hidden, bottleneck, hidden, dims};
+    for (size_t l = 0; l + 1 < layer_dims_.size(); ++l) {
+      const int64_t in = layer_dims_[l];
+      const int64_t out = layer_dims_[l + 1];
+      int64_t fan_in, fan_out;
+      nn::LinearFans(in, out, &fan_in, &fan_out);
+      weights_.push_back(RegisterParameter(
+          "w" + std::to_string(l),
+          nn::XavierUniform(Shape{out, in}, fan_in, fan_out, rng)));
+      biases_.push_back(
+          RegisterParameter("b" + std::to_string(l), Tensor(Shape{out})));
+      Tensor mask(Shape{out, in});
+      for (int64_t i = 0; i < mask.numel(); ++i) {
+        mask[i] = rng->Bernoulli(1.0 - drop_fraction) ? 1.0f : 0.0f;
+      }
+      masks_.push_back(std::move(mask));
+    }
+  }
+
+  ag::Var Forward(const ag::Var& x) const {
+    ag::Var h = x;
+    for (size_t l = 0; l < weights_.size(); ++l) {
+      ag::Var w = ag::Mul(weights_[l], ag::Constant(masks_[l]));
+      h = ag::AddBias(ag::MatMul(h, w, false, true), biases_[l]);
+      if (l + 1 < weights_.size()) h = ag::Tanh(h);
+    }
+    return h;
+  }
+
+ private:
+  std::vector<int64_t> layer_dims_;
+  std::vector<ag::Var> weights_;
+  std::vector<ag::Var> biases_;
+  std::vector<Tensor> masks_;
+};
+
+AeEnsemble::AeEnsemble(const AeEnsembleConfig& config) : config_(config) {
+  CAEE_CHECK_MSG(config_.num_models >= 1, "need at least one model");
+  CAEE_CHECK_MSG(config_.drop_fraction >= 0.0 && config_.drop_fraction < 1.0,
+                 "drop_fraction in [0, 1)");
+}
+
+AeEnsemble::~AeEnsemble() = default;
+
+Status AeEnsemble::Fit(const ts::TimeSeries& train) {
+  if (train.empty()) return Status::InvalidArgument("empty training series");
+  Stopwatch timer;
+  scaler_.Fit(train);
+  const ts::TimeSeries scaled = scaler_.Transform(train);
+
+  const int64_t d = scaled.dims();
+  const int64_t hidden =
+      config_.hidden > 0 ? config_.hidden : std::max<int64_t>(4, 2 * d / 3);
+  const int64_t bottleneck =
+      config_.bottleneck > 0 ? config_.bottleneck : std::max<int64_t>(2, d / 3);
+
+  Rng rng(config_.seed);
+
+  // Observation subsample (evenly spaced).
+  std::vector<int64_t> indices;
+  const int64_t cap = config_.max_train;
+  if (cap > 0 && scaled.length() > cap) {
+    const double stride =
+        static_cast<double>(scaled.length()) / static_cast<double>(cap);
+    for (int64_t i = 0; i < cap; ++i) {
+      indices.push_back(static_cast<int64_t>(i * stride));
+    }
+  } else {
+    indices.resize(static_cast<size_t>(scaled.length()));
+    for (int64_t i = 0; i < scaled.length(); ++i) {
+      indices[static_cast<size_t>(i)] = i;
+    }
+  }
+
+  // Batch tensors (B, D).
+  std::vector<Tensor> batches;
+  for (size_t begin = 0; begin < indices.size();
+       begin += static_cast<size_t>(config_.batch_size)) {
+    const size_t end = std::min(indices.size(),
+                                begin + static_cast<size_t>(config_.batch_size));
+    Tensor batch(Shape{static_cast<int64_t>(end - begin), d});
+    for (size_t i = begin; i < end; ++i) {
+      const float* src = scaled.row(indices[i]);
+      std::copy(src, src + d, batch.data() + static_cast<int64_t>(i - begin) * d);
+    }
+    batches.push_back(std::move(batch));
+  }
+
+  models_.clear();
+  for (int64_t m = 0; m < config_.num_models; ++m) {
+    Rng model_rng = rng.Fork();
+    auto model = std::make_unique<MaskedAutoencoder>(
+        d, hidden, bottleneck, config_.drop_fraction, &model_rng);
+    optim::Adam optimizer(model->Parameters(), config_.lr);
+    for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+      for (const Tensor& batch : batches) {
+        ag::Var x = ag::Constant(batch);
+        ag::Var loss = ag::MseLoss(model->Forward(x), x);
+        optimizer.ZeroGrad();
+        ag::Backward(loss);
+        optimizer.Step();
+      }
+    }
+    models_.push_back(std::move(model));
+  }
+  train_seconds_ = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+StatusOr<std::vector<double>> AeEnsemble::Score(
+    const ts::TimeSeries& series) const {
+  if (models_.empty()) return Status::FailedPrecondition("Score before Fit");
+  if (series.dims() != static_cast<int64_t>(scaler_.mean().size())) {
+    return Status::InvalidArgument("dimensionality mismatch");
+  }
+  const ts::TimeSeries scaled = scaler_.Transform(series);
+  const int64_t n = scaled.length();
+  const int64_t d = scaled.dims();
+
+  std::vector<std::vector<double>> per_model(
+      models_.size(), std::vector<double>(static_cast<size_t>(n)));
+  const int64_t batch_size = config_.batch_size;
+  for (int64_t begin = 0; begin < n; begin += batch_size) {
+    const int64_t end = std::min(n, begin + batch_size);
+    Tensor batch(Shape{end - begin, d});
+    for (int64_t i = begin; i < end; ++i) {
+      const float* src = scaled.row(i);
+      std::copy(src, src + d, batch.data() + (i - begin) * d);
+    }
+    ag::Var x = ag::Constant(batch);
+    for (size_t m = 0; m < models_.size(); ++m) {
+      ag::Var recon = models_[m]->Forward(x);
+      for (int64_t i = begin; i < end; ++i) {
+        double err = 0.0;
+        for (int64_t j = 0; j < d; ++j) {
+          const double diff =
+              static_cast<double>(batch[ (i - begin) * d + j]) -
+              recon->value()[(i - begin) * d + j];
+          err += diff * diff;
+        }
+        per_model[m][static_cast<size_t>(i)] = err;
+      }
+    }
+  }
+  return core::MedianAcrossModels(per_model);
+}
+
+}  // namespace baselines
+}  // namespace caee

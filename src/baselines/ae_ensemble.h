@@ -1,0 +1,56 @@
+// Autoencoder Ensemble (Chen et al., SDM 2017): feed-forward per-observation
+// autoencoders with 20% of the connections randomly removed per basic model
+// (fixed Bernoulli masks on the weights), ensemble-aggregated by the median
+// of reconstruction errors. No temporal modelling (Table 1).
+
+#ifndef CAEE_BASELINES_AE_ENSEMBLE_H_
+#define CAEE_BASELINES_AE_ENSEMBLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/module.h"
+#include "ts/scaler.h"
+#include "ts/time_series.h"
+
+namespace caee {
+namespace baselines {
+
+struct AeEnsembleConfig {
+  int64_t num_models = 8;
+  int64_t hidden = 0;        // 0 = auto: max(4, 2D/3)
+  int64_t bottleneck = 0;    // 0 = auto: max(2, D/3)
+  double drop_fraction = 0.2;
+  int64_t epochs = 15;
+  int64_t batch_size = 256;
+  float lr = 1e-3f;
+  int64_t max_train = 4096;  // observation subsample cap
+  uint64_t seed = 31;
+};
+
+class AeEnsemble {
+ public:
+  explicit AeEnsemble(const AeEnsembleConfig& config = {});
+  ~AeEnsemble();
+
+  Status Fit(const ts::TimeSeries& train);
+
+  /// \brief Median across models of per-observation reconstruction error.
+  StatusOr<std::vector<double>> Score(const ts::TimeSeries& series) const;
+
+  double train_seconds() const { return train_seconds_; }
+
+ private:
+  class MaskedAutoencoder;  // defined in the .cc
+
+  AeEnsembleConfig config_;
+  ts::Scaler scaler_;
+  std::vector<std::unique_ptr<MaskedAutoencoder>> models_;
+  double train_seconds_ = 0.0;
+};
+
+}  // namespace baselines
+}  // namespace caee
+
+#endif  // CAEE_BASELINES_AE_ENSEMBLE_H_

@@ -1,0 +1,129 @@
+#include "baselines/isolation_forest.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace caee {
+namespace baselines {
+
+namespace {
+constexpr double kEulerMascheroni = 0.5772156649015329;
+}
+
+double AveragePathLength(int64_t n) {
+  if (n <= 1) return 0.0;
+  if (n == 2) return 1.0;
+  const double h = std::log(static_cast<double>(n - 1)) + kEulerMascheroni;
+  return 2.0 * h - 2.0 * static_cast<double>(n - 1) / static_cast<double>(n);
+}
+
+IsolationForest::IsolationForest(const IsolationForestConfig& config)
+    : config_(config) {
+  CAEE_CHECK_MSG(config_.num_trees >= 1, "need at least one tree");
+  CAEE_CHECK_MSG(config_.subsample >= 2, "subsample must be >= 2");
+}
+
+std::unique_ptr<IsolationForest::Node> IsolationForest::BuildTree(
+    const std::vector<const float*>& points, int64_t depth, int64_t max_depth,
+    Rng* rng) {
+  auto node = std::make_unique<Node>();
+  if (depth >= max_depth || points.size() <= 1) {
+    node->size = static_cast<int64_t>(points.size());
+    return node;
+  }
+  // Pick a random dimension with spread; give up after a few tries (all
+  // duplicates -> leaf).
+  int64_t dim = -1;
+  float lo = 0.0f, hi = 0.0f;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const int64_t d = rng->UniformInt(0, dims_ - 1);
+    lo = hi = points[0][d];
+    for (const float* p : points) {
+      lo = std::min(lo, p[d]);
+      hi = std::max(hi, p[d]);
+    }
+    if (hi > lo) {
+      dim = d;
+      break;
+    }
+  }
+  if (dim < 0) {
+    node->size = static_cast<int64_t>(points.size());
+    return node;
+  }
+  const float split =
+      static_cast<float>(rng->Uniform(static_cast<double>(lo),
+                                      static_cast<double>(hi)));
+  std::vector<const float*> left, right;
+  for (const float* p : points) {
+    (p[dim] < split ? left : right).push_back(p);
+  }
+  if (left.empty() || right.empty()) {
+    node->size = static_cast<int64_t>(points.size());
+    return node;
+  }
+  node->split_dim = dim;
+  node->split_value = split;
+  node->left = BuildTree(left, depth + 1, max_depth, rng);
+  node->right = BuildTree(right, depth + 1, max_depth, rng);
+  return node;
+}
+
+Status IsolationForest::Fit(const ts::TimeSeries& train) {
+  if (train.length() < 2) {
+    return Status::InvalidArgument("need at least two observations");
+  }
+  dims_ = train.dims();
+  trees_.clear();
+  Rng rng(config_.seed);
+  const int64_t psi =
+      std::min<int64_t>(config_.subsample, train.length());
+  c_norm_ = AveragePathLength(psi);
+  const auto max_depth =
+      static_cast<int64_t>(std::ceil(std::log2(static_cast<double>(psi))));
+  for (int64_t t = 0; t < config_.num_trees; ++t) {
+    Rng tree_rng = rng.Fork();
+    std::vector<size_t> sample = tree_rng.SampleWithoutReplacement(
+        static_cast<size_t>(train.length()), static_cast<size_t>(psi));
+    std::vector<const float*> points;
+    points.reserve(sample.size());
+    for (size_t idx : sample) {
+      points.push_back(train.row(static_cast<int64_t>(idx)));
+    }
+    trees_.push_back(BuildTree(points, 0, max_depth, &tree_rng));
+  }
+  return Status::OK();
+}
+
+double IsolationForest::PathLength(const Node* node, const float* point,
+                                   int64_t depth) const {
+  if (node->split_dim < 0) {
+    return static_cast<double>(depth) + AveragePathLength(node->size);
+  }
+  const Node* next = point[node->split_dim] < node->split_value
+                         ? node->left.get()
+                         : node->right.get();
+  return PathLength(next, point, depth + 1);
+}
+
+StatusOr<std::vector<double>> IsolationForest::Score(
+    const ts::TimeSeries& series) const {
+  if (trees_.empty()) return Status::FailedPrecondition("Score before Fit");
+  if (series.dims() != dims_) {
+    return Status::InvalidArgument("dimensionality mismatch");
+  }
+  std::vector<double> scores(static_cast<size_t>(series.length()));
+  for (int64_t t = 0; t < series.length(); ++t) {
+    double mean_path = 0.0;
+    for (const auto& tree : trees_) {
+      mean_path += PathLength(tree.get(), series.row(t), 0);
+    }
+    mean_path /= static_cast<double>(trees_.size());
+    scores[static_cast<size_t>(t)] =
+        std::pow(2.0, -mean_path / std::max(1e-9, c_norm_));
+  }
+  return scores;
+}
+
+}  // namespace baselines
+}  // namespace caee

@@ -1,0 +1,59 @@
+// Isolation Forest (Liu, Ting & Zhou, ICDM 2008). Per-observation detector:
+// each D-dimensional observation is scored independently (Table 1: no
+// temporal dependencies). Paper setting: 100 base estimators.
+
+#ifndef CAEE_BASELINES_ISOLATION_FOREST_H_
+#define CAEE_BASELINES_ISOLATION_FOREST_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "ts/time_series.h"
+
+namespace caee {
+namespace baselines {
+
+struct IsolationForestConfig {
+  int64_t num_trees = 100;
+  int64_t subsample = 256;  // ψ in the paper
+  uint64_t seed = 17;
+};
+
+class IsolationForest {
+ public:
+  explicit IsolationForest(const IsolationForestConfig& config = {});
+
+  Status Fit(const ts::TimeSeries& train);
+
+  /// \brief Anomaly score in (0, 1): 2^(-E[h(x)] / c(ψ)); higher = more
+  /// anomalous.
+  StatusOr<std::vector<double>> Score(const ts::TimeSeries& series) const;
+
+ private:
+  struct Node {
+    int64_t split_dim = -1;   // -1 = leaf
+    float split_value = 0.0f;
+    int64_t size = 0;         // leaf: number of points isolated here
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+  };
+
+  std::unique_ptr<Node> BuildTree(const std::vector<const float*>& points,
+                                  int64_t depth, int64_t max_depth, Rng* rng);
+  double PathLength(const Node* node, const float* point, int64_t depth) const;
+
+  IsolationForestConfig config_;
+  int64_t dims_ = 0;
+  double c_norm_ = 1.0;  // c(ψ) normaliser
+  std::vector<std::unique_ptr<Node>> trees_;
+};
+
+/// \brief Average unsuccessful-search path length c(n) in a BST.
+double AveragePathLength(int64_t n);
+
+}  // namespace baselines
+}  // namespace caee
+
+#endif  // CAEE_BASELINES_ISOLATION_FOREST_H_

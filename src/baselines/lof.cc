@@ -1,0 +1,125 @@
+#include "baselines/lof.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace caee {
+namespace baselines {
+
+namespace {
+double SquaredDistance(const float* a, const float* b, int64_t d) {
+  double acc = 0.0;
+  for (int64_t j = 0; j < d; ++j) {
+    const double diff = static_cast<double>(a[j]) - b[j];
+    acc += diff * diff;
+  }
+  return acc;
+}
+}  // namespace
+
+Lof::Lof(const LofConfig& config) : config_(config) {
+  CAEE_CHECK_MSG(config_.k >= 1, "k must be >= 1");
+}
+
+Status Lof::Fit(const ts::TimeSeries& train) {
+  if (train.length() <= config_.k) {
+    return Status::InvalidArgument("need more than k training observations");
+  }
+  dims_ = train.dims();
+  // Sub-sample the reference set if needed.
+  std::vector<int64_t> chosen;
+  if (train.length() > config_.max_reference) {
+    Rng rng(config_.seed);
+    std::vector<size_t> sample = rng.SampleWithoutReplacement(
+        static_cast<size_t>(train.length()),
+        static_cast<size_t>(config_.max_reference));
+    std::sort(sample.begin(), sample.end());
+    chosen.assign(sample.begin(), sample.end());
+  } else {
+    chosen.resize(static_cast<size_t>(train.length()));
+    for (int64_t i = 0; i < train.length(); ++i) {
+      chosen[static_cast<size_t>(i)] = i;
+    }
+  }
+  ref_count_ = static_cast<int64_t>(chosen.size());
+  reference_.resize(static_cast<size_t>(ref_count_ * dims_));
+  for (int64_t i = 0; i < ref_count_; ++i) {
+    const float* src = train.row(chosen[static_cast<size_t>(i)]);
+    std::copy(src, src + dims_, reference_.data() + i * dims_);
+  }
+
+  // Pass 1: k-nearest neighbourhood (and k-distance) of every reference
+  // point. Pass 2: local reachability densities from the stored k-distances.
+  std::vector<Neighbors> ref_nn(static_cast<size_t>(ref_count_));
+  ParallelFor(static_cast<size_t>(ref_count_), [this, &ref_nn](size_t i) {
+    ref_nn[i] = KNearest(reference_.data() + static_cast<int64_t>(i) * dims_,
+                         /*exclude_self=*/true, static_cast<int64_t>(i));
+  });
+  ref_kdist_.assign(static_cast<size_t>(ref_count_), 0.0);
+  for (int64_t i = 0; i < ref_count_; ++i) {
+    ref_kdist_[static_cast<size_t>(i)] =
+        ref_nn[static_cast<size_t>(i)].k_distance;
+  }
+  ref_lrd_.assign(static_cast<size_t>(ref_count_), 0.0);
+  ParallelFor(static_cast<size_t>(ref_count_), [this, &ref_nn](size_t i) {
+    ref_lrd_[i] = ReachabilityDensity(
+        ref_nn[i], reference_.data() + static_cast<int64_t>(i) * dims_);
+  });
+  return Status::OK();
+}
+
+Lof::Neighbors Lof::KNearest(const float* point, bool exclude_self,
+                             int64_t self_idx) const {
+  std::vector<std::pair<double, int64_t>> dist;
+  dist.reserve(static_cast<size_t>(ref_count_));
+  for (int64_t i = 0; i < ref_count_; ++i) {
+    if (exclude_self && i == self_idx) continue;
+    dist.emplace_back(
+        SquaredDistance(point, reference_.data() + i * dims_, dims_), i);
+  }
+  const auto k = static_cast<size_t>(
+      std::min<int64_t>(config_.k, static_cast<int64_t>(dist.size())));
+  std::partial_sort(dist.begin(), dist.begin() + k, dist.end());
+  Neighbors nn;
+  nn.idx.reserve(k);
+  for (size_t i = 0; i < k; ++i) nn.idx.push_back(dist[i].second);
+  nn.k_distance = std::sqrt(dist[k - 1].first);
+  return nn;
+}
+
+double Lof::ReachabilityDensity(const Neighbors& nn,
+                                const float* point) const {
+  // lrd = 1 / mean reach-dist, reach-dist(p, o) = max(k-dist(o), d(p, o)).
+  double sum = 0.0;
+  for (int64_t o : nn.idx) {
+    const double d =
+        std::sqrt(SquaredDistance(point, reference_.data() + o * dims_, dims_));
+    sum += std::max(ref_kdist_[static_cast<size_t>(o)], d);
+  }
+  const double mean = sum / static_cast<double>(nn.idx.size());
+  return mean > 1e-12 ? 1.0 / mean : 1e12;
+}
+
+StatusOr<std::vector<double>> Lof::Score(const ts::TimeSeries& series) const {
+  if (ref_count_ == 0) return Status::FailedPrecondition("Score before Fit");
+  if (series.dims() != dims_) {
+    return Status::InvalidArgument("dimensionality mismatch");
+  }
+  std::vector<double> scores(static_cast<size_t>(series.length()));
+  ParallelFor(static_cast<size_t>(series.length()), [&](size_t t) {
+    const float* p = series.row(static_cast<int64_t>(t));
+    const Neighbors nn = KNearest(p, /*exclude_self=*/false, -1);
+    const double lrd = ReachabilityDensity(nn, p);
+    double neighbor_lrd = 0.0;
+    for (int64_t o : nn.idx) neighbor_lrd += ref_lrd_[static_cast<size_t>(o)];
+    neighbor_lrd /= static_cast<double>(nn.idx.size());
+    scores[t] = lrd > 1e-12 ? neighbor_lrd / lrd : 1e12;
+  });
+  return scores;
+}
+
+}  // namespace baselines
+}  // namespace caee

@@ -1,0 +1,53 @@
+// Local Outlier Factor (Breunig et al., SIGMOD 2000). Density-based
+// per-observation detector; paper setting: k = 20 neighbours, Euclidean
+// distance. Scores query points against a (sub-sampled) reference set drawn
+// from the training series.
+
+#ifndef CAEE_BASELINES_LOF_H_
+#define CAEE_BASELINES_LOF_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "ts/time_series.h"
+
+namespace caee {
+namespace baselines {
+
+struct LofConfig {
+  int64_t k = 20;
+  int64_t max_reference = 2000;  // cap the O(n^2) neighbour search
+  uint64_t seed = 23;
+};
+
+class Lof {
+ public:
+  explicit Lof(const LofConfig& config = {});
+
+  Status Fit(const ts::TimeSeries& train);
+
+  /// \brief LOF score per observation; ~1 for inliers, larger for outliers.
+  StatusOr<std::vector<double>> Score(const ts::TimeSeries& series) const;
+
+ private:
+  struct Neighbors {
+    std::vector<int64_t> idx;  // k nearest reference indices
+    double k_distance = 0.0;
+  };
+
+  Neighbors KNearest(const float* point, bool exclude_self,
+                     int64_t self_idx) const;
+  double ReachabilityDensity(const Neighbors& nn, const float* point) const;
+
+  LofConfig config_;
+  int64_t dims_ = 0;
+  std::vector<float> reference_;      // flattened reference points
+  std::vector<double> ref_kdist_;     // precomputed per-reference k-distance
+  std::vector<double> ref_lrd_;       // precomputed local reachability density
+  int64_t ref_count_ = 0;
+};
+
+}  // namespace baselines
+}  // namespace caee
+
+#endif  // CAEE_BASELINES_LOF_H_

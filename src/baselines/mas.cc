@@ -1,0 +1,57 @@
+#include "baselines/mas.h"
+
+namespace caee {
+namespace baselines {
+
+MovingAverageSmoothing::MovingAverageSmoothing(const MasConfig& config)
+    : config_(config) {
+  CAEE_CHECK_MSG(config_.window >= 1, "window must be >= 1");
+}
+
+Status MovingAverageSmoothing::Fit(const ts::TimeSeries& train) {
+  if (train.empty()) return Status::InvalidArgument("empty training series");
+  scaler_.Fit(train);
+  return Status::OK();
+}
+
+StatusOr<std::vector<double>> MovingAverageSmoothing::Score(
+    const ts::TimeSeries& series) const {
+  if (!scaler_.fitted()) return Status::FailedPrecondition("Score before Fit");
+  if (series.dims() != static_cast<int64_t>(scaler_.mean().size())) {
+    return Status::InvalidArgument("dimensionality mismatch");
+  }
+  const ts::TimeSeries scaled = scaler_.Transform(series);
+  const int64_t n = scaled.length();
+  const int64_t d = scaled.dims();
+  std::vector<double> scores(static_cast<size_t>(n), 0.0);
+  std::vector<double> running(static_cast<size_t>(d), 0.0);
+
+  for (int64_t t = 0; t < n; ++t) {
+    const float* row = scaled.row(t);
+    const int64_t lookback = std::min<int64_t>(t, config_.window);
+    if (lookback > 0) {
+      double err = 0.0;
+      for (int64_t j = 0; j < d; ++j) {
+        const double avg =
+            running[static_cast<size_t>(j)] / static_cast<double>(lookback);
+        const double diff = row[j] - avg;
+        err += diff * diff;
+      }
+      scores[static_cast<size_t>(t)] = err;
+    }
+    // Slide the trailing sum.
+    for (int64_t j = 0; j < d; ++j) {
+      running[static_cast<size_t>(j)] += row[j];
+    }
+    if (t >= config_.window) {
+      const float* old = scaled.row(t - config_.window);
+      for (int64_t j = 0; j < d; ++j) {
+        running[static_cast<size_t>(j)] -= old[j];
+      }
+    }
+  }
+  return scores;
+}
+
+}  // namespace baselines
+}  // namespace caee

@@ -1,0 +1,39 @@
+// Moving Average Smoothing: observations that deviate from a trailing
+// moving average are likely outliers (paper baseline "MAS").
+
+#ifndef CAEE_BASELINES_MAS_H_
+#define CAEE_BASELINES_MAS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "ts/scaler.h"
+#include "ts/time_series.h"
+
+namespace caee {
+namespace baselines {
+
+struct MasConfig {
+  int64_t window = 10;  // trailing average length
+};
+
+class MovingAverageSmoothing {
+ public:
+  explicit MovingAverageSmoothing(const MasConfig& config = {});
+
+  /// \brief Fits the z-score scaler only (the smoother itself is stateless).
+  Status Fit(const ts::TimeSeries& train);
+
+  /// \brief score_t = || z_t - mean(z_{t-w..t-1}) ||^2 in scaled space; the
+  /// first w observations are scored against the expanding prefix mean.
+  StatusOr<std::vector<double>> Score(const ts::TimeSeries& series) const;
+
+ private:
+  MasConfig config_;
+  ts::Scaler scaler_;
+};
+
+}  // namespace baselines
+}  // namespace caee
+
+#endif  // CAEE_BASELINES_MAS_H_

@@ -1,0 +1,169 @@
+#include "baselines/mscred_lite.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "nn/linear.h"
+#include "optim/adam.h"
+
+namespace caee {
+namespace baselines {
+
+struct MscredLite::Net : public nn::Module {
+  Net(int64_t features, int64_t hidden, Rng* rng)
+      : enc(features, hidden, rng), dec(hidden, features, rng) {
+    RegisterModule("enc", &enc);
+    RegisterModule("dec", &dec);
+  }
+  ag::Var Forward(const ag::Var& x) const {
+    return dec.Forward(ag::Tanh(enc.Forward(x)));
+  }
+  nn::Linear enc;
+  nn::Linear dec;
+};
+
+MscredLite::MscredLite(const MscredConfig& config) : config_(config) {
+  CAEE_CHECK_MSG(!config_.scales.empty(), "need at least one scale");
+  CAEE_CHECK_MSG(config_.max_groups >= 2, "need at least two channel groups");
+}
+
+MscredLite::~MscredLite() = default;
+
+std::vector<float> MscredLite::Signature(const ts::TimeSeries& scaled,
+                                         int64_t t) const {
+  std::vector<float> features;
+  features.reserve(static_cast<size_t>(feature_size_));
+  std::vector<double> grouped(static_cast<size_t>(groups_));
+  for (int64_t scale : config_.scales) {
+    const int64_t begin = std::max<int64_t>(0, t - scale + 1);
+    const int64_t len = t - begin + 1;
+    // Accumulate group-averaged inner products over the lookback.
+    std::vector<double> acc(static_cast<size_t>(groups_ * groups_), 0.0);
+    for (int64_t tau = begin; tau <= t; ++tau) {
+      const float* row = scaled.row(tau);
+      std::fill(grouped.begin(), grouped.end(), 0.0);
+      for (int64_t j = 0; j < scaled.dims(); ++j) {
+        grouped[static_cast<size_t>(group_of_dim_[static_cast<size_t>(j)])] +=
+            row[j];
+      }
+      for (int64_t gi = 0; gi < groups_; ++gi) {
+        for (int64_t gj = gi; gj < groups_; ++gj) {
+          acc[static_cast<size_t>(gi * groups_ + gj)] +=
+              grouped[static_cast<size_t>(gi)] *
+              grouped[static_cast<size_t>(gj)];
+        }
+      }
+    }
+    for (int64_t gi = 0; gi < groups_; ++gi) {
+      for (int64_t gj = gi; gj < groups_; ++gj) {
+        features.push_back(static_cast<float>(
+            acc[static_cast<size_t>(gi * groups_ + gj)] /
+            static_cast<double>(len)));
+      }
+    }
+  }
+  return features;
+}
+
+Status MscredLite::Fit(const ts::TimeSeries& train) {
+  if (train.length() < 4) {
+    return Status::InvalidArgument("training series too short");
+  }
+  Stopwatch timer;
+  Rng rng(config_.seed);
+  scaler_.Fit(train);
+  const ts::TimeSeries scaled = scaler_.Transform(train);
+
+  groups_ = std::min<int64_t>(config_.max_groups, scaled.dims());
+  group_of_dim_.resize(static_cast<size_t>(scaled.dims()));
+  for (int64_t j = 0; j < scaled.dims(); ++j) {
+    group_of_dim_[static_cast<size_t>(j)] = j % groups_;  // round-robin
+  }
+  const int64_t per_scale = groups_ * (groups_ + 1) / 2;
+  feature_size_ = per_scale * static_cast<int64_t>(config_.scales.size());
+
+  Rng net_rng = rng.Fork();
+  net_ = std::make_unique<Net>(feature_size_, config_.hidden, &net_rng);
+
+  // Training signatures (strided / capped).
+  std::vector<int64_t> times;
+  for (int64_t t = 0; t < scaled.length(); t += config_.stride) {
+    times.push_back(t);
+  }
+  if (config_.max_train > 0 &&
+      static_cast<int64_t>(times.size()) > config_.max_train) {
+    const double stride2 = static_cast<double>(times.size()) /
+                           static_cast<double>(config_.max_train);
+    std::vector<int64_t> reduced;
+    for (int64_t i = 0; i < config_.max_train; ++i) {
+      reduced.push_back(times[static_cast<size_t>(i * stride2)]);
+    }
+    times = std::move(reduced);
+  }
+
+  std::vector<Tensor> batches;
+  for (size_t begin = 0; begin < times.size();
+       begin += static_cast<size_t>(config_.batch_size)) {
+    const size_t end = std::min(times.size(),
+                                begin + static_cast<size_t>(config_.batch_size));
+    Tensor batch(Shape{static_cast<int64_t>(end - begin), feature_size_});
+    for (size_t i = begin; i < end; ++i) {
+      const std::vector<float> f = Signature(scaled, times[i]);
+      std::copy(f.begin(), f.end(),
+                batch.data() + static_cast<int64_t>(i - begin) * feature_size_);
+    }
+    batches.push_back(std::move(batch));
+  }
+
+  optim::Adam optimizer(net_->Parameters(), config_.lr);
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (const Tensor& batch : batches) {
+      ag::Var x = ag::Constant(batch);
+      ag::Var loss = ag::MseLoss(net_->Forward(x), x);
+      optimizer.ZeroGrad();
+      ag::Backward(loss);
+      optimizer.Step();
+    }
+  }
+  train_seconds_ = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+StatusOr<std::vector<double>> MscredLite::Score(
+    const ts::TimeSeries& series) const {
+  if (!net_) return Status::FailedPrecondition("Score before Fit");
+  if (series.dims() != static_cast<int64_t>(scaler_.mean().size())) {
+    return Status::InvalidArgument("dimensionality mismatch");
+  }
+  const ts::TimeSeries scaled = scaler_.Transform(series);
+  const int64_t n = scaled.length();
+  std::vector<double> scores(static_cast<size_t>(n));
+
+  const int64_t batch_size = config_.batch_size;
+  for (int64_t begin = 0; begin < n; begin += batch_size) {
+    const int64_t end = std::min(n, begin + batch_size);
+    Tensor batch(Shape{end - begin, feature_size_});
+    for (int64_t t = begin; t < end; ++t) {
+      const std::vector<float> f = Signature(scaled, t);
+      std::copy(f.begin(), f.end(), batch.data() + (t - begin) * feature_size_);
+    }
+    ag::Var x = ag::Constant(batch);
+    ag::Var recon = net_->Forward(x);
+    for (int64_t t = begin; t < end; ++t) {
+      double acc = 0.0;
+      for (int64_t j = 0; j < feature_size_; ++j) {
+        const double diff =
+            static_cast<double>(batch[(t - begin) * feature_size_ + j]) -
+            recon->value()[(t - begin) * feature_size_ + j];
+        acc += diff * diff;
+      }
+      scores[static_cast<size_t>(t)] = acc;
+    }
+  }
+  return scores;
+}
+
+}  // namespace baselines
+}  // namespace caee

@@ -1,0 +1,194 @@
+#include "baselines/ocsvm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace caee {
+namespace baselines {
+
+Ocsvm::Ocsvm(const OcsvmConfig& config) : config_(config) {
+  CAEE_CHECK_MSG(config_.nu > 0.0 && config_.nu <= 1.0, "nu must be in (0,1]");
+}
+
+double Ocsvm::Kernel(const float* a, const float* b) const {
+  double acc = 0.0;
+  for (int64_t j = 0; j < dims_; ++j) {
+    const double d = static_cast<double>(a[j]) - b[j];
+    acc += d * d;
+  }
+  return std::exp(-gamma_ * acc);
+}
+
+namespace {
+
+// Project v onto {0 <= a_i <= c, sum a_i = 1} by bisecting the shift theta
+// in a_i = clamp(v_i - theta, 0, c).
+std::vector<double> ProjectBoxSimplex(const std::vector<double>& v, double c) {
+  const auto sum_at = [&v, c](double theta) {
+    double s = 0.0;
+    for (double vi : v) s += std::clamp(vi - theta, 0.0, c);
+    return s;
+  };
+  double lo = -1.0, hi = 1.0;
+  for (double vi : v) {
+    lo = std::min(lo, vi - c - 1.0);
+    hi = std::max(hi, vi + 1.0);
+  }
+  for (int it = 0; it < 100; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (sum_at(mid) > 1.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double theta = 0.5 * (lo + hi);
+  std::vector<double> out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) {
+    out[i] = std::clamp(v[i] - theta, 0.0, c);
+  }
+  return out;
+}
+
+}  // namespace
+
+Status Ocsvm::Fit(const ts::TimeSeries& train) {
+  if (train.length() < 4) {
+    return Status::InvalidArgument("need at least four observations");
+  }
+  dims_ = train.dims();
+
+  // Subsample.
+  const int64_t n = std::min<int64_t>(config_.max_train, train.length());
+  std::vector<int64_t> chosen(static_cast<size_t>(n));
+  if (n < train.length()) {
+    Rng rng(config_.seed);
+    std::vector<size_t> sample = rng.SampleWithoutReplacement(
+        static_cast<size_t>(train.length()), static_cast<size_t>(n));
+    std::sort(sample.begin(), sample.end());
+    for (int64_t i = 0; i < n; ++i) {
+      chosen[static_cast<size_t>(i)] =
+          static_cast<int64_t>(sample[static_cast<size_t>(i)]);
+    }
+  } else {
+    for (int64_t i = 0; i < n; ++i) chosen[static_cast<size_t>(i)] = i;
+  }
+  support_.resize(static_cast<size_t>(n * dims_));
+  for (int64_t i = 0; i < n; ++i) {
+    const float* src = train.row(chosen[static_cast<size_t>(i)]);
+    std::copy(src, src + dims_, support_.data() + i * dims_);
+  }
+
+  // gamma = 1 / (D * var) ("scale" heuristic) unless overridden.
+  if (config_.gamma > 0.0) {
+    gamma_ = config_.gamma;
+  } else {
+    double mean = 0.0, sq = 0.0;
+    const int64_t total = n * dims_;
+    for (int64_t i = 0; i < total; ++i) mean += support_[static_cast<size_t>(i)];
+    mean /= static_cast<double>(total);
+    for (int64_t i = 0; i < total; ++i) {
+      const double d = support_[static_cast<size_t>(i)] - mean;
+      sq += d * d;
+    }
+    const double var = sq / static_cast<double>(total);
+    gamma_ = 1.0 / (static_cast<double>(dims_) * std::max(var, 1e-9));
+  }
+
+  // Gram matrix.
+  std::vector<double> gram(static_cast<size_t>(n * n));
+  ParallelFor(static_cast<size_t>(n), [this, n, &gram](size_t i) {
+    for (int64_t j = 0; j <= static_cast<int64_t>(i); ++j) {
+      const double k = Kernel(support_.data() + static_cast<int64_t>(i) * dims_,
+                              support_.data() + j * dims_);
+      gram[i * n + static_cast<size_t>(j)] = k;
+      gram[static_cast<size_t>(j) * n + i] = k;
+    }
+  });
+
+  // Projected gradient descent on 0.5 aᵀKa.
+  const double c = 1.0 / (config_.nu * static_cast<double>(n));
+  alpha_.assign(static_cast<size_t>(n), 1.0 / static_cast<double>(n));
+  std::vector<double> grad(static_cast<size_t>(n));
+  const double step = config_.step;  // K has unit diagonal for RBF
+  for (int64_t it = 0; it < config_.iterations; ++it) {
+    ParallelFor(static_cast<size_t>(n), [this, n, &gram, &grad](size_t i) {
+      double g = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        g += gram[i * n + static_cast<size_t>(j)] *
+             alpha_[static_cast<size_t>(j)];
+      }
+      grad[i] = g;
+    });
+    std::vector<double> trial(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      trial[static_cast<size_t>(i)] =
+          alpha_[static_cast<size_t>(i)] - step * grad[static_cast<size_t>(i)];
+    }
+    alpha_ = ProjectBoxSimplex(trial, c);
+  }
+
+  // rho = decision value on margin support vectors (0 < alpha < C).
+  double rho_sum = 0.0;
+  int64_t rho_count = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double a = alpha_[static_cast<size_t>(i)];
+    if (a > 1e-8 && a < c - 1e-8) {
+      double f = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        f += alpha_[static_cast<size_t>(j)] *
+             gram[static_cast<size_t>(i) * n + static_cast<size_t>(j)];
+      }
+      rho_sum += f;
+      ++rho_count;
+    }
+  }
+  if (rho_count > 0) {
+    rho_ = rho_sum / static_cast<double>(rho_count);
+  } else {
+    // Degenerate case: use the mean decision value of all support vectors.
+    double f_sum = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      double f = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        f += alpha_[static_cast<size_t>(j)] *
+             gram[static_cast<size_t>(i) * n + static_cast<size_t>(j)];
+      }
+      f_sum += f;
+    }
+    rho_ = f_sum / static_cast<double>(n);
+  }
+  return Status::OK();
+}
+
+int64_t Ocsvm::num_support_vectors() const {
+  int64_t count = 0;
+  for (double a : alpha_) count += (a > 1e-8);
+  return count;
+}
+
+StatusOr<std::vector<double>> Ocsvm::Score(const ts::TimeSeries& series) const {
+  if (alpha_.empty()) return Status::FailedPrecondition("Score before Fit");
+  if (series.dims() != dims_) {
+    return Status::InvalidArgument("dimensionality mismatch");
+  }
+  const auto n = static_cast<int64_t>(alpha_.size());
+  std::vector<double> scores(static_cast<size_t>(series.length()));
+  ParallelFor(static_cast<size_t>(series.length()), [&](size_t t) {
+    const float* p = series.row(static_cast<int64_t>(t));
+    double f = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const double a = alpha_[static_cast<size_t>(i)];
+      if (a <= 1e-10) continue;
+      f += a * Kernel(support_.data() + i * dims_, p);
+    }
+    scores[t] = rho_ - f;  // higher = further outside the boundary
+  });
+  return scores;
+}
+
+}  // namespace baselines
+}  // namespace caee

@@ -1,0 +1,54 @@
+// One-Class SVM (Schölkopf et al., NIPS 1999) with an RBF kernel, ν = 0.5
+// (paper setting). The dual
+//     min_α  0.5 αᵀ K α   s.t.  0 <= α_i <= 1/(ν n),  Σ α_i = 1
+// is solved by projected gradient descent on a (sub-sampled) Gram matrix;
+// the projection onto the box-constrained simplex uses bisection.
+// Decision function: f(x) = Σ α_i k(x_i, x) − ρ; anomaly score = ρ − Σ α k.
+
+#ifndef CAEE_BASELINES_OCSVM_H_
+#define CAEE_BASELINES_OCSVM_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "ts/time_series.h"
+
+namespace caee {
+namespace baselines {
+
+struct OcsvmConfig {
+  double nu = 0.5;
+  double gamma = 0.0;        // 0 = "scale": 1 / (D * var)
+  int64_t max_train = 512;   // Gram-matrix subsample cap
+  int64_t iterations = 300;  // projected-gradient steps
+  double step = 0.5;         // gradient step size (relative to 1/diag)
+  uint64_t seed = 29;
+};
+
+class Ocsvm {
+ public:
+  explicit Ocsvm(const OcsvmConfig& config = {});
+
+  Status Fit(const ts::TimeSeries& train);
+
+  /// \brief Anomaly score ρ − Σ α_i k(x_i, x); higher = more anomalous.
+  StatusOr<std::vector<double>> Score(const ts::TimeSeries& series) const;
+
+  double rho() const { return rho_; }
+  int64_t num_support_vectors() const;
+
+ private:
+  double Kernel(const float* a, const float* b) const;
+
+  OcsvmConfig config_;
+  int64_t dims_ = 0;
+  double gamma_ = 1.0;
+  double rho_ = 0.0;
+  std::vector<float> support_;  // flattened training subsample
+  std::vector<double> alpha_;
+};
+
+}  // namespace baselines
+}  // namespace caee
+
+#endif  // CAEE_BASELINES_OCSVM_H_

@@ -1,0 +1,174 @@
+#include "baselines/omni_anomaly_lite.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "core/scoring.h"
+#include "nn/linear.h"
+#include "nn/rnn.h"
+#include "optim/adam.h"
+#include "optim/clip.h"
+#include "ts/window.h"
+
+namespace caee {
+namespace baselines {
+
+struct OmniAnomalyLite::Net : public nn::Module {
+  Net(int64_t dims, int64_t hidden, int64_t latent, Rng* rng)
+      : encoder(dims, hidden, rng),
+        mu_proj(hidden, latent, rng),
+        logvar_proj(hidden, latent, rng),
+        decoder(latent, hidden, rng),
+        out_proj(hidden, dims, rng) {
+    RegisterModule("encoder", &encoder);
+    RegisterModule("mu_proj", &mu_proj);
+    RegisterModule("logvar_proj", &logvar_proj);
+    RegisterModule("decoder", &decoder);
+    RegisterModule("out_proj", &out_proj);
+  }
+  nn::GruCell encoder;
+  nn::Linear mu_proj;
+  nn::Linear logvar_proj;
+  nn::GruCell decoder;
+  nn::Linear out_proj;
+};
+
+OmniAnomalyLite::OmniAnomalyLite(const OmniAnomalyConfig& config)
+    : config_(config) {
+  CAEE_CHECK_MSG(config_.window >= 2, "window must be >= 2");
+}
+
+OmniAnomalyLite::~OmniAnomalyLite() = default;
+
+Status OmniAnomalyLite::Fit(const ts::TimeSeries& train) {
+  if (train.length() < config_.window) {
+    return Status::InvalidArgument("training series shorter than window");
+  }
+  Stopwatch timer;
+  Rng rng(config_.seed);
+  scaler_.Fit(train);
+  const ts::TimeSeries scaled = scaler_.Transform(train);
+  ts::WindowDataset dataset(scaled, config_.window);
+
+  Rng net_rng = rng.Fork();
+  net_ = std::make_unique<Net>(train.dims(), config_.hidden, config_.latent,
+                               &net_rng);
+
+  std::vector<int64_t> indices;
+  if (config_.max_train_windows > 0 &&
+      dataset.num_windows() > config_.max_train_windows) {
+    const double stride = static_cast<double>(dataset.num_windows()) /
+                          static_cast<double>(config_.max_train_windows);
+    for (int64_t i = 0; i < config_.max_train_windows; ++i) {
+      indices.push_back(static_cast<int64_t>(i * stride));
+    }
+  } else {
+    indices.resize(static_cast<size_t>(dataset.num_windows()));
+    for (int64_t i = 0; i < dataset.num_windows(); ++i) {
+      indices[static_cast<size_t>(i)] = i;
+    }
+  }
+  Rng shuffle_rng = rng.Fork();
+  std::vector<size_t> perm = shuffle_rng.Permutation(indices.size());
+  std::vector<Tensor> batches;
+  for (size_t begin = 0; begin < indices.size();
+       begin += static_cast<size_t>(config_.batch_size)) {
+    const size_t end = std::min(indices.size(),
+                                begin + static_cast<size_t>(config_.batch_size));
+    std::vector<int64_t> batch;
+    for (size_t i = begin; i < end; ++i) batch.push_back(indices[perm[i]]);
+    batches.push_back(dataset.GetBatch(batch));
+  }
+
+  Rng train_rng = rng.Fork();
+  optim::Adam optimizer(net_->Parameters(), config_.lr);
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (const Tensor& batch : batches) {
+      const int64_t b = batch.dim(0), w = batch.dim(1);
+      const std::vector<ag::Var> inputs = nn::SplitTimeConstant(batch);
+
+      ag::Var h = net_->encoder.InitialState(b);
+      ag::Var g = ag::Constant(Tensor(Shape{b, config_.hidden}));
+      ag::Var loss;
+      for (int64_t t = 0; t < w; ++t) {
+        h = net_->encoder.Forward(inputs[static_cast<size_t>(t)], h);
+        ag::Var mu = net_->mu_proj.Forward(h);
+        ag::Var logvar = net_->logvar_proj.Forward(h);
+        Tensor eps = Tensor::Randn(mu->value().shape(), &train_rng);
+        ag::Var z = ag::Add(
+            mu, ag::Mul(ag::Exp(ag::Scale(logvar, 0.5f)), ag::Constant(eps)));
+        g = net_->decoder.Forward(z, g);
+        ag::Var out = net_->out_proj.Forward(g);
+        ag::Var recon = ag::MseLoss(out, inputs[static_cast<size_t>(t)]);
+        // Per-step KL against the N(0, I) prior.
+        ag::Var ones = ag::Constant(Tensor(mu->value().shape(), 1.0f));
+        ag::Var kl = ag::Scale(
+            ag::Mean(ag::Sub(ag::Add(ones, logvar),
+                             ag::Add(ag::Mul(mu, mu), ag::Exp(logvar)))),
+            -0.5f);
+        ag::Var step = ag::Add(recon, ag::Scale(kl, config_.kl_weight));
+        loss = (t == 0) ? step : ag::Add(loss, step);
+      }
+      loss = ag::Scale(loss, 1.0f / static_cast<float>(w));
+      optimizer.ZeroGrad();
+      ag::Backward(loss);
+      optim::ClipGradNorm(optimizer.params(), config_.grad_clip);
+      optimizer.Step();
+    }
+  }
+  train_seconds_ = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+std::vector<std::vector<double>> OmniAnomalyLite::WindowErrors(
+    const Tensor& batch) const {
+  const int64_t b = batch.dim(0), w = batch.dim(1), d = batch.dim(2);
+  const std::vector<ag::Var> inputs = nn::SplitTimeConstant(batch);
+  ag::Var h = net_->encoder.InitialState(b);
+  ag::Var g = ag::Constant(Tensor(Shape{b, config_.hidden}));
+  std::vector<std::vector<double>> errors(
+      static_cast<size_t>(b), std::vector<double>(static_cast<size_t>(w)));
+  for (int64_t t = 0; t < w; ++t) {
+    h = net_->encoder.Forward(inputs[static_cast<size_t>(t)], h);
+    ag::Var mu = net_->mu_proj.Forward(h);  // posterior mean at test time
+    g = net_->decoder.Forward(mu, g);
+    ag::Var out = net_->out_proj.Forward(g);
+    const Tensor& recon = out->value();
+    for (int64_t bb = 0; bb < b; ++bb) {
+      double acc = 0.0;
+      for (int64_t j = 0; j < d; ++j) {
+        const double diff =
+            static_cast<double>(batch[(bb * w + t) * d + j]) -
+            recon[bb * d + j];
+        acc += diff * diff;
+      }
+      errors[static_cast<size_t>(bb)][static_cast<size_t>(t)] = acc;
+    }
+  }
+  return errors;
+}
+
+StatusOr<std::vector<double>> OmniAnomalyLite::Score(
+    const ts::TimeSeries& series) const {
+  if (!net_) return Status::FailedPrecondition("Score before Fit");
+  if (series.length() < config_.window) {
+    return Status::InvalidArgument("series shorter than window");
+  }
+  if (series.dims() != static_cast<int64_t>(scaler_.mean().size())) {
+    return Status::InvalidArgument("dimensionality mismatch");
+  }
+  const ts::TimeSeries scaled = scaler_.Transform(series);
+  ts::WindowDataset dataset(scaled, config_.window);
+  core::WindowScoreAssembler assembler(dataset.num_windows(), config_.window);
+  for (const auto& batch : dataset.Batches(config_.batch_size)) {
+    const Tensor tensor = dataset.GetBatch(batch);
+    const auto errors = WindowErrors(tensor);
+    for (size_t bi = 0; bi < batch.size(); ++bi) {
+      assembler.AddWindow(batch[bi], errors[bi]);
+    }
+  }
+  return assembler.Finalize();
+}
+
+}  // namespace baselines
+}  // namespace caee

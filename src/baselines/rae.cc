@@ -1,0 +1,184 @@
+#include "baselines/rae.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "core/scoring.h"
+#include "optim/adam.h"
+#include "optim/clip.h"
+#include "ts/window.h"
+
+namespace caee {
+namespace baselines {
+
+struct Rae::Net : public nn::Module {
+  Net(int64_t dims, int64_t hidden, Rng* rng)
+      : encoder(dims, hidden, rng),
+        decoder(dims, hidden, rng),
+        out_proj(hidden, dims, rng) {
+    RegisterModule("encoder", &encoder);
+    RegisterModule("decoder", &decoder);
+    RegisterModule("out_proj", &out_proj);
+  }
+  nn::LstmCell encoder;
+  nn::LstmCell decoder;
+  nn::Linear out_proj;
+};
+
+Rae::Rae(const RaeConfig& config) : config_(config) {
+  CAEE_CHECK_MSG(config_.window >= 2, "window must be >= 2");
+  CAEE_CHECK_MSG(config_.hidden >= 1, "hidden must be >= 1");
+}
+
+Rae::~Rae() = default;
+
+std::vector<ag::Var> Rae::Decode(const Tensor& batch) const {
+  const int64_t b = batch.dim(0), w = batch.dim(1), d = batch.dim(2);
+  const std::vector<ag::Var> inputs = nn::SplitTimeConstant(batch);
+
+  auto apply_skip = [this](std::vector<ag::Var>* history, const ag::Var& h,
+                           int64_t t) -> ag::Var {
+    history->push_back(h);
+    if (skip_.skip <= 0 || t < skip_.skip) return h;
+    if (t < static_cast<int64_t>(skip_.keep.size()) &&
+        !skip_.keep[static_cast<size_t>(t)]) {
+      return h;
+    }
+    const ag::Var& past = (*history)[static_cast<size_t>(t - skip_.skip)];
+    return ag::Scale(ag::Add(h, past), 0.5f);
+  };
+
+  // Encoder.
+  nn::LstmState state = net_->encoder.InitialState(b);
+  std::vector<ag::Var> enc_history;
+  enc_history.reserve(static_cast<size_t>(w));
+  for (int64_t t = 0; t < w; ++t) {
+    state = net_->encoder.Forward(inputs[static_cast<size_t>(t)], state);
+    state.h = apply_skip(&enc_history, state.h, t);
+  }
+
+  // Decoder: reconstruct in reverse order; input is the previous
+  // reconstruction (zeros for the first step).
+  nn::LstmState dec_state{state.h, state.c};
+  std::vector<ag::Var> dec_history;
+  dec_history.reserve(static_cast<size_t>(w));
+  std::vector<ag::Var> outputs;  // outputs[k] reconstructs observation w-1-k
+  outputs.reserve(static_cast<size_t>(w));
+  ag::Var prev = ag::Constant(Tensor(Shape{b, d}));
+  for (int64_t k = 0; k < w; ++k) {
+    dec_state = net_->decoder.Forward(prev, dec_state);
+    dec_state.h = apply_skip(&dec_history, dec_state.h, k);
+    ag::Var recon = net_->out_proj.Forward(dec_state.h);
+    outputs.push_back(recon);
+    prev = recon;
+  }
+  return outputs;
+}
+
+Status Rae::Fit(const ts::TimeSeries& train) {
+  if (train.length() < config_.window) {
+    return Status::InvalidArgument("training series shorter than window");
+  }
+  Stopwatch timer;
+  Rng rng(config_.seed);
+  scaler_.Fit(train);
+  const ts::TimeSeries scaled = scaler_.Transform(train);
+  ts::WindowDataset dataset(scaled, config_.window);
+
+  Rng net_rng = rng.Fork();
+  net_ = std::make_unique<Net>(train.dims(), config_.hidden, &net_rng);
+
+  // Window subsample (evenly spaced) + fixed batches.
+  std::vector<int64_t> indices;
+  if (config_.max_train_windows > 0 &&
+      dataset.num_windows() > config_.max_train_windows) {
+    const double stride = static_cast<double>(dataset.num_windows()) /
+                          static_cast<double>(config_.max_train_windows);
+    for (int64_t i = 0; i < config_.max_train_windows; ++i) {
+      indices.push_back(static_cast<int64_t>(i * stride));
+    }
+  } else {
+    indices.resize(static_cast<size_t>(dataset.num_windows()));
+    for (int64_t i = 0; i < dataset.num_windows(); ++i) {
+      indices[static_cast<size_t>(i)] = i;
+    }
+  }
+  Rng shuffle_rng = rng.Fork();
+  std::vector<size_t> perm = shuffle_rng.Permutation(indices.size());
+  std::vector<Tensor> batches;
+  for (size_t begin = 0; begin < indices.size();
+       begin += static_cast<size_t>(config_.batch_size)) {
+    const size_t end = std::min(indices.size(),
+                                begin + static_cast<size_t>(config_.batch_size));
+    std::vector<int64_t> batch;
+    for (size_t i = begin; i < end; ++i) batch.push_back(indices[perm[i]]);
+    batches.push_back(dataset.GetBatch(batch));
+  }
+
+  optim::Adam optimizer(net_->Parameters(), config_.lr);
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (const Tensor& batch : batches) {
+      const int64_t w = batch.dim(1);
+      const std::vector<ag::Var> targets = nn::SplitTimeConstant(batch);
+      const std::vector<ag::Var> outputs = Decode(batch);
+      ag::Var loss = ag::MseLoss(outputs[0], targets[static_cast<size_t>(w - 1)]);
+      for (int64_t k = 1; k < w; ++k) {
+        loss = ag::Add(loss, ag::MseLoss(outputs[static_cast<size_t>(k)],
+                                         targets[static_cast<size_t>(w - 1 - k)]));
+      }
+      loss = ag::Scale(loss, 1.0f / static_cast<float>(w));
+      optimizer.ZeroGrad();
+      ag::Backward(loss);
+      optim::ClipGradNorm(optimizer.params(), config_.grad_clip);
+      optimizer.Step();
+    }
+  }
+  train_seconds_ = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+std::vector<std::vector<double>> Rae::WindowErrors(const Tensor& batch) const {
+  const int64_t b = batch.dim(0), w = batch.dim(1), d = batch.dim(2);
+  const std::vector<ag::Var> outputs = Decode(batch);
+  std::vector<std::vector<double>> errors(
+      static_cast<size_t>(b), std::vector<double>(static_cast<size_t>(w)));
+  for (int64_t k = 0; k < w; ++k) {
+    const int64_t t = w - 1 - k;  // decoder step k reconstructs position t
+    const Tensor& recon = outputs[static_cast<size_t>(k)]->value();
+    for (int64_t bb = 0; bb < b; ++bb) {
+      double acc = 0.0;
+      for (int64_t j = 0; j < d; ++j) {
+        const double diff =
+            static_cast<double>(batch[(bb * w + t) * d + j]) -
+            recon[bb * d + j];
+        acc += diff * diff;
+      }
+      errors[static_cast<size_t>(bb)][static_cast<size_t>(t)] = acc;
+    }
+  }
+  return errors;
+}
+
+StatusOr<std::vector<double>> Rae::Score(const ts::TimeSeries& series) const {
+  if (!net_) return Status::FailedPrecondition("Score before Fit");
+  if (series.length() < config_.window) {
+    return Status::InvalidArgument("series shorter than window");
+  }
+  if (series.dims() != static_cast<int64_t>(scaler_.mean().size())) {
+    return Status::InvalidArgument("dimensionality mismatch");
+  }
+  const ts::TimeSeries scaled = scaler_.Transform(series);
+  ts::WindowDataset dataset(scaled, config_.window);
+  core::WindowScoreAssembler assembler(dataset.num_windows(), config_.window);
+  for (const auto& batch : dataset.Batches(config_.batch_size)) {
+    const Tensor tensor = dataset.GetBatch(batch);
+    const auto errors = WindowErrors(tensor);
+    for (size_t bi = 0; bi < batch.size(); ++bi) {
+      assembler.AddWindow(batch[bi], errors[bi]);
+    }
+  }
+  return assembler.Finalize();
+}
+
+}  // namespace baselines
+}  // namespace caee

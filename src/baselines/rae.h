@@ -1,0 +1,80 @@
+// Recurrent autoencoder (Malhotra et al., 2016; paper baseline "RAE"):
+// LSTM seq2seq over sliding windows. The encoder consumes the window; the
+// decoder, initialised from the encoder's final state, reconstructs the
+// window in reverse order feeding back its own previous reconstruction.
+// Scores follow the same Fig. 10 window policy as the CAE.
+//
+// The strictly sequential per-timestep loop here is the efficiency foil of
+// Tables 7-8.
+
+#ifndef CAEE_BASELINES_RAE_H_
+#define CAEE_BASELINES_RAE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/linear.h"
+#include "nn/rnn.h"
+#include "ts/scaler.h"
+#include "ts/time_series.h"
+
+namespace caee {
+namespace baselines {
+
+struct RaeConfig {
+  int64_t window = 16;
+  int64_t hidden = 32;
+  int64_t epochs = 8;
+  int64_t batch_size = 64;
+  float lr = 1e-3f;
+  float grad_clip = 5.0f;
+  int64_t max_train_windows = 512;
+  uint64_t seed = 37;
+};
+
+/// \brief Structural randomisation for RAE-Ensemble basic models: a fixed
+/// recurrent skip connection h'_t = (h_t + h_{t-skip}) / 2 applied at
+/// timesteps where `keep[t]` is true (Kieu et al., 2019 drop 20% of the skip
+/// connections at random).
+struct SkipPattern {
+  int64_t skip = 0;  // 0 = no skip connections (plain RAE)
+  std::vector<bool> keep;
+};
+
+class Rae {
+ public:
+  explicit Rae(const RaeConfig& config = {});
+  ~Rae();
+
+  Status Fit(const ts::TimeSeries& train);
+  StatusOr<std::vector<double>> Score(const ts::TimeSeries& series) const;
+
+  double train_seconds() const { return train_seconds_; }
+  const RaeConfig& config() const { return config_; }
+
+  /// \brief Install a skip pattern before Fit (used by RaeEnsemble).
+  void set_skip_pattern(SkipPattern pattern) { skip_ = std::move(pattern); }
+
+ private:
+  friend class RaeEnsembleImpl;
+  struct Net;  // LSTM cells + projection
+
+  /// \brief Per-window, per-original-position squared errors for a batch.
+  std::vector<std::vector<double>> WindowErrors(const Tensor& batch) const;
+
+  /// \brief Encoder/decoder pass returning per-step reconstructions in
+  /// decoder order (reversed time); used by both training and scoring.
+  std::vector<ag::Var> Decode(const Tensor& batch) const;
+
+  RaeConfig config_;
+  SkipPattern skip_;
+  ts::Scaler scaler_;
+  std::unique_ptr<Net> net_;
+  double train_seconds_ = 0.0;
+};
+
+}  // namespace baselines
+}  // namespace caee
+
+#endif  // CAEE_BASELINES_RAE_H_

@@ -1,0 +1,53 @@
+#include "baselines/rae_ensemble.h"
+
+#include "common/stopwatch.h"
+#include "core/scoring.h"
+
+namespace caee {
+namespace baselines {
+
+RaeEnsemble::RaeEnsemble(const RaeEnsembleConfig& config) : config_(config) {
+  CAEE_CHECK_MSG(config_.num_models >= 1, "need at least one model");
+}
+
+Status RaeEnsemble::Fit(const ts::TimeSeries& train) {
+  Stopwatch timer;
+  Rng rng(config_.seed);
+  models_.clear();
+  for (int64_t m = 0; m < config_.num_models; ++m) {
+    RaeConfig cfg = config_.rae;
+    cfg.seed = rng.NextUint64();
+    auto model = std::make_unique<Rae>(cfg);
+
+    // Random structural pattern: skip length in {2, 3, 4}; 20% of the skip
+    // connections dropped.
+    SkipPattern pattern;
+    pattern.skip = rng.UniformInt(2, 4);
+    pattern.keep.resize(static_cast<size_t>(cfg.window));
+    for (auto&& k : pattern.keep) {
+      k = rng.Bernoulli(1.0 - config_.skip_drop_fraction);
+    }
+    model->set_skip_pattern(std::move(pattern));
+
+    CAEE_RETURN_NOT_OK(model->Fit(train));
+    models_.push_back(std::move(model));
+  }
+  train_seconds_ = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+StatusOr<std::vector<double>> RaeEnsemble::Score(
+    const ts::TimeSeries& series) const {
+  if (models_.empty()) return Status::FailedPrecondition("Score before Fit");
+  std::vector<std::vector<double>> per_model;
+  per_model.reserve(models_.size());
+  for (const auto& model : models_) {
+    auto scores = model->Score(series);
+    if (!scores.ok()) return scores.status();
+    per_model.push_back(std::move(scores).value());
+  }
+  return core::MedianAcrossModels(per_model);
+}
+
+}  // namespace baselines
+}  // namespace caee

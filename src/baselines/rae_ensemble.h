@@ -1,0 +1,46 @@
+// Recurrent Autoencoder Ensemble (Kieu et al., IJCAI 2019): M independently
+// trained RAEs whose structures are randomised by per-model recurrent skip
+// connections, with 20% of the skip connections dropped at random (implicit
+// diversity — the foil of the paper's explicit diversity-driven objective).
+// Aggregation: median of per-model reconstruction errors.
+
+#ifndef CAEE_BASELINES_RAE_ENSEMBLE_H_
+#define CAEE_BASELINES_RAE_ENSEMBLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/rae.h"
+
+namespace caee {
+namespace baselines {
+
+struct RaeEnsembleConfig {
+  RaeConfig rae;
+  int64_t num_models = 8;
+  double skip_drop_fraction = 0.2;  // fraction of skip connections removed
+  uint64_t seed = 41;
+};
+
+class RaeEnsemble {
+ public:
+  explicit RaeEnsemble(const RaeEnsembleConfig& config = {});
+
+  Status Fit(const ts::TimeSeries& train);
+
+  /// \brief Median across basic models of the Fig. 10 per-observation scores.
+  StatusOr<std::vector<double>> Score(const ts::TimeSeries& series) const;
+
+  double train_seconds() const { return train_seconds_; }
+  int64_t num_models() const { return static_cast<int64_t>(models_.size()); }
+
+ private:
+  RaeEnsembleConfig config_;
+  std::vector<std::unique_ptr<Rae>> models_;
+  double train_seconds_ = 0.0;
+};
+
+}  // namespace baselines
+}  // namespace caee
+
+#endif  // CAEE_BASELINES_RAE_ENSEMBLE_H_

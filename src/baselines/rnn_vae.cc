@@ -1,0 +1,202 @@
+#include "baselines/rnn_vae.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "core/scoring.h"
+#include "nn/linear.h"
+#include "nn/rnn.h"
+#include "optim/adam.h"
+#include "optim/clip.h"
+#include "ts/window.h"
+
+namespace caee {
+namespace baselines {
+
+struct RnnVae::Net : public nn::Module {
+  Net(int64_t dims, int64_t hidden, int64_t latent, Rng* rng)
+      : encoder(dims, hidden, rng),
+        mu_proj(hidden, latent, rng),
+        logvar_proj(hidden, latent, rng),
+        z_to_h(latent, hidden, rng),
+        decoder(dims, hidden, rng),
+        out_proj(hidden, dims, rng) {
+    RegisterModule("encoder", &encoder);
+    RegisterModule("mu_proj", &mu_proj);
+    RegisterModule("logvar_proj", &logvar_proj);
+    RegisterModule("z_to_h", &z_to_h);
+    RegisterModule("decoder", &decoder);
+    RegisterModule("out_proj", &out_proj);
+  }
+  nn::LstmCell encoder;
+  nn::Linear mu_proj;
+  nn::Linear logvar_proj;
+  nn::Linear z_to_h;
+  nn::LstmCell decoder;
+  nn::Linear out_proj;
+};
+
+namespace {
+
+// z = mu + eps * exp(0.5 * logvar), eps ~ N(0, I) constant w.r.t. the graph.
+ag::Var Reparameterize(const ag::Var& mu, const ag::Var& logvar, Rng* rng) {
+  Tensor eps = Tensor::Randn(mu->value().shape(), rng);
+  ag::Var std = ag::Exp(ag::Scale(logvar, 0.5f));
+  return ag::Add(mu, ag::Mul(std, ag::Constant(eps)));
+}
+
+// KL(N(mu, sigma) || N(0, 1)) = -0.5 * mean(1 + logvar - mu^2 - exp(logvar)).
+ag::Var KlDivergence(const ag::Var& mu, const ag::Var& logvar) {
+  ag::Var ones = ag::Constant(Tensor(mu->value().shape(), 1.0f));
+  ag::Var term = ag::Sub(ag::Add(ones, logvar),
+                         ag::Add(ag::Mul(mu, mu), ag::Exp(logvar)));
+  return ag::Scale(ag::Mean(term), -0.5f);
+}
+
+}  // namespace
+
+RnnVae::RnnVae(const RnnVaeConfig& config) : config_(config) {
+  CAEE_CHECK_MSG(config_.window >= 2, "window must be >= 2");
+}
+
+RnnVae::~RnnVae() = default;
+
+Status RnnVae::Fit(const ts::TimeSeries& train) {
+  if (train.length() < config_.window) {
+    return Status::InvalidArgument("training series shorter than window");
+  }
+  Stopwatch timer;
+  Rng rng(config_.seed);
+  scaler_.Fit(train);
+  const ts::TimeSeries scaled = scaler_.Transform(train);
+  ts::WindowDataset dataset(scaled, config_.window);
+
+  Rng net_rng = rng.Fork();
+  net_ = std::make_unique<Net>(train.dims(), config_.hidden, config_.latent,
+                               &net_rng);
+
+  std::vector<int64_t> indices;
+  if (config_.max_train_windows > 0 &&
+      dataset.num_windows() > config_.max_train_windows) {
+    const double stride = static_cast<double>(dataset.num_windows()) /
+                          static_cast<double>(config_.max_train_windows);
+    for (int64_t i = 0; i < config_.max_train_windows; ++i) {
+      indices.push_back(static_cast<int64_t>(i * stride));
+    }
+  } else {
+    indices.resize(static_cast<size_t>(dataset.num_windows()));
+    for (int64_t i = 0; i < dataset.num_windows(); ++i) {
+      indices[static_cast<size_t>(i)] = i;
+    }
+  }
+  Rng shuffle_rng = rng.Fork();
+  std::vector<size_t> perm = shuffle_rng.Permutation(indices.size());
+  std::vector<Tensor> batches;
+  for (size_t begin = 0; begin < indices.size();
+       begin += static_cast<size_t>(config_.batch_size)) {
+    const size_t end = std::min(indices.size(),
+                                begin + static_cast<size_t>(config_.batch_size));
+    std::vector<int64_t> batch;
+    for (size_t i = begin; i < end; ++i) batch.push_back(indices[perm[i]]);
+    batches.push_back(dataset.GetBatch(batch));
+  }
+
+  Rng train_rng = rng.Fork();
+  optim::Adam optimizer(net_->Parameters(), config_.lr);
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (const Tensor& batch : batches) {
+      const int64_t b = batch.dim(0), w = batch.dim(1), d = batch.dim(2);
+      const std::vector<ag::Var> inputs = nn::SplitTimeConstant(batch);
+
+      nn::LstmState enc = net_->encoder.InitialState(b);
+      for (int64_t t = 0; t < w; ++t) {
+        enc = net_->encoder.Forward(inputs[static_cast<size_t>(t)], enc);
+      }
+      ag::Var mu = net_->mu_proj.Forward(enc.h);
+      ag::Var logvar = net_->logvar_proj.Forward(enc.h);
+      ag::Var z = Reparameterize(mu, logvar, &train_rng);
+
+      nn::LstmState dec{ag::Tanh(net_->z_to_h.Forward(z)),
+                        ag::Constant(Tensor(Shape{b, config_.hidden}))};
+      ag::Var prev = ag::Constant(Tensor(Shape{b, d}));
+      ag::Var recon_loss;
+      for (int64_t t = 0; t < w; ++t) {
+        dec = net_->decoder.Forward(prev, dec);
+        ag::Var out = net_->out_proj.Forward(dec.h);
+        ag::Var step = ag::MseLoss(out, inputs[static_cast<size_t>(t)]);
+        recon_loss = (t == 0) ? step : ag::Add(recon_loss, step);
+        prev = out;
+      }
+      recon_loss = ag::Scale(recon_loss, 1.0f / static_cast<float>(w));
+      ag::Var loss = ag::Add(
+          recon_loss, ag::Scale(KlDivergence(mu, logvar), config_.kl_weight));
+      optimizer.ZeroGrad();
+      ag::Backward(loss);
+      optim::ClipGradNorm(optimizer.params(), config_.grad_clip);
+      optimizer.Step();
+    }
+  }
+  train_seconds_ = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+std::vector<std::vector<double>> RnnVae::WindowErrors(const Tensor& batch,
+                                                      Rng* rng) const {
+  const int64_t b = batch.dim(0), w = batch.dim(1), d = batch.dim(2);
+  const std::vector<ag::Var> inputs = nn::SplitTimeConstant(batch);
+  nn::LstmState enc = net_->encoder.InitialState(b);
+  for (int64_t t = 0; t < w; ++t) {
+    enc = net_->encoder.Forward(inputs[static_cast<size_t>(t)], enc);
+  }
+  // Score with the posterior mean (deterministic inference).
+  ag::Var mu = net_->mu_proj.Forward(enc.h);
+  (void)rng;
+  nn::LstmState dec{ag::Tanh(net_->z_to_h.Forward(mu)),
+                    ag::Constant(Tensor(Shape{b, config_.hidden}))};
+  ag::Var prev = ag::Constant(Tensor(Shape{b, d}));
+  std::vector<std::vector<double>> errors(
+      static_cast<size_t>(b), std::vector<double>(static_cast<size_t>(w)));
+  for (int64_t t = 0; t < w; ++t) {
+    dec = net_->decoder.Forward(prev, dec);
+    ag::Var out = net_->out_proj.Forward(dec.h);
+    const Tensor& recon = out->value();
+    for (int64_t bb = 0; bb < b; ++bb) {
+      double acc = 0.0;
+      for (int64_t j = 0; j < d; ++j) {
+        const double diff =
+            static_cast<double>(batch[(bb * w + t) * d + j]) -
+            recon[bb * d + j];
+        acc += diff * diff;
+      }
+      errors[static_cast<size_t>(bb)][static_cast<size_t>(t)] = acc;
+    }
+    prev = out;
+  }
+  return errors;
+}
+
+StatusOr<std::vector<double>> RnnVae::Score(
+    const ts::TimeSeries& series) const {
+  if (!net_) return Status::FailedPrecondition("Score before Fit");
+  if (series.length() < config_.window) {
+    return Status::InvalidArgument("series shorter than window");
+  }
+  if (series.dims() != static_cast<int64_t>(scaler_.mean().size())) {
+    return Status::InvalidArgument("dimensionality mismatch");
+  }
+  const ts::TimeSeries scaled = scaler_.Transform(series);
+  ts::WindowDataset dataset(scaled, config_.window);
+  core::WindowScoreAssembler assembler(dataset.num_windows(), config_.window);
+  Rng rng(config_.seed ^ 0xABCDEF);
+  for (const auto& batch : dataset.Batches(config_.batch_size)) {
+    const Tensor tensor = dataset.GetBatch(batch);
+    const auto errors = WindowErrors(tensor, &rng);
+    for (size_t bi = 0; bi < batch.size(); ++bi) {
+      assembler.AddWindow(batch[bi], errors[bi]);
+    }
+  }
+  return assembler.Finalize();
+}
+
+}  // namespace baselines
+}  // namespace caee

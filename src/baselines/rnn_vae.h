@@ -1,0 +1,57 @@
+// Variational recurrent autoencoder (Sölch et al., 2016; paper baseline
+// "RNNVAE"): LSTM encoder -> Gaussian latent (reparameterised) -> LSTM
+// decoder reconstructing the window in order. Loss = reconstruction MSE +
+// kl_weight * KL(q(z|x) || N(0, I)). Score = reconstruction error.
+
+#ifndef CAEE_BASELINES_RNN_VAE_H_
+#define CAEE_BASELINES_RNN_VAE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "ts/scaler.h"
+#include "ts/time_series.h"
+
+namespace caee {
+namespace baselines {
+
+struct RnnVaeConfig {
+  int64_t window = 16;
+  int64_t hidden = 32;   // paper uses 64; scaled for CPU budgets
+  int64_t latent = 16;
+  int64_t epochs = 8;
+  int64_t batch_size = 64;
+  float lr = 1e-3f;
+  float kl_weight = 1e-4f;  // paper: regularization 0.0001
+  float grad_clip = 5.0f;
+  int64_t max_train_windows = 512;
+  uint64_t seed = 43;
+};
+
+class RnnVae {
+ public:
+  explicit RnnVae(const RnnVaeConfig& config = {});
+  ~RnnVae();
+
+  Status Fit(const ts::TimeSeries& train);
+  StatusOr<std::vector<double>> Score(const ts::TimeSeries& series) const;
+
+  double train_seconds() const { return train_seconds_; }
+
+ private:
+  struct Net;
+
+  std::vector<std::vector<double>> WindowErrors(const Tensor& batch,
+                                                Rng* rng) const;
+
+  RnnVaeConfig config_;
+  ts::Scaler scaler_;
+  std::unique_ptr<Net> net_;
+  double train_seconds_ = 0.0;
+};
+
+}  // namespace baselines
+}  // namespace caee
+
+#endif  // CAEE_BASELINES_RNN_VAE_H_

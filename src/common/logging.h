@@ -1,0 +1,43 @@
+// Minimal leveled logging to stderr. Intended for library diagnostics;
+// benches and examples print their results to stdout directly.
+
+#ifndef CAEE_COMMON_LOGGING_H_
+#define CAEE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace caee {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Set the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define CAEE_LOG(level) \
+  ::caee::internal::LogMessage(::caee::LogLevel::k##level, __FILE__, __LINE__)
+
+}  // namespace caee
+
+#endif  // CAEE_COMMON_LOGGING_H_

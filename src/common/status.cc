@@ -1,0 +1,51 @@
+#include "common/status.h"
+
+namespace caee {
+
+namespace {
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  out += ": ";
+  out += msg_;
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+namespace internal {
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& extra) {
+  std::cerr << "CAEE_CHECK failed at " << file << ":" << line << ": " << expr;
+  if (!extra.empty()) std::cerr << " — " << extra;
+  std::cerr << std::endl;
+  std::abort();
+}
+}  // namespace internal
+
+}  // namespace caee

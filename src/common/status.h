@@ -1,0 +1,155 @@
+// Status / StatusOr error-handling primitives (RocksDB / Arrow idiom).
+//
+// Library code never throws across public API boundaries; fallible
+// operations return Status (or StatusOr<T> when they produce a value).
+// Internal invariant violations use CAEE_CHECK, which aborts with a message.
+
+#ifndef CAEE_COMMON_STATUS_H_
+#define CAEE_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace caee {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+  kIOError = 6,
+  kUnimplemented = 7,
+};
+
+/// \brief Result of a fallible operation: a code plus a human-readable
+/// message. The default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// \brief Render as "CODE: message" for logs and test failures.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// \brief Either a value of type T or an error Status. Access to the value
+/// of a failed StatusOr aborts, so callers must check ok() first (or use
+/// ValueOrDie in tests).
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
+  StatusOr(T value) : value_(std::move(value)) {}          // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  const T& ValueOrDie() const& { return value(); }
+  T&& ValueOrDie() && { return std::move(*this).value(); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!status_.ok()) {
+      std::cerr << "StatusOr accessed with error: " << status_.ToString()
+                << std::endl;
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& extra);
+}  // namespace internal
+
+#define CAEE_CHECK(expr)                                                \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::caee::internal::CheckFailed(__FILE__, __LINE__, #expr, "");     \
+    }                                                                   \
+  } while (0)
+
+#define CAEE_CHECK_MSG(expr, msg)                                       \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      std::ostringstream caee_oss_;                                     \
+      caee_oss_ << msg; /* NOLINT */                                    \
+      ::caee::internal::CheckFailed(__FILE__, __LINE__, #expr,          \
+                                    caee_oss_.str());                   \
+    }                                                                   \
+  } while (0)
+
+#define CAEE_RETURN_NOT_OK(expr)          \
+  do {                                    \
+    ::caee::Status caee_s_ = (expr);      \
+    if (!caee_s_.ok()) return caee_s_;    \
+  } while (0)
+
+}  // namespace caee
+
+#endif  // CAEE_COMMON_STATUS_H_

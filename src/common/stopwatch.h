@@ -1,0 +1,31 @@
+// Wall-clock stopwatch used by the timing benches (Tables 7 and 8).
+
+#ifndef CAEE_COMMON_STOPWATCH_H_
+#define CAEE_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace caee {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// \brief Elapsed seconds since construction / last Reset.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace caee
+
+#endif  // CAEE_COMMON_STOPWATCH_H_

@@ -1,0 +1,122 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace caee {
+
+namespace {
+std::atomic<size_t> g_parallelism{0};  // 0 = hardware default
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  task_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = [] {
+    size_t n = g_parallelism.load(std::memory_order_relaxed);
+    if (n == 0) {
+      n = std::max<size_t>(1, std::thread::hardware_concurrency());
+    }
+    return new ThreadPool(n);
+  }();
+  return *pool;
+}
+
+void SetGlobalParallelism(size_t threads) {
+  g_parallelism.store(threads, std::memory_order_relaxed);
+}
+
+size_t GetGlobalParallelism() {
+  size_t n = g_parallelism.load(std::memory_order_relaxed);
+  if (n == 0) n = std::max<size_t>(1, std::thread::hardware_concurrency());
+  return n;
+}
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 size_t grain) {
+  if (n == 0) return;
+  const size_t threads = GetGlobalParallelism();
+  if (threads <= 1 || n <= grain) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ParallelForRange(
+      n,
+      [&fn](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) fn(i);
+      },
+      grain);
+}
+
+void ParallelForRange(size_t n,
+                      const std::function<void(size_t, size_t)>& fn,
+                      size_t min_chunk) {
+  if (n == 0) return;
+  const size_t threads = GetGlobalParallelism();
+  if (threads <= 1 || n <= min_chunk) {
+    fn(0, n);
+    return;
+  }
+  ThreadPool& pool = ThreadPool::Global();
+  const size_t chunks = std::min(threads, (n + min_chunk - 1) / min_chunk);
+  const size_t chunk_size = (n + chunks - 1) / chunks;
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t begin = c * chunk_size;
+    const size_t end = std::min(n, begin + chunk_size);
+    if (begin >= end) break;
+    pool.Submit([begin, end, &fn] { fn(begin, end); });
+  }
+  pool.Wait();
+}
+
+}  // namespace caee

@@ -1,0 +1,69 @@
+// Fixed-size thread pool plus a ParallelFor helper.
+//
+// The CAE's efficiency claim rests on convolution being parallel across
+// timestamps / batch elements, unlike the recurrent baselines. ParallelFor is
+// the primitive the tensor kernels use to realise that parallelism on CPU.
+
+#ifndef CAEE_COMMON_THREAD_POOL_H_
+#define CAEE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace caee {
+
+class ThreadPool {
+ public:
+  /// \brief Creates `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Enqueue a task; returns immediately.
+  void Submit(std::function<void()> task);
+
+  /// \brief Block until all submitted tasks have finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// \brief Process-wide pool (lazily created, hardware_concurrency sized).
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;
+  std::condition_variable done_cv_;
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// \brief Run fn(i) for i in [0, n), split into contiguous grains across the
+/// global pool. Falls back to serial execution for small n.
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 size_t grain = 64);
+
+/// \brief Range version: fn(begin, end) per chunk; lower overhead for tight
+/// loops.
+void ParallelForRange(size_t n,
+                      const std::function<void(size_t, size_t)>& fn,
+                      size_t min_chunk = 256);
+
+/// \brief Override the parallelism used by ParallelFor (0 = hardware).
+void SetGlobalParallelism(size_t threads);
+size_t GetGlobalParallelism();
+
+}  // namespace caee
+
+#endif  // CAEE_COMMON_THREAD_POOL_H_

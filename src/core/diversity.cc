@@ -1,0 +1,64 @@
+#include "core/diversity.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace caee {
+namespace core {
+
+namespace {
+double SquaredDistance(const Tensor& a, const Tensor& b) {
+  CAEE_CHECK_MSG(a.SameShape(b), "diversity inputs must share a shape");
+  double acc = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+}  // namespace
+
+double PairwiseDiversity(const Tensor& out_m, const Tensor& out_n) {
+  return std::sqrt(SquaredDistance(out_m, out_n));
+}
+
+double EnsembleDiversity(const std::vector<Tensor>& outputs) {
+  const auto m = static_cast<int64_t>(outputs.size());
+  if (m < 2) return 0.0;
+  double sum = 0.0;
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = i + 1; j < m; ++j) {
+      sum += PairwiseDiversity(outputs[static_cast<size_t>(i)],
+                               outputs[static_cast<size_t>(j)]);
+    }
+  }
+  return 2.0 * sum / (static_cast<double>(m) * (m - 1));
+}
+
+DiversityAccumulator::DiversityAccumulator(int64_t num_models) : m_(num_models) {
+  CAEE_CHECK_MSG(num_models >= 1, "need at least one model");
+  pair_sq_.assign(static_cast<size_t>(m_ * (m_ - 1) / 2), 0.0);
+}
+
+void DiversityAccumulator::AddBatch(const std::vector<Tensor>& outputs) {
+  CAEE_CHECK_MSG(static_cast<int64_t>(outputs.size()) == m_,
+                 "batch must contain one output per model");
+  size_t idx = 0;
+  for (int64_t i = 0; i < m_; ++i) {
+    for (int64_t j = i + 1; j < m_; ++j) {
+      pair_sq_[idx++] += SquaredDistance(outputs[static_cast<size_t>(i)],
+                                         outputs[static_cast<size_t>(j)]);
+    }
+  }
+}
+
+double DiversityAccumulator::Value() const {
+  if (m_ < 2) return 0.0;
+  double sum = 0.0;
+  for (double sq : pair_sq_) sum += std::sqrt(sq);
+  return 2.0 * sum / (static_cast<double>(m_) * (m_ - 1));
+}
+
+}  // namespace core
+}  // namespace caee

@@ -1,0 +1,42 @@
+// Diversity metrics (paper Sec. 3.2.2, Eqs. 9-10) used both inside the
+// training objective and for Table 6's ensemble-diversity quantification.
+
+#ifndef CAEE_CORE_DIVERSITY_H_
+#define CAEE_CORE_DIVERSITY_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace caee {
+namespace core {
+
+/// \brief Eq. 9: DIV_{fm,fn}(X) = ||f_m(X) - f_n(X)||_2.
+double PairwiseDiversity(const Tensor& out_m, const Tensor& out_n);
+
+/// \brief Eq. 10: mean pairwise diversity over all model pairs; inputs are
+/// the M model outputs on the same X. Returns 0 for fewer than 2 models.
+double EnsembleDiversity(const std::vector<Tensor>& outputs);
+
+/// \brief Streaming accumulator for Eq. 10 over many batches: squared
+/// pairwise differences are accumulated batch by batch and the norms are
+/// taken at the end (equivalent to evaluating Eq. 10 on the concatenation).
+class DiversityAccumulator {
+ public:
+  explicit DiversityAccumulator(int64_t num_models);
+
+  /// \brief Add one batch of per-model outputs (size must equal num_models).
+  void AddBatch(const std::vector<Tensor>& outputs);
+
+  /// \brief Current Eq. 10 value.
+  double Value() const;
+
+ private:
+  int64_t m_;
+  std::vector<double> pair_sq_;  // upper-triangle pairwise squared distances
+};
+
+}  // namespace core
+}  // namespace caee
+
+#endif  // CAEE_CORE_DIVERSITY_H_

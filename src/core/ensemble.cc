@@ -1,0 +1,371 @@
+#include "core/ensemble.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "core/diversity.h"
+#include "core/scoring.h"
+#include "optim/adam.h"
+#include "optim/clip.h"
+
+namespace caee {
+namespace core {
+
+CaeEnsemble::CaeEnsemble(const EnsembleConfig& config) : config_(config) {
+  CAEE_CHECK_MSG(config_.num_models >= 1, "need at least one basic model");
+  CAEE_CHECK_MSG(config_.window >= 2, "window must be >= 2");
+  CAEE_CHECK_MSG(config_.beta >= 0.0f && config_.beta <= 1.0f,
+                 "beta must be in [0, 1]");
+  CAEE_CHECK_MSG(config_.epochs_per_model >= 1, "epochs_per_model >= 1");
+}
+
+ts::TimeSeries CaeEnsemble::Preprocess(const ts::TimeSeries& series) const {
+  if (!config_.rescale_enabled) return series;
+  return scaler_.Transform(series);
+}
+
+ag::Var CaeEnsemble::EmbedConstant(const Tensor& batch) const {
+  ag::Var x = embedding_->Forward(ag::Constant(batch));
+  // Snapshot the value; drop the graph (embedding is frozen).
+  return ag::Constant(x->value());
+}
+
+double TransferParameters(const nn::Module& from, nn::Module* to, float beta,
+                          Rng* rng) {
+  auto src = from.NamedParameters();
+  auto dst = to->NamedParameters();
+  CAEE_CHECK_MSG(src.size() == dst.size(),
+                 "models must have identical parameter sets");
+  int64_t copied = 0, total = 0;
+  for (size_t i = 0; i < src.size(); ++i) {
+    CAEE_CHECK_MSG(src[i].first == dst[i].first, "parameter name mismatch");
+    const Tensor& s = src[i].second->value();
+    Tensor& d = dst[i].second->mutable_value();
+    CAEE_CHECK(s.SameShape(d));
+    for (int64_t j = 0; j < s.numel(); ++j) {
+      ++total;
+      if (rng->Bernoulli(beta)) {
+        d[j] = s[j];
+        ++copied;
+      }
+    }
+  }
+  return total > 0 ? static_cast<double>(copied) / total : 0.0;
+}
+
+Status CaeEnsemble::Fit(const ts::TimeSeries& train) {
+  if (train.length() < config_.window) {
+    return Status::InvalidArgument("training series shorter than window");
+  }
+  if (train.dims() < 1) {
+    return Status::InvalidArgument("training series has no dimensions");
+  }
+  Stopwatch timer;
+  Rng rng(config_.seed);
+  models_.clear();
+  stats_ = TrainStats{};
+
+  // Auto-size the embedding from the input dimensionality (D' = 0 means
+  // "pick for me"): wide enough to carry the signal, small enough for CPU
+  // conv budgets.
+  if (config_.cae.embed_dim == 0) {
+    const int64_t d = train.dims();
+    config_.cae.embed_dim = d <= 32 ? 16 : (d <= 96 ? 24 : 32);
+  }
+
+  if (config_.rescale_enabled) scaler_.Fit(train);
+  const ts::TimeSeries scaled =
+      config_.rescale_enabled ? scaler_.Transform(train) : train;
+
+  // Shared frozen embedding (random-features map; see header).
+  Rng embed_rng = rng.Fork();
+  embedding_ = std::make_unique<nn::WindowEmbedding>(
+      train.dims(), config_.cae.embed_dim, config_.window, &embed_rng,
+      config_.embed_obs_act, config_.embed_pos_act);
+  for (auto& [name, var] : embedding_->NamedParameters()) {
+    var->set_requires_grad(false);
+  }
+
+  ts::WindowDataset dataset(scaled, config_.window);
+
+  // Window subset (evenly spaced) when a training cap is configured.
+  std::vector<int64_t> window_indices;
+  if (config_.max_train_windows > 0 &&
+      dataset.num_windows() > config_.max_train_windows) {
+    const double stride = static_cast<double>(dataset.num_windows()) /
+                          static_cast<double>(config_.max_train_windows);
+    for (int64_t i = 0; i < config_.max_train_windows; ++i) {
+      window_indices.push_back(static_cast<int64_t>(i * stride));
+    }
+  } else {
+    window_indices.resize(static_cast<size_t>(dataset.num_windows()));
+    for (int64_t i = 0; i < dataset.num_windows(); ++i) window_indices[i] = i;
+  }
+  if (config_.shuffle) {
+    Rng shuffle_rng = rng.Fork();
+    std::vector<size_t> perm = shuffle_rng.Permutation(window_indices.size());
+    std::vector<int64_t> shuffled(window_indices.size());
+    for (size_t i = 0; i < perm.size(); ++i) {
+      shuffled[i] = window_indices[perm[i]];
+    }
+    window_indices = std::move(shuffled);
+  }
+
+  // Pre-embed all training batches once (the embedding is frozen, so the
+  // embedded windows are training-time constants — this is a large part of
+  // the CAE-Ensemble's efficiency story).
+  std::vector<Tensor> embedded_batches;
+  for (size_t begin = 0; begin < window_indices.size();
+       begin += static_cast<size_t>(config_.batch_size)) {
+    const size_t end = std::min(window_indices.size(),
+                                begin + static_cast<size_t>(config_.batch_size));
+    std::vector<int64_t> batch(window_indices.begin() + begin,
+                               window_indices.begin() + end);
+    embedded_batches.push_back(
+        EmbedConstant(dataset.GetBatch(batch))->value());
+  }
+  const size_t num_batches = embedded_batches.size();
+
+  // Scale for denoising noise: relative to the embedded signal's std so the
+  // configured denoise_std means "fraction of signal scale" regardless of
+  // input dimensionality.
+  double embed_std = 1.0;
+  if (config_.denoise_std > 0.0f && !embedded_batches.empty()) {
+    double sum = 0.0, sq = 0.0;
+    int64_t count = 0;
+    for (const Tensor& batch : embedded_batches) {
+      for (int64_t i = 0; i < batch.numel(); ++i) {
+        sum += batch[i];
+        sq += static_cast<double>(batch[i]) * batch[i];
+        ++count;
+      }
+    }
+    if (count > 0) {
+      const double mean = sum / count;
+      embed_std = std::sqrt(std::max(1e-12, sq / count - mean * mean));
+    }
+  }
+
+  // Running sum of frozen-model outputs per batch, to form F(X) = mean of
+  // previously trained models for the diversity term (Eq. 12).
+  std::vector<Tensor> ensemble_output_sum(num_batches);
+
+  for (int64_t mi = 0; mi < config_.num_models; ++mi) {
+    Rng model_rng = rng.Fork();
+    auto model = std::make_unique<Cae>(config_.cae, &model_rng);
+    if (mi == 0) stats_.parameters_per_model = model->NumParameters();
+
+    if (mi > 0 && config_.transfer_enabled) {
+      Rng transfer_rng = rng.Fork();
+      TransferParameters(*models_.back(), model.get(), config_.beta,
+                         &transfer_rng);
+    }
+
+    optim::Adam optimizer(model->Parameters(), config_.lr);
+    Rng noise_rng = rng.Fork();
+    std::vector<double> epoch_losses;
+    double prev_recon = -1.0;
+    for (int64_t epoch = 0; epoch < config_.epochs_per_model; ++epoch) {
+      double epoch_loss = 0.0;
+      double epoch_recon = 0.0;
+      for (size_t b = 0; b < num_batches; ++b) {
+        ag::Var x = ag::Constant(embedded_batches[b]);
+        ag::Var input = x;
+        if (config_.denoise_std > 0.0f) {
+          const double sigma = config_.denoise_std * embed_std;
+          Tensor noisy = embedded_batches[b];
+          for (int64_t i = 0; i < noisy.numel(); ++i) {
+            noisy[i] += static_cast<float>(noise_rng.Gaussian(0.0, sigma));
+          }
+          input = ag::Constant(std::move(noisy));
+        }
+        ag::Var recon = model->Reconstruct(input);
+        ag::Var loss = ag::MseLoss(recon, x);  // J (Eq. 11), clean target
+        epoch_recon += loss->value()[0];
+        const bool diversity_active =
+            static_cast<double>(epoch) <
+            config_.diversity_epoch_fraction *
+                static_cast<double>(config_.epochs_per_model);
+        if (mi > 0 && config_.diversity_enabled && diversity_active) {
+          Tensor f = ensemble_output_sum[b];
+          for (int64_t i = 0; i < f.numel(); ++i) {
+            f[i] /= static_cast<float>(mi);
+          }
+          ag::Var k = ag::MseLoss(recon, ag::Constant(f));  // K (Eq. 12)
+          const bool capped =
+              config_.diversity_cap_ratio > 0.0f &&
+              k->value()[0] >=
+                  config_.diversity_cap_ratio * loss->value()[0];
+          if (!capped) {
+            loss = ag::Sub(loss, ag::Scale(k, config_.lambda));  // Eq. 13
+          }
+        }
+        epoch_loss += loss->value()[0];
+        optimizer.ZeroGrad();
+        ag::Backward(loss);
+        optim::ClipGradNorm(optimizer.params(), config_.grad_clip);
+        optimizer.Step();
+      }
+      epoch_losses.push_back(epoch_loss / static_cast<double>(num_batches));
+      epoch_recon /= static_cast<double>(num_batches);
+      if (config_.verbose) {
+        CAEE_LOG(Info) << "model " << mi << " epoch " << epoch << " loss "
+                       << epoch_losses.back() << " recon " << epoch_recon;
+      }
+      if (config_.early_stop_rel_tol > 0.0f && prev_recon >= 0.0) {
+        const double improvement =
+            (prev_recon - epoch_recon) / std::max(1e-12, prev_recon);
+        if (improvement < config_.early_stop_rel_tol) {
+          prev_recon = epoch_recon;
+          break;
+        }
+      }
+      prev_recon = epoch_recon;
+    }
+    stats_.per_model_epoch_loss.push_back(std::move(epoch_losses));
+
+    // Freeze the model and fold its outputs into the ensemble mean cache.
+    for (size_t b = 0; b < num_batches; ++b) {
+      ag::Var out =
+          model->Reconstruct(ag::Constant(embedded_batches[b]));
+      if (ensemble_output_sum[b].numel() == 0) {
+        ensemble_output_sum[b] = out->value();
+      } else {
+        for (int64_t i = 0; i < out->value().numel(); ++i) {
+          ensemble_output_sum[b][i] += out->value()[i];
+        }
+      }
+    }
+    models_.push_back(std::move(model));
+  }
+
+  stats_.train_seconds = timer.ElapsedSeconds();
+  fitted_ = true;
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::vector<double>>> CaeEnsemble::PerModelScores(
+    const ts::TimeSeries& series) const {
+  if (!fitted_) return Status::FailedPrecondition("Score before Fit");
+  if (series.length() < config_.window) {
+    return Status::InvalidArgument("series shorter than window");
+  }
+  if (config_.rescale_enabled && series.dims() !=
+      static_cast<int64_t>(scaler_.mean().size())) {
+    return Status::InvalidArgument("series dimensionality mismatch");
+  }
+  const ts::TimeSeries scaled = Preprocess(series);
+  ts::WindowDataset dataset(scaled, config_.window);
+
+  const auto m = models_.size();
+  std::vector<WindowScoreAssembler> assemblers(
+      m, WindowScoreAssembler(dataset.num_windows(), config_.window));
+
+  for (const auto& batch : dataset.Batches(config_.batch_size)) {
+    ag::Var x = EmbedConstant(dataset.GetBatch(batch));
+    for (size_t mi = 0; mi < m; ++mi) {
+      ag::Var recon = models_[mi]->Reconstruct(x);
+      const auto errors = WindowErrors(x->value(), recon->value());
+      for (size_t bi = 0; bi < batch.size(); ++bi) {
+        assemblers[mi].AddWindow(batch[bi], errors[bi]);
+      }
+    }
+  }
+  std::vector<std::vector<double>> per_model;
+  per_model.reserve(m);
+  for (const auto& a : assemblers) per_model.push_back(a.Finalize());
+  return per_model;
+}
+
+StatusOr<std::vector<double>> CaeEnsemble::Score(
+    const ts::TimeSeries& series) const {
+  auto per_model = PerModelScores(series);
+  if (!per_model.ok()) return per_model.status();
+  return MedianAcrossModels(per_model.value());
+}
+
+StatusOr<double> CaeEnsemble::MeanReconstructionError(
+    const ts::TimeSeries& series) const {
+  if (!fitted_) return Status::FailedPrecondition("evaluate before Fit");
+  if (series.length() < config_.window) {
+    return Status::InvalidArgument("series shorter than window");
+  }
+  const ts::TimeSeries scaled = Preprocess(series);
+  ts::WindowDataset dataset(scaled, config_.window);
+  double total = 0.0;
+  int64_t count = 0;
+  for (const auto& batch : dataset.Batches(config_.batch_size)) {
+    ag::Var x = EmbedConstant(dataset.GetBatch(batch));
+    for (const auto& model : models_) {
+      ag::Var recon = model->Reconstruct(x);
+      const Tensor& xv = x->value();
+      const Tensor& rv = recon->value();
+      double acc = 0.0;
+      for (int64_t i = 0; i < xv.numel(); ++i) {
+        const double d = static_cast<double>(xv[i]) - rv[i];
+        acc += d * d;
+      }
+      total += acc / static_cast<double>(xv.numel());
+      ++count;
+    }
+  }
+  return count > 0 ? total / count : 0.0;
+}
+
+StatusOr<double> CaeEnsemble::ScoreWindowLast(const Tensor& window) const {
+  if (!fitted_) return Status::FailedPrecondition("score before Fit");
+  if (window.rank() != 3 || window.dim(0) != 1 ||
+      window.dim(1) != config_.window) {
+    return Status::InvalidArgument("window must be (1, w, D)");
+  }
+  Tensor scaled = window;
+  if (config_.rescale_enabled) {
+    const auto& mean = scaler_.mean();
+    const auto& stddev = scaler_.stddev();
+    if (window.dim(2) != static_cast<int64_t>(mean.size())) {
+      return Status::InvalidArgument("window dimensionality mismatch");
+    }
+    const int64_t d = window.dim(2);
+    for (int64_t t = 0; t < config_.window; ++t) {
+      for (int64_t j = 0; j < d; ++j) {
+        scaled.at(0, t, j) = static_cast<float>(
+            (scaled.at(0, t, j) - mean[static_cast<size_t>(j)]) /
+            stddev[static_cast<size_t>(j)]);
+      }
+    }
+  }
+  ag::Var x = EmbedConstant(scaled);
+  std::vector<double> errors;
+  errors.reserve(models_.size());
+  for (const auto& model : models_) {
+    ag::Var recon = model->Reconstruct(x);
+    const auto batch_errors = WindowErrors(x->value(), recon->value());
+    errors.push_back(batch_errors[0].back());
+  }
+  return Median(std::move(errors));
+}
+
+StatusOr<double> CaeEnsemble::Diversity(const ts::TimeSeries& series) const {
+  if (!fitted_) return Status::FailedPrecondition("evaluate before Fit");
+  if (series.length() < config_.window) {
+    return Status::InvalidArgument("series shorter than window");
+  }
+  const ts::TimeSeries scaled = Preprocess(series);
+  ts::WindowDataset dataset(scaled, config_.window);
+  DiversityAccumulator acc(num_models());
+  for (const auto& batch : dataset.Batches(config_.batch_size)) {
+    ag::Var x = EmbedConstant(dataset.GetBatch(batch));
+    std::vector<Tensor> outputs;
+    outputs.reserve(models_.size());
+    for (const auto& model : models_) {
+      outputs.push_back(model->Reconstruct(x)->value());
+    }
+    acc.AddBatch(outputs);
+  }
+  return acc.Value();
+}
+
+}  // namespace core
+}  // namespace caee

@@ -1,0 +1,150 @@
+// CAE-Ensemble (paper Sec. 3.2): sequentially generated CAE basic models
+// trained with the diversity-driven objective L = J - λ·K (Eq. 13), born-
+// again-style parameter transfer of a random β fraction between consecutive
+// models (Fig. 9), and median aggregation of per-model reconstruction errors
+// (Eq. 15).
+//
+// The window embedding is shared across basic models and fixed after random
+// initialisation (a random-features map), which keeps Algorithm 1's single
+// "X = Embedding(T_windows)" semantics and makes per-model errors
+// comparable; see DESIGN.md "Embedding scope" for the rationale.
+
+#ifndef CAEE_CORE_ENSEMBLE_H_
+#define CAEE_CORE_ENSEMBLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/cae.h"
+#include "nn/embedding.h"
+#include "ts/scaler.h"
+#include "ts/time_series.h"
+#include "ts/window.h"
+
+namespace caee {
+namespace core {
+
+struct EnsembleConfig {
+  CaeConfig cae;
+  int64_t window = 16;           // w
+  int64_t num_models = 8;        // M (paper default: 8)
+  int64_t epochs_per_model = 3;  // n in Sec. 3.2.1 (paper: 50 on GPU)
+  int64_t batch_size = 64;
+  float lr = 1e-3f;              // Adam, paper Sec. 4.1.5
+  float lambda = 0.5f;           // diversity weight λ (Eq. 13; stable range (0,1) under MSE-normalised J/K — see DESIGN.md)
+  float beta = 0.5f;             // parameter-transfer fraction β (Fig. 9)
+  float grad_clip = 5.0f;        // global-norm clip (stability guard)
+  /// Denoising training: Gaussian noise of this stddev (in embedded space)
+  /// is added to the model input each step while the reconstruction target
+  /// stays clean. The CAE of Eq. 6 feeds the encoder state of the SAME
+  /// position into the decoder, so it has no information bottleneck — with
+  /// enough training it converges to the identity map and reconstruction
+  /// errors stop carrying anomaly signal (stuck-sensor anomalies even score
+  /// LOW, being trivially copyable). Denoising restores the manifold-
+  /// projection behaviour reconstruction scoring relies on. 0 disables.
+  float denoise_std = 0.25f;
+  /// Stability guard for Eq. 13: J − λ·K is unbounded below when λ >= 1
+  /// (growing K quadratically beats J), so the −λK term is applied only
+  /// while K < diversity_cap_ratio · J. Models are pushed apart until they
+  /// disagree with the ensemble as much as they disagree with the data,
+  /// then reconstruction takes over. Set <= 0 for the raw (unguarded)
+  /// objective.
+  float diversity_cap_ratio = 1.0f;
+  /// Diversity curriculum: the −λK term is active only during the first
+  /// fraction of each basic model's epochs; the remaining epochs refine
+  /// reconstruction from the diversified starting point. At the paper's 50
+  /// epochs/model the split hardly matters; at CPU-scale epoch budgets it
+  /// keeps late-generation models from being frozen mid-push with degraded
+  /// reconstructions. 1 = diversity active throughout (paper-faithful).
+  float diversity_epoch_fraction = 0.5f;
+  bool diversity_enabled = true; // ablation "No diversity" sets false
+  bool transfer_enabled = true;  // disabled alongside diversity in ablation
+  bool rescale_enabled = true;   // ablation "No re-scaling" sets false
+  /// Activations of the shared (frozen) window embedding. With a fixed
+  /// random-features map, a LINEAR projection preserves distances between
+  /// windows (Johnson-Lindenstrauss), so anomaly signal survives the
+  /// compression; ReLU would zero half the directions. Set to kRelu for the
+  /// trainable-embedding reading of the paper.
+  nn::Activation embed_obs_act = nn::Activation::kIdentity;
+  nn::Activation embed_pos_act = nn::Activation::kIdentity;
+  int64_t max_train_windows = 0; // 0 = use all windows; else subsample evenly
+  bool shuffle = true;
+  /// Early stopping on the per-epoch reconstruction loss J: a model's epoch
+  /// loop ends once the relative improvement drops below this tolerance
+  /// (0 = train exactly epochs_per_model epochs). Combined with parameter
+  /// transfer this is what makes later basic models cheaper to train
+  /// (Table 7's ensemble/single ratio < M).
+  float early_stop_rel_tol = 0.0f;
+  uint64_t seed = 7;
+  bool verbose = false;
+};
+
+struct TrainStats {
+  std::vector<std::vector<double>> per_model_epoch_loss;  // J - λK per epoch
+  double train_seconds = 0.0;
+  int64_t parameters_per_model = 0;
+};
+
+/// \brief Born-again parameter transfer (Fig. 9): copy an element-wise
+/// Bernoulli(beta) mask of `from`'s parameters into `to`. The modules must
+/// have identical parameter sets (same names/shapes). Returns the fraction
+/// of scalars actually copied.
+double TransferParameters(const nn::Module& from, nn::Module* to, float beta,
+                          Rng* rng);
+
+class CaeEnsemble {
+ public:
+  explicit CaeEnsemble(const EnsembleConfig& config);
+
+  /// \brief Train the ensemble on an (unlabeled) series. Labels, if present,
+  /// are ignored. Re-fitting replaces all models.
+  Status Fit(const ts::TimeSeries& train);
+
+  /// \brief Per-observation outlier scores (Eq. 15 median across models,
+  /// Fig. 10 window policy). Requires Fit.
+  StatusOr<std::vector<double>> Score(const ts::TimeSeries& series) const;
+
+  /// \brief Per-model score streams (same policy, no median) — lets callers
+  /// evaluate model-count prefixes (Fig. 16).
+  StatusOr<std::vector<std::vector<double>>> PerModelScores(
+      const ts::TimeSeries& series) const;
+
+  /// \brief Mean reconstruction MSE over all models/windows — the
+  /// unsupervised validation quality score of Algorithm 2.
+  StatusOr<double> MeanReconstructionError(const ts::TimeSeries& series) const;
+
+  /// \brief Ensemble diversity DIV_F (Eq. 10) evaluated on `series`
+  /// (Table 6).
+  StatusOr<double> Diversity(const ts::TimeSeries& series) const;
+
+  /// \brief Score a single raw (1, w, D) window: median across models of the
+  /// last observation's reconstruction error. This is the online-inference
+  /// path measured in Table 8 (see StreamingScorer).
+  StatusOr<double> ScoreWindowLast(const Tensor& window) const;
+
+  bool fitted() const { return fitted_; }
+  int64_t num_models() const { return static_cast<int64_t>(models_.size()); }
+  const EnsembleConfig& config() const { return config_; }
+  const TrainStats& train_stats() const { return stats_; }
+  const Cae& model(int64_t i) const { return *models_[static_cast<size_t>(i)]; }
+
+ private:
+  /// \brief Embed a raw window batch with the frozen shared embedding; the
+  /// result is a constant graph leaf (no gradient bookkeeping).
+  ag::Var EmbedConstant(const Tensor& batch) const;
+
+  /// \brief Preprocess a series per the config (optional z-score transform).
+  ts::TimeSeries Preprocess(const ts::TimeSeries& series) const;
+
+  EnsembleConfig config_;
+  ts::Scaler scaler_;
+  std::unique_ptr<nn::WindowEmbedding> embedding_;
+  std::vector<std::unique_ptr<Cae>> models_;
+  TrainStats stats_;
+  bool fitted_ = false;
+};
+
+}  // namespace core
+}  // namespace caee
+
+#endif  // CAEE_CORE_ENSEMBLE_H_

@@ -1,0 +1,118 @@
+#include "core/hyperparameter.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "ts/window.h"
+
+namespace caee {
+namespace core {
+
+HyperparameterSelector::HyperparameterSelector(SelectorConfig config)
+    : config_(std::move(config)) {
+  CAEE_CHECK_MSG(config_.random_search_trials >= 1,
+                 "need at least one random-search trial");
+  CAEE_CHECK_MSG(!config_.ranges.windows.empty() &&
+                     !config_.ranges.betas.empty() &&
+                     !config_.ranges.lambdas.empty(),
+                 "hyperparameter ranges must be non-empty");
+}
+
+size_t ArgMedianByError(const std::vector<CandidateResult>& candidates) {
+  CAEE_CHECK_MSG(!candidates.empty(), "no candidates");
+  std::vector<size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&candidates](size_t a, size_t b) {
+    return candidates[a].recon_error < candidates[b].recon_error;
+  });
+  return order[(order.size() - 1) / 2];
+}
+
+StatusOr<double> HyperparameterSelector::EvaluateCombination(
+    const ts::TimeSeries& train, const ts::TimeSeries& val, int64_t window,
+    float beta, float lambda, uint64_t seed) {
+  if (train.length() < window || val.length() < window) {
+    return Status::InvalidArgument(
+        "window larger than the train/validation split");
+  }
+  EnsembleConfig cfg = config_.base;
+  cfg.window = window;
+  cfg.beta = beta;
+  cfg.lambda = lambda;
+  cfg.seed = seed;
+  CaeEnsemble ensemble(cfg);
+  CAEE_RETURN_NOT_OK(ensemble.Fit(train));
+  auto err = ensemble.MeanReconstructionError(val);
+  if (!err.ok()) return err.status();
+  return err.value();
+}
+
+StatusOr<SelectionResult> HyperparameterSelector::Select(
+    const ts::TimeSeries& series) {
+  auto [train, val] = ts::TrainValSplit(series, config_.val_fraction);
+  const int64_t max_window =
+      *std::max_element(config_.ranges.windows.begin(),
+                        config_.ranges.windows.end());
+  if (train.length() < max_window || val.length() < max_window) {
+    return Status::InvalidArgument(
+        "series too short for the configured window range");
+  }
+
+  Rng rng(config_.seed);
+  SelectionResult result;
+
+  // Phase 1: random search; default = median-error combination.
+  for (int64_t trial = 0; trial < config_.random_search_trials; ++trial) {
+    CandidateResult c;
+    c.window = config_.ranges.windows[static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(config_.ranges.windows.size()) - 1))];
+    c.beta = config_.ranges.betas[static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(config_.ranges.betas.size()) - 1))];
+    c.lambda = config_.ranges.lambdas[static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(config_.ranges.lambdas.size()) - 1))];
+    auto err = EvaluateCombination(train, val, c.window, c.beta, c.lambda,
+                                   rng.NextUint64());
+    if (!err.ok()) return err.status();
+    c.recon_error = err.value();
+    result.random_search.push_back(c);
+  }
+  result.defaults = result.random_search[ArgMedianByError(result.random_search)];
+
+  // Phase 2: per-hyperparameter median sweeps with the others at defaults.
+  for (int64_t w : config_.ranges.windows) {
+    CandidateResult c{w, result.defaults.beta, result.defaults.lambda, 0.0};
+    auto err = EvaluateCombination(train, val, c.window, c.beta, c.lambda,
+                                   rng.NextUint64());
+    if (!err.ok()) return err.status();
+    c.recon_error = err.value();
+    result.window_sweep.push_back(c);
+  }
+  result.window = result.window_sweep[ArgMedianByError(result.window_sweep)].window;
+
+  for (float b : config_.ranges.betas) {
+    CandidateResult c{result.defaults.window, b, result.defaults.lambda, 0.0};
+    auto err = EvaluateCombination(train, val, c.window, c.beta, c.lambda,
+                                   rng.NextUint64());
+    if (!err.ok()) return err.status();
+    c.recon_error = err.value();
+    result.beta_sweep.push_back(c);
+  }
+  result.beta = result.beta_sweep[ArgMedianByError(result.beta_sweep)].beta;
+
+  for (float l : config_.ranges.lambdas) {
+    CandidateResult c{result.defaults.window, result.defaults.beta, l, 0.0};
+    auto err = EvaluateCombination(train, val, c.window, c.beta, c.lambda,
+                                   rng.NextUint64());
+    if (!err.ok()) return err.status();
+    c.recon_error = err.value();
+    result.lambda_sweep.push_back(c);
+  }
+  result.lambda =
+      result.lambda_sweep[ArgMedianByError(result.lambda_sweep)].lambda;
+
+  return result;
+}
+
+}  // namespace core
+}  // namespace caee

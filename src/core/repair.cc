@@ -1,0 +1,91 @@
+#include "core/repair.h"
+
+#include <algorithm>
+
+namespace caee {
+namespace core {
+
+StatusOr<RepairResult> RepairOutliers(const ts::TimeSeries& series,
+                                      const std::vector<int>& flags,
+                                      RepairStrategy strategy) {
+  if (static_cast<int64_t>(flags.size()) != series.length()) {
+    return Status::InvalidArgument("flags length != series length");
+  }
+  int64_t flagged = 0;
+  for (int f : flags) flagged += (f != 0);
+  if (flagged == series.length() && series.length() > 0) {
+    return Status::InvalidArgument(
+        "every observation flagged; nothing to anchor the repair on");
+  }
+
+  RepairResult result;
+  result.series = series;
+  result.repaired_count = flagged;
+  if (flagged == 0) return result;
+
+  const int64_t n = series.length();
+  const int64_t d = series.dims();
+  ts::TimeSeries& out = result.series;
+
+  // Per-dimension mean over unflagged observations (kMean anchor and the
+  // fallback when an edge has no unflagged neighbour).
+  std::vector<double> mean(static_cast<size_t>(d), 0.0);
+  int64_t clean = 0;
+  for (int64_t t = 0; t < n; ++t) {
+    if (flags[static_cast<size_t>(t)]) continue;
+    ++clean;
+    for (int64_t j = 0; j < d; ++j) {
+      mean[static_cast<size_t>(j)] += series.value(t, j);
+    }
+  }
+  for (auto& m : mean) m /= static_cast<double>(std::max<int64_t>(1, clean));
+
+  for (int64_t t = 0; t < n; ++t) {
+    if (!flags[static_cast<size_t>(t)]) continue;
+    switch (strategy) {
+      case RepairStrategy::kMean: {
+        for (int64_t j = 0; j < d; ++j) {
+          out.value(t, j) = static_cast<float>(mean[static_cast<size_t>(j)]);
+        }
+        break;
+      }
+      case RepairStrategy::kPrevious: {
+        int64_t prev = t - 1;
+        while (prev >= 0 && flags[static_cast<size_t>(prev)]) --prev;
+        for (int64_t j = 0; j < d; ++j) {
+          out.value(t, j) =
+              prev >= 0 ? series.value(prev, j)
+                        : static_cast<float>(mean[static_cast<size_t>(j)]);
+        }
+        break;
+      }
+      case RepairStrategy::kInterpolate: {
+        int64_t prev = t - 1;
+        while (prev >= 0 && flags[static_cast<size_t>(prev)]) --prev;
+        int64_t next = t + 1;
+        while (next < n && flags[static_cast<size_t>(next)]) ++next;
+        for (int64_t j = 0; j < d; ++j) {
+          if (prev >= 0 && next < n) {
+            const double alpha = static_cast<double>(t - prev) /
+                                 static_cast<double>(next - prev);
+            out.value(t, j) = static_cast<float>(
+                (1.0 - alpha) * series.value(prev, j) +
+                alpha * series.value(next, j));
+          } else if (prev >= 0) {
+            out.value(t, j) = series.value(prev, j);
+          } else if (next < n) {
+            out.value(t, j) = series.value(next, j);
+          } else {
+            out.value(t, j) =
+                static_cast<float>(mean[static_cast<size_t>(j)]);
+          }
+        }
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace core
+}  // namespace caee

@@ -1,0 +1,40 @@
+// Outlier repair — the paper's stated future-work direction ("enable
+// unsupervised time series cleaning by repairing detected outliers",
+// Sec. 6). Flagged observations are replaced so downstream consumers see a
+// cleaned series.
+//
+// Strategies:
+//   kInterpolate — linear interpolation between the nearest unflagged
+//                  neighbours (robust default; exact for trends);
+//   kPrevious    — last-observation-carried-forward;
+//   kMean        — per-dimension mean of the unflagged observations.
+
+#ifndef CAEE_CORE_REPAIR_H_
+#define CAEE_CORE_REPAIR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "ts/time_series.h"
+
+namespace caee {
+namespace core {
+
+enum class RepairStrategy { kInterpolate, kPrevious, kMean };
+
+struct RepairResult {
+  ts::TimeSeries series;      // the cleaned series
+  int64_t repaired_count = 0; // observations replaced
+};
+
+/// \brief Replace every observation with flags[t] != 0. The flag vector must
+/// match the series length; a fully-flagged series is rejected (nothing to
+/// anchor the repair on).
+StatusOr<RepairResult> RepairOutliers(const ts::TimeSeries& series,
+                                      const std::vector<int>& flags,
+                                      RepairStrategy strategy);
+
+}  // namespace core
+}  // namespace caee
+
+#endif  // CAEE_CORE_REPAIR_H_

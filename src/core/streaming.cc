@@ -1,0 +1,44 @@
+#include "core/streaming.h"
+
+namespace caee {
+namespace core {
+
+StreamingScorer::StreamingScorer(const CaeEnsemble* ensemble)
+    : ensemble_(ensemble), window_(ensemble->config().window) {
+  CAEE_CHECK_MSG(ensemble_ != nullptr, "null ensemble");
+  CAEE_CHECK_MSG(ensemble_->fitted(), "StreamingScorer needs a fitted ensemble");
+}
+
+StatusOr<std::optional<double>> StreamingScorer::Push(
+    const std::vector<float>& observation) {
+  if (dims_ < 0) {
+    dims_ = static_cast<int64_t>(observation.size());
+    if (dims_ == 0) return Status::InvalidArgument("empty observation");
+  } else if (static_cast<int64_t>(observation.size()) != dims_) {
+    return Status::InvalidArgument("observation dimensionality changed");
+  }
+  ++seen_;
+  buffer_.push_back(observation);
+  if (static_cast<int64_t>(buffer_.size()) > window_) buffer_.pop_front();
+  if (static_cast<int64_t>(buffer_.size()) < window_) {
+    return std::optional<double>{};
+  }
+
+  Tensor window(Shape{1, window_, dims_});
+  for (int64_t t = 0; t < window_; ++t) {
+    const auto& obs = buffer_[static_cast<size_t>(t)];
+    std::copy(obs.begin(), obs.end(), window.data() + t * dims_);
+  }
+  auto score = ensemble_->ScoreWindowLast(window);
+  if (!score.ok()) return score.status();
+  return std::optional<double>(score.value());
+}
+
+void StreamingScorer::Reset() {
+  buffer_.clear();
+  seen_ = 0;
+  dims_ = -1;
+}
+
+}  // namespace core
+}  // namespace caee

@@ -1,0 +1,45 @@
+// Online scoring (paper Sec. 4.2.7, Table 8): whenever a new observation
+// arrives, form a window from it and its w-1 predecessors and return its
+// outlier score. Training happens offline; this path only runs frozen
+// forward passes.
+
+#ifndef CAEE_CORE_STREAMING_H_
+#define CAEE_CORE_STREAMING_H_
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/ensemble.h"
+
+namespace caee {
+namespace core {
+
+class StreamingScorer {
+ public:
+  /// \brief The ensemble must be fitted and outlive the scorer.
+  explicit StreamingScorer(const CaeEnsemble* ensemble);
+
+  /// \brief Feed one raw observation (size == series dims). Returns the
+  /// outlier score of this observation once w observations have been seen;
+  /// std::nullopt while warming up.
+  StatusOr<std::optional<double>> Push(const std::vector<float>& observation);
+
+  int64_t observations_seen() const { return seen_; }
+  bool warm() const { return static_cast<int64_t>(buffer_.size()) == window_; }
+
+  /// \brief Forget all buffered observations.
+  void Reset();
+
+ private:
+  const CaeEnsemble* ensemble_;
+  int64_t window_;
+  int64_t dims_ = -1;
+  int64_t seen_ = 0;
+  std::deque<std::vector<float>> buffer_;
+};
+
+}  // namespace core
+}  // namespace caee
+
+#endif  // CAEE_CORE_STREAMING_H_

@@ -1,0 +1,61 @@
+#include "core/threshold.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "metrics/metrics.h"
+
+namespace caee {
+namespace core {
+
+StatusOr<double> CalibrateThreshold(
+    const std::vector<double>& reference_scores, const ThresholdConfig& config) {
+  if (reference_scores.empty()) {
+    return Status::InvalidArgument("no reference scores to calibrate on");
+  }
+  switch (config.strategy) {
+    case ThresholdStrategy::kTopK: {
+      if (config.top_k_percent < 0.0 || config.top_k_percent > 100.0) {
+        return Status::InvalidArgument("top_k_percent out of [0, 100]");
+      }
+      return metrics::TopKThreshold(reference_scores, config.top_k_percent);
+    }
+    case ThresholdStrategy::kMeanStd: {
+      double mean = 0.0;
+      for (double s : reference_scores) mean += s;
+      mean /= static_cast<double>(reference_scores.size());
+      double var = 0.0;
+      for (double s : reference_scores) var += (s - mean) * (s - mean);
+      var /= static_cast<double>(reference_scores.size());
+      return mean + config.std_factor * std::sqrt(var);
+    }
+    case ThresholdStrategy::kQuantile: {
+      if (config.quantile < 0.0 || config.quantile > 1.0) {
+        return Status::InvalidArgument("quantile out of [0, 1]");
+      }
+      std::vector<double> sorted = reference_scores;
+      std::sort(sorted.begin(), sorted.end());
+      const auto idx = static_cast<size_t>(
+          std::min<double>(static_cast<double>(sorted.size() - 1),
+                           config.quantile * static_cast<double>(sorted.size())));
+      return sorted[idx];
+    }
+    case ThresholdStrategy::kMaxRef: {
+      return *std::max_element(reference_scores.begin(),
+                               reference_scores.end());
+    }
+  }
+  return Status::Internal("unknown threshold strategy");
+}
+
+std::vector<int> ApplyThreshold(const std::vector<double>& scores,
+                                double threshold) {
+  std::vector<int> flags(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    flags[i] = scores[i] > threshold ? 1 : 0;
+  }
+  return flags;
+}
+
+}  // namespace core
+}  // namespace caee

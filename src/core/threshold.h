@@ -1,0 +1,41 @@
+// Adaptive threshold selection (the "Adaptive Threshold" stage of the
+// paper's Fig. 8). All strategies calibrate on scores from (unlabeled)
+// reference data — typically the training series — so no ground truth is
+// needed.
+
+#ifndef CAEE_CORE_THRESHOLD_H_
+#define CAEE_CORE_THRESHOLD_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace caee {
+namespace core {
+
+enum class ThresholdStrategy {
+  kTopK,      // flag the top K% of reference scores (paper Sec. 4.2.2)
+  kMeanStd,   // mean + k * std of reference scores
+  kQuantile,  // a fixed reference quantile (e.g. 0.99)
+  kMaxRef,    // strictly above the maximum reference score
+};
+
+struct ThresholdConfig {
+  ThresholdStrategy strategy = ThresholdStrategy::kTopK;
+  double top_k_percent = 5.0;  // kTopK: expected outlier ratio
+  double std_factor = 3.0;     // kMeanStd: k
+  double quantile = 0.99;      // kQuantile
+};
+
+/// \brief Calibrate a threshold from reference scores (must be non-empty).
+StatusOr<double> CalibrateThreshold(const std::vector<double>& reference_scores,
+                                    const ThresholdConfig& config);
+
+/// \brief Apply a threshold: flags[i] = scores[i] > threshold.
+std::vector<int> ApplyThreshold(const std::vector<double>& scores,
+                                double threshold);
+
+}  // namespace core
+}  // namespace caee
+
+#endif  // CAEE_CORE_THRESHOLD_H_

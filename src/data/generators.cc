@@ -1,0 +1,250 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace caee {
+namespace data {
+
+namespace {
+
+// Builds the anomaly-free signal for `length` steps starting at time offset
+// `t0` so train and test are one continuous process.
+ts::TimeSeries BaseSignal(const SyntheticProfile& p, Rng* rng, int64_t t0,
+                          int64_t length) {
+  const int64_t d = p.dims;
+  const int64_t l = p.num_latents;
+
+  // Latent factor parameters (deterministic given the profile's fork of rng).
+  std::vector<double> latent_period(static_cast<size_t>(l));
+  std::vector<double> latent_phase(static_cast<size_t>(l));
+  std::vector<double> latent_amp(static_cast<size_t>(l));
+  for (int64_t i = 0; i < l; ++i) {
+    latent_period[i] = p.period_base * rng->Uniform(0.7, 1.8);
+    latent_phase[i] = rng->Uniform(0.0, 2.0 * M_PI);
+    latent_amp[i] = rng->Uniform(0.6, 1.4);
+  }
+  // Per-dimension loadings and harmonics.
+  std::vector<std::vector<double>> loading(static_cast<size_t>(d));
+  std::vector<double> dim_period(static_cast<size_t>(d));
+  std::vector<double> dim_phase(static_cast<size_t>(d));
+  std::vector<double> dim_amp(static_cast<size_t>(d));
+  std::vector<double> dim_offset(static_cast<size_t>(d));
+  std::vector<bool> dim_flat(static_cast<size_t>(d));
+  for (int64_t j = 0; j < d; ++j) {
+    loading[j].resize(static_cast<size_t>(l));
+    for (int64_t i = 0; i < l; ++i) {
+      loading[j][i] = rng->Gaussian(0.0, p.latent_weight / std::sqrt(double(l)));
+    }
+    dim_period[j] = p.period_base * rng->Uniform(0.4, 1.2);
+    dim_phase[j] = rng->Uniform(0.0, 2.0 * M_PI);
+    dim_amp[j] = rng->Uniform(0.3, 1.0);
+    dim_offset[j] = rng->Gaussian(0.0, 2.0);
+    dim_flat[j] = rng->Bernoulli(p.flat_fraction);
+  }
+  // Operating-mode regimes: per (dim, mode) offset and amplitude multiplier.
+  const int64_t modes = std::max<int64_t>(1, p.num_modes);
+  std::vector<std::vector<double>> mode_offset(static_cast<size_t>(d));
+  std::vector<std::vector<double>> mode_amp(static_cast<size_t>(d));
+  for (int64_t j = 0; j < d; ++j) {
+    mode_offset[j].resize(static_cast<size_t>(modes));
+    mode_amp[j].resize(static_cast<size_t>(modes));
+    for (int64_t m = 0; m < modes; ++m) {
+      mode_offset[j][m] = m == 0 ? 0.0 : rng->Gaussian(0.0, 1.5);
+      mode_amp[j][m] = m == 0 ? 1.0 : rng->Uniform(0.5, 1.5);
+    }
+  }
+
+  ts::TimeSeries series(length, d);
+  std::vector<double> level(static_cast<size_t>(d), 0.0);
+  // Mode transitions ramp over ~kModeRamp steps: smooth enough for a
+  // temporal model to follow, yet passing through density-sparse corridors
+  // between the mode clusters (the effect that hurts per-observation
+  // density estimators on real telemetry).
+  constexpr int64_t kModeRamp = 24;
+  int64_t mode = 0;
+  int64_t prev_mode = 0;
+  int64_t ramp_left = 0;
+  for (int64_t step = 0; step < length; ++step) {
+    const double t = static_cast<double>(t0 + step);
+    if (modes > 1 && ramp_left == 0 && rng->Bernoulli(1.0 / p.mode_period)) {
+      prev_mode = mode;
+      mode = rng->UniformInt(0, modes - 1);
+      if (mode != prev_mode) ramp_left = kModeRamp;
+    }
+    double blend = 1.0;  // weight of the current mode
+    if (ramp_left > 0) {
+      blend = 1.0 - static_cast<double>(ramp_left) / kModeRamp;
+      --ramp_left;
+    }
+    // Latent values this step.
+    std::vector<double> latent(static_cast<size_t>(l));
+    for (int64_t i = 0; i < l; ++i) {
+      latent[i] = latent_amp[i] *
+                  std::sin(2.0 * M_PI * t / latent_period[i] + latent_phase[i]);
+    }
+    for (int64_t j = 0; j < d; ++j) {
+      const double m_off =
+          blend * mode_offset[j][static_cast<size_t>(mode)] +
+          (1.0 - blend) * mode_offset[j][static_cast<size_t>(prev_mode)];
+      const double m_amp =
+          blend * mode_amp[j][static_cast<size_t>(mode)] +
+          (1.0 - blend) * mode_amp[j][static_cast<size_t>(prev_mode)];
+      double v = dim_offset[j] + level[j] + p.drift * t / 1000.0 + m_off;
+      if (!dim_flat[j]) {
+        double wave = 0.0;
+        for (int64_t i = 0; i < l; ++i) wave += loading[j][i] * latent[i];
+        for (int h = 1; h <= p.harmonics; ++h) {
+          wave += dim_amp[j] / (1.0 + h) *
+                  std::sin(2.0 * M_PI * h * t / dim_period[j] + dim_phase[j]);
+        }
+        v += m_amp * wave;
+      }
+      v += p.noise * rng->Gaussian();
+      series.value(step, j) = static_cast<float>(v);
+      // Legitimate (non-anomalous) level regime changes.
+      if (p.level_step_prob > 0.0 && rng->Bernoulli(p.level_step_prob)) {
+        level[j] += rng->Gaussian(0.0, 0.5);
+      }
+    }
+  }
+  return series;
+}
+
+int64_t Scaled(int64_t base, double scale) {
+  return std::max<int64_t>(256, static_cast<int64_t>(base * scale));
+}
+
+}  // namespace
+
+ts::Dataset Generate(const SyntheticProfile& p) {
+  Rng rng(p.seed);
+  ts::Dataset ds;
+  ds.name = p.name;
+
+  if (p.train_equals_test) {
+    // ECG protocol: one series used for both phases; labels evaluated only.
+    Rng signal_rng = rng.Fork();
+    ts::TimeSeries series = BaseSignal(p, &signal_rng, 0, p.test_length);
+    Rng inject_rng = rng.Fork();
+    InjectAnomalyMix(&series, &inject_rng, p.outlier_ratio, p.mix);
+    ds.train = series;  // training ignores the labels
+    ds.test = std::move(series);
+    return ds;
+  }
+
+  // Shared generator parameters => train/test are one continuous process.
+  // (BaseSignal consumes rng draws per step, so generate jointly.)
+  Rng signal_rng = rng.Fork();
+  ts::TimeSeries joint =
+      BaseSignal(p, &signal_rng, 0, p.train_length + p.test_length);
+  auto train = joint.Slice(0, p.train_length);
+  auto test = joint.Slice(p.train_length, p.train_length + p.test_length);
+  CAEE_CHECK(train.ok() && test.ok());
+  ds.train = std::move(train).value();
+  ds.test = std::move(test).value();
+
+  Rng inject_rng = rng.Fork();
+  InjectAnomalyMix(&ds.test, &inject_rng, p.outlier_ratio, p.mix);
+  return ds;
+}
+
+SyntheticProfile EcgProfile(double scale, uint64_t seed) {
+  SyntheticProfile p;
+  p.name = "ECG";
+  p.dims = 2;
+  p.train_length = Scaled(2500, scale);
+  p.test_length = Scaled(2500, scale);
+  p.outlier_ratio = 0.0488;
+  p.num_latents = 2;
+  p.latent_weight = 0.8;
+  p.period_base = 40.0;  // heartbeat-like periodicity
+  p.harmonics = 3;
+  p.noise = 0.06;
+  p.mix = {0.15, 0.0, 0.45, 0.4, 0.0};  // arrhythmia: collective + replayed beats
+  p.train_equals_test = true;
+  p.seed = seed;
+  return p;
+}
+
+SyntheticProfile SmdProfile(double scale, uint64_t seed) {
+  SyntheticProfile p;
+  p.name = "SMD";
+  p.dims = 38;
+  p.train_length = Scaled(4000, scale);
+  p.test_length = Scaled(4000, scale);
+  p.outlier_ratio = 0.0416;
+  p.num_latents = 4;
+  p.latent_weight = 0.7;
+  p.period_base = 200.0;  // daily server-load cycle
+  p.harmonics = 2;
+  p.noise = 0.1;
+  p.num_modes = 2;            // load regimes (deployments, config changes)
+  p.mode_period = 400.0;
+  p.mix = {0.1, 0.15, 0.1, 0.35, 0.3};  // spikes, level shifts, stuck gauges
+  p.seed = seed;
+  return p;
+}
+
+SyntheticProfile MslProfile(double scale, uint64_t seed) {
+  SyntheticProfile p;
+  p.name = "MSL";
+  p.dims = 55;
+  p.train_length = Scaled(3000, scale);
+  p.test_length = Scaled(3500, scale);
+  p.outlier_ratio = 0.0917;
+  p.num_latents = 2;
+  p.latent_weight = 0.9;
+  p.period_base = 100.0;
+  p.harmonics = 1;
+  p.noise = 0.06;
+  p.flat_fraction = 0.2;    // near-constant telemetry channels
+  p.num_modes = 2;          // spacecraft command modes
+  p.mode_period = 500.0;
+  p.mix = {0.05, 0.1, 0.25, 0.35, 0.25};  // command-triggered interval anomalies
+  p.seed = seed;
+  return p;
+}
+
+SyntheticProfile SmapProfile(double scale, uint64_t seed) {
+  SyntheticProfile p;
+  p.name = "SMAP";
+  p.dims = 25;
+  p.train_length = Scaled(3000, scale);
+  p.test_length = Scaled(4000, scale);
+  p.outlier_ratio = 0.1227;
+  p.num_latents = 2;
+  p.latent_weight = 0.9;
+  p.period_base = 120.0;  // orbital cycles
+  p.harmonics = 1;
+  p.noise = 0.07;
+  p.drift = 0.15;           // slow seasonal drift
+  p.flat_fraction = 0.1;
+  p.num_modes = 2;          // observation modes
+  p.mode_period = 500.0;
+  p.mix = {0.05, 0.1, 0.15, 0.45, 0.25};
+  p.seed = seed;
+  return p;
+}
+
+SyntheticProfile WadiProfile(double scale, uint64_t seed) {
+  SyntheticProfile p;
+  p.name = "WADI";
+  p.dims = 127;
+  p.train_length = Scaled(2500, scale);
+  p.test_length = Scaled(3000, scale);
+  p.outlier_ratio = 0.0576;
+  p.num_latents = 5;
+  p.latent_weight = 0.9;  // strongly correlated hydraulic network
+  p.period_base = 250.0;  // daily demand cycle
+  p.num_modes = 2;        // demand regimes
+  p.mode_period = 400.0;
+  p.harmonics = 2;
+  p.noise = 0.07;
+  p.mix = {0.05, 0.2, 0.05, 0.45, 0.25};  // intrusions: replayed/frozen readings
+  p.seed = seed;
+  return p;
+}
+
+}  // namespace data
+}  // namespace caee

@@ -1,0 +1,326 @@
+#include "data/injectors.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace caee {
+namespace data {
+
+namespace {
+
+// Per-dimension robust scale estimate so injection magnitudes are expressed
+// in "sigmas" of the host series.
+std::vector<double> DimScales(const ts::TimeSeries& series) {
+  const int64_t n = series.length();
+  const int64_t d = series.dims();
+  std::vector<double> mean(static_cast<size_t>(d), 0.0);
+  std::vector<double> scale(static_cast<size_t>(d), 1.0);
+  if (n == 0) return scale;
+  for (int64_t t = 0; t < n; ++t) {
+    const float* row = series.row(t);
+    for (int64_t j = 0; j < d; ++j) mean[static_cast<size_t>(j)] += row[j];
+  }
+  for (auto& m : mean) m /= static_cast<double>(n);
+  std::vector<double> var(static_cast<size_t>(d), 0.0);
+  for (int64_t t = 0; t < n; ++t) {
+    const float* row = series.row(t);
+    for (int64_t j = 0; j < d; ++j) {
+      const double diff = row[j] - mean[static_cast<size_t>(j)];
+      var[static_cast<size_t>(j)] += diff * diff;
+    }
+  }
+  for (int64_t j = 0; j < d; ++j) {
+    const double v = var[static_cast<size_t>(j)] / static_cast<double>(n);
+    scale[static_cast<size_t>(j)] = v > 1e-12 ? std::sqrt(v) : 1.0;
+  }
+  return scale;
+}
+
+// Sample a fraction of the dimensions, restricted to "informative" ones
+// (scale above ~30% of the median scale): injecting a contextual anomaly
+// into a near-constant channel produces unlabelled-noise-level signal and
+// would make the ground truth partially undetectable by construction.
+std::vector<int64_t> PickDims(Rng* rng, int64_t dims, double fraction,
+                              const std::vector<double>& scales) {
+  std::vector<int64_t> informative;
+  if (!scales.empty()) {
+    std::vector<double> sorted = scales;
+    std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                     sorted.end());
+    const double threshold = 0.3 * sorted[sorted.size() / 2];
+    for (int64_t j = 0; j < dims; ++j) {
+      if (scales[static_cast<size_t>(j)] >= threshold) {
+        informative.push_back(j);
+      }
+    }
+  }
+  if (informative.empty()) {
+    informative.resize(static_cast<size_t>(dims));
+    for (int64_t j = 0; j < dims; ++j) {
+      informative[static_cast<size_t>(j)] = j;
+    }
+  }
+  const auto pool = static_cast<int64_t>(informative.size());
+  const int64_t k = std::min<int64_t>(
+      pool, std::max<int64_t>(
+                1, static_cast<int64_t>(std::llround(fraction * dims))));
+  std::vector<size_t> chosen = rng->SampleWithoutReplacement(
+      static_cast<size_t>(pool), static_cast<size_t>(k));
+  std::vector<int64_t> out;
+  out.reserve(chosen.size());
+  for (size_t c : chosen) out.push_back(informative[c]);
+  return out;
+}
+
+}  // namespace
+
+void InjectSpike(ts::TimeSeries* series, Rng* rng, int64_t t, double magnitude,
+                 double dims_fraction) {
+  CAEE_CHECK(t >= 0 && t < series->length());
+  const std::vector<double> scales = DimScales(*series);
+  for (int64_t j : PickDims(rng, series->dims(), dims_fraction, scales)) {
+    const double sign = rng->Bernoulli(0.5) ? 1.0 : -1.0;
+    series->value(t, j) += static_cast<float>(
+        sign * magnitude * scales[static_cast<size_t>(j)]);
+  }
+  series->set_label(t, 1);
+}
+
+void InjectLevelShift(ts::TimeSeries* series, Rng* rng, int64_t begin,
+                      int64_t length, double magnitude, double dims_fraction) {
+  CAEE_CHECK(begin >= 0 && begin + length <= series->length());
+  const std::vector<double> scales = DimScales(*series);
+  const std::vector<int64_t> dims =
+      PickDims(rng, series->dims(), dims_fraction, scales);
+  std::vector<double> shift(dims.size());
+  for (size_t i = 0; i < dims.size(); ++i) {
+    const double sign = rng->Bernoulli(0.5) ? 1.0 : -1.0;
+    shift[i] = sign * magnitude * scales[static_cast<size_t>(dims[i])];
+  }
+  for (int64_t t = begin; t < begin + length; ++t) {
+    for (size_t i = 0; i < dims.size(); ++i) {
+      series->value(t, dims[i]) += static_cast<float>(shift[i]);
+    }
+    series->set_label(t, 1);
+  }
+}
+
+void InjectCollectiveInterval(ts::TimeSeries* series, Rng* rng, int64_t begin,
+                              int64_t length, int64_t peak_count,
+                              double peak_magnitude, double base_magnitude) {
+  CAEE_CHECK(begin >= 0 && begin + length <= series->length());
+  CAEE_CHECK_MSG(length >= 1, "interval must be non-empty");
+  const std::vector<double> scales = DimScales(*series);
+  const std::vector<int64_t> dims =
+      PickDims(rng, series->dims(), 0.5, scales);
+
+  // Mild deviation across the whole labelled interval.
+  for (int64_t t = begin; t < begin + length; ++t) {
+    for (int64_t j : dims) {
+      series->value(t, j) += static_cast<float>(
+          base_magnitude * scales[static_cast<size_t>(j)] *
+          rng->Gaussian(0.0, 1.0));
+    }
+    series->set_label(t, 1);
+  }
+  // A few strongly deviating core observations (the "real" outliers).
+  peak_count = std::min<int64_t>(std::max<int64_t>(1, peak_count), length);
+  std::vector<size_t> offsets = rng->SampleWithoutReplacement(
+      static_cast<size_t>(length), static_cast<size_t>(peak_count));
+  for (size_t off : offsets) {
+    const int64_t t = begin + static_cast<int64_t>(off);
+    for (int64_t j : dims) {
+      const double sign = rng->Bernoulli(0.5) ? 1.0 : -1.0;
+      series->value(t, j) += static_cast<float>(
+          sign * peak_magnitude * scales[static_cast<size_t>(j)]);
+    }
+  }
+}
+
+void InjectPhaseShift(ts::TimeSeries* series, Rng* rng, int64_t begin,
+                      int64_t length, int64_t shift, double dims_fraction) {
+  CAEE_CHECK(begin >= shift && begin + length <= series->length());
+  CAEE_CHECK_MSG(shift >= 1, "shift must be >= 1");
+  const std::vector<double> scales = DimScales(*series);
+  const std::vector<int64_t> dims =
+      PickDims(rng, series->dims(), dims_fraction, scales);
+  // Copy from a snapshot so overlapping source/target ranges stay clean.
+  std::vector<float> source(static_cast<size_t>(length * series->dims()));
+  for (int64_t t = 0; t < length; ++t) {
+    const float* row = series->row(begin - shift + t);
+    std::copy(row, row + series->dims(),
+              source.data() + t * series->dims());
+  }
+  for (int64_t t = 0; t < length; ++t) {
+    for (int64_t j : dims) {
+      series->value(begin + t, j) =
+          source[static_cast<size_t>(t * series->dims() + j)];
+    }
+    series->set_label(begin + t, 1);
+  }
+}
+
+void InjectStuckSensor(ts::TimeSeries* series, Rng* rng, int64_t begin,
+                       int64_t length, double dims_fraction) {
+  CAEE_CHECK(begin >= 0 && begin + length <= series->length());
+  const std::vector<double> scales = DimScales(*series);
+  const std::vector<int64_t> dims =
+      PickDims(rng, series->dims(), dims_fraction, scales);
+  const int64_t anchor = begin > 0 ? begin - 1 : begin;
+  std::vector<float> frozen(dims.size());
+  for (size_t i = 0; i < dims.size(); ++i) {
+    frozen[i] = series->value(anchor, dims[i]);
+  }
+  for (int64_t t = begin; t < begin + length; ++t) {
+    for (size_t i = 0; i < dims.size(); ++i) {
+      series->value(t, dims[i]) = static_cast<float>(
+          frozen[i] +
+          0.02 * scales[static_cast<size_t>(dims[i])] * rng->Gaussian());
+    }
+    series->set_label(t, 1);
+  }
+}
+
+double InjectAnomalyMix(ts::TimeSeries* series, Rng* rng, double target_ratio,
+                        const AnomalyMix& mix) {
+  CAEE_CHECK_MSG(target_ratio >= 0.0 && target_ratio < 0.5,
+                 "target_ratio must be in [0, 0.5)");
+  const int64_t n = series->length();
+  series->EnableLabels();
+  const auto target =
+      static_cast<int64_t>(std::llround(target_ratio * static_cast<double>(n)));
+  if (target == 0) return 0.0;
+
+  std::vector<uint8_t> occupied(static_cast<size_t>(n), 0);
+  auto claim = [&occupied, n](int64_t begin, int64_t length) {
+    if (begin < 0 || begin + length > n) return false;
+    // Require one observation of slack on each side so intervals are
+    // separable.
+    const int64_t lo = std::max<int64_t>(0, begin - 1);
+    const int64_t hi = std::min<int64_t>(n, begin + length + 1);
+    for (int64_t t = lo; t < hi; ++t) {
+      if (occupied[static_cast<size_t>(t)]) return false;
+    }
+    for (int64_t t = begin; t < begin + length; ++t) {
+      occupied[static_cast<size_t>(t)] = 1;
+    }
+    return true;
+  };
+
+  const double mix_total = mix.point + mix.level_shift + mix.collective +
+                           mix.phase_shift + mix.stuck;
+  CAEE_CHECK_MSG(mix_total > 0.0, "anomaly mix must have a positive share");
+  auto budget = [&](double share) {
+    return static_cast<int64_t>(std::llround(share / mix_total * target));
+  };
+  const int64_t point_budget = budget(mix.point);
+  const int64_t shift_budget = budget(mix.level_shift);
+  const int64_t collective_budget = budget(mix.collective);
+  const int64_t phase_budget = budget(mix.phase_shift);
+
+  int64_t labelled = 0;
+  int attempts = 0;
+  const int kMaxAttempts = 100000;
+
+  // Point anomalies (marginal spikes).
+  while (labelled < point_budget && attempts++ < kMaxAttempts) {
+    const int64_t t = rng->UniformInt(0, n - 1);
+    if (!claim(t, 1)) continue;
+    InjectSpike(series, rng, t, rng->Uniform(2.5, 4.5));
+    ++labelled;
+  }
+  // Level shifts.
+  while (labelled < point_budget + shift_budget && attempts++ < kMaxAttempts) {
+    const int64_t len = rng->UniformInt(10, 30);
+    const int64_t begin = rng->UniformInt(0, std::max<int64_t>(0, n - len));
+    if (!claim(begin, len)) continue;
+    InjectLevelShift(series, rng, begin, len, rng->Uniform(1.0, 2.0));
+    labelled += len;
+  }
+  // Collective intervals (interval labels, few strong peaks).
+  while (labelled < point_budget + shift_budget + collective_budget &&
+         attempts++ < kMaxAttempts) {
+    const int64_t len = rng->UniformInt(8, 25);
+    const int64_t begin = rng->UniformInt(0, std::max<int64_t>(0, n - len));
+    if (!claim(begin, len)) continue;
+    const int64_t peaks = std::max<int64_t>(1, len / 8);
+    InjectCollectiveInterval(series, rng, begin, len, peaks,
+                             rng->Uniform(3.0, 5.0), 0.3);
+    labelled += len;
+  }
+  // Detectability guard: an injected contextual anomaly must actually
+  // change the data. Replays whose shift lands near the signal's period and
+  // freezes of naturally-flat stretches replace values with near-identical
+  // ones — such labels would be undetectable by construction and only add
+  // label noise. Guard threshold: mean squared change of at least
+  // kMinChange x the series' mean variance.
+  const std::vector<double> scales = DimScales(*series);
+  double mean_var = 0.0;
+  for (double sc : scales) mean_var += sc * sc;
+  mean_var /= std::max<size_t>(1, scales.size());
+  const double kMinChange = 0.4;
+
+  auto segment_change = [&](int64_t begin, int64_t len,
+                            int64_t source_begin) {
+    // Mean squared difference between the segment and its replacement
+    // source (replay) over all dims.
+    double acc = 0.0;
+    for (int64_t t = 0; t < len; ++t) {
+      const float* a = series->row(begin + t);
+      const float* b = series->row(source_begin + t);
+      for (int64_t j = 0; j < series->dims(); ++j) {
+        const double d = static_cast<double>(a[j]) - b[j];
+        acc += d * d;
+      }
+    }
+    return acc / (static_cast<double>(len) * series->dims());
+  };
+  auto segment_variance = [&](int64_t begin, int64_t len) {
+    // Mean squared deviation from the segment's first observation — what a
+    // stuck-sensor freeze would erase.
+    double acc = 0.0;
+    const float* first = series->row(begin);
+    for (int64_t t = 1; t < len; ++t) {
+      const float* a = series->row(begin + t);
+      for (int64_t j = 0; j < series->dims(); ++j) {
+        const double d = static_cast<double>(a[j]) - first[j];
+        acc += d * d;
+      }
+    }
+    return acc / (static_cast<double>(std::max<int64_t>(1, len - 1)) *
+                  series->dims());
+  };
+
+  // Contextual: phase shifts (replays).
+  while (labelled <
+             point_budget + shift_budget + collective_budget + phase_budget &&
+         attempts++ < kMaxAttempts) {
+    const int64_t len = rng->UniformInt(12, 32);
+    const int64_t shift = rng->UniformInt(len / 2, len * 2);
+    const int64_t begin =
+        rng->UniformInt(shift, std::max<int64_t>(shift, n - len));
+    if (begin + len > n) continue;
+    if (segment_change(begin, len, begin - shift) < kMinChange * mean_var) {
+      continue;  // replay would be a self-similar no-op
+    }
+    if (!claim(begin, len)) continue;
+    InjectPhaseShift(series, rng, begin, len, shift);
+    labelled += len;
+  }
+  // Contextual: stuck sensors consume the rest of the budget.
+  while (labelled < target && attempts++ < kMaxAttempts) {
+    const int64_t len = rng->UniformInt(12, 32);
+    const int64_t begin = rng->UniformInt(0, std::max<int64_t>(0, n - len));
+    if (begin + len > n) continue;
+    if (segment_variance(begin, len) < kMinChange * mean_var) {
+      continue;  // the stretch is already flat; freezing changes nothing
+    }
+    if (!claim(begin, len)) continue;
+    InjectStuckSensor(series, rng, begin, len);
+    labelled += len;
+  }
+  return series->OutlierRatio();
+}
+
+}  // namespace data
+}  // namespace caee

@@ -1,0 +1,71 @@
+// Anomaly injectors. Ground-truth labels follow the convention the paper
+// analyses in Figs. 11-12: *interval* anomalies label every observation in
+// the interval even though only a few core observations deviate strongly —
+// this is what produces the low-Recall / high-Precision behaviour the paper
+// reports for point-wise detectors on interval-labelled data.
+
+#ifndef CAEE_DATA_INJECTORS_H_
+#define CAEE_DATA_INJECTORS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "ts/time_series.h"
+
+namespace caee {
+namespace data {
+
+/// \brief Add a large deviation to a random subset of dimensions at a single
+/// timestamp and label it.
+void InjectSpike(ts::TimeSeries* series, Rng* rng, int64_t t, double magnitude,
+                 double dims_fraction = 0.5);
+
+/// \brief Shift the mean of a random subset of dimensions over
+/// [begin, begin+length) and label the whole interval.
+void InjectLevelShift(ts::TimeSeries* series, Rng* rng, int64_t begin,
+                      int64_t length, double magnitude,
+                      double dims_fraction = 0.3);
+
+/// \brief Label the whole interval but only strongly perturb `peak_count`
+/// interior observations (mild `base_magnitude` elsewhere).
+void InjectCollectiveInterval(ts::TimeSeries* series, Rng* rng, int64_t begin,
+                              int64_t length, int64_t peak_count,
+                              double peak_magnitude, double base_magnitude);
+
+/// \brief Contextual anomaly: replace the interval with the series' own
+/// values from `shift` observations earlier. With the default
+/// dims_fraction = 1 this is a whole-system replay: every observation in
+/// the interval is a VALID joint system state (density-based point
+/// detectors are blind to it by construction) — only the temporal placement
+/// is wrong, which is exactly what sequence models can see.
+/// Requires begin >= shift. Labels the whole interval.
+void InjectPhaseShift(ts::TimeSeries* series, Rng* rng, int64_t begin,
+                      int64_t length, int64_t shift,
+                      double dims_fraction = 1.0);
+
+/// \brief Contextual anomaly: a subset of sensors freezes at its last value
+/// (plus tiny jitter) for the interval — plausible values, dead dynamics.
+/// Labels the whole interval.
+void InjectStuckSensor(ts::TimeSeries* series, Rng* rng, int64_t begin,
+                       int64_t length, double dims_fraction = 0.4);
+
+/// \brief Relative share of the outlier budget per anomaly type (normalised
+/// internally; set entries to 0 to disable a type).
+struct AnomalyMix {
+  double point = 0.15;        // marginal spikes
+  double level_shift = 0.15;  // sustained mean shifts
+  double collective = 0.2;    // interval labels around few strong peaks
+  double phase_shift = 0.3;   // contextual: right values, wrong time
+  double stuck = 0.2;         // contextual: frozen sensors
+};
+
+/// \brief Inject a mixture of anomalies into `series` until approximately
+/// `target_ratio` of observations are labelled outliers. Intervals never
+/// overlap. Returns the achieved ratio.
+double InjectAnomalyMix(ts::TimeSeries* series, Rng* rng, double target_ratio,
+                        const AnomalyMix& mix);
+
+}  // namespace data
+}  // namespace caee
+
+#endif  // CAEE_DATA_INJECTORS_H_

@@ -1,0 +1,55 @@
+#include "data/registry.h"
+
+#include <algorithm>
+
+#include "data/generators.h"
+#include "ts/csv.h"
+
+namespace caee {
+namespace data {
+
+namespace {
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+}  // namespace
+
+std::vector<std::string> ListDatasets() {
+  return {"ECG", "SMD", "MSL", "SMAP", "WADI"};
+}
+
+StatusOr<ts::Dataset> MakeDataset(const std::string& name, double scale,
+                                  uint64_t seed) {
+  if (scale <= 0.0 || scale > 4.0) {
+    return Status::InvalidArgument("scale must be in (0, 4]");
+  }
+  const std::string key = ToLower(name);
+  if (key == "ecg") return Generate(EcgProfile(scale, seed));
+  if (key == "smd") return Generate(SmdProfile(scale, seed));
+  if (key == "msl") return Generate(MslProfile(scale, seed));
+  if (key == "smap") return Generate(SmapProfile(scale, seed));
+  if (key == "wadi") return Generate(WadiProfile(scale, seed));
+  return Status::NotFound("unknown dataset: " + name);
+}
+
+StatusOr<ts::Dataset> LoadCsvDataset(const std::string& name,
+                                     const std::string& train_csv,
+                                     const std::string& test_csv) {
+  auto train = ts::ReadCsv(train_csv, /*has_labels=*/false);
+  if (!train.ok()) return train.status();
+  auto test = ts::ReadCsv(test_csv, /*has_labels=*/true);
+  if (!test.ok()) return test.status();
+  if (train->dims() != test->dims()) {
+    return Status::InvalidArgument("train/test dimensionality mismatch");
+  }
+  ts::Dataset ds;
+  ds.name = name;
+  ds.train = std::move(train).value();
+  ds.test = std::move(test).value();
+  return ds;
+}
+
+}  // namespace data
+}  // namespace caee

@@ -1,0 +1,32 @@
+// Dataset registry: name -> generated (or CSV-loaded) Dataset.
+
+#ifndef CAEE_DATA_REGISTRY_H_
+#define CAEE_DATA_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ts/time_series.h"
+
+namespace caee {
+namespace data {
+
+/// \brief Names of the five built-in paper datasets, in paper order.
+std::vector<std::string> ListDatasets();
+
+/// \brief Generate a built-in dataset by (case-insensitive) name.
+/// `scale` in (0, 1] shrinks the series length for faster runs.
+StatusOr<ts::Dataset> MakeDataset(const std::string& name, double scale = 1.0,
+                                  uint64_t seed = 42);
+
+/// \brief Load a dataset from two CSV files (see ts::ReadCsv): the drop-in
+/// seam for the real ECG / SMD / MSL / SMAP / WADI downloads.
+StatusOr<ts::Dataset> LoadCsvDataset(const std::string& name,
+                                     const std::string& train_csv,
+                                     const std::string& test_csv);
+
+}  // namespace data
+}  // namespace caee
+
+#endif  // CAEE_DATA_REGISTRY_H_

@@ -1,0 +1,198 @@
+#include "eval/detector.h"
+
+#include "baselines/ae_ensemble.h"
+#include "baselines/isolation_forest.h"
+#include "baselines/lof.h"
+#include "baselines/mas.h"
+#include "baselines/mscred_lite.h"
+#include "baselines/ocsvm.h"
+#include "baselines/omni_anomaly_lite.h"
+#include "baselines/rae.h"
+#include "baselines/rae_ensemble.h"
+#include "baselines/rnn_vae.h"
+#include "core/ensemble.h"
+
+namespace caee {
+namespace eval {
+
+namespace {
+
+// Generic adapter: wraps any baseline exposing Fit/Score. Owns the model by
+// pointer because several baselines are neither copyable nor movable (they
+// hold pimpl'd networks).
+template <typename Model>
+class Adapter : public Detector {
+ public:
+  template <typename Config>
+  Adapter(std::string name, const Config& config)
+      : name_(std::move(name)), model_(std::make_unique<Model>(config)) {}
+  std::string name() const override { return name_; }
+  Status Fit(const ts::TimeSeries& train) override {
+    return model_->Fit(train);
+  }
+  StatusOr<std::vector<double>> Score(const ts::TimeSeries& test) override {
+    return model_->Score(test);
+  }
+  Model& model() { return *model_; }
+
+ private:
+  std::string name_;
+  std::unique_ptr<Model> model_;
+};
+
+class CaeEnsembleDetector : public Detector {
+ public:
+  CaeEnsembleDetector(std::string name, const core::EnsembleConfig& config)
+      : name_(std::move(name)), ensemble_(config) {}
+  std::string name() const override { return name_; }
+  Status Fit(const ts::TimeSeries& train) override {
+    return ensemble_.Fit(train);
+  }
+  StatusOr<std::vector<double>> Score(const ts::TimeSeries& test) override {
+    return ensemble_.Score(test);
+  }
+  core::CaeEnsemble& ensemble() { return ensemble_; }
+
+ private:
+  std::string name_;
+  core::CaeEnsemble ensemble_;
+};
+
+core::EnsembleConfig BuildEnsembleConfig(const SuiteConfig& s, bool ensemble) {
+  core::EnsembleConfig cfg;
+  cfg.cae.embed_dim = s.embed_dim;
+  cfg.cae.num_layers = s.cae_layers;
+  cfg.cae.kernel = s.kernel;
+  cfg.window = s.window;
+  cfg.num_models = ensemble ? s.num_models : 1;
+  cfg.epochs_per_model = s.epochs_per_model;
+  cfg.batch_size = s.batch_size;
+  cfg.lr = s.lr;
+  cfg.lambda = s.lambda;
+  cfg.beta = s.beta;
+  cfg.diversity_enabled = ensemble;
+  cfg.transfer_enabled = ensemble;
+  cfg.max_train_windows = s.max_train_windows;
+  cfg.seed = s.seed;
+  return cfg;
+}
+
+}  // namespace
+
+PaperHyperparameters Table2Hyperparameters(const std::string& dataset) {
+  // Paper Table 2 (median-strategy selections).
+  if (dataset == "ECG") return {0.5f, 2.0f, 16};
+  if (dataset == "MSL") return {0.7f, 16.0f, 16};
+  if (dataset == "SMAP") return {0.9f, 2.0f, 16};
+  if (dataset == "SMD") return {0.2f, 32.0f, 32};
+  if (dataset == "WADI") return {0.5f, 1.0f, 32};
+  return {};
+}
+
+std::vector<std::string> AllDetectorNames() {
+  return {"ISF",    "LOF",         "MAS", "OCSVM",        "MSCRED",
+          "OMNIANOMALY", "RNNVAE", "AE-Ensemble", "RAE", "RAE-Ensemble",
+          "CAE",    "CAE-Ensemble"};
+}
+
+StatusOr<std::unique_ptr<Detector>> MakeDetector(const std::string& name,
+                                                 const SuiteConfig& s) {
+  if (name == "ISF") {
+    baselines::IsolationForestConfig cfg;
+    cfg.seed = s.seed;
+    return std::unique_ptr<Detector>(
+        new Adapter<baselines::IsolationForest>(
+            name, cfg));
+  }
+  if (name == "LOF") {
+    baselines::LofConfig cfg;
+    cfg.seed = s.seed;
+    return std::unique_ptr<Detector>(
+        new Adapter<baselines::Lof>(name, cfg));
+  }
+  if (name == "MAS") {
+    baselines::MasConfig cfg;
+    cfg.window = s.window;
+    return std::unique_ptr<Detector>(
+        new Adapter<baselines::MovingAverageSmoothing>(
+            name, cfg));
+  }
+  if (name == "OCSVM") {
+    baselines::OcsvmConfig cfg;
+    cfg.seed = s.seed;
+    return std::unique_ptr<Detector>(
+        new Adapter<baselines::Ocsvm>(name, cfg));
+  }
+  if (name == "MSCRED") {
+    baselines::MscredConfig cfg;
+    cfg.seed = s.seed;
+    cfg.epochs = s.ae_epochs;
+    return std::unique_ptr<Detector>(
+        new Adapter<baselines::MscredLite>(name, cfg));
+  }
+  if (name == "OMNIANOMALY") {
+    baselines::OmniAnomalyConfig cfg;
+    cfg.window = s.window;
+    cfg.hidden = s.rnn_hidden;
+    cfg.epochs = s.rnn_epochs;
+    cfg.batch_size = s.batch_size;
+    cfg.max_train_windows = s.max_train_windows;
+    cfg.seed = s.seed;
+    return std::unique_ptr<Detector>(new Adapter<baselines::OmniAnomalyLite>(
+        name, cfg));
+  }
+  if (name == "RNNVAE") {
+    baselines::RnnVaeConfig cfg;
+    cfg.window = s.window;
+    cfg.hidden = s.rnn_hidden;
+    cfg.epochs = s.rnn_epochs;
+    cfg.batch_size = s.batch_size;
+    cfg.max_train_windows = s.max_train_windows;
+    cfg.seed = s.seed;
+    return std::unique_ptr<Detector>(
+        new Adapter<baselines::RnnVae>(name, cfg));
+  }
+  if (name == "AE-Ensemble") {
+    baselines::AeEnsembleConfig cfg;
+    cfg.num_models = s.num_models;
+    cfg.epochs = s.ae_epochs;
+    cfg.seed = s.seed;
+    return std::unique_ptr<Detector>(
+        new Adapter<baselines::AeEnsemble>(name, cfg));
+  }
+  if (name == "RAE") {
+    baselines::RaeConfig cfg;
+    cfg.window = s.window;
+    cfg.hidden = s.rnn_hidden;
+    cfg.epochs = s.rnn_epochs;
+    cfg.batch_size = s.batch_size;
+    cfg.max_train_windows = s.max_train_windows;
+    cfg.seed = s.seed;
+    return std::unique_ptr<Detector>(
+        new Adapter<baselines::Rae>(name, cfg));
+  }
+  if (name == "RAE-Ensemble") {
+    baselines::RaeEnsembleConfig cfg;
+    cfg.rae.window = s.window;
+    cfg.rae.hidden = s.rnn_hidden;
+    cfg.rae.epochs = s.rnn_epochs;
+    cfg.rae.batch_size = s.batch_size;
+    cfg.rae.max_train_windows = s.max_train_windows;
+    cfg.num_models = s.num_models;
+    cfg.seed = s.seed;
+    return std::unique_ptr<Detector>(new Adapter<baselines::RaeEnsemble>(
+        name, cfg));
+  }
+  if (name == "CAE") {
+    return std::unique_ptr<Detector>(new CaeEnsembleDetector(
+        name, BuildEnsembleConfig(s, /*ensemble=*/false)));
+  }
+  if (name == "CAE-Ensemble") {
+    return std::unique_ptr<Detector>(new CaeEnsembleDetector(
+        name, BuildEnsembleConfig(s, /*ensemble=*/true)));
+  }
+  return Status::NotFound("unknown detector: " + name);
+}
+
+}  // namespace eval
+}  // namespace caee

@@ -1,0 +1,44 @@
+#include "eval/runner.h"
+
+#include "common/stopwatch.h"
+
+namespace caee {
+namespace eval {
+
+std::vector<int> TestLabels(const ts::TimeSeries& test) {
+  CAEE_CHECK_MSG(test.has_labels(), "test series must be labelled");
+  std::vector<int> labels(static_cast<size_t>(test.length()));
+  for (int64_t t = 0; t < test.length(); ++t) {
+    labels[static_cast<size_t>(t)] = test.label(t);
+  }
+  return labels;
+}
+
+StatusOr<RunResult> RunDetector(Detector* detector,
+                                const ts::Dataset& dataset) {
+  CAEE_CHECK_MSG(detector != nullptr, "null detector");
+  RunResult result;
+  result.detector = detector->name();
+  result.dataset = dataset.name;
+
+  Stopwatch fit_timer;
+  CAEE_RETURN_NOT_OK(detector->Fit(dataset.train));
+  result.fit_seconds = fit_timer.ElapsedSeconds();
+
+  Stopwatch score_timer;
+  auto scores = detector->Score(dataset.test);
+  if (!scores.ok()) return scores.status();
+  result.score_seconds = score_timer.ElapsedSeconds();
+  result.scores = std::move(scores).value();
+
+  const std::vector<int> labels = TestLabels(dataset.test);
+  if (labels.size() != result.scores.size()) {
+    return Status::Internal("score/label length mismatch for " +
+                            result.detector + " on " + result.dataset);
+  }
+  result.report = metrics::Evaluate(result.scores, labels);
+  return result;
+}
+
+}  // namespace eval
+}  // namespace caee

@@ -1,0 +1,35 @@
+// Experiment runner: fit a detector on a dataset, score the test series,
+// compute the Table 3/4 metrics, and time both phases.
+
+#ifndef CAEE_EVAL_RUNNER_H_
+#define CAEE_EVAL_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/detector.h"
+#include "metrics/metrics.h"
+#include "ts/time_series.h"
+
+namespace caee {
+namespace eval {
+
+struct RunResult {
+  std::string detector;
+  std::string dataset;
+  metrics::AccuracyReport report;
+  double fit_seconds = 0.0;
+  double score_seconds = 0.0;
+  std::vector<double> scores;  // per-observation outlier scores on test
+};
+
+/// \brief Fit + score + evaluate one detector on one labelled dataset.
+StatusOr<RunResult> RunDetector(Detector* detector, const ts::Dataset& dataset);
+
+/// \brief Extract test labels as the int vector the metrics consume.
+std::vector<int> TestLabels(const ts::TimeSeries& test);
+
+}  // namespace eval
+}  // namespace caee
+
+#endif  // CAEE_EVAL_RUNNER_H_

@@ -1,0 +1,58 @@
+#include "eval/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/status.h"
+
+namespace caee {
+namespace eval {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  CAEE_CHECK_MSG(!headers_.empty(), "table needs at least one column");
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  CAEE_CHECK_MSG(cells.size() == headers_.size(),
+                 "row width " << cells.size() << " != header width "
+                              << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream oss;
+  auto emit_row = [&oss, &widths](const std::vector<std::string>& row) {
+    oss << "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      oss << " " << std::left << std::setw(static_cast<int>(widths[c]))
+          << row[c] << " |";
+    }
+    oss << "\n";
+  };
+  emit_row(headers_);
+  oss << "|";
+  for (size_t c = 0; c < widths.size(); ++c) {
+    oss << std::string(widths[c] + 2, '-') << "|";
+  }
+  oss << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return oss.str();
+}
+
+std::string FormatDouble(double v, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << v;
+  return oss.str();
+}
+
+}  // namespace eval
+}  // namespace caee

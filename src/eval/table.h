@@ -1,0 +1,33 @@
+// Plain-text table formatting for the bench binaries (column-aligned,
+// Markdown-ish output mirroring the paper's tables).
+
+#ifndef CAEE_EVAL_TABLE_H_
+#define CAEE_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace caee {
+namespace eval {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// \brief Aligned text rendering with a header separator.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Fixed-precision double rendering ("0.2522").
+std::string FormatDouble(double v, int precision = 4);
+
+}  // namespace eval
+}  // namespace caee
+
+#endif  // CAEE_EVAL_TABLE_H_

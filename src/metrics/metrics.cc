@@ -1,0 +1,232 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace caee {
+namespace metrics {
+
+namespace {
+void CheckInputs(const std::vector<double>& scores,
+                 const std::vector<int>& labels) {
+  CAEE_CHECK_MSG(scores.size() == labels.size(),
+                 "scores/labels size mismatch: " << scores.size() << " vs "
+                                                 << labels.size());
+}
+
+// Indices sorted by descending score.
+std::vector<size_t> DescendingOrder(const std::vector<double>& scores) {
+  std::vector<size_t> idx(scores.size());
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  std::stable_sort(idx.begin(), idx.end(), [&scores](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+  return idx;
+}
+}  // namespace
+
+Confusion ConfusionAt(const std::vector<double>& scores,
+                      const std::vector<int>& labels, double threshold) {
+  CheckInputs(scores, labels);
+  Confusion c;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const bool predicted = scores[i] > threshold;
+    const bool actual = labels[i] != 0;
+    if (predicted && actual) {
+      ++c.tp;
+    } else if (predicted && !actual) {
+      ++c.fp;
+    } else if (!predicted && actual) {
+      ++c.fn;
+    } else {
+      ++c.tn;
+    }
+  }
+  return c;
+}
+
+double Precision(const Confusion& c) {
+  const int64_t denom = c.tp + c.fp;
+  return denom > 0 ? static_cast<double>(c.tp) / denom : 0.0;
+}
+
+double Recall(const Confusion& c) {
+  const int64_t denom = c.tp + c.fn;
+  return denom > 0 ? static_cast<double>(c.tp) / denom : 0.0;
+}
+
+double F1(const Confusion& c) {
+  const double p = Precision(c);
+  const double r = Recall(c);
+  return (p + r) > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+ThresholdMetrics BestF1(const std::vector<double>& scores,
+                        const std::vector<int>& labels) {
+  CheckInputs(scores, labels);
+  ThresholdMetrics best;
+  if (scores.empty()) return best;
+
+  int64_t total_pos = 0;
+  for (int l : labels) total_pos += (l != 0);
+  if (total_pos == 0) return best;
+
+  const std::vector<size_t> order = DescendingOrder(scores);
+  // Walk the ranking, flagging everything with score strictly greater than
+  // the current candidate threshold. Thresholds are placed between distinct
+  // score values.
+  int64_t tp = 0, fp = 0;
+  best.threshold = scores[order[0]];  // flag nothing
+  size_t i = 0;
+  while (i < order.size()) {
+    const double group_score = scores[order[i]];
+    // Consume the whole tie group.
+    while (i < order.size() && scores[order[i]] == group_score) {
+      if (labels[order[i]] != 0) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+      ++i;
+    }
+    const double precision = static_cast<double>(tp) / (tp + fp);
+    const double recall = static_cast<double>(tp) / total_pos;
+    const double f1 =
+        (precision + recall) > 0 ? 2 * precision * recall / (precision + recall)
+                                 : 0.0;
+    if (f1 > best.f1) {
+      best.f1 = f1;
+      best.precision = precision;
+      best.recall = recall;
+      // Threshold strictly below the group's score (and above the next).
+      const double next =
+          i < order.size() ? scores[order[i]]
+                           : group_score - std::max(1.0, std::fabs(group_score));
+      best.threshold = 0.5 * (group_score + next);
+    }
+  }
+  return best;
+}
+
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<int>& labels) {
+  CheckInputs(scores, labels);
+  const size_t n = scores.size();
+  int64_t pos = 0;
+  for (int l : labels) pos += (l != 0);
+  const int64_t neg = static_cast<int64_t>(n) - pos;
+  if (pos == 0 || neg == 0) return 0.5;
+
+  // Ascending order; ties receive the average rank.
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  std::stable_sort(idx.begin(), idx.end(), [&scores](size_t a, size_t b) {
+    return scores[a] < scores[b];
+  });
+  double rank_sum_pos = 0.0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j < n && scores[idx[j]] == scores[idx[i]]) ++j;
+    const double avg_rank = 0.5 * (static_cast<double>(i + 1) +
+                                   static_cast<double>(j));  // 1-based
+    for (size_t k = i; k < j; ++k) {
+      if (labels[idx[k]] != 0) rank_sum_pos += avg_rank;
+    }
+    i = j;
+  }
+  const double auc =
+      (rank_sum_pos - 0.5 * static_cast<double>(pos) * (pos + 1)) /
+      (static_cast<double>(pos) * static_cast<double>(neg));
+  return auc;
+}
+
+double PrAuc(const std::vector<double>& scores,
+             const std::vector<int>& labels) {
+  CheckInputs(scores, labels);
+  int64_t total_pos = 0;
+  for (int l : labels) total_pos += (l != 0);
+  if (total_pos == 0 || scores.empty()) return 0.0;
+
+  const std::vector<size_t> order = DescendingOrder(scores);
+  double ap = 0.0;
+  int64_t tp = 0, fp = 0;
+  double prev_recall = 0.0;
+  size_t i = 0;
+  while (i < order.size()) {
+    const double group_score = scores[order[i]];
+    while (i < order.size() && scores[order[i]] == group_score) {
+      if (labels[order[i]] != 0) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+      ++i;
+    }
+    const double precision = static_cast<double>(tp) / (tp + fp);
+    const double recall = static_cast<double>(tp) / total_pos;
+    ap += (recall - prev_recall) * precision;
+    prev_recall = recall;
+  }
+  return ap;
+}
+
+double TopKThreshold(const std::vector<double>& scores, double k_percent) {
+  CAEE_CHECK_MSG(k_percent >= 0.0 && k_percent <= 100.0,
+                 "k_percent out of [0, 100]");
+  if (scores.empty()) return 0.0;
+  std::vector<double> sorted = scores;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  const auto k = static_cast<size_t>(
+      std::floor(static_cast<double>(scores.size()) * k_percent / 100.0));
+  if (k == 0) return sorted.front();           // flag nothing
+  if (k >= sorted.size()) return sorted.back() - 1.0;  // flag everything
+  return sorted[k];  // strictly-greater comparison flags exactly top-k ties
+}
+
+ThresholdMetrics AtTopK(const std::vector<double>& scores,
+                        const std::vector<int>& labels, double k_percent) {
+  const double threshold = TopKThreshold(scores, k_percent);
+  const Confusion c = ConfusionAt(scores, labels, threshold);
+  ThresholdMetrics m;
+  m.threshold = threshold;
+  m.precision = Precision(c);
+  m.recall = Recall(c);
+  m.f1 = F1(c);
+  return m;
+}
+
+AccuracyReport Evaluate(const std::vector<double>& scores,
+                        const std::vector<int>& labels) {
+  AccuracyReport r;
+  const ThresholdMetrics best = BestF1(scores, labels);
+  r.precision = best.precision;
+  r.recall = best.recall;
+  r.f1 = best.f1;
+  r.pr_auc = PrAuc(scores, labels);
+  r.roc_auc = RocAuc(scores, labels);
+  return r;
+}
+
+AccuracyReport Average(const std::vector<AccuracyReport>& reports) {
+  AccuracyReport avg;
+  if (reports.empty()) return avg;
+  for (const auto& r : reports) {
+    avg.precision += r.precision;
+    avg.recall += r.recall;
+    avg.f1 += r.f1;
+    avg.pr_auc += r.pr_auc;
+    avg.roc_auc += r.roc_auc;
+  }
+  const double n = static_cast<double>(reports.size());
+  avg.precision /= n;
+  avg.recall /= n;
+  avg.f1 /= n;
+  avg.pr_auc /= n;
+  avg.roc_auc /= n;
+  return avg;
+}
+
+}  // namespace metrics
+}  // namespace caee

@@ -1,0 +1,79 @@
+// Evaluation metrics for outlier scoring (paper Sec. 4.1.3).
+//
+// All-threshold metrics: PR-AUC (average precision) and ROC-AUC.
+// Specific-threshold metrics: Precision / Recall / F1 at (a) the best-F1
+// threshold, or (b) the top-K% threshold when the outlier ratio is known.
+
+#ifndef CAEE_METRICS_METRICS_H_
+#define CAEE_METRICS_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace caee {
+namespace metrics {
+
+struct Confusion {
+  int64_t tp = 0;
+  int64_t fp = 0;
+  int64_t tn = 0;
+  int64_t fn = 0;
+};
+
+/// \brief Predict outlier when score > threshold.
+Confusion ConfusionAt(const std::vector<double>& scores,
+                      const std::vector<int>& labels, double threshold);
+
+double Precision(const Confusion& c);
+double Recall(const Confusion& c);
+double F1(const Confusion& c);
+
+struct ThresholdMetrics {
+  double threshold = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// \brief Sweep all distinct thresholds and return the one maximising F1.
+ThresholdMetrics BestF1(const std::vector<double>& scores,
+                        const std::vector<int>& labels);
+
+/// \brief ROC-AUC via the rank statistic (ties get average ranks). Returns
+/// 0.5 when either class is empty.
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<int>& labels);
+
+/// \brief PR-AUC as average precision (step-wise interpolation, ties grouped).
+/// Returns the positive rate when the scorer is uninformative.
+double PrAuc(const std::vector<double>& scores, const std::vector<int>& labels);
+
+/// \brief Threshold such that `k_percent`% of the scores are above it.
+double TopKThreshold(const std::vector<double>& scores, double k_percent);
+
+/// \brief Precision/Recall/F1 when flagging the top K% of scores.
+ThresholdMetrics AtTopK(const std::vector<double>& scores,
+                        const std::vector<int>& labels, double k_percent);
+
+/// \brief Everything Table 3/4 reports for one (model, dataset) cell.
+struct AccuracyReport {
+  double precision = 0.0;  // at the best-F1 threshold
+  double recall = 0.0;
+  double f1 = 0.0;
+  double pr_auc = 0.0;
+  double roc_auc = 0.0;
+};
+
+/// \brief Compute the full report (best-F1 based P/R/F1 + both AUCs).
+AccuracyReport Evaluate(const std::vector<double>& scores,
+                        const std::vector<int>& labels);
+
+/// \brief Mean of reports (the paper's "Overall" rows average datasets).
+AccuracyReport Average(const std::vector<AccuracyReport>& reports);
+
+}  // namespace metrics
+}  // namespace caee
+
+#endif  // CAEE_METRICS_METRICS_H_

@@ -1,0 +1,35 @@
+#include "nn/activations.h"
+
+namespace caee {
+namespace nn {
+
+ag::Var Apply(Activation act, const ag::Var& x) {
+  switch (act) {
+    case Activation::kIdentity:
+      return ag::Identity(x);
+    case Activation::kRelu:
+      return ag::Relu(x);
+    case Activation::kTanh:
+      return ag::Tanh(x);
+    case Activation::kSigmoid:
+      return ag::Sigmoid(x);
+  }
+  return ag::Identity(x);
+}
+
+std::string ActivationName(Activation act) {
+  switch (act) {
+    case Activation::kIdentity:
+      return "identity";
+    case Activation::kRelu:
+      return "relu";
+    case Activation::kTanh:
+      return "tanh";
+    case Activation::kSigmoid:
+      return "sigmoid";
+  }
+  return "?";
+}
+
+}  // namespace nn
+}  // namespace caee

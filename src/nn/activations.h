@@ -1,0 +1,24 @@
+// Configurable activation slots (the paper leaves f_s, f_t, f_E, f_D, f_R as
+// unspecified non-linearities; defaults follow DESIGN.md).
+
+#ifndef CAEE_NN_ACTIVATIONS_H_
+#define CAEE_NN_ACTIVATIONS_H_
+
+#include <string>
+
+#include "autograd/ops.h"
+
+namespace caee {
+namespace nn {
+
+enum class Activation { kIdentity, kRelu, kTanh, kSigmoid };
+
+/// \brief Apply the selected activation as a graph op.
+ag::Var Apply(Activation act, const ag::Var& x);
+
+std::string ActivationName(Activation act);
+
+}  // namespace nn
+}  // namespace caee
+
+#endif  // CAEE_NN_ACTIVATIONS_H_

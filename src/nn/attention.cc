@@ -1,0 +1,24 @@
+#include "nn/attention.h"
+
+namespace caee {
+namespace nn {
+
+GlobalAttention::GlobalAttention(int64_t dim, Rng* rng)
+    : z_proj_(dim, dim, rng) {
+  RegisterModule("z_proj", &z_proj_);
+}
+
+ag::Var GlobalAttention::Scores(const ag::Var& d, const ag::Var& e) const {
+  ag::Var z = z_proj_.Forward(d);                      // (B, Wd, D)
+  ag::Var logits = ag::BatchedMatMul(z, e, false, true);  // (B, Wd, We)
+  return ag::SoftmaxLastDim(logits);
+}
+
+ag::Var GlobalAttention::Forward(const ag::Var& d, const ag::Var& e) const {
+  ag::Var alpha = Scores(d, e);
+  ag::Var context = ag::BatchedMatMul(alpha, e);  // (B, Wd, D)
+  return ag::Add(context, d);
+}
+
+}  // namespace nn
+}  // namespace caee

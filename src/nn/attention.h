@@ -1,0 +1,33 @@
+// Global (Luong-style) attention between decoder states and encoder states
+// (paper Sec. 3.1.4, Eq. 7): state summary z_t = W_z d_t + b_z, attention
+// scores α over encoder positions via dot product + softmax, context
+// c_t = Σ α e_t', and residual update D <- C + D.
+
+#ifndef CAEE_NN_ATTENTION_H_
+#define CAEE_NN_ATTENTION_H_
+
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace caee {
+namespace nn {
+
+class GlobalAttention : public Module {
+ public:
+  GlobalAttention(int64_t dim, Rng* rng);
+
+  /// \brief d (B, Wd, D), e (B, We, D) -> context + d (B, Wd, D).
+  ag::Var Forward(const ag::Var& d, const ag::Var& e) const;
+
+  /// \brief Attention weights only (B, Wd, We); used by tests and
+  /// diagnostics.
+  ag::Var Scores(const ag::Var& d, const ag::Var& e) const;
+
+ private:
+  Linear z_proj_;
+};
+
+}  // namespace nn
+}  // namespace caee
+
+#endif  // CAEE_NN_ATTENTION_H_

@@ -1,0 +1,36 @@
+#include "nn/conv1d.h"
+
+#include "nn/init.h"
+
+namespace caee {
+namespace nn {
+
+Conv1dLayer::Conv1dLayer(int64_t in_channels, int64_t out_channels,
+                         int64_t kernel, Padding padding, Rng* rng)
+    : in_(in_channels), out_(out_channels), kernel_(kernel), padding_(padding) {
+  CAEE_CHECK_MSG(kernel_ >= 1, "kernel must be >= 1");
+  int64_t fan_in, fan_out;
+  Conv1dFans(in_, out_, kernel_, &fan_in, &fan_out);
+  weight_ = RegisterParameter(
+      "weight", XavierUniform(Shape{out_, kernel_, in_}, fan_in, fan_out, rng));
+  bias_ = RegisterParameter("bias", Tensor(Shape{out_}));
+}
+
+ag::Var Conv1dLayer::Forward(const ag::Var& x) const {
+  int64_t pad_left = 0, pad_right = 0;
+  switch (padding_) {
+    case Padding::kNone:
+      break;
+    case Padding::kSame:
+      pad_left = (kernel_ - 1) / 2;
+      pad_right = kernel_ - 1 - pad_left;
+      break;
+    case Padding::kCausal:
+      pad_left = kernel_ - 1;
+      break;
+  }
+  return ag::Conv1d(x, weight_, bias_, pad_left, pad_right);
+}
+
+}  // namespace nn
+}  // namespace caee

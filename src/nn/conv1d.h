@@ -1,0 +1,47 @@
+// 1-D convolution layer over (B, W, C) sequences with the padding modes the
+// CAE needs: kSame for the encoder (output aligned with input) and kCausal
+// for the decoder (position t sees inputs no later than t).
+
+#ifndef CAEE_NN_CONV1D_H_
+#define CAEE_NN_CONV1D_H_
+
+#include "nn/module.h"
+
+namespace caee {
+namespace nn {
+
+enum class Padding {
+  kNone,    // valid convolution, output shrinks by kernel-1
+  kSame,    // zero-pad both sides so output length == input length
+  kCausal,  // zero-pad (kernel-1) on the left only
+};
+
+class Conv1dLayer : public Module {
+ public:
+  Conv1dLayer(int64_t in_channels, int64_t out_channels, int64_t kernel,
+              Padding padding, Rng* rng);
+
+  /// \brief x (B, W, in) -> (B, W', out) per the padding mode.
+  ag::Var Forward(const ag::Var& x) const;
+
+  int64_t in_channels() const { return in_; }
+  int64_t out_channels() const { return out_; }
+  int64_t kernel() const { return kernel_; }
+  Padding padding() const { return padding_; }
+
+  const ag::Var& weight() const { return weight_; }
+  const ag::Var& bias() const { return bias_; }
+
+ private:
+  int64_t in_;
+  int64_t out_;
+  int64_t kernel_;
+  Padding padding_;
+  ag::Var weight_;  // (out, kernel, in)
+  ag::Var bias_;    // (out)
+};
+
+}  // namespace nn
+}  // namespace caee
+
+#endif  // CAEE_NN_CONV1D_H_

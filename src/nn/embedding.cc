@@ -1,0 +1,40 @@
+#include "nn/embedding.h"
+
+namespace caee {
+namespace nn {
+
+WindowEmbedding::WindowEmbedding(int64_t input_dim, int64_t embed_dim,
+                                 int64_t window, Rng* rng, Activation obs_act,
+                                 Activation pos_act)
+    : input_dim_(input_dim),
+      embed_dim_(embed_dim),
+      window_(window),
+      obs_act_(obs_act),
+      pos_act_(pos_act),
+      obs_(input_dim, embed_dim, rng),
+      pos_(1, embed_dim, rng),
+      positions_(Shape{window, 1}) {
+  RegisterModule("obs", &obs_);
+  RegisterModule("pos", &pos_);
+  for (int64_t t = 0; t < window_; ++t) {
+    positions_.at(t, 0) =
+        static_cast<float>(t + 1) / static_cast<float>(window_);
+  }
+}
+
+ag::Var WindowEmbedding::Forward(const ag::Var& s) const {
+  const Tensor& sv = s->value();
+  CAEE_CHECK_MSG(sv.rank() == 3, "WindowEmbedding expects (B,w,D)");
+  CAEE_CHECK_MSG(sv.dim(1) == window_,
+                 "window " << sv.dim(1) << " != configured " << window_);
+  CAEE_CHECK_MSG(sv.dim(2) == input_dim_, "input dim mismatch");
+  const int64_t batch = sv.dim(0);
+
+  ag::Var v = Apply(obs_act_, obs_.Forward(s));
+  ag::Var p = Apply(pos_act_, pos_.Forward(ag::Constant(positions_)));
+  ag::Var p_tiled = ag::BroadcastBatch(p, batch);
+  return ag::Add(v, p_tiled);
+}
+
+}  // namespace nn
+}  // namespace caee

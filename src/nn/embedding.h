@@ -1,0 +1,46 @@
+// Window embedding (paper Sec. 3.1.1): observation embedding
+//   v_t = f_s(W_v s_t + b_v)
+// plus position embedding
+//   p_t = f_t(W_p t + b_p)
+// summed into the convolutional input x_t = v_t + p_t. Positions are fed as
+// normalised scalars t/w (see DESIGN.md interpretations) to keep the linear
+// layer well-scaled.
+
+#ifndef CAEE_NN_EMBEDDING_H_
+#define CAEE_NN_EMBEDDING_H_
+
+#include "nn/activations.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace caee {
+namespace nn {
+
+class WindowEmbedding : public Module {
+ public:
+  WindowEmbedding(int64_t input_dim, int64_t embed_dim, int64_t window,
+                  Rng* rng, Activation obs_act = Activation::kRelu,
+                  Activation pos_act = Activation::kRelu);
+
+  /// \brief s (B, w, D) -> embedded x (B, w, D').
+  ag::Var Forward(const ag::Var& s) const;
+
+  int64_t input_dim() const { return input_dim_; }
+  int64_t embed_dim() const { return embed_dim_; }
+  int64_t window() const { return window_; }
+
+ private:
+  int64_t input_dim_;
+  int64_t embed_dim_;
+  int64_t window_;
+  Activation obs_act_;
+  Activation pos_act_;
+  Linear obs_;
+  Linear pos_;
+  Tensor positions_;  // (w, 1) constant
+};
+
+}  // namespace nn
+}  // namespace caee
+
+#endif  // CAEE_NN_EMBEDDING_H_

@@ -1,0 +1,20 @@
+#include "nn/glu.h"
+
+namespace caee {
+namespace nn {
+
+Glu::Glu(int64_t channels, int64_t kernel, Padding padding, Rng* rng)
+    : a1_(channels, channels, kernel, padding, rng),
+      a2_(channels, channels, kernel, padding, rng) {
+  RegisterModule("a1", &a1_);
+  RegisterModule("a2", &a2_);
+}
+
+ag::Var Glu::Forward(const ag::Var& x) const {
+  ag::Var a1 = a1_.Forward(x);
+  ag::Var a2 = a2_.Forward(x);
+  return ag::Mul(a1, ag::Sigmoid(a2));
+}
+
+}  // namespace nn
+}  // namespace caee

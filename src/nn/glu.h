@@ -1,0 +1,31 @@
+// Gated Linear Unit as used inside the CAE convolution blocks (paper Eqs. 4-5):
+//   GLU(E) = A1 ⊙ σ(A2),  A_i = W_Ai ⊗ E + b_Ai
+// Both branches are 1-D convolutions; the padding mode must match the block
+// that hosts the GLU (kSame in the encoder, kCausal in the decoder) so the
+// gate never leaks future observations.
+
+#ifndef CAEE_NN_GLU_H_
+#define CAEE_NN_GLU_H_
+
+#include "nn/conv1d.h"
+#include "nn/module.h"
+
+namespace caee {
+namespace nn {
+
+class Glu : public Module {
+ public:
+  Glu(int64_t channels, int64_t kernel, Padding padding, Rng* rng);
+
+  /// \brief x (B,W,C) -> (B,W,C).
+  ag::Var Forward(const ag::Var& x) const;
+
+ private:
+  Conv1dLayer a1_;
+  Conv1dLayer a2_;
+};
+
+}  // namespace nn
+}  // namespace caee
+
+#endif  // CAEE_NN_GLU_H_

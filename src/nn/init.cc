@@ -1,0 +1,32 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace caee {
+namespace nn {
+
+Tensor XavierUniform(Shape shape, int64_t fan_in, int64_t fan_out, Rng* rng) {
+  const float a =
+      std::sqrt(6.0f / static_cast<float>(std::max<int64_t>(1, fan_in + fan_out)));
+  return Tensor::RandUniform(std::move(shape), rng, -a, a);
+}
+
+Tensor KaimingNormal(Shape shape, int64_t fan_in, Rng* rng) {
+  const float stddev =
+      std::sqrt(2.0f / static_cast<float>(std::max<int64_t>(1, fan_in)));
+  return Tensor::Randn(std::move(shape), rng, stddev);
+}
+
+void LinearFans(int64_t in, int64_t out, int64_t* fan_in, int64_t* fan_out) {
+  *fan_in = in;
+  *fan_out = out;
+}
+
+void Conv1dFans(int64_t in_ch, int64_t out_ch, int64_t kernel, int64_t* fan_in,
+                int64_t* fan_out) {
+  *fan_in = in_ch * kernel;
+  *fan_out = out_ch * kernel;
+}
+
+}  // namespace nn
+}  // namespace caee

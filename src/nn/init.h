@@ -1,0 +1,28 @@
+// Weight initialisation schemes.
+
+#ifndef CAEE_NN_INIT_H_
+#define CAEE_NN_INIT_H_
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace caee {
+namespace nn {
+
+/// \brief Xavier/Glorot uniform: U(-a, a) with a = sqrt(6 / (fan_in+fan_out)).
+Tensor XavierUniform(Shape shape, int64_t fan_in, int64_t fan_out, Rng* rng);
+
+/// \brief Kaiming/He normal for ReLU networks: N(0, sqrt(2 / fan_in)).
+Tensor KaimingNormal(Shape shape, int64_t fan_in, Rng* rng);
+
+/// \brief Fan computation for a linear weight (out, in).
+void LinearFans(int64_t in, int64_t out, int64_t* fan_in, int64_t* fan_out);
+
+/// \brief Fan computation for a conv1d weight (out, k, in).
+void Conv1dFans(int64_t in_ch, int64_t out_ch, int64_t kernel, int64_t* fan_in,
+                int64_t* fan_out);
+
+}  // namespace nn
+}  // namespace caee
+
+#endif  // CAEE_NN_INIT_H_

@@ -1,0 +1,37 @@
+#include "nn/linear.h"
+
+#include "nn/init.h"
+
+namespace caee {
+namespace nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng, bool bias)
+    : in_(in_features), out_(out_features), has_bias_(bias) {
+  int64_t fan_in, fan_out;
+  LinearFans(in_, out_, &fan_in, &fan_out);
+  weight_ = RegisterParameter(
+      "weight", XavierUniform(Shape{out_, in_}, fan_in, fan_out, rng));
+  if (has_bias_) {
+    bias_ = RegisterParameter("bias", Tensor(Shape{out_}));
+  }
+}
+
+ag::Var Linear::Forward(const ag::Var& x) const {
+  const Tensor& xv = x->value();
+  CAEE_CHECK_MSG(xv.rank() == 2 || xv.rank() == 3,
+                 "Linear expects rank-2/3 input, got rank " << xv.rank());
+  CAEE_CHECK_MSG(xv.dim(xv.rank() - 1) == in_,
+                 "Linear input dim " << xv.dim(xv.rank() - 1) << " != " << in_);
+  if (xv.rank() == 2) {
+    ag::Var y = ag::MatMul(x, weight_, /*trans_a=*/false, /*trans_b=*/true);
+    return has_bias_ ? ag::AddBias(y, bias_) : y;
+  }
+  const int64_t b = xv.dim(0), w = xv.dim(1);
+  ag::Var flat = ag::Reshape(x, Shape{b * w, in_});
+  ag::Var y = ag::MatMul(flat, weight_, false, true);
+  if (has_bias_) y = ag::AddBias(y, bias_);
+  return ag::Reshape(y, Shape{b, w, out_});
+}
+
+}  // namespace nn
+}  // namespace caee

@@ -1,0 +1,38 @@
+// Fully-connected layer: y = x W^T + b.
+
+#ifndef CAEE_NN_LINEAR_H_
+#define CAEE_NN_LINEAR_H_
+
+#include "nn/module.h"
+
+namespace caee {
+namespace nn {
+
+class Linear : public Module {
+ public:
+  /// \brief Weight (out, in), Xavier-uniform initialised; bias (out), zero.
+  Linear(int64_t in_features, int64_t out_features, Rng* rng,
+         bool bias = true);
+
+  /// \brief x of shape (N, in) or (B, W, in); returns matching rank with the
+  /// trailing dimension replaced by `out`.
+  ag::Var Forward(const ag::Var& x) const;
+
+  int64_t in_features() const { return in_; }
+  int64_t out_features() const { return out_; }
+
+  const ag::Var& weight() const { return weight_; }
+  const ag::Var& bias() const { return bias_; }
+
+ private:
+  int64_t in_;
+  int64_t out_;
+  bool has_bias_;
+  ag::Var weight_;
+  ag::Var bias_;
+};
+
+}  // namespace nn
+}  // namespace caee
+
+#endif  // CAEE_NN_LINEAR_H_

@@ -1,0 +1,53 @@
+#include "nn/module.h"
+
+namespace caee {
+namespace nn {
+
+std::vector<ag::Var> Module::Parameters() const {
+  std::vector<std::pair<std::string, ag::Var>> named = NamedParameters();
+  std::vector<ag::Var> out;
+  out.reserve(named.size());
+  for (auto& [name, var] : named) out.push_back(var);
+  return out;
+}
+
+std::vector<std::pair<std::string, ag::Var>> Module::NamedParameters() const {
+  std::vector<std::pair<std::string, ag::Var>> out;
+  CollectNamed("", &out);
+  return out;
+}
+
+int64_t Module::NumParameters() const {
+  int64_t n = 0;
+  for (const auto& p : Parameters()) n += p->value().numel();
+  return n;
+}
+
+void Module::ZeroGrad() {
+  for (auto& p : Parameters()) p->ZeroGrad();
+}
+
+ag::Var Module::RegisterParameter(std::string name, Tensor init) {
+  ag::Var v = ag::Param(std::move(init));
+  params_.emplace_back(std::move(name), v);
+  return v;
+}
+
+void Module::RegisterModule(std::string name, Module* child) {
+  CAEE_CHECK_MSG(child != nullptr, "null child module");
+  children_.emplace_back(std::move(name), child);
+}
+
+void Module::CollectNamed(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, ag::Var>>* out) const {
+  for (const auto& [name, var] : params_) {
+    out->emplace_back(prefix.empty() ? name : prefix + "." + name, var);
+  }
+  for (const auto& [name, child] : children_) {
+    child->CollectNamed(prefix.empty() ? name : prefix + "." + name, out);
+  }
+}
+
+}  // namespace nn
+}  // namespace caee

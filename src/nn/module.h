@@ -1,0 +1,61 @@
+// Module: base class for neural-network components.
+//
+// A Module owns named parameters (ag::Var leaves with requires_grad) and
+// named child modules; Parameters()/NamedParameters() walk the tree
+// recursively, which is what optimisers, the serializer, and the ensemble's
+// parameter-transfer mechanism consume.
+
+#ifndef CAEE_NN_MODULE_H_
+#define CAEE_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+
+namespace caee {
+namespace nn {
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// \brief All trainable parameters in registration order (recursive).
+  std::vector<ag::Var> Parameters() const;
+
+  /// \brief Parameters with hierarchical dotted names, e.g.
+  /// "encoder.layer0.conv.weight".
+  std::vector<std::pair<std::string, ag::Var>> NamedParameters() const;
+
+  /// \brief Total scalar parameter count.
+  int64_t NumParameters() const;
+
+  /// \brief Drop all parameter gradients.
+  void ZeroGrad();
+
+ protected:
+  Module() = default;
+
+  /// \brief Create and register a trainable parameter.
+  ag::Var RegisterParameter(std::string name, Tensor init);
+
+  /// \brief Register a child (must outlive this module; typically a member).
+  void RegisterModule(std::string name, Module* child);
+
+ private:
+  void CollectNamed(const std::string& prefix,
+                    std::vector<std::pair<std::string, ag::Var>>* out) const;
+
+  std::vector<std::pair<std::string, ag::Var>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+};
+
+}  // namespace nn
+}  // namespace caee
+
+#endif  // CAEE_NN_MODULE_H_

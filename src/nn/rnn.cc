@@ -1,0 +1,78 @@
+#include "nn/rnn.h"
+
+namespace caee {
+namespace nn {
+
+LstmCell::LstmCell(int64_t input_dim, int64_t hidden_dim, Rng* rng)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      x_proj_(input_dim, 4 * hidden_dim, rng, /*bias=*/true),
+      h_proj_(hidden_dim, 4 * hidden_dim, rng, /*bias=*/false) {
+  RegisterModule("x_proj", &x_proj_);
+  RegisterModule("h_proj", &h_proj_);
+}
+
+LstmState LstmCell::Forward(const ag::Var& x, const LstmState& state) const {
+  const int64_t h = hidden_dim_;
+  ag::Var gates = ag::Add(x_proj_.Forward(x), h_proj_.Forward(state.h));
+  ag::Var i = ag::Sigmoid(ag::SliceLastDim(gates, 0, h));
+  ag::Var f = ag::Sigmoid(ag::SliceLastDim(gates, h, 2 * h));
+  ag::Var g = ag::Tanh(ag::SliceLastDim(gates, 2 * h, 3 * h));
+  ag::Var o = ag::Sigmoid(ag::SliceLastDim(gates, 3 * h, 4 * h));
+  ag::Var c_next = ag::Add(ag::Mul(f, state.c), ag::Mul(i, g));
+  ag::Var h_next = ag::Mul(o, ag::Tanh(c_next));
+  return {h_next, c_next};
+}
+
+LstmState LstmCell::InitialState(int64_t batch) const {
+  Tensor zeros(Shape{batch, hidden_dim_});
+  return {ag::Constant(zeros), ag::Constant(zeros)};
+}
+
+GruCell::GruCell(int64_t input_dim, int64_t hidden_dim, Rng* rng)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      x_proj_(input_dim, 3 * hidden_dim, rng, /*bias=*/true),
+      h_proj_(hidden_dim, 3 * hidden_dim, rng, /*bias=*/false) {
+  RegisterModule("x_proj", &x_proj_);
+  RegisterModule("h_proj", &h_proj_);
+}
+
+ag::Var GruCell::Forward(const ag::Var& x, const ag::Var& h) const {
+  const int64_t hd = hidden_dim_;
+  ag::Var xg = x_proj_.Forward(x);
+  ag::Var hg = h_proj_.Forward(h);
+  ag::Var r = ag::Sigmoid(ag::Add(ag::SliceLastDim(xg, 0, hd),
+                                  ag::SliceLastDim(hg, 0, hd)));
+  ag::Var z = ag::Sigmoid(ag::Add(ag::SliceLastDim(xg, hd, 2 * hd),
+                                  ag::SliceLastDim(hg, hd, 2 * hd)));
+  ag::Var n = ag::Tanh(
+      ag::Add(ag::SliceLastDim(xg, 2 * hd, 3 * hd),
+              ag::Mul(r, ag::SliceLastDim(hg, 2 * hd, 3 * hd))));
+  // h' = (1 - z) ⊙ n + z ⊙ h
+  ag::Var one_minus_z = ag::Sub(ag::Constant(Tensor(z->value().shape(), 1.0f)), z);
+  return ag::Add(ag::Mul(one_minus_z, n), ag::Mul(z, h));
+}
+
+ag::Var GruCell::InitialState(int64_t batch) const {
+  return ag::Constant(Tensor(Shape{batch, hidden_dim_}));
+}
+
+std::vector<ag::Var> SplitTimeConstant(const Tensor& x) {
+  CAEE_CHECK_MSG(x.rank() == 3, "SplitTimeConstant expects (B,W,D)");
+  const int64_t b = x.dim(0), w = x.dim(1), d = x.dim(2);
+  std::vector<ag::Var> out;
+  out.reserve(static_cast<size_t>(w));
+  for (int64_t t = 0; t < w; ++t) {
+    Tensor slice(Shape{b, d});
+    for (int64_t bb = 0; bb < b; ++bb) {
+      const float* src = x.data() + (bb * w + t) * d;
+      std::copy(src, src + d, slice.data() + bb * d);
+    }
+    out.push_back(ag::Constant(std::move(slice)));
+  }
+  return out;
+}
+
+}  // namespace nn
+}  // namespace caee

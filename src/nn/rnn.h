@@ -1,0 +1,71 @@
+// Recurrent cells (LSTM, GRU) and sequence helpers.
+//
+// These power the recurrent baselines (RAE, RAE-Ensemble, RNNVAE,
+// OmniAnomaly-lite). The deliberate absence of any cross-timestep
+// parallelism here is the efficiency foil the paper's Tables 7-8 measure
+// the CAE against.
+
+#ifndef CAEE_NN_RNN_H_
+#define CAEE_NN_RNN_H_
+
+#include <vector>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace caee {
+namespace nn {
+
+/// \brief One LSTM step state.
+struct LstmState {
+  ag::Var h;
+  ag::Var c;
+};
+
+class LstmCell : public Module {
+ public:
+  LstmCell(int64_t input_dim, int64_t hidden_dim, Rng* rng);
+
+  /// \brief x (B, input_dim), state (B, hidden_dim) each -> next state.
+  LstmState Forward(const ag::Var& x, const LstmState& state) const;
+
+  /// \brief Zero initial state for a batch.
+  LstmState InitialState(int64_t batch) const;
+
+  int64_t input_dim() const { return input_dim_; }
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int64_t input_dim_;
+  int64_t hidden_dim_;
+  Linear x_proj_;  // (4H, D) with bias
+  Linear h_proj_;  // (4H, H) without bias
+};
+
+class GruCell : public Module {
+ public:
+  GruCell(int64_t input_dim, int64_t hidden_dim, Rng* rng);
+
+  /// \brief x (B, input_dim), h (B, hidden_dim) -> next h.
+  ag::Var Forward(const ag::Var& x, const ag::Var& h) const;
+
+  ag::Var InitialState(int64_t batch) const;
+
+  int64_t input_dim() const { return input_dim_; }
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int64_t input_dim_;
+  int64_t hidden_dim_;
+  Linear x_proj_;  // (3H, D) with bias
+  Linear h_proj_;  // (3H, H) without bias
+};
+
+/// \brief Split a constant (B, W, D) batch into W constant (B, D) slices for
+/// feeding a recurrent loop. No gradient flows into the source tensor.
+std::vector<ag::Var> SplitTimeConstant(const Tensor& x);
+
+}  // namespace nn
+}  // namespace caee
+
+#endif  // CAEE_NN_RNN_H_

@@ -1,0 +1,94 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+
+namespace caee {
+namespace nn {
+
+namespace {
+constexpr uint32_t kMagic = 0xCAEE0001;
+}
+
+StateDict GetStateDict(const Module& module) {
+  StateDict dict;
+  for (const auto& [name, var] : module.NamedParameters()) {
+    dict.emplace(name, var->value());
+  }
+  return dict;
+}
+
+Status LoadStateDict(Module* module, const StateDict& dict) {
+  for (auto& [name, var] : module->NamedParameters()) {
+    auto it = dict.find(name);
+    if (it == dict.end()) {
+      return Status::NotFound("parameter missing from state dict: " + name);
+    }
+    if (!(it->second.shape() == var->value().shape())) {
+      return Status::InvalidArgument(
+          "shape mismatch for " + name + ": " +
+          ShapeToString(it->second.shape()) + " vs " +
+          ShapeToString(var->value().shape()));
+    }
+    var->mutable_value() = it->second;
+  }
+  return Status::OK();
+}
+
+Status SaveStateDict(const StateDict& dict, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  auto write_u32 = [&out](uint32_t v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  write_u32(kMagic);
+  write_u32(static_cast<uint32_t>(dict.size()));
+  for (const auto& [name, tensor] : dict) {
+    write_u32(static_cast<uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_u32(static_cast<uint32_t>(tensor.rank()));
+    for (int64_t i = 0; i < tensor.rank(); ++i) {
+      const int64_t d = tensor.dim(i);
+      out.write(reinterpret_cast<const char*>(&d), sizeof(d));
+    }
+    out.write(reinterpret_cast<const char*>(tensor.data()),
+              static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<StateDict> LoadStateDictFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  auto read_u32 = [&in]() {
+    uint32_t v = 0;
+    in.read(reinterpret_cast<char*>(&v), sizeof(v));
+    return v;
+  };
+  if (read_u32() != kMagic) {
+    return Status::IOError("bad magic in state dict file: " + path);
+  }
+  const uint32_t count = read_u32();
+  StateDict dict;
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint32_t name_len = read_u32();
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    const uint32_t rank = read_u32();
+    if (rank > 4) return Status::IOError("corrupt state dict (rank > 4)");
+    Shape shape(rank);
+    for (uint32_t r = 0; r < rank; ++r) {
+      in.read(reinterpret_cast<char*>(&shape[r]), sizeof(int64_t));
+    }
+    Tensor t{shape};
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+    if (!in) return Status::IOError("truncated state dict file: " + path);
+    dict.emplace(std::move(name), std::move(t));
+  }
+  return dict;
+}
+
+}  // namespace nn
+}  // namespace caee

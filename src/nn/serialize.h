@@ -1,0 +1,34 @@
+// Parameter serialization: StateDict extraction / loading for Modules, plus
+// a simple binary file format. Used by the ensemble's parameter transfer and
+// for model checkpointing.
+
+#ifndef CAEE_NN_SERIALIZE_H_
+#define CAEE_NN_SERIALIZE_H_
+
+#include <map>
+#include <string>
+
+#include "nn/module.h"
+
+namespace caee {
+namespace nn {
+
+using StateDict = std::map<std::string, Tensor>;
+
+/// \brief Snapshot all named parameters (deep copies).
+StateDict GetStateDict(const Module& module);
+
+/// \brief Copy values from `dict` into the module's parameters. Every module
+/// parameter must be present with a matching shape.
+Status LoadStateDict(Module* module, const StateDict& dict);
+
+/// \brief Write a StateDict to a binary file.
+Status SaveStateDict(const StateDict& dict, const std::string& path);
+
+/// \brief Read a StateDict from a binary file.
+StatusOr<StateDict> LoadStateDictFile(const std::string& path);
+
+}  // namespace nn
+}  // namespace caee
+
+#endif  // CAEE_NN_SERIALIZE_H_

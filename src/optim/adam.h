@@ -1,0 +1,36 @@
+// Adam (Kingma & Ba, 2015) — the optimizer the paper trains with
+// (lr = 0.001, default betas).
+
+#ifndef CAEE_OPTIM_ADAM_H_
+#define CAEE_OPTIM_ADAM_H_
+
+#include "optim/optimizer.h"
+
+namespace caee {
+namespace optim {
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<ag::Var> params, float lr = 1e-3f, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+
+  void Step() override;
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+  int64_t step_count() const { return t_; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace optim
+}  // namespace caee
+
+#endif  // CAEE_OPTIM_ADAM_H_

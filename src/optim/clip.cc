@@ -1,0 +1,30 @@
+#include "optim/clip.h"
+
+#include <cmath>
+
+namespace caee {
+namespace optim {
+
+double ClipGradNorm(const std::vector<ag::Var>& params, double max_norm) {
+  double total_sq = 0.0;
+  for (const auto& p : params) {
+    if (!p->has_grad()) continue;
+    const Tensor& g = p->grad();
+    for (int64_t i = 0; i < g.numel(); ++i) {
+      total_sq += static_cast<double>(g[i]) * g[i];
+    }
+  }
+  const double norm = std::sqrt(total_sq);
+  if (norm > max_norm && norm > 0.0) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (auto& p : params) {
+      if (!p->has_grad()) continue;
+      Tensor& g = p->grad();
+      for (int64_t i = 0; i < g.numel(); ++i) g[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace optim
+}  // namespace caee

@@ -1,0 +1,21 @@
+// Gradient clipping utilities (global-norm clipping stabilises the
+// diversity-driven objective, whose −λ·K term is unbounded below).
+
+#ifndef CAEE_OPTIM_CLIP_H_
+#define CAEE_OPTIM_CLIP_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace caee {
+namespace optim {
+
+/// \brief Scale all gradients so their joint L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+double ClipGradNorm(const std::vector<ag::Var>& params, double max_norm);
+
+}  // namespace optim
+}  // namespace caee
+
+#endif  // CAEE_OPTIM_CLIP_H_

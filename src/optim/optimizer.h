@@ -1,0 +1,37 @@
+// Optimizer interface: consumes the gradients accumulated on a fixed set of
+// parameters and updates their values in place.
+
+#ifndef CAEE_OPTIM_OPTIMIZER_H_
+#define CAEE_OPTIM_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace caee {
+namespace optim {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<ag::Var> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// \brief Apply one update using the currently accumulated gradients.
+  virtual void Step() = 0;
+
+  /// \brief Drop gradients on all managed parameters.
+  void ZeroGrad() {
+    for (auto& p : params_) p->ZeroGrad();
+  }
+
+  const std::vector<ag::Var>& params() const { return params_; }
+
+ protected:
+  std::vector<ag::Var> params_;
+};
+
+}  // namespace optim
+}  // namespace caee
+
+#endif  // CAEE_OPTIM_OPTIMIZER_H_

@@ -1,0 +1,33 @@
+#include "optim/sgd.h"
+
+namespace caee {
+namespace optim {
+
+Sgd::Sgd(std::vector<ag::Var> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  if (momentum_ != 0.0f) {
+    velocity_.reserve(params_.size());
+    for (const auto& p : params_) velocity_.emplace_back(p->value().shape());
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    ag::Var& p = params_[i];
+    if (!p->has_grad()) continue;
+    const Tensor& g = p->grad();
+    Tensor& v = p->mutable_value();
+    if (momentum_ == 0.0f) {
+      for (int64_t j = 0; j < v.numel(); ++j) v[j] -= lr_ * g[j];
+    } else {
+      Tensor& vel = velocity_[i];
+      for (int64_t j = 0; j < v.numel(); ++j) {
+        vel[j] = momentum_ * vel[j] + g[j];
+        v[j] -= lr_ * vel[j];
+      }
+    }
+  }
+}
+
+}  // namespace optim
+}  // namespace caee

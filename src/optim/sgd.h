@@ -1,0 +1,29 @@
+// Stochastic gradient descent with optional classical momentum.
+
+#ifndef CAEE_OPTIM_SGD_H_
+#define CAEE_OPTIM_SGD_H_
+
+#include "optim/optimizer.h"
+
+namespace caee {
+namespace optim {
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<ag::Var> params, float lr, float momentum = 0.0f);
+
+  void Step() override;
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+}  // namespace optim
+}  // namespace caee
+
+#endif  // CAEE_OPTIM_SGD_H_

@@ -1,0 +1,172 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace caee {
+
+int64_t NumElements(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) n *= d;
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream oss;
+  oss << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i) oss << ", ";
+    oss << shape[i];
+  }
+  oss << "]";
+  return oss.str();
+}
+
+Tensor::Tensor() : shape_{0} {}
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
+  for (int64_t d : shape_) CAEE_CHECK_MSG(d >= 0, "negative dimension");
+  CAEE_CHECK_MSG(shape_.size() <= 4, "rank > 4 unsupported");
+  data_.assign(static_cast<size_t>(NumElements(shape_)), 0.0f);
+}
+
+Tensor::Tensor(Shape shape, float fill) : Tensor(std::move(shape)) {
+  Fill(fill);
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  CAEE_CHECK_MSG(
+      static_cast<int64_t>(data_.size()) == NumElements(shape_),
+      "data size " << data_.size() << " != shape " << ShapeToString(shape_));
+}
+
+Tensor Tensor::Scalar(float v) {
+  Tensor t{Shape{}};
+  t.data_.assign(1, v);
+  return t;
+}
+
+Tensor Tensor::Randn(Shape shape, Rng* rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng->Gaussian(0.0, stddev));
+  return t;
+}
+
+Tensor Tensor::RandUniform(Shape shape, Rng* rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng->Uniform(lo, hi));
+  return t;
+}
+
+int64_t Tensor::dim(int64_t i) const {
+  CAEE_CHECK_MSG(i >= 0 && i < rank(), "dim index out of range");
+  return shape_[static_cast<size_t>(i)];
+}
+
+int64_t Tensor::FlatIndex2(int64_t i, int64_t j) const {
+  return i * shape_[1] + j;
+}
+int64_t Tensor::FlatIndex3(int64_t i, int64_t j, int64_t k) const {
+  return (i * shape_[1] + j) * shape_[2] + k;
+}
+int64_t Tensor::FlatIndex4(int64_t i, int64_t j, int64_t k, int64_t l) const {
+  return ((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l;
+}
+
+float& Tensor::at(int64_t i) {
+  CAEE_CHECK(rank() == 1 && i >= 0 && i < shape_[0]);
+  return data_[static_cast<size_t>(i)];
+}
+float& Tensor::at(int64_t i, int64_t j) {
+  CAEE_CHECK(rank() == 2 && i >= 0 && i < shape_[0] && j >= 0 &&
+             j < shape_[1]);
+  return data_[static_cast<size_t>(FlatIndex2(i, j))];
+}
+float& Tensor::at(int64_t i, int64_t j, int64_t k) {
+  CAEE_CHECK(rank() == 3 && i >= 0 && i < shape_[0] && j >= 0 &&
+             j < shape_[1] && k >= 0 && k < shape_[2]);
+  return data_[static_cast<size_t>(FlatIndex3(i, j, k))];
+}
+float& Tensor::at(int64_t i, int64_t j, int64_t k, int64_t l) {
+  CAEE_CHECK(rank() == 4 && i >= 0 && i < shape_[0] && j >= 0 &&
+             j < shape_[1] && k >= 0 && k < shape_[2] && l >= 0 &&
+             l < shape_[3]);
+  return data_[static_cast<size_t>(FlatIndex4(i, j, k, l))];
+}
+float Tensor::at(int64_t i) const { return const_cast<Tensor*>(this)->at(i); }
+float Tensor::at(int64_t i, int64_t j) const {
+  return const_cast<Tensor*>(this)->at(i, j);
+}
+float Tensor::at(int64_t i, int64_t j, int64_t k) const {
+  return const_cast<Tensor*>(this)->at(i, j, k);
+}
+float Tensor::at(int64_t i, int64_t j, int64_t k, int64_t l) const {
+  return const_cast<Tensor*>(this)->at(i, j, k, l);
+}
+
+StatusOr<Tensor> Tensor::Reshape(Shape new_shape) const {
+  if (NumElements(new_shape) != numel()) {
+    return Status::InvalidArgument("Reshape " + ShapeToString(shape_) +
+                                   " -> " + ShapeToString(new_shape) +
+                                   ": element count mismatch");
+  }
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.data_ = data_;
+  return out;
+}
+
+void Tensor::Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+double Tensor::Sum() const {
+  double s = 0.0;
+  for (float v : data_) s += v;
+  return s;
+}
+
+double Tensor::Mean() const {
+  if (data_.empty()) return 0.0;
+  return Sum() / static_cast<double>(data_.size());
+}
+
+float Tensor::Max() const {
+  CAEE_CHECK_MSG(!data_.empty(), "Max of empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::Min() const {
+  CAEE_CHECK_MSG(!data_.empty(), "Min of empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+double Tensor::Norm() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return std::sqrt(s);
+}
+
+std::string Tensor::ToString(int64_t max_per_dim) const {
+  std::ostringstream oss;
+  oss << "Tensor" << ShapeToString(shape_) << " [";
+  const int64_t n = std::min<int64_t>(numel(), max_per_dim * 4);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i) oss << ", ";
+    oss << data_[static_cast<size_t>(i)];
+  }
+  if (n < numel()) oss << ", ...";
+  oss << "]";
+  return oss.str();
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, float rtol, float atol) {
+  if (!a.SameShape(b)) return false;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const float diff = std::fabs(a[i] - b[i]);
+    if (diff > atol + rtol * std::fabs(b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace caee

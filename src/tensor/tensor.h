@@ -1,0 +1,118 @@
+// Dense row-major float32 tensor (rank 0..4).
+//
+// This is the storage type underneath the autograd layer. Compute kernels
+// live in tensor_ops.h; Tensor itself only owns memory, shape bookkeeping,
+// and element access.
+
+#ifndef CAEE_TENSOR_TENSOR_H_
+#define CAEE_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace caee {
+
+using Shape = std::vector<int64_t>;
+
+/// \brief Number of elements implied by a shape (1 for rank-0).
+int64_t NumElements(const Shape& shape);
+
+/// \brief Render e.g. [2, 3, 4].
+std::string ShapeToString(const Shape& shape);
+
+class Tensor {
+ public:
+  /// \brief Empty rank-1 tensor of size 0.
+  Tensor();
+
+  /// \brief Zero-initialised tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// \brief Tensor of the given shape with every element set to `fill`.
+  Tensor(Shape shape, float fill);
+
+  /// \brief Tensor taking ownership of `data` (size must match shape).
+  Tensor(Shape shape, std::vector<float> data);
+
+  static Tensor Zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor Ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
+  static Tensor Full(Shape shape, float v) {
+    return Tensor(std::move(shape), v);
+  }
+  /// \brief Rank-0 scalar.
+  static Tensor Scalar(float v);
+  /// \brief i.i.d. N(0, stddev^2) entries.
+  static Tensor Randn(Shape shape, Rng* rng, float stddev = 1.0f);
+  /// \brief i.i.d. U[lo, hi) entries.
+  static Tensor RandUniform(Shape shape, Rng* rng, float lo, float hi);
+
+  const Shape& shape() const { return shape_; }
+  int64_t rank() const { return static_cast<int64_t>(shape_.size()); }
+  int64_t dim(int64_t i) const;
+  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  /// \brief Flat element access.
+  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  /// \brief Multi-dimensional access (bounds-checked in debug via CAEE_CHECK).
+  float& at(int64_t i);
+  float& at(int64_t i, int64_t j);
+  float& at(int64_t i, int64_t j, int64_t k);
+  float& at(int64_t i, int64_t j, int64_t k, int64_t l);
+  float at(int64_t i) const;
+  float at(int64_t i, int64_t j) const;
+  float at(int64_t i, int64_t j, int64_t k) const;
+  float at(int64_t i, int64_t j, int64_t k, int64_t l) const;
+
+  /// \brief Same data, new shape (element counts must agree).
+  StatusOr<Tensor> Reshape(Shape new_shape) const;
+
+  /// \brief Set every element to v.
+  void Fill(float v);
+
+  /// \brief Set every element to 0.
+  void Zero() { Fill(0.0f); }
+
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// \brief Sum of all elements (double accumulator).
+  double Sum() const;
+  /// \brief Mean of all elements (0 for empty).
+  double Mean() const;
+  /// \brief Max element (requires numel > 0).
+  float Max() const;
+  /// \brief Min element (requires numel > 0).
+  float Min() const;
+  /// \brief L2 norm of the flattened tensor.
+  double Norm() const;
+
+  /// \brief Human-readable dump (truncates long tensors).
+  std::string ToString(int64_t max_per_dim = 8) const;
+
+ private:
+  int64_t FlatIndex2(int64_t i, int64_t j) const;
+  int64_t FlatIndex3(int64_t i, int64_t j, int64_t k) const;
+  int64_t FlatIndex4(int64_t i, int64_t j, int64_t k, int64_t l) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// \brief True when every pair of elements differs by at most atol + rtol*|b|.
+bool AllClose(const Tensor& a, const Tensor& b, float rtol = 1e-5f,
+              float atol = 1e-6f);
+
+}  // namespace caee
+
+#endif  // CAEE_TENSOR_TENSOR_H_

@@ -1,0 +1,427 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/thread_pool.h"
+
+namespace caee {
+namespace ops {
+
+namespace {
+void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
+  CAEE_CHECK_MSG(a.SameShape(b), op << ": shape mismatch "
+                                    << ShapeToString(a.shape()) << " vs "
+                                    << ShapeToString(b.shape()));
+}
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Add");
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < a.numel(); ++i) po[i] = pa[i] + pb[i];
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Sub");
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Mul");
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+void AxpyInPlace(float alpha, const Tensor& x, Tensor* y) {
+  CheckSameShape(x, *y, "Axpy");
+  float* py = y->data();
+  const float* px = x.data();
+  for (int64_t i = 0; i < x.numel(); ++i) py[i] += alpha * px[i];
+}
+
+void AddInPlace(const Tensor& x, Tensor* y) { AxpyInPlace(1.0f, x, y); }
+
+Tensor AddBias(const Tensor& x, const Tensor& bias) {
+  CAEE_CHECK_MSG(bias.rank() == 1, "bias must be rank-1");
+  const int64_t d = bias.dim(0);
+  CAEE_CHECK_MSG(x.rank() >= 1 && x.dim(x.rank() - 1) == d,
+                 "AddBias: trailing dim " << x.dim(x.rank() - 1) << " != "
+                                          << d);
+  Tensor out(x.shape());
+  const int64_t rows = x.numel() / d;
+  const float* px = x.data();
+  const float* pb = bias.data();
+  float* po = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xi = px + r * d;
+    float* oi = po + r * d;
+    for (int64_t j = 0; j < d; ++j) oi[j] = xi[j] + pb[j];
+  }
+  return out;
+}
+
+void AddBiasBackward(const Tensor& dy, Tensor* dbias) {
+  const int64_t d = dbias->dim(0);
+  CAEE_CHECK(dy.numel() % d == 0);
+  const int64_t rows = dy.numel() / d;
+  const float* pdy = dy.data();
+  float* pdb = dbias->data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = pdy + r * d;
+    for (int64_t j = 0; j < d; ++j) pdb[j] += row[j];
+  }
+}
+
+Tensor Sigmoid(const Tensor& x) {
+  Tensor out(x.shape());
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    out[i] = 1.0f / (1.0f + std::exp(-x[i]));
+  }
+  return out;
+}
+
+Tensor Tanh(const Tensor& x) {
+  Tensor out(x.shape());
+  for (int64_t i = 0; i < x.numel(); ++i) out[i] = std::tanh(x[i]);
+  return out;
+}
+
+Tensor Relu(const Tensor& x) {
+  Tensor out(x.shape());
+  for (int64_t i = 0; i < x.numel(); ++i) out[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  return out;
+}
+
+Tensor Exp(const Tensor& x) {
+  Tensor out(x.shape());
+  for (int64_t i = 0; i < x.numel(); ++i) out[i] = std::exp(x[i]);
+  return out;
+}
+
+Tensor Log(const Tensor& x) {
+  Tensor out(x.shape());
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    CAEE_CHECK_MSG(x[i] > 0.0f, "Log of non-positive value");
+    out[i] = std::log(x[i]);
+  }
+  return out;
+}
+
+Tensor SoftmaxLastDim(const Tensor& x) {
+  CAEE_CHECK_MSG(x.rank() >= 1, "SoftmaxLastDim needs rank >= 1");
+  const int64_t d = x.dim(x.rank() - 1);
+  CAEE_CHECK_MSG(d > 0, "SoftmaxLastDim over empty dim");
+  Tensor out(x.shape());
+  const int64_t rows = x.numel() / d;
+  const float* px = x.data();
+  float* po = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xi = px + r * d;
+    float* oi = po + r * d;
+    float mx = xi[0];
+    for (int64_t j = 1; j < d; ++j) mx = std::max(mx, xi[j]);
+    double sum = 0.0;
+    for (int64_t j = 0; j < d; ++j) {
+      oi[j] = std::exp(xi[j] - mx);
+      sum += oi[j];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (int64_t j = 0; j < d; ++j) oi[j] *= inv;
+  }
+  return out;
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  CAEE_CHECK_MSG(a.rank() == 2 && b.rank() == 2, "MatMul needs rank-2 inputs");
+  const int64_t n = trans_a ? a.dim(1) : a.dim(0);
+  const int64_t k = trans_a ? a.dim(0) : a.dim(1);
+  const int64_t kb = trans_b ? b.dim(1) : b.dim(0);
+  const int64_t m = trans_b ? b.dim(0) : b.dim(1);
+  CAEE_CHECK_MSG(k == kb, "MatMul inner dims mismatch: " << k << " vs " << kb);
+  Tensor out(Shape{n, m});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const int64_t lda = a.dim(1);
+  const int64_t ldb = b.dim(1);
+
+  auto body = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      float* orow = po + static_cast<int64_t>(i) * m;
+      std::fill(orow, orow + m, 0.0f);
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = trans_a ? pa[p * lda + static_cast<int64_t>(i)]
+                                 : pa[static_cast<int64_t>(i) * lda + p];
+        if (av == 0.0f) continue;
+        if (!trans_b) {
+          const float* brow = pb + p * ldb;
+          for (int64_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+        } else {
+          for (int64_t j = 0; j < m; ++j) orow[j] += av * pb[j * ldb + p];
+        }
+      }
+    }
+  };
+  ParallelForRange(static_cast<size_t>(n), body, /*min_chunk=*/16);
+  return out;
+}
+
+Tensor BatchedMatMul(const Tensor& a, const Tensor& b, bool trans_a,
+                     bool trans_b) {
+  CAEE_CHECK_MSG(a.rank() == 3 && b.rank() == 3,
+                 "BatchedMatMul needs rank-3 inputs");
+  CAEE_CHECK_MSG(a.dim(0) == b.dim(0), "batch dims mismatch");
+  const int64_t bs = a.dim(0);
+  const int64_t n = trans_a ? a.dim(2) : a.dim(1);
+  const int64_t k = trans_a ? a.dim(1) : a.dim(2);
+  const int64_t kb = trans_b ? b.dim(2) : b.dim(1);
+  const int64_t m = trans_b ? b.dim(1) : b.dim(2);
+  CAEE_CHECK_MSG(k == kb,
+                 "BatchedMatMul inner dims mismatch: " << k << " vs " << kb);
+  Tensor out(Shape{bs, n, m});
+  const int64_t a_stride = a.dim(1) * a.dim(2);
+  const int64_t b_stride = b.dim(1) * b.dim(2);
+  const int64_t o_stride = n * m;
+  const int64_t lda = a.dim(2);
+  const int64_t ldb = b.dim(2);
+
+  auto body = [&](size_t batch) {
+    const float* pa = a.data() + static_cast<int64_t>(batch) * a_stride;
+    const float* pb = b.data() + static_cast<int64_t>(batch) * b_stride;
+    float* po = out.data() + static_cast<int64_t>(batch) * o_stride;
+    for (int64_t i = 0; i < n; ++i) {
+      float* orow = po + i * m;
+      std::fill(orow, orow + m, 0.0f);
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = trans_a ? pa[p * lda + i] : pa[i * lda + p];
+        if (av == 0.0f) continue;
+        if (!trans_b) {
+          const float* brow = pb + p * ldb;
+          for (int64_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+        } else {
+          for (int64_t j = 0; j < m; ++j) orow[j] += av * pb[j * ldb + p];
+        }
+      }
+    }
+  };
+  ParallelFor(static_cast<size_t>(bs), body, /*grain=*/1);
+  return out;
+}
+
+Tensor Transpose2D(const Tensor& a) {
+  CAEE_CHECK_MSG(a.rank() == 2, "Transpose2D needs rank-2");
+  Tensor out(Shape{a.dim(1), a.dim(0)});
+  for (int64_t i = 0; i < a.dim(0); ++i) {
+    for (int64_t j = 0; j < a.dim(1); ++j) out.at(j, i) = a.at(i, j);
+  }
+  return out;
+}
+
+Tensor Conv1d(const Tensor& x, const Tensor& w, const Tensor& bias,
+              int64_t pad_left, int64_t pad_right) {
+  CAEE_CHECK_MSG(x.rank() == 3, "Conv1d input must be (B,W,Cin)");
+  CAEE_CHECK_MSG(w.rank() == 3, "Conv1d weight must be (Cout,K,Cin)");
+  const int64_t b = x.dim(0), in_w = x.dim(1), cin = x.dim(2);
+  const int64_t cout = w.dim(0), k = w.dim(1);
+  CAEE_CHECK_MSG(w.dim(2) == cin, "Conv1d channel mismatch");
+  CAEE_CHECK_MSG(bias.rank() == 1 && bias.dim(0) == cout,
+                 "Conv1d bias shape mismatch");
+  CAEE_CHECK_MSG(pad_left >= 0 && pad_right >= 0, "negative padding");
+  const int64_t out_w = in_w + pad_left + pad_right - k + 1;
+  CAEE_CHECK_MSG(out_w >= 1, "Conv1d output length < 1");
+
+  Tensor out(Shape{b, out_w, cout});
+  const float* px = x.data();
+  const float* pw = w.data();
+  const float* pbias = bias.data();
+  float* po = out.data();
+
+  auto body = [&](size_t flat) {
+    const int64_t bb = static_cast<int64_t>(flat) / out_w;
+    const int64_t t = static_cast<int64_t>(flat) % out_w;
+    float* orow = po + (bb * out_w + t) * cout;
+    for (int64_t co = 0; co < cout; ++co) orow[co] = pbias[co];
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const int64_t src = t + kk - pad_left;
+      if (src < 0 || src >= in_w) continue;
+      const float* xrow = px + (bb * in_w + src) * cin;
+      const float* wrow = pw + kk * cin;  // within a given co block below
+      for (int64_t co = 0; co < cout; ++co) {
+        const float* wk = pw + (co * k + kk) * cin;
+        float acc = 0.0f;
+        for (int64_t ci = 0; ci < cin; ++ci) acc += xrow[ci] * wk[ci];
+        orow[co] += acc;
+      }
+      (void)wrow;
+    }
+  };
+  ParallelFor(static_cast<size_t>(b * out_w), body, /*grain=*/8);
+  return out;
+}
+
+Tensor Conv1dBackwardInput(const Tensor& dy, const Tensor& w, int64_t in_w,
+                           int64_t pad_left) {
+  const int64_t b = dy.dim(0), out_w = dy.dim(1), cout = dy.dim(2);
+  const int64_t k = w.dim(1), cin = w.dim(2);
+  CAEE_CHECK(w.dim(0) == cout);
+  Tensor dx(Shape{b, in_w, cin});
+  const float* pdy = dy.data();
+  const float* pw = w.data();
+  float* pdx = dx.data();
+
+  auto body = [&](size_t batch) {
+    const int64_t bb = static_cast<int64_t>(batch);
+    for (int64_t t = 0; t < out_w; ++t) {
+      const float* dyrow = pdy + (bb * out_w + t) * cout;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const int64_t src = t + kk - pad_left;
+        if (src < 0 || src >= in_w) continue;
+        float* dxrow = pdx + (bb * in_w + src) * cin;
+        for (int64_t co = 0; co < cout; ++co) {
+          const float g = dyrow[co];
+          if (g == 0.0f) continue;
+          const float* wk = pw + (co * k + kk) * cin;
+          for (int64_t ci = 0; ci < cin; ++ci) dxrow[ci] += g * wk[ci];
+        }
+      }
+    }
+  };
+  ParallelFor(static_cast<size_t>(b), body, /*grain=*/1);
+  return dx;
+}
+
+Tensor Conv1dBackwardWeight(const Tensor& dy, const Tensor& x, int64_t kernel,
+                            int64_t pad_left) {
+  const int64_t b = dy.dim(0), out_w = dy.dim(1), cout = dy.dim(2);
+  const int64_t in_w = x.dim(1), cin = x.dim(2);
+  CAEE_CHECK(x.dim(0) == b);
+  Tensor dw(Shape{cout, kernel, cin});
+  const float* pdy = dy.data();
+  const float* px = x.data();
+  float* pdw = dw.data();
+
+  // Parallelise over output channels; each channel's slice is private.
+  auto body = [&](size_t co_idx) {
+    const int64_t co = static_cast<int64_t>(co_idx);
+    for (int64_t bb = 0; bb < b; ++bb) {
+      for (int64_t t = 0; t < out_w; ++t) {
+        const float g = pdy[(bb * out_w + t) * cout + co];
+        if (g == 0.0f) continue;
+        for (int64_t kk = 0; kk < kernel; ++kk) {
+          const int64_t src = t + kk - pad_left;
+          if (src < 0 || src >= in_w) continue;
+          const float* xrow = px + (bb * in_w + src) * cin;
+          float* wk = pdw + (co * kernel + kk) * cin;
+          for (int64_t ci = 0; ci < cin; ++ci) wk[ci] += g * xrow[ci];
+        }
+      }
+    }
+  };
+  ParallelFor(static_cast<size_t>(cout), body, /*grain=*/1);
+  return dw;
+}
+
+Tensor Conv1dBackwardBias(const Tensor& dy) {
+  const int64_t cout = dy.dim(2);
+  Tensor db(Shape{cout});
+  const int64_t rows = dy.numel() / cout;
+  const float* pdy = dy.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = pdy + r * cout;
+    for (int64_t c = 0; c < cout; ++c) db[c] += row[c];
+  }
+  return db;
+}
+
+Tensor ShiftTimeRight(const Tensor& x, int64_t steps) {
+  CAEE_CHECK_MSG(x.rank() == 3, "ShiftTimeRight needs (B,W,D)");
+  const int64_t b = x.dim(0), w = x.dim(1), d = x.dim(2);
+  CAEE_CHECK_MSG(steps >= 0 && steps <= w, "shift out of range");
+  Tensor out(x.shape());
+  for (int64_t bb = 0; bb < b; ++bb) {
+    for (int64_t t = steps; t < w; ++t) {
+      const float* src = x.data() + (bb * w + (t - steps)) * d;
+      float* dst = out.data() + (bb * w + t) * d;
+      std::copy(src, src + d, dst);
+    }
+  }
+  return out;
+}
+
+Tensor ShiftTimeRightBackward(const Tensor& dy, int64_t steps) {
+  const int64_t b = dy.dim(0), w = dy.dim(1), d = dy.dim(2);
+  Tensor dx(dy.shape());
+  for (int64_t bb = 0; bb < b; ++bb) {
+    for (int64_t t = steps; t < w; ++t) {
+      const float* src = dy.data() + (bb * w + t) * d;
+      float* dst = dx.data() + (bb * w + (t - steps)) * d;
+      std::copy(src, src + d, dst);
+    }
+  }
+  return dx;
+}
+
+Tensor SliceLastDim(const Tensor& x, int64_t begin, int64_t end) {
+  const int64_t d = x.dim(x.rank() - 1);
+  CAEE_CHECK_MSG(begin >= 0 && begin < end && end <= d,
+                 "SliceLastDim range invalid");
+  Shape out_shape = x.shape();
+  out_shape.back() = end - begin;
+  Tensor out(out_shape);
+  const int64_t rows = x.numel() / d;
+  const int64_t od = end - begin;
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* src = x.data() + r * d + begin;
+    float* dst = out.data() + r * od;
+    std::copy(src, src + od, dst);
+  }
+  return out;
+}
+
+void SliceLastDimBackward(const Tensor& dy, int64_t begin, Tensor* dx) {
+  const int64_t d = dx->dim(dx->rank() - 1);
+  const int64_t od = dy.dim(dy.rank() - 1);
+  const int64_t rows = dy.numel() / od;
+  CAEE_CHECK(dx->numel() / d == rows);
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* src = dy.data() + r * od;
+    float* dst = dx->data() + r * d + begin;
+    for (int64_t j = 0; j < od; ++j) dst[j] += src[j];
+  }
+}
+
+Tensor ConcatLastDim(const Tensor& a, const Tensor& b) {
+  CAEE_CHECK_MSG(a.rank() == b.rank(), "ConcatLastDim rank mismatch");
+  for (int64_t i = 0; i + 1 < a.rank(); ++i) {
+    CAEE_CHECK_MSG(a.dim(i) == b.dim(i), "ConcatLastDim leading dim mismatch");
+  }
+  const int64_t da = a.dim(a.rank() - 1);
+  const int64_t db = b.dim(b.rank() - 1);
+  Shape out_shape = a.shape();
+  out_shape.back() = da + db;
+  Tensor out(out_shape);
+  const int64_t rows = a.numel() / da;
+  for (int64_t r = 0; r < rows; ++r) {
+    float* dst = out.data() + r * (da + db);
+    std::copy(a.data() + r * da, a.data() + (r + 1) * da, dst);
+    std::copy(b.data() + r * db, b.data() + (r + 1) * db, dst + da);
+  }
+  return out;
+}
+
+}  // namespace ops
+}  // namespace caee

@@ -1,0 +1,110 @@
+// Compute kernels over Tensor. These are the primitives the autograd ops
+// call for both forward and backward passes; they contain all the hot loops
+// and all the multi-threading.
+//
+// Layout conventions:
+//   sequences:  (batch B, time W, channels C), row-major
+//   matrices:   (rows N, cols K)
+//   conv kernel: (out_channels Cout, kernel K, in_channels Cin)
+
+#ifndef CAEE_TENSOR_TENSOR_OPS_H_
+#define CAEE_TENSOR_TENSOR_OPS_H_
+
+#include "tensor/tensor.h"
+
+namespace caee {
+namespace ops {
+
+// ---------------------------------------------------------------------------
+// Elementwise.
+// ---------------------------------------------------------------------------
+
+/// \brief c = a + b (same shape).
+Tensor Add(const Tensor& a, const Tensor& b);
+/// \brief c = a - b (same shape).
+Tensor Sub(const Tensor& a, const Tensor& b);
+/// \brief c = a ⊙ b (same shape).
+Tensor Mul(const Tensor& a, const Tensor& b);
+/// \brief c = a * s.
+Tensor Scale(const Tensor& a, float s);
+/// \brief y += alpha * x (same shape), in place.
+void AxpyInPlace(float alpha, const Tensor& x, Tensor* y);
+/// \brief y += x (same shape), in place.
+void AddInPlace(const Tensor& x, Tensor* y);
+
+/// \brief x of shape (..., D) plus bias of shape (D), broadcast over the
+/// leading dimensions.
+Tensor AddBias(const Tensor& x, const Tensor& bias);
+/// \brief Accumulate the bias gradient: reduce dY over all leading dims.
+void AddBiasBackward(const Tensor& dy, Tensor* dbias);
+
+Tensor Sigmoid(const Tensor& x);
+Tensor Tanh(const Tensor& x);
+Tensor Relu(const Tensor& x);
+Tensor Exp(const Tensor& x);
+/// \brief Natural log; inputs must be > 0.
+Tensor Log(const Tensor& x);
+
+/// \brief Softmax over the last dimension (any rank >= 1).
+Tensor SoftmaxLastDim(const Tensor& x);
+
+// ---------------------------------------------------------------------------
+// Linear algebra.
+// ---------------------------------------------------------------------------
+
+/// \brief C = op(A) * op(B) where op is optional transpose. A is (N,K) (or
+/// (K,N) if trans_a), B is (K,M) (or (M,K) if trans_b). Multi-threaded over
+/// output rows.
+Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a = false,
+              bool trans_b = false);
+
+/// \brief Batched: A (B,N,K), B (B,K,M) -> (B,N,M); transposes apply to the
+/// trailing two dims of each batch element.
+Tensor BatchedMatMul(const Tensor& a, const Tensor& b, bool trans_a = false,
+                     bool trans_b = false);
+
+Tensor Transpose2D(const Tensor& a);
+
+// ---------------------------------------------------------------------------
+// 1-D convolution over sequences.
+// ---------------------------------------------------------------------------
+
+/// \brief y[b,t,co] = bias[co] + sum_{k,ci} x_pad[b, t+k, ci] * w[co,k,ci],
+/// where x is zero-padded with pad_left / pad_right along time.
+/// Output length = W + pad_left + pad_right - K + 1 (must be >= 1).
+Tensor Conv1d(const Tensor& x, const Tensor& w, const Tensor& bias,
+              int64_t pad_left, int64_t pad_right);
+
+/// \brief dX for Conv1d (accumulated into a fresh tensor).
+Tensor Conv1dBackwardInput(const Tensor& dy, const Tensor& w, int64_t in_w,
+                           int64_t pad_left);
+/// \brief dW for Conv1d.
+Tensor Conv1dBackwardWeight(const Tensor& dy, const Tensor& x, int64_t kernel,
+                            int64_t pad_left);
+/// \brief dBias for Conv1d (sum over batch and time).
+Tensor Conv1dBackwardBias(const Tensor& dy);
+
+// ---------------------------------------------------------------------------
+// Sequence utilities.
+// ---------------------------------------------------------------------------
+
+/// \brief Shift a (B,W,D) tensor right by `steps` along time, zero-filling
+/// the vacated front. steps must be in [0, W].
+Tensor ShiftTimeRight(const Tensor& x, int64_t steps);
+
+/// \brief Backward of ShiftTimeRight (shift gradient left).
+Tensor ShiftTimeRightBackward(const Tensor& dy, int64_t steps);
+
+/// \brief Slice channels [begin, end) of a (..., D) tensor.
+Tensor SliceLastDim(const Tensor& x, int64_t begin, int64_t end);
+/// \brief Scatter-add a last-dim slice gradient back into dX.
+void SliceLastDimBackward(const Tensor& dy, int64_t begin, Tensor* dx);
+
+/// \brief Concatenate two tensors along the last dimension (leading dims
+/// must match).
+Tensor ConcatLastDim(const Tensor& a, const Tensor& b);
+
+}  // namespace ops
+}  // namespace caee
+
+#endif  // CAEE_TENSOR_TENSOR_OPS_H_

@@ -1,0 +1,71 @@
+#include "ts/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace caee {
+namespace ts {
+
+Status WriteCsv(const TimeSeries& series, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  for (int64_t t = 0; t < series.length(); ++t) {
+    const float* row = series.row(t);
+    for (int64_t j = 0; j < series.dims(); ++j) {
+      if (j) out << ',';
+      out << row[j];
+    }
+    if (series.has_labels()) out << ',' << series.label(t);
+    out << '\n';
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<TimeSeries> ReadCsv(const std::string& path, bool has_labels) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::vector<std::vector<float>> rows;
+  std::string line;
+  int64_t cols = -1;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<float> row;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) {
+      try {
+        row.push_back(std::stof(cell));
+      } catch (...) {
+        return Status::IOError("non-numeric cell in " + path + ": " + cell);
+      }
+    }
+    if (cols == -1) {
+      cols = static_cast<int64_t>(row.size());
+      if (cols == 0 || (has_labels && cols < 2)) {
+        return Status::IOError("too few columns in " + path);
+      }
+    } else if (static_cast<int64_t>(row.size()) != cols) {
+      return Status::IOError("ragged CSV in " + path);
+    }
+    rows.push_back(std::move(row));
+  }
+  const int64_t n = static_cast<int64_t>(rows.size());
+  const int64_t dims = has_labels ? cols - 1 : cols;
+  TimeSeries series(n, dims < 0 ? 0 : dims);
+  if (has_labels) series.EnableLabels();
+  for (int64_t t = 0; t < n; ++t) {
+    for (int64_t j = 0; j < dims; ++j) {
+      series.value(t, j) = rows[static_cast<size_t>(t)][static_cast<size_t>(j)];
+    }
+    if (has_labels) {
+      series.set_label(
+          t, rows[static_cast<size_t>(t)][static_cast<size_t>(dims)] != 0.0f);
+    }
+  }
+  return series;
+}
+
+}  // namespace ts
+}  // namespace caee

@@ -1,0 +1,27 @@
+// CSV I/O for TimeSeries. Format: one observation per line, `dims` float
+// columns, optionally followed by a final integer label column. This is the
+// seam through which the real ECG / SMD / MSL / SMAP / WADI files can be fed
+// to the library in place of the synthetic generators.
+
+#ifndef CAEE_TS_CSV_H_
+#define CAEE_TS_CSV_H_
+
+#include <string>
+
+#include "ts/time_series.h"
+
+namespace caee {
+namespace ts {
+
+/// \brief Write `series` to `path`; appends the label column when labels are
+/// present.
+Status WriteCsv(const TimeSeries& series, const std::string& path);
+
+/// \brief Read a CSV written by WriteCsv (or any numeric CSV). If
+/// `has_labels`, the last column is parsed as the binary outlier label.
+StatusOr<TimeSeries> ReadCsv(const std::string& path, bool has_labels);
+
+}  // namespace ts
+}  // namespace caee
+
+#endif  // CAEE_TS_CSV_H_

@@ -1,0 +1,65 @@
+#include "ts/scaler.h"
+
+#include <cmath>
+
+namespace caee {
+namespace ts {
+
+void Scaler::Fit(const TimeSeries& train) {
+  const int64_t n = train.length();
+  const int64_t d = train.dims();
+  mean_.assign(static_cast<size_t>(d), 0.0);
+  stddev_.assign(static_cast<size_t>(d), 1.0);
+  if (n == 0) return;
+  for (int64_t t = 0; t < n; ++t) {
+    const float* row = train.row(t);
+    for (int64_t j = 0; j < d; ++j) mean_[static_cast<size_t>(j)] += row[j];
+  }
+  for (auto& m : mean_) m /= static_cast<double>(n);
+  std::vector<double> var(static_cast<size_t>(d), 0.0);
+  for (int64_t t = 0; t < n; ++t) {
+    const float* row = train.row(t);
+    for (int64_t j = 0; j < d; ++j) {
+      const double diff = row[j] - mean_[static_cast<size_t>(j)];
+      var[static_cast<size_t>(j)] += diff * diff;
+    }
+  }
+  for (int64_t j = 0; j < d; ++j) {
+    const double v = var[static_cast<size_t>(j)] / static_cast<double>(n);
+    stddev_[static_cast<size_t>(j)] = v > 1e-12 ? std::sqrt(v) : 1.0;
+  }
+}
+
+TimeSeries Scaler::Transform(const TimeSeries& series) const {
+  CAEE_CHECK_MSG(fitted(), "Scaler::Transform before Fit");
+  CAEE_CHECK_MSG(series.dims() == static_cast<int64_t>(mean_.size()),
+                 "dimension mismatch in Transform");
+  TimeSeries out = series;
+  for (int64_t t = 0; t < out.length(); ++t) {
+    float* row = out.row(t);
+    for (int64_t j = 0; j < out.dims(); ++j) {
+      row[j] = static_cast<float>(
+          (row[j] - mean_[static_cast<size_t>(j)]) /
+          stddev_[static_cast<size_t>(j)]);
+    }
+  }
+  return out;
+}
+
+TimeSeries Scaler::InverseTransform(const TimeSeries& series) const {
+  CAEE_CHECK_MSG(fitted(), "Scaler::InverseTransform before Fit");
+  CAEE_CHECK_MSG(series.dims() == static_cast<int64_t>(mean_.size()),
+                 "dimension mismatch in InverseTransform");
+  TimeSeries out = series;
+  for (int64_t t = 0; t < out.length(); ++t) {
+    float* row = out.row(t);
+    for (int64_t j = 0; j < out.dims(); ++j) {
+      row[j] = static_cast<float>(row[j] * stddev_[static_cast<size_t>(j)] +
+                                  mean_[static_cast<size_t>(j)]);
+    }
+  }
+  return out;
+}
+
+}  // namespace ts
+}  // namespace caee

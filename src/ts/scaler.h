@@ -1,0 +1,39 @@
+// Per-dimension z-score scaling (paper pre-processing: z = (x - mu) / sigma
+// with statistics computed on the training series).
+
+#ifndef CAEE_TS_SCALER_H_
+#define CAEE_TS_SCALER_H_
+
+#include <vector>
+
+#include "ts/time_series.h"
+
+namespace caee {
+namespace ts {
+
+class Scaler {
+ public:
+  /// \brief Compute per-dimension mean / stddev from `train`. Dimensions with
+  /// zero variance get sigma = 1 so they pass through unchanged.
+  void Fit(const TimeSeries& train);
+
+  /// \brief Apply z = (x - mu) / sigma. Requires a prior Fit with matching
+  /// dimensionality.
+  TimeSeries Transform(const TimeSeries& series) const;
+
+  /// \brief Invert the scaling.
+  TimeSeries InverseTransform(const TimeSeries& series) const;
+
+  bool fitted() const { return !mean_.empty(); }
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& stddev() const { return stddev_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+};
+
+}  // namespace ts
+}  // namespace caee
+
+#endif  // CAEE_TS_SCALER_H_

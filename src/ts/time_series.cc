@@ -1,0 +1,88 @@
+#include "ts/time_series.h"
+
+namespace caee {
+namespace ts {
+
+TimeSeries::TimeSeries(int64_t length, int64_t dims)
+    : length_(length), dims_(dims) {
+  CAEE_CHECK_MSG(length >= 0 && dims >= 0, "negative series extents");
+  values_.assign(static_cast<size_t>(length * dims), 0.0f);
+}
+
+float TimeSeries::value(int64_t t, int64_t d) const {
+  CAEE_CHECK(t >= 0 && t < length_ && d >= 0 && d < dims_);
+  return values_[static_cast<size_t>(t * dims_ + d)];
+}
+
+float& TimeSeries::value(int64_t t, int64_t d) {
+  CAEE_CHECK(t >= 0 && t < length_ && d >= 0 && d < dims_);
+  return values_[static_cast<size_t>(t * dims_ + d)];
+}
+
+const float* TimeSeries::row(int64_t t) const {
+  CAEE_CHECK(t >= 0 && t < length_);
+  return values_.data() + t * dims_;
+}
+
+float* TimeSeries::row(int64_t t) {
+  CAEE_CHECK(t >= 0 && t < length_);
+  return values_.data() + t * dims_;
+}
+
+int TimeSeries::label(int64_t t) const {
+  CAEE_CHECK_MSG(has_labels(), "series has no labels");
+  CAEE_CHECK(t >= 0 && t < length_);
+  return labels_[static_cast<size_t>(t)];
+}
+
+void TimeSeries::set_label(int64_t t, int label) {
+  if (labels_.empty()) EnableLabels();
+  CAEE_CHECK(t >= 0 && t < length_);
+  labels_[static_cast<size_t>(t)] = static_cast<uint8_t>(label != 0);
+}
+
+void TimeSeries::EnableLabels() {
+  labels_.assign(static_cast<size_t>(length_), 0);
+}
+
+double TimeSeries::OutlierRatio() const {
+  if (!has_labels() || length_ == 0) return 0.0;
+  int64_t count = 0;
+  for (uint8_t l : labels_) count += l;
+  return static_cast<double>(count) / static_cast<double>(length_);
+}
+
+StatusOr<TimeSeries> TimeSeries::Slice(int64_t begin, int64_t end) const {
+  if (begin < 0 || begin > end || end > length_) {
+    return Status::OutOfRange("Slice range invalid");
+  }
+  TimeSeries out(end - begin, dims_);
+  std::copy(values_.begin() + begin * dims_, values_.begin() + end * dims_,
+            out.values_.begin());
+  if (has_labels()) {
+    out.labels_.assign(labels_.begin() + begin, labels_.begin() + end);
+  }
+  return out;
+}
+
+TimeSeries TimeSeries::Downsample(int64_t stride) const {
+  CAEE_CHECK_MSG(stride >= 1, "stride must be >= 1");
+  const int64_t new_len = (length_ + stride - 1) / stride;
+  TimeSeries out(new_len, dims_);
+  if (has_labels()) out.EnableLabels();
+  for (int64_t i = 0; i < new_len; ++i) {
+    const int64_t src = i * stride;
+    std::copy(row(src), row(src) + dims_, out.row(i));
+    if (has_labels()) out.set_label(i, label(src));
+  }
+  return out;
+}
+
+Tensor TimeSeries::ToTensor() const {
+  Tensor t(Shape{length_, dims_});
+  std::copy(values_.begin(), values_.end(), t.vec().begin());
+  return t;
+}
+
+}  // namespace ts
+}  // namespace caee

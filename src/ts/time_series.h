@@ -1,0 +1,77 @@
+// Multivariate time series container.
+//
+// A TimeSeries is a (length x dims) row-major matrix of float observations
+// plus optional per-observation binary outlier labels (used for evaluation
+// only — the detectors never see them).
+
+#ifndef CAEE_TS_TIME_SERIES_H_
+#define CAEE_TS_TIME_SERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace caee {
+namespace ts {
+
+class TimeSeries {
+ public:
+  TimeSeries() : length_(0), dims_(0) {}
+  TimeSeries(int64_t length, int64_t dims);
+
+  int64_t length() const { return length_; }
+  int64_t dims() const { return dims_; }
+  bool empty() const { return length_ == 0; }
+
+  float value(int64_t t, int64_t d) const;
+  float& value(int64_t t, int64_t d);
+
+  /// \brief Pointer to the start of observation t (dims() floats).
+  const float* row(int64_t t) const;
+  float* row(int64_t t);
+
+  bool has_labels() const { return !labels_.empty(); }
+  /// \brief 1 = outlier, 0 = inlier. Requires has_labels().
+  int label(int64_t t) const;
+  void set_label(int64_t t, int label);
+  /// \brief Allocate an all-inlier label vector.
+  void EnableLabels();
+  const std::vector<uint8_t>& labels() const { return labels_; }
+
+  /// \brief Fraction of labelled observations marked outlier (0 if
+  /// unlabeled).
+  double OutlierRatio() const;
+
+  /// \brief Sub-series [begin, end) (copies; labels preserved if present).
+  StatusOr<TimeSeries> Slice(int64_t begin, int64_t end) const;
+
+  /// \brief Keep every `stride`-th observation (paper samples WADI at 1/10).
+  TimeSeries Downsample(int64_t stride) const;
+
+  /// \brief Copy the raw values into a (length, dims) Tensor.
+  Tensor ToTensor() const;
+
+  std::vector<float>& values() { return values_; }
+  const std::vector<float>& values() const { return values_; }
+
+ private:
+  int64_t length_;
+  int64_t dims_;
+  std::vector<float> values_;   // length * dims
+  std::vector<uint8_t> labels_; // empty or size == length
+};
+
+/// \brief A named train/test pair as used throughout the evaluation.
+struct Dataset {
+  std::string name;
+  TimeSeries train;  // unlabeled (labels ignored during training)
+  TimeSeries test;   // labeled
+};
+
+}  // namespace ts
+}  // namespace caee
+
+#endif  // CAEE_TS_TIME_SERIES_H_

@@ -1,0 +1,63 @@
+#include "ts/window.h"
+
+namespace caee {
+namespace ts {
+
+WindowDataset::WindowDataset(const TimeSeries& series, int64_t window)
+    : series_(&series),
+      window_(window),
+      dims_(series.dims()),
+      num_windows_(series.length() - window + 1) {
+  CAEE_CHECK_MSG(window >= 1, "window must be >= 1");
+  CAEE_CHECK_MSG(series.length() >= window,
+                 "series length " << series.length() << " < window "
+                                  << window);
+}
+
+Tensor WindowDataset::GetWindow(int64_t i) const {
+  return GetBatch({i});
+}
+
+Tensor WindowDataset::GetBatch(const std::vector<int64_t>& indices) const {
+  const int64_t b = static_cast<int64_t>(indices.size());
+  Tensor out(Shape{b, window_, dims_});
+  for (int64_t bi = 0; bi < b; ++bi) {
+    const int64_t start = indices[static_cast<size_t>(bi)];
+    CAEE_CHECK_MSG(start >= 0 && start < num_windows_,
+                   "window index out of range: " << start);
+    const float* src = series_->row(start);
+    std::copy(src, src + window_ * dims_,
+              out.data() + bi * window_ * dims_);
+  }
+  return out;
+}
+
+std::vector<std::vector<int64_t>> WindowDataset::Batches(
+    int64_t batch_size) const {
+  CAEE_CHECK_MSG(batch_size >= 1, "batch_size must be >= 1");
+  std::vector<std::vector<int64_t>> out;
+  for (int64_t begin = 0; begin < num_windows_; begin += batch_size) {
+    const int64_t end = std::min(num_windows_, begin + batch_size);
+    std::vector<int64_t> batch;
+    batch.reserve(static_cast<size_t>(end - begin));
+    for (int64_t i = begin; i < end; ++i) batch.push_back(i);
+    out.push_back(std::move(batch));
+  }
+  return out;
+}
+
+std::pair<TimeSeries, TimeSeries> TrainValSplit(const TimeSeries& series,
+                                                double val_fraction) {
+  CAEE_CHECK_MSG(val_fraction >= 0.0 && val_fraction < 1.0,
+                 "val_fraction must be in [0, 1)");
+  const int64_t n = series.length();
+  const int64_t split =
+      n - static_cast<int64_t>(static_cast<double>(n) * val_fraction);
+  auto train = series.Slice(0, split);
+  auto val = series.Slice(split, n);
+  CAEE_CHECK(train.ok() && val.ok());
+  return {std::move(train).value(), std::move(val).value()};
+}
+
+}  // namespace ts
+}  // namespace caee

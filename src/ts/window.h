@@ -1,0 +1,54 @@
+// Sliding-window view over a TimeSeries (stride 1, paper Sec. 3 pre-
+// processing) and batching into (B, w, D) tensors for the models.
+
+#ifndef CAEE_TS_WINDOW_H_
+#define CAEE_TS_WINDOW_H_
+
+#include <utility>
+#include <vector>
+
+#include "ts/time_series.h"
+
+namespace caee {
+namespace ts {
+
+class WindowDataset {
+ public:
+  /// \brief Windows of size `window` sliding one observation at a time.
+  /// Requires series.length() >= window.
+  WindowDataset(const TimeSeries& series, int64_t window);
+
+  int64_t num_windows() const { return num_windows_; }
+  int64_t window() const { return window_; }
+  int64_t dims() const { return dims_; }
+
+  /// \brief Time index of the last observation of window i.
+  int64_t LastObservationIndex(int64_t i) const { return i + window_ - 1; }
+
+  /// \brief Materialise window i as a (1, w, D) tensor.
+  Tensor GetWindow(int64_t i) const;
+
+  /// \brief Materialise windows `indices` as a (B, w, D) tensor.
+  Tensor GetBatch(const std::vector<int64_t>& indices) const;
+
+  /// \brief All contiguous batches of at most `batch_size` windows,
+  /// in window order.
+  std::vector<std::vector<int64_t>> Batches(int64_t batch_size) const;
+
+ private:
+  const TimeSeries* series_;
+  int64_t window_;
+  int64_t dims_;
+  int64_t num_windows_;
+};
+
+/// \brief Chronological train/validation split: the first (1 - val_fraction)
+/// of the series is training, the remainder validation (paper reserves the
+/// trailing 30 % of the training set).
+std::pair<TimeSeries, TimeSeries> TrainValSplit(const TimeSeries& series,
+                                                double val_fraction);
+
+}  // namespace ts
+}  // namespace caee
+
+#endif  // CAEE_TS_WINDOW_H_

@@ -1,0 +1,308 @@
+// Gradient correctness for every autograd op, checked against central finite
+// differences, plus graph-mechanics tests (accumulation, reuse, detach).
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "test_util.h"
+
+namespace caee {
+namespace {
+
+using ag::Var;
+using testutil::ExpectGradCheck;
+
+Var RandParam(Shape shape, uint64_t seed, float stddev = 0.5f) {
+  Rng rng(seed);
+  return ag::Param(Tensor::Randn(std::move(shape), &rng, stddev));
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise op gradients
+// ---------------------------------------------------------------------------
+
+TEST(AutogradGrad, Add) {
+  Var a = RandParam({2, 3}, 1), b = RandParam({2, 3}, 2);
+  ExpectGradCheck({a, b}, [&] { return ag::Sum(ag::Add(a, b)); });
+}
+
+TEST(AutogradGrad, Sub) {
+  Var a = RandParam({2, 3}, 3), b = RandParam({2, 3}, 4);
+  ExpectGradCheck({a, b}, [&] { return ag::Mean(ag::Sub(a, b)); });
+}
+
+TEST(AutogradGrad, Mul) {
+  Var a = RandParam({2, 3}, 5), b = RandParam({2, 3}, 6);
+  ExpectGradCheck({a, b}, [&] { return ag::Sum(ag::Mul(a, b)); });
+}
+
+TEST(AutogradGrad, MulSelfIsSquare) {
+  // Same node used twice: grads must accumulate to 2x.
+  Var a = RandParam({4}, 7);
+  ExpectGradCheck({a}, [&] { return ag::Sum(ag::Mul(a, a)); });
+}
+
+TEST(AutogradGrad, ScaleAndNeg) {
+  Var a = RandParam({5}, 8);
+  ExpectGradCheck({a}, [&] { return ag::Sum(ag::Scale(a, 3.0f)); });
+  ExpectGradCheck({a}, [&] { return ag::Sum(ag::Neg(a)); });
+}
+
+TEST(AutogradGrad, AddBias) {
+  Var x = RandParam({3, 4}, 9);
+  Var b = RandParam({4}, 10);
+  ExpectGradCheck({x, b}, [&] { return ag::Sum(ag::AddBias(x, b)); });
+}
+
+TEST(AutogradGrad, Sigmoid) {
+  Var x = RandParam({2, 3}, 11);
+  ExpectGradCheck({x}, [&] { return ag::Sum(ag::Sigmoid(x)); });
+}
+
+TEST(AutogradGrad, TanhOp) {
+  Var x = RandParam({2, 3}, 12);
+  ExpectGradCheck({x}, [&] { return ag::Sum(ag::Tanh(x)); });
+}
+
+TEST(AutogradGrad, ReluAwayFromKink) {
+  // Keep values away from 0 so finite differences are valid.
+  Rng rng(13);
+  Tensor t = Tensor::Randn({6}, &rng);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = t[i] >= 0 ? t[i] + 0.5f : t[i] - 0.5f;
+  }
+  Var x = ag::Param(t);
+  ExpectGradCheck({x}, [&] { return ag::Sum(ag::Relu(x)); });
+}
+
+TEST(AutogradGrad, ExpOp) {
+  Var x = RandParam({2, 2}, 14, 0.3f);
+  ExpectGradCheck({x}, [&] { return ag::Sum(ag::Exp(x)); });
+}
+
+TEST(AutogradGrad, LogOp) {
+  Rng rng(15);
+  Tensor t = Tensor::RandUniform({5}, &rng, 0.5f, 2.0f);
+  Var x = ag::Param(t);
+  ExpectGradCheck({x}, [&] { return ag::Sum(ag::Log(x)); });
+}
+
+TEST(AutogradGrad, SoftmaxWeighted) {
+  Var x = RandParam({2, 4}, 16);
+  Rng rng(17);
+  Tensor weights = Tensor::Randn({2, 4}, &rng);
+  Var w = ag::Constant(weights);
+  ExpectGradCheck(
+      {x}, [&] { return ag::Sum(ag::Mul(ag::SoftmaxLastDim(x), w)); });
+}
+
+// ---------------------------------------------------------------------------
+// Linear algebra gradients (all transpose combinations)
+// ---------------------------------------------------------------------------
+
+struct MatMulCase {
+  bool trans_a;
+  bool trans_b;
+};
+
+class MatMulGradTest : public ::testing::TestWithParam<MatMulCase> {};
+
+TEST_P(MatMulGradTest, MatchesNumeric) {
+  const auto [ta, tb] = GetParam();
+  Var a = RandParam(ta ? Shape{4, 3} : Shape{3, 4}, 18);
+  Var b = RandParam(tb ? Shape{2, 4} : Shape{4, 2}, 19);
+  ExpectGradCheck({a, b}, [&] { return ag::Sum(ag::MatMul(a, b, ta, tb)); });
+}
+
+TEST_P(MatMulGradTest, BatchedMatchesNumeric) {
+  const auto [ta, tb] = GetParam();
+  Var a = RandParam(ta ? Shape{2, 4, 3} : Shape{2, 3, 4}, 20);
+  Var b = RandParam(tb ? Shape{2, 2, 4} : Shape{2, 4, 2}, 21);
+  ExpectGradCheck({a, b},
+                  [&] { return ag::Sum(ag::BatchedMatMul(a, b, ta, tb)); });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransposes, MatMulGradTest,
+                         ::testing::Values(MatMulCase{false, false},
+                                           MatMulCase{true, false},
+                                           MatMulCase{false, true},
+                                           MatMulCase{true, true}));
+
+// ---------------------------------------------------------------------------
+// Convolution gradients across padding modes
+// ---------------------------------------------------------------------------
+
+struct ConvCase {
+  int64_t pad_left;
+  int64_t pad_right;
+  const char* label;
+};
+
+class ConvGradTest : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvGradTest, MatchesNumeric) {
+  const auto& p = GetParam();
+  Var x = RandParam({2, 5, 3}, 22);
+  Var w = RandParam({2, 3, 3}, 23);
+  Var b = RandParam({2}, 24);
+  ExpectGradCheck({x, w, b}, [&] {
+    return ag::Sum(ag::Conv1d(x, w, b, p.pad_left, p.pad_right));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaddingModes, ConvGradTest,
+    ::testing::Values(ConvCase{0, 0, "valid"}, ConvCase{1, 1, "same"},
+                      ConvCase{2, 0, "causal"}),
+    [](const ::testing::TestParamInfo<ConvCase>& info) {
+      return info.param.label;
+    });
+
+// ---------------------------------------------------------------------------
+// Shape / sequence / reduction gradients
+// ---------------------------------------------------------------------------
+
+TEST(AutogradGrad, Reshape) {
+  Var x = RandParam({2, 6}, 25);
+  ExpectGradCheck({x}, [&] {
+    Var r = ag::Reshape(x, {3, 4});
+    return ag::Sum(ag::Mul(r, r));
+  });
+}
+
+TEST(AutogradGrad, BroadcastBatch) {
+  Var x = RandParam({3, 2}, 26);
+  Rng rng(27);
+  Var w = ag::Constant(Tensor::Randn({4, 3, 2}, &rng));
+  ExpectGradCheck(
+      {x}, [&] { return ag::Sum(ag::Mul(ag::BroadcastBatch(x, 4), w)); });
+}
+
+TEST(AutogradGrad, ShiftTimeRight) {
+  Var x = RandParam({2, 4, 3}, 28);
+  Rng rng(29);
+  Var w = ag::Constant(Tensor::Randn({2, 4, 3}, &rng));
+  ExpectGradCheck(
+      {x}, [&] { return ag::Sum(ag::Mul(ag::ShiftTimeRight(x, 1), w)); });
+}
+
+TEST(AutogradGrad, SliceLastDim) {
+  Var x = RandParam({3, 6}, 30);
+  ExpectGradCheck({x}, [&] {
+    Var s = ag::SliceLastDim(x, 2, 5);
+    return ag::Sum(ag::Mul(s, s));
+  });
+}
+
+TEST(AutogradGrad, ConcatLastDim) {
+  Var a = RandParam({2, 3}, 31);
+  Var b = RandParam({2, 2}, 32);
+  ExpectGradCheck({a, b}, [&] {
+    Var c = ag::ConcatLastDim(a, b);
+    return ag::Sum(ag::Mul(c, c));
+  });
+}
+
+TEST(AutogradGrad, SumAndMean) {
+  Var x = RandParam({3, 3}, 33);
+  ExpectGradCheck({x}, [&] { return ag::Sum(ag::Mul(x, x)); });
+  ExpectGradCheck({x}, [&] { return ag::Mean(ag::Mul(x, x)); });
+}
+
+TEST(AutogradGrad, MseLossBothSides) {
+  Var pred = RandParam({2, 4}, 34);
+  Var target = RandParam({2, 4}, 35);
+  ExpectGradCheck({pred, target}, [&] { return ag::MseLoss(pred, target); });
+}
+
+TEST(AutogradGrad, DeepCompositeChain) {
+  // A chain resembling one CAE block: conv -> GLU-ish gate -> skip -> loss.
+  Var x = RandParam({1, 5, 2}, 36);
+  Var w1 = RandParam({2, 3, 2}, 37);
+  Var b1 = RandParam({2}, 38);
+  Var w2 = RandParam({2, 3, 2}, 39);
+  Var b2 = RandParam({2}, 40);
+  // Freeze the target OUTSIDE the builder: Detach inside would re-snapshot
+  // the perturbed x and corrupt the numeric gradient.
+  const Tensor target = x->value();
+  ExpectGradCheck({x, w1, b1, w2, b2}, [&] {
+    Var a1 = ag::Conv1d(x, w1, b1, 1, 1);
+    Var a2 = ag::Conv1d(x, w2, b2, 1, 1);
+    Var gated = ag::Mul(a1, ag::Sigmoid(a2));
+    Var skip = ag::Add(gated, x);
+    return ag::MseLoss(skip, ag::Constant(target));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Graph mechanics
+// ---------------------------------------------------------------------------
+
+TEST(AutogradGraph, BackwardSeedsScalarWithOne) {
+  Var x = ag::Param(Tensor(Shape{3}, 2.0f));
+  Var loss = ag::Sum(x);
+  ag::Backward(loss);
+  for (int64_t i = 0; i < 3; ++i) EXPECT_EQ(x->grad()[i], 1.0f);
+}
+
+TEST(AutogradGraph, BackwardWithExplicitSeed) {
+  Var x = ag::Param(Tensor(Shape{2}, 1.0f));
+  Var y = ag::Scale(x, 3.0f);
+  Tensor seed(Shape{2}, std::vector<float>{1.0f, 2.0f});
+  ag::Backward(y, &seed);
+  EXPECT_EQ(x->grad()[0], 3.0f);
+  EXPECT_EQ(x->grad()[1], 6.0f);
+}
+
+TEST(AutogradGraph, GradAccumulatesAcrossBackwardCalls) {
+  Var x = ag::Param(Tensor(Shape{1}, 1.0f));
+  ag::Backward(ag::Sum(x));
+  ag::Backward(ag::Sum(x));
+  EXPECT_EQ(x->grad()[0], 2.0f);
+}
+
+TEST(AutogradGraph, ZeroGradClears) {
+  Var x = ag::Param(Tensor(Shape{1}, 1.0f));
+  ag::Backward(ag::Sum(x));
+  EXPECT_TRUE(x->has_grad());
+  x->ZeroGrad();
+  EXPECT_FALSE(x->has_grad());
+}
+
+TEST(AutogradGraph, ConstantsReceiveNoGradient) {
+  Var c = ag::Constant(Tensor(Shape{2}, 1.0f));
+  Var x = ag::Param(Tensor(Shape{2}, 2.0f));
+  ag::Backward(ag::Sum(ag::Mul(c, x)));
+  EXPECT_FALSE(c->has_grad());
+  EXPECT_TRUE(x->has_grad());
+}
+
+TEST(AutogradGraph, DetachBlocksGradientFlow) {
+  Var x = ag::Param(Tensor(Shape{2}, 2.0f));
+  Var d = ag::Detach(ag::Scale(x, 5.0f));
+  EXPECT_TRUE(AllClose(d->value(), Tensor(Shape{2}, 10.0f)));
+  ag::Backward(ag::Sum(d));
+  EXPECT_FALSE(x->has_grad());
+}
+
+TEST(AutogradGraph, DiamondGraphAccumulates) {
+  // y = a*x + b*x ; dy/dx = a + b.
+  Var x = ag::Param(Tensor(Shape{1}, 1.0f));
+  Var y = ag::Add(ag::Scale(x, 2.0f), ag::Scale(x, 3.0f));
+  ag::Backward(ag::Sum(y));
+  EXPECT_EQ(x->grad()[0], 5.0f);
+}
+
+TEST(AutogradGraph, ZeroGradGraphClearsInteriorNodes) {
+  Var x = ag::Param(Tensor(Shape{2}, 1.0f));
+  Var y = ag::Scale(x, 2.0f);
+  Var loss = ag::Sum(y);
+  ag::Backward(loss);
+  EXPECT_TRUE(y->has_grad());
+  ag::ZeroGradGraph(loss);
+  EXPECT_FALSE(y->has_grad());
+  EXPECT_FALSE(x->has_grad());
+}
+
+}  // namespace
+}  // namespace caee

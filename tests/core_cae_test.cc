@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "core/cae.h"
+#include "optim/adam.h"
+#include "test_util.h"
+
+namespace caee {
+namespace {
+
+core::CaeConfig SmallConfig() {
+  core::CaeConfig cfg;
+  cfg.embed_dim = 6;
+  cfg.num_layers = 2;
+  cfg.kernel = 3;
+  return cfg;
+}
+
+ag::Var RandInput(Shape shape, uint64_t seed) {
+  Rng rng(seed);
+  return ag::Constant(Tensor::Randn(std::move(shape), &rng, 0.5f));
+}
+
+TEST(CaeTest, ReconstructionPreservesShape) {
+  Rng rng(1);
+  core::Cae cae(SmallConfig(), &rng);
+  ag::Var y = cae.Reconstruct(RandInput({3, 8, 6}, 2));
+  EXPECT_EQ(y->value().shape(), (Shape{3, 8, 6}));
+}
+
+TEST(CaeTest, WorksForSingleWindowBatch) {
+  Rng rng(3);
+  core::Cae cae(SmallConfig(), &rng);
+  ag::Var y = cae.Reconstruct(RandInput({1, 4, 6}, 4));
+  EXPECT_EQ(y->value().shape(), (Shape{1, 4, 6}));
+}
+
+TEST(CaeTest, ParameterCountScalesWithLayers) {
+  Rng rng(5);
+  core::CaeConfig one = SmallConfig();
+  one.num_layers = 1;
+  core::CaeConfig three = SmallConfig();
+  three.num_layers = 3;
+  core::Cae cae1(one, &rng);
+  core::Cae cae3(three, &rng);
+  EXPECT_GT(cae3.NumParameters(), 2 * cae1.NumParameters());
+}
+
+TEST(CaeTest, AttentionModesChangeParameterCount) {
+  Rng rng(6);
+  core::CaeConfig none = SmallConfig();
+  none.attention = core::AttentionMode::kNone;
+  core::CaeConfig last = SmallConfig();
+  last.attention = core::AttentionMode::kLastLayer;
+  core::CaeConfig all = SmallConfig();
+  all.attention = core::AttentionMode::kAllLayers;
+  core::Cae cae_none(none, &rng);
+  core::Cae cae_last(last, &rng);
+  core::Cae cae_all(all, &rng);
+  EXPECT_LT(cae_none.NumParameters(), cae_last.NumParameters());
+  EXPECT_LT(cae_last.NumParameters(), cae_all.NumParameters());
+}
+
+TEST(CaeTest, DeterministicGivenSeed) {
+  Rng rng_a(7);
+  Rng rng_b(7);
+  core::Cae a(SmallConfig(), &rng_a);
+  core::Cae b(SmallConfig(), &rng_b);
+  ag::Var x = RandInput({2, 5, 6}, 8);
+  EXPECT_TRUE(AllClose(a.Reconstruct(x)->value(), b.Reconstruct(x)->value()));
+}
+
+// The decoder is strictly causal w.r.t. its own shifted input; the attention
+// and encoder paths may look at the whole window (the encoder is
+// bidirectional by design). With attention disabled and the encoder
+// contribution fixed, perturbing the LAST observation must not change the
+// reconstruction at earlier positions through the decoder path.
+TEST(CaeTest, DecoderPathIsCausal) {
+  Rng rng(9);
+  core::CaeConfig cfg = SmallConfig();
+  cfg.attention = core::AttentionMode::kNone;
+  core::Cae cae(cfg, &rng);
+
+  Rng data_rng(10);
+  Tensor x = Tensor::Randn({1, 6, 6}, &data_rng, 0.5f);
+
+  // Full forward with the original input.
+  ag::Var y1 = cae.Reconstruct(ag::Constant(x));
+
+  // Perturb only the final observation. Because the decoder input is the
+  // shifted window (PAD, x1..x_{w-1}), position t of the decoder never sees
+  // x_w; the encoder does see it though. To isolate decoder causality we
+  // verify the reconstruction at position 0 depends only on PAD + encoder
+  // states, i.e. it changes only via the encoder; for a same-padded encoder
+  // with kernel 3 and 2 layers, position 0's receptive field spans
+  // observations [0, 4], so perturbing observation 5 leaves position 0
+  // unchanged.
+  Tensor x2 = x;
+  x2.at(0, 5, 0) += 25.0f;
+  ag::Var y2 = cae.Reconstruct(ag::Constant(x2));
+  for (int64_t c = 0; c < 6; ++c) {
+    EXPECT_NEAR(y1->value().at(0, 0, c), y2->value().at(0, 0, c), 1e-5);
+  }
+}
+
+TEST(CaeTest, GradientsFlowToAllParameters) {
+  Rng rng(11);
+  core::Cae cae(SmallConfig(), &rng);
+  ag::Var x = RandInput({2, 5, 6}, 12);
+  ag::Var loss = ag::MseLoss(cae.Reconstruct(x), x);
+  ag::Backward(loss);
+  int64_t with_grad = 0, total = 0;
+  for (auto& p : cae.Parameters()) {
+    ++total;
+    with_grad += p->has_grad();
+  }
+  EXPECT_EQ(with_grad, total);
+  EXPECT_GT(total, 10);
+}
+
+TEST(CaeTest, TrainingReducesReconstructionLoss) {
+  Rng rng(13);
+  core::Cae cae(SmallConfig(), &rng);
+  Rng data_rng(14);
+  Tensor x = Tensor::Randn({8, 6, 6}, &data_rng, 0.5f);
+  ag::Var input = ag::Constant(x);
+
+  optim::Adam opt(cae.Parameters(), 1e-2f);
+  const double initial =
+      ag::MseLoss(cae.Reconstruct(input), input)->value()[0];
+  for (int step = 0; step < 30; ++step) {
+    ag::Var loss = ag::MseLoss(cae.Reconstruct(input), input);
+    opt.ZeroGrad();
+    ag::Backward(loss);
+    opt.Step();
+  }
+  const double trained =
+      ag::MseLoss(cae.Reconstruct(input), input)->value()[0];
+  EXPECT_LT(trained, 0.5 * initial);
+}
+
+TEST(CaeTest, KernelSizeVariantsRun) {
+  for (int64_t k : {3, 5, 7, 9}) {
+    Rng rng(15);
+    core::CaeConfig cfg = SmallConfig();
+    cfg.kernel = k;
+    core::Cae cae(cfg, &rng);
+    ag::Var y = cae.Reconstruct(RandInput({1, 12, 6}, 16));
+    EXPECT_EQ(y->value().shape(), (Shape{1, 12, 6}));
+  }
+}
+
+TEST(CaeTest, GradCheckTinyModel) {
+  // End-to-end gradient check through the full CAE graph (tiny sizes).
+  Rng rng(17);
+  core::CaeConfig cfg;
+  cfg.embed_dim = 3;
+  cfg.num_layers = 1;
+  cfg.kernel = 3;
+  core::Cae cae(cfg, &rng);
+  ag::Var x = RandInput({1, 4, 3}, 18);
+  testutil::ExpectGradCheck(
+      cae.Parameters(),
+      [&] { return ag::MseLoss(cae.Reconstruct(x), x); },
+      /*eps=*/2e-2f, /*rel_tol=*/5e-2f, /*abs_tol=*/5e-3f);
+}
+
+}  // namespace
+}  // namespace caee

@@ -1,0 +1,214 @@
+// Tests for the extension modules: adaptive thresholding (Fig. 8) and
+// outlier repair (the paper's future-work direction).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/repair.h"
+#include "core/threshold.h"
+#include "test_util.h"
+
+namespace caee {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CalibrateThreshold
+// ---------------------------------------------------------------------------
+
+std::vector<double> Ramp(int n) {
+  std::vector<double> v(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) v[static_cast<size_t>(i)] = i;
+  return v;
+}
+
+TEST(ThresholdTest, TopKFlagsExpectedFraction) {
+  core::ThresholdConfig cfg;
+  cfg.strategy = core::ThresholdStrategy::kTopK;
+  cfg.top_k_percent = 10.0;
+  auto thr = core::CalibrateThreshold(Ramp(100), cfg);
+  ASSERT_TRUE(thr.ok());
+  const auto flags = core::ApplyThreshold(Ramp(100), *thr);
+  int count = 0;
+  for (int f : flags) count += f;
+  EXPECT_EQ(count, 10);
+}
+
+TEST(ThresholdTest, MeanStdMatchesHandComputation) {
+  // scores {0,0,0,0,10}: mean 2, var 16, std 4 -> threshold 2 + 2*4 = 10.
+  core::ThresholdConfig cfg;
+  cfg.strategy = core::ThresholdStrategy::kMeanStd;
+  cfg.std_factor = 2.0;
+  auto thr = core::CalibrateThreshold({0, 0, 0, 0, 10}, cfg);
+  ASSERT_TRUE(thr.ok());
+  EXPECT_NEAR(*thr, 10.0, 1e-9);
+}
+
+TEST(ThresholdTest, QuantileOrdering) {
+  core::ThresholdConfig lo;
+  lo.strategy = core::ThresholdStrategy::kQuantile;
+  lo.quantile = 0.5;
+  core::ThresholdConfig hi = lo;
+  hi.quantile = 0.99;
+  auto t_lo = core::CalibrateThreshold(Ramp(1000), lo);
+  auto t_hi = core::CalibrateThreshold(Ramp(1000), hi);
+  ASSERT_TRUE(t_lo.ok() && t_hi.ok());
+  EXPECT_LT(*t_lo, *t_hi);
+}
+
+TEST(ThresholdTest, MaxRefFlagsNothingOnReference) {
+  core::ThresholdConfig cfg;
+  cfg.strategy = core::ThresholdStrategy::kMaxRef;
+  const auto scores = Ramp(50);
+  auto thr = core::CalibrateThreshold(scores, cfg);
+  ASSERT_TRUE(thr.ok());
+  for (int f : core::ApplyThreshold(scores, *thr)) EXPECT_EQ(f, 0);
+}
+
+TEST(ThresholdTest, RejectsEmptyReference) {
+  EXPECT_FALSE(core::CalibrateThreshold({}, {}).ok());
+}
+
+TEST(ThresholdTest, RejectsBadParameters) {
+  core::ThresholdConfig cfg;
+  cfg.strategy = core::ThresholdStrategy::kTopK;
+  cfg.top_k_percent = 150.0;
+  EXPECT_FALSE(core::CalibrateThreshold(Ramp(10), cfg).ok());
+  cfg.strategy = core::ThresholdStrategy::kQuantile;
+  cfg.quantile = 2.0;
+  EXPECT_FALSE(core::CalibrateThreshold(Ramp(10), cfg).ok());
+}
+
+// ---------------------------------------------------------------------------
+// RepairOutliers
+// ---------------------------------------------------------------------------
+
+ts::TimeSeries LinearSeries(int64_t n) {
+  ts::TimeSeries s(n, 2);
+  for (int64_t t = 0; t < n; ++t) {
+    s.value(t, 0) = static_cast<float>(t);
+    s.value(t, 1) = static_cast<float>(2 * t);
+  }
+  return s;
+}
+
+TEST(RepairTest, InterpolationIsExactOnLinearSignal) {
+  ts::TimeSeries s = LinearSeries(10);
+  s.value(5, 0) = 999.0f;  // corrupt
+  s.value(5, 1) = -999.0f;
+  std::vector<int> flags(10, 0);
+  flags[5] = 1;
+  auto result =
+      core::RepairOutliers(s, flags, core::RepairStrategy::kInterpolate);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->repaired_count, 1);
+  EXPECT_NEAR(result->series.value(5, 0), 5.0f, 1e-5);
+  EXPECT_NEAR(result->series.value(5, 1), 10.0f, 1e-5);
+}
+
+TEST(RepairTest, InterpolatesAcrossFlaggedRuns) {
+  ts::TimeSeries s = LinearSeries(10);
+  std::vector<int> flags(10, 0);
+  for (int64_t t = 3; t <= 6; ++t) {
+    s.value(t, 0) = 100.0f;
+    flags[static_cast<size_t>(t)] = 1;
+  }
+  auto result =
+      core::RepairOutliers(s, flags, core::RepairStrategy::kInterpolate);
+  ASSERT_TRUE(result.ok());
+  for (int64_t t = 3; t <= 6; ++t) {
+    EXPECT_NEAR(result->series.value(t, 0), static_cast<float>(t), 1e-4);
+  }
+}
+
+TEST(RepairTest, PreviousCarriesLastCleanValue) {
+  ts::TimeSeries s = LinearSeries(6);
+  std::vector<int> flags = {0, 0, 1, 1, 0, 0};
+  auto result = core::RepairOutliers(s, flags, core::RepairStrategy::kPrevious);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->series.value(2, 0), 1.0f);
+  EXPECT_EQ(result->series.value(3, 0), 1.0f);
+}
+
+TEST(RepairTest, MeanUsesCleanObservationsOnly) {
+  ts::TimeSeries s(4, 1);
+  s.value(0, 0) = 1.0f;
+  s.value(1, 0) = 3.0f;
+  s.value(2, 0) = 1000.0f;  // flagged
+  s.value(3, 0) = 2.0f;
+  std::vector<int> flags = {0, 0, 1, 0};
+  auto result = core::RepairOutliers(s, flags, core::RepairStrategy::kMean);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->series.value(2, 0), 2.0f, 1e-5);
+}
+
+TEST(RepairTest, LeadingEdgeUsesNextCleanValue) {
+  ts::TimeSeries s = LinearSeries(5);
+  std::vector<int> flags = {1, 1, 0, 0, 0};
+  auto result =
+      core::RepairOutliers(s, flags, core::RepairStrategy::kInterpolate);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->series.value(0, 0), 2.0f);
+  EXPECT_EQ(result->series.value(1, 0), 2.0f);
+}
+
+TEST(RepairTest, NothingFlaggedIsIdentity) {
+  ts::TimeSeries s = LinearSeries(5);
+  std::vector<int> flags(5, 0);
+  auto result =
+      core::RepairOutliers(s, flags, core::RepairStrategy::kInterpolate);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->repaired_count, 0);
+  for (int64_t t = 0; t < 5; ++t) {
+    EXPECT_EQ(result->series.value(t, 0), s.value(t, 0));
+  }
+}
+
+TEST(RepairTest, RejectsLengthMismatch) {
+  ts::TimeSeries s = LinearSeries(5);
+  EXPECT_FALSE(
+      core::RepairOutliers(s, {0, 1}, core::RepairStrategy::kMean).ok());
+}
+
+TEST(RepairTest, RejectsFullyFlaggedSeries) {
+  ts::TimeSeries s = LinearSeries(3);
+  EXPECT_FALSE(
+      core::RepairOutliers(s, {1, 1, 1}, core::RepairStrategy::kMean).ok());
+}
+
+TEST(RepairTest, EndToEndCleaningReducesDeviation) {
+  // Detect planted spikes with a simple top-K threshold, repair them, and
+  // verify the cleaned series is closer to the uncorrupted original.
+  ts::TimeSeries clean = testutil::PlantedSeries(200, 2, 31);
+  ts::TimeSeries corrupted = testutil::PlantedSeries(200, 2, 31, {60, 140}, 9.0);
+  // Score = deviation magnitude (stand-in for a detector here).
+  std::vector<double> scores(200);
+  for (int64_t t = 0; t < 200; ++t) {
+    double acc = 0.0;
+    for (int64_t j = 0; j < 2; ++j) {
+      const double d = corrupted.value(t, j) - clean.value(t, j);
+      acc += d * d;
+    }
+    scores[static_cast<size_t>(t)] = acc;
+  }
+  core::ThresholdConfig cfg;
+  cfg.strategy = core::ThresholdStrategy::kTopK;
+  cfg.top_k_percent = 1.0;
+  auto thr = core::CalibrateThreshold(scores, cfg);
+  ASSERT_TRUE(thr.ok());
+  auto flags = core::ApplyThreshold(scores, *thr);
+  auto repaired = core::RepairOutliers(corrupted, flags,
+                                       core::RepairStrategy::kInterpolate);
+  ASSERT_TRUE(repaired.ok());
+  double err_before = 0.0, err_after = 0.0;
+  for (int64_t t = 0; t < 200; ++t) {
+    for (int64_t j = 0; j < 2; ++j) {
+      err_before += std::fabs(corrupted.value(t, j) - clean.value(t, j));
+      err_after += std::fabs(repaired->series.value(t, j) - clean.value(t, j));
+    }
+  }
+  EXPECT_LT(err_after, 0.2 * err_before);
+}
+
+}  // namespace
+}  // namespace caee

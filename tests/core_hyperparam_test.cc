@@ -1,0 +1,120 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/hyperparameter.h"
+#include "test_util.h"
+
+namespace caee {
+namespace {
+
+core::SelectorConfig TinySelectorConfig() {
+  core::SelectorConfig cfg;
+  cfg.base.cae.embed_dim = 4;
+  cfg.base.cae.num_layers = 1;
+  cfg.base.num_models = 2;
+  cfg.base.epochs_per_model = 1;
+  cfg.base.batch_size = 32;
+  cfg.base.max_train_windows = 48;
+  cfg.ranges.windows = {4, 8};
+  cfg.ranges.betas = {0.2f, 0.5f, 0.8f};
+  cfg.ranges.lambdas = {1.0f, 2.0f};
+  cfg.random_search_trials = 3;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(ArgMedianTest, OddCountPicksMiddle) {
+  std::vector<core::CandidateResult> c(3);
+  c[0].recon_error = 10.0;
+  c[1].recon_error = 1.0;
+  c[2].recon_error = 5.0;
+  EXPECT_EQ(core::ArgMedianByError(c), 2u);  // error 5 is the median
+}
+
+TEST(ArgMedianTest, EvenCountPicksLowerMiddle) {
+  std::vector<core::CandidateResult> c(4);
+  c[0].recon_error = 4.0;
+  c[1].recon_error = 1.0;
+  c[2].recon_error = 3.0;
+  c[3].recon_error = 2.0;
+  // Sorted: 1 (idx1), 2 (idx3), 3 (idx2), 4 (idx0); lower middle = idx3.
+  EXPECT_EQ(core::ArgMedianByError(c), 3u);
+}
+
+TEST(ArgMedianTest, SingleCandidate) {
+  std::vector<core::CandidateResult> c(1);
+  c[0].recon_error = 9.0;
+  EXPECT_EQ(core::ArgMedianByError(c), 0u);
+}
+
+TEST(SelectorTest, ReturnsValuesInsideRanges) {
+  core::HyperparameterSelector selector(TinySelectorConfig());
+  ts::TimeSeries series = testutil::PlantedSeries(240, 2, 1);
+  auto result = selector.Select(series);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const auto& r = TinySelectorConfig().ranges;
+  EXPECT_NE(std::find(r.windows.begin(), r.windows.end(), result->window),
+            r.windows.end());
+  EXPECT_NE(std::find(r.betas.begin(), r.betas.end(), result->beta),
+            r.betas.end());
+  EXPECT_NE(std::find(r.lambdas.begin(), r.lambdas.end(), result->lambda),
+            r.lambdas.end());
+}
+
+TEST(SelectorTest, TracesHaveExpectedLengths) {
+  auto cfg = TinySelectorConfig();
+  core::HyperparameterSelector selector(cfg);
+  ts::TimeSeries series = testutil::PlantedSeries(240, 2, 2);
+  auto result = selector.Select(series);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->random_search.size(),
+            static_cast<size_t>(cfg.random_search_trials));
+  EXPECT_EQ(result->window_sweep.size(), cfg.ranges.windows.size());
+  EXPECT_EQ(result->beta_sweep.size(), cfg.ranges.betas.size());
+  EXPECT_EQ(result->lambda_sweep.size(), cfg.ranges.lambdas.size());
+  for (const auto& c : result->random_search) {
+    EXPECT_GT(c.recon_error, 0.0);
+    EXPECT_TRUE(std::isfinite(c.recon_error));
+  }
+}
+
+TEST(SelectorTest, SelectedTripleIsMedianOfSweeps) {
+  core::HyperparameterSelector selector(TinySelectorConfig());
+  ts::TimeSeries series = testutil::PlantedSeries(240, 2, 3);
+  auto result = selector.Select(series);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->window,
+            result->window_sweep[core::ArgMedianByError(result->window_sweep)]
+                .window);
+  EXPECT_EQ(result->beta,
+            result->beta_sweep[core::ArgMedianByError(result->beta_sweep)].beta);
+  EXPECT_EQ(
+      result->lambda,
+      result->lambda_sweep[core::ArgMedianByError(result->lambda_sweep)].lambda);
+}
+
+TEST(SelectorTest, DeterministicForSameSeed) {
+  core::HyperparameterSelector a(TinySelectorConfig());
+  core::HyperparameterSelector b(TinySelectorConfig());
+  ts::TimeSeries series = testutil::PlantedSeries(240, 2, 4);
+  auto ra = a.Select(series);
+  auto rb = b.Select(series);
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_EQ(ra->window, rb->window);
+  EXPECT_EQ(ra->beta, rb->beta);
+  EXPECT_EQ(ra->lambda, rb->lambda);
+}
+
+TEST(SelectorTest, SeriesTooShortForWindowRangeFails) {
+  auto cfg = TinySelectorConfig();
+  cfg.ranges.windows = {4, 8, 256};
+  core::HyperparameterSelector selector(cfg);
+  ts::TimeSeries series = testutil::PlantedSeries(100, 2, 5);
+  auto result = selector.Select(series);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace caee

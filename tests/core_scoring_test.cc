@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "core/diversity.h"
+#include "core/scoring.h"
+
+namespace caee {
+namespace {
+
+// ---------------------------------------------------------------------------
+// WindowErrors
+// ---------------------------------------------------------------------------
+
+TEST(WindowErrorsTest, SquaredL2PerPosition) {
+  Tensor x(Shape{1, 2, 2}, std::vector<float>{1, 2, 3, 4});
+  Tensor recon(Shape{1, 2, 2}, std::vector<float>{1, 1, 1, 1});
+  auto errors = core::WindowErrors(x, recon);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_DOUBLE_EQ(errors[0][0], 1.0);        // (0)^2 + (1)^2
+  EXPECT_DOUBLE_EQ(errors[0][1], 4.0 + 9.0);  // (2)^2 + (3)^2
+}
+
+TEST(WindowErrorsTest, PerfectReconstructionIsZero) {
+  Rng rng(1);
+  Tensor x = Tensor::Randn({3, 4, 2}, &rng);
+  auto errors = core::WindowErrors(x, x);
+  for (const auto& row : errors) {
+    for (double e : row) EXPECT_EQ(e, 0.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WindowScoreAssembler (Fig. 10 policy)
+// ---------------------------------------------------------------------------
+
+TEST(AssemblerTest, FirstWindowFillsAllPositions) {
+  core::WindowScoreAssembler a(/*num_windows=*/3, /*window=*/4);
+  EXPECT_EQ(a.num_observations(), 6);
+  a.AddWindow(0, {10, 11, 12, 13});
+  a.AddWindow(1, {0, 0, 0, 24});
+  a.AddWindow(2, {0, 0, 0, 35});
+  auto scores = a.Finalize();
+  ASSERT_EQ(scores.size(), 6u);
+  EXPECT_EQ(scores[0], 10.0);
+  EXPECT_EQ(scores[3], 13.0);
+  EXPECT_EQ(scores[4], 24.0);  // window 1's last observation
+  EXPECT_EQ(scores[5], 35.0);  // window 2's last observation
+}
+
+TEST(AssemblerTest, LaterWindowsUseOnlyLastError) {
+  core::WindowScoreAssembler a(2, 3);
+  a.AddWindow(0, {1, 2, 3});
+  a.AddWindow(1, {99, 99, 7});  // only the trailing 7 must be kept
+  auto scores = a.Finalize();
+  EXPECT_EQ(scores[3], 7.0);
+}
+
+TEST(AssemblerTest, AddLastErrorShortcut) {
+  core::WindowScoreAssembler a(2, 3);
+  a.AddWindow(0, {1, 2, 3});
+  a.AddLastError(1, 42.0);
+  EXPECT_EQ(a.Finalize()[3], 42.0);
+}
+
+TEST(AssemblerTest, SingleWindowSeries) {
+  core::WindowScoreAssembler a(1, 5);
+  a.AddWindow(0, {1, 2, 3, 4, 5});
+  EXPECT_EQ(a.Finalize().size(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Median / MedianAcrossModels (Eq. 15)
+// ---------------------------------------------------------------------------
+
+TEST(MedianTest, OddCount) {
+  EXPECT_DOUBLE_EQ(core::Median({3, 1, 2}), 2.0);
+}
+
+TEST(MedianTest, EvenCountAveragesMiddlePair) {
+  EXPECT_DOUBLE_EQ(core::Median({4, 1, 3, 2}), 2.5);
+}
+
+TEST(MedianTest, SingleElement) {
+  EXPECT_DOUBLE_EQ(core::Median({7}), 7.0);
+}
+
+TEST(MedianTest, RobustToOutlierModel) {
+  // One wildly overfit model must not dominate (the Eq. 15 motivation).
+  EXPECT_DOUBLE_EQ(core::Median({1.0, 1.2, 1.1, 500.0, 0.9}), 1.1);
+}
+
+TEST(MedianAcrossModelsTest, ElementwiseMedian) {
+  std::vector<std::vector<double>> per_model = {
+      {1, 10, 100},
+      {2, 20, 200},
+      {3, 30, 300},
+  };
+  auto merged = core::MedianAcrossModels(per_model);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_DOUBLE_EQ(merged[0], 2.0);
+  EXPECT_DOUBLE_EQ(merged[1], 20.0);
+  EXPECT_DOUBLE_EQ(merged[2], 200.0);
+}
+
+TEST(MedianAcrossModelsTest, SingleModelIsIdentity) {
+  std::vector<std::vector<double>> per_model = {{5, 6, 7}};
+  auto merged = core::MedianAcrossModels(per_model);
+  EXPECT_EQ(merged, per_model[0]);
+}
+
+// ---------------------------------------------------------------------------
+// Diversity metrics (Eqs. 9-10)
+// ---------------------------------------------------------------------------
+
+TEST(DiversityTest, IdenticalOutputsHaveZeroDiversity) {
+  Rng rng(2);
+  Tensor a = Tensor::Randn({2, 3, 4}, &rng);
+  EXPECT_DOUBLE_EQ(core::PairwiseDiversity(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(core::EnsembleDiversity({a, a, a}), 0.0);
+}
+
+TEST(DiversityTest, PairwiseIsL2Norm) {
+  Tensor a(Shape{2}, std::vector<float>{0, 0});
+  Tensor b(Shape{2}, std::vector<float>{3, 4});
+  EXPECT_DOUBLE_EQ(core::PairwiseDiversity(a, b), 5.0);
+}
+
+TEST(DiversityTest, Symmetric) {
+  Rng rng(3);
+  Tensor a = Tensor::Randn({5}, &rng);
+  Tensor b = Tensor::Randn({5}, &rng);
+  EXPECT_DOUBLE_EQ(core::PairwiseDiversity(a, b),
+                   core::PairwiseDiversity(b, a));
+}
+
+TEST(DiversityTest, EnsembleAveragesPairs) {
+  Tensor zero(Shape{1}, 0.0f);
+  Tensor one(Shape{1}, 1.0f);
+  Tensor two(Shape{1}, 2.0f);
+  // Pairs: |0-1| = 1, |0-2| = 2, |1-2| = 1 -> mean = 4/3.
+  EXPECT_NEAR(core::EnsembleDiversity({zero, one, two}), 4.0 / 3.0, 1e-12);
+}
+
+TEST(DiversityTest, SingleModelIsZero) {
+  Tensor a(Shape{2}, 1.0f);
+  EXPECT_EQ(core::EnsembleDiversity({a}), 0.0);
+}
+
+TEST(DiversityTest, MoreSpreadMeansMoreDiversity) {
+  Tensor base(Shape{4}, 0.0f);
+  Tensor near(Shape{4}, 0.1f);
+  Tensor far(Shape{4}, 5.0f);
+  EXPECT_GT(core::EnsembleDiversity({base, far}),
+            core::EnsembleDiversity({base, near}));
+}
+
+TEST(DiversityAccumulatorTest, MatchesDirectComputationOnConcatenation) {
+  Rng rng(4);
+  // Two "batches" of outputs for two models; Eq. 10 on the concatenation.
+  Tensor a1 = Tensor::Randn({2, 3}, &rng);
+  Tensor a2 = Tensor::Randn({2, 3}, &rng);
+  Tensor b1 = Tensor::Randn({2, 3}, &rng);
+  Tensor b2 = Tensor::Randn({2, 3}, &rng);
+
+  core::DiversityAccumulator acc(2);
+  acc.AddBatch({a1, b1});
+  acc.AddBatch({a2, b2});
+
+  // Direct: concatenate along the batch axis.
+  Tensor a(Shape{4, 3});
+  Tensor b(Shape{4, 3});
+  std::copy(a1.data(), a1.data() + 6, a.data());
+  std::copy(a2.data(), a2.data() + 6, a.data() + 6);
+  std::copy(b1.data(), b1.data() + 6, b.data());
+  std::copy(b2.data(), b2.data() + 6, b.data() + 6);
+  EXPECT_NEAR(acc.Value(), core::EnsembleDiversity({a, b}), 1e-9);
+}
+
+}  // namespace
+}  // namespace caee

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "core/streaming.h"
+#include "test_util.h"
+
+namespace caee {
+namespace {
+
+core::EnsembleConfig TinyConfig() {
+  core::EnsembleConfig cfg;
+  cfg.cae.embed_dim = 6;
+  cfg.cae.num_layers = 1;
+  cfg.window = 5;
+  cfg.num_models = 2;
+  cfg.epochs_per_model = 2;
+  cfg.batch_size = 32;
+  cfg.max_train_windows = 64;
+  cfg.seed = 9;
+  return cfg;
+}
+
+std::vector<float> Row(const ts::TimeSeries& s, int64_t t) {
+  return std::vector<float>(s.row(t), s.row(t) + s.dims());
+}
+
+class StreamingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ensemble_ = std::make_unique<core::CaeEnsemble>(TinyConfig());
+    ASSERT_TRUE(ensemble_->Fit(testutil::PlantedSeries(250, 2, 1)).ok());
+  }
+  std::unique_ptr<core::CaeEnsemble> ensemble_;
+};
+
+TEST_F(StreamingTest, WarmupReturnsNoScore) {
+  core::StreamingScorer scorer(ensemble_.get());
+  ts::TimeSeries test = testutil::PlantedSeries(20, 2, 2);
+  for (int64_t t = 0; t < 4; ++t) {  // window is 5
+    auto result = scorer.Push(Row(test, t));
+    ASSERT_TRUE(result.ok());
+    EXPECT_FALSE(result->has_value());
+    EXPECT_FALSE(scorer.warm());
+  }
+  auto fifth = scorer.Push(Row(test, 4));
+  ASSERT_TRUE(fifth.ok());
+  EXPECT_TRUE(fifth->has_value());
+  EXPECT_TRUE(scorer.warm());
+}
+
+TEST_F(StreamingTest, MatchesBatchScoresAfterWarmup) {
+  core::StreamingScorer scorer(ensemble_.get());
+  ts::TimeSeries test = testutil::PlantedSeries(60, 2, 3, {40});
+  auto batch = ensemble_->Score(test).value();
+  for (int64_t t = 0; t < test.length(); ++t) {
+    auto result = scorer.Push(Row(test, t));
+    ASSERT_TRUE(result.ok());
+    if (result->has_value()) {
+      // Observations from index w-1 onward must match the batch pipeline.
+      EXPECT_NEAR(result->value(), batch[static_cast<size_t>(t)], 1e-6)
+          << "t=" << t;
+    }
+  }
+}
+
+TEST_F(StreamingTest, ObservationCountTracksPushes) {
+  core::StreamingScorer scorer(ensemble_.get());
+  ts::TimeSeries test = testutil::PlantedSeries(10, 2, 4);
+  for (int64_t t = 0; t < 10; ++t) {
+    ASSERT_TRUE(scorer.Push(Row(test, t)).ok());
+  }
+  EXPECT_EQ(scorer.observations_seen(), 10);
+}
+
+TEST_F(StreamingTest, ResetForgetsBuffer) {
+  core::StreamingScorer scorer(ensemble_.get());
+  ts::TimeSeries test = testutil::PlantedSeries(10, 2, 5);
+  for (int64_t t = 0; t < 7; ++t) {
+    ASSERT_TRUE(scorer.Push(Row(test, t)).ok());
+  }
+  EXPECT_TRUE(scorer.warm());
+  scorer.Reset();
+  EXPECT_FALSE(scorer.warm());
+  EXPECT_EQ(scorer.observations_seen(), 0);
+  auto result = scorer.Push(Row(test, 0));
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->has_value());
+}
+
+TEST_F(StreamingTest, RejectsDimensionChangeMidStream) {
+  core::StreamingScorer scorer(ensemble_.get());
+  ASSERT_TRUE(scorer.Push({1.0f, 2.0f}).ok());
+  auto bad = scorer.Push({1.0f, 2.0f, 3.0f});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(StreamingTest, RejectsEmptyObservation) {
+  core::StreamingScorer scorer(ensemble_.get());
+  EXPECT_FALSE(scorer.Push({}).ok());
+}
+
+TEST_F(StreamingTest, SpikeRaisesStreamingScore) {
+  core::StreamingScorer scorer(ensemble_.get());
+  ts::TimeSeries test = testutil::PlantedSeries(60, 2, 6, {50}, 12.0);
+  double normal_sum = 0.0;
+  int normal_count = 0;
+  double spike_score = -1.0;
+  for (int64_t t = 0; t < test.length(); ++t) {
+    auto result = scorer.Push(Row(test, t)).value();
+    if (!result.has_value()) continue;
+    if (t == 50) {
+      spike_score = *result;
+    } else if (t < 45) {
+      normal_sum += *result;
+      ++normal_count;
+    }
+  }
+  ASSERT_GT(normal_count, 0);
+  EXPECT_GT(spike_score, 5.0 * normal_sum / normal_count);
+}
+
+}  // namespace
+}  // namespace caee

@@ -1,0 +1,231 @@
+#include <cmath>
+#include <cstdio>
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "data/injectors.h"
+#include "data/registry.h"
+#include "ts/csv.h"
+
+namespace caee {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Injectors
+// ---------------------------------------------------------------------------
+
+ts::TimeSeries FlatSeries(int64_t n, int64_t d) {
+  Rng rng(99);
+  ts::TimeSeries s(n, d);
+  for (int64_t t = 0; t < n; ++t) {
+    for (int64_t j = 0; j < d; ++j) {
+      s.value(t, j) = static_cast<float>(rng.Gaussian(0.0, 1.0));
+    }
+  }
+  return s;
+}
+
+TEST(InjectorTest, SpikeLabelsSinglePoint) {
+  ts::TimeSeries s = FlatSeries(100, 4);
+  Rng rng(1);
+  data::InjectSpike(&s, &rng, 50, 6.0);
+  EXPECT_TRUE(s.has_labels());
+  EXPECT_EQ(s.label(50), 1);
+  EXPECT_EQ(s.label(49), 0);
+  EXPECT_EQ(s.label(51), 0);
+}
+
+TEST(InjectorTest, SpikeActuallyDeviates) {
+  ts::TimeSeries s = FlatSeries(100, 4);
+  ts::TimeSeries before = s;
+  Rng rng(2);
+  data::InjectSpike(&s, &rng, 30, 6.0);
+  double max_diff = 0.0;
+  for (int64_t j = 0; j < 4; ++j) {
+    max_diff = std::max(
+        max_diff, std::fabs(static_cast<double>(s.value(30, j)) -
+                            before.value(30, j)));
+  }
+  EXPECT_GT(max_diff, 3.0);  // at least one dim moved by several sigma
+}
+
+TEST(InjectorTest, LevelShiftLabelsWholeInterval) {
+  ts::TimeSeries s = FlatSeries(200, 3);
+  Rng rng(3);
+  data::InjectLevelShift(&s, &rng, 80, 20, 3.0);
+  for (int64_t t = 80; t < 100; ++t) EXPECT_EQ(s.label(t), 1);
+  EXPECT_EQ(s.label(79), 0);
+  EXPECT_EQ(s.label(100), 0);
+}
+
+TEST(InjectorTest, CollectiveIntervalLabelsAllPerturbsFew) {
+  ts::TimeSeries s = FlatSeries(300, 2);
+  ts::TimeSeries before = s;
+  Rng rng(4);
+  data::InjectCollectiveInterval(&s, &rng, 100, 20, 2, 8.0, 0.3);
+  // All 20 labelled.
+  for (int64_t t = 100; t < 120; ++t) EXPECT_EQ(s.label(t), 1);
+  // Only a couple of positions deviate strongly (the Fig. 11 structure).
+  int strong = 0;
+  for (int64_t t = 100; t < 120; ++t) {
+    double diff = 0.0;
+    for (int64_t j = 0; j < 2; ++j) {
+      diff = std::max(diff, std::fabs(static_cast<double>(s.value(t, j)) -
+                                      before.value(t, j)));
+    }
+    if (diff > 4.0) ++strong;
+  }
+  EXPECT_GE(strong, 1);
+  EXPECT_LE(strong, 6);
+}
+
+TEST(InjectorTest, MixHitsTargetRatio) {
+  ts::TimeSeries s = FlatSeries(2000, 3);
+  Rng rng(5);
+  const double achieved = data::InjectAnomalyMix(&s, &rng, 0.05, {});
+  EXPECT_NEAR(achieved, 0.05, 0.02);
+  EXPECT_NEAR(s.OutlierRatio(), achieved, 1e-12);
+}
+
+TEST(InjectorTest, ZeroRatioInjectsNothing) {
+  ts::TimeSeries s = FlatSeries(500, 2);
+  Rng rng(6);
+  const double achieved = data::InjectAnomalyMix(&s, &rng, 0.0, {});
+  EXPECT_EQ(achieved, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  ts::Dataset a = data::Generate(data::SmdProfile(0.2, 42));
+  ts::Dataset b = data::Generate(data::SmdProfile(0.2, 42));
+  ASSERT_EQ(a.test.length(), b.test.length());
+  for (int64_t t = 0; t < a.test.length(); t += 97) {
+    for (int64_t j = 0; j < a.test.dims(); ++j) {
+      EXPECT_EQ(a.test.value(t, j), b.test.value(t, j));
+    }
+    EXPECT_EQ(a.test.label(t), b.test.label(t));
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  ts::Dataset a = data::Generate(data::SmdProfile(0.2, 1));
+  ts::Dataset b = data::Generate(data::SmdProfile(0.2, 2));
+  int same = 0, checked = 0;
+  for (int64_t t = 0; t < a.test.length(); t += 13) {
+    same += (a.test.value(t, 0) == b.test.value(t, 0));
+    ++checked;
+  }
+  EXPECT_LT(same, checked / 4);
+}
+
+struct ProfileCase {
+  const char* name;
+  int64_t dims;
+  double ratio;
+};
+
+class ProfileTest : public ::testing::TestWithParam<ProfileCase> {};
+
+TEST_P(ProfileTest, MatchesPaperCharacteristics) {
+  const auto& p = GetParam();
+  auto ds = data::MakeDataset(p.name, /*scale=*/0.3, /*seed=*/7);
+  ASSERT_TRUE(ds.ok()) << ds.status();
+  EXPECT_EQ(ds->train.dims(), p.dims);
+  EXPECT_EQ(ds->test.dims(), p.dims);
+  EXPECT_TRUE(ds->test.has_labels());
+  EXPECT_GT(ds->train.length(), 0);
+  EXPECT_GT(ds->test.length(), 0);
+  // Outlier ratio within tolerance of the paper's figure.
+  EXPECT_NEAR(ds->test.OutlierRatio(), p.ratio, p.ratio * 0.5 + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperDatasets, ProfileTest,
+    ::testing::Values(ProfileCase{"ECG", 2, 0.0488},
+                      ProfileCase{"SMD", 38, 0.0416},
+                      ProfileCase{"MSL", 55, 0.0917},
+                      ProfileCase{"SMAP", 25, 0.1227},
+                      ProfileCase{"WADI", 127, 0.0576}),
+    [](const ::testing::TestParamInfo<ProfileCase>& info) {
+      return info.param.name;
+    });
+
+TEST(GeneratorTest, EcgTrainEqualsTest) {
+  auto ds = data::MakeDataset("ECG", 0.3, 7);
+  ASSERT_TRUE(ds.ok());
+  ASSERT_EQ(ds->train.length(), ds->test.length());
+  for (int64_t t = 0; t < ds->train.length(); t += 31) {
+    EXPECT_EQ(ds->train.value(t, 0), ds->test.value(t, 0));
+  }
+}
+
+TEST(GeneratorTest, NonEcgTrainIsContinuationFreeOfLabels) {
+  auto ds = data::MakeDataset("SMD", 0.3, 7);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_FALSE(ds->train.has_labels());
+  EXPECT_NE(ds->train.length(), 0);
+}
+
+TEST(GeneratorTest, ScaleShrinksLength) {
+  auto small = data::MakeDataset("MSL", 0.3, 7);
+  auto big = data::MakeDataset("MSL", 0.6, 7);
+  ASSERT_TRUE(small.ok() && big.ok());
+  EXPECT_LT(small->test.length(), big->test.length());
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(RegistryTest, ListsFivePaperDatasets) {
+  auto names = data::ListDatasets();
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_EQ(names[0], "ECG");
+  EXPECT_EQ(names[4], "WADI");
+}
+
+TEST(RegistryTest, CaseInsensitiveLookup) {
+  EXPECT_TRUE(data::MakeDataset("smap", 0.3).ok());
+  EXPECT_TRUE(data::MakeDataset("Smap", 0.3).ok());
+}
+
+TEST(RegistryTest, UnknownNameIsNotFound) {
+  auto ds = data::MakeDataset("nope", 0.3);
+  EXPECT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, RejectsBadScale) {
+  EXPECT_FALSE(data::MakeDataset("ECG", 0.0).ok());
+  EXPECT_FALSE(data::MakeDataset("ECG", -1.0).ok());
+  EXPECT_FALSE(data::MakeDataset("ECG", 100.0).ok());
+}
+
+TEST(RegistryTest, CsvDatasetRoundTrip) {
+  auto generated = data::MakeDataset("ECG", 0.3, 11);
+  ASSERT_TRUE(generated.ok());
+  const std::string train_path = ::testing::TempDir() + "/caee_train.csv";
+  const std::string test_path = ::testing::TempDir() + "/caee_test.csv";
+  // Write the training half without its label column.
+  ts::TimeSeries train_unlabeled(generated->train.length(),
+                                 generated->train.dims());
+  for (int64_t t = 0; t < train_unlabeled.length(); ++t) {
+    for (int64_t j = 0; j < train_unlabeled.dims(); ++j) {
+      train_unlabeled.value(t, j) = generated->train.value(t, j);
+    }
+  }
+  ASSERT_TRUE(ts::WriteCsv(train_unlabeled, train_path).ok());
+  ASSERT_TRUE(ts::WriteCsv(generated->test, test_path).ok());
+  auto loaded = data::LoadCsvDataset("ecg-csv", train_path, test_path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->test.length(), generated->test.length());
+  EXPECT_TRUE(loaded->test.has_labels());
+  std::remove(train_path.c_str());
+  std::remove(test_path.c_str());
+}
+
+}  // namespace
+}  // namespace caee

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "eval/detector.h"
+#include "eval/runner.h"
+#include "eval/table.h"
+#include "test_util.h"
+
+namespace caee {
+namespace {
+
+eval::SuiteConfig TinySuite() {
+  eval::SuiteConfig s;
+  s.window = 8;
+  s.embed_dim = 6;
+  s.cae_layers = 1;
+  s.num_models = 2;
+  s.epochs_per_model = 1;
+  s.rnn_hidden = 8;
+  s.rnn_epochs = 1;
+  s.ae_epochs = 2;
+  s.max_train_windows = 64;
+  return s;
+}
+
+TEST(DetectorFactoryTest, AllNamesConstruct) {
+  for (const auto& name : eval::AllDetectorNames()) {
+    auto detector = eval::MakeDetector(name, TinySuite());
+    ASSERT_TRUE(detector.ok()) << name << ": " << detector.status();
+    EXPECT_EQ((*detector)->name(), name);
+  }
+}
+
+TEST(DetectorFactoryTest, UnknownNameFails) {
+  auto detector = eval::MakeDetector("DOES-NOT-EXIST", TinySuite());
+  EXPECT_FALSE(detector.ok());
+  EXPECT_EQ(detector.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DetectorFactoryTest, TwelveDetectorsInPaperOrder) {
+  auto names = eval::AllDetectorNames();
+  ASSERT_EQ(names.size(), 12u);
+  EXPECT_EQ(names.front(), "ISF");
+  EXPECT_EQ(names.back(), "CAE-Ensemble");
+}
+
+TEST(Table2Test, KnownDatasetsHavePaperValues) {
+  auto ecg = eval::Table2Hyperparameters("ECG");
+  EXPECT_FLOAT_EQ(ecg.beta, 0.5f);
+  EXPECT_FLOAT_EQ(ecg.lambda, 2.0f);
+  EXPECT_EQ(ecg.window, 16);
+  auto smd = eval::Table2Hyperparameters("SMD");
+  EXPECT_FLOAT_EQ(smd.beta, 0.2f);
+  EXPECT_FLOAT_EQ(smd.lambda, 32.0f);
+  EXPECT_EQ(smd.window, 32);
+}
+
+TEST(RunnerTest, ProducesCompleteResult) {
+  ts::Dataset ds;
+  ds.name = "tiny";
+  ds.train = testutil::PlantedSeries(200, 2, 1);
+  ds.test = testutil::PlantedSeries(120, 2, 2, {60}, 9.0);
+
+  auto detector = eval::MakeDetector("MAS", TinySuite());
+  ASSERT_TRUE(detector.ok());
+  auto result = eval::RunDetector(detector->get(), ds);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->detector, "MAS");
+  EXPECT_EQ(result->dataset, "tiny");
+  EXPECT_EQ(result->scores.size(), 120u);
+  EXPECT_GE(result->fit_seconds, 0.0);
+  EXPECT_GE(result->score_seconds, 0.0);
+  EXPECT_GT(result->report.roc_auc, 0.5);  // easy planted outlier
+}
+
+TEST(RunnerTest, TestLabelsExtraction) {
+  ts::TimeSeries test = testutil::PlantedSeries(50, 2, 3, {10, 20});
+  auto labels = eval::TestLabels(test);
+  ASSERT_EQ(labels.size(), 50u);
+  EXPECT_EQ(labels[10], 1);
+  EXPECT_EQ(labels[20], 1);
+  EXPECT_EQ(labels[30], 0);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  eval::TablePrinter table({"Model", "F1"});
+  table.AddRow({"ISF", "0.0999"});
+  table.AddRow({"CAE-Ensemble", "0.2521"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| Model"), std::string::npos);
+  EXPECT_NE(out.find("| CAE-Ensemble | 0.2521 |"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FormatDouble) {
+  EXPECT_EQ(eval::FormatDouble(0.25214, 4), "0.2521");
+  EXPECT_EQ(eval::FormatDouble(1.0, 2), "1.00");
+}
+
+}  // namespace
+}  // namespace caee

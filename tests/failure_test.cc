@@ -1,0 +1,219 @@
+// Failure-injection & degenerate-input tests: every public entry point must
+// return a Status (never crash) for malformed, degenerate, or hostile inputs.
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "baselines/isolation_forest.h"
+#include "baselines/lof.h"
+#include "baselines/mas.h"
+#include "baselines/ocsvm.h"
+#include "baselines/rae.h"
+#include "core/ensemble.h"
+#include "core/hyperparameter.h"
+#include "data/registry.h"
+#include "eval/detector.h"
+#include "eval/runner.h"
+#include "metrics/metrics.h"
+#include "test_util.h"
+#include "ts/csv.h"
+
+namespace caee {
+namespace {
+
+core::EnsembleConfig TinyConfig() {
+  core::EnsembleConfig cfg;
+  cfg.cae.embed_dim = 6;
+  cfg.cae.num_layers = 1;
+  cfg.window = 4;
+  cfg.num_models = 2;
+  cfg.epochs_per_model = 1;
+  cfg.max_train_windows = 32;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate series
+// ---------------------------------------------------------------------------
+
+TEST(FailureTest, ConstantSeriesTrainsAndScores) {
+  // Zero-variance inputs: the scaler must not divide by zero, training must
+  // not NaN out, and scores must stay finite.
+  ts::TimeSeries flat(100, 3);
+  for (int64_t t = 0; t < 100; ++t) {
+    for (int64_t j = 0; j < 3; ++j) flat.value(t, j) = 5.0f;
+  }
+  core::CaeEnsemble ensemble(TinyConfig());
+  ASSERT_TRUE(ensemble.Fit(flat).ok());
+  auto scores = ensemble.Score(flat);
+  ASSERT_TRUE(scores.ok());
+  for (double s : *scores) EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST(FailureTest, SingleDimensionSeries) {
+  ts::TimeSeries s = testutil::PlantedSeries(120, 1, 5);
+  core::CaeEnsemble ensemble(TinyConfig());
+  ASSERT_TRUE(ensemble.Fit(s).ok());
+  EXPECT_TRUE(ensemble.Score(s).ok());
+}
+
+TEST(FailureTest, SeriesExactlyWindowLength) {
+  core::EnsembleConfig cfg = TinyConfig();
+  ts::TimeSeries s = testutil::PlantedSeries(cfg.window, 2, 6);
+  core::CaeEnsemble ensemble(cfg);
+  ASSERT_TRUE(ensemble.Fit(s).ok());
+  auto scores = ensemble.Score(s);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(scores->size(), static_cast<size_t>(cfg.window));
+}
+
+TEST(FailureTest, EmptySeriesRejectedEverywhere) {
+  ts::TimeSeries empty;
+  core::CaeEnsemble ensemble(TinyConfig());
+  EXPECT_FALSE(ensemble.Fit(empty).ok());
+  baselines::MovingAverageSmoothing mas;
+  EXPECT_FALSE(mas.Fit(empty).ok());
+  baselines::IsolationForest isf;
+  EXPECT_FALSE(isf.Fit(empty).ok());
+  baselines::Ocsvm svm;
+  EXPECT_FALSE(svm.Fit(empty).ok());
+}
+
+TEST(FailureTest, RefitReplacesModels) {
+  core::CaeEnsemble ensemble(TinyConfig());
+  ts::TimeSeries a = testutil::PlantedSeries(100, 2, 7);
+  ts::TimeSeries b = testutil::PlantedSeries(100, 3, 8);  // different dims!
+  ASSERT_TRUE(ensemble.Fit(a).ok());
+  ASSERT_TRUE(ensemble.Fit(b).ok());  // refit on new dimensionality
+  EXPECT_TRUE(ensemble.Score(b).ok());
+  EXPECT_FALSE(ensemble.Score(a).ok());  // old dims now rejected
+}
+
+// ---------------------------------------------------------------------------
+// Hostile score/label inputs to metrics
+// ---------------------------------------------------------------------------
+
+TEST(FailureTest, MetricsHandleInfinitiesInScores) {
+  std::vector<double> scores = {1.0, std::numeric_limits<double>::infinity(),
+                                0.5, 2.0};
+  std::vector<int> labels = {0, 1, 0, 1};
+  EXPECT_GE(metrics::RocAuc(scores, labels), 0.0);
+  EXPECT_LE(metrics::RocAuc(scores, labels), 1.0);
+  EXPECT_GE(metrics::PrAuc(scores, labels), 0.0);
+  auto best = metrics::BestF1(scores, labels);
+  EXPECT_GE(best.f1, 0.0);
+}
+
+TEST(FailureTest, MetricsHandleAllIdenticalScores) {
+  std::vector<double> scores(50, 3.14);
+  std::vector<int> labels(50, 0);
+  labels[7] = labels[21] = 1;
+  EXPECT_DOUBLE_EQ(metrics::RocAuc(scores, labels), 0.5);
+  auto at_k = metrics::AtTopK(scores, labels, 10.0);
+  EXPECT_GE(at_k.precision, 0.0);
+}
+
+TEST(FailureTest, EmptyScoreVectors) {
+  std::vector<double> scores;
+  std::vector<int> labels;
+  EXPECT_DOUBLE_EQ(metrics::RocAuc(scores, labels), 0.5);
+  EXPECT_DOUBLE_EQ(metrics::PrAuc(scores, labels), 0.0);
+  EXPECT_DOUBLE_EQ(metrics::BestF1(scores, labels).f1, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Detector-level dimension & precondition failures
+// ---------------------------------------------------------------------------
+
+TEST(FailureTest, AllDetectorsRejectScoreBeforeFit) {
+  eval::SuiteConfig s;
+  s.window = 4;
+  s.embed_dim = 6;
+  s.cae_layers = 1;
+  s.num_models = 2;
+  s.epochs_per_model = 1;
+  s.rnn_hidden = 6;
+  s.rnn_epochs = 1;
+  s.ae_epochs = 1;
+  s.max_train_windows = 16;
+  ts::TimeSeries series = testutil::PlantedSeries(50, 2, 9);
+  for (const auto& name : eval::AllDetectorNames()) {
+    if (name == "MAS") continue;  // stateless smoother scores without fit
+    auto detector = eval::MakeDetector(name, s);
+    ASSERT_TRUE(detector.ok()) << name;
+    auto scores = (*detector)->Score(series);
+    EXPECT_FALSE(scores.ok()) << name << " scored before Fit";
+  }
+}
+
+TEST(FailureTest, RaeRejectsDimensionChange) {
+  baselines::RaeConfig cfg;
+  cfg.window = 4;
+  cfg.hidden = 6;
+  cfg.epochs = 1;
+  cfg.max_train_windows = 16;
+  baselines::Rae rae(cfg);
+  ASSERT_TRUE(rae.Fit(testutil::PlantedSeries(60, 2, 10)).ok());
+  EXPECT_FALSE(rae.Score(testutil::PlantedSeries(60, 4, 11)).ok());
+}
+
+TEST(FailureTest, LofHandlesDuplicatePoints) {
+  // Many exact duplicates: k-distances collapse to 0; LOF must not emit
+  // NaN/inf-propagating divisions.
+  ts::TimeSeries s(100, 2);
+  for (int64_t t = 0; t < 100; ++t) {
+    s.value(t, 0) = static_cast<float>(t % 4);  // only four distinct points
+    s.value(t, 1) = static_cast<float>(t % 4);
+  }
+  baselines::LofConfig cfg;
+  cfg.k = 5;
+  baselines::Lof lof(cfg);
+  ASSERT_TRUE(lof.Fit(s).ok());
+  auto scores = lof.Score(s);
+  ASSERT_TRUE(scores.ok());
+  for (double v : *scores) EXPECT_TRUE(std::isfinite(v));
+}
+
+// ---------------------------------------------------------------------------
+// Hyperparameter selection failure paths
+// ---------------------------------------------------------------------------
+
+TEST(FailureTest, SelectorRejectsShortSeries) {
+  core::SelectorConfig cfg;
+  cfg.base = TinyConfig();
+  cfg.ranges.windows = {64};
+  cfg.random_search_trials = 1;
+  core::HyperparameterSelector selector(cfg);
+  auto result = selector.Select(testutil::PlantedSeries(80, 2, 12));
+  EXPECT_FALSE(result.ok());
+}
+
+// ---------------------------------------------------------------------------
+// CSV robustness
+// ---------------------------------------------------------------------------
+
+TEST(FailureTest, CsvEmptyFileYieldsEmptySeries) {
+  const std::string path = ::testing::TempDir() + "/caee_empty.csv";
+  { std::ofstream(path).flush(); }
+  auto loaded = ts::ReadCsv(path, false);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->length(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(FailureTest, CsvLabelsRequireTwoColumns) {
+  const std::string path = ::testing::TempDir() + "/caee_one_col.csv";
+  {
+    std::ofstream out(path);
+    out << "1.5\n2.5\n";
+  }
+  auto loaded = ts::ReadCsv(path, /*has_labels=*/true);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace caee

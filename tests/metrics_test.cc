@@ -1,0 +1,301 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "metrics/metrics.h"
+
+namespace caee {
+namespace {
+
+using metrics::Confusion;
+
+// ---------------------------------------------------------------------------
+// Confusion / P / R / F1
+// ---------------------------------------------------------------------------
+
+TEST(ConfusionTest, CountsAllFourCells) {
+  const std::vector<double> scores = {0.9, 0.8, 0.3, 0.1};
+  const std::vector<int> labels = {1, 0, 1, 0};
+  Confusion c = metrics::ConfusionAt(scores, labels, 0.5);
+  EXPECT_EQ(c.tp, 1);  // 0.9 outlier
+  EXPECT_EQ(c.fp, 1);  // 0.8 inlier
+  EXPECT_EQ(c.fn, 1);  // 0.3 outlier
+  EXPECT_EQ(c.tn, 1);  // 0.1 inlier
+}
+
+TEST(ConfusionTest, ThresholdIsStrict) {
+  const std::vector<double> scores = {0.5};
+  const std::vector<int> labels = {1};
+  Confusion c = metrics::ConfusionAt(scores, labels, 0.5);
+  EXPECT_EQ(c.fn, 1);  // score == threshold is not flagged
+}
+
+TEST(PrfTest, HandComputedValues) {
+  Confusion c{/*tp=*/3, /*fp=*/1, /*tn=*/5, /*fn=*/2};
+  EXPECT_DOUBLE_EQ(metrics::Precision(c), 0.75);
+  EXPECT_DOUBLE_EQ(metrics::Recall(c), 0.6);
+  EXPECT_NEAR(metrics::F1(c), 2 * 0.75 * 0.6 / (0.75 + 0.6), 1e-12);
+}
+
+TEST(PrfTest, DegenerateZeros) {
+  Confusion empty{0, 0, 10, 0};
+  EXPECT_EQ(metrics::Precision(empty), 0.0);
+  EXPECT_EQ(metrics::Recall(empty), 0.0);
+  EXPECT_EQ(metrics::F1(empty), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// BestF1
+// ---------------------------------------------------------------------------
+
+TEST(BestF1Test, PerfectSeparationGivesOne) {
+  const std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  const std::vector<int> labels = {1, 1, 0, 0};
+  auto best = metrics::BestF1(scores, labels);
+  EXPECT_DOUBLE_EQ(best.f1, 1.0);
+  EXPECT_DOUBLE_EQ(best.precision, 1.0);
+  EXPECT_DOUBLE_EQ(best.recall, 1.0);
+  // The returned threshold must reproduce the optimum.
+  Confusion c = metrics::ConfusionAt(scores, labels, best.threshold);
+  EXPECT_DOUBLE_EQ(metrics::F1(c), 1.0);
+}
+
+TEST(BestF1Test, HandComputedImperfectCase) {
+  // Ranking: 0.9(+), 0.7(-), 0.6(+), 0.4(-).
+  // Cut after 1: P=1, R=0.5, F1=2/3. After 3: P=2/3, R=1, F1=0.8.
+  const std::vector<double> scores = {0.9, 0.7, 0.6, 0.4};
+  const std::vector<int> labels = {1, 0, 1, 0};
+  auto best = metrics::BestF1(scores, labels);
+  EXPECT_NEAR(best.f1, 0.8, 1e-12);
+  EXPECT_NEAR(best.precision, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(best.recall, 1.0, 1e-12);
+}
+
+TEST(BestF1Test, NoPositivesGivesZero) {
+  const std::vector<double> scores = {0.5, 0.4};
+  const std::vector<int> labels = {0, 0};
+  EXPECT_EQ(metrics::BestF1(scores, labels).f1, 0.0);
+}
+
+TEST(BestF1Test, TiedScoresAreGrouped) {
+  // All scores equal: the only cut flags everything.
+  const std::vector<double> scores = {0.5, 0.5, 0.5, 0.5};
+  const std::vector<int> labels = {1, 0, 1, 0};
+  auto best = metrics::BestF1(scores, labels);
+  EXPECT_NEAR(best.recall, 1.0, 1e-12);
+  EXPECT_NEAR(best.precision, 0.5, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// ROC-AUC
+// ---------------------------------------------------------------------------
+
+TEST(RocAucTest, PerfectScorerIsOne) {
+  const std::vector<double> scores = {4, 3, 2, 1};
+  const std::vector<int> labels = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(metrics::RocAuc(scores, labels), 1.0);
+}
+
+TEST(RocAucTest, InvertedScorerIsZero) {
+  const std::vector<double> scores = {1, 2, 3, 4};
+  const std::vector<int> labels = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(metrics::RocAuc(scores, labels), 0.0);
+}
+
+TEST(RocAucTest, AllTiedIsHalf) {
+  const std::vector<double> scores = {1, 1, 1, 1};
+  const std::vector<int> labels = {1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(metrics::RocAuc(scores, labels), 0.5);
+}
+
+TEST(RocAucTest, SingleClassReturnsHalf) {
+  EXPECT_DOUBLE_EQ(metrics::RocAuc({1, 2}, {0, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(metrics::RocAuc({1, 2}, {1, 1}), 0.5);
+}
+
+TEST(RocAucTest, HandComputedMixedCase) {
+  // scores: pos {0.8, 0.4}, neg {0.6, 0.2}.
+  // Pairs: (0.8 vs 0.6)=1, (0.8 vs 0.2)=1, (0.4 vs 0.6)=0, (0.4 vs 0.2)=1
+  // AUC = 3/4.
+  const std::vector<double> scores = {0.8, 0.4, 0.6, 0.2};
+  const std::vector<int> labels = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(metrics::RocAuc(scores, labels), 0.75);
+}
+
+TEST(RocAucTest, RandomScorerNearHalf) {
+  Rng rng(7);
+  const size_t n = 20000;
+  std::vector<double> scores(n);
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    scores[i] = rng.Uniform();
+    labels[i] = rng.Bernoulli(0.1);
+  }
+  EXPECT_NEAR(metrics::RocAuc(scores, labels), 0.5, 0.02);
+}
+
+TEST(RocAucTest, InvariantUnderMonotoneTransform) {
+  Rng rng(8);
+  std::vector<double> scores(500);
+  std::vector<int> labels(500);
+  for (size_t i = 0; i < 500; ++i) {
+    scores[i] = rng.Uniform(0.0, 10.0);
+    labels[i] = rng.Bernoulli(0.2);
+  }
+  std::vector<double> transformed(500);
+  for (size_t i = 0; i < 500; ++i) {
+    transformed[i] = std::exp(0.5 * scores[i]) + 3.0;  // strictly increasing
+  }
+  EXPECT_NEAR(metrics::RocAuc(scores, labels),
+              metrics::RocAuc(transformed, labels), 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// PR-AUC
+// ---------------------------------------------------------------------------
+
+TEST(PrAucTest, PerfectScorerIsOne) {
+  const std::vector<double> scores = {4, 3, 2, 1};
+  const std::vector<int> labels = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(metrics::PrAuc(scores, labels), 1.0);
+}
+
+TEST(PrAucTest, HandComputedCase) {
+  // Ranking: +(0.9), -(0.7), +(0.6), -(0.4).
+  // AP = 0.5*1.0 (first +) + 0.5*(2/3) (second +) = 5/6... computed stepwise:
+  // after rank1: R=0.5, P=1 -> contribution 0.5*1
+  // after rank3: R=1.0, P=2/3 -> contribution 0.5*2/3
+  const std::vector<double> scores = {0.9, 0.7, 0.6, 0.4};
+  const std::vector<int> labels = {1, 0, 1, 0};
+  EXPECT_NEAR(metrics::PrAuc(scores, labels), 0.5 + 0.5 * 2.0 / 3.0, 1e-12);
+}
+
+TEST(PrAucTest, RandomScorerNearPositiveRate) {
+  Rng rng(9);
+  const size_t n = 20000;
+  std::vector<double> scores(n);
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    scores[i] = rng.Uniform();
+    labels[i] = rng.Bernoulli(0.1);
+  }
+  EXPECT_NEAR(metrics::PrAuc(scores, labels), 0.1, 0.02);
+}
+
+TEST(PrAucTest, NoPositivesIsZero) {
+  EXPECT_EQ(metrics::PrAuc({1, 2}, {0, 0}), 0.0);
+}
+
+TEST(PrAucTest, InvariantUnderMonotoneTransform) {
+  Rng rng(10);
+  std::vector<double> scores(300);
+  std::vector<int> labels(300);
+  for (size_t i = 0; i < 300; ++i) {
+    scores[i] = rng.Uniform();
+    labels[i] = rng.Bernoulli(0.25);
+  }
+  std::vector<double> transformed(300);
+  for (size_t i = 0; i < 300; ++i) transformed[i] = 2.0 * scores[i] + 1.0;
+  EXPECT_NEAR(metrics::PrAuc(scores, labels),
+              metrics::PrAuc(transformed, labels), 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Top-K thresholding (Fig. 13 machinery)
+// ---------------------------------------------------------------------------
+
+TEST(TopKTest, FlagsExactlyTopFraction) {
+  std::vector<double> scores;
+  for (int i = 0; i < 100; ++i) scores.push_back(i);  // distinct
+  const double thr = metrics::TopKThreshold(scores, 10.0);
+  int flagged = 0;
+  for (double s : scores) flagged += (s > thr);
+  EXPECT_EQ(flagged, 10);
+}
+
+TEST(TopKTest, ZeroPercentFlagsNothing) {
+  const std::vector<double> scores = {1, 2, 3};
+  const double thr = metrics::TopKThreshold(scores, 0.0);
+  for (double s : scores) EXPECT_LE(s, thr);
+}
+
+TEST(TopKTest, HundredPercentFlagsEverything) {
+  const std::vector<double> scores = {1, 2, 3};
+  const double thr = metrics::TopKThreshold(scores, 100.0);
+  for (double s : scores) EXPECT_GT(s, thr);
+}
+
+TEST(TopKTest, AtTopKComputesMetrics) {
+  // Top 25% = the single highest score, which is an outlier.
+  const std::vector<double> scores = {0.9, 0.2, 0.3, 0.1};
+  const std::vector<int> labels = {1, 0, 0, 1};
+  auto m = metrics::AtTopK(scores, labels, 25.0);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Evaluate / Average
+// ---------------------------------------------------------------------------
+
+TEST(EvaluateTest, CombinesBestF1AndAucs) {
+  const std::vector<double> scores = {4, 3, 2, 1};
+  const std::vector<int> labels = {1, 1, 0, 0};
+  auto report = metrics::Evaluate(scores, labels);
+  EXPECT_DOUBLE_EQ(report.f1, 1.0);
+  EXPECT_DOUBLE_EQ(report.pr_auc, 1.0);
+  EXPECT_DOUBLE_EQ(report.roc_auc, 1.0);
+}
+
+TEST(AverageTest, MeanOfReports) {
+  metrics::AccuracyReport a{1.0, 0.0, 0.5, 0.2, 0.6};
+  metrics::AccuracyReport b{0.0, 1.0, 0.5, 0.4, 0.8};
+  auto avg = metrics::Average({a, b});
+  EXPECT_DOUBLE_EQ(avg.precision, 0.5);
+  EXPECT_DOUBLE_EQ(avg.recall, 0.5);
+  EXPECT_DOUBLE_EQ(avg.f1, 0.5);
+  EXPECT_NEAR(avg.pr_auc, 0.3, 1e-12);
+  EXPECT_NEAR(avg.roc_auc, 0.7, 1e-12);
+}
+
+TEST(AverageTest, EmptyIsZero) {
+  auto avg = metrics::Average({});
+  EXPECT_EQ(avg.f1, 0.0);
+}
+
+// Property sweep: for random scorers on random labels, metric outputs stay
+// within their theoretical ranges.
+class MetricRangeTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricRangeTest, AllMetricsInRange) {
+  Rng rng(GetParam());
+  const size_t n = 200;
+  std::vector<double> scores(n);
+  std::vector<int> labels(n);
+  int pos = 0;
+  for (size_t i = 0; i < n; ++i) {
+    scores[i] = rng.Gaussian();
+    labels[i] = rng.Bernoulli(0.15);
+    pos += labels[i];
+  }
+  if (pos == 0) labels[0] = 1;
+  auto report = metrics::Evaluate(scores, labels);
+  EXPECT_GE(report.precision, 0.0);
+  EXPECT_LE(report.precision, 1.0);
+  EXPECT_GE(report.recall, 0.0);
+  EXPECT_LE(report.recall, 1.0);
+  EXPECT_GE(report.f1, 0.0);
+  EXPECT_LE(report.f1, 1.0);
+  EXPECT_GE(report.pr_auc, 0.0);
+  EXPECT_LE(report.pr_auc, 1.0);
+  EXPECT_GE(report.roc_auc, 0.0);
+  EXPECT_LE(report.roc_auc, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, MetricRangeTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace caee

@@ -1,0 +1,473 @@
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+#include "nn/attention.h"
+#include "nn/conv1d.h"
+#include "nn/embedding.h"
+#include "nn/glu.h"
+#include "nn/init.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "nn/rnn.h"
+#include "nn/serialize.h"
+#include "test_util.h"
+
+namespace caee {
+namespace {
+
+using ag::Var;
+using testutil::ExpectGradCheck;
+
+Var RandConst(Shape shape, uint64_t seed) {
+  Rng rng(seed);
+  return ag::Constant(Tensor::Randn(std::move(shape), &rng, 0.5f));
+}
+
+// ---------------------------------------------------------------------------
+// Module registry
+// ---------------------------------------------------------------------------
+
+TEST(ModuleTest, LinearRegistersWeightAndBias) {
+  Rng rng(1);
+  nn::Linear lin(3, 4, &rng);
+  auto named = lin.NamedParameters();
+  ASSERT_EQ(named.size(), 2u);
+  EXPECT_EQ(named[0].first, "weight");
+  EXPECT_EQ(named[1].first, "bias");
+  EXPECT_EQ(lin.NumParameters(), 3 * 4 + 4);
+}
+
+TEST(ModuleTest, NestedModulesGetDottedNames) {
+  Rng rng(2);
+  nn::Glu glu(4, 3, nn::Padding::kSame, &rng);
+  auto named = glu.NamedParameters();
+  ASSERT_EQ(named.size(), 4u);
+  EXPECT_EQ(named[0].first, "a1.weight");
+  EXPECT_EQ(named[2].first, "a2.weight");
+}
+
+TEST(ModuleTest, ZeroGradClearsAllParameters) {
+  Rng rng(3);
+  nn::Linear lin(2, 2, &rng);
+  Var x = RandConst({3, 2}, 4);
+  ag::Backward(ag::Sum(lin.Forward(x)));
+  EXPECT_TRUE(lin.Parameters()[0]->has_grad());
+  lin.ZeroGrad();
+  for (auto& p : lin.Parameters()) EXPECT_FALSE(p->has_grad());
+}
+
+// ---------------------------------------------------------------------------
+// Init
+// ---------------------------------------------------------------------------
+
+TEST(InitTest, XavierUniformWithinLimit) {
+  Rng rng(5);
+  Tensor t = nn::XavierUniform({10, 20}, 20, 10, &rng);
+  const float limit = std::sqrt(6.0f / 30.0f);
+  EXPECT_LE(t.Max(), limit);
+  EXPECT_GE(t.Min(), -limit);
+  EXPECT_GT(t.Max(), 0.0f);  // not all zero
+}
+
+TEST(InitTest, KaimingNormalScale) {
+  Rng rng(6);
+  Tensor t = nn::KaimingNormal({20000}, 50, &rng);
+  double sq = 0.0;
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    sq += static_cast<double>(t[i]) * t[i];
+  }
+  EXPECT_NEAR(sq / t.numel(), 2.0 / 50.0, 0.01);
+}
+
+TEST(InitTest, FanComputation) {
+  int64_t fan_in, fan_out;
+  nn::Conv1dFans(8, 16, 3, &fan_in, &fan_out);
+  EXPECT_EQ(fan_in, 24);
+  EXPECT_EQ(fan_out, 48);
+}
+
+// ---------------------------------------------------------------------------
+// Linear
+// ---------------------------------------------------------------------------
+
+TEST(LinearTest, Rank2Shape) {
+  Rng rng(7);
+  nn::Linear lin(3, 5, &rng);
+  Var y = lin.Forward(RandConst({4, 3}, 8));
+  EXPECT_EQ(y->value().shape(), (Shape{4, 5}));
+}
+
+TEST(LinearTest, Rank3Shape) {
+  Rng rng(9);
+  nn::Linear lin(3, 5, &rng);
+  Var y = lin.Forward(RandConst({2, 6, 3}, 10));
+  EXPECT_EQ(y->value().shape(), (Shape{2, 6, 5}));
+}
+
+TEST(LinearTest, Rank3AgreesWithPerRowRank2) {
+  Rng rng(11);
+  nn::Linear lin(3, 2, &rng);
+  Rng data_rng(12);
+  Tensor x = Tensor::Randn({2, 4, 3}, &data_rng);
+  Var y3 = lin.Forward(ag::Constant(x));
+  auto flat = x.Reshape({8, 3});
+  Var y2 = lin.Forward(ag::Constant(flat.value()));
+  for (int64_t i = 0; i < 16; ++i) {
+    EXPECT_NEAR(y3->value()[i], y2->value()[i], 1e-5);
+  }
+}
+
+TEST(LinearTest, GradCheckThroughLayer) {
+  Rng rng(13);
+  nn::Linear lin(3, 2, &rng);
+  Var x = RandConst({2, 3}, 14);
+  std::vector<Var> leaves = lin.Parameters();
+  ExpectGradCheck(leaves, [&] {
+    Var y = lin.Forward(x);
+    return ag::Sum(ag::Mul(y, y));
+  });
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  Rng rng(15);
+  nn::Linear lin(3, 2, &rng, /*bias=*/false);
+  EXPECT_EQ(lin.NamedParameters().size(), 1u);
+  Var y = lin.Forward(RandConst({1, 3}, 16));
+  EXPECT_EQ(y->value().shape(), (Shape{1, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// Conv1dLayer
+// ---------------------------------------------------------------------------
+
+TEST(Conv1dLayerTest, SamePaddingPreservesLength) {
+  Rng rng(17);
+  nn::Conv1dLayer conv(3, 5, 3, nn::Padding::kSame, &rng);
+  Var y = conv.Forward(RandConst({2, 7, 3}, 18));
+  EXPECT_EQ(y->value().shape(), (Shape{2, 7, 5}));
+}
+
+TEST(Conv1dLayerTest, CausalPaddingPreservesLength) {
+  Rng rng(19);
+  nn::Conv1dLayer conv(3, 5, 4, nn::Padding::kCausal, &rng);
+  Var y = conv.Forward(RandConst({2, 7, 3}, 20));
+  EXPECT_EQ(y->value().shape(), (Shape{2, 7, 5}));
+}
+
+TEST(Conv1dLayerTest, CausalityProperty) {
+  Rng rng(21);
+  nn::Conv1dLayer conv(2, 2, 3, nn::Padding::kCausal, &rng);
+  Rng data_rng(22);
+  Tensor x = Tensor::Randn({1, 6, 2}, &data_rng);
+  Var y1 = conv.Forward(ag::Constant(x));
+  Tensor x2 = x;
+  x2.at(0, 4, 1) += 50.0f;
+  Var y2 = conv.Forward(ag::Constant(x2));
+  for (int64_t t = 0; t < 4; ++t) {
+    for (int64_t c = 0; c < 2; ++c) {
+      EXPECT_EQ(y1->value().at(0, t, c), y2->value().at(0, t, c));
+    }
+  }
+}
+
+TEST(Conv1dLayerTest, GradCheck) {
+  Rng rng(23);
+  nn::Conv1dLayer conv(2, 2, 3, nn::Padding::kSame, &rng);
+  Var x = RandConst({1, 5, 2}, 24);
+  ExpectGradCheck(conv.Parameters(), [&] {
+    Var y = conv.Forward(x);
+    return ag::Sum(ag::Mul(y, y));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// GLU
+// ---------------------------------------------------------------------------
+
+TEST(GluTest, PreservesShape) {
+  Rng rng(25);
+  nn::Glu glu(4, 3, nn::Padding::kSame, &rng);
+  Var y = glu.Forward(RandConst({2, 6, 4}, 26));
+  EXPECT_EQ(y->value().shape(), (Shape{2, 6, 4}));
+}
+
+TEST(GluTest, CausalVariantIgnoresFuture) {
+  Rng rng(27);
+  nn::Glu glu(2, 3, nn::Padding::kCausal, &rng);
+  Rng data_rng(28);
+  Tensor x = Tensor::Randn({1, 6, 2}, &data_rng);
+  Var y1 = glu.Forward(ag::Constant(x));
+  Tensor x2 = x;
+  x2.at(0, 5, 0) += 10.0f;
+  Var y2 = glu.Forward(ag::Constant(x2));
+  for (int64_t t = 0; t < 5; ++t) {
+    for (int64_t c = 0; c < 2; ++c) {
+      EXPECT_EQ(y1->value().at(0, t, c), y2->value().at(0, t, c));
+    }
+  }
+}
+
+TEST(GluTest, GradCheck) {
+  Rng rng(29);
+  nn::Glu glu(2, 3, nn::Padding::kSame, &rng);
+  Var x = RandConst({1, 4, 2}, 30);
+  ExpectGradCheck(glu.Parameters(), [&] {
+    Var y = glu.Forward(x);
+    return ag::Sum(ag::Mul(y, y));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// WindowEmbedding
+// ---------------------------------------------------------------------------
+
+TEST(EmbeddingTest, OutputShape) {
+  Rng rng(31);
+  nn::WindowEmbedding emb(3, 8, 5, &rng);
+  Var y = emb.Forward(RandConst({4, 5, 3}, 32));
+  EXPECT_EQ(y->value().shape(), (Shape{4, 5, 8}));
+}
+
+TEST(EmbeddingTest, PositionDependence) {
+  // The same observation at different positions must embed differently
+  // (unless the position projection degenerates, which random init avoids).
+  Rng rng(33);
+  nn::WindowEmbedding emb(2, 8, 4, &rng);
+  Tensor x(Shape{1, 4, 2}, 1.0f);  // identical observation at every position
+  Var y = emb.Forward(ag::Constant(x));
+  bool any_diff = false;
+  for (int64_t d = 0; d < 8 && !any_diff; ++d) {
+    if (std::fabs(y->value().at(0, 0, d) - y->value().at(0, 3, d)) > 1e-6) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(EmbeddingTest, BatchConsistency) {
+  // Each batch element is embedded independently and identically.
+  Rng rng(34);
+  nn::WindowEmbedding emb(2, 4, 3, &rng);
+  Rng data_rng(35);
+  Tensor w = Tensor::Randn({1, 3, 2}, &data_rng);
+  Tensor batch(Shape{2, 3, 2});
+  std::copy(w.data(), w.data() + 6, batch.data());
+  std::copy(w.data(), w.data() + 6, batch.data() + 6);
+  Var y = emb.Forward(ag::Constant(batch));
+  for (int64_t i = 0; i < 12; ++i) {
+    EXPECT_NEAR(y->value()[i], y->value()[12 + i], 1e-6);
+  }
+}
+
+TEST(EmbeddingTest, GradCheckThroughEmbedding) {
+  Rng rng(36);
+  // Smooth activations: the default ReLU has kinks that invalidate central
+  // finite differences.
+  nn::WindowEmbedding emb(2, 3, 3, &rng, nn::Activation::kTanh,
+                          nn::Activation::kTanh);
+  Var x = RandConst({1, 3, 2}, 37);
+  ExpectGradCheck(emb.Parameters(), [&] {
+    Var y = emb.Forward(x);
+    return ag::Sum(ag::Mul(y, y));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Attention
+// ---------------------------------------------------------------------------
+
+TEST(AttentionTest, ScoresAreRowStochastic) {
+  Rng rng(38);
+  nn::GlobalAttention attn(4, &rng);
+  Var d = RandConst({2, 5, 4}, 39);
+  Var e = RandConst({2, 5, 4}, 40);
+  Var scores = attn.Scores(d, e);
+  EXPECT_EQ(scores->value().shape(), (Shape{2, 5, 5}));
+  for (int64_t b = 0; b < 2; ++b) {
+    for (int64_t t = 0; t < 5; ++t) {
+      double sum = 0.0;
+      for (int64_t s = 0; s < 5; ++s) sum += scores->value().at(b, t, s);
+      EXPECT_NEAR(sum, 1.0, 1e-5);
+    }
+  }
+}
+
+TEST(AttentionTest, OutputIsResidual) {
+  // Forward = context + d, so output minus d must equal a convex combination
+  // of encoder rows (inside their min/max envelope).
+  Rng rng(41);
+  nn::GlobalAttention attn(3, &rng);
+  Var d = RandConst({1, 4, 3}, 42);
+  Var e = RandConst({1, 4, 3}, 43);
+  Var out = attn.Forward(d, e);
+  for (int64_t t = 0; t < 4; ++t) {
+    for (int64_t c = 0; c < 3; ++c) {
+      const float context = out->value().at(0, t, c) - d->value().at(0, t, c);
+      float lo = e->value().at(0, 0, c), hi = lo;
+      for (int64_t s = 1; s < 4; ++s) {
+        lo = std::min(lo, e->value().at(0, s, c));
+        hi = std::max(hi, e->value().at(0, s, c));
+      }
+      EXPECT_GE(context, lo - 1e-4);
+      EXPECT_LE(context, hi + 1e-4);
+    }
+  }
+}
+
+TEST(AttentionTest, GradCheck) {
+  Rng rng(44);
+  nn::GlobalAttention attn(3, &rng);
+  Var d = RandConst({1, 3, 3}, 45);
+  Var e = RandConst({1, 3, 3}, 46);
+  ExpectGradCheck(attn.Parameters(), [&] {
+    Var y = attn.Forward(d, e);
+    return ag::Sum(ag::Mul(y, y));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// LSTM / GRU
+// ---------------------------------------------------------------------------
+
+TEST(LstmTest, StateShapes) {
+  Rng rng(47);
+  nn::LstmCell cell(3, 5, &rng);
+  auto s0 = cell.InitialState(4);
+  EXPECT_EQ(s0.h->value().shape(), (Shape{4, 5}));
+  auto s1 = cell.Forward(RandConst({4, 3}, 48), s0);
+  EXPECT_EQ(s1.h->value().shape(), (Shape{4, 5}));
+  EXPECT_EQ(s1.c->value().shape(), (Shape{4, 5}));
+}
+
+TEST(LstmTest, StateStaysBounded) {
+  // h = o * tanh(c) is bounded in (-1, 1).
+  Rng rng(49);
+  nn::LstmCell cell(2, 4, &rng);
+  auto s = cell.InitialState(1);
+  for (int step = 0; step < 20; ++step) {
+    s = cell.Forward(RandConst({1, 2}, 50 + step), s);
+  }
+  EXPECT_LT(s.h->value().Max(), 1.0f);
+  EXPECT_GT(s.h->value().Min(), -1.0f);
+}
+
+TEST(LstmTest, GradCheckOneStep) {
+  Rng rng(51);
+  nn::LstmCell cell(2, 3, &rng);
+  Var x = RandConst({1, 2}, 52);
+  ExpectGradCheck(cell.Parameters(), [&] {
+    auto s = cell.Forward(x, cell.InitialState(1));
+    return ag::Sum(ag::Mul(s.h, s.h));
+  });
+}
+
+TEST(GruTest, StateShapeAndBounds) {
+  Rng rng(53);
+  nn::GruCell cell(3, 4, &rng);
+  Var h = cell.InitialState(2);
+  for (int step = 0; step < 20; ++step) {
+    h = cell.Forward(RandConst({2, 3}, 54 + step), h);
+  }
+  EXPECT_EQ(h->value().shape(), (Shape{2, 4}));
+  EXPECT_LT(h->value().Max(), 1.0f);
+  EXPECT_GT(h->value().Min(), -1.0f);
+}
+
+TEST(GruTest, GradCheckOneStep) {
+  Rng rng(55);
+  nn::GruCell cell(2, 3, &rng);
+  Var x = RandConst({1, 2}, 56);
+  ExpectGradCheck(cell.Parameters(), [&] {
+    Var h = cell.Forward(x, cell.InitialState(1));
+    return ag::Sum(ag::Mul(h, h));
+  });
+}
+
+TEST(SplitTimeTest, SlicesMatchSource) {
+  Rng rng(57);
+  Tensor x = Tensor::Randn({2, 3, 4}, &rng);
+  auto slices = nn::SplitTimeConstant(x);
+  ASSERT_EQ(slices.size(), 3u);
+  for (int64_t t = 0; t < 3; ++t) {
+    for (int64_t b = 0; b < 2; ++b) {
+      for (int64_t d = 0; d < 4; ++d) {
+        EXPECT_EQ(slices[static_cast<size_t>(t)]->value().at(b, d),
+                  x.at(b, t, d));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Activations helper
+// ---------------------------------------------------------------------------
+
+TEST(ActivationsTest, AllVariantsApply) {
+  Var x = RandConst({4}, 58);
+  EXPECT_TRUE(AllClose(nn::Apply(nn::Activation::kIdentity, x)->value(),
+                       x->value()));
+  EXPECT_EQ(nn::ActivationName(nn::Activation::kRelu), "relu");
+  EXPECT_EQ(nn::ActivationName(nn::Activation::kTanh), "tanh");
+  EXPECT_EQ(nn::ActivationName(nn::Activation::kSigmoid), "sigmoid");
+  EXPECT_GE(nn::Apply(nn::Activation::kRelu, x)->value().Min(), 0.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+TEST(SerializeTest, StateDictRoundTripInMemory) {
+  Rng rng(59);
+  nn::Linear a(3, 4, &rng);
+  nn::Linear b(3, 4, &rng);
+  auto dict = nn::GetStateDict(a);
+  ASSERT_TRUE(nn::LoadStateDict(&b, dict).ok());
+  auto pa = a.Parameters();
+  auto pb = b.Parameters();
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(AllClose(pa[i]->value(), pb[i]->value()));
+  }
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  Rng rng(60);
+  nn::Glu glu(3, 3, nn::Padding::kSame, &rng);
+  auto dict = nn::GetStateDict(glu);
+  const std::string path = ::testing::TempDir() + "/caee_state.bin";
+  ASSERT_TRUE(nn::SaveStateDict(dict, path).ok());
+  auto loaded = nn::LoadStateDictFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), dict.size());
+  for (const auto& [name, tensor] : dict) {
+    ASSERT_TRUE(loaded->count(name));
+    EXPECT_TRUE(AllClose(loaded->at(name), tensor));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadRejectsMissingParameter) {
+  Rng rng(61);
+  nn::Linear a(2, 2, &rng);
+  nn::StateDict empty;
+  EXPECT_EQ(nn::LoadStateDict(&a, empty).code(), StatusCode::kNotFound);
+}
+
+TEST(SerializeTest, LoadRejectsShapeMismatch) {
+  Rng rng(62);
+  nn::Linear a(2, 2, &rng);
+  nn::Linear b(3, 2, &rng);
+  auto dict = nn::GetStateDict(b);
+  EXPECT_EQ(nn::LoadStateDict(&a, dict).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, LoadMissingFileIsIOError) {
+  auto result = nn::LoadStateDictFile("/nonexistent/path/state.bin");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace caee

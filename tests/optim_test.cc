@@ -1,0 +1,137 @@
+#include <cmath>
+#include <memory>
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "nn/linear.h"
+#include "optim/adam.h"
+#include "optim/clip.h"
+#include "optim/sgd.h"
+
+namespace caee {
+namespace {
+
+// Minimise f(w) = ||w - target||^2 and verify convergence.
+template <typename MakeOptimizer>
+double MinimizeQuadratic(MakeOptimizer make, int steps) {
+  ag::Var w = ag::Param(Tensor(Shape{4}, std::vector<float>{5, -3, 2, 8}));
+  Tensor target(Shape{4}, std::vector<float>{1, 1, 1, 1});
+  auto optimizer = make(std::vector<ag::Var>{w});
+  for (int i = 0; i < steps; ++i) {
+    ag::Var loss = ag::MseLoss(w, ag::Constant(target));
+    optimizer->ZeroGrad();
+    ag::Backward(loss);
+    optimizer->Step();
+  }
+  double err = 0.0;
+  for (int64_t i = 0; i < 4; ++i) {
+    err += std::fabs(w->value()[i] - target[i]);
+  }
+  return err;
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  const double err = MinimizeQuadratic(
+      [](std::vector<ag::Var> p) {
+        return std::make_unique<optim::Sgd>(std::move(p), 0.1f);
+      },
+      200);
+  EXPECT_LT(err, 1e-3);
+}
+
+TEST(SgdTest, MomentumConvergesFaster) {
+  auto run = [](float momentum) {
+    ag::Var w = ag::Param(Tensor(Shape{1}, 10.0f));
+    optim::Sgd opt({w}, 0.02f, momentum);
+    for (int i = 0; i < 50; ++i) {
+      ag::Var loss = ag::Mean(ag::Mul(w, w));
+      opt.ZeroGrad();
+      ag::Backward(loss);
+      opt.Step();
+    }
+    return std::fabs(w->value()[0]);
+  };
+  EXPECT_LT(run(0.9f), run(0.0f));
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  const double err = MinimizeQuadratic(
+      [](std::vector<ag::Var> p) {
+        return std::make_unique<optim::Adam>(std::move(p), 0.1f);
+      },
+      300);
+  EXPECT_LT(err, 1e-2);
+}
+
+TEST(AdamTest, StepCountIncrements) {
+  ag::Var w = ag::Param(Tensor(Shape{1}, 1.0f));
+  optim::Adam opt({w}, 0.01f);
+  EXPECT_EQ(opt.step_count(), 0);
+  ag::Backward(ag::Sum(w));
+  opt.Step();
+  EXPECT_EQ(opt.step_count(), 1);
+}
+
+TEST(AdamTest, SkipsParametersWithoutGradients) {
+  ag::Var a = ag::Param(Tensor(Shape{1}, 1.0f));
+  ag::Var b = ag::Param(Tensor(Shape{1}, 2.0f));
+  optim::Adam opt({a, b}, 0.1f);
+  ag::Backward(ag::Sum(a));  // only a gets a gradient
+  opt.Step();
+  EXPECT_NE(a->value()[0], 1.0f);
+  EXPECT_EQ(b->value()[0], 2.0f);
+}
+
+TEST(AdamTest, LearnsLinearRegression) {
+  // y = 2x + 1 from noisy samples.
+  Rng rng(1);
+  nn::Linear lin(1, 1, &rng);
+  optim::Adam opt(lin.Parameters(), 0.05f);
+  for (int step = 0; step < 400; ++step) {
+    Tensor x(Shape{16, 1});
+    Tensor y(Shape{16, 1});
+    for (int64_t i = 0; i < 16; ++i) {
+      const float xv = static_cast<float>(rng.Uniform(-2.0, 2.0));
+      x[i] = xv;
+      y[i] = 2.0f * xv + 1.0f + static_cast<float>(rng.Gaussian(0.0, 0.01));
+    }
+    ag::Var pred = lin.Forward(ag::Constant(x));
+    ag::Var loss = ag::MseLoss(pred, ag::Constant(y));
+    opt.ZeroGrad();
+    ag::Backward(loss);
+    opt.Step();
+  }
+  EXPECT_NEAR(lin.weight()->value()[0], 2.0f, 0.05f);
+  EXPECT_NEAR(lin.bias()->value()[0], 1.0f, 0.05f);
+}
+
+TEST(ClipTest, ScalesDownLargeGradients) {
+  ag::Var w = ag::Param(Tensor(Shape{2}, std::vector<float>{0.0f, 0.0f}));
+  w->grad() = Tensor(Shape{2}, std::vector<float>{3.0f, 4.0f});  // norm 5
+  const double norm = optim::ClipGradNorm({w}, 1.0);
+  EXPECT_NEAR(norm, 5.0, 1e-6);
+  EXPECT_NEAR(w->grad()[0], 0.6f, 1e-5);
+  EXPECT_NEAR(w->grad()[1], 0.8f, 1e-5);
+}
+
+TEST(ClipTest, LeavesSmallGradientsAlone) {
+  ag::Var w = ag::Param(Tensor(Shape{2}, std::vector<float>{0.0f, 0.0f}));
+  w->grad() = Tensor(Shape{2}, std::vector<float>{0.3f, 0.4f});
+  optim::ClipGradNorm({w}, 1.0);
+  EXPECT_NEAR(w->grad()[0], 0.3f, 1e-6);
+  EXPECT_NEAR(w->grad()[1], 0.4f, 1e-6);
+}
+
+TEST(ClipTest, JointNormAcrossParameters) {
+  ag::Var a = ag::Param(Tensor(Shape{1}, 0.0f));
+  ag::Var b = ag::Param(Tensor(Shape{1}, 0.0f));
+  a->grad() = Tensor(Shape{1}, 3.0f);
+  b->grad() = Tensor(Shape{1}, 4.0f);
+  const double norm = optim::ClipGradNorm({a, b}, 2.5);
+  EXPECT_NEAR(norm, 5.0, 1e-6);
+  EXPECT_NEAR(a->grad()[0], 1.5f, 1e-5);
+  EXPECT_NEAR(b->grad()[0], 2.0f, 1e-5);
+}
+
+}  // namespace
+}  // namespace caee

@@ -1,0 +1,295 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor_ops.h"
+
+namespace caee {
+namespace {
+
+Tensor Make(Shape shape, std::vector<float> data) {
+  return Tensor(std::move(shape), std::move(data));
+}
+
+// Naive reference implementations ------------------------------------------
+
+Tensor NaiveMatMul(const Tensor& a, const Tensor& b) {
+  const int64_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
+  Tensor out(Shape{n, m});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < m; ++j) {
+      double acc = 0.0;
+      for (int64_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(a.at(i, p)) * b.at(p, j);
+      }
+      out.at(i, j) = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+Tensor NaiveConv1d(const Tensor& x, const Tensor& w, const Tensor& bias,
+                   int64_t pl, int64_t pr) {
+  const int64_t b = x.dim(0), in_w = x.dim(1), cin = x.dim(2);
+  const int64_t cout = w.dim(0), k = w.dim(1);
+  const int64_t out_w = in_w + pl + pr - k + 1;
+  Tensor out(Shape{b, out_w, cout});
+  for (int64_t bb = 0; bb < b; ++bb) {
+    for (int64_t t = 0; t < out_w; ++t) {
+      for (int64_t co = 0; co < cout; ++co) {
+        double acc = bias[co];
+        for (int64_t kk = 0; kk < k; ++kk) {
+          const int64_t src = t + kk - pl;
+          if (src < 0 || src >= in_w) continue;
+          for (int64_t ci = 0; ci < cin; ++ci) {
+            acc += static_cast<double>(x.at(bb, src, ci)) * w.at(co, kk, ci);
+          }
+        }
+        out.at(bb, t, co) = static_cast<float>(acc);
+      }
+    }
+  }
+  return out;
+}
+
+// Elementwise ----------------------------------------------------------------
+
+TEST(OpsTest, AddSubMulScale) {
+  Tensor a = Make({4}, {1, 2, 3, 4});
+  Tensor b = Make({4}, {10, 20, 30, 40});
+  EXPECT_TRUE(AllClose(ops::Add(a, b), Make({4}, {11, 22, 33, 44})));
+  EXPECT_TRUE(AllClose(ops::Sub(b, a), Make({4}, {9, 18, 27, 36})));
+  EXPECT_TRUE(AllClose(ops::Mul(a, b), Make({4}, {10, 40, 90, 160})));
+  EXPECT_TRUE(AllClose(ops::Scale(a, -2.0f), Make({4}, {-2, -4, -6, -8})));
+}
+
+TEST(OpsTest, AxpyAndAddInPlace) {
+  Tensor x = Make({3}, {1, 2, 3});
+  Tensor y = Make({3}, {10, 10, 10});
+  ops::AxpyInPlace(2.0f, x, &y);
+  EXPECT_TRUE(AllClose(y, Make({3}, {12, 14, 16})));
+  ops::AddInPlace(x, &y);
+  EXPECT_TRUE(AllClose(y, Make({3}, {13, 16, 19})));
+}
+
+TEST(OpsTest, AddBiasBroadcastsOverLeadingDims) {
+  Tensor x = Make({2, 3}, {0, 0, 0, 1, 1, 1});
+  Tensor bias = Make({3}, {1, 2, 3});
+  Tensor y = ops::AddBias(x, bias);
+  EXPECT_TRUE(AllClose(y, Make({2, 3}, {1, 2, 3, 2, 3, 4})));
+}
+
+TEST(OpsTest, AddBiasBackwardSumsRows) {
+  Tensor dy = Make({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor db(Shape{3});
+  ops::AddBiasBackward(dy, &db);
+  EXPECT_TRUE(AllClose(db, Make({3}, {5, 7, 9})));
+}
+
+TEST(OpsTest, ActivationValues) {
+  Tensor x = Make({3}, {-1.0f, 0.0f, 1.0f});
+  Tensor sig = ops::Sigmoid(x);
+  EXPECT_NEAR(sig[0], 1.0f / (1.0f + std::exp(1.0f)), 1e-6);
+  EXPECT_NEAR(sig[1], 0.5f, 1e-6);
+  Tensor th = ops::Tanh(x);
+  EXPECT_NEAR(th[2], std::tanh(1.0f), 1e-6);
+  Tensor r = ops::Relu(x);
+  EXPECT_EQ(r[0], 0.0f);
+  EXPECT_EQ(r[2], 1.0f);
+  Tensor e = ops::Exp(x);
+  EXPECT_NEAR(e[2], std::exp(1.0f), 1e-5);
+  Tensor pos = Make({2}, {1.0f, std::exp(1.0f)});
+  Tensor lg = ops::Log(pos);
+  EXPECT_NEAR(lg[0], 0.0f, 1e-6);
+  EXPECT_NEAR(lg[1], 1.0f, 1e-5);
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Tensor x = Make({2, 3}, {1, 2, 3, -1, 0, 1});
+  Tensor y = ops::SoftmaxLastDim(x);
+  for (int64_t r = 0; r < 2; ++r) {
+    double sum = 0.0;
+    for (int64_t c = 0; c < 3; ++c) sum += y.at(r, c);
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+  }
+  // Monotone in logits.
+  EXPECT_LT(y.at(0, 0), y.at(0, 1));
+  EXPECT_LT(y.at(0, 1), y.at(0, 2));
+}
+
+TEST(OpsTest, SoftmaxIsShiftInvariantAndStable) {
+  Tensor x = Make({1, 3}, {1000.0f, 1001.0f, 1002.0f});
+  Tensor y = ops::SoftmaxLastDim(x);
+  double sum = 0.0;
+  for (int64_t c = 0; c < 3; ++c) sum += y.at(0, c);
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  EXPECT_FALSE(std::isnan(y.at(0, 0)));
+}
+
+// MatMul ----------------------------------------------------------------------
+
+TEST(OpsTest, MatMulMatchesNaive) {
+  Rng rng(1);
+  Tensor a = Tensor::Randn({5, 7}, &rng);
+  Tensor b = Tensor::Randn({7, 3}, &rng);
+  EXPECT_TRUE(AllClose(ops::MatMul(a, b), NaiveMatMul(a, b), 1e-4f, 1e-5f));
+}
+
+TEST(OpsTest, MatMulTransposeFlags) {
+  Rng rng(2);
+  Tensor a = Tensor::Randn({5, 7}, &rng);
+  Tensor b = Tensor::Randn({7, 3}, &rng);
+  Tensor at = ops::Transpose2D(a);
+  Tensor bt = ops::Transpose2D(b);
+  Tensor expect = NaiveMatMul(a, b);
+  EXPECT_TRUE(AllClose(ops::MatMul(at, b, true, false), expect, 1e-4f, 1e-5f));
+  EXPECT_TRUE(AllClose(ops::MatMul(a, bt, false, true), expect, 1e-4f, 1e-5f));
+  EXPECT_TRUE(AllClose(ops::MatMul(at, bt, true, true), expect, 1e-4f, 1e-5f));
+}
+
+TEST(OpsTest, BatchedMatMulMatchesPerBatchNaive) {
+  Rng rng(3);
+  Tensor a = Tensor::Randn({4, 3, 5}, &rng);
+  Tensor b = Tensor::Randn({4, 5, 2}, &rng);
+  Tensor y = ops::BatchedMatMul(a, b);
+  for (int64_t bb = 0; bb < 4; ++bb) {
+    Tensor ai(Shape{3, 5});
+    Tensor bi(Shape{5, 2});
+    std::copy(a.data() + bb * 15, a.data() + (bb + 1) * 15, ai.data());
+    std::copy(b.data() + bb * 10, b.data() + (bb + 1) * 10, bi.data());
+    Tensor expect = NaiveMatMul(ai, bi);
+    for (int64_t i = 0; i < 3; ++i) {
+      for (int64_t j = 0; j < 2; ++j) {
+        EXPECT_NEAR(y.at(bb, i, j), expect.at(i, j), 1e-4);
+      }
+    }
+  }
+}
+
+TEST(OpsTest, BatchedMatMulTransB) {
+  Rng rng(4);
+  Tensor a = Tensor::Randn({2, 3, 5}, &rng);
+  Tensor b = Tensor::Randn({2, 4, 5}, &rng);  // to be transposed
+  Tensor y = ops::BatchedMatMul(a, b, false, true);
+  EXPECT_EQ(y.shape(), (Shape{2, 3, 4}));
+  // Check one element by hand.
+  double acc = 0.0;
+  for (int64_t p = 0; p < 5; ++p) {
+    acc += static_cast<double>(a.at(1, 2, p)) * b.at(1, 3, p);
+  }
+  EXPECT_NEAR(y.at(1, 2, 3), acc, 1e-4);
+}
+
+TEST(OpsTest, Transpose2D) {
+  Tensor a = Make({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = ops::Transpose2D(a);
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_EQ(t.at(2, 1), 6.0f);
+  EXPECT_EQ(t.at(0, 1), 4.0f);
+}
+
+// Conv1d ----------------------------------------------------------------------
+
+TEST(Conv1dTest, MatchesNaiveSamePadding) {
+  Rng rng(5);
+  Tensor x = Tensor::Randn({2, 8, 3}, &rng);
+  Tensor w = Tensor::Randn({4, 3, 3}, &rng);
+  Tensor bias = Tensor::Randn({4}, &rng);
+  Tensor y = ops::Conv1d(x, w, bias, 1, 1);
+  EXPECT_TRUE(AllClose(y, NaiveConv1d(x, w, bias, 1, 1), 1e-4f, 1e-5f));
+  EXPECT_EQ(y.shape(), (Shape{2, 8, 4}));
+}
+
+TEST(Conv1dTest, MatchesNaiveCausalPadding) {
+  Rng rng(6);
+  Tensor x = Tensor::Randn({1, 6, 2}, &rng);
+  Tensor w = Tensor::Randn({2, 3, 2}, &rng);
+  Tensor bias(Shape{2});
+  Tensor y = ops::Conv1d(x, w, bias, 2, 0);
+  EXPECT_TRUE(AllClose(y, NaiveConv1d(x, w, bias, 2, 0), 1e-4f, 1e-5f));
+  EXPECT_EQ(y.shape(), (Shape{1, 6, 2}));
+}
+
+TEST(Conv1dTest, ValidPaddingShrinksOutput) {
+  Rng rng(7);
+  Tensor x = Tensor::Randn({1, 6, 2}, &rng);
+  Tensor w = Tensor::Randn({2, 3, 2}, &rng);
+  Tensor bias(Shape{2});
+  Tensor y = ops::Conv1d(x, w, bias, 0, 0);
+  EXPECT_EQ(y.shape(), (Shape{1, 4, 2}));
+}
+
+TEST(Conv1dTest, KernelOneIsPositionwiseLinear) {
+  Rng rng(8);
+  Tensor x = Tensor::Randn({1, 4, 3}, &rng);
+  Tensor w = Tensor::Randn({2, 1, 3}, &rng);
+  Tensor bias = Tensor::Randn({2}, &rng);
+  Tensor y = ops::Conv1d(x, w, bias, 0, 0);
+  for (int64_t t = 0; t < 4; ++t) {
+    for (int64_t co = 0; co < 2; ++co) {
+      double acc = bias[co];
+      for (int64_t ci = 0; ci < 3; ++ci) {
+        acc += static_cast<double>(x.at(0, t, ci)) * w.at(co, 0, ci);
+      }
+      EXPECT_NEAR(y.at(0, t, co), acc, 1e-4);
+    }
+  }
+}
+
+TEST(Conv1dTest, CausalOutputIgnoresFuture) {
+  // With causal padding, output at t must not change when inputs after t do.
+  Rng rng(9);
+  Tensor x = Tensor::Randn({1, 6, 2}, &rng);
+  Tensor w = Tensor::Randn({3, 3, 2}, &rng);
+  Tensor bias(Shape{3});
+  Tensor y1 = ops::Conv1d(x, w, bias, 2, 0);
+  Tensor x2 = x;
+  x2.at(0, 5, 0) += 100.0f;  // perturb the last observation
+  Tensor y2 = ops::Conv1d(x2, w, bias, 2, 0);
+  for (int64_t t = 0; t < 5; ++t) {
+    for (int64_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(y1.at(0, t, c), y2.at(0, t, c)) << "t=" << t;
+    }
+  }
+}
+
+// Sequence utilities ----------------------------------------------------------
+
+TEST(SequenceOpsTest, ShiftTimeRight) {
+  Tensor x = Make({1, 3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor y = ops::ShiftTimeRight(x, 1);
+  EXPECT_TRUE(AllClose(y, Make({1, 3, 2}, {0, 0, 1, 2, 3, 4})));
+  Tensor y2 = ops::ShiftTimeRight(x, 3);
+  EXPECT_EQ(y2.Sum(), 0.0);
+}
+
+TEST(SequenceOpsTest, ShiftBackwardIsAdjoint) {
+  Tensor dy = Make({1, 3, 1}, {10, 20, 30});
+  Tensor dx = ops::ShiftTimeRightBackward(dy, 1);
+  EXPECT_TRUE(AllClose(dx, Make({1, 3, 1}, {20, 30, 0})));
+}
+
+TEST(SequenceOpsTest, SliceLastDim) {
+  Tensor x = Make({2, 4}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor y = ops::SliceLastDim(x, 1, 3);
+  EXPECT_TRUE(AllClose(y, Make({2, 2}, {2, 3, 6, 7})));
+}
+
+TEST(SequenceOpsTest, SliceBackwardScattersAdditively) {
+  Tensor dy = Make({1, 2}, {5, 7});
+  Tensor dx(Shape{1, 4});
+  ops::SliceLastDimBackward(dy, 1, &dx);
+  EXPECT_TRUE(AllClose(dx, Make({1, 4}, {0, 5, 7, 0})));
+  ops::SliceLastDimBackward(dy, 1, &dx);  // accumulates
+  EXPECT_TRUE(AllClose(dx, Make({1, 4}, {0, 10, 14, 0})));
+}
+
+TEST(SequenceOpsTest, ConcatLastDim) {
+  Tensor a = Make({2, 2}, {1, 2, 3, 4});
+  Tensor b = Make({2, 1}, {9, 8});
+  Tensor y = ops::ConcatLastDim(a, b);
+  EXPECT_TRUE(AllClose(y, Make({2, 3}, {1, 2, 9, 3, 4, 8})));
+}
+
+}  // namespace
+}  // namespace caee

@@ -1,0 +1,145 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+
+namespace caee {
+namespace {
+
+TEST(ShapeTest, NumElements) {
+  EXPECT_EQ(NumElements({}), 1);
+  EXPECT_EQ(NumElements({5}), 5);
+  EXPECT_EQ(NumElements({2, 3}), 6);
+  EXPECT_EQ(NumElements({2, 3, 4}), 24);
+  EXPECT_EQ(NumElements({0, 7}), 0);
+}
+
+TEST(ShapeTest, ToString) {
+  EXPECT_EQ(ShapeToString({2, 3}), "[2, 3]");
+  EXPECT_EQ(ShapeToString({}), "[]");
+}
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.numel(), 0);
+  EXPECT_EQ(t.rank(), 1);
+}
+
+TEST(TensorTest, ZeroInitialised) {
+  Tensor t(Shape{3, 4});
+  EXPECT_EQ(t.numel(), 12);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, FillConstructor) {
+  Tensor t(Shape{2, 2}, 3.5f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 3.5f);
+}
+
+TEST(TensorTest, DataConstructorChecksSize) {
+  Tensor t(Shape{2, 2}, std::vector<float>{1, 2, 3, 4});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(TensorTest, ScalarTensor) {
+  Tensor s = Tensor::Scalar(2.5f);
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.numel(), 1);
+  EXPECT_EQ(s[0], 2.5f);
+}
+
+TEST(TensorTest, MultiDimAccessRowMajor) {
+  Tensor t(Shape{2, 3});
+  t.at(1, 2) = 7.0f;
+  EXPECT_EQ(t[5], 7.0f);
+
+  Tensor u(Shape{2, 3, 4});
+  u.at(1, 2, 3) = 9.0f;
+  EXPECT_EQ(u[1 * 12 + 2 * 4 + 3], 9.0f);
+
+  Tensor v(Shape{2, 2, 2, 2});
+  v.at(1, 0, 1, 0) = 4.0f;
+  EXPECT_EQ(v[1 * 8 + 0 * 4 + 1 * 2 + 0], 4.0f);
+}
+
+TEST(TensorTest, RandnRespectsStddev) {
+  Rng rng(5);
+  Tensor t = Tensor::Randn(Shape{10000}, &rng, 2.0f);
+  double sum = 0.0, sq = 0.0;
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    sum += t[i];
+    sq += static_cast<double>(t[i]) * t[i];
+  }
+  const double mean = sum / t.numel();
+  const double var = sq / t.numel() - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(TensorTest, RandUniformBounds) {
+  Rng rng(6);
+  Tensor t = Tensor::RandUniform(Shape{1000}, &rng, -1.0f, 2.0f);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t[i], -1.0f);
+    EXPECT_LT(t[i], 2.0f);
+  }
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t(Shape{2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  auto r = t.Reshape({3, 2});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->at(0, 1), 2.0f);
+  EXPECT_EQ(r->at(2, 1), 6.0f);
+}
+
+TEST(TensorTest, ReshapeRejectsWrongCount) {
+  Tensor t(Shape{2, 3});
+  auto r = t.Reshape({4, 2});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TensorTest, SumMeanMaxMinNorm) {
+  Tensor t(Shape{4}, std::vector<float>{1, -2, 3, 2});
+  EXPECT_DOUBLE_EQ(t.Sum(), 4.0);
+  EXPECT_DOUBLE_EQ(t.Mean(), 1.0);
+  EXPECT_EQ(t.Max(), 3.0f);
+  EXPECT_EQ(t.Min(), -2.0f);
+  EXPECT_NEAR(t.Norm(), std::sqrt(1.0 + 4.0 + 9.0 + 4.0), 1e-9);
+}
+
+TEST(TensorTest, FillAndZero) {
+  Tensor t(Shape{3}, 1.0f);
+  t.Fill(2.0f);
+  EXPECT_EQ(t.Sum(), 6.0);
+  t.Zero();
+  EXPECT_EQ(t.Sum(), 0.0);
+}
+
+TEST(AllCloseTest, ExactAndTolerant) {
+  Tensor a(Shape{3}, std::vector<float>{1.0f, 2.0f, 3.0f});
+  Tensor b = a;
+  EXPECT_TRUE(AllClose(a, b));
+  b[1] += 1e-7f;
+  EXPECT_TRUE(AllClose(a, b));
+  b[1] += 1.0f;
+  EXPECT_FALSE(AllClose(a, b));
+}
+
+TEST(AllCloseTest, ShapeMismatchFails) {
+  Tensor a(Shape{3});
+  Tensor b(Shape{4});
+  EXPECT_FALSE(AllClose(a, b));
+}
+
+TEST(TensorTest, ToStringMentionsShape) {
+  Tensor t(Shape{2, 2});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("[2, 2]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace caee

@@ -1,0 +1,92 @@
+// Shared test helpers: numeric gradient checking and tiny dataset builders.
+
+#ifndef CAEE_TESTS_TEST_UTIL_H_
+#define CAEE_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "ts/time_series.h"
+
+namespace caee {
+namespace testutil {
+
+/// \brief Verify analytic gradients of a scalar-valued graph against central
+/// finite differences, for every element of every leaf.
+///
+/// `build` must construct the graph from scratch on each call (the leaves'
+/// values are perturbed between calls).
+inline void ExpectGradCheck(const std::vector<ag::Var>& leaves,
+                            const std::function<ag::Var()>& build,
+                            float eps = 1e-2f, float rel_tol = 2e-2f,
+                            float abs_tol = 2e-3f) {
+  // Analytic gradients.
+  for (const auto& leaf : leaves) leaf->ZeroGrad();
+  ag::Var loss = build();
+  ASSERT_EQ(loss->value().numel(), 1) << "gradcheck needs a scalar loss";
+  ag::Backward(loss);
+  std::vector<Tensor> analytic;
+  analytic.reserve(leaves.size());
+  for (const auto& leaf : leaves) {
+    ASSERT_TRUE(leaf->has_grad()) << "leaf received no gradient";
+    analytic.push_back(leaf->grad());
+  }
+
+  // Numeric gradients.
+  for (size_t l = 0; l < leaves.size(); ++l) {
+    Tensor& value = leaves[l]->mutable_value();
+    for (int64_t i = 0; i < value.numel(); ++i) {
+      const float original = value[i];
+      value[i] = original + eps;
+      const double up = build()->value()[0];
+      value[i] = original - eps;
+      const double down = build()->value()[0];
+      value[i] = original;
+      const double numeric = (up - down) / (2.0 * eps);
+      const double a = analytic[l][i];
+      const double err = std::fabs(a - numeric);
+      const double scale = std::max(std::fabs(a), std::fabs(numeric));
+      EXPECT_LE(err, abs_tol + rel_tol * scale)
+          << "leaf " << l << " element " << i << ": analytic " << a
+          << " vs numeric " << numeric;
+    }
+  }
+}
+
+/// \brief Deterministic sine-plus-noise series with a few injected point
+/// outliers at known positions (labels set accordingly).
+inline ts::TimeSeries PlantedSeries(int64_t length, int64_t dims,
+                                    uint64_t seed,
+                                    const std::vector<int64_t>& outlier_at = {},
+                                    double magnitude = 8.0) {
+  Rng rng(seed);
+  ts::TimeSeries series(length, dims);
+  series.EnableLabels();
+  std::vector<double> phase(static_cast<size_t>(dims));
+  for (auto& p : phase) p = rng.Uniform(0.0, 6.28);
+  for (int64_t t = 0; t < length; ++t) {
+    for (int64_t j = 0; j < dims; ++j) {
+      series.value(t, j) = static_cast<float>(
+          std::sin(0.2 * static_cast<double>(t) +
+                   phase[static_cast<size_t>(j)]) +
+          0.05 * rng.Gaussian());
+    }
+  }
+  for (int64_t t : outlier_at) {
+    for (int64_t j = 0; j < dims; ++j) {
+      series.value(t, j) += static_cast<float>(magnitude);
+    }
+    series.set_label(t, 1);
+  }
+  return series;
+}
+
+}  // namespace testutil
+}  // namespace caee
+
+#endif  // CAEE_TESTS_TEST_UTIL_H_

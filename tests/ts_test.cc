@@ -1,0 +1,262 @@
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "ts/csv.h"
+#include "ts/scaler.h"
+#include "ts/time_series.h"
+#include "ts/window.h"
+
+namespace caee {
+namespace {
+
+ts::TimeSeries MakeSeries(int64_t n, int64_t d) {
+  ts::TimeSeries s(n, d);
+  for (int64_t t = 0; t < n; ++t) {
+    for (int64_t j = 0; j < d; ++j) {
+      s.value(t, j) = static_cast<float>(t * 10 + j);
+    }
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// TimeSeries
+// ---------------------------------------------------------------------------
+
+TEST(TimeSeriesTest, BasicAccess) {
+  ts::TimeSeries s = MakeSeries(5, 3);
+  EXPECT_EQ(s.length(), 5);
+  EXPECT_EQ(s.dims(), 3);
+  EXPECT_EQ(s.value(2, 1), 21.0f);
+  EXPECT_EQ(s.row(2)[1], 21.0f);
+}
+
+TEST(TimeSeriesTest, LabelsStartAbsent) {
+  ts::TimeSeries s = MakeSeries(4, 1);
+  EXPECT_FALSE(s.has_labels());
+  s.set_label(2, 1);  // implicitly enables
+  EXPECT_TRUE(s.has_labels());
+  EXPECT_EQ(s.label(2), 1);
+  EXPECT_EQ(s.label(0), 0);
+}
+
+TEST(TimeSeriesTest, OutlierRatio) {
+  ts::TimeSeries s = MakeSeries(10, 1);
+  EXPECT_EQ(s.OutlierRatio(), 0.0);
+  s.set_label(0, 1);
+  s.set_label(5, 1);
+  EXPECT_DOUBLE_EQ(s.OutlierRatio(), 0.2);
+}
+
+TEST(TimeSeriesTest, SliceCopiesValuesAndLabels) {
+  ts::TimeSeries s = MakeSeries(6, 2);
+  s.set_label(3, 1);
+  auto sliced = s.Slice(2, 5);
+  ASSERT_TRUE(sliced.ok());
+  EXPECT_EQ(sliced->length(), 3);
+  EXPECT_EQ(sliced->value(0, 0), 20.0f);
+  EXPECT_EQ(sliced->label(1), 1);  // original index 3
+}
+
+TEST(TimeSeriesTest, SliceRejectsBadRange) {
+  ts::TimeSeries s = MakeSeries(4, 1);
+  EXPECT_FALSE(s.Slice(3, 2).ok());
+  EXPECT_FALSE(s.Slice(0, 5).ok());
+  EXPECT_FALSE(s.Slice(-1, 2).ok());
+}
+
+TEST(TimeSeriesTest, DownsampleKeepsEveryKth) {
+  ts::TimeSeries s = MakeSeries(10, 1);
+  s.set_label(4, 1);
+  ts::TimeSeries d = s.Downsample(2);
+  EXPECT_EQ(d.length(), 5);
+  EXPECT_EQ(d.value(2, 0), 40.0f);
+  EXPECT_EQ(d.label(2), 1);
+}
+
+TEST(TimeSeriesTest, ToTensorMatches) {
+  ts::TimeSeries s = MakeSeries(3, 2);
+  Tensor t = s.ToTensor();
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_EQ(t.at(2, 1), 21.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Scaler
+// ---------------------------------------------------------------------------
+
+TEST(ScalerTest, TransformedTrainHasZeroMeanUnitVar) {
+  Rng rng(1);
+  ts::TimeSeries s(500, 2);
+  for (int64_t t = 0; t < 500; ++t) {
+    s.value(t, 0) = static_cast<float>(rng.Gaussian(5.0, 3.0));
+    s.value(t, 1) = static_cast<float>(rng.Gaussian(-2.0, 0.5));
+  }
+  ts::Scaler scaler;
+  scaler.Fit(s);
+  ts::TimeSeries z = scaler.Transform(s);
+  for (int64_t j = 0; j < 2; ++j) {
+    double mean = 0.0, sq = 0.0;
+    for (int64_t t = 0; t < 500; ++t) {
+      mean += z.value(t, j);
+      sq += static_cast<double>(z.value(t, j)) * z.value(t, j);
+    }
+    mean /= 500.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(sq / 500.0 - mean * mean, 1.0, 1e-3);
+  }
+}
+
+TEST(ScalerTest, ConstantDimensionPassesThrough) {
+  ts::TimeSeries s(10, 1);
+  for (int64_t t = 0; t < 10; ++t) s.value(t, 0) = 7.0f;
+  ts::Scaler scaler;
+  scaler.Fit(s);
+  ts::TimeSeries z = scaler.Transform(s);
+  for (int64_t t = 0; t < 10; ++t) EXPECT_NEAR(z.value(t, 0), 0.0f, 1e-6);
+}
+
+TEST(ScalerTest, InverseTransformRoundTrips) {
+  Rng rng(2);
+  ts::TimeSeries s(100, 3);
+  for (int64_t t = 0; t < 100; ++t) {
+    for (int64_t j = 0; j < 3; ++j) {
+      s.value(t, j) = static_cast<float>(rng.Uniform(-10.0, 10.0));
+    }
+  }
+  ts::Scaler scaler;
+  scaler.Fit(s);
+  ts::TimeSeries round = scaler.InverseTransform(scaler.Transform(s));
+  for (int64_t t = 0; t < 100; ++t) {
+    for (int64_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(round.value(t, j), s.value(t, j), 1e-3);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WindowDataset
+// ---------------------------------------------------------------------------
+
+TEST(WindowTest, CountAndContent) {
+  ts::TimeSeries s = MakeSeries(6, 2);
+  ts::WindowDataset ds(s, 3);
+  EXPECT_EQ(ds.num_windows(), 4);
+  Tensor w1 = ds.GetWindow(1);  // observations 1..3
+  EXPECT_EQ(w1.shape(), (Shape{1, 3, 2}));
+  EXPECT_EQ(w1.at(0, 0, 0), 10.0f);
+  EXPECT_EQ(w1.at(0, 2, 1), 31.0f);
+}
+
+TEST(WindowTest, LastObservationIndex) {
+  ts::TimeSeries s = MakeSeries(6, 1);
+  ts::WindowDataset ds(s, 3);
+  EXPECT_EQ(ds.LastObservationIndex(0), 2);
+  EXPECT_EQ(ds.LastObservationIndex(3), 5);
+}
+
+TEST(WindowTest, BatchAssembly) {
+  ts::TimeSeries s = MakeSeries(8, 1);
+  ts::WindowDataset ds(s, 4);
+  Tensor batch = ds.GetBatch({0, 2, 4});
+  EXPECT_EQ(batch.shape(), (Shape{3, 4, 1}));
+  EXPECT_EQ(batch.at(1, 0, 0), 20.0f);
+  EXPECT_EQ(batch.at(2, 3, 0), 70.0f);
+}
+
+TEST(WindowTest, BatchesPartitionAllWindows) {
+  ts::TimeSeries s = MakeSeries(20, 1);
+  ts::WindowDataset ds(s, 5);
+  auto batches = ds.Batches(4);
+  int64_t total = 0;
+  for (const auto& b : batches) total += static_cast<int64_t>(b.size());
+  EXPECT_EQ(total, ds.num_windows());
+  EXPECT_EQ(batches.front().front(), 0);
+  EXPECT_EQ(batches.back().back(), ds.num_windows() - 1);
+}
+
+TEST(WindowTest, WindowEqualToSeriesLength) {
+  ts::TimeSeries s = MakeSeries(4, 1);
+  ts::WindowDataset ds(s, 4);
+  EXPECT_EQ(ds.num_windows(), 1);
+}
+
+TEST(SplitTest, ChronologicalProportions) {
+  ts::TimeSeries s = MakeSeries(100, 1);
+  auto [train, val] = ts::TrainValSplit(s, 0.3);
+  EXPECT_EQ(train.length(), 70);
+  EXPECT_EQ(val.length(), 30);
+  EXPECT_EQ(train.value(69, 0), 690.0f);
+  EXPECT_EQ(val.value(0, 0), 700.0f);  // continues where train ends
+}
+
+TEST(SplitTest, ZeroFractionKeepsEverything) {
+  ts::TimeSeries s = MakeSeries(10, 1);
+  auto [train, val] = ts::TrainValSplit(s, 0.0);
+  EXPECT_EQ(train.length(), 10);
+  EXPECT_EQ(val.length(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// CSV
+// ---------------------------------------------------------------------------
+
+TEST(CsvTest, RoundTripWithLabels) {
+  ts::TimeSeries s = MakeSeries(5, 2);
+  s.set_label(3, 1);
+  const std::string path = ::testing::TempDir() + "/caee_series.csv";
+  ASSERT_TRUE(ts::WriteCsv(s, path).ok());
+  auto loaded = ts::ReadCsv(path, /*has_labels=*/true);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->length(), 5);
+  EXPECT_EQ(loaded->dims(), 2);
+  EXPECT_EQ(loaded->value(4, 1), 41.0f);
+  EXPECT_EQ(loaded->label(3), 1);
+  EXPECT_EQ(loaded->label(2), 0);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, RoundTripWithoutLabels) {
+  ts::TimeSeries s = MakeSeries(4, 3);
+  const std::string path = ::testing::TempDir() + "/caee_series2.csv";
+  ASSERT_TRUE(ts::WriteCsv(s, path).ok());
+  auto loaded = ts::ReadCsv(path, /*has_labels=*/false);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->dims(), 3);
+  EXPECT_FALSE(loaded->has_labels());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsIOError) {
+  auto loaded = ts::ReadCsv("/nonexistent/file.csv", false);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  const std::string path = ::testing::TempDir() + "/caee_ragged.csv";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("1,2,3\n4,5\n", f);
+    std::fclose(f);
+  }
+  auto loaded = ts::ReadCsv(path, false);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, RejectsNonNumeric) {
+  const std::string path = ::testing::TempDir() + "/caee_nan.csv";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("1,abc\n", f);
+    std::fclose(f);
+  }
+  auto loaded = ts::ReadCsv(path, false);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace caee
