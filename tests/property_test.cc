@@ -249,8 +249,12 @@ TEST_P(TransferTest, TransferredValuesMatchSource) {
     }
   }
   EXPECT_EQ(other, 0);
-  if (beta > 0.0f) EXPECT_GT(matches_source, 0);
-  if (beta < 1.0f) EXPECT_GT(matches_original, 0);
+  if (beta > 0.0f) {
+    EXPECT_GT(matches_source, 0);
+  }
+  if (beta < 1.0f) {
+    EXPECT_GT(matches_original, 0);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Betas, TransferTest,
