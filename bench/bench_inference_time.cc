@@ -19,7 +19,7 @@
 namespace caee {
 namespace {
 
-core::EnsembleConfig BenchConfig(int64_t num_models) {
+core::EnsembleConfig BenchConfig(int64_t num_models, int64_t num_threads) {
   core::EnsembleConfig cfg;
   cfg.cae.embed_dim = 0;  // auto-size
   cfg.cae.num_layers = 2;
@@ -29,14 +29,15 @@ core::EnsembleConfig BenchConfig(int64_t num_models) {
   cfg.max_train_windows = 128;
   cfg.diversity_enabled = num_models > 1;
   cfg.transfer_enabled = num_models > 1;
+  cfg.num_threads = num_threads;
   cfg.seed = 7;
   return cfg;
 }
 
 struct Fixture {
-  explicit Fixture(const std::string& dataset, int64_t num_models)
+  Fixture(const std::string& dataset, int64_t num_models)
       : ds(data::MakeDataset(dataset, 0.15, 7).ValueOrDie()),
-        ensemble(BenchConfig(num_models)) {
+        ensemble(BenchConfig(num_models, /*num_threads=*/0)) {
     CAEE_CHECK(ensemble.Fit(ds.train).ok());
   }
   ts::Dataset ds;
@@ -45,6 +46,8 @@ struct Fixture {
 
 Fixture* GetFixture(const std::string& dataset, int64_t num_models) {
   // One fixture per (dataset, M); trained lazily and reused across runs.
+  // Thread-count variants share it: trained weights are thread-count
+  // independent, so only the scoring-time engine width changes per bench.
   static std::map<std::string, std::unique_ptr<Fixture>>* cache =
       new std::map<std::string, std::unique_ptr<Fixture>>();
   const std::string key = dataset + "/" + std::to_string(num_models);
@@ -57,8 +60,10 @@ Fixture* GetFixture(const std::string& dataset, int64_t num_models) {
 }
 
 void BM_InferencePerWindow(benchmark::State& state,
-                           const std::string& dataset, int64_t num_models) {
+                           const std::string& dataset, int64_t num_models,
+                           int64_t num_threads = 0) {
   Fixture* fixture = GetFixture(dataset, num_models);
+  fixture->ensemble.set_num_threads(num_threads);
   core::StreamingScorer scorer(&fixture->ensemble);
   const ts::TimeSeries& test = fixture->ds.test;
   // Warm up the buffer.
@@ -75,7 +80,10 @@ void BM_InferencePerWindow(benchmark::State& state,
     t = (t + 1) % test.length();
     if (t == 0) t = w;
   }
-  state.SetLabel(dataset + (num_models > 1 ? " CAE-Ensemble" : " CAE"));
+  state.SetLabel(dataset + (num_models > 1 ? " CAE-Ensemble" : " CAE") +
+                 (num_threads > 0
+                      ? " threads=" + std::to_string(num_threads)
+                      : ""));
 }
 
 }  // namespace
@@ -92,6 +100,17 @@ BENCHMARK_CAPTURE(BM_InferencePerWindow, smap_ens, "SMAP", 4)
 BENCHMARK_CAPTURE(BM_InferencePerWindow, smd_cae, "SMD", 1)
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK_CAPTURE(BM_InferencePerWindow, smd_ens, "SMD", 4)
+    ->Unit(benchmark::kMicrosecond);
+
+// Parallel-engine scaling on the ensemble scoring path: the M basic models'
+// forward passes fan out over the thread pool (sequential at threads=1).
+BENCHMARK_CAPTURE(BM_InferencePerWindow, ecg_ens_t1, "ECG", 4, 1)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_InferencePerWindow, ecg_ens_t4, "ECG", 4, 4)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_InferencePerWindow, smd_ens_t1, "SMD", 4, 1)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_InferencePerWindow, smd_ens_t4, "SMD", 4, 4)
     ->Unit(benchmark::kMicrosecond);
 
 }  // namespace caee

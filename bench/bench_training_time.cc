@@ -21,7 +21,9 @@ using namespace caee;
 int main(int argc, char** argv) {
   const bench::Flags flags = bench::Flags::Parse(argc, argv);
   std::cout << "=== Table 7: training time (seconds; M=" << flags.models
-            << " basic models) ===\n\n";
+            << " basic models; threads="
+            << (flags.threads == 0 ? "hardware" : std::to_string(flags.threads))
+            << ") ===\n\n";
 
   // A reduced dataset list keeps the default run under a couple of minutes;
   // pass --scale to push further.
@@ -76,6 +78,7 @@ int main(int argc, char** argv) {
     cae_cfg.diversity_enabled = false;
     cae_cfg.transfer_enabled = false;
     cae_cfg.max_train_windows = 256;
+    cae_cfg.num_threads = flags.threads;
     cae_cfg.seed = flags.seed;
     {
       core::CaeEnsemble cae(cae_cfg);

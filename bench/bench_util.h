@@ -3,6 +3,7 @@
 //   --scale=<f>     dataset length scale (default sized for a 2-core laptop)
 //   --models=<n>    ensemble size M
 //   --epochs=<n>    epochs per basic model
+//   --threads=<n>   parallel engine workers (0 = hardware, 1 = sequential)
 //   --seed=<n>
 // plus bench-specific flags documented in each main().
 
@@ -24,6 +25,7 @@ struct Flags {
   double scale = 0.25;
   int64_t models = 4;
   int64_t epochs = 4;
+  int64_t threads = 0;  // parallel engine workers (0 = hardware)
   uint64_t seed = 7;
   double lambda = -1.0;  // < 0: use the per-dataset Table 2 value
   double beta = -1.0;    // < 0: use the per-dataset Table 2 value
@@ -54,6 +56,8 @@ struct Flags {
         f.models = std::atoll(value_of("--models=").c_str());
       } else if (arg.rfind("--epochs=", 0) == 0) {
         f.epochs = std::atoll(value_of("--epochs=").c_str());
+      } else if (arg.rfind("--threads=", 0) == 0) {
+        f.threads = std::atoll(value_of("--threads=").c_str());
       } else if (arg.rfind("--seed=", 0) == 0) {
         f.seed = std::strtoull(value_of("--seed=").c_str(), nullptr, 10);
       } else if (arg.rfind("--lambda=", 0) == 0) {
@@ -65,8 +69,9 @@ struct Flags {
       } else if (arg.rfind("--detectors=", 0) == 0) {
         f.detectors = split(value_of("--detectors="));
       } else if (arg == "--help" || arg == "-h") {
-        std::cout << "flags: --scale=F --models=N --epochs=N --seed=N "
-                     "--lambda=F --beta=F --datasets=A,B --detectors=A,B\n";
+        std::cout << "flags: --scale=F --models=N --epochs=N --threads=N "
+                     "--seed=N --lambda=F --beta=F --datasets=A,B "
+                     "--detectors=A,B\n";
         std::exit(0);
       }
     }
@@ -88,6 +93,7 @@ inline eval::SuiteConfig MakeSuite(const Flags& f) {
   s.batch_size = 32;  // more optimiser steps per epoch at CPU scale
   s.lr = 2e-3f;
   s.max_train_windows = 256;
+  s.num_threads = f.threads;
   s.seed = f.seed;
   return s;
 }

@@ -7,7 +7,29 @@ namespace caee {
 
 namespace {
 std::atomic<size_t> g_parallelism{0};  // 0 = hardware default
+thread_local bool t_in_pool_worker = false;
+thread_local size_t t_thread_cap = 0;  // 0 = uncapped
+
+// Global level narrowed by the active ParallelismCap and an optional
+// per-call bound.
+size_t EffectiveParallelism(size_t max_threads) {
+  size_t n = GetGlobalParallelism();
+  if (t_thread_cap != 0 && t_thread_cap < n) n = t_thread_cap;
+  if (max_threads != 0 && max_threads < n) n = max_threads;
+  return n;
+}
 }  // namespace
+
+ParallelismCap::ParallelismCap(size_t max_threads) : prev_(t_thread_cap) {
+  if (max_threads != 0) {
+    t_thread_cap =
+        prev_ == 0 ? max_threads : std::min(prev_, max_threads);
+  }
+}
+
+ParallelismCap::~ParallelismCap() { t_thread_cap = prev_; }
+
+size_t ParallelismCap::Current() { return t_thread_cap; }
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -42,7 +64,10 @@ void ThreadPool::Wait() {
   done_cv_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+bool ThreadPool::InWorker() { return t_in_pool_worker; }
+
 void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -83,10 +108,10 @@ size_t GetGlobalParallelism() {
 }
 
 void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
-                 size_t grain) {
+                 size_t grain, size_t max_threads) {
   if (n == 0) return;
-  const size_t threads = GetGlobalParallelism();
-  if (threads <= 1 || n <= grain) {
+  const size_t threads = EffectiveParallelism(max_threads);
+  if (threads <= 1 || n <= grain || ThreadPool::InWorker()) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -95,15 +120,15 @@ void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
       [&fn](size_t begin, size_t end) {
         for (size_t i = begin; i < end; ++i) fn(i);
       },
-      grain);
+      grain, max_threads);
 }
 
 void ParallelForRange(size_t n,
                       const std::function<void(size_t, size_t)>& fn,
-                      size_t min_chunk) {
+                      size_t min_chunk, size_t max_threads) {
   if (n == 0) return;
-  const size_t threads = GetGlobalParallelism();
-  if (threads <= 1 || n <= min_chunk) {
+  const size_t threads = EffectiveParallelism(max_threads);
+  if (threads <= 1 || n <= min_chunk || ThreadPool::InWorker()) {
     fn(0, n);
     return;
   }

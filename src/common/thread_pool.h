@@ -37,6 +37,11 @@ class ThreadPool {
   /// \brief Process-wide pool (lazily created, hardware_concurrency sized).
   static ThreadPool& Global();
 
+  /// \brief True when the calling thread is a pool worker. Parallel helpers
+  /// use this to run nested loops inline: a worker that blocked in Wait()
+  /// on its own pool would deadlock once every worker did the same.
+  static bool InWorker();
+
  private:
   void WorkerLoop();
 
@@ -49,16 +54,41 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+/// \brief RAII guard bounding the parallelism of ParallelFor /
+/// ParallelForRange calls made on the current thread while it is alive.
+/// `max_threads` = 1 forces inline serial execution, 0 is a no-op; nested
+/// caps only narrow (the effective cap is the minimum of the active ones).
+/// The ensemble engine uses it so EnsembleConfig::num_threads bounds the
+/// tensor kernels dispatched from the orchestrating thread too, and
+/// num_threads == 1 means fully sequential — not just a serial ensemble
+/// loop over still-parallel kernels.
+class ParallelismCap {
+ public:
+  explicit ParallelismCap(size_t max_threads);
+  ~ParallelismCap();
+
+  ParallelismCap(const ParallelismCap&) = delete;
+  ParallelismCap& operator=(const ParallelismCap&) = delete;
+
+  /// \brief The cap active on this thread (0 = uncapped).
+  static size_t Current();
+
+ private:
+  size_t prev_;
+};
+
 /// \brief Run fn(i) for i in [0, n), split into contiguous grains across the
-/// global pool. Falls back to serial execution for small n.
+/// global pool. Falls back to serial execution for small n. `max_threads`
+/// additionally bounds the fan-out (0 = no extra bound beyond the global
+/// level and any active ParallelismCap).
 void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
-                 size_t grain = 64);
+                 size_t grain = 64, size_t max_threads = 0);
 
 /// \brief Range version: fn(begin, end) per chunk; lower overhead for tight
 /// loops.
 void ParallelForRange(size_t n,
                       const std::function<void(size_t, size_t)>& fn,
-                      size_t min_chunk = 256);
+                      size_t min_chunk = 256, size_t max_threads = 0);
 
 /// \brief Override the parallelism used by ParallelFor (0 = hardware).
 void SetGlobalParallelism(size_t threads);

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "core/diversity.h"
 #include "core/scoring.h"
 #include "optim/adam.h"
@@ -66,6 +67,8 @@ Status CaeEnsemble::Fit(const ts::TimeSeries& train) {
   Rng rng(config_.seed);
   models_.clear();
   stats_ = TrainStats{};
+  const EngineScope engine(config_.num_threads);
+  const ParallelTrainer& trainer = engine.trainer();
 
   // Auto-size the embedding from the input dimensionality (D' = 0 means
   // "pick for me"): wide enough to carry the signal, small enough for CPU
@@ -113,20 +116,30 @@ Status CaeEnsemble::Fit(const ts::TimeSeries& train) {
     window_indices = std::move(shuffled);
   }
 
+  // All RNG streams consumed during training are forked here, on the
+  // orchestrating thread, in a fixed order — the parallel sections below
+  // must not touch `rng`, or results would depend on execution order.
+  std::vector<MemberRngStreams> streams =
+      ForkMemberStreams(&rng, config_.num_models);
+
   // Pre-embed all training batches once (the embedding is frozen, so the
   // embedded windows are training-time constants — this is a large part of
-  // the CAE-Ensemble's efficiency story).
-  std::vector<Tensor> embedded_batches;
+  // the CAE-Ensemble's efficiency story). Batches are independent, so the
+  // embedding pass fans out across the pool.
+  std::vector<std::vector<int64_t>> batch_indices;
   for (size_t begin = 0; begin < window_indices.size();
        begin += static_cast<size_t>(config_.batch_size)) {
     const size_t end = std::min(window_indices.size(),
                                 begin + static_cast<size_t>(config_.batch_size));
-    std::vector<int64_t> batch(window_indices.begin() + begin,
+    batch_indices.emplace_back(window_indices.begin() + begin,
                                window_indices.begin() + end);
-    embedded_batches.push_back(
-        EmbedConstant(dataset.GetBatch(batch))->value());
   }
-  const size_t num_batches = embedded_batches.size();
+  const size_t num_batches = batch_indices.size();
+  std::vector<Tensor> embedded_batches(num_batches);
+  trainer.Run(num_batches, [&](size_t b) {
+    embedded_batches[b] =
+        EmbedConstant(dataset.GetBatch(batch_indices[b]))->value();
+  });
 
   // Scale for denoising noise: relative to the embedded signal's std so the
   // configured denoise_std means "fraction of signal scale" regardless of
@@ -148,102 +161,181 @@ Status CaeEnsemble::Fit(const ts::TimeSeries& train) {
     }
   }
 
-  // Running sum of frozen-model outputs per batch, to form F(X) = mean of
-  // previously trained models for the diversity term (Eq. 12).
-  std::vector<Tensor> ensemble_output_sum(num_batches);
+  stats_.per_model_epoch_loss.assign(static_cast<size_t>(config_.num_models),
+                                     {});
 
-  for (int64_t mi = 0; mi < config_.num_models; ++mi) {
-    Rng model_rng = rng.Fork();
-    auto model = std::make_unique<Cae>(config_.cae, &model_rng);
-    if (mi == 0) stats_.parameters_per_model = model->NumParameters();
+  // Without β transfer and without the diversity term there is no coupling
+  // between basic models: each member's whole training loop is independent
+  // work, so members train concurrently (Sarvari et al.-style independent
+  // ensembles, the "No diversity" ablation, and the M=1 CAE baseline rows).
+  const bool independent_members =
+      !config_.transfer_enabled && !config_.diversity_enabled &&
+      config_.num_models > 1;
 
-    if (mi > 0 && config_.transfer_enabled) {
-      Rng transfer_rng = rng.Fork();
-      TransferParameters(*models_.back(), model.get(), config_.beta,
-                         &transfer_rng);
-    }
+  if (independent_members) {
+    models_.resize(static_cast<size_t>(config_.num_models));
+    trainer.Run(static_cast<size_t>(config_.num_models), [&](size_t mi) {
+      models_[mi] = TrainMember(static_cast<int64_t>(mi), &streams[mi],
+                                trainer, embedded_batches, embed_std,
+                                /*ensemble_output_sum=*/nullptr,
+                                /*transfer_from=*/nullptr,
+                                &stats_.per_model_epoch_loss[mi]);
+    });
+    stats_.parameters_per_model = models_.front()->NumParameters();
+  } else {
+    // Paper-faithful generation chain: model mi starts from a β-masked copy
+    // of model mi-1 and is pushed away from the frozen ensemble mean, so
+    // members train in sequence; the engine parallelises the work inside
+    // each member (noise generation, batch kernels) and the frozen-model
+    // output pass below.
+    //
+    // Running sum of frozen-model outputs per batch, to form F(X) = mean of
+    // previously trained models for the diversity term (Eq. 12).
+    std::vector<Tensor> ensemble_output_sum(num_batches);
+    for (int64_t mi = 0; mi < config_.num_models; ++mi) {
+      auto model = TrainMember(
+          mi, &streams[static_cast<size_t>(mi)], trainer, embedded_batches,
+          embed_std,
+          config_.diversity_enabled ? &ensemble_output_sum : nullptr,
+          (mi > 0 && config_.transfer_enabled) ? models_.back().get()
+                                               : nullptr,
+          &stats_.per_model_epoch_loss[static_cast<size_t>(mi)]);
+      if (mi == 0) stats_.parameters_per_model = model->NumParameters();
 
-    optim::Adam optimizer(model->Parameters(), config_.lr);
-    Rng noise_rng = rng.Fork();
-    std::vector<double> epoch_losses;
-    double prev_recon = -1.0;
-    for (int64_t epoch = 0; epoch < config_.epochs_per_model; ++epoch) {
-      double epoch_loss = 0.0;
-      double epoch_recon = 0.0;
-      for (size_t b = 0; b < num_batches; ++b) {
-        ag::Var x = ag::Constant(embedded_batches[b]);
-        ag::Var input = x;
-        if (config_.denoise_std > 0.0f) {
-          const double sigma = config_.denoise_std * embed_std;
-          Tensor noisy = embedded_batches[b];
-          for (int64_t i = 0; i < noisy.numel(); ++i) {
-            noisy[i] += static_cast<float>(noise_rng.Gaussian(0.0, sigma));
+      // Freeze the model and fold its outputs into the ensemble mean cache
+      // (per-batch independent -> fanned out). Only needed while a later
+      // model will still consume the diversity term.
+      if (config_.diversity_enabled && mi + 1 < config_.num_models) {
+        const Cae* frozen = model.get();
+        trainer.Run(num_batches, [&, frozen](size_t b) {
+          ag::Var out = frozen->Reconstruct(ag::Constant(embedded_batches[b]));
+          if (ensemble_output_sum[b].numel() == 0) {
+            ensemble_output_sum[b] = out->value();
+          } else {
+            for (int64_t i = 0; i < out->value().numel(); ++i) {
+              ensemble_output_sum[b][i] += out->value()[i];
+            }
           }
-          input = ag::Constant(std::move(noisy));
-        }
-        ag::Var recon = model->Reconstruct(input);
-        ag::Var loss = ag::MseLoss(recon, x);  // J (Eq. 11), clean target
-        epoch_recon += loss->value()[0];
-        const bool diversity_active =
-            static_cast<double>(epoch) <
-            config_.diversity_epoch_fraction *
-                static_cast<double>(config_.epochs_per_model);
-        if (mi > 0 && config_.diversity_enabled && diversity_active) {
-          Tensor f = ensemble_output_sum[b];
-          for (int64_t i = 0; i < f.numel(); ++i) {
-            f[i] /= static_cast<float>(mi);
-          }
-          ag::Var k = ag::MseLoss(recon, ag::Constant(f));  // K (Eq. 12)
-          const bool capped =
-              config_.diversity_cap_ratio > 0.0f &&
-              k->value()[0] >=
-                  config_.diversity_cap_ratio * loss->value()[0];
-          if (!capped) {
-            loss = ag::Sub(loss, ag::Scale(k, config_.lambda));  // Eq. 13
-          }
-        }
-        epoch_loss += loss->value()[0];
-        optimizer.ZeroGrad();
-        ag::Backward(loss);
-        optim::ClipGradNorm(optimizer.params(), config_.grad_clip);
-        optimizer.Step();
+        });
       }
-      epoch_losses.push_back(epoch_loss / static_cast<double>(num_batches));
-      epoch_recon /= static_cast<double>(num_batches);
-      if (config_.verbose) {
-        CAEE_LOG(Info) << "model " << mi << " epoch " << epoch << " loss "
-                       << epoch_losses.back() << " recon " << epoch_recon;
-      }
-      if (config_.early_stop_rel_tol > 0.0f && prev_recon >= 0.0) {
-        const double improvement =
-            (prev_recon - epoch_recon) / std::max(1e-12, prev_recon);
-        if (improvement < config_.early_stop_rel_tol) {
-          prev_recon = epoch_recon;
-          break;
-        }
-      }
-      prev_recon = epoch_recon;
+      models_.push_back(std::move(model));
     }
-    stats_.per_model_epoch_loss.push_back(std::move(epoch_losses));
-
-    // Freeze the model and fold its outputs into the ensemble mean cache.
-    for (size_t b = 0; b < num_batches; ++b) {
-      ag::Var out =
-          model->Reconstruct(ag::Constant(embedded_batches[b]));
-      if (ensemble_output_sum[b].numel() == 0) {
-        ensemble_output_sum[b] = out->value();
-      } else {
-        for (int64_t i = 0; i < out->value().numel(); ++i) {
-          ensemble_output_sum[b][i] += out->value()[i];
-        }
-      }
-    }
-    models_.push_back(std::move(model));
   }
 
   stats_.train_seconds = timer.ElapsedSeconds();
   fitted_ = true;
   return Status::OK();
+}
+
+std::unique_ptr<Cae> CaeEnsemble::TrainMember(
+    int64_t mi, MemberRngStreams* streams, const ParallelTrainer& trainer,
+    const std::vector<Tensor>& embedded_batches, double embed_std,
+    const std::vector<Tensor>* ensemble_output_sum, const Cae* transfer_from,
+    std::vector<double>* epoch_losses) const {
+  const size_t num_batches = embedded_batches.size();
+  auto model = std::make_unique<Cae>(config_.cae, &streams->model);
+  if (transfer_from != nullptr) {
+    TransferParameters(*transfer_from, model.get(), config_.beta,
+                       &streams->transfer);
+  }
+
+  optim::Adam optimizer(model->Parameters(), config_.lr);
+  double prev_recon = -1.0;
+  std::vector<Tensor> noisy_batches(config_.denoise_std > 0.0f ? num_batches
+                                                               : 0);
+  for (int64_t epoch = 0; epoch < config_.epochs_per_model; ++epoch) {
+    // Denoising inputs for this epoch: one RNG stream per batch, forked
+    // sequentially here so the noise is a pure function of (seed, member,
+    // epoch, batch) — then filled in parallel.
+    if (config_.denoise_std > 0.0f) {
+      const double sigma = config_.denoise_std * embed_std;
+      std::vector<Rng> batch_rngs;
+      batch_rngs.reserve(num_batches);
+      for (size_t b = 0; b < num_batches; ++b) {
+        batch_rngs.push_back(streams->noise.Fork());
+      }
+      trainer.Run(num_batches, [&](size_t b) {
+        Tensor noisy = embedded_batches[b];
+        for (int64_t i = 0; i < noisy.numel(); ++i) {
+          noisy[i] += static_cast<float>(batch_rngs[b].Gaussian(0.0, sigma));
+        }
+        noisy_batches[b] = std::move(noisy);
+      });
+    }
+
+    double epoch_loss = 0.0;
+    double epoch_recon = 0.0;
+    for (size_t b = 0; b < num_batches; ++b) {
+      ag::Var x = ag::Constant(embedded_batches[b]);
+      // The noisy slot is regenerated next epoch, so its tensor moves.
+      ag::Var input = config_.denoise_std > 0.0f
+                          ? ag::Constant(std::move(noisy_batches[b]))
+                          : x;
+      ag::Var recon = model->Reconstruct(input);
+      ag::Var loss = ag::MseLoss(recon, x);  // J (Eq. 11), clean target
+      epoch_recon += loss->value()[0];
+      const bool diversity_active =
+          static_cast<double>(epoch) <
+          config_.diversity_epoch_fraction *
+              static_cast<double>(config_.epochs_per_model);
+      if (mi > 0 && ensemble_output_sum != nullptr && diversity_active) {
+        Tensor f = (*ensemble_output_sum)[b];
+        for (int64_t i = 0; i < f.numel(); ++i) {
+          f[i] /= static_cast<float>(mi);
+        }
+        ag::Var k = ag::MseLoss(recon, ag::Constant(f));  // K (Eq. 12)
+        const bool capped =
+            config_.diversity_cap_ratio > 0.0f &&
+            k->value()[0] >= config_.diversity_cap_ratio * loss->value()[0];
+        if (!capped) {
+          loss = ag::Sub(loss, ag::Scale(k, config_.lambda));  // Eq. 13
+        }
+      }
+      epoch_loss += loss->value()[0];
+      optimizer.ZeroGrad();
+      ag::Backward(loss);
+      optim::ClipGradNorm(optimizer.params(), config_.grad_clip);
+      optimizer.Step();
+    }
+    epoch_losses->push_back(epoch_loss / static_cast<double>(num_batches));
+    epoch_recon /= static_cast<double>(num_batches);
+    if (config_.verbose) {
+      CAEE_LOG(Info) << "model " << mi << " epoch " << epoch << " loss "
+                     << epoch_losses->back() << " recon " << epoch_recon;
+    }
+    if (config_.early_stop_rel_tol > 0.0f && prev_recon >= 0.0) {
+      const double improvement =
+          (prev_recon - epoch_recon) / std::max(1e-12, prev_recon);
+      if (improvement < config_.early_stop_rel_tol) {
+        prev_recon = epoch_recon;
+        break;
+      }
+    }
+    prev_recon = epoch_recon;
+  }
+  return model;
+}
+
+void CaeEnsemble::ForEachEmbeddedBatch(
+    const ts::WindowDataset& dataset,
+    const std::vector<std::vector<int64_t>>& batches,
+    const ParallelTrainer& trainer,
+    const std::function<void(size_t, size_t, const ag::Var&)>& fn) const {
+  // Waves of a few batches per worker bound residency: a long series
+  // embedded whole would be a window-factor copy of it. Wave size does not
+  // affect results (fn writes per-(member, batch) slots only).
+  const size_t m = models_.size();
+  const size_t wave = std::max<size_t>(4, trainer.num_threads() * 4);
+  for (size_t wb = 0; wb < batches.size(); wb += wave) {
+    const size_t we = std::min(batches.size(), wb + wave);
+    std::vector<ag::Var> embedded(we - wb);
+    trainer.Run(we - wb, [&](size_t i) {
+      embedded[i] = EmbedConstant(dataset.GetBatch(batches[wb + i]));
+    });
+    trainer.RunGrid(m, we - wb, [&](size_t mi, size_t i) {
+      fn(mi, wb + i, embedded[i]);
+    });
+  }
 }
 
 StatusOr<std::vector<std::vector<double>>> CaeEnsemble::PerModelScores(
@@ -258,21 +350,25 @@ StatusOr<std::vector<std::vector<double>>> CaeEnsemble::PerModelScores(
   }
   const ts::TimeSeries scaled = Preprocess(series);
   ts::WindowDataset dataset(scaled, config_.window);
+  const EngineScope engine(config_.num_threads);
+  const ParallelTrainer& trainer = engine.trainer();
 
   const auto m = models_.size();
   std::vector<WindowScoreAssembler> assemblers(
       m, WindowScoreAssembler(dataset.num_windows(), config_.window));
 
-  for (const auto& batch : dataset.Batches(config_.batch_size)) {
-    ag::Var x = EmbedConstant(dataset.GetBatch(batch));
-    for (size_t mi = 0; mi < m; ++mi) {
-      ag::Var recon = models_[mi]->Reconstruct(x);
-      const auto errors = WindowErrors(x->value(), recon->value());
-      for (size_t bi = 0; bi < batch.size(); ++bi) {
-        assemblers[mi].AddWindow(batch[bi], errors[bi]);
-      }
+  // Scoring is fully parallel: the (member x batch) grid fans out over the
+  // pool, wave by wave. Each grid task writes only its own assembler
+  // slots, so scores are bitwise identical at any thread count.
+  const auto batches = dataset.Batches(config_.batch_size);
+  ForEachEmbeddedBatch(dataset, batches, trainer,
+                       [&](size_t mi, size_t b, const ag::Var& x) {
+    ag::Var recon = models_[mi]->Reconstruct(x);
+    const auto errors = WindowErrors(x->value(), recon->value());
+    for (size_t bi = 0; bi < batches[b].size(); ++bi) {
+      assemblers[mi].AddWindow(batches[b][bi], errors[bi]);
     }
-  }
+  });
   std::vector<std::vector<double>> per_model;
   per_model.reserve(m);
   for (const auto& a : assemblers) per_model.push_back(a.Finalize());
@@ -281,6 +377,7 @@ StatusOr<std::vector<std::vector<double>>> CaeEnsemble::PerModelScores(
 
 StatusOr<std::vector<double>> CaeEnsemble::Score(
     const ts::TimeSeries& series) const {
+  const EngineScope engine(config_.num_threads);
   auto per_model = PerModelScores(series);
   if (!per_model.ok()) return per_model.status();
   return MedianAcrossModels(per_model.value());
@@ -294,24 +391,30 @@ StatusOr<double> CaeEnsemble::MeanReconstructionError(
   }
   const ts::TimeSeries scaled = Preprocess(series);
   ts::WindowDataset dataset(scaled, config_.window);
-  double total = 0.0;
-  int64_t count = 0;
-  for (const auto& batch : dataset.Batches(config_.batch_size)) {
-    ag::Var x = EmbedConstant(dataset.GetBatch(batch));
-    for (const auto& model : models_) {
-      ag::Var recon = model->Reconstruct(x);
-      const Tensor& xv = x->value();
-      const Tensor& rv = recon->value();
-      double acc = 0.0;
-      for (int64_t i = 0; i < xv.numel(); ++i) {
-        const double d = static_cast<double>(xv[i]) - rv[i];
-        acc += d * d;
-      }
-      total += acc / static_cast<double>(xv.numel());
-      ++count;
+  const EngineScope engine(config_.num_threads);
+  const ParallelTrainer& trainer = engine.trainer();
+
+  // Per-(member, batch) partial sums, reduced in index order afterwards so
+  // the result does not depend on task scheduling.
+  const auto batches = dataset.Batches(config_.batch_size);
+  const size_t m = models_.size();
+  std::vector<double> partial(m * batches.size(), 0.0);
+  ForEachEmbeddedBatch(dataset, batches, trainer,
+                       [&](size_t mi, size_t b, const ag::Var& x) {
+    ag::Var recon = models_[mi]->Reconstruct(x);
+    const Tensor& xv = x->value();
+    const Tensor& rv = recon->value();
+    double acc = 0.0;
+    for (int64_t j = 0; j < xv.numel(); ++j) {
+      const double d = static_cast<double>(xv[j]) - rv[j];
+      acc += d * d;
     }
-  }
-  return count > 0 ? total / count : 0.0;
+    partial[mi * batches.size() + b] = acc / static_cast<double>(xv.numel());
+  });
+  double total = 0.0;
+  for (const double p : partial) total += p;
+  const size_t count = partial.size();
+  return count > 0 ? total / static_cast<double>(count) : 0.0;
 }
 
 StatusOr<double> CaeEnsemble::ScoreWindowLast(const Tensor& window) const {
@@ -336,14 +439,17 @@ StatusOr<double> CaeEnsemble::ScoreWindowLast(const Tensor& window) const {
       }
     }
   }
+  // The Table 8 online-inference hot path: one window, M independent
+  // forward passes fanned across the pool.
+  const EngineScope engine(config_.num_threads);
+  const ParallelTrainer& trainer = engine.trainer();
   ag::Var x = EmbedConstant(scaled);
-  std::vector<double> errors;
-  errors.reserve(models_.size());
-  for (const auto& model : models_) {
-    ag::Var recon = model->Reconstruct(x);
+  std::vector<double> errors(models_.size(), 0.0);
+  trainer.Run(models_.size(), [&](size_t mi) {
+    ag::Var recon = models_[mi]->Reconstruct(x);
     const auto batch_errors = WindowErrors(x->value(), recon->value());
-    errors.push_back(batch_errors[0].back());
-  }
+    errors[mi] = batch_errors[0].back();
+  });
   return Median(std::move(errors));
 }
 
@@ -354,14 +460,17 @@ StatusOr<double> CaeEnsemble::Diversity(const ts::TimeSeries& series) const {
   }
   const ts::TimeSeries scaled = Preprocess(series);
   ts::WindowDataset dataset(scaled, config_.window);
+  const EngineScope engine(config_.num_threads);
+  const ParallelTrainer& trainer = engine.trainer();
   DiversityAccumulator acc(num_models());
+  // Batch-at-a-time (the accumulator is order-sensitive state); the M
+  // forward passes per batch fan across the pool.
   for (const auto& batch : dataset.Batches(config_.batch_size)) {
     ag::Var x = EmbedConstant(dataset.GetBatch(batch));
-    std::vector<Tensor> outputs;
-    outputs.reserve(models_.size());
-    for (const auto& model : models_) {
-      outputs.push_back(model->Reconstruct(x)->value());
-    }
+    std::vector<Tensor> outputs(models_.size());
+    trainer.Run(models_.size(), [&](size_t mi) {
+      outputs[mi] = models_[mi]->Reconstruct(x)->value();
+    });
     acc.AddBatch(outputs);
   }
   return acc.Value();

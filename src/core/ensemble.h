@@ -12,10 +12,12 @@
 #ifndef CAEE_CORE_ENSEMBLE_H_
 #define CAEE_CORE_ENSEMBLE_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "core/cae.h"
+#include "core/parallel_trainer.h"
 #include "nn/embedding.h"
 #include "ts/scaler.h"
 #include "ts/time_series.h"
@@ -75,6 +77,16 @@ struct EnsembleConfig {
   /// transfer this is what makes later basic models cheaper to train
   /// (Table 7's ensemble/single ratio < M).
   float early_stop_rel_tol = 0.0f;
+  /// Worker count for the parallel execution engine (see parallel_trainer.h):
+  /// batch pre-embedding, denoising-noise generation, the frozen-model
+  /// ensemble-output pass, per-member scoring, and — when transfer and
+  /// diversity are both disabled — whole-member training all fan out over
+  /// common::ThreadPool::Global(). Anomaly scores are bitwise identical at
+  /// any thread count. The value bounds TOTAL parallelism — engine fan-out
+  /// and the tensor kernels dispatched under it (via ParallelismCap).
+  /// 0 = global parallelism level (hardware concurrency unless overridden);
+  /// 1 = fully sequential fallback.
+  int64_t num_threads = 0;
   uint64_t seed = 7;
   bool verbose = false;
 };
@@ -122,6 +134,12 @@ class CaeEnsemble {
   /// path measured in Table 8 (see StreamingScorer).
   StatusOr<double> ScoreWindowLast(const Tensor& window) const;
 
+  /// \brief Change the parallel-engine worker count after construction.
+  /// Scoring parallelism is a runtime choice (trained weights are
+  /// thread-count independent), so a fitted ensemble can be re-targeted
+  /// without retraining.
+  void set_num_threads(int64_t n) { config_.num_threads = n; }
+
   bool fitted() const { return fitted_; }
   int64_t num_models() const { return static_cast<int64_t>(models_.size()); }
   const EnsembleConfig& config() const { return config_; }
@@ -135,6 +153,27 @@ class CaeEnsemble {
 
   /// \brief Preprocess a series per the config (optional z-score transform).
   ts::TimeSeries Preprocess(const ts::TimeSeries& series) const;
+
+  /// \brief Shared scoring-path wave loop: embed `batches` a bounded wave
+  /// at a time (O(threads) embedded tensors resident, not O(series)), then
+  /// fan fn(mi, batch_index, x) over the (member x wave) grid. fn must
+  /// write only state owned by its (mi, batch_index) slot.
+  void ForEachEmbeddedBatch(
+      const ts::WindowDataset& dataset,
+      const std::vector<std::vector<int64_t>>& batches,
+      const ParallelTrainer& trainer,
+      const std::function<void(size_t, size_t, const ag::Var&)>& fn) const;
+
+  /// \brief Train one basic model on the pre-embedded batches.
+  /// `ensemble_output_sum` (running sum of frozen-model outputs, divided by
+  /// `mi` to form F(X) of Eq. 12) is null when the diversity term is off,
+  /// `transfer_from` is null when β transfer is off. Safe to run
+  /// concurrently for different members when both are null.
+  std::unique_ptr<Cae> TrainMember(
+      int64_t mi, MemberRngStreams* streams, const ParallelTrainer& trainer,
+      const std::vector<Tensor>& embedded_batches, double embed_std,
+      const std::vector<Tensor>* ensemble_output_sum, const Cae* transfer_from,
+      std::vector<double>* epoch_losses) const;
 
   EnsembleConfig config_;
   ts::Scaler scaler_;

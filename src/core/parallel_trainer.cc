@@ -1,0 +1,45 @@
+#include "core/parallel_trainer.h"
+
+#include <algorithm>
+
+namespace caee {
+namespace core {
+
+ParallelTrainer::ParallelTrainer(int64_t num_threads)
+    : num_threads_(num_threads <= 0
+                       ? GetGlobalParallelism()
+                       : std::min(static_cast<size_t>(num_threads),
+                                  GetGlobalParallelism())) {}
+
+void ParallelTrainer::Run(size_t n,
+                          const std::function<void(size_t)>& fn) const {
+  // Delegates to the shared dispatch helper: one chunk-partitioning
+  // implementation, and the engine honors any active ParallelismCap and
+  // the in-worker inline rule the same way the tensor kernels do.
+  ParallelForRange(
+      n,
+      [&fn](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) fn(i);
+      },
+      /*min_chunk=*/1, /*max_threads=*/num_threads_);
+}
+
+void ParallelTrainer::RunGrid(
+    size_t rows, size_t cols,
+    const std::function<void(size_t, size_t)>& fn) const {
+  Run(rows * cols, [cols, &fn](size_t idx) { fn(idx / cols, idx % cols); });
+}
+
+std::vector<MemberRngStreams> ForkMemberStreams(Rng* root,
+                                                int64_t num_models) {
+  std::vector<MemberRngStreams> streams;
+  streams.reserve(static_cast<size_t>(num_models));
+  for (int64_t mi = 0; mi < num_models; ++mi) {
+    MemberRngStreams s{root->Fork(), root->Fork(), root->Fork()};
+    streams.push_back(std::move(s));
+  }
+  return streams;
+}
+
+}  // namespace core
+}  // namespace caee

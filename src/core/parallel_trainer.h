@@ -1,0 +1,97 @@
+// Parallel execution engine for ensemble training and scoring.
+//
+// The paper's generation chain (born-again β parameter transfer, Fig. 9, and
+// the diversity term against the frozen ensemble mean, Eq. 12) serialises
+// *training* across basic models, so the engine exposes two parallelism
+// axes that do not change results:
+//
+//   1. Intra-member batch work — pre-embedding of window batches, denoising
+//      noise generation, and the frozen-model ensemble-output pass are all
+//      per-batch independent and fan out over common::ThreadPool::Global().
+//   2. Per-member work — the inference/scoring pass is embarrassingly
+//      parallel across members, and when the chain couplings are disabled
+//      (ablation mode: no transfer, no diversity) whole members train
+//      concurrently.
+//
+// Bit-reproducibility contract: every task writes only state owned by its
+// own index, all RNG streams are forked from EnsembleConfig::seed on the
+// orchestrating thread in a fixed order before any fan-out, and all
+// reductions happen in index order after the fan-out. Scores are therefore
+// bitwise identical at any thread count; `num_threads == 1` short-circuits
+// to plain loops.
+
+#ifndef CAEE_CORE_PARALLEL_TRAINER_H_
+#define CAEE_CORE_PARALLEL_TRAINER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace caee {
+namespace core {
+
+class ParallelTrainer {
+ public:
+  /// \brief `num_threads` <= 0 selects the global parallelism level
+  /// (hardware concurrency unless overridden via SetGlobalParallelism);
+  /// 1 forces the sequential fallback path. Requests above the global
+  /// level are clamped to it, so num_threads() always reports the
+  /// EFFECTIVE width — callers labelling measurements by thread count
+  /// should print num_threads(), not the requested value.
+  explicit ParallelTrainer(int64_t num_threads);
+
+  size_t num_threads() const { return num_threads_; }
+  bool sequential() const { return num_threads_ <= 1; }
+
+  /// \brief Run fn(i) for every i in [0, n). Parallel over the global pool
+  /// (at most num_threads() tasks), inline when sequential() or when the
+  /// caller is itself a pool worker. fn must write only slot-i state; under
+  /// that contract results are identical at any thread count.
+  void Run(size_t n, const std::function<void(size_t)>& fn) const;
+
+  /// \brief Grid version: fn(i, j) over [0, rows) x [0, cols), flattened
+  /// row-major. Used for the (member x batch) scoring fan-out.
+  void RunGrid(size_t rows, size_t cols,
+               const std::function<void(size_t, size_t)>& fn) const;
+
+ private:
+  size_t num_threads_;
+};
+
+/// \brief One engine activation: resolves the worker count from the config
+/// value and bounds ALL parallelism reachable from the constructing thread
+/// for its lifetime — the engine's own fan-out and the tensor kernels it
+/// dispatches (via ParallelismCap). Every public CaeEnsemble entry point
+/// opens one of these; constructing it is what makes num_threads == 1 mean
+/// fully sequential.
+class EngineScope {
+ public:
+  explicit EngineScope(int64_t num_threads)
+      : trainer_(num_threads), cap_(trainer_.num_threads()) {}
+
+  const ParallelTrainer& trainer() const { return trainer_; }
+
+ private:
+  ParallelTrainer trainer_;
+  ParallelismCap cap_;
+};
+
+/// \brief Per-member RNG streams, pre-forked from the ensemble root RNG on
+/// the orchestrating thread so that stream contents are independent of
+/// execution order (and hence of thread count).
+struct MemberRngStreams {
+  Rng model;     // weight initialisation
+  Rng transfer;  // β Bernoulli mask (Fig. 9)
+  Rng noise;     // denoising input noise; forked again per (epoch, batch)
+};
+
+/// \brief Fork one stream triple per member, in member order.
+std::vector<MemberRngStreams> ForkMemberStreams(Rng* root, int64_t num_models);
+
+}  // namespace core
+}  // namespace caee
+
+#endif  // CAEE_CORE_PARALLEL_TRAINER_H_

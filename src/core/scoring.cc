@@ -2,28 +2,22 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
+#include "tensor/tensor_ops.h"
+
 namespace caee {
 namespace core {
 
 std::vector<std::vector<double>> WindowErrors(const Tensor& x,
                                               const Tensor& recon) {
-  CAEE_CHECK_MSG(x.SameShape(recon), "WindowErrors shape mismatch");
   CAEE_CHECK_MSG(x.rank() == 3, "WindowErrors expects (B,w,D)");
-  const int64_t b = x.dim(0), w = x.dim(1), d = x.dim(2);
+  const std::vector<double> per_position =
+      ops::SquaredErrorPerPosition(x, recon);
+  const int64_t b = x.dim(0), w = x.dim(1);
   std::vector<std::vector<double>> errors(static_cast<size_t>(b));
   for (int64_t bb = 0; bb < b; ++bb) {
-    auto& row = errors[static_cast<size_t>(bb)];
-    row.resize(static_cast<size_t>(w));
-    for (int64_t t = 0; t < w; ++t) {
-      const float* xp = x.data() + (bb * w + t) * d;
-      const float* rp = recon.data() + (bb * w + t) * d;
-      double acc = 0.0;
-      for (int64_t j = 0; j < d; ++j) {
-        const double diff = static_cast<double>(xp[j]) - rp[j];
-        acc += diff * diff;
-      }
-      row[static_cast<size_t>(t)] = acc;
-    }
+    const double* src = per_position.data() + bb * w;
+    errors[static_cast<size_t>(bb)].assign(src, src + w);
   }
   return errors;
 }
@@ -89,14 +83,21 @@ std::vector<double> MedianAcrossModels(
   for (const auto& s : per_model_scores) {
     CAEE_CHECK_MSG(s.size() == n, "model score streams differ in length");
   }
+  // Each observation's median is independent work writing its own slot, so
+  // the aggregation parallelises without changing results.
   std::vector<double> out(n);
-  std::vector<double> column(per_model_scores.size());
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t m = 0; m < per_model_scores.size(); ++m) {
-      column[m] = per_model_scores[m][i];
-    }
-    out[i] = Median(column);
-  }
+  ParallelForRange(
+      n,
+      [&](size_t begin, size_t end) {
+        std::vector<double> column(per_model_scores.size());
+        for (size_t i = begin; i < end; ++i) {
+          for (size_t m = 0; m < per_model_scores.size(); ++m) {
+            column[m] = per_model_scores[m][i];
+          }
+          out[i] = Median(column);
+        }
+      },
+      /*min_chunk=*/512);
   return out;
 }
 

@@ -72,6 +72,7 @@ core::EnsembleConfig BuildEnsembleConfig(const SuiteConfig& s, bool ensemble) {
   cfg.beta = s.beta;
   cfg.diversity_enabled = ensemble;
   cfg.transfer_enabled = ensemble;
+  cfg.num_threads = s.num_threads;
   cfg.max_train_windows = s.max_train_windows;
   cfg.seed = s.seed;
   return cfg;

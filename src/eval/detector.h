@@ -40,6 +40,7 @@ struct SuiteConfig {
   float lr = 1e-3f;               // paper: 0.001 (Adam)
   float lambda = 0.5f;            // λ (paper Table 2 values are on a sum-scaled loss; 0.5 is the MSE-normalised equivalent band)
   float beta = 0.5f;              // β (paper Table 2: 0.2..0.9 per dataset)
+  int64_t num_threads = 0;        // parallel engine workers (0 = hardware)
   uint64_t seed = 7;
 };
 

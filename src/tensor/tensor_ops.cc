@@ -423,5 +423,28 @@ Tensor ConcatLastDim(const Tensor& a, const Tensor& b) {
   return out;
 }
 
+std::vector<double> SquaredErrorPerPosition(const Tensor& x, const Tensor& y) {
+  CAEE_CHECK_MSG(x.SameShape(y), "SquaredErrorPerPosition shape mismatch");
+  CAEE_CHECK_MSG(x.rank() == 3, "SquaredErrorPerPosition expects (B,W,D)");
+  const int64_t b = x.dim(0), w = x.dim(1), d = x.dim(2);
+  std::vector<double> out(static_cast<size_t>(b * w));
+  const float* px = x.data();
+  const float* py = y.data();
+  auto body = [&](size_t begin, size_t end) {
+    for (size_t row = begin; row < end; ++row) {
+      const float* xr = px + static_cast<int64_t>(row) * d;
+      const float* yr = py + static_cast<int64_t>(row) * d;
+      double acc = 0.0;
+      for (int64_t j = 0; j < d; ++j) {
+        const double diff = static_cast<double>(xr[j]) - yr[j];
+        acc += diff * diff;
+      }
+      out[row] = acc;
+    }
+  };
+  ParallelForRange(static_cast<size_t>(b * w), body, /*min_chunk=*/64);
+  return out;
+}
+
 }  // namespace ops
 }  // namespace caee

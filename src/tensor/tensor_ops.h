@@ -104,6 +104,14 @@ void SliceLastDimBackward(const Tensor& dy, int64_t begin, Tensor* dx);
 /// must match).
 Tensor ConcatLastDim(const Tensor& a, const Tensor& b);
 
+/// \brief Batched per-position squared L2 error of a reconstruction:
+/// out[b*W + t] = ||x[b,t,:] - y[b,t,:]||_2^2 for (B, W, D) inputs. Returns
+/// doubles (anomaly scores are double-precision downstream, so the float32
+/// Tensor type would truncate). The scoring-path kernel behind
+/// core::WindowErrors; rows are independent so the loop parallelises
+/// without changing results.
+std::vector<double> SquaredErrorPerPosition(const Tensor& x, const Tensor& y);
+
 }  // namespace ops
 }  // namespace caee
 
