@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Runs the two timing benches at 1 and 4 engine threads and prints a
+# before/after table for the parallel execution engine.
+#
+# Usage: scripts/run_benches.sh [build_dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SCALE="${SCALE:-0.15}"
+MODELS="${MODELS:-4}"
+EPOCHS="${EPOCHS:-2}"
+
+if [[ ! -x "${BUILD_DIR}/bench_training_time" ]]; then
+  echo "error: ${BUILD_DIR}/bench_training_time not found." >&2
+  echo "Build first: cmake -B ${BUILD_DIR} -S . -DCMAKE_BUILD_TYPE=Release \\" >&2
+  echo "             && cmake --build ${BUILD_DIR} -j" >&2
+  exit 1
+fi
+
+extract_seconds() {
+  # Pull the CAE-Ensemble row's first numeric column out of the Table 7
+  # output.
+  awk '/^\| CAE-Ensemble +\|/ { gsub(/\|/, " "); print $2; exit }'
+}
+
+echo "=== Parallel engine before/after (scale=${SCALE}, M=${MODELS}, epochs=${EPOCHS}) ==="
+echo
+
+echo "--- bench_training_time, threads=1 (sequential baseline) ---"
+T1_OUT="$("${BUILD_DIR}/bench_training_time" \
+  --scale="${SCALE}" --models="${MODELS}" --epochs="${EPOCHS}" --threads=1)"
+echo "${T1_OUT}"
+echo
+
+echo "--- bench_training_time, threads=4 (parallel engine) ---"
+T4_OUT="$("${BUILD_DIR}/bench_training_time" \
+  --scale="${SCALE}" --models="${MODELS}" --epochs="${EPOCHS}" --threads=4)"
+echo "${T4_OUT}"
+echo
+
+T1=$(echo "${T1_OUT}" | extract_seconds || true)
+T4=$(echo "${T4_OUT}" | extract_seconds || true)
+
+if [[ -x "${BUILD_DIR}/bench_inference_time" ]]; then
+  echo "--- bench_inference_time, ensemble scoring at threads=1 vs threads=4 ---"
+  "${BUILD_DIR}/bench_inference_time" \
+    --benchmark_filter='ens_t[14]' --benchmark_min_time=0.2
+  echo
+else
+  echo "(bench_inference_time not built — google-benchmark missing; skipped)"
+fi
+
+echo "=== Summary ==="
+printf '%-34s %12s %12s %10s\n' "bench" "threads=1" "threads=4" "speedup"
+if [[ -n "${T1}" && -n "${T4}" ]]; then
+  SPEEDUP=$(awk -v a="${T1}" -v b="${T4}" 'BEGIN { if (b > 0) printf "%.2fx", a / b; else print "n/a" }')
+  printf '%-34s %11ss %11ss %10s\n' \
+    "bench_training_time (CAE-Ensemble)" "${T1}" "${T4}" "${SPEEDUP}"
+else
+  echo "bench_training_time: could not parse timings"
+fi
+echo "(inference per-window latencies: see the ens_t1 / ens_t4 rows above;"
+echo " speedups require >1 hardware core — nproc=$(nproc) here)"
