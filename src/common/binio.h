@@ -1,0 +1,63 @@
+// Little binary-I/O helpers shared by the serialization layers
+// (nn/serialize, core/persistence). All reads check the stream state so
+// truncated or corrupt input surfaces as a Status instead of propagating
+// uninitialised values.
+//
+// The on-disk byte order is the host's (the library targets a single
+// architecture per deployment; artifacts are not a cross-endian exchange
+// format — see README "Artifact format").
+
+#ifndef CAEE_COMMON_BINIO_H_
+#define CAEE_COMMON_BINIO_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <type_traits>
+
+#include "common/status.h"
+
+namespace caee {
+namespace io {
+
+/// \brief Longest string accepted by ReadString — corrupt length prefixes
+/// must not turn into gigabyte allocations.
+inline constexpr uint32_t kMaxStringBytes = 1u << 16;
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>, "WritePod needs a POD type");
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+Status ReadPod(std::istream& in, T* value) {
+  static_assert(std::is_trivially_copyable_v<T>, "ReadPod needs a POD type");
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  if (!in) return Status::IOError("unexpected end of input");
+  return Status::OK();
+}
+
+inline void WriteString(std::ostream& out, const std::string& s) {
+  WritePod(out, static_cast<uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+inline Status ReadString(std::istream& in, std::string* s) {
+  uint32_t size = 0;
+  CAEE_RETURN_NOT_OK(ReadPod(in, &size));
+  if (size > kMaxStringBytes) {
+    return Status::IOError("string length " + std::to_string(size) +
+                           " exceeds sanity bound");
+  }
+  s->assign(size, '\0');
+  in.read(s->data(), size);
+  if (!in) return Status::IOError("unexpected end of input in string");
+  return Status::OK();
+}
+
+}  // namespace io
+}  // namespace caee
+
+#endif  // CAEE_COMMON_BINIO_H_

@@ -1,0 +1,18 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320). Used by the
+// ensemble artifact format to detect corrupt sections before parsing them.
+
+#ifndef CAEE_COMMON_CRC32_H_
+#define CAEE_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace caee {
+
+/// \brief Checksum `size` bytes. Pass a previous result as `seed` to
+/// continue a running checksum over multiple buffers.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace caee
+
+#endif  // CAEE_COMMON_CRC32_H_

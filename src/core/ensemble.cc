@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
@@ -20,6 +22,96 @@ CaeEnsemble::CaeEnsemble(const EnsembleConfig& config) : config_(config) {
   CAEE_CHECK_MSG(config_.beta >= 0.0f && config_.beta <= 1.0f,
                  "beta must be in [0, 1]");
   CAEE_CHECK_MSG(config_.epochs_per_model >= 1, "epochs_per_model >= 1");
+}
+
+int64_t CaeEnsemble::input_dim() const {
+  CAEE_CHECK_MSG(fitted_, "input_dim before Fit");
+  return embedding_->input_dim();
+}
+
+const nn::WindowEmbedding& CaeEnsemble::embedding() const {
+  CAEE_CHECK_MSG(fitted_, "embedding before Fit");
+  return *embedding_;
+}
+
+StatusOr<std::unique_ptr<CaeEnsemble>> CaeEnsemble::Restore(
+    const EnsembleConfig& config, int64_t input_dim,
+    const nn::StateDict& embedding_state,
+    const std::vector<nn::StateDict>& member_states, ts::Scaler scaler) {
+  // The constructor CHECK-aborts on malformed configs; persisted configs are
+  // untrusted input, so validate with Status first (LoadEnsemble range-checks
+  // the rest of the fields while parsing).
+  if (config.num_models < 1 || config.window < 2 ||
+      config.epochs_per_model < 1 || config.beta < 0.0f ||
+      config.beta > 1.0f || config.cae.num_layers < 1 ||
+      config.cae.kernel < 1) {
+    return Status::InvalidArgument("restored config fails basic invariants");
+  }
+  if (config.cae.embed_dim <= 0) {
+    return Status::InvalidArgument(
+        "restored config must carry a resolved embed_dim (> 0)");
+  }
+  // Joint size bound: each field can be individually sane while the product
+  // implies terabytes of conv weights — and models are constructed BEFORE
+  // LoadStateDict can reject shapes, so an unchecked product would turn a
+  // crafted artifact into a bad_alloc abort. ~1e9 parameters (4 GB) is far
+  // above any real ensemble (paper scale is ~8e7).
+  const double approx_params = static_cast<double>(config.cae.embed_dim) *
+                               static_cast<double>(config.cae.embed_dim) *
+                               static_cast<double>(config.cae.kernel) *
+                               static_cast<double>(config.cae.num_layers) *
+                               static_cast<double>(config.num_models);
+  if (approx_params > 1e9) {
+    return Status::InvalidArgument(
+        "restored config implies an absurd parameter count");
+  }
+  if (input_dim < 1) {
+    return Status::InvalidArgument("restored input_dim must be >= 1");
+  }
+  if (static_cast<int64_t>(member_states.size()) != config.num_models) {
+    return Status::InvalidArgument(
+        "artifact has " + std::to_string(member_states.size()) +
+        " member state dicts for num_models=" +
+        std::to_string(config.num_models));
+  }
+  if (config.rescale_enabled) {
+    if (!scaler.fitted() ||
+        static_cast<int64_t>(scaler.mean().size()) != input_dim) {
+      return Status::InvalidArgument(
+          "rescaling is enabled but scaler state is missing or has wrong "
+          "dimensionality");
+    }
+  }
+
+  auto ensemble = std::make_unique<CaeEnsemble>(config);
+  ensemble->scaler_ = std::move(scaler);
+
+  // Freshly initialised weights are immediately overwritten by the state
+  // dicts, so the RNG here only has to exist.
+  Rng init_rng(config.seed);
+  ensemble->embedding_ = std::make_unique<nn::WindowEmbedding>(
+      input_dim, config.cae.embed_dim, config.window, &init_rng,
+      config.embed_obs_act, config.embed_pos_act);
+  CAEE_RETURN_NOT_OK(
+      nn::LoadStateDict(ensemble->embedding_.get(), embedding_state));
+  for (auto& [name, var] : ensemble->embedding_->NamedParameters()) {
+    var->set_requires_grad(false);
+  }
+
+  for (int64_t mi = 0; mi < config.num_models; ++mi) {
+    auto model = std::make_unique<Cae>(config.cae, &init_rng);
+    if (Status s = nn::LoadStateDict(
+            model.get(), member_states[static_cast<size_t>(mi)]);
+        !s.ok()) {
+      return Status::InvalidArgument("member " + std::to_string(mi) + ": " +
+                                     s.message());
+    }
+    ensemble->models_.push_back(std::move(model));
+  }
+  ensemble->stats_.parameters_per_model =
+      ensemble->models_.front()->NumParameters();
+  ensemble->fitted_ = true;
+  return ensemble;
 }
 
 ts::TimeSeries CaeEnsemble::Preprocess(const ts::TimeSeries& series) const {

@@ -19,6 +19,7 @@
 #include "core/cae.h"
 #include "core/parallel_trainer.h"
 #include "nn/embedding.h"
+#include "nn/serialize.h"
 #include "ts/scaler.h"
 #include "ts/time_series.h"
 #include "ts/window.h"
@@ -139,6 +140,27 @@ class CaeEnsemble {
   /// thread-count independent), so a fitted ensemble can be re-targeted
   /// without retraining.
   void set_num_threads(int64_t n) { config_.num_threads = n; }
+
+  /// \brief Rebuild a fitted ensemble from persisted state (the inverse of
+  /// the accessors below; used by core::LoadEnsemble). `config` must carry a
+  /// resolved embed_dim (> 0), `member_states` one StateDict per configured
+  /// model, and `scaler` fitted statistics whenever rescaling is enabled.
+  /// All inputs are validated — mismatched shapes or counts return a
+  /// non-OK Status, never abort.
+  static StatusOr<std::unique_ptr<CaeEnsemble>> Restore(
+      const EnsembleConfig& config, int64_t input_dim,
+      const nn::StateDict& embedding_state,
+      const std::vector<nn::StateDict>& member_states, ts::Scaler scaler);
+
+  /// \brief Input dimensionality the ensemble was fitted on. Requires Fit
+  /// (or Restore).
+  int64_t input_dim() const;
+
+  /// \brief Fitted preprocessing statistics (empty when rescaling is off).
+  const ts::Scaler& scaler() const { return scaler_; }
+
+  /// \brief The shared frozen window embedding. Requires Fit (or Restore).
+  const nn::WindowEmbedding& embedding() const;
 
   bool fitted() const { return fitted_; }
   int64_t num_models() const { return static_cast<int64_t>(models_.size()); }

@@ -1,21 +1,26 @@
 #include "core/streaming.h"
 
+#include <string>
+
 namespace caee {
 namespace core {
 
 StreamingScorer::StreamingScorer(const CaeEnsemble* ensemble)
-    : ensemble_(ensemble), window_(ensemble->config().window) {
+    : ensemble_(ensemble) {
+  // Dereference only after the null CHECK (an initializer-list deref would
+  // segfault before the diagnostic fires).
   CAEE_CHECK_MSG(ensemble_ != nullptr, "null ensemble");
   CAEE_CHECK_MSG(ensemble_->fitted(), "StreamingScorer needs a fitted ensemble");
+  window_ = ensemble_->config().window;
+  dims_ = ensemble_->input_dim();
 }
 
 StatusOr<std::optional<double>> StreamingScorer::Push(
     const std::vector<float>& observation) {
-  if (dims_ < 0) {
-    dims_ = static_cast<int64_t>(observation.size());
-    if (dims_ == 0) return Status::InvalidArgument("empty observation");
-  } else if (static_cast<int64_t>(observation.size()) != dims_) {
-    return Status::InvalidArgument("observation dimensionality changed");
+  if (static_cast<int64_t>(observation.size()) != dims_) {
+    return Status::InvalidArgument(
+        "observation has " + std::to_string(observation.size()) +
+        " dims but the ensemble was fitted on " + std::to_string(dims_));
   }
   ++seen_;
   buffer_.push_back(observation);
@@ -37,7 +42,6 @@ StatusOr<std::optional<double>> StreamingScorer::Push(
 void StreamingScorer::Reset() {
   buffer_.clear();
   seen_ = 0;
-  dims_ = -1;
 }
 
 }  // namespace core

@@ -20,12 +20,16 @@ class StreamingScorer {
   /// \brief The ensemble must be fitted and outlive the scorer.
   explicit StreamingScorer(const CaeEnsemble* ensemble);
 
-  /// \brief Feed one raw observation (size == series dims). Returns the
+  /// \brief Feed one raw observation. Its size must equal the
+  /// dimensionality the ensemble was fitted on (dims()); anything else is
+  /// rejected with InvalidArgument before touching the buffer. Returns the
   /// outlier score of this observation once w observations have been seen;
   /// std::nullopt while warming up.
   StatusOr<std::optional<double>> Push(const std::vector<float>& observation);
 
   int64_t observations_seen() const { return seen_; }
+  /// \brief Expected observation size (the ensemble's fitted input dims).
+  int64_t dims() const { return dims_; }
   bool warm() const { return static_cast<int64_t>(buffer_.size()) == window_; }
 
   /// \brief Forget all buffered observations.
@@ -34,7 +38,7 @@ class StreamingScorer {
  private:
   const CaeEnsemble* ensemble_;
   int64_t window_;
-  int64_t dims_ = -1;
+  int64_t dims_;
   int64_t seen_ = 0;
   std::deque<std::vector<float>> buffer_;
 };

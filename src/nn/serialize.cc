@@ -3,12 +3,16 @@
 #include <cstdint>
 #include <fstream>
 
+#include "common/binio.h"
+
 namespace caee {
 namespace nn {
 
 namespace {
 constexpr uint32_t kMagic = 0xCAEE0001;
-}
+constexpr uint32_t kMaxRank = 4;
+constexpr int64_t kMaxTensorElements = int64_t{1} << 28;  // 1 GiB of floats
+}  // namespace
 
 StateDict GetStateDict(const Module& module) {
   StateDict dict;
@@ -35,25 +39,75 @@ Status LoadStateDict(Module* module, const StateDict& dict) {
   return Status::OK();
 }
 
+Status WriteTensor(std::ostream& out, const Tensor& tensor) {
+  io::WritePod(out, static_cast<uint32_t>(tensor.rank()));
+  for (int64_t i = 0; i < tensor.rank(); ++i) {
+    io::WritePod(out, tensor.dim(i));
+  }
+  out.write(reinterpret_cast<const char*>(tensor.data()),
+            static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+  if (!out) return Status::IOError("tensor write failed");
+  return Status::OK();
+}
+
+StatusOr<Tensor> ReadTensor(std::istream& in) {
+  uint32_t rank = 0;
+  CAEE_RETURN_NOT_OK(io::ReadPod(in, &rank));
+  if (rank > kMaxRank) {
+    return Status::IOError("corrupt tensor (rank " + std::to_string(rank) +
+                           " > " + std::to_string(kMaxRank) + ")");
+  }
+  Shape shape(rank);
+  int64_t numel = 1;
+  for (uint32_t r = 0; r < rank; ++r) {
+    CAEE_RETURN_NOT_OK(io::ReadPod(in, &shape[r]));
+    if (shape[r] < 0 || shape[r] > kMaxTensorElements) {
+      return Status::IOError("corrupt tensor (dim " + std::to_string(shape[r]) +
+                             " out of range)");
+    }
+    numel *= shape[r];
+    if (numel > kMaxTensorElements) {
+      return Status::IOError("corrupt tensor (element count exceeds bound)");
+    }
+  }
+  Tensor t{shape};
+  in.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!in) return Status::IOError("truncated tensor data");
+  return t;
+}
+
+Status WriteStateDict(std::ostream& out, const StateDict& dict) {
+  io::WritePod(out, static_cast<uint32_t>(dict.size()));
+  for (const auto& [name, tensor] : dict) {
+    io::WriteString(out, name);
+    CAEE_RETURN_NOT_OK(WriteTensor(out, tensor));
+  }
+  if (!out) return Status::IOError("state dict write failed");
+  return Status::OK();
+}
+
+StatusOr<StateDict> ReadStateDict(std::istream& in) {
+  uint32_t count = 0;
+  CAEE_RETURN_NOT_OK(io::ReadPod(in, &count));
+  StateDict dict;
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    CAEE_RETURN_NOT_OK(io::ReadString(in, &name));
+    auto tensor = ReadTensor(in);
+    if (!tensor.ok()) return tensor.status();
+    if (!dict.emplace(std::move(name), std::move(tensor).value()).second) {
+      return Status::IOError("duplicate parameter name in state dict");
+    }
+  }
+  return dict;
+}
+
 Status SaveStateDict(const StateDict& dict, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IOError("cannot open for write: " + path);
-  auto write_u32 = [&out](uint32_t v) {
-    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-  };
-  write_u32(kMagic);
-  write_u32(static_cast<uint32_t>(dict.size()));
-  for (const auto& [name, tensor] : dict) {
-    write_u32(static_cast<uint32_t>(name.size()));
-    out.write(name.data(), static_cast<std::streamsize>(name.size()));
-    write_u32(static_cast<uint32_t>(tensor.rank()));
-    for (int64_t i = 0; i < tensor.rank(); ++i) {
-      const int64_t d = tensor.dim(i);
-      out.write(reinterpret_cast<const char*>(&d), sizeof(d));
-    }
-    out.write(reinterpret_cast<const char*>(tensor.data()),
-              static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
-  }
+  io::WritePod(out, kMagic);
+  CAEE_RETURN_NOT_OK(WriteStateDict(out, dict));
   if (!out) return Status::IOError("write failed: " + path);
   return Status::OK();
 }
@@ -61,31 +115,15 @@ Status SaveStateDict(const StateDict& dict, const std::string& path) {
 StatusOr<StateDict> LoadStateDictFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open for read: " + path);
-  auto read_u32 = [&in]() {
-    uint32_t v = 0;
-    in.read(reinterpret_cast<char*>(&v), sizeof(v));
-    return v;
-  };
-  if (read_u32() != kMagic) {
+  uint32_t magic = 0;
+  CAEE_RETURN_NOT_OK(io::ReadPod(in, &magic));
+  if (magic != kMagic) {
     return Status::IOError("bad magic in state dict file: " + path);
   }
-  const uint32_t count = read_u32();
-  StateDict dict;
-  for (uint32_t i = 0; i < count; ++i) {
-    const uint32_t name_len = read_u32();
-    std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
-    const uint32_t rank = read_u32();
-    if (rank > 4) return Status::IOError("corrupt state dict (rank > 4)");
-    Shape shape(rank);
-    for (uint32_t r = 0; r < rank; ++r) {
-      in.read(reinterpret_cast<char*>(&shape[r]), sizeof(int64_t));
-    }
-    Tensor t{shape};
-    in.read(reinterpret_cast<char*>(t.data()),
-            static_cast<std::streamsize>(t.numel() * sizeof(float)));
-    if (!in) return Status::IOError("truncated state dict file: " + path);
-    dict.emplace(std::move(name), std::move(t));
+  auto dict = ReadStateDict(in);
+  if (!dict.ok()) {
+    return Status::IOError("corrupt state dict file " + path + ": " +
+                           dict.status().message());
   }
   return dict;
 }

@@ -1,11 +1,14 @@
 // Parameter serialization: StateDict extraction / loading for Modules, plus
-// a simple binary file format. Used by the ensemble's parameter transfer and
-// for model checkpointing.
+// stream-level tensor helpers and a simple binary file format. Used by the
+// ensemble's parameter transfer, model checkpointing, and the ensemble
+// artifact format (core/persistence).
 
 #ifndef CAEE_NN_SERIALIZE_H_
 #define CAEE_NN_SERIALIZE_H_
 
+#include <istream>
 #include <map>
+#include <ostream>
 #include <string>
 
 #include "nn/module.h"
@@ -22,7 +25,22 @@ StateDict GetStateDict(const Module& module);
 /// parameter must be present with a matching shape.
 Status LoadStateDict(Module* module, const StateDict& dict);
 
-/// \brief Write a StateDict to a binary file.
+/// \brief Serialize one tensor (rank, dims, raw floats) to a stream.
+Status WriteTensor(std::ostream& out, const Tensor& tensor);
+
+/// \brief Read a tensor written by WriteTensor. Rank and dims are
+/// bounds-checked so corrupt input fails with a Status instead of a huge
+/// allocation or UB.
+StatusOr<Tensor> ReadTensor(std::istream& in);
+
+/// \brief Serialize a StateDict (entry count + name/tensor pairs) to a
+/// stream. An empty dict is valid and round-trips.
+Status WriteStateDict(std::ostream& out, const StateDict& dict);
+
+/// \brief Read a StateDict written by WriteStateDict.
+StatusOr<StateDict> ReadStateDict(std::istream& in);
+
+/// \brief Write a StateDict to a binary file (magic header + stream format).
 Status SaveStateDict(const StateDict& dict, const std::string& path);
 
 /// \brief Read a StateDict from a binary file.

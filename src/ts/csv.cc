@@ -1,6 +1,7 @@
 #include "ts/csv.h"
 
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -10,6 +11,10 @@ namespace ts {
 Status WriteCsv(const TimeSeries& series, const std::string& path) {
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot open for write: " + path);
+  // max_digits10 significant digits make the float -> text -> float round
+  // trip exact, so a series written here and re-read scores identically
+  // (the caee_train / caee_serve contract depends on this).
+  out.precision(std::numeric_limits<float>::max_digits10);
   for (int64_t t = 0; t < series.length(); ++t) {
     const float* row = series.row(t);
     for (int64_t j = 0; j < series.dims(); ++j) {

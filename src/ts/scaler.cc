@@ -1,6 +1,8 @@
 #include "ts/scaler.h"
 
 #include <cmath>
+#include <string>
+#include <utility>
 
 namespace caee {
 namespace ts {
@@ -28,6 +30,24 @@ void Scaler::Fit(const TimeSeries& train) {
     const double v = var[static_cast<size_t>(j)] / static_cast<double>(n);
     stddev_[static_cast<size_t>(j)] = v > 1e-12 ? std::sqrt(v) : 1.0;
   }
+}
+
+Status Scaler::Restore(std::vector<double> mean, std::vector<double> stddev) {
+  if (mean.empty() || mean.size() != stddev.size()) {
+    return Status::InvalidArgument(
+        "scaler state must have matching non-empty mean/stddev vectors");
+  }
+  for (size_t j = 0; j < mean.size(); ++j) {
+    if (!std::isfinite(mean[j]) || !std::isfinite(stddev[j]) ||
+        stddev[j] <= 0.0) {
+      return Status::InvalidArgument(
+          "scaler state has non-finite or non-positive entries at dim " +
+          std::to_string(j));
+    }
+  }
+  mean_ = std::move(mean);
+  stddev_ = std::move(stddev);
+  return Status::OK();
 }
 
 TimeSeries Scaler::Transform(const TimeSeries& series) const {

@@ -24,6 +24,12 @@ class Scaler {
   /// \brief Invert the scaling.
   TimeSeries InverseTransform(const TimeSeries& series) const;
 
+  /// \brief Restore fitted statistics (e.g. from a persisted ensemble
+  /// artifact). The vectors must be the same non-zero size, every stddev
+  /// strictly positive and all values finite — the invariants Fit
+  /// establishes.
+  Status Restore(std::vector<double> mean, std::vector<double> stddev);
+
   bool fitted() const { return !mean_.empty(); }
   const std::vector<double>& mean() const { return mean_; }
   const std::vector<double>& stddev() const { return stddev_; }

@@ -62,6 +62,54 @@ TEST_F(StreamingTest, MatchesBatchScoresAfterWarmup) {
   }
 }
 
+// Satellite of the persistence PR: after warm-up, the streaming path must
+// match the batch ScoreWindowLast path observation-for-observation — and
+// bitwise identically at 1 and 4 engine threads (the parallel engine's
+// thread-count-independence guarantee, exercised through the online path).
+TEST_F(StreamingTest, MatchesScoreWindowLastAtOneAndFourThreads) {
+  ts::TimeSeries test = testutil::PlantedSeries(70, 2, 8, {55});
+  const int64_t w = ensemble_->config().window;
+  std::vector<std::vector<double>> per_thread_streaming;
+  for (const int64_t threads : {int64_t{1}, int64_t{4}}) {
+    ensemble_->set_num_threads(threads);
+
+    // Batch path: one explicit (1, w, D) window per observation.
+    std::vector<double> batch;
+    for (int64_t t = w - 1; t < test.length(); ++t) {
+      Tensor window(Shape{1, w, test.dims()});
+      for (int64_t i = 0; i < w; ++i) {
+        for (int64_t j = 0; j < test.dims(); ++j) {
+          window.at(0, i, j) = test.value(t - w + 1 + i, j);
+        }
+      }
+      auto score = ensemble_->ScoreWindowLast(window);
+      ASSERT_TRUE(score.ok());
+      batch.push_back(score.value());
+    }
+
+    // Streaming path over the same series.
+    core::StreamingScorer scorer(ensemble_.get());
+    std::vector<double> streaming;
+    for (int64_t t = 0; t < test.length(); ++t) {
+      auto result = scorer.Push(Row(test, t));
+      ASSERT_TRUE(result.ok());
+      if (result->has_value()) streaming.push_back(result->value());
+    }
+
+    ASSERT_EQ(streaming.size(), batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(streaming[i], batch[i])
+          << "threads=" << threads << " obs=" << (w - 1 + (int64_t)i);
+    }
+    per_thread_streaming.push_back(std::move(streaming));
+  }
+  ASSERT_EQ(per_thread_streaming.size(), 2u);
+  for (size_t i = 0; i < per_thread_streaming[0].size(); ++i) {
+    EXPECT_EQ(per_thread_streaming[0][i], per_thread_streaming[1][i])
+        << "thread-count dependence at scored obs " << i;
+  }
+}
+
 TEST_F(StreamingTest, ObservationCountTracksPushes) {
   core::StreamingScorer scorer(ensemble_.get());
   ts::TimeSeries test = testutil::PlantedSeries(10, 2, 4);

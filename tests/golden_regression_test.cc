@@ -1,0 +1,122 @@
+// Golden end-to-end regression test: a tiny fixed-seed ensemble trained on a
+// fixed synthetic series must produce the exact anomaly scores committed
+// below. This locks the whole pipeline — windowing, embedding, training
+// dynamics, RNG stream layout, scoring policy, median aggregation — against
+// silent behavioural drift from future refactors (the bit-reproducibility
+// guarantee the parallel engine established).
+//
+// If a change INTENTIONALLY alters trained weights (e.g. re-keying an RNG
+// stream), regenerate the constants with:
+//
+//   ./golden_regression_test --gtest_also_run_disabled_tests
+//       --gtest_filter='*PrintGolden*'
+//
+// and say so in the commit message — this file is the change log of the
+// numeric contract.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/ensemble.h"
+#include "test_util.h"
+
+namespace caee {
+namespace {
+
+constexpr int64_t kLength = 200;
+constexpr int64_t kDims = 2;
+constexpr uint64_t kSeriesSeed = 11;
+constexpr int64_t kOutlierAt = 150;
+
+core::EnsembleConfig GoldenConfig() {
+  core::EnsembleConfig cfg;
+  cfg.cae.embed_dim = 6;  // fixed, not auto-sized — the config is part of
+  cfg.cae.num_layers = 1; // the golden contract
+  cfg.window = 5;
+  cfg.num_models = 2;
+  cfg.epochs_per_model = 2;
+  cfg.batch_size = 32;
+  cfg.max_train_windows = 64;
+  cfg.seed = 13;
+  return cfg;
+}
+
+// Indices probed by the golden check: a uniform grid plus the injected
+// outlier position.
+std::vector<int64_t> GoldenIndices() {
+  std::vector<int64_t> indices;
+  for (int64_t t = 0; t < kLength; t += 20) indices.push_back(t);
+  indices.push_back(kOutlierAt);
+  return indices;
+}
+
+std::vector<double> ComputeScores() {
+  ts::TimeSeries series =
+      testutil::PlantedSeries(kLength, kDims, kSeriesSeed, {kOutlierAt});
+  core::CaeEnsemble ensemble(GoldenConfig());
+  EXPECT_TRUE(ensemble.Fit(series).ok());
+  auto scores = ensemble.Score(series);
+  EXPECT_TRUE(scores.ok());
+  return scores.value();
+}
+
+// Committed golden values (score at each GoldenIndices() position).
+const double kGoldenScores[] = {
+    2.2676975709423886,  // t=0
+    5.8117651454882076,  // t=20
+    9.4619905254328849,  // t=40
+    5.4933550133303068,  // t=60
+    4.4535240233554454,  // t=80
+    15.710006888078363,  // t=100
+    3.4971026265276812,  // t=120
+    4.2955618825907322,  // t=140
+    16.725056089031796,  // t=160
+    5.3562796543358182,  // t=180
+    255.72914487831238,  // t=150
+};
+
+TEST(GoldenRegressionTest, ScoresMatchCommittedValues) {
+  const std::vector<double> scores = ComputeScores();
+  const std::vector<int64_t> indices = GoldenIndices();
+  ASSERT_EQ(indices.size(), sizeof(kGoldenScores) / sizeof(kGoldenScores[0]));
+  for (size_t i = 0; i < indices.size(); ++i) {
+    // 1e-6 relative (floored at 1e-6 absolute): scores span 2..256 here, so
+    // a magnitude-scaled tolerance keeps the check equally tight at every
+    // probe point without tying large scores to one toolchain's last ulp.
+    const double tol = 1e-6 * std::max(1.0, std::fabs(kGoldenScores[i]));
+    EXPECT_NEAR(scores[static_cast<size_t>(indices[i])], kGoldenScores[i],
+                tol)
+        << "t=" << indices[i]
+        << " (regenerate with --gtest_filter='*PrintGolden*' "
+           "--gtest_also_run_disabled_tests if the change is intentional)";
+  }
+}
+
+TEST(GoldenRegressionTest, OutlierScoresAboveBaseline) {
+  // Sanity alongside the exact check: the planted spike must stand out, so
+  // a regenerated golden set can't silently encode a broken detector.
+  const std::vector<double> scores = ComputeScores();
+  double baseline = 0.0;
+  int64_t count = 0;
+  for (int64_t t = 20; t < 140; ++t) {
+    baseline += scores[static_cast<size_t>(t)];
+    ++count;
+  }
+  baseline /= static_cast<double>(count);
+  EXPECT_GT(scores[kOutlierAt], 5.0 * baseline);
+}
+
+TEST(GoldenRegressionTest, DISABLED_PrintGoldenValues) {
+  const std::vector<double> scores = ComputeScores();
+  for (const int64_t t : GoldenIndices()) {
+    std::printf("    %.17g,  // t=%lld\n", scores[static_cast<size_t>(t)],
+                static_cast<long long>(t));
+  }
+}
+
+}  // namespace
+}  // namespace caee

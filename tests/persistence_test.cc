@@ -1,0 +1,323 @@
+// Tests for the ensemble artifact format (core/persistence): bitwise
+// save/load round trips, the offline-train / online-serve equivalence, and
+// the failure paths — truncation, wrong magic, version skew, checksum
+// corruption, shape-mismatched state dicts — all of which must surface as a
+// non-OK Status, never UB.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/persistence.h"
+#include "core/streaming.h"
+#include "data/registry.h"
+#include "nn/serialize.h"
+#include "test_util.h"
+
+namespace caee {
+namespace {
+
+core::EnsembleConfig TinyConfig() {
+  core::EnsembleConfig cfg;
+  cfg.cae.embed_dim = 6;
+  cfg.cae.num_layers = 1;
+  cfg.window = 5;
+  cfg.num_models = 2;
+  cfg.epochs_per_model = 2;
+  cfg.batch_size = 32;
+  cfg.max_train_windows = 64;
+  cfg.seed = 9;
+  return cfg;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    train_ = testutil::PlantedSeries(220, 2, 1);
+    ensemble_ = std::make_unique<core::CaeEnsemble>(TinyConfig());
+    ASSERT_TRUE(ensemble_->Fit(train_).ok());
+  }
+
+  /// Save to a fresh temp file and return its bytes (for corruption tests).
+  std::string SavedArtifactBytes(const std::string& name) {
+    const std::string path = TempPath(name);
+    EXPECT_TRUE(core::SaveEnsemble(*ensemble_, path, 1.5).ok());
+    return ReadFileBytes(path);
+  }
+
+  ts::TimeSeries train_;
+  std::unique_ptr<core::CaeEnsemble> ensemble_;
+};
+
+TEST_F(PersistenceTest, RoundTripScoresAreBitwiseIdentical) {
+  const std::string path = TempPath("roundtrip.caee");
+  ASSERT_TRUE(core::SaveEnsemble(*ensemble_, path, 42.5).ok());
+
+  auto loaded = core::LoadEnsemble(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_TRUE(loaded->ensemble->fitted());
+  ASSERT_TRUE(loaded->threshold.has_value());
+  EXPECT_EQ(loaded->threshold.value(), 42.5);
+  EXPECT_EQ(loaded->ensemble->num_models(), ensemble_->num_models());
+  EXPECT_EQ(loaded->ensemble->input_dim(), ensemble_->input_dim());
+  EXPECT_EQ(loaded->ensemble->config().window, ensemble_->config().window);
+  EXPECT_EQ(loaded->ensemble->config().cae.embed_dim,
+            ensemble_->config().cae.embed_dim);
+  EXPECT_EQ(loaded->ensemble->config().seed, ensemble_->config().seed);
+
+  // Training series and a fresh series, original vs reloaded: the scores
+  // must match bit for bit (EXPECT_EQ on doubles, no tolerance).
+  for (const auto& series :
+       {train_, testutil::PlantedSeries(90, 2, 5, {70})}) {
+    auto original = ensemble_->Score(series);
+    auto reloaded = loaded->ensemble->Score(series);
+    ASSERT_TRUE(original.ok());
+    ASSERT_TRUE(reloaded.ok());
+    ASSERT_EQ(original->size(), reloaded->size());
+    for (size_t t = 0; t < original->size(); ++t) {
+      EXPECT_EQ((*original)[t], (*reloaded)[t]) << "t=" << t;
+    }
+  }
+}
+
+TEST_F(PersistenceTest, LoadedEnsembleServesStreamingBitwise) {
+  const std::string path = TempPath("serve.caee");
+  ASSERT_TRUE(core::SaveEnsemble(*ensemble_, path).ok());
+  auto loaded = core::LoadEnsemble(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_FALSE(loaded->threshold.has_value());
+
+  // The train/serve lifecycle: offline batch scores from the ORIGINAL
+  // ensemble, streaming scores from the RELOADED one, equal bit for bit
+  // from the first warm observation on.
+  auto batch = ensemble_->Score(train_);
+  ASSERT_TRUE(batch.ok());
+  core::StreamingScorer scorer(loaded->ensemble.get());
+  const int64_t w = ensemble_->config().window;
+  for (int64_t t = 0; t < train_.length(); ++t) {
+    auto result = scorer.Push(
+        std::vector<float>(train_.row(t), train_.row(t) + train_.dims()));
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->has_value(), t >= w - 1);
+    if (result->has_value()) {
+      EXPECT_EQ(result->value(), (*batch)[static_cast<size_t>(t)])
+          << "t=" << t;
+    }
+  }
+}
+
+TEST_F(PersistenceTest, RoundTripOnEvalSuiteDatasets) {
+  // The acceptance bar: bitwise-identical scores on the eval suite's
+  // synthetic datasets (tiny scale — this is a format test, not accuracy).
+  for (const std::string name : {"ECG", "SMD", "SMAP"}) {
+    auto dataset = data::MakeDataset(name, /*scale=*/0.05, /*seed=*/21);
+    ASSERT_TRUE(dataset.ok()) << name;
+    core::EnsembleConfig cfg;
+    cfg.cae.embed_dim = 0;  // auto-size from dims; persisted resolved
+    cfg.cae.num_layers = 1;
+    cfg.window = 8;
+    cfg.num_models = 2;
+    cfg.epochs_per_model = 1;
+    cfg.max_train_windows = 48;
+    cfg.seed = 3;
+    core::CaeEnsemble original(cfg);
+    ASSERT_TRUE(original.Fit(dataset->train).ok()) << name;
+
+    const std::string path = TempPath("eval_" + name + ".caee");
+    ASSERT_TRUE(core::SaveEnsemble(original, path).ok()) << name;
+    auto loaded = core::LoadEnsemble(path);
+    ASSERT_TRUE(loaded.ok()) << name << ": " << loaded.status();
+    EXPECT_GT(loaded->ensemble->config().cae.embed_dim, 0) << name;
+
+    auto expected = original.Score(dataset->test);
+    auto actual = loaded->ensemble->Score(dataset->test);
+    ASSERT_TRUE(expected.ok()) << name;
+    ASSERT_TRUE(actual.ok()) << name;
+    ASSERT_EQ(expected->size(), actual->size()) << name;
+    for (size_t t = 0; t < expected->size(); ++t) {
+      ASSERT_EQ((*expected)[t], (*actual)[t]) << name << " t=" << t;
+    }
+  }
+}
+
+TEST_F(PersistenceTest, SaveRequiresFittedEnsemble) {
+  core::CaeEnsemble unfitted(TinyConfig());
+  Status s = core::SaveEnsemble(unfitted, TempPath("unfitted.caee"));
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PersistenceTest, TruncatedFileFailsCleanly) {
+  const std::string bytes = SavedArtifactBytes("truncate.caee");
+  const std::string path = TempPath("truncated.caee");
+  // Cut the file at a spread of prefix lengths: inside the header, inside a
+  // section header, inside payloads, and one byte short of complete.
+  std::vector<size_t> cuts = {0, 1, 4, 8, 11, 12, 20, 27,
+                              bytes.size() / 3, bytes.size() / 2,
+                              bytes.size() - 1};
+  for (const size_t cut : cuts) {
+    ASSERT_LT(cut, bytes.size());
+    WriteFileBytes(path, bytes.substr(0, cut));
+    auto loaded = core::LoadEnsemble(path);
+    EXPECT_FALSE(loaded.ok()) << "prefix of " << cut << " bytes was accepted";
+  }
+}
+
+TEST_F(PersistenceTest, WrongMagicFails) {
+  std::string bytes = SavedArtifactBytes("magic.caee");
+  bytes[0] = 'X';
+  const std::string path = TempPath("badmagic.caee");
+  WriteFileBytes(path, bytes);
+  auto loaded = core::LoadEnsemble(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("magic"), std::string::npos);
+}
+
+TEST_F(PersistenceTest, VersionSkewFails) {
+  std::string bytes = SavedArtifactBytes("version.caee");
+  const uint32_t future_version = core::kArtifactVersion + 1;
+  std::memcpy(bytes.data() + 4, &future_version, sizeof(future_version));
+  const std::string path = TempPath("skew.caee");
+  WriteFileBytes(path, bytes);
+  auto loaded = core::LoadEnsemble(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
+}
+
+TEST_F(PersistenceTest, BitFlipAnywhereIsDetected) {
+  const std::string bytes = SavedArtifactBytes("flip.caee");
+  const std::string path = TempPath("flipped.caee");
+  // Flip one byte at a spread of positions across the payload area; the
+  // per-section CRC must catch every one of them.
+  for (size_t pos = 16; pos < bytes.size(); pos += bytes.size() / 13) {
+    std::string corrupt = bytes;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x20);
+    WriteFileBytes(path, corrupt);
+    auto loaded = core::LoadEnsemble(path);
+    EXPECT_FALSE(loaded.ok()) << "bit flip at byte " << pos << " undetected";
+  }
+}
+
+TEST_F(PersistenceTest, RestoreRejectsShapeMismatchedStateDict) {
+  nn::StateDict embedding_state = nn::GetStateDict(ensemble_->embedding());
+  std::vector<nn::StateDict> members;
+  for (int64_t mi = 0; mi < ensemble_->num_models(); ++mi) {
+    members.push_back(nn::GetStateDict(ensemble_->model(mi)));
+  }
+
+  // Reshape one member parameter: Restore must reject it, naming the member.
+  auto bad_members = members;
+  auto it = bad_members[1].begin();
+  it->second = Tensor(Shape{it->second.numel() + 1});
+  auto restored = core::CaeEnsemble::Restore(
+      ensemble_->config(), ensemble_->input_dim(), embedding_state,
+      bad_members, ensemble_->scaler());
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(restored.status().message().find("member 1"), std::string::npos);
+
+  // Drop a parameter from the embedding dict: also rejected.
+  auto bad_embedding = embedding_state;
+  bad_embedding.erase(bad_embedding.begin());
+  auto restored2 = core::CaeEnsemble::Restore(
+      ensemble_->config(), ensemble_->input_dim(), bad_embedding, members,
+      ensemble_->scaler());
+  EXPECT_FALSE(restored2.ok());
+
+  // Wrong member count: rejected before any state dict is touched.
+  auto restored3 = core::CaeEnsemble::Restore(
+      ensemble_->config(), ensemble_->input_dim(), embedding_state,
+      {members[0]}, ensemble_->scaler());
+  ASSERT_FALSE(restored3.ok());
+  EXPECT_EQ(restored3.status().code(), StatusCode::kInvalidArgument);
+
+  // The happy path with the same inputs still works and scores identically.
+  auto restored4 = core::CaeEnsemble::Restore(
+      ensemble_->config(), ensemble_->input_dim(), embedding_state, members,
+      ensemble_->scaler());
+  ASSERT_TRUE(restored4.ok()) << restored4.status();
+  auto original = ensemble_->Score(train_);
+  auto rebuilt = restored4.value()->Score(train_);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(rebuilt.ok());
+  for (size_t t = 0; t < original->size(); ++t) {
+    EXPECT_EQ((*original)[t], (*rebuilt)[t]);
+  }
+}
+
+TEST_F(PersistenceTest, EmptyStateDictRoundTrips) {
+  // Stream round trip.
+  std::ostringstream os;
+  ASSERT_TRUE(nn::WriteStateDict(os, nn::StateDict{}).ok());
+  std::istringstream is(os.str());
+  auto dict = nn::ReadStateDict(is);
+  ASSERT_TRUE(dict.ok());
+  EXPECT_TRUE(dict->empty());
+
+  // File round trip.
+  const std::string path = TempPath("empty.dict");
+  ASSERT_TRUE(nn::SaveStateDict(nn::StateDict{}, path).ok());
+  auto from_file = nn::LoadStateDictFile(path);
+  ASSERT_TRUE(from_file.ok());
+  EXPECT_TRUE(from_file->empty());
+}
+
+TEST_F(PersistenceTest, StreamingScorerRejectsWrongDims) {
+  core::StreamingScorer scorer(ensemble_.get());
+  EXPECT_EQ(scorer.dims(), 2);
+  // Wrong size on the FIRST push is already rejected (the fitted dims are
+  // known at construction, not latched from the first observation).
+  auto too_wide = scorer.Push({1.0f, 2.0f, 3.0f});
+  ASSERT_FALSE(too_wide.ok());
+  EXPECT_EQ(too_wide.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(scorer.Push({}).ok());
+  EXPECT_FALSE(scorer.Push({1.0f}).ok());
+  // Rejected pushes must not pollute the buffer.
+  EXPECT_EQ(scorer.observations_seen(), 0);
+  ASSERT_TRUE(scorer.Push({1.0f, 2.0f}).ok());
+  EXPECT_EQ(scorer.observations_seen(), 1);
+}
+
+TEST_F(PersistenceTest, ScalerRestoreValidates) {
+  ts::Scaler scaler;
+  EXPECT_FALSE(scaler.Restore({}, {}).ok());
+  EXPECT_FALSE(scaler.Restore({0.0, 1.0}, {1.0}).ok());
+  EXPECT_FALSE(scaler.Restore({0.0}, {0.0}).ok());     // zero stddev
+  EXPECT_FALSE(scaler.Restore({0.0}, {-1.0}).ok());    // negative stddev
+  ASSERT_TRUE(scaler.Restore({1.0, 2.0}, {3.0, 4.0}).ok());
+  EXPECT_TRUE(scaler.fitted());
+  EXPECT_EQ(scaler.mean()[1], 2.0);
+  EXPECT_EQ(scaler.stddev()[0], 3.0);
+}
+
+TEST_F(PersistenceTest, MissingFileFails) {
+  auto loaded = core::LoadEnsemble(TempPath("does-not-exist.caee"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace caee
