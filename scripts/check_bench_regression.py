@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Compare a bench_micro_ops --caee_json run against the committed baseline.
+
+Usage: check_bench_regression.py BASELINE.json CURRENT.json [--max-ratio 2.0]
+
+Fails (exit 1) if any (op, shape, threads, impl) entry present in both files
+got slower than --max-ratio x the baseline ns/iter. The threshold is loose on
+purpose: baselines are recorded on one machine and CI runs on another, so
+only real kernel regressions (an accidentally de-vectorised loop, a lost
+blocking path) should trip it, not runner-to-runner variance.
+
+Checksum drift is reported as a warning, not a failure: matmul/conv
+checksums are exact-order IEEE sums and should match across machines, but
+libm-backed ops (sigmoid, softmax) legitimately differ between glibc
+versions.
+"""
+
+import argparse
+import json
+import sys
+
+
+def key(e):
+    return (e["op"], e["shape"], e["threads"], e["impl"])
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--max-ratio", type=float, default=2.0)
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = {key(e): e for e in json.load(f)["entries"]}
+    with open(args.current) as f:
+        current = {key(e): e for e in json.load(f)["entries"]}
+
+    failures = []
+    warnings = []
+    compared = 0
+    # A baseline entry the current run no longer emits means the kernel the
+    # gate protects is no longer measured — that is a failure, not a skip.
+    for k in sorted(baseline.keys() - current.keys()):
+        failures.append(f"{k}: present in baseline but missing from current run")
+    for k, cur in sorted(current.items()):
+        base = baseline.get(k)
+        if base is None:
+            warnings.append(f"new entry (no baseline): {k}")
+            continue
+        compared += 1
+        ratio = cur["ns_per_iter"] / base["ns_per_iter"]
+        marker = ""
+        if ratio > args.max_ratio:
+            failures.append(
+                f"{k}: {base['ns_per_iter']:.0f} -> {cur['ns_per_iter']:.0f} "
+                f"ns/iter ({ratio:.2f}x)"
+            )
+            marker = "  <-- REGRESSION"
+        print(
+            f"  {k[0]:<18} {k[1]:<22} t={k[2]} {k[3]:<6} "
+            f"{base['ns_per_iter']:>12.0f} -> {cur['ns_per_iter']:>12.0f} "
+            f"ns/iter ({ratio:5.2f}x){marker}"
+        )
+        b_ck, c_ck = base["checksum"], cur["checksum"]
+        denom = max(abs(b_ck), abs(c_ck), 1e-30)
+        if abs(b_ck - c_ck) / denom > 1e-6:
+            warnings.append(f"checksum drift at {k}: {b_ck!r} -> {c_ck!r}")
+
+    for w in warnings:
+        print(f"WARNING: {w}", file=sys.stderr)
+    if failures:
+        print(
+            f"\n{len(failures)} failure(s) (regressed more than "
+            f"{args.max_ratio}x, or missing from the current run):",
+            file=sys.stderr,
+        )
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    if compared == 0:
+        print("no entries compared — empty or disjoint bench runs",
+              file=sys.stderr)
+        return 1
+    print(f"\nOK: {compared} entries within {args.max_ratio}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,14 +1,21 @@
 #!/usr/bin/env bash
-# Runs the two timing benches at 1 and 4 engine threads and prints a
-# before/after table for the parallel execution engine.
+# Runs the kernel micro-benchmarks (emitting a machine-readable
+# BENCH_3.json: op, shape, threads, impl, ns/iter, checksum) and the two
+# timing benches at 1 and 4 engine threads with a before/after table for
+# the parallel execution engine.
 #
 # Usage: scripts/run_benches.sh [build_dir]
+#   BENCH_JSON=path  where to write the micro-op entries
+#                    (default: BENCH_3.json in the repo root; compare
+#                    against the committed baseline with
+#                    scripts/check_bench_regression.py)
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 SCALE="${SCALE:-0.15}"
 MODELS="${MODELS:-4}"
 EPOCHS="${EPOCHS:-2}"
+BENCH_JSON="${BENCH_JSON:-BENCH_3.json}"
 
 if [[ ! -x "${BUILD_DIR}/bench_training_time" ]]; then
   echo "error: ${BUILD_DIR}/bench_training_time not found." >&2
@@ -22,6 +29,16 @@ extract_seconds() {
   # output.
   awk '/^\| CAE-Ensemble +\|/ { gsub(/\|/, " "); print $2; exit }'
 }
+
+if [[ -x "${BUILD_DIR}/bench_micro_ops" ]]; then
+  echo "=== Kernel micro-ops (naive vs optimized; writes ${BENCH_JSON}) ==="
+  "${BUILD_DIR}/bench_micro_ops" --caee_json="${BENCH_JSON}"
+  echo
+else
+  echo "(bench_micro_ops not built — google-benchmark missing; micro-op"
+  echo " JSON skipped)"
+  echo
+fi
 
 echo "=== Parallel engine before/after (scale=${SCALE}, M=${MODELS}, epochs=${EPOCHS}) ==="
 echo

@@ -66,9 +66,9 @@ Var AddBias(const Var& x, const Var& bias) {
                   [x, bias](Variable* self) {
                     if (NeedsGrad(x)) x->AccumulateGrad(self->grad());
                     if (NeedsGrad(bias)) {
-                      Tensor db(bias->value().shape());
-                      ops::AddBiasBackward(self->grad(), &db);
-                      bias->AccumulateGrad(db);
+                      // Reduce straight into the bias gradient buffer
+                      // (AddBiasBackward accumulates) — no temp tensor.
+                      ops::AddBiasBackward(self->grad(), &bias->grad());
                     }
                   });
 }
@@ -79,11 +79,15 @@ Var Sigmoid(const Var& x) {
     if (!NeedsGrad(x)) return;
     const Tensor& yv = self->value();
     const Tensor& dy = self->grad();
-    Tensor dx(yv.shape());
-    for (int64_t i = 0; i < yv.numel(); ++i) {
-      dx[i] = dy[i] * yv[i] * (1.0f - yv[i]);
+    Tensor dx = Tensor::Uninitialized(yv.shape());
+    const float* py = yv.data();
+    const float* pdy = dy.data();
+    float* pdx = dx.data();
+    const int64_t n = yv.numel();
+    for (int64_t i = 0; i < n; ++i) {
+      pdx[i] = pdy[i] * py[i] * (1.0f - py[i]);
     }
-    x->AccumulateGrad(dx);
+    x->AccumulateGrad(std::move(dx));
   });
 }
 
@@ -93,11 +97,15 @@ Var Tanh(const Var& x) {
     if (!NeedsGrad(x)) return;
     const Tensor& yv = self->value();
     const Tensor& dy = self->grad();
-    Tensor dx(yv.shape());
-    for (int64_t i = 0; i < yv.numel(); ++i) {
-      dx[i] = dy[i] * (1.0f - yv[i] * yv[i]);
+    Tensor dx = Tensor::Uninitialized(yv.shape());
+    const float* py = yv.data();
+    const float* pdy = dy.data();
+    float* pdx = dx.data();
+    const int64_t n = yv.numel();
+    for (int64_t i = 0; i < n; ++i) {
+      pdx[i] = pdy[i] * (1.0f - py[i] * py[i]);
     }
-    x->AccumulateGrad(dx);
+    x->AccumulateGrad(std::move(dx));
   });
 }
 
@@ -107,11 +115,15 @@ Var Relu(const Var& x) {
     if (!NeedsGrad(x)) return;
     const Tensor& xv = x->value();
     const Tensor& dy = self->grad();
-    Tensor dx(xv.shape());
-    for (int64_t i = 0; i < xv.numel(); ++i) {
-      dx[i] = xv[i] > 0.0f ? dy[i] : 0.0f;
+    Tensor dx = Tensor::Uninitialized(xv.shape());
+    const float* px = xv.data();
+    const float* pdy = dy.data();
+    float* pdx = dx.data();
+    const int64_t n = xv.numel();
+    for (int64_t i = 0; i < n; ++i) {
+      pdx[i] = px[i] > 0.0f ? pdy[i] : 0.0f;
     }
-    x->AccumulateGrad(dx);
+    x->AccumulateGrad(std::move(dx));
   });
 }
 
@@ -129,9 +141,13 @@ Var Log(const Var& x) {
     if (!NeedsGrad(x)) return;
     const Tensor& xv = x->value();
     const Tensor& dy = self->grad();
-    Tensor dx(xv.shape());
-    for (int64_t i = 0; i < xv.numel(); ++i) dx[i] = dy[i] / xv[i];
-    x->AccumulateGrad(dx);
+    Tensor dx = Tensor::Uninitialized(xv.shape());
+    const float* px = xv.data();
+    const float* pdy = dy.data();
+    float* pdx = dx.data();
+    const int64_t n = xv.numel();
+    for (int64_t i = 0; i < n; ++i) pdx[i] = pdy[i] / px[i];
+    x->AccumulateGrad(std::move(dx));
   });
 }
 
@@ -149,7 +165,7 @@ Var SoftmaxLastDim(const Var& x) {
     const Tensor& dy = self->grad();
     const int64_t d = yv.dim(yv.rank() - 1);
     const int64_t rows = yv.numel() / d;
-    Tensor dx(yv.shape());
+    Tensor dx = Tensor::Uninitialized(yv.shape());
     for (int64_t r = 0; r < rows; ++r) {
       const float* yr = yv.data() + r * d;
       const float* dyr = dy.data() + r * d;
@@ -160,7 +176,7 @@ Var SoftmaxLastDim(const Var& x) {
         dxr[j] = yr[j] * (dyr[j] - static_cast<float>(dot));
       }
     }
-    x->AccumulateGrad(dx);
+    x->AccumulateGrad(std::move(dx));
   });
 }
 
@@ -174,14 +190,14 @@ Var MatMul(const Var& a, const Var& b, bool trans_a, bool trans_b) {
                           trans_a
                               ? ops::MatMul(b->value(), dc, trans_b, true)
                               : ops::MatMul(dc, b->value(), false, !trans_b);
-                      a->AccumulateGrad(da);
+                      a->AccumulateGrad(std::move(da));
                     }
                     if (NeedsGrad(b)) {
                       Tensor db =
                           trans_b
                               ? ops::MatMul(dc, a->value(), true, trans_a)
                               : ops::MatMul(a->value(), dc, !trans_a, false);
-                      b->AccumulateGrad(db);
+                      b->AccumulateGrad(std::move(db));
                     }
                   });
 }
@@ -195,13 +211,13 @@ Var BatchedMatMul(const Var& a, const Var& b, bool trans_a, bool trans_b) {
           Tensor da =
               trans_a ? ops::BatchedMatMul(b->value(), dc, trans_b, true)
                       : ops::BatchedMatMul(dc, b->value(), false, !trans_b);
-          a->AccumulateGrad(da);
+          a->AccumulateGrad(std::move(da));
         }
         if (NeedsGrad(b)) {
           Tensor db =
               trans_b ? ops::BatchedMatMul(dc, a->value(), true, trans_a)
                       : ops::BatchedMatMul(a->value(), dc, !trans_a, false);
-          b->AccumulateGrad(db);
+          b->AccumulateGrad(std::move(db));
         }
       });
 }
@@ -236,7 +252,7 @@ Var Reshape(const Var& x, Shape new_shape) {
                     if (!NeedsGrad(x)) return;
                     StatusOr<Tensor> back = self->grad().Reshape(old_shape);
                     CAEE_CHECK(back.ok());
-                    x->AccumulateGrad(back.value());
+                    x->AccumulateGrad(std::move(back).value());
                   });
 }
 
@@ -245,7 +261,7 @@ Var BroadcastBatch(const Var& x, int64_t batch) {
   CAEE_CHECK_MSG(xv.rank() == 2, "BroadcastBatch expects rank-2 input");
   CAEE_CHECK_MSG(batch >= 1, "batch must be >= 1");
   const int64_t w = xv.dim(0), d = xv.dim(1);
-  Tensor y(Shape{batch, w, d});
+  Tensor y = Tensor::Uninitialized(Shape{batch, w, d});
   for (int64_t b = 0; b < batch; ++b) {
     std::copy(xv.data(), xv.data() + w * d, y.data() + b * w * d);
   }
@@ -253,11 +269,13 @@ Var BroadcastBatch(const Var& x, int64_t batch) {
     if (!NeedsGrad(x)) return;
     const Tensor& dy = self->grad();
     Tensor dx(Shape{w, d});
+    float* pdx = dx.data();
+    const int64_t n = w * d;
     for (int64_t b = 0; b < batch; ++b) {
-      const float* src = dy.data() + b * w * d;
-      for (int64_t i = 0; i < w * d; ++i) dx[i] += src[i];
+      const float* src = dy.data() + b * n;
+      for (int64_t i = 0; i < n; ++i) pdx[i] += src[i];
     }
-    x->AccumulateGrad(dx);
+    x->AccumulateGrad(std::move(dx));
   });
 }
 
@@ -275,7 +293,7 @@ Var SliceLastDim(const Var& x, int64_t begin, int64_t end) {
     if (!NeedsGrad(x)) return;
     Tensor dx(x->value().shape());
     ops::SliceLastDimBackward(self->grad(), begin, &dx);
-    x->AccumulateGrad(dx);
+    x->AccumulateGrad(std::move(dx));
   });
 }
 
@@ -300,7 +318,7 @@ Var Sum(const Var& x) {
     if (!NeedsGrad(x)) return;
     const float g = self->grad()[0];
     Tensor dx(x->value().shape(), g);
-    x->AccumulateGrad(dx);
+    x->AccumulateGrad(std::move(dx));
   });
 }
 
@@ -313,7 +331,7 @@ Var Mean(const Var& x) {
     if (!NeedsGrad(x)) return;
     const float g = self->grad()[0] * inv_n;
     Tensor dx(x->value().shape(), g);
-    x->AccumulateGrad(dx);
+    x->AccumulateGrad(std::move(dx));
   });
 }
 
@@ -331,15 +349,25 @@ Var MseLoss(const Var& pred, const Var& target) {
                   [pred, target, n](Variable* self) {
                     const float g = self->grad()[0];
                     const float scale = n > 0 ? 2.0f * g / n : 0.0f;
-                    if (NeedsGrad(pred) || NeedsGrad(target)) {
+                    if (NeedsGrad(pred) && NeedsGrad(target)) {
                       Tensor diff =
                           ops::Sub(pred->value(), target->value());
-                      if (NeedsGrad(pred)) {
-                        pred->AccumulateGrad(ops::Scale(diff, scale));
+                      pred->AccumulateGrad(ops::Scale(diff, scale));
+                      target->AccumulateGrad(ops::Scale(diff, -scale));
+                    } else if (NeedsGrad(pred)) {
+                      Tensor diff =
+                          ops::Sub(pred->value(), target->value());
+                      for (int64_t i = 0; i < diff.numel(); ++i) {
+                        diff[i] *= scale;
                       }
-                      if (NeedsGrad(target)) {
-                        target->AccumulateGrad(ops::Scale(diff, -scale));
+                      pred->AccumulateGrad(std::move(diff));
+                    } else if (NeedsGrad(target)) {
+                      Tensor diff =
+                          ops::Sub(target->value(), pred->value());
+                      for (int64_t i = 0; i < diff.numel(); ++i) {
+                        diff[i] *= scale;
                       }
+                      target->AccumulateGrad(std::move(diff));
                     }
                   });
 }

@@ -1,6 +1,7 @@
 #include "autograd/variable.h"
 
 #include <unordered_set>
+#include <utility>
 
 #include "tensor/tensor_ops.h"
 
@@ -23,7 +24,23 @@ void Variable::AccumulateGrad(const Tensor& g) {
                  "gradient shape " << ShapeToString(g.shape())
                                    << " != value shape "
                                    << ShapeToString(value_.shape()));
-  ops::AddInPlace(g, &grad());
+  if (!grad_) {
+    grad_ = std::make_unique<Tensor>(g);  // copy beats zero-fill + add
+    return;
+  }
+  ops::AddInPlace(g, grad_.get());
+}
+
+void Variable::AccumulateGrad(Tensor&& g) {
+  CAEE_CHECK_MSG(g.SameShape(value_),
+                 "gradient shape " << ShapeToString(g.shape())
+                                   << " != value shape "
+                                   << ShapeToString(value_.shape()));
+  if (!grad_) {
+    grad_ = std::make_unique<Tensor>(std::move(g));
+    return;
+  }
+  ops::AddInPlace(g, grad_.get());
 }
 
 void Variable::ZeroGrad() { grad_.reset(); }
@@ -79,7 +96,7 @@ void Backward(const Var& root, const Tensor* seed) {
                    "Backward without seed requires a scalar root");
     Tensor ones(root->value().shape());
     ones.Fill(1.0f);
-    root->AccumulateGrad(ones);
+    root->AccumulateGrad(std::move(ones));
   }
   std::vector<Variable*> order = TopoOrder(root);
   // Reverse topological: children (outputs) first.

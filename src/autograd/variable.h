@@ -43,6 +43,13 @@ class Variable {
   /// \brief dL/dthis += g.
   void AccumulateGrad(const Tensor& g);
 
+  /// \brief dL/dthis += g, taking ownership. The first accumulation into a
+  /// node adopts `g` as the gradient buffer outright — no zero-filled
+  /// allocation, no add pass. Backward closures pass their freshly computed
+  /// gradient tensors through this overload, which makes the common
+  /// single-consumer case allocation- and traversal-free.
+  void AccumulateGrad(Tensor&& g);
+
   /// \brief Drop the gradient buffer (used between optimiser steps).
   void ZeroGrad();
 

@@ -29,7 +29,9 @@ StatusOr<std::optional<double>> StreamingScorer::Push(
     return std::optional<double>{};
   }
 
-  Tensor window(Shape{1, window_, dims_});
+  // Fully overwritten below, so skip the zero-fill pass (this runs once per
+  // streamed observation in the online-serve hot loop).
+  Tensor window = Tensor::Uninitialized(Shape{1, window_, dims_});
   for (int64_t t = 0; t < window_; ++t) {
     const auto& obs = buffer_[static_cast<size_t>(t)];
     std::copy(obs.begin(), obs.end(), window.data() + t * dims_);

@@ -1,0 +1,94 @@
+#include "kernels/reference.h"
+
+#include <algorithm>
+
+namespace caee {
+namespace kernels {
+namespace reference {
+
+void MatMul(const float* a, int64_t lda, bool trans_a, const float* b,
+            int64_t ldb, bool trans_b, float* c, int64_t n, int64_t m,
+            int64_t k) {
+  for (int64_t i = 0; i < n; ++i) {
+    float* crow = c + i * m;
+    std::fill(crow, crow + m, 0.0f);
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = trans_a ? a[p * lda + i] : a[i * lda + p];
+      if (av == 0.0f) continue;
+      if (!trans_b) {
+        const float* brow = b + p * ldb;
+        for (int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+      } else {
+        for (int64_t j = 0; j < m; ++j) crow[j] += av * b[j * ldb + p];
+      }
+    }
+  }
+}
+
+void Conv1dForward(const float* x, const float* w, const float* bias,
+                   float* y, int64_t b, int64_t in_w, int64_t cin,
+                   int64_t cout, int64_t k, int64_t pad_left, int64_t out_w) {
+  for (int64_t bb = 0; bb < b; ++bb) {
+    for (int64_t t = 0; t < out_w; ++t) {
+      float* yrow = y + (bb * out_w + t) * cout;
+      for (int64_t co = 0; co < cout; ++co) yrow[co] = bias[co];
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const int64_t src = t + kk - pad_left;
+        if (src < 0 || src >= in_w) continue;
+        const float* xrow = x + (bb * in_w + src) * cin;
+        const float* wk = w + kk * cin;  // w[co][kk][:] = wk + co*k*cin
+        for (int64_t co = 0; co < cout; ++co, wk += k * cin) {
+          float acc = 0.0f;
+          for (int64_t ci = 0; ci < cin; ++ci) acc += xrow[ci] * wk[ci];
+          yrow[co] += acc;
+        }
+      }
+    }
+  }
+}
+
+void Conv1dBackwardInput(const float* dy, const float* w, float* dx,
+                         int64_t b, int64_t in_w, int64_t cin, int64_t cout,
+                         int64_t k, int64_t pad_left, int64_t out_w) {
+  for (int64_t bb = 0; bb < b; ++bb) {
+    for (int64_t t = 0; t < out_w; ++t) {
+      const float* dyrow = dy + (bb * out_w + t) * cout;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const int64_t src = t + kk - pad_left;
+        if (src < 0 || src >= in_w) continue;
+        float* dxrow = dx + (bb * in_w + src) * cin;
+        const float* wk = w + kk * cin;
+        for (int64_t co = 0; co < cout; ++co, wk += k * cin) {
+          const float g = dyrow[co];
+          if (g == 0.0f) continue;
+          for (int64_t ci = 0; ci < cin; ++ci) dxrow[ci] += g * wk[ci];
+        }
+      }
+    }
+  }
+}
+
+void Conv1dBackwardWeight(const float* dy, const float* x, float* dw,
+                          int64_t b, int64_t in_w, int64_t cin, int64_t cout,
+                          int64_t k, int64_t pad_left, int64_t out_w) {
+  for (int64_t co = 0; co < cout; ++co) {
+    float* dwc = dw + co * k * cin;
+    for (int64_t bb = 0; bb < b; ++bb) {
+      for (int64_t t = 0; t < out_w; ++t) {
+        const float g = dy[(bb * out_w + t) * cout + co];
+        if (g == 0.0f) continue;
+        for (int64_t kk = 0; kk < k; ++kk) {
+          const int64_t src = t + kk - pad_left;
+          if (src < 0 || src >= in_w) continue;
+          const float* xrow = x + (bb * in_w + src) * cin;
+          float* wk = dwc + kk * cin;
+          for (int64_t ci = 0; ci < cin; ++ci) wk[ci] += g * xrow[ci];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace reference
+}  // namespace kernels
+}  // namespace caee

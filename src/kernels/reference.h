@@ -1,0 +1,45 @@
+// Naive reference kernels: the pre-kernel-layer triple loops, kept as the
+// ground truth the optimized kernels are property-tested against and as the
+// "before" side of the micro-benchmarks. Serial, simple, obviously correct —
+// do not optimise these (that is the whole point); the only changes from
+// the originals are the removal of a dead `wrow` temporary in Conv1d and
+// hoisting the per-channel weight base pointer out of the inner loops.
+//
+// All layouts match tensor_ops.h: sequences (B, W, C), matrices (N, K),
+// conv weights (Cout, K, Cin), row-major.
+
+#ifndef CAEE_KERNELS_REFERENCE_H_
+#define CAEE_KERNELS_REFERENCE_H_
+
+#include <cstdint>
+
+namespace caee {
+namespace kernels {
+namespace reference {
+
+/// \brief C = op(A) * op(B). A is (n x k) after op (stored leading dim lda),
+/// B is (k x m) after op (stored leading dim ldb); c is dense (n x m).
+void MatMul(const float* a, int64_t lda, bool trans_a, const float* b,
+            int64_t ldb, bool trans_b, float* c, int64_t n, int64_t m,
+            int64_t k);
+
+/// \brief y (b, out_w, cout) fully overwritten.
+void Conv1dForward(const float* x, const float* w, const float* bias,
+                   float* y, int64_t b, int64_t in_w, int64_t cin,
+                   int64_t cout, int64_t k, int64_t pad_left, int64_t out_w);
+
+/// \brief dx (b, in_w, cin) must be zero-initialised by the caller.
+void Conv1dBackwardInput(const float* dy, const float* w, float* dx,
+                         int64_t b, int64_t in_w, int64_t cin, int64_t cout,
+                         int64_t k, int64_t pad_left, int64_t out_w);
+
+/// \brief dw (cout, k, cin) must be zero-initialised by the caller.
+void Conv1dBackwardWeight(const float* dy, const float* x, float* dw,
+                          int64_t b, int64_t in_w, int64_t cin, int64_t cout,
+                          int64_t k, int64_t pad_left, int64_t out_w);
+
+}  // namespace reference
+}  // namespace kernels
+}  // namespace caee
+
+#endif  // CAEE_KERNELS_REFERENCE_H_

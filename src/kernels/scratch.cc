@@ -1,0 +1,49 @@
+#include "kernels/scratch.h"
+
+#include <vector>
+
+namespace caee {
+namespace kernels {
+
+namespace {
+
+// Default-init allocator so growing a scratch buffer never memsets it; the
+// whole point of the pool is that callers overwrite what they use.
+template <typename T>
+struct NoInitAlloc : std::allocator<T> {
+  template <typename U>
+  struct rebind {
+    using other = NoInitAlloc<U>;
+  };
+  using std::allocator<T>::allocator;
+  template <typename U>
+  void construct(U* p) noexcept {
+    ::new (static_cast<void*>(p)) U;
+  }
+};
+
+using Buffer = std::vector<float, NoInitAlloc<float>>;
+
+Buffer& SlotBuffer(ScratchSlot slot) {
+  thread_local Buffer buffers[kNumScratchSlots];
+  return buffers[static_cast<int>(slot)];
+}
+
+}  // namespace
+
+float* Scratch(ScratchSlot slot, size_t n) {
+  Buffer& buf = SlotBuffer(slot);
+  if (buf.size() < n) buf.resize(n);
+  return buf.data();
+}
+
+size_t ScratchBytesThisThread() {
+  size_t total = 0;
+  for (int s = 0; s < kNumScratchSlots; ++s) {
+    total += SlotBuffer(static_cast<ScratchSlot>(s)).capacity() * sizeof(float);
+  }
+  return total;
+}
+
+}  // namespace kernels
+}  // namespace caee

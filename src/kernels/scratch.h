@@ -1,0 +1,45 @@
+// Per-thread scratch buffer pool for the kernel layer.
+//
+// im2col materialisation, operand packing, and col2im staging all need
+// temporary matrices sized by the call's shapes. Allocating them per call
+// would put a malloc + page-fault pass on every Conv1d/MatMul; instead each
+// thread keeps one grow-only uninitialised buffer per slot and kernels
+// borrow them. Slots exist so a single kernel invocation can hold several
+// live scratch areas at once (e.g. the im2col matrix and the packed weight
+// matrix) without aliasing.
+//
+// Thread safety: buffers are thread_local, so concurrent kernel calls from
+// different ensemble worker threads never share scratch. A kernel must fill
+// the scratch it uses on the calling thread BEFORE fanning work out to the
+// pool (workers only read it), because pool workers have their own slots.
+
+#ifndef CAEE_KERNELS_SCRATCH_H_
+#define CAEE_KERNELS_SCRATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace caee {
+namespace kernels {
+
+enum ScratchSlot {
+  kScratchIm2Col = 0,     // im2col matrix (rows x K*Cin)
+  kScratchPack = 1,       // packed/transposed operand for the GEMM core
+  kScratchStage = 2,      // staging area (e.g. dcol before col2im scatter)
+  kScratchGemmPanel = 3,  // Sgemm's packed B panel (kGemmKc x kGemmNr)
+  kNumScratchSlots = 4,
+};
+
+/// \brief Borrow the calling thread's scratch buffer for `slot`, grown to at
+/// least `n` floats. Contents are unspecified; valid until the next
+/// Scratch() call for the same slot on this thread.
+float* Scratch(ScratchSlot slot, size_t n);
+
+/// \brief Bytes currently retained by this thread's scratch buffers
+/// (observability / tests).
+size_t ScratchBytesThisThread();
+
+}  // namespace kernels
+}  // namespace caee
+
+#endif  // CAEE_KERNELS_SCRATCH_H_

@@ -35,11 +35,27 @@ Tensor::Tensor(Shape shape, float fill) : Tensor(std::move(shape)) {
   Fill(fill);
 }
 
-Tensor::Tensor(Shape shape, std::vector<float> data)
+Tensor::Tensor(Shape shape, std::vector<float> data) : shape_(std::move(shape)) {
+  CAEE_CHECK_MSG(
+      static_cast<int64_t>(data.size()) == NumElements(shape_),
+      "data size " << data.size() << " != shape " << ShapeToString(shape_));
+  data_.assign(data.begin(), data.end());
+}
+
+Tensor::Tensor(Shape shape, FloatBuffer data)
     : shape_(std::move(shape)), data_(std::move(data)) {
   CAEE_CHECK_MSG(
       static_cast<int64_t>(data_.size()) == NumElements(shape_),
       "data size " << data_.size() << " != shape " << ShapeToString(shape_));
+}
+
+Tensor Tensor::Uninitialized(Shape shape) {
+  Tensor t;
+  for (int64_t d : shape) CAEE_CHECK_MSG(d >= 0, "negative dimension");
+  CAEE_CHECK_MSG(shape.size() <= 4, "rank > 4 unsupported");
+  t.shape_ = std::move(shape);
+  t.data_.resize(static_cast<size_t>(NumElements(t.shape_)));
+  return t;
 }
 
 Tensor Tensor::Scalar(float v) {

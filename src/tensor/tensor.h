@@ -9,7 +9,9 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -18,6 +20,33 @@
 namespace caee {
 
 using Shape = std::vector<int64_t>;
+
+/// \brief std::allocator variant whose value-construction is default-init:
+/// `resize(n)` on a vector using it leaves new floats uninitialised instead
+/// of zero-filling. Tensor::Uninitialized uses this so kernels whose outputs
+/// are fully overwritten (GEMM, elementwise maps) skip one memset-sized pass
+/// over the buffer per op.
+template <typename T>
+struct DefaultInitAllocator : std::allocator<T> {
+  template <typename U>
+  struct rebind {
+    using other = DefaultInitAllocator<U>;
+  };
+  using std::allocator<T>::allocator;
+
+  template <typename U>
+  void construct(U* p) noexcept(noexcept(::new (static_cast<void*>(p)) U)) {
+    ::new (static_cast<void*>(p)) U;  // default-init: no-op for float
+  }
+  template <typename U, typename... Args>
+  void construct(U* p, Args&&... args) {
+    ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+  }
+};
+
+/// \brief Tensor's backing store. Same interface as std::vector<float>; only
+/// the value-construction policy differs (see DefaultInitAllocator).
+using FloatBuffer = std::vector<float, DefaultInitAllocator<float>>;
 
 /// \brief Number of elements implied by a shape (1 for rank-0).
 int64_t NumElements(const Shape& shape);
@@ -36,8 +65,18 @@ class Tensor {
   /// \brief Tensor of the given shape with every element set to `fill`.
   Tensor(Shape shape, float fill);
 
-  /// \brief Tensor taking ownership of `data` (size must match shape).
+  /// \brief Tensor copying `data` (size must match shape). The element copy
+  /// is unavoidable because the backing store is a FloatBuffer; pass a
+  /// FloatBuffer to transfer ownership instead.
   Tensor(Shape shape, std::vector<float> data);
+
+  /// \brief Tensor taking ownership of `data` (size must match shape).
+  Tensor(Shape shape, FloatBuffer data);
+
+  /// \brief Tensor of the given shape with UNINITIALISED contents. Only for
+  /// outputs every element of which is overwritten before being read; the
+  /// zero-initialising constructors stay the default everywhere else.
+  static Tensor Uninitialized(Shape shape);
 
   static Tensor Zeros(Shape shape) { return Tensor(std::move(shape)); }
   static Tensor Ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
@@ -58,8 +97,8 @@ class Tensor {
 
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
-  std::vector<float>& vec() { return data_; }
-  const std::vector<float>& vec() const { return data_; }
+  FloatBuffer& vec() { return data_; }
+  const FloatBuffer& vec() const { return data_; }
 
   /// \brief Flat element access.
   float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
@@ -106,7 +145,7 @@ class Tensor {
   int64_t FlatIndex4(int64_t i, int64_t j, int64_t k, int64_t l) const;
 
   Shape shape_;
-  std::vector<float> data_;
+  FloatBuffer data_;
 };
 
 /// \brief True when every pair of elements differs by at most atol + rtol*|b|.

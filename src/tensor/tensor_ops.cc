@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <vector>
 
 #include "common/thread_pool.h"
+#include "kernels/conv1d.h"
+#include "kernels/gemm.h"
+#include "kernels/scratch.h"
 
 namespace caee {
 namespace ops {
@@ -16,33 +21,49 @@ void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
 }
 }  // namespace
 
+// Elementwise kernels: outputs are fully overwritten, so they use the
+// uninitialised-alloc Tensor path, and all loops run over raw pointers with
+// simple indices the compiler can vectorise.
+
 Tensor Add(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Add");
-  Tensor out(a.shape());
+  Tensor out = Tensor::Uninitialized(a.shape());
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  for (int64_t i = 0; i < a.numel(); ++i) po[i] = pa[i] + pb[i];
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = pa[i] + pb[i];
   return out;
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Sub");
-  Tensor out(a.shape());
-  for (int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] - b[i];
+  Tensor out = Tensor::Uninitialized(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = pa[i] - pb[i];
   return out;
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Mul");
-  Tensor out(a.shape());
-  for (int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] * b[i];
+  Tensor out = Tensor::Uninitialized(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = pa[i] * pb[i];
   return out;
 }
 
 Tensor Scale(const Tensor& a, float s) {
-  Tensor out(a.shape());
-  for (int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] * s;
+  Tensor out = Tensor::Uninitialized(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = pa[i] * s;
   return out;
 }
 
@@ -50,10 +71,17 @@ void AxpyInPlace(float alpha, const Tensor& x, Tensor* y) {
   CheckSameShape(x, *y, "Axpy");
   float* py = y->data();
   const float* px = x.data();
-  for (int64_t i = 0; i < x.numel(); ++i) py[i] += alpha * px[i];
+  const int64_t n = x.numel();
+  for (int64_t i = 0; i < n; ++i) py[i] += alpha * px[i];
 }
 
-void AddInPlace(const Tensor& x, Tensor* y) { AxpyInPlace(1.0f, x, y); }
+void AddInPlace(const Tensor& x, Tensor* y) {
+  CheckSameShape(x, *y, "Add");
+  float* py = y->data();
+  const float* px = x.data();
+  const int64_t n = x.numel();
+  for (int64_t i = 0; i < n; ++i) py[i] += px[i];
+}
 
 Tensor AddBias(const Tensor& x, const Tensor& bias) {
   CAEE_CHECK_MSG(bias.rank() == 1, "bias must be rank-1");
@@ -61,7 +89,7 @@ Tensor AddBias(const Tensor& x, const Tensor& bias) {
   CAEE_CHECK_MSG(x.rank() >= 1 && x.dim(x.rank() - 1) == d,
                  "AddBias: trailing dim " << x.dim(x.rank() - 1) << " != "
                                           << d);
-  Tensor out(x.shape());
+  Tensor out = Tensor::Uninitialized(x.shape());
   const int64_t rows = x.numel() / d;
   const float* px = x.data();
   const float* pb = bias.data();
@@ -80,43 +108,63 @@ void AddBiasBackward(const Tensor& dy, Tensor* dbias) {
   const int64_t rows = dy.numel() / d;
   const float* pdy = dy.data();
   float* pdb = dbias->data();
+  // Row sums accumulate in double (the policy SquaredErrorPerPosition set):
+  // the reduction length is batch*time, where float accumulation loses bits
+  // the float32 gradient itself can represent.
+  std::vector<double> acc(static_cast<size_t>(d), 0.0);
   for (int64_t r = 0; r < rows; ++r) {
     const float* row = pdy + r * d;
-    for (int64_t j = 0; j < d; ++j) pdb[j] += row[j];
+    for (int64_t j = 0; j < d; ++j) acc[static_cast<size_t>(j)] += row[j];
+  }
+  for (int64_t j = 0; j < d; ++j) {
+    pdb[j] += static_cast<float>(acc[static_cast<size_t>(j)]);
   }
 }
 
 Tensor Sigmoid(const Tensor& x) {
-  Tensor out(x.shape());
-  for (int64_t i = 0; i < x.numel(); ++i) {
-    out[i] = 1.0f / (1.0f + std::exp(-x[i]));
-  }
+  Tensor out = Tensor::Uninitialized(x.shape());
+  const float* px = x.data();
+  float* po = out.data();
+  const int64_t n = x.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = 1.0f / (1.0f + std::exp(-px[i]));
   return out;
 }
 
 Tensor Tanh(const Tensor& x) {
-  Tensor out(x.shape());
-  for (int64_t i = 0; i < x.numel(); ++i) out[i] = std::tanh(x[i]);
+  Tensor out = Tensor::Uninitialized(x.shape());
+  const float* px = x.data();
+  float* po = out.data();
+  const int64_t n = x.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = std::tanh(px[i]);
   return out;
 }
 
 Tensor Relu(const Tensor& x) {
-  Tensor out(x.shape());
-  for (int64_t i = 0; i < x.numel(); ++i) out[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  Tensor out = Tensor::Uninitialized(x.shape());
+  const float* px = x.data();
+  float* po = out.data();
+  const int64_t n = x.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = px[i] > 0.0f ? px[i] : 0.0f;
   return out;
 }
 
 Tensor Exp(const Tensor& x) {
-  Tensor out(x.shape());
-  for (int64_t i = 0; i < x.numel(); ++i) out[i] = std::exp(x[i]);
+  Tensor out = Tensor::Uninitialized(x.shape());
+  const float* px = x.data();
+  float* po = out.data();
+  const int64_t n = x.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = std::exp(px[i]);
   return out;
 }
 
 Tensor Log(const Tensor& x) {
-  Tensor out(x.shape());
-  for (int64_t i = 0; i < x.numel(); ++i) {
-    CAEE_CHECK_MSG(x[i] > 0.0f, "Log of non-positive value");
-    out[i] = std::log(x[i]);
+  Tensor out = Tensor::Uninitialized(x.shape());
+  const float* px = x.data();
+  float* po = out.data();
+  const int64_t n = x.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    CAEE_CHECK_MSG(px[i] > 0.0f, "Log of non-positive value");
+    po[i] = std::log(px[i]);
   }
   return out;
 }
@@ -125,7 +173,7 @@ Tensor SoftmaxLastDim(const Tensor& x) {
   CAEE_CHECK_MSG(x.rank() >= 1, "SoftmaxLastDim needs rank >= 1");
   const int64_t d = x.dim(x.rank() - 1);
   CAEE_CHECK_MSG(d > 0, "SoftmaxLastDim over empty dim");
-  Tensor out(x.shape());
+  Tensor out = Tensor::Uninitialized(x.shape());
   const int64_t rows = x.numel() / d;
   const float* px = x.data();
   float* po = out.data();
@@ -145,6 +193,25 @@ Tensor SoftmaxLastDim(const Tensor& x) {
   return out;
 }
 
+namespace {
+
+// Canonicalise op(A) to a dense row-major (n x k) operand: either the
+// tensor's own storage, or its transpose packed into per-thread scratch.
+const float* CanonicalOperand(const Tensor& t, bool trans,
+                              kernels::ScratchSlot slot, int64_t* ld) {
+  if (!trans) {
+    *ld = t.dim(1);
+    return t.data();
+  }
+  float* packed = kernels::Scratch(
+      slot, static_cast<size_t>(t.dim(0)) * static_cast<size_t>(t.dim(1)));
+  kernels::PackTranspose(t.data(), t.dim(0), t.dim(1), t.dim(1), packed);
+  *ld = t.dim(0);
+  return packed;
+}
+
+}  // namespace
+
 Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   CAEE_CHECK_MSG(a.rank() == 2 && b.rank() == 2, "MatMul needs rank-2 inputs");
   const int64_t n = trans_a ? a.dim(1) : a.dim(0);
@@ -152,31 +219,11 @@ Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   const int64_t kb = trans_b ? b.dim(1) : b.dim(0);
   const int64_t m = trans_b ? b.dim(0) : b.dim(1);
   CAEE_CHECK_MSG(k == kb, "MatMul inner dims mismatch: " << k << " vs " << kb);
-  Tensor out(Shape{n, m});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  const int64_t lda = a.dim(1);
-  const int64_t ldb = b.dim(1);
-
-  auto body = [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      float* orow = po + static_cast<int64_t>(i) * m;
-      std::fill(orow, orow + m, 0.0f);
-      for (int64_t p = 0; p < k; ++p) {
-        const float av = trans_a ? pa[p * lda + static_cast<int64_t>(i)]
-                                 : pa[static_cast<int64_t>(i) * lda + p];
-        if (av == 0.0f) continue;
-        if (!trans_b) {
-          const float* brow = pb + p * ldb;
-          for (int64_t j = 0; j < m; ++j) orow[j] += av * brow[j];
-        } else {
-          for (int64_t j = 0; j < m; ++j) orow[j] += av * pb[j * ldb + p];
-        }
-      }
-    }
-  };
-  ParallelForRange(static_cast<size_t>(n), body, /*min_chunk=*/16);
+  Tensor out = Tensor::Uninitialized(Shape{n, m});
+  int64_t lda, ldb;
+  const float* pa = CanonicalOperand(a, trans_a, kernels::kScratchPack, &lda);
+  const float* pb = CanonicalOperand(b, trans_b, kernels::kScratchStage, &ldb);
+  kernels::Sgemm(n, m, k, pa, lda, pb, ldb, out.data(), m);
   return out;
 }
 
@@ -192,42 +239,44 @@ Tensor BatchedMatMul(const Tensor& a, const Tensor& b, bool trans_a,
   const int64_t m = trans_b ? b.dim(1) : b.dim(2);
   CAEE_CHECK_MSG(k == kb,
                  "BatchedMatMul inner dims mismatch: " << k << " vs " << kb);
-  Tensor out(Shape{bs, n, m});
+  Tensor out = Tensor::Uninitialized(Shape{bs, n, m});
   const int64_t a_stride = a.dim(1) * a.dim(2);
   const int64_t b_stride = b.dim(1) * b.dim(2);
   const int64_t o_stride = n * m;
-  const int64_t lda = a.dim(2);
-  const int64_t ldb = b.dim(2);
 
-  auto body = [&](size_t batch) {
-    const float* pa = a.data() + static_cast<int64_t>(batch) * a_stride;
-    const float* pb = b.data() + static_cast<int64_t>(batch) * b_stride;
-    float* po = out.data() + static_cast<int64_t>(batch) * o_stride;
-    for (int64_t i = 0; i < n; ++i) {
-      float* orow = po + i * m;
-      std::fill(orow, orow + m, 0.0f);
-      for (int64_t p = 0; p < k; ++p) {
-        const float av = trans_a ? pa[p * lda + i] : pa[i * lda + p];
-        if (av == 0.0f) continue;
-        if (!trans_b) {
-          const float* brow = pb + p * ldb;
-          for (int64_t j = 0; j < m; ++j) orow[j] += av * brow[j];
-        } else {
-          for (int64_t j = 0; j < m; ++j) orow[j] += av * pb[j * ldb + p];
+  // Parallel over batch elements; transposed operands are packed into the
+  // executing thread's scratch, so concurrent batches never share buffers.
+  ParallelFor(
+      static_cast<size_t>(bs),
+      [&](size_t batch) {
+        const float* pa = a.data() + static_cast<int64_t>(batch) * a_stride;
+        const float* pb = b.data() + static_cast<int64_t>(batch) * b_stride;
+        float* po = out.data() + static_cast<int64_t>(batch) * o_stride;
+        int64_t lda = a.dim(2), ldb = b.dim(2);
+        if (trans_a) {
+          float* packed = kernels::Scratch(kernels::kScratchPack,
+                                           static_cast<size_t>(a_stride));
+          kernels::PackTranspose(pa, a.dim(1), a.dim(2), a.dim(2), packed);
+          pa = packed;
+          lda = a.dim(1);
         }
-      }
-    }
-  };
-  ParallelFor(static_cast<size_t>(bs), body, /*grain=*/1);
+        if (trans_b) {
+          float* packed = kernels::Scratch(kernels::kScratchStage,
+                                           static_cast<size_t>(b_stride));
+          kernels::PackTranspose(pb, b.dim(1), b.dim(2), b.dim(2), packed);
+          pb = packed;
+          ldb = b.dim(1);
+        }
+        kernels::SgemmSerial(n, m, k, pa, lda, pb, ldb, po, m);
+      },
+      /*grain=*/1);
   return out;
 }
 
 Tensor Transpose2D(const Tensor& a) {
   CAEE_CHECK_MSG(a.rank() == 2, "Transpose2D needs rank-2");
-  Tensor out(Shape{a.dim(1), a.dim(0)});
-  for (int64_t i = 0; i < a.dim(0); ++i) {
-    for (int64_t j = 0; j < a.dim(1); ++j) out.at(j, i) = a.at(i, j);
-  }
+  Tensor out = Tensor::Uninitialized(Shape{a.dim(1), a.dim(0)});
+  kernels::PackTranspose(a.data(), a.dim(0), a.dim(1), a.dim(1), out.data());
   return out;
 }
 
@@ -244,32 +293,9 @@ Tensor Conv1d(const Tensor& x, const Tensor& w, const Tensor& bias,
   const int64_t out_w = in_w + pad_left + pad_right - k + 1;
   CAEE_CHECK_MSG(out_w >= 1, "Conv1d output length < 1");
 
-  Tensor out(Shape{b, out_w, cout});
-  const float* px = x.data();
-  const float* pw = w.data();
-  const float* pbias = bias.data();
-  float* po = out.data();
-
-  auto body = [&](size_t flat) {
-    const int64_t bb = static_cast<int64_t>(flat) / out_w;
-    const int64_t t = static_cast<int64_t>(flat) % out_w;
-    float* orow = po + (bb * out_w + t) * cout;
-    for (int64_t co = 0; co < cout; ++co) orow[co] = pbias[co];
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const int64_t src = t + kk - pad_left;
-      if (src < 0 || src >= in_w) continue;
-      const float* xrow = px + (bb * in_w + src) * cin;
-      const float* wrow = pw + kk * cin;  // within a given co block below
-      for (int64_t co = 0; co < cout; ++co) {
-        const float* wk = pw + (co * k + kk) * cin;
-        float acc = 0.0f;
-        for (int64_t ci = 0; ci < cin; ++ci) acc += xrow[ci] * wk[ci];
-        orow[co] += acc;
-      }
-      (void)wrow;
-    }
-  };
-  ParallelFor(static_cast<size_t>(b * out_w), body, /*grain=*/8);
+  Tensor out = Tensor::Uninitialized(Shape{b, out_w, cout});
+  kernels::Conv1dForward(x.data(), w.data(), bias.data(), out.data(), b, in_w,
+                         cin, cout, k, pad_left, out_w);
   return out;
 }
 
@@ -278,29 +304,9 @@ Tensor Conv1dBackwardInput(const Tensor& dy, const Tensor& w, int64_t in_w,
   const int64_t b = dy.dim(0), out_w = dy.dim(1), cout = dy.dim(2);
   const int64_t k = w.dim(1), cin = w.dim(2);
   CAEE_CHECK(w.dim(0) == cout);
-  Tensor dx(Shape{b, in_w, cin});
-  const float* pdy = dy.data();
-  const float* pw = w.data();
-  float* pdx = dx.data();
-
-  auto body = [&](size_t batch) {
-    const int64_t bb = static_cast<int64_t>(batch);
-    for (int64_t t = 0; t < out_w; ++t) {
-      const float* dyrow = pdy + (bb * out_w + t) * cout;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const int64_t src = t + kk - pad_left;
-        if (src < 0 || src >= in_w) continue;
-        float* dxrow = pdx + (bb * in_w + src) * cin;
-        for (int64_t co = 0; co < cout; ++co) {
-          const float g = dyrow[co];
-          if (g == 0.0f) continue;
-          const float* wk = pw + (co * k + kk) * cin;
-          for (int64_t ci = 0; ci < cin; ++ci) dxrow[ci] += g * wk[ci];
-        }
-      }
-    }
-  };
-  ParallelFor(static_cast<size_t>(b), body, /*grain=*/1);
+  Tensor dx(Shape{b, in_w, cin});  // zero-init: col2im accumulates into it
+  kernels::Conv1dBackwardInput(dy.data(), w.data(), dx.data(), b, in_w, cin,
+                               cout, k, pad_left, out_w);
   return dx;
 }
 
@@ -309,40 +315,25 @@ Tensor Conv1dBackwardWeight(const Tensor& dy, const Tensor& x, int64_t kernel,
   const int64_t b = dy.dim(0), out_w = dy.dim(1), cout = dy.dim(2);
   const int64_t in_w = x.dim(1), cin = x.dim(2);
   CAEE_CHECK(x.dim(0) == b);
-  Tensor dw(Shape{cout, kernel, cin});
-  const float* pdy = dy.data();
-  const float* px = x.data();
-  float* pdw = dw.data();
-
-  // Parallelise over output channels; each channel's slice is private.
-  auto body = [&](size_t co_idx) {
-    const int64_t co = static_cast<int64_t>(co_idx);
-    for (int64_t bb = 0; bb < b; ++bb) {
-      for (int64_t t = 0; t < out_w; ++t) {
-        const float g = pdy[(bb * out_w + t) * cout + co];
-        if (g == 0.0f) continue;
-        for (int64_t kk = 0; kk < kernel; ++kk) {
-          const int64_t src = t + kk - pad_left;
-          if (src < 0 || src >= in_w) continue;
-          const float* xrow = px + (bb * in_w + src) * cin;
-          float* wk = pdw + (co * kernel + kk) * cin;
-          for (int64_t ci = 0; ci < cin; ++ci) wk[ci] += g * xrow[ci];
-        }
-      }
-    }
-  };
-  ParallelFor(static_cast<size_t>(cout), body, /*grain=*/1);
+  Tensor dw = Tensor::Uninitialized(Shape{cout, kernel, cin});
+  kernels::Conv1dBackwardWeight(dy.data(), x.data(), dw.data(), b, in_w, cin,
+                                cout, kernel, pad_left, out_w);
   return dw;
 }
 
 Tensor Conv1dBackwardBias(const Tensor& dy) {
   const int64_t cout = dy.dim(2);
-  Tensor db(Shape{cout});
+  Tensor db = Tensor::Uninitialized(Shape{cout});
   const int64_t rows = dy.numel() / cout;
   const float* pdy = dy.data();
+  // Double accumulation over the batch*time reduction; see AddBiasBackward.
+  std::vector<double> acc(static_cast<size_t>(cout), 0.0);
   for (int64_t r = 0; r < rows; ++r) {
     const float* row = pdy + r * cout;
-    for (int64_t c = 0; c < cout; ++c) db[c] += row[c];
+    for (int64_t c = 0; c < cout; ++c) acc[static_cast<size_t>(c)] += row[c];
+  }
+  for (int64_t c = 0; c < cout; ++c) {
+    db[c] = static_cast<float>(acc[static_cast<size_t>(c)]);
   }
   return db;
 }
@@ -351,26 +342,26 @@ Tensor ShiftTimeRight(const Tensor& x, int64_t steps) {
   CAEE_CHECK_MSG(x.rank() == 3, "ShiftTimeRight needs (B,W,D)");
   const int64_t b = x.dim(0), w = x.dim(1), d = x.dim(2);
   CAEE_CHECK_MSG(steps >= 0 && steps <= w, "shift out of range");
-  Tensor out(x.shape());
+  Tensor out = Tensor::Uninitialized(x.shape());
+  const size_t front = static_cast<size_t>(steps * d);
+  const size_t body = static_cast<size_t>((w - steps) * d);
   for (int64_t bb = 0; bb < b; ++bb) {
-    for (int64_t t = steps; t < w; ++t) {
-      const float* src = x.data() + (bb * w + (t - steps)) * d;
-      float* dst = out.data() + (bb * w + t) * d;
-      std::copy(src, src + d, dst);
-    }
+    float* dst = out.data() + bb * w * d;
+    std::memset(dst, 0, front * sizeof(float));
+    std::memcpy(dst + front, x.data() + bb * w * d, body * sizeof(float));
   }
   return out;
 }
 
 Tensor ShiftTimeRightBackward(const Tensor& dy, int64_t steps) {
   const int64_t b = dy.dim(0), w = dy.dim(1), d = dy.dim(2);
-  Tensor dx(dy.shape());
+  Tensor dx = Tensor::Uninitialized(dy.shape());
+  const size_t tail = static_cast<size_t>(steps * d);
+  const size_t body = static_cast<size_t>((w - steps) * d);
   for (int64_t bb = 0; bb < b; ++bb) {
-    for (int64_t t = steps; t < w; ++t) {
-      const float* src = dy.data() + (bb * w + t) * d;
-      float* dst = dx.data() + (bb * w + (t - steps)) * d;
-      std::copy(src, src + d, dst);
-    }
+    float* dst = dx.data() + bb * w * d;
+    std::memcpy(dst, dy.data() + bb * w * d + tail, body * sizeof(float));
+    std::memset(dst + body, 0, tail * sizeof(float));
   }
   return dx;
 }
@@ -381,13 +372,12 @@ Tensor SliceLastDim(const Tensor& x, int64_t begin, int64_t end) {
                  "SliceLastDim range invalid");
   Shape out_shape = x.shape();
   out_shape.back() = end - begin;
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninitialized(out_shape);
   const int64_t rows = x.numel() / d;
   const int64_t od = end - begin;
   for (int64_t r = 0; r < rows; ++r) {
-    const float* src = x.data() + r * d + begin;
-    float* dst = out.data() + r * od;
-    std::copy(src, src + od, dst);
+    std::memcpy(out.data() + r * od, x.data() + r * d + begin,
+                static_cast<size_t>(od) * sizeof(float));
   }
   return out;
 }
@@ -413,12 +403,13 @@ Tensor ConcatLastDim(const Tensor& a, const Tensor& b) {
   const int64_t db = b.dim(b.rank() - 1);
   Shape out_shape = a.shape();
   out_shape.back() = da + db;
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninitialized(out_shape);
   const int64_t rows = a.numel() / da;
   for (int64_t r = 0; r < rows; ++r) {
     float* dst = out.data() + r * (da + db);
-    std::copy(a.data() + r * da, a.data() + (r + 1) * da, dst);
-    std::copy(b.data() + r * db, b.data() + (r + 1) * db, dst + da);
+    std::memcpy(dst, a.data() + r * da, static_cast<size_t>(da) * sizeof(float));
+    std::memcpy(dst + da, b.data() + r * db,
+                static_cast<size_t>(db) * sizeof(float));
   }
   return out;
 }

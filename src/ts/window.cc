@@ -20,7 +20,9 @@ Tensor WindowDataset::GetWindow(int64_t i) const {
 
 Tensor WindowDataset::GetBatch(const std::vector<int64_t>& indices) const {
   const int64_t b = static_cast<int64_t>(indices.size());
-  Tensor out(Shape{b, window_, dims_});
+  // Every row is copied below, so skip the zero-fill pass: this materialises
+  // each training/scoring batch and runs once per batch per epoch per model.
+  Tensor out = Tensor::Uninitialized(Shape{b, window_, dims_});
   for (int64_t bi = 0; bi < b; ++bi) {
     const int64_t start = indices[static_cast<size_t>(bi)];
     CAEE_CHECK_MSG(start >= 0 && start < num_windows_,
