@@ -1,0 +1,219 @@
+// Multi-stream serving throughput: streams x max-batch table.
+//
+// Trains one small ensemble, then replays S independent synthetic streams
+// through serve::ServingEngine round-robin and measures scored windows per
+// second for each (streams, max_batch) cell — the cross-stream
+// micro-batching win is the batch > 1 columns beating batch = 1 (which
+// degenerates to one forward pass per window, the single-stream serving
+// cost). docs/serving.md "Sizing note" interprets the table.
+//
+// `--caee_json=PATH` additionally writes machine-readable entries
+// {streams, max_batch, threads, windows_per_sec, ns_per_window, checksum}
+// (schema mirrors bench_micro_ops); scripts/run_benches.sh writes them to
+// BENCH_4.json. The checksum is the sum of all scores in the cell's run —
+// batching must not move it by a single bit, so drift here is a
+// determinism regression, not noise.
+//
+// Extra flags beyond bench_util.h: --obs=N observations per stream
+// (default 48), --caee_json=PATH.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "serve/serving_engine.h"
+
+namespace caee {
+namespace {
+
+struct ServeEntry {
+  int64_t streams;
+  int64_t max_batch;
+  int64_t threads;
+  double windows_per_sec;
+  double ns_per_window;
+  double checksum;  // sum of all scores — must be batch-size invariant
+};
+
+// Deterministic sine-plus-noise stream (each stream gets its own phase via
+// the seed), matching the training distribution.
+std::vector<std::vector<float>> MakeStream(int64_t length, int64_t dims,
+                                           uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> phase(static_cast<size_t>(dims));
+  for (auto& p : phase) p = rng.Uniform(0.0, 6.28);
+  std::vector<std::vector<float>> rows(static_cast<size_t>(length));
+  for (int64_t t = 0; t < length; ++t) {
+    auto& row = rows[static_cast<size_t>(t)];
+    row.resize(static_cast<size_t>(dims));
+    for (int64_t j = 0; j < dims; ++j) {
+      row[static_cast<size_t>(j)] = static_cast<float>(
+          std::sin(0.2 * static_cast<double>(t) +
+                   phase[static_cast<size_t>(j)]) +
+          0.05 * rng.Gaussian());
+    }
+  }
+  return rows;
+}
+
+ServeEntry RunCell(const core::CaeEnsemble& ensemble,
+                   const std::vector<std::vector<std::vector<float>>>& streams,
+                   int64_t max_batch) {
+  serve::ServeConfig config;
+  config.max_batch = max_batch;
+  config.flush_deadline_ms = 0;  // timing measures batching, not timers
+  serve::ServingEngine engine(&ensemble, config);
+
+  const int64_t num_streams = static_cast<int64_t>(streams.size());
+  for (int64_t s = 0; s < num_streams; ++s) {
+    CAEE_CHECK(engine.OpenStream(s).ok());
+  }
+  const size_t length = streams.front().size();
+  std::vector<serve::StreamScore> results;
+  Stopwatch timer;
+  // Round-robin arrival: one tick delivers one observation per stream,
+  // which is what interleaves windows from different streams into shared
+  // micro-batches.
+  for (size_t t = 0; t < length; ++t) {
+    for (int64_t s = 0; s < num_streams; ++s) {
+      CAEE_CHECK(
+          engine.Push(s, streams[static_cast<size_t>(s)][t], &results).ok());
+    }
+  }
+  CAEE_CHECK(engine.Flush(&results).ok());
+  const double seconds = timer.ElapsedSeconds();
+
+  const int64_t w = ensemble.config().window;
+  const int64_t expected =
+      num_streams * (static_cast<int64_t>(length) - w + 1);
+  CAEE_CHECK_MSG(static_cast<int64_t>(results.size()) == expected,
+                 "scored " << results.size() << " windows, expected "
+                           << expected);
+  double checksum = 0.0;
+  for (const auto& r : results) checksum += r.score;
+
+  ServeEntry entry;
+  entry.streams = num_streams;
+  entry.max_batch = max_batch;
+  entry.threads = static_cast<int64_t>(ensemble.config().num_threads);
+  entry.windows_per_sec = static_cast<double>(results.size()) / seconds;
+  entry.ns_per_window =
+      seconds * 1e9 / static_cast<double>(results.size());
+  entry.checksum = checksum;
+  return entry;
+}
+
+int Main(int argc, char** argv) {
+  bench::Flags flags = bench::Flags::Parse(argc, argv);
+  std::string json_path;
+  int64_t obs_per_stream = 48;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--caee_json=", 12) == 0) {
+      json_path = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--obs=", 6) == 0) {
+      obs_per_stream = std::atoll(argv[i] + 6);
+    }
+  }
+
+  core::EnsembleConfig config;
+  config.cae.embed_dim = 8;
+  config.cae.num_layers = 1;
+  config.window = 8;
+  config.num_models = flags.models;
+  config.epochs_per_model = flags.epochs;
+  config.batch_size = 32;
+  config.max_train_windows = 128;
+  config.num_threads = flags.threads;
+  config.seed = flags.seed;
+
+  const int64_t dims = 4;
+  core::CaeEnsemble ensemble(config);
+  {
+    const auto train_rows = MakeStream(260, dims, flags.seed);
+    ts::TimeSeries train(static_cast<int64_t>(train_rows.size()), dims);
+    for (int64_t t = 0; t < train.length(); ++t) {
+      for (int64_t j = 0; j < dims; ++j) {
+        train.value(t, j) = train_rows[static_cast<size_t>(t)]
+                                      [static_cast<size_t>(j)];
+      }
+    }
+    CAEE_CHECK(ensemble.Fit(train).ok());
+  }
+
+  std::printf(
+      "bench_serve: M=%lld, window=%lld, dims=%lld, obs/stream=%lld, "
+      "threads=%lld\n\n",
+      static_cast<long long>(config.num_models),
+      static_cast<long long>(config.window), static_cast<long long>(dims),
+      static_cast<long long>(obs_per_stream),
+      static_cast<long long>(config.num_threads));
+  std::printf("%8s %10s %16s %14s\n", "streams", "max_batch", "windows/sec",
+              "ns/window");
+
+  std::vector<ServeEntry> entries;
+  for (const int64_t num_streams : {int64_t{1}, int64_t{4}, int64_t{16}}) {
+    std::vector<std::vector<std::vector<float>>> streams;
+    for (int64_t s = 0; s < num_streams; ++s) {
+      streams.push_back(MakeStream(obs_per_stream, dims,
+                                   1000 + static_cast<uint64_t>(s)));
+    }
+    double base_checksum = 0.0;
+    for (const int64_t max_batch : {int64_t{1}, int64_t{4}, int64_t{16}}) {
+      const ServeEntry entry = RunCell(ensemble, streams, max_batch);
+      std::printf("%8lld %10lld %16.1f %14.1f\n",
+                  static_cast<long long>(entry.streams),
+                  static_cast<long long>(entry.max_batch),
+                  entry.windows_per_sec, entry.ns_per_window);
+      // Cross-batch determinism: identical inputs must sum to the
+      // identical checksum at every batch size.
+      if (max_batch == 1) {
+        base_checksum = entry.checksum;
+      } else {
+        CAEE_CHECK_MSG(entry.checksum == base_checksum,
+                       "checksum drift at streams=" << num_streams
+                           << " max_batch=" << max_batch
+                           << " — batching changed scores");
+      }
+      entries.push_back(entry);
+    }
+    std::printf("\n");
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"bench_serve\",\n  \"schema\": 1,\n"
+                    "  \"entries\": [\n");
+    for (size_t i = 0; i < entries.size(); ++i) {
+      const ServeEntry& e = entries[i];
+      std::fprintf(
+          f,
+          "    {\"streams\": %lld, \"max_batch\": %lld, \"threads\": %lld, "
+          "\"windows_per_sec\": %.1f, \"ns_per_window\": %.1f, "
+          "\"checksum\": %.17g}%s\n",
+          static_cast<long long>(e.streams),
+          static_cast<long long>(e.max_batch),
+          static_cast<long long>(e.threads), e.windows_per_sec,
+          e.ns_per_window, e.checksum,
+          i + 1 < entries.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu entries)\n", json_path.c_str(),
+                entries.size());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace caee
+
+int main(int argc, char** argv) { return caee::Main(argc, argv); }

@@ -1,11 +1,11 @@
 // caee_serve: the ONLINE half of the train/serve split (paper Sec. 4.2.7).
 //
 // Loads an artifact written by caee_train in a fresh process — no access to
-// the training data or code path — and feeds observations line-by-line
-// through StreamingScorer: each CSV line is one observation, each warm
-// observation gets a score and a threshold verdict on stdout. This is the
-// frozen-forward-pass serving loop the ROADMAP's heavy-traffic story builds
-// on.
+// the training data or code path — and serves it in one of two modes
+// (docs/serving.md has the full story):
+//
+// SINGLE-STREAM (default): each CSV line is one observation, each warm
+// observation gets a score and a threshold verdict on stdout.
 //
 //   caee_train --synthetic SMD --output model.caee --dump-input train.csv
 //   caee_serve --model model.caee --input train.csv
@@ -15,18 +15,37 @@
 // verifies that the streaming path reproduces the offline scores for every
 // post-warm-up observation and exits non-zero on any mismatch — the
 // round-trip check CI runs.
+//
+// MULTI-STREAM (--streams): one process serves N independent series against
+// the same loaded ensemble, scoring ready windows from different streams in
+// one batched forward pass (serve::ServingEngine). Input lines:
+//
+//   open,<id>            open a session for stream <id>
+//   <id>,v1,v2,...       one observation for stream <id>
+//   close,<id>           close the session (pending windows are flushed)
+//
+// Output lines are `stream,index,score,flag`. --max-batch bounds the
+// micro-batch; --flush-ms bounds how long a ready window may wait when
+// input trickles (a background timer flushes expired batches, so a stalled
+// stdin cannot hold scores hostage). Scores are bitwise identical to
+// serving each stream in its own single-stream process.
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cli_util.h"
 #include "core/persistence.h"
 #include "core/streaming.h"
+#include "serve/serving_engine.h"
 
 using namespace caee;
 
@@ -35,10 +54,18 @@ namespace {
 const char kUsage[] =
     "usage: caee_serve --model model.caee [--input obs.csv] [--threads T]\n"
     "                  [--expect-scores scores.txt [--tolerance X]]\n"
-    "  Reads comma-separated observations from --input (default: stdin) and\n"
-    "  prints `index,score,flag` per scored observation (flag=1 above the\n"
-    "  calibrated threshold). --expect-scores cross-checks the streaming\n"
-    "  scores against offline batch scores and fails on mismatch.\n";
+    "                  [--streams [--max-batch N] [--flush-ms MS]]\n"
+    "  Default mode reads comma-separated observations from --input\n"
+    "  (default: stdin) and prints `index,score,flag` per scored\n"
+    "  observation (flag=1 above the calibrated threshold).\n"
+    "  --expect-scores cross-checks the streaming scores against offline\n"
+    "  batch scores and fails on mismatch.\n"
+    "  --streams serves many sessions at once: lines are `open,<id>`,\n"
+    "  `close,<id>`, or `<id>,v1,v2,...`; output is\n"
+    "  `stream,index,score,flag`. Ready windows from different streams are\n"
+    "  scored in one batched forward pass (<= --max-batch windows, default\n"
+    "  8); --flush-ms (default 50, 0 = off) bounds the wait of a partially\n"
+    "  filled batch.\n";
 
 int Fail(const Status& status) {
   std::cerr << "caee_serve: " << status << "\n";
@@ -62,39 +89,20 @@ bool ParseObservation(const std::string& line, std::vector<float>* out) {
   return true;
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// Single-stream mode (the PR-2 behavior, unchanged).
+// ---------------------------------------------------------------------------
 
-int main(int argc, char** argv) {
-  cli::Args args(argc, argv);
-  args.RejectUnknown(
-      {"model", "input", "threads", "expect-scores", "tolerance", "help"},
-      kUsage);
-  if (args.Has("help") || !args.Has("model")) {
-    std::cerr << kUsage;
-    return args.Has("help") ? 0 : 2;
-  }
-
-  auto loaded = core::LoadEnsemble(args.Get("model", ""));
-  if (!loaded.ok()) return Fail(loaded.status());
-  core::CaeEnsemble& ensemble = *loaded->ensemble;
-  ensemble.set_num_threads(args.GetInt("threads", 0));
-  const double threshold =
-      loaded->threshold.value_or(std::numeric_limits<double>::infinity());
-  std::cerr << "loaded ensemble: " << ensemble.num_models() << " models, "
-            << "window " << ensemble.config().window << ", "
-            << ensemble.input_dim() << " dims"
-            << (loaded->threshold ? ", threshold " + std::to_string(threshold)
-                                  : ", no threshold (flag always 0)")
-            << "\n";
-
+int RunSingleStream(const cli::Args& args, core::CaeEnsemble& ensemble,
+                    double threshold, std::istream& in) {
   std::vector<double> expected;
   if (args.Has("expect-scores")) {
-    std::ifstream in(args.Get("expect-scores", ""));
-    if (!in) {
+    std::ifstream scores_in(args.Get("expect-scores", ""));
+    if (!scores_in) {
       return Fail(Status::IOError("cannot open expected-scores file"));
     }
     double value = 0.0;
-    while (in >> value) expected.push_back(value);
+    while (scores_in >> value) expected.push_back(value);
     if (expected.empty()) {
       return Fail(Status::InvalidArgument(
           "expected-scores file has no scores — nothing would be verified"));
@@ -102,15 +110,7 @@ int main(int argc, char** argv) {
   }
   const double tolerance = args.GetDouble("tolerance", 0.0);
 
-  std::ifstream file;
-  if (args.Has("input")) {
-    file.open(args.Get("input", ""));
-    if (!file) return Fail(Status::IOError("cannot open input file"));
-  }
-  std::istream& in = args.Has("input") ? file : std::cin;
-
   core::StreamingScorer scorer(&ensemble);
-  std::cout.precision(std::numeric_limits<double>::max_digits10);
   std::string line;
   std::vector<float> observation;
   int64_t index = -1, scored = 0, alerts = 0, mismatches = 0;
@@ -176,4 +176,207 @@ int main(int argc, char** argv) {
               << scored << " observations, tolerance " << tolerance << ")\n";
   }
   return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Multi-stream mode.
+// ---------------------------------------------------------------------------
+
+// `open,3` / `close,3` control lines. Returns false for data lines.
+bool ParseControl(const std::string& line, std::string* verb, int64_t* id) {
+  const size_t comma = line.find(',');
+  if (comma == std::string::npos) return false;
+  const std::string head = line.substr(0, comma);
+  if (head != "open" && head != "close") return false;
+  const std::string rest = line.substr(comma + 1);
+  try {
+    size_t consumed = 0;
+    *id = std::stoll(rest, &consumed);
+    if (consumed != rest.size()) return false;
+  } catch (...) {
+    return false;
+  }
+  *verb = head;
+  return true;
+}
+
+// `3,0.5,1.2` — stream id, then the observation values.
+bool ParseStreamObservation(const std::string& line, int64_t* id,
+                            std::vector<float>* out) {
+  const size_t comma = line.find(',');
+  if (comma == std::string::npos) return false;
+  try {
+    size_t consumed = 0;
+    *id = std::stoll(line.substr(0, comma), &consumed);
+    if (consumed != comma) return false;
+  } catch (...) {
+    return false;
+  }
+  return ParseObservation(line.substr(comma + 1), out);
+}
+
+int RunMultiStream(const cli::Args& args, core::CaeEnsemble& ensemble,
+                   std::optional<double> threshold, std::istream& in) {
+  serve::ServeConfig config;
+  config.max_batch = args.GetInt("max-batch", 8);
+  config.flush_deadline_ms = args.GetInt("flush-ms", 50);
+  if (config.max_batch < 1) {
+    return Fail(Status::InvalidArgument("--max-batch must be >= 1"));
+  }
+  serve::ServingEngine engine(&ensemble, config, threshold);
+
+  // Delivery is the single tally point: scores can arrive from the main
+  // loop OR from the deadline timer below, and both must count toward the
+  // end-of-run summary.
+  std::mutex out_mu;
+  int64_t scored = 0, alerts = 0;
+  auto deliver = [&](const std::vector<serve::StreamScore>& results) {
+    if (results.empty()) return;
+    std::lock_guard<std::mutex> lock(out_mu);
+    for (const auto& r : results) {
+      ++scored;
+      alerts += r.flag;
+      std::cout << r.stream_id << "," << r.index << "," << r.score << ","
+                << (r.flag ? 1 : 0) << "\n";
+    }
+    std::cout.flush();
+  };
+
+  // Deadline timer: stdin can stall with a partially filled batch pending;
+  // this thread keeps the flush-deadline promise regardless. A failing
+  // flush is not swallowed: it parks the status for the main loop to
+  // report and stops retrying.
+  std::atomic<bool> done{false};
+  std::mutex flusher_status_mu;
+  Status flusher_status;  // guarded by flusher_status_mu
+  std::thread flusher;
+  if (config.flush_deadline_ms > 0) {
+    flusher = std::thread([&] {
+      const auto tick =
+          std::chrono::milliseconds(std::max<int64_t>(
+              1, config.flush_deadline_ms / 2));
+      while (!done.load()) {
+        std::this_thread::sleep_for(tick);
+        std::vector<serve::StreamScore> results;
+        const Status status = engine.FlushIfExpired(&results);
+        if (!status.ok()) {
+          std::lock_guard<std::mutex> lock(flusher_status_mu);
+          flusher_status = status;
+          return;
+        }
+        deliver(results);
+      }
+    });
+  }
+  auto stop_flusher = [&] {
+    done.store(true);
+    if (flusher.joinable()) flusher.join();
+  };
+  auto check_flusher = [&]() -> Status {
+    std::lock_guard<std::mutex> lock(flusher_status_mu);
+    return flusher_status;
+  };
+
+  std::string line;
+  std::vector<float> observation;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (Status status = check_flusher(); !status.ok()) {
+      stop_flusher();
+      return Fail(Status(status.code(),
+                         "deadline flush failed: " + status.message()));
+    }
+    std::vector<serve::StreamScore> results;
+    Status status;
+    std::string verb;
+    int64_t id = 0;
+    if (ParseControl(line, &verb, &id)) {
+      status = verb == "open" ? engine.OpenStream(id)
+                              : engine.CloseStream(id, &results);
+    } else if (ParseStreamObservation(line, &id, &observation)) {
+      status = engine.Push(id, observation, &results);
+    } else {
+      stop_flusher();
+      return Fail(Status::InvalidArgument(
+          "line " + std::to_string(line_no) +
+          " is neither `open,<id>`/`close,<id>` nor `<id>,v1,v2,...`"));
+    }
+    if (!status.ok()) {
+      stop_flusher();
+      return Fail(Status(status.code(), "line " + std::to_string(line_no) +
+                                            ": " + status.message()));
+    }
+    deliver(results);
+  }
+
+  // End of input: drain the queue, then stop the timer.
+  std::vector<serve::StreamScore> results;
+  const Status status = engine.Flush(&results);
+  stop_flusher();
+  if (!status.ok()) return Fail(status);
+  if (Status parked = check_flusher(); !parked.ok()) {
+    return Fail(Status(parked.code(),
+                       "deadline flush failed: " + parked.message()));
+  }
+  deliver(results);
+
+  std::cerr << "scored " << scored << " windows across streams, " << alerts
+            << " above threshold (" << engine.num_streams()
+            << " sessions still open at EOF)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli::Args args(argc, argv);
+  args.RejectUnknown({"model", "input", "threads", "expect-scores",
+                      "tolerance", "streams", "max-batch", "flush-ms",
+                      "help"},
+                     kUsage);
+  if (args.Has("help") || !args.Has("model")) {
+    std::cerr << kUsage;
+    return args.Has("help") ? 0 : 2;
+  }
+  if (!args.Has("streams") &&
+      (args.Has("max-batch") || args.Has("flush-ms"))) {
+    std::cerr << "--max-batch/--flush-ms require --streams\n" << kUsage;
+    return 2;
+  }
+  if (args.Has("streams") &&
+      (args.Has("expect-scores") || args.Has("tolerance"))) {
+    // Refusing beats silently skipping the cross-check: a "verification"
+    // run that verified nothing must not exit 0.
+    std::cerr << "--expect-scores/--tolerance are single-stream only\n"
+              << kUsage;
+    return 2;
+  }
+
+  auto loaded = core::LoadEnsemble(args.Get("model", ""));
+  if (!loaded.ok()) return Fail(loaded.status());
+  core::CaeEnsemble& ensemble = *loaded->ensemble;
+  ensemble.set_num_threads(args.GetInt("threads", 0));
+  const double threshold =
+      loaded->threshold.value_or(std::numeric_limits<double>::infinity());
+  std::cerr << "loaded ensemble: " << ensemble.num_models() << " models, "
+            << "window " << ensemble.config().window << ", "
+            << ensemble.input_dim() << " dims"
+            << (loaded->threshold ? ", threshold " + std::to_string(threshold)
+                                  : ", no threshold (flag always 0)")
+            << "\n";
+
+  std::ifstream file;
+  if (args.Has("input")) {
+    file.open(args.Get("input", ""));
+    if (!file) return Fail(Status::IOError("cannot open input file"));
+  }
+  std::istream& in = args.Has("input") ? file : std::cin;
+  std::cout.precision(std::numeric_limits<double>::max_digits10);
+
+  if (args.Has("streams")) {
+    return RunMultiStream(args, ensemble, loaded->threshold, in);
+  }
+  return RunSingleStream(args, ensemble, threshold, in);
 }

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Check that intra-repo markdown links resolve.
+
+Scans every tracked *.md file (or an explicit file list) for inline links
+and images ``[text](target)``. For relative targets it verifies the target
+exists; for targets pointing at a markdown file it also verifies the
+``#anchor`` (if any) matches a heading in that file, using GitHub's
+heading-slug rules. External links (http/https/mailto) are ignored — CI
+must not depend on the network.
+
+Exit status: 0 when every link resolves, 1 with one line per dead link
+otherwise. Run locally with:  python3 scripts/check_docs_links.py
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+FENCE_RE = re.compile(r"^(```|~~~)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def tracked_markdown_files(root):
+    try:
+        out = subprocess.run(
+            ["git", "ls-files", "*.md"], cwd=root, check=True,
+            capture_output=True, text=True)
+        files = [line for line in out.stdout.splitlines() if line]
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        files = []
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = [d for d in dirnames
+                           if d not in (".git", "build") and
+                           not d.startswith("build")]
+            for name in filenames:
+                if name.endswith(".md"):
+                    files.append(os.path.relpath(
+                        os.path.join(dirpath, name), root))
+    return sorted(files)
+
+
+def strip_code(lines):
+    """Drop fenced code blocks and inline code spans (links inside code are
+    examples, not navigation)."""
+    kept = []
+    in_fence = False
+    for line in lines:
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            kept.append("")
+            continue
+        kept.append("" if in_fence else re.sub(r"`[^`]*`", "", line))
+    return kept
+
+
+def github_slug(heading):
+    """GitHub's anchor slug: lowercase, spaces to dashes, drop everything
+    that is not alphanumeric, dash, or underscore."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def heading_slugs(path):
+    slugs = set()
+    counts = {}
+    with open(path, encoding="utf-8") as f:
+        for line in strip_code(f.read().splitlines()):
+            m = HEADING_RE.match(line)
+            if not m:
+                continue
+            slug = github_slug(m.group(1))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_file(root, rel_path):
+    errors = []
+    abs_path = os.path.join(root, rel_path)
+    with open(abs_path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    for lineno, line in enumerate(strip_code(lines), start=1):
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            if target.startswith(EXTERNAL_PREFIXES):
+                continue
+            if target.startswith("#"):
+                if target[1:] not in heading_slugs(abs_path):
+                    errors.append(f"{rel_path}:{lineno}: dead anchor "
+                                  f"'{target}' (no such heading)")
+                continue
+            path_part, _, anchor = target.partition("#")
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(abs_path), path_part))
+            if not os.path.exists(resolved):
+                errors.append(f"{rel_path}:{lineno}: dead link '{target}' "
+                              f"({os.path.relpath(resolved, root)} does not "
+                              f"exist)")
+                continue
+            if anchor and resolved.endswith(".md"):
+                if anchor not in heading_slugs(resolved):
+                    errors.append(f"{rel_path}:{lineno}: dead anchor "
+                                  f"'{target}' (no such heading in "
+                                  f"{os.path.relpath(resolved, root)})")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="*",
+                        help="markdown files to check (default: every "
+                             "tracked *.md)")
+    parser.add_argument("--root", default=".",
+                        help="repo root (default: cwd)")
+    args = parser.parse_args()
+
+    root = os.path.abspath(args.root)
+    files = args.files or tracked_markdown_files(root)
+    if not files:
+        print("check_docs_links: no markdown files found", file=sys.stderr)
+        return 1
+
+    errors = []
+    for rel_path in files:
+        errors.extend(check_file(root, rel_path))
+
+    if errors:
+        for error in errors:
+            print(error, file=sys.stderr)
+        print(f"check_docs_links: {len(errors)} dead reference(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"check_docs_links: OK ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

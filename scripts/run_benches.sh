@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
 # Runs the kernel micro-benchmarks (emitting a machine-readable
-# BENCH_3.json: op, shape, threads, impl, ns/iter, checksum) and the two
-# timing benches at 1 and 4 engine threads with a before/after table for
-# the parallel execution engine.
+# BENCH_3.json: op, shape, threads, impl, ns/iter, checksum), the
+# multi-stream serving throughput table (BENCH_4.json: streams x max-batch
+# windows/sec), and the two timing benches at 1 and 4 engine threads with a
+# before/after table for the parallel execution engine.
 #
 # Usage: scripts/run_benches.sh [build_dir]
 #   BENCH_JSON=path  where to write the micro-op entries
 #                    (default: BENCH_3.json in the repo root; compare
 #                    against the committed baseline with
 #                    scripts/check_bench_regression.py)
+#   SERVE_JSON=path  where to write the serving-throughput entries
+#                    (default: BENCH_4.json in the repo root)
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -16,6 +19,7 @@ SCALE="${SCALE:-0.15}"
 MODELS="${MODELS:-4}"
 EPOCHS="${EPOCHS:-2}"
 BENCH_JSON="${BENCH_JSON:-BENCH_3.json}"
+SERVE_JSON="${SERVE_JSON:-BENCH_4.json}"
 
 if [[ ! -x "${BUILD_DIR}/bench_training_time" ]]; then
   echo "error: ${BUILD_DIR}/bench_training_time not found." >&2
@@ -38,6 +42,16 @@ else
   echo "(bench_micro_ops not built — google-benchmark missing; micro-op"
   echo " JSON skipped)"
   echo
+fi
+
+if [[ -x "${BUILD_DIR}/bench_serve" ]]; then
+  echo "=== Multi-stream serving (streams x max-batch; writes ${SERVE_JSON}) ==="
+  "${BUILD_DIR}/bench_serve" --models="${MODELS}" --epochs="${EPOCHS}" \
+    --caee_json="${SERVE_JSON}"
+  echo
+else
+  echo "error: ${BUILD_DIR}/bench_serve not found (build first)" >&2
+  exit 1
 fi
 
 echo "=== Parallel engine before/after (scale=${SCALE}, M=${MODELS}, epochs=${EPOCHS}) ==="

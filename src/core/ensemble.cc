@@ -515,34 +515,62 @@ StatusOr<double> CaeEnsemble::ScoreWindowLast(const Tensor& window) const {
       window.dim(1) != config_.window) {
     return Status::InvalidArgument("window must be (1, w, D)");
   }
-  Tensor scaled = window;
+  auto scores = ScoreWindowsLast(window);
+  if (!scores.ok()) return scores.status();
+  return scores.value().front();
+}
+
+StatusOr<std::vector<double>> CaeEnsemble::ScoreWindowsLast(
+    const Tensor& windows) const {
+  if (!fitted_) return Status::FailedPrecondition("score before Fit");
+  if (windows.rank() != 3 || windows.dim(0) < 1 ||
+      windows.dim(1) != config_.window) {
+    return Status::InvalidArgument("windows must be (B, w, D) with B >= 1");
+  }
+  if (windows.dim(2) != input_dim()) {
+    return Status::InvalidArgument("window dimensionality mismatch");
+  }
+  const int64_t batch = windows.dim(0);
+  Tensor scaled = windows;
   if (config_.rescale_enabled) {
     const auto& mean = scaler_.mean();
     const auto& stddev = scaler_.stddev();
-    if (window.dim(2) != static_cast<int64_t>(mean.size())) {
-      return Status::InvalidArgument("window dimensionality mismatch");
-    }
-    const int64_t d = window.dim(2);
-    for (int64_t t = 0; t < config_.window; ++t) {
-      for (int64_t j = 0; j < d; ++j) {
-        scaled.at(0, t, j) = static_cast<float>(
-            (scaled.at(0, t, j) - mean[static_cast<size_t>(j)]) /
-            stddev[static_cast<size_t>(j)]);
+    const int64_t d = windows.dim(2);
+    // Per-element double-precision z-score, the exact op the single-window
+    // path always ran — scaling is element-local, so batching cannot
+    // change it.
+    for (int64_t b = 0; b < batch; ++b) {
+      for (int64_t t = 0; t < config_.window; ++t) {
+        for (int64_t j = 0; j < d; ++j) {
+          scaled.at(b, t, j) = static_cast<float>(
+              (scaled.at(b, t, j) - mean[static_cast<size_t>(j)]) /
+              stddev[static_cast<size_t>(j)]);
+        }
       }
     }
   }
-  // The Table 8 online-inference hot path: one window, M independent
-  // forward passes fanned across the pool.
+  // The online-inference hot path (Table 8 at B = 1; the multi-stream
+  // serving engine at B > 1): M independent forward passes over the whole
+  // window batch, fanned across the pool. Every kernel reduction stays
+  // within one window's rows, so per-window results do not depend on B.
   const EngineScope engine(config_.num_threads);
   const ParallelTrainer& trainer = engine.trainer();
   ag::Var x = EmbedConstant(scaled);
-  std::vector<double> errors(models_.size(), 0.0);
+  std::vector<std::vector<double>> errors(models_.size());
   trainer.Run(models_.size(), [&](size_t mi) {
     ag::Var recon = models_[mi]->Reconstruct(x);
-    const auto batch_errors = WindowErrors(x->value(), recon->value());
-    errors[mi] = batch_errors[0].back();
+    errors[mi] = LastPositionErrors(x->value(), recon->value());
   });
-  return Median(std::move(errors));
+  // Per-window median across members, reduced in index order (Eq. 15).
+  std::vector<double> scores(static_cast<size_t>(batch));
+  std::vector<double> column(models_.size());
+  for (int64_t b = 0; b < batch; ++b) {
+    for (size_t mi = 0; mi < models_.size(); ++mi) {
+      column[mi] = errors[mi][static_cast<size_t>(b)];
+    }
+    scores[static_cast<size_t>(b)] = Median(column);
+  }
+  return scores;
 }
 
 StatusOr<double> CaeEnsemble::Diversity(const ts::TimeSeries& series) const {

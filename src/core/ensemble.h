@@ -27,6 +27,10 @@
 namespace caee {
 namespace core {
 
+/// \brief Every knob of the ensemble: the paper's hyperparameters, the
+/// CPU-scale guards, and the parallel-engine worker count. A config is
+/// validated by the CaeEnsemble constructor (CHECK) or, for untrusted
+/// persisted configs, by CaeEnsemble::Restore (Status).
 struct EnsembleConfig {
   CaeConfig cae;
   int64_t window = 16;           // w
@@ -92,6 +96,8 @@ struct EnsembleConfig {
   bool verbose = false;
 };
 
+/// \brief Bookkeeping of one Fit call (Table 7 reporting); reset by every
+/// Fit, empty on a Restore'd ensemble.
 struct TrainStats {
   std::vector<std::vector<double>> per_model_epoch_loss;  // J - λK per epoch
   double train_seconds = 0.0;
@@ -132,8 +138,22 @@ class CaeEnsemble {
 
   /// \brief Score a single raw (1, w, D) window: median across models of the
   /// last observation's reconstruction error. This is the online-inference
-  /// path measured in Table 8 (see StreamingScorer).
+  /// path measured in Table 8 (see StreamingScorer). Delegates to
+  /// ScoreWindowsLast with B = 1.
   StatusOr<double> ScoreWindowLast(const Tensor& window) const;
+
+  /// \brief Batched online scoring: score B raw (B, w, D) windows in ONE
+  /// forward pass per basic model, returning one last-position score per
+  /// window (same policy as ScoreWindowLast). The windows are independent —
+  /// they may come from B different streams — and every per-element
+  /// computation reduces only within its own window, so scores[i] is
+  /// bitwise identical to ScoreWindowLast(windows[i]) for any B, any batch
+  /// composition, and any num_threads (the cross-stream micro-batching
+  /// contract; see docs/serving.md and docs/numeric-contract.md). This is
+  /// the entry point serve::ServingEngine amortises the per-window forward
+  /// pass with: O(streams / batch) batched GEMMs instead of O(streams)
+  /// sequential ones.
+  StatusOr<std::vector<double>> ScoreWindowsLast(const Tensor& windows) const;
 
   /// \brief Change the parallel-engine worker count after construction.
   /// Scoring parallelism is a runtime choice (trained weights are
@@ -162,10 +182,17 @@ class CaeEnsemble {
   /// \brief The shared frozen window embedding. Requires Fit (or Restore).
   const nn::WindowEmbedding& embedding() const;
 
+  /// \brief True after a successful Fit or Restore; every scoring entry
+  /// point requires it (unfitted calls return FailedPrecondition).
   bool fitted() const { return fitted_; }
+  /// \brief Trained basic models (== config().num_models once fitted).
   int64_t num_models() const { return static_cast<int64_t>(models_.size()); }
+  /// \brief The configuration this ensemble was constructed with, with
+  /// Fit-time resolutions applied (e.g. auto-sized embed_dim).
   const EnsembleConfig& config() const { return config_; }
+  /// \brief Timing/loss bookkeeping of the last Fit (empty after Restore).
   const TrainStats& train_stats() const { return stats_; }
+  /// \brief Basic model i in generation order; i in [0, num_models()).
   const Cae& model(int64_t i) const { return *models_[static_cast<size_t>(i)]; }
 
  private:

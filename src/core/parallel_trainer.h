@@ -18,7 +18,14 @@
 // orchestrating thread in a fixed order before any fan-out, and all
 // reductions happen in index order after the fan-out. Scores are therefore
 // bitwise identical at any thread count; `num_threads == 1` short-circuits
-// to plain loops.
+// to plain loops. (docs/numeric-contract.md is the repo-wide statement of
+// this policy.)
+//
+// The engine also backs the batched multi-window serving entry point
+// (CaeEnsemble::ScoreWindowsLast, consumed by serve::ServingEngine): the
+// per-member forward passes over a cross-stream micro-batch fan out through
+// Run() exactly like single-window scoring, so the contract extends to any
+// batch size and batch composition.
 
 #ifndef CAEE_CORE_PARALLEL_TRAINER_H_
 #define CAEE_CORE_PARALLEL_TRAINER_H_

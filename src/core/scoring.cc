@@ -22,6 +22,27 @@ std::vector<std::vector<double>> WindowErrors(const Tensor& x,
   return errors;
 }
 
+std::vector<double> LastPositionErrors(const Tensor& x, const Tensor& recon) {
+  CAEE_CHECK_MSG(x.SameShape(recon), "LastPositionErrors shape mismatch");
+  CAEE_CHECK_MSG(x.rank() == 3, "LastPositionErrors expects (B,w,D)");
+  const int64_t b = x.dim(0), w = x.dim(1), d = x.dim(2);
+  std::vector<double> out(static_cast<size_t>(b));
+  for (int64_t bb = 0; bb < b; ++bb) {
+    // Identical accumulation to ops::SquaredErrorPerPosition's row loop
+    // (ascending j, double accumulator) — the bitwise contract with
+    // WindowErrors depends on it.
+    const float* xr = x.data() + (bb * w + (w - 1)) * d;
+    const float* rr = recon.data() + (bb * w + (w - 1)) * d;
+    double acc = 0.0;
+    for (int64_t j = 0; j < d; ++j) {
+      const double diff = static_cast<double>(xr[j]) - rr[j];
+      acc += diff * diff;
+    }
+    out[static_cast<size_t>(bb)] = acc;
+  }
+  return out;
+}
+
 WindowScoreAssembler::WindowScoreAssembler(int64_t num_windows, int64_t window)
     : num_windows_(num_windows), window_(window) {
   CAEE_CHECK_MSG(num_windows >= 1 && window >= 1,

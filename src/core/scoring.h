@@ -24,6 +24,14 @@ namespace core {
 std::vector<std::vector<double>> WindowErrors(const Tensor& x,
                                               const Tensor& recon);
 
+/// \brief Last-position errors only: out[b] = ||x[b,w-1,:] - recon[b,w-1,:]||²
+/// with the same ascending-j double-precision accumulation as WindowErrors,
+/// so out[b] is bitwise equal to WindowErrors(x, recon)[b].back() (see
+/// docs/numeric-contract.md). This is the batched online-serving hot path:
+/// every window past the first contributes only its last observation
+/// (Fig. 10), so scoring B ready windows needs B row reductions, not B*w.
+std::vector<double> LastPositionErrors(const Tensor& x, const Tensor& recon);
+
 /// \brief Assembles per-observation scores for one model (Fig. 10 policy).
 class WindowScoreAssembler {
  public:

@@ -1,49 +1,83 @@
 #include "core/streaming.h"
 
+#include <algorithm>
+#include <cstring>
 #include <string>
 
 namespace caee {
 namespace core {
 
-StreamingScorer::StreamingScorer(const CaeEnsemble* ensemble)
-    : ensemble_(ensemble) {
-  // Dereference only after the null CHECK (an initializer-list deref would
-  // segfault before the diagnostic fires).
-  CAEE_CHECK_MSG(ensemble_ != nullptr, "null ensemble");
-  CAEE_CHECK_MSG(ensemble_->fitted(), "StreamingScorer needs a fitted ensemble");
-  window_ = ensemble_->config().window;
-  dims_ = ensemble_->input_dim();
+WindowState::WindowState(int64_t window, int64_t dims)
+    : window_(window), dims_(dims) {
+  CAEE_CHECK_MSG(window_ >= 1, "window must be >= 1");
+  CAEE_CHECK_MSG(dims_ >= 1, "dims must be >= 1");
+  ring_.resize(static_cast<size_t>(window_ * dims_));
 }
 
-StatusOr<std::optional<double>> StreamingScorer::Push(
-    const std::vector<float>& observation) {
+Status WindowState::Push(const std::vector<float>& observation) {
   if (static_cast<int64_t>(observation.size()) != dims_) {
     return Status::InvalidArgument(
         "observation has " + std::to_string(observation.size()) +
-        " dims but the ensemble was fitted on " + std::to_string(dims_));
+        " dims but the stream carries " + std::to_string(dims_));
   }
+  std::memcpy(ring_.data() + head_ * dims_, observation.data(),
+              static_cast<size_t>(dims_) * sizeof(float));
+  head_ = (head_ + 1) % window_;
+  count_ = std::min(count_ + 1, window_);
   ++seen_;
-  buffer_.push_back(observation);
-  if (static_cast<int64_t>(buffer_.size()) > window_) buffer_.pop_front();
-  if (static_cast<int64_t>(buffer_.size()) < window_) {
-    return std::optional<double>{};
-  }
-
-  // Fully overwritten below, so skip the zero-fill pass (this runs once per
-  // streamed observation in the online-serve hot loop).
-  Tensor window = Tensor::Uninitialized(Shape{1, window_, dims_});
-  for (int64_t t = 0; t < window_; ++t) {
-    const auto& obs = buffer_[static_cast<size_t>(t)];
-    std::copy(obs.begin(), obs.end(), window.data() + t * dims_);
-  }
-  auto score = ensemble_->ScoreWindowLast(window);
-  if (!score.ok()) return score.status();
-  return std::optional<double>(score.value());
+  return Status::OK();
 }
 
-void StreamingScorer::Reset() {
-  buffer_.clear();
+void WindowState::CopyWindowTo(float* dst) const {
+  CAEE_CHECK_MSG(warm(), "CopyWindowTo before the window is full");
+  // Once warm, head_ is both the slot of the OLDEST observation and the ring
+  // seam: [head_, window_) is the older run, [0, head_) the newer one.
+  const size_t tail_floats = static_cast<size_t>((window_ - head_) * dims_);
+  std::memcpy(dst, ring_.data() + head_ * dims_, tail_floats * sizeof(float));
+  if (head_ > 0) {
+    std::memcpy(dst + tail_floats, ring_.data(),
+                static_cast<size_t>(head_ * dims_) * sizeof(float));
+  }
+}
+
+Tensor WindowState::MakeWindowTensor() const {
+  // Fully overwritten by CopyWindowTo, so skip the zero-fill pass.
+  Tensor window = Tensor::Uninitialized(Shape{1, window_, dims_});
+  CopyWindowTo(window.data());
+  return window;
+}
+
+void WindowState::Reset() {
   seen_ = 0;
+  count_ = 0;
+  head_ = 0;
+}
+
+namespace {
+
+// Dereferenced only after the null CHECK (an initializer-list deref would
+// segfault before the diagnostic fires), so the member initializer routes
+// through this helper.
+int64_t CheckedWindow(const CaeEnsemble* ensemble) {
+  CAEE_CHECK_MSG(ensemble != nullptr, "null ensemble");
+  CAEE_CHECK_MSG(ensemble->fitted(),
+                 "StreamingScorer needs a fitted ensemble");
+  return ensemble->config().window;
+}
+
+}  // namespace
+
+StreamingScorer::StreamingScorer(const CaeEnsemble* ensemble)
+    : ensemble_(ensemble),
+      state_(CheckedWindow(ensemble), ensemble->input_dim()) {}
+
+StatusOr<std::optional<double>> StreamingScorer::Push(
+    const std::vector<float>& observation) {
+  CAEE_RETURN_NOT_OK(state_.Push(observation));
+  if (!state_.warm()) return std::optional<double>{};
+  auto score = ensemble_->ScoreWindowLast(state_.MakeWindowTensor());
+  if (!score.ok()) return score.status();
+  return std::optional<double>(score.value());
 }
 
 }  // namespace core

@@ -2,11 +2,22 @@
 // arrives, form a window from it and its w-1 predecessors and return its
 // outlier score. Training happens offline; this path only runs frozen
 // forward passes.
+//
+// Two pieces live here:
+//
+//   - WindowState: the reusable per-stream ingestion state — a ring buffer
+//     of the last w raw observations with width validation. It owns no
+//     ensemble and runs no forward pass, which is what lets the serve layer
+//     (src/serve/) keep one WindowState per tenant stream and batch the
+//     forward passes across streams.
+//   - StreamingScorer: WindowState + one ensemble = the single-stream online
+//     scorer (score each observation as it arrives).
+//
+// See docs/serving.md for the serving modes built on top of these.
 
 #ifndef CAEE_CORE_STREAMING_H_
 #define CAEE_CORE_STREAMING_H_
 
-#include <deque>
 #include <optional>
 #include <vector>
 
@@ -15,6 +26,59 @@
 namespace caee {
 namespace core {
 
+/// \brief Ring-buffered sliding-window state for one stream.
+///
+/// Holds the most recent `window` observations of a fixed-width stream in a
+/// contiguous ring (no per-observation allocation once warm). Invariants:
+/// every accepted observation has exactly dims() values (anything else is
+/// rejected with InvalidArgument and leaves the state untouched), and once
+/// warm() the buffer always holds exactly the last window() observations in
+/// arrival order.
+class WindowState {
+ public:
+  /// \brief `window` >= 1 observations of `dims` >= 1 values each.
+  WindowState(int64_t window, int64_t dims);
+
+  /// \brief Append one observation. Returns InvalidArgument (and changes
+  /// nothing — seen() is not advanced) when the width is not dims(); this
+  /// holds for EVERY push, not just the first.
+  Status Push(const std::vector<float>& observation);
+
+  /// \brief True once window() observations are buffered (a full window is
+  /// available from every Push onward).
+  bool warm() const { return count_ == window_; }
+
+  /// \brief Copy the current window into `dst` as window() x dims() floats,
+  /// row-major, oldest observation first. Requires warm(). At most two
+  /// memcpys (the ring seam).
+  void CopyWindowTo(float* dst) const;
+
+  /// \brief Copy the current window into a fresh (1, window, dims) tensor.
+  /// Requires warm().
+  Tensor MakeWindowTensor() const;
+
+  /// \brief Observations accepted since construction or the last Reset.
+  int64_t seen() const { return seen_; }
+  int64_t window() const { return window_; }
+  int64_t dims() const { return dims_; }
+
+  /// \brief Forget all buffered observations (back to cold, seen() == 0).
+  void Reset();
+
+ private:
+  int64_t window_;
+  int64_t dims_;
+  int64_t seen_ = 0;   // accepted pushes (rejected ones don't count)
+  int64_t count_ = 0;  // buffered observations, saturates at window_
+  int64_t head_ = 0;   // ring slot the NEXT observation lands in
+  std::vector<float> ring_;  // window_ * dims_, slot t at [t*dims_, (t+1)*dims_)
+};
+
+/// \brief Single-stream online scorer: one WindowState fed through one
+/// fitted ensemble (the Table 8 inference path). For many concurrent
+/// streams, use serve::ServingEngine, which batches the forward passes
+/// across streams and is bitwise-identical to running one StreamingScorer
+/// per stream.
 class StreamingScorer {
  public:
   /// \brief The ensemble must be fitted and outlive the scorer.
@@ -22,25 +86,23 @@ class StreamingScorer {
 
   /// \brief Feed one raw observation. Its size must equal the
   /// dimensionality the ensemble was fitted on (dims()); anything else is
-  /// rejected with InvalidArgument before touching the buffer. Returns the
+  /// rejected with InvalidArgument before touching the buffer — on ANY
+  /// push, and the rejected observation is not counted. Returns the
   /// outlier score of this observation once w observations have been seen;
   /// std::nullopt while warming up.
   StatusOr<std::optional<double>> Push(const std::vector<float>& observation);
 
-  int64_t observations_seen() const { return seen_; }
+  int64_t observations_seen() const { return state_.seen(); }
   /// \brief Expected observation size (the ensemble's fitted input dims).
-  int64_t dims() const { return dims_; }
-  bool warm() const { return static_cast<int64_t>(buffer_.size()) == window_; }
+  int64_t dims() const { return state_.dims(); }
+  bool warm() const { return state_.warm(); }
 
   /// \brief Forget all buffered observations.
-  void Reset();
+  void Reset() { state_.Reset(); }
 
  private:
   const CaeEnsemble* ensemble_;
-  int64_t window_;
-  int64_t dims_;
-  int64_t seen_ = 0;
-  std::deque<std::vector<float>> buffer_;
+  WindowState state_;
 };
 
 }  // namespace core

@@ -1,0 +1,130 @@
+#include "serve/serving_engine.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace caee {
+namespace serve {
+
+ServingEngine::ServingEngine(const core::CaeEnsemble* ensemble,
+                             const ServeConfig& config,
+                             std::optional<double> threshold)
+    : ensemble_(ensemble), config_(config), threshold_(threshold) {
+  CAEE_CHECK_MSG(ensemble_ != nullptr, "null ensemble");
+  CAEE_CHECK_MSG(ensemble_->fitted(), "ServingEngine needs a fitted ensemble");
+  CAEE_CHECK_MSG(config_.max_batch >= 1, "max_batch must be >= 1");
+  window_ = ensemble_->config().window;
+  dims_ = ensemble_->input_dim();
+}
+
+Status ServingEngine::OpenStream(int64_t stream_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_.count(stream_id) > 0) {
+    return Status::FailedPrecondition(
+        "stream " + std::to_string(stream_id) + " is already open");
+  }
+  sessions_.emplace(stream_id, StreamSession(window_, dims_));
+  return Status::OK();
+}
+
+Status ServingEngine::CloseStream(int64_t stream_id,
+                                  std::vector<StreamScore>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(stream_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("stream " + std::to_string(stream_id) +
+                            " is not open");
+  }
+  // Drain everything before the session disappears — a pending window of
+  // this stream must still be scored and attributed to it.
+  CAEE_RETURN_NOT_OK(FlushLocked(out));
+  sessions_.erase(it);
+  return Status::OK();
+}
+
+Status ServingEngine::Push(int64_t stream_id,
+                           const std::vector<float>& observation,
+                           std::vector<StreamScore>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(stream_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("stream " + std::to_string(stream_id) +
+                            " is not open (protocol: open it first)");
+  }
+  StreamSession& session = it->second;
+  CAEE_RETURN_NOT_OK(session.Push(observation));
+  if (!session.warm()) return Status::OK();
+
+  // Snapshot now: the ring overwrites its oldest row on the next push.
+  PendingWindow pending;
+  pending.stream_id = stream_id;
+  pending.index = session.next_index() - 1;
+  pending.enqueued_at = std::chrono::steady_clock::now();
+  pending.values.resize(static_cast<size_t>(window_ * dims_));
+  session.SnapshotWindowTo(pending.values.data());
+  pending_.push_back(std::move(pending));
+
+  if (static_cast<int64_t>(pending_.size()) >= config_.max_batch) {
+    return FlushLocked(out);
+  }
+  return Status::OK();
+}
+
+Status ServingEngine::Flush(std::vector<StreamScore>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushLocked(out);
+}
+
+Status ServingEngine::FlushIfExpired(std::vector<StreamScore>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (config_.flush_deadline_ms <= 0 || pending_.empty()) return Status::OK();
+  const auto waited = std::chrono::steady_clock::now() -
+                      pending_.front().enqueued_at;
+  if (waited < std::chrono::milliseconds(config_.flush_deadline_ms)) {
+    return Status::OK();
+  }
+  return FlushLocked(out);
+}
+
+Status ServingEngine::FlushLocked(std::vector<StreamScore>* out) {
+  while (!pending_.empty()) {
+    const int64_t batch = std::min<int64_t>(
+        static_cast<int64_t>(pending_.size()), config_.max_batch);
+    // One (B, w, D) tensor, one batched forward pass per basic model. Rows
+    // are fully overwritten, so skip the zero-fill.
+    Tensor windows = Tensor::Uninitialized(Shape{batch, window_, dims_});
+    for (int64_t b = 0; b < batch; ++b) {
+      std::memcpy(windows.data() + b * window_ * dims_,
+                  pending_[static_cast<size_t>(b)].values.data(),
+                  static_cast<size_t>(window_ * dims_) * sizeof(float));
+    }
+    auto scores = ensemble_->ScoreWindowsLast(windows);
+    if (!scores.ok()) return scores.status();
+    for (int64_t b = 0; b < batch; ++b) {
+      const PendingWindow& p = pending_[static_cast<size_t>(b)];
+      StreamScore result;
+      result.stream_id = p.stream_id;
+      result.index = p.index;
+      result.score = scores.value()[static_cast<size_t>(b)];
+      result.flag = threshold_.has_value() && result.score > *threshold_;
+      if (out != nullptr) out->push_back(result);
+    }
+    pending_.erase(pending_.begin(), pending_.begin() + batch);
+  }
+  return Status::OK();
+}
+
+int64_t ServingEngine::num_streams() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(sessions_.size());
+}
+
+int64_t ServingEngine::pending_windows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(pending_.size());
+}
+
+}  // namespace serve
+}  // namespace caee

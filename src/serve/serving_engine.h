@@ -1,0 +1,142 @@
+// Multi-stream serving engine with cross-stream micro-batching.
+//
+// The single-stream online path (core::StreamingScorer) runs one frozen
+// forward pass per arriving observation. A serving process fronting a fleet
+// of independent series — the workload shape of the boosting-ensemble and
+// multivariate-ensemble deployment lines of work — would pay O(streams)
+// sequential passes per tick. ServingEngine owns ONE loaded ensemble and N
+// stream sessions, and scores ready windows from *different* streams in one
+// batched forward pass (core::CaeEnsemble::ScoreWindowsLast), turning the
+// hot path into O(streams / max_batch) batched GEMMs fanned over
+// ThreadPool::Global() by the parallel engine.
+//
+// Batching policy: a push to a warm stream snapshots one ready window into
+// the pending queue. The queue is scored (flushed) when it reaches
+// ServeConfig::max_batch windows, when the oldest pending window has waited
+// flush_deadline_ms (FlushIfExpired — latency bound under trickling
+// traffic), on explicit Flush, and before a stream closes.
+//
+// Determinism contract: a window's score depends only on the window's
+// contents — never on batch size, batch composition, flush timing, or
+// thread count — and is bitwise identical to what a dedicated
+// core::StreamingScorer on that stream would have produced. Enforced by
+// tests/serve_test.cc; policy details in docs/serving.md and
+// docs/numeric-contract.md.
+//
+// Thread safety: all public methods are safe to call concurrently (one
+// internal mutex; flushes serialise, and the parallelism inside a flush
+// comes from the ensemble's engine). Scored results are handed back through
+// out-parameters rather than a callback so callers choose their own
+// delivery locking.
+
+#ifndef CAEE_SERVE_SERVING_ENGINE_H_
+#define CAEE_SERVE_SERVING_ENGINE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/ensemble.h"
+#include "serve/stream_session.h"
+
+namespace caee {
+namespace serve {
+
+/// \brief Micro-batching knobs. Worker count is the ensemble's own
+/// num_threads knob (core::CaeEnsemble::set_num_threads) — the engine adds
+/// no parallelism of its own.
+struct ServeConfig {
+  /// Ready windows per batched forward pass; reaching it triggers an
+  /// immediate flush. Must be >= 1. Larger batches amortise better but
+  /// buffer longer under trickling traffic.
+  int64_t max_batch = 8;
+  /// Latency bound: FlushIfExpired scores the queue once the OLDEST
+  /// pending window has waited this long. <= 0 disables the deadline
+  /// (flushes happen only on a full batch, explicit Flush, or close).
+  int64_t flush_deadline_ms = 50;
+};
+
+/// \brief One scored observation: which stream, its index within that
+/// stream, the outlier score, and the threshold verdict (always false when
+/// the engine has no threshold).
+struct StreamScore {
+  int64_t stream_id = 0;
+  int64_t index = 0;
+  double score = 0.0;
+  bool flag = false;
+};
+
+class ServingEngine {
+ public:
+  /// \brief The ensemble must be fitted and outlive the engine. `threshold`
+  /// is the calibrated alert threshold from the artifact (flags stay false
+  /// without one). Aborts on max_batch < 1 or an unfitted ensemble —
+  /// construction arguments are programmer input, not tenant input.
+  ServingEngine(const core::CaeEnsemble* ensemble, const ServeConfig& config,
+                std::optional<double> threshold = std::nullopt);
+
+  /// \brief Open a session. FailedPrecondition if `stream_id` is already
+  /// open. Streams warm up independently: the first w-1 observations of a
+  /// fresh session score nothing.
+  Status OpenStream(int64_t stream_id);
+
+  /// \brief Close a session. The whole pending queue is flushed first so no
+  /// enqueued window of this (or any) stream is dropped; results land in
+  /// *out. NotFound if the stream is not open. Reopening the same id later
+  /// starts a fresh, cold session.
+  Status CloseStream(int64_t stream_id, std::vector<StreamScore>* out);
+
+  /// \brief Feed one observation to an open stream. If the stream is warm
+  /// this enqueues one ready window; if that fills the micro-batch, the
+  /// batched pass runs inline and its scores (for ALL streams in the batch)
+  /// are appended to *out. NotFound for unknown streams, InvalidArgument
+  /// for a width mismatch (the session is untouched and stays usable).
+  Status Push(int64_t stream_id, const std::vector<float>& observation,
+              std::vector<StreamScore>* out);
+
+  /// \brief Score every pending window now, regardless of batch occupancy
+  /// (in chunks of max_batch). Call at end-of-input.
+  Status Flush(std::vector<StreamScore>* out);
+
+  /// \brief Flush only if the deadline has expired on the oldest pending
+  /// window (no-op when flush_deadline_ms <= 0 or nothing is pending).
+  /// Drive this from a timer when input can stall mid-batch.
+  Status FlushIfExpired(std::vector<StreamScore>* out);
+
+  int64_t num_streams() const;
+  /// \brief Ready windows currently waiting for a batch slot.
+  int64_t pending_windows() const;
+  const ServeConfig& config() const { return config_; }
+  std::optional<double> threshold() const { return threshold_; }
+
+ private:
+  struct PendingWindow {
+    int64_t stream_id;
+    int64_t index;  // observation index within the stream
+    std::chrono::steady_clock::time_point enqueued_at;
+    std::vector<float> values;  // w x dims snapshot, oldest row first
+  };
+
+  /// \brief Score and drain the whole pending queue (chunks of max_batch),
+  /// appending results in arrival order. Requires mu_ held.
+  Status FlushLocked(std::vector<StreamScore>* out);
+
+  const core::CaeEnsemble* ensemble_;
+  ServeConfig config_;
+  std::optional<double> threshold_;
+  int64_t window_;
+  int64_t dims_;
+
+  mutable std::mutex mu_;
+  std::map<int64_t, StreamSession> sessions_;
+  std::deque<PendingWindow> pending_;
+};
+
+}  // namespace serve
+}  // namespace caee
+
+#endif  // CAEE_SERVE_SERVING_ENGINE_H_

@@ -1,0 +1,63 @@
+// One tenant stream inside the multi-stream serving engine: its ring-buffered
+// window state plus the observation counter that stamps result indices.
+// Sessions are created by ServingEngine::OpenStream and never shared across
+// engines.
+
+#ifndef CAEE_SERVE_STREAM_SESSION_H_
+#define CAEE_SERVE_STREAM_SESSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/streaming.h"
+
+namespace caee {
+namespace serve {
+
+/// \brief Per-stream serving state: a core::WindowState ring plus the
+/// index bookkeeping the engine stamps results with.
+///
+/// A session accepts observations one at a time; once its window is warm,
+/// every further push snapshots one ready window for the engine's pending
+/// queue. The session itself never runs a forward pass — scoring is the
+/// engine's job, batched across sessions. Invariants: observation width is
+/// validated on EVERY push (a rejected push changes nothing), and
+/// next_index() counts exactly the accepted observations.
+class StreamSession {
+ public:
+  /// \brief `window` and `dims` come from the engine's fitted ensemble.
+  StreamSession(int64_t window, int64_t dims)
+      : state_(window, dims) {}
+
+  /// \brief Accept one observation. On success the window ring advances and
+  /// next_index() increments; on width mismatch nothing changes and the
+  /// InvalidArgument propagates to the caller.
+  Status Push(const std::vector<float>& observation) {
+    return state_.Push(observation);
+  }
+
+  /// \brief True once a full window is buffered — from here on every
+  /// accepted observation yields one scoreable window.
+  bool warm() const { return state_.warm(); }
+
+  /// \brief Snapshot the current window (w x dims floats, oldest first)
+  /// into `dst`. Requires warm(). The snapshot is taken at push time
+  /// because the ring overwrites its oldest row on the next push.
+  void SnapshotWindowTo(float* dst) const { state_.CopyWindowTo(dst); }
+
+  /// \brief Index of the NEXT observation (== accepted observations so
+  /// far). The engine stamps each pending window with the index of the
+  /// observation that completed it: next_index() - 1 at snapshot time.
+  int64_t next_index() const { return state_.seen(); }
+
+  int64_t window() const { return state_.window(); }
+  int64_t dims() const { return state_.dims(); }
+
+ private:
+  core::WindowState state_;
+};
+
+}  // namespace serve
+}  // namespace caee
+
+#endif  // CAEE_SERVE_STREAM_SESSION_H_

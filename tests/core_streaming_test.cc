@@ -147,6 +147,132 @@ TEST_F(StreamingTest, RejectsEmptyObservation) {
   EXPECT_FALSE(scorer.Push({}).ok());
 }
 
+// A width-mismatched push is rejected on ANY push — including mid-warm-up —
+// and must leave the scorer exactly where it was: not counted, warm-up
+// unchanged, later scores identical to a clean run.
+TEST_F(StreamingTest, RejectedPushDuringWarmupLeavesStateIntact) {
+  ts::TimeSeries test = testutil::PlantedSeries(20, 2, 21);
+
+  core::StreamingScorer clean(ensemble_.get());
+  std::vector<double> clean_scores;
+  for (int64_t t = 0; t < test.length(); ++t) {
+    auto result = clean.Push(Row(test, t));
+    ASSERT_TRUE(result.ok());
+    if (result->has_value()) clean_scores.push_back(result->value());
+  }
+
+  core::StreamingScorer dirty(ensemble_.get());
+  std::vector<double> dirty_scores;
+  for (int64_t t = 0; t < test.length(); ++t) {
+    if (t == 2) {  // mid-warm-up (window is 5): a non-first bad push
+      auto bad = dirty.Push({1.0f, 2.0f, 3.0f});
+      EXPECT_FALSE(bad.ok());
+      EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+      EXPECT_EQ(dirty.observations_seen(), 2);  // rejected push not counted
+      EXPECT_FALSE(dirty.warm());
+      auto also_bad = dirty.Push({});  // empty is rejected mid-stream too
+      EXPECT_FALSE(also_bad.ok());
+    }
+    auto result = dirty.Push(Row(test, t));
+    ASSERT_TRUE(result.ok());
+    if (result->has_value()) dirty_scores.push_back(result->value());
+  }
+
+  ASSERT_EQ(dirty_scores.size(), clean_scores.size());
+  for (size_t i = 0; i < clean_scores.size(); ++i) {
+    EXPECT_EQ(dirty_scores[i], clean_scores[i]) << "scored obs " << i;
+  }
+}
+
+// Session reset/reopen: replaying the same series after Reset must walk the
+// same warm-up and produce bitwise-identical scores (nothing about the
+// previous session may leak into the ring).
+TEST_F(StreamingTest, ResetThenReplayIsBitwiseIdentical) {
+  ts::TimeSeries test = testutil::PlantedSeries(30, 2, 22, {20});
+  core::StreamingScorer scorer(ensemble_.get());
+
+  auto run = [&] {
+    std::vector<double> scores;
+    for (int64_t t = 0; t < test.length(); ++t) {
+      auto result = scorer.Push(Row(test, t));
+      CAEE_CHECK(result.ok());
+      if (result->has_value()) scores.push_back(result->value());
+    }
+    return scores;
+  };
+
+  const std::vector<double> first = run();
+  scorer.Reset();
+  EXPECT_EQ(scorer.observations_seen(), 0);
+  EXPECT_FALSE(scorer.warm());
+  const std::vector<double> second = run();
+
+  ASSERT_EQ(first.size(), second.size());
+  ASSERT_FALSE(first.empty());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i], second[i]) << "scored obs " << i;
+  }
+}
+
+// WindowState is the reusable ring under both StreamingScorer and the serve
+// layer's sessions; its ring seam must be invisible to consumers.
+TEST(WindowStateTest, RingWrapAroundKeepsLastWindowInArrivalOrder) {
+  core::WindowState state(/*window=*/3, /*dims=*/2);
+  EXPECT_FALSE(state.warm());
+  // Push 10 observations [t, -t]; after each push from t=2 on, the window
+  // must hold the last 3 in arrival order regardless of the ring seam.
+  for (int64_t t = 0; t < 10; ++t) {
+    ASSERT_TRUE(state
+                    .Push({static_cast<float>(t), static_cast<float>(-t)})
+                    .ok());
+    if (t < 2) {
+      EXPECT_FALSE(state.warm());
+      continue;
+    }
+    ASSERT_TRUE(state.warm());
+    Tensor window = state.MakeWindowTensor();
+    ASSERT_EQ(window.dim(1), 3);
+    for (int64_t i = 0; i < 3; ++i) {
+      const int64_t src = t - 2 + i;
+      EXPECT_EQ(window.at(0, i, 0), static_cast<float>(src)) << "t=" << t;
+      EXPECT_EQ(window.at(0, i, 1), static_cast<float>(-src)) << "t=" << t;
+    }
+  }
+  EXPECT_EQ(state.seen(), 10);
+}
+
+TEST(WindowStateTest, RejectsWrongWidthOnEveryPushWithoutSideEffects) {
+  core::WindowState state(/*window=*/2, /*dims=*/2);
+  ASSERT_TRUE(state.Push({1.0f, 2.0f}).ok());
+  for (const auto& bad :
+       std::vector<std::vector<float>>{{}, {1.0f}, {1.0f, 2.0f, 3.0f}}) {
+    EXPECT_EQ(state.Push(bad).code(), StatusCode::kInvalidArgument);
+  }
+  EXPECT_EQ(state.seen(), 1);
+  EXPECT_FALSE(state.warm());
+  ASSERT_TRUE(state.Push({3.0f, 4.0f}).ok());
+  ASSERT_TRUE(state.warm());
+  Tensor window = state.MakeWindowTensor();
+  EXPECT_EQ(window.at(0, 0, 0), 1.0f);
+  EXPECT_EQ(window.at(0, 1, 1), 4.0f);
+}
+
+TEST(WindowStateTest, ResetGoesColdAndRefillsCleanly) {
+  core::WindowState state(/*window=*/2, /*dims=*/1);
+  ASSERT_TRUE(state.Push({1.0f}).ok());
+  ASSERT_TRUE(state.Push({2.0f}).ok());
+  ASSERT_TRUE(state.warm());
+  state.Reset();
+  EXPECT_FALSE(state.warm());
+  EXPECT_EQ(state.seen(), 0);
+  ASSERT_TRUE(state.Push({5.0f}).ok());
+  EXPECT_FALSE(state.warm());  // one push after reset is not a full window
+  ASSERT_TRUE(state.Push({6.0f}).ok());
+  Tensor window = state.MakeWindowTensor();
+  EXPECT_EQ(window.at(0, 0, 0), 5.0f);
+  EXPECT_EQ(window.at(0, 1, 0), 6.0f);
+}
+
 TEST_F(StreamingTest, SpikeRaisesStreamingScore) {
   core::StreamingScorer scorer(ensemble_.get());
   ts::TimeSeries test = testutil::PlantedSeries(60, 2, 6, {50}, 12.0);

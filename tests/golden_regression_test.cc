@@ -12,7 +12,8 @@
 //       --gtest_filter='*PrintGolden*'
 //
 // and say so in the commit message — this file is the change log of the
-// numeric contract.
+// numeric contract. The policy itself (what may and may not move scores)
+// and the full regeneration procedure live in docs/numeric-contract.md.
 
 #include <algorithm>
 #include <cmath>

@@ -3,8 +3,9 @@
 // kernels::reference::* loops across randomized shapes — including K > W,
 // cin = 1, odd sizes, and empty-padding edges — and their outputs are
 // asserted BITWISE identical at 1, 2, and 4 threads (the determinism
-// contract the ensemble's reproducibility guarantee stands on). Runs under
-// ASan/UBSan in CI like every other test binary.
+// contract the ensemble's reproducibility guarantee stands on; policy
+// reference: docs/numeric-contract.md). Runs under ASan/UBSan in CI like
+// every other test binary.
 
 #include <cmath>
 #include <cstring>

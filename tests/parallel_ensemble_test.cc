@@ -1,7 +1,8 @@
 // Bit-reproducibility and clean-shutdown guarantees of the parallel
 // execution engine (core/parallel_trainer.h): anomaly scores must be
 // bitwise identical at any thread count, and the thread pool must shut
-// down cleanly (verified under ASan in CI).
+// down cleanly (verified under ASan in CI). Policy reference:
+// docs/numeric-contract.md.
 
 #include <atomic>
 #include <cstring>

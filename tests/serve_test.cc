@@ -1,0 +1,362 @@
+// Multi-stream serving engine (src/serve/): the cross-stream micro-batching
+// determinism contract and the session protocol.
+//
+// The load-bearing test is BatchedScoresBitwiseEqualSingleStreamRuns: for
+// every batch size in {1, 3, 8} and engine thread count in {1, 4}, scores
+// coming out of one ServingEngine serving N interleaved streams must be
+// BITWISE equal (EXPECT_EQ on doubles, no tolerance) to N independent
+// core::StreamingScorer runs — the contract documented in docs/serving.md
+// and docs/numeric-contract.md.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "core/streaming.h"
+#include "serve/serving_engine.h"
+#include "test_util.h"
+
+namespace caee {
+namespace {
+
+core::EnsembleConfig TinyConfig() {
+  core::EnsembleConfig cfg;
+  cfg.cae.embed_dim = 6;
+  cfg.cae.num_layers = 1;
+  cfg.window = 5;
+  cfg.num_models = 3;
+  cfg.epochs_per_model = 2;
+  cfg.batch_size = 32;
+  cfg.max_train_windows = 64;
+  cfg.seed = 11;
+  return cfg;
+}
+
+std::vector<float> Row(const ts::TimeSeries& s, int64_t t) {
+  return std::vector<float>(s.row(t), s.row(t) + s.dims());
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ensemble_ = std::make_unique<core::CaeEnsemble>(TinyConfig());
+    ASSERT_TRUE(ensemble_->Fit(testutil::PlantedSeries(250, 2, 1)).ok());
+  }
+  std::unique_ptr<core::CaeEnsemble> ensemble_;
+};
+
+// Distinct per-stream series (different seeds / planted outliers) so a
+// cross-stream mixup cannot cancel out.
+std::vector<ts::TimeSeries> MakeStreams(int64_t n, int64_t length) {
+  std::vector<ts::TimeSeries> streams;
+  for (int64_t i = 0; i < n; ++i) {
+    streams.push_back(testutil::PlantedSeries(
+        length, 2, /*seed=*/100 + static_cast<uint64_t>(i),
+        {length / 2 + i}));
+  }
+  return streams;
+}
+
+// Ground truth: one dedicated StreamingScorer per stream.
+std::vector<std::vector<double>> SingleStreamScores(
+    const core::CaeEnsemble* ensemble,
+    const std::vector<ts::TimeSeries>& streams) {
+  std::vector<std::vector<double>> scores(streams.size());
+  for (size_t s = 0; s < streams.size(); ++s) {
+    core::StreamingScorer scorer(ensemble);
+    for (int64_t t = 0; t < streams[s].length(); ++t) {
+      auto result = scorer.Push(Row(streams[s], t));
+      CAEE_CHECK(result.ok());
+      if (result->has_value()) scores[s].push_back(result->value());
+    }
+  }
+  return scores;
+}
+
+TEST_F(ServeTest, BatchedScoresBitwiseEqualSingleStreamRuns) {
+  const int64_t kStreams = 5, kLength = 30;
+  const auto streams = MakeStreams(kStreams, kLength);
+  const auto expected = SingleStreamScores(ensemble_.get(), streams);
+
+  for (const int64_t threads : {int64_t{1}, int64_t{4}}) {
+    ensemble_->set_num_threads(threads);
+    for (const int64_t max_batch : {int64_t{1}, int64_t{3}, int64_t{8}}) {
+      serve::ServeConfig config;
+      config.max_batch = max_batch;
+      config.flush_deadline_ms = 0;  // only batch-full / explicit flushes
+      serve::ServingEngine engine(ensemble_.get(), config);
+
+      std::vector<serve::StreamScore> results;
+      for (int64_t s = 0; s < kStreams; ++s) {
+        ASSERT_TRUE(engine.OpenStream(s).ok());
+      }
+      // Interleave with a skewed pattern: stream s gets an observation on
+      // every tick where t % (s + 1) == 0, so streams warm up and go ready
+      // at different times and batches mix streams unevenly.
+      std::vector<int64_t> cursor(static_cast<size_t>(kStreams), 0);
+      for (int64_t t = 0; t < kLength * (kStreams + 1); ++t) {
+        for (int64_t s = 0; s < kStreams; ++s) {
+          if (t % (s + 1) != 0) continue;
+          int64_t& c = cursor[static_cast<size_t>(s)];
+          if (c >= kLength) continue;
+          ASSERT_TRUE(engine.Push(s, Row(streams[static_cast<size_t>(s)], c),
+                                  &results)
+                          .ok());
+          ++c;
+        }
+      }
+      ASSERT_TRUE(engine.Flush(&results).ok());
+
+      // Regroup the engine's results per stream, in index order of arrival.
+      std::map<int64_t, std::vector<std::pair<int64_t, double>>> per_stream;
+      for (const auto& r : results) {
+        per_stream[r.stream_id].push_back({r.index, r.score});
+      }
+      for (int64_t s = 0; s < kStreams; ++s) {
+        const auto& got = per_stream[s];
+        const auto& want = expected[static_cast<size_t>(s)];
+        ASSERT_EQ(got.size(), want.size())
+            << "stream " << s << " batch " << max_batch << " threads "
+            << threads;
+        const int64_t w = ensemble_->config().window;
+        for (size_t i = 0; i < want.size(); ++i) {
+          // Index stamping: the i-th score belongs to observation w-1+i.
+          EXPECT_EQ(got[i].first, w - 1 + static_cast<int64_t>(i));
+          EXPECT_EQ(got[i].second, want[i])
+              << "stream " << s << " obs " << got[i].first << " batch "
+              << max_batch << " threads " << threads;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ServeTest, ScoreWindowsLastMatchesScoreWindowLastPerWindow) {
+  // Core-level statement of the same contract: a (B, w, D) batch scores
+  // each window bitwise-identically to B separate (1, w, D) calls.
+  const int64_t w = ensemble_->config().window;
+  ts::TimeSeries series = testutil::PlantedSeries(40, 2, 42, {20});
+  const int64_t num_windows = series.length() - w + 1;
+  Tensor batch = Tensor::Uninitialized(Shape{num_windows, w, series.dims()});
+  for (int64_t b = 0; b < num_windows; ++b) {
+    for (int64_t t = 0; t < w; ++t) {
+      for (int64_t j = 0; j < series.dims(); ++j) {
+        batch.at(b, t, j) = series.value(b + t, j);
+      }
+    }
+  }
+  auto batched = ensemble_->ScoreWindowsLast(batch);
+  ASSERT_TRUE(batched.ok());
+  ASSERT_EQ(static_cast<int64_t>(batched.value().size()), num_windows);
+  for (int64_t b = 0; b < num_windows; ++b) {
+    Tensor one = Tensor::Uninitialized(Shape{1, w, series.dims()});
+    for (int64_t t = 0; t < w; ++t) {
+      for (int64_t j = 0; j < series.dims(); ++j) {
+        one.at(0, t, j) = batch.at(b, t, j);
+      }
+    }
+    auto single = ensemble_->ScoreWindowLast(one);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ(batched.value()[static_cast<size_t>(b)], single.value())
+        << "window " << b;
+  }
+}
+
+TEST_F(ServeTest, ScoreWindowsLastRejectsBadShapes) {
+  EXPECT_EQ(ensemble_->ScoreWindowsLast(Tensor(Shape{3, 2})).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ensemble_
+                ->ScoreWindowsLast(Tensor(
+                    Shape{2, ensemble_->config().window + 1, 2}))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Wrong dimensionality is caught against the fitted scaler.
+  EXPECT_EQ(ensemble_
+                ->ScoreWindowsLast(
+                    Tensor(Shape{2, ensemble_->config().window, 3}))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServeTest, ScoreWindowsLastRejectsWrongWidthWithRescalingOff) {
+  // The width check must not live inside the rescale branch: the "No
+  // re-scaling" ablation config has no scaler to catch the mismatch, and a
+  // bad width must still be a Status, not an abort in the embedding.
+  core::EnsembleConfig config = TinyConfig();
+  config.rescale_enabled = false;
+  core::CaeEnsemble ensemble(config);
+  ASSERT_TRUE(ensemble.Fit(testutil::PlantedSeries(120, 2, 2)).ok());
+  EXPECT_EQ(
+      ensemble.ScoreWindowsLast(Tensor(Shape{2, config.window, 3}))
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_TRUE(
+      ensemble.ScoreWindowsLast(Tensor(Shape{2, config.window, 2})).ok());
+}
+
+TEST_F(ServeTest, PushToUnopenedStreamIsNotFound) {
+  serve::ServingEngine engine(ensemble_.get(), serve::ServeConfig{});
+  std::vector<serve::StreamScore> results;
+  auto status = engine.Push(7, {1.0f, 2.0f}, &results);
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(ServeTest, DoubleOpenFailsCloseOfUnknownFails) {
+  serve::ServingEngine engine(ensemble_.get(), serve::ServeConfig{});
+  EXPECT_TRUE(engine.OpenStream(1).ok());
+  EXPECT_EQ(engine.OpenStream(1).code(), StatusCode::kFailedPrecondition);
+  std::vector<serve::StreamScore> results;
+  EXPECT_EQ(engine.CloseStream(2, &results).code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine.num_streams(), 1);
+}
+
+TEST_F(ServeTest, CloseFlushesPendingWindowsAndReopenStartsCold) {
+  serve::ServeConfig config;
+  config.max_batch = 64;  // never auto-flushes in this test
+  config.flush_deadline_ms = 0;
+  serve::ServingEngine engine(ensemble_.get(), config);
+  ASSERT_TRUE(engine.OpenStream(1).ok());
+
+  const ts::TimeSeries series = testutil::PlantedSeries(10, 2, 3);
+  const int64_t w = ensemble_->config().window;
+  std::vector<serve::StreamScore> results;
+  for (int64_t t = 0; t < w + 2; ++t) {
+    ASSERT_TRUE(engine.Push(1, Row(series, t), &results).ok());
+  }
+  EXPECT_TRUE(results.empty());  // batch never filled
+  EXPECT_EQ(engine.pending_windows(), 3);  // windows w-1, w, w+1
+
+  ASSERT_TRUE(engine.CloseStream(1, &results).ok());
+  ASSERT_EQ(results.size(), 3u);  // close flushed, nothing dropped
+  EXPECT_EQ(results[0].index, w - 1);
+  EXPECT_EQ(engine.pending_windows(), 0);
+  EXPECT_EQ(engine.num_streams(), 0);
+
+  // Reopening the id starts a cold session: a single push scores nothing.
+  ASSERT_TRUE(engine.OpenStream(1).ok());
+  results.clear();
+  ASSERT_TRUE(engine.Push(1, Row(series, 0), &results).ok());
+  ASSERT_TRUE(engine.Flush(&results).ok());
+  EXPECT_TRUE(results.empty());
+}
+
+TEST_F(ServeTest, BatchFullTriggersInlineFlush) {
+  serve::ServeConfig config;
+  config.max_batch = 2;
+  config.flush_deadline_ms = 0;
+  serve::ServingEngine engine(ensemble_.get(), config);
+  ASSERT_TRUE(engine.OpenStream(1).ok());
+  ASSERT_TRUE(engine.OpenStream(2).ok());
+
+  const ts::TimeSeries series = testutil::PlantedSeries(10, 2, 4);
+  const int64_t w = ensemble_->config().window;
+  std::vector<serve::StreamScore> results;
+  // Warm both streams fully (w pushes each = 1 ready window each); the
+  // second stream's warm-up push fills the batch of 2 and flushes inline.
+  for (int64_t t = 0; t < w; ++t) {
+    ASSERT_TRUE(engine.Push(1, Row(series, t), &results).ok());
+  }
+  EXPECT_EQ(engine.pending_windows(), 1);
+  EXPECT_TRUE(results.empty());
+  for (int64_t t = 0; t < w; ++t) {
+    ASSERT_TRUE(engine.Push(2, Row(series, t), &results).ok());
+  }
+  ASSERT_EQ(results.size(), 2u);  // one window per stream, same batch
+  EXPECT_EQ(engine.pending_windows(), 0);
+  EXPECT_EQ(results[0].stream_id, 1);
+  EXPECT_EQ(results[1].stream_id, 2);
+  // Identical inputs through the same frozen models score identically.
+  EXPECT_EQ(results[0].score, results[1].score);
+}
+
+TEST_F(ServeTest, DeadlineFlushScoresWaitingWindows) {
+  serve::ServeConfig config;
+  config.max_batch = 64;
+  config.flush_deadline_ms = 5;
+  serve::ServingEngine engine(ensemble_.get(), config);
+  ASSERT_TRUE(engine.OpenStream(1).ok());
+
+  const ts::TimeSeries series = testutil::PlantedSeries(10, 2, 5);
+  const int64_t w = ensemble_->config().window;
+  std::vector<serve::StreamScore> results;
+  for (int64_t t = 0; t < w; ++t) {
+    ASSERT_TRUE(engine.Push(1, Row(series, t), &results).ok());
+  }
+  EXPECT_EQ(engine.pending_windows(), 1);
+
+  // Immediately after the push the deadline may not have expired; after
+  // sleeping well past it, FlushIfExpired MUST score the window.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(engine.FlushIfExpired(&results).ok());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].index, w - 1);
+  EXPECT_EQ(engine.pending_windows(), 0);
+}
+
+TEST_F(ServeTest, DeadlineDisabledNeverExpires) {
+  serve::ServeConfig config;
+  config.max_batch = 64;
+  config.flush_deadline_ms = 0;
+  serve::ServingEngine engine(ensemble_.get(), config);
+  ASSERT_TRUE(engine.OpenStream(1).ok());
+  const ts::TimeSeries series = testutil::PlantedSeries(10, 2, 6);
+  std::vector<serve::StreamScore> results;
+  for (int64_t t = 0; t < ensemble_->config().window; ++t) {
+    ASSERT_TRUE(engine.Push(1, Row(series, t), &results).ok());
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_TRUE(engine.FlushIfExpired(&results).ok());
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(engine.pending_windows(), 1);
+}
+
+TEST_F(ServeTest, WidthMismatchRejectedSessionStaysUsable) {
+  serve::ServingEngine engine(ensemble_.get(), serve::ServeConfig{});
+  ASSERT_TRUE(engine.OpenStream(1).ok());
+  const ts::TimeSeries series = testutil::PlantedSeries(10, 2, 7);
+  std::vector<serve::StreamScore> results;
+  ASSERT_TRUE(engine.Push(1, Row(series, 0), &results).ok());
+  // Wrong width mid-stream: rejected, not counted, session intact.
+  EXPECT_EQ(engine.Push(1, {1.0f, 2.0f, 3.0f}, &results).code(),
+            StatusCode::kInvalidArgument);
+  for (int64_t t = 1; t < ensemble_->config().window; ++t) {
+    ASSERT_TRUE(engine.Push(1, Row(series, t), &results).ok());
+  }
+  ASSERT_TRUE(engine.Flush(&results).ok());
+  // Exactly one window: the rejected push did not advance the session.
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].index, ensemble_->config().window - 1);
+}
+
+TEST_F(ServeTest, ThresholdControlsFlag) {
+  const ts::TimeSeries series = testutil::PlantedSeries(10, 2, 8);
+  const int64_t w = ensemble_->config().window;
+
+  auto score_with_threshold =
+      [&](std::optional<double> threshold) -> serve::StreamScore {
+    serve::ServingEngine engine(ensemble_.get(), serve::ServeConfig{},
+                                threshold);
+    std::vector<serve::StreamScore> results;
+    CAEE_CHECK(engine.OpenStream(1).ok());
+    for (int64_t t = 0; t < w; ++t) {
+      CAEE_CHECK(engine.Push(1, Row(series, t), &results).ok());
+    }
+    CAEE_CHECK(engine.Flush(&results).ok());
+    CAEE_CHECK(results.size() == 1);
+    return results[0];
+  };
+
+  const serve::StreamScore no_threshold = score_with_threshold(std::nullopt);
+  EXPECT_FALSE(no_threshold.flag);  // no threshold -> never flags
+  EXPECT_TRUE(score_with_threshold(no_threshold.score - 1.0).flag);
+  EXPECT_FALSE(score_with_threshold(no_threshold.score + 1.0).flag);
+}
+
+}  // namespace
+}  // namespace caee
