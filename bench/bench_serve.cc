@@ -1,18 +1,27 @@
-// Multi-stream serving throughput: streams x max-batch table.
+// Multi-stream serving throughput: streams x max-batch x impl table.
 //
 // Trains one small ensemble, then replays S independent synthetic streams
 // through serve::ServingEngine round-robin and measures scored windows per
-// second for each (streams, max_batch) cell — the cross-stream
-// micro-batching win is the batch > 1 columns beating batch = 1 (which
-// degenerates to one forward pass per window, the single-stream serving
-// cost). docs/serving.md "Sizing note" interprets the table.
+// second for each (streams, max_batch) cell, once per scoring backend:
+//
+//   impl=plan   the graph-free compiled-forward-plan engine (infer/plan.h),
+//               the production path serve:: runs
+//   impl=graph  the original ag::Var module-tree forward, kept as the
+//               reference implementation
+//
+// The graph-vs-plan delta is the cost of per-op graph construction the plan
+// removes; the streams=1/max_batch=1 row is the serving TAIL-LATENCY case
+// (one window per forward pass — ns/window is the per-window latency floor,
+// nothing amortises). docs/serving.md "Sizing note" and docs/inference.md
+// interpret the table.
 //
 // `--caee_json=PATH` additionally writes machine-readable entries
-// {streams, max_batch, threads, windows_per_sec, ns_per_window, checksum}
-// (schema mirrors bench_micro_ops); scripts/run_benches.sh writes them to
-// BENCH_4.json. The checksum is the sum of all scores in the cell's run —
-// batching must not move it by a single bit, so drift here is a
-// determinism regression, not noise.
+// {streams, max_batch, threads, impl, windows_per_sec, ns_per_window,
+// checksum}; scripts/run_benches.sh writes them to BENCH_5.json and
+// scripts/check_bench_regression.py guards them in CI. The checksum is the
+// sum of all scores in the cell's run — batching AND backend choice must
+// not move it by a single bit, so drift here is a determinism regression,
+// not noise.
 //
 // Extra flags beyond bench_util.h: --obs=N observations per stream
 // (default 48), --caee_json=PATH.
@@ -35,9 +44,10 @@ struct ServeEntry {
   int64_t streams;
   int64_t max_batch;
   int64_t threads;
+  const char* impl;  // "plan" or "graph"
   double windows_per_sec;
   double ns_per_window;
-  double checksum;  // sum of all scores — must be batch-size invariant
+  double checksum;  // sum of all scores — batch- and backend-invariant
 };
 
 // Deterministic sine-plus-noise stream (each stream gets its own phase via
@@ -61,13 +71,14 @@ std::vector<std::vector<float>> MakeStream(int64_t length, int64_t dims,
   return rows;
 }
 
-ServeEntry RunCell(const core::CaeEnsemble& ensemble,
+ServeEntry RunCell(core::CaeEnsemble* ensemble,
                    const std::vector<std::vector<std::vector<float>>>& streams,
-                   int64_t max_batch) {
+                   int64_t max_batch, core::ScoringBackend backend) {
+  ensemble->set_scoring_backend(backend);
   serve::ServeConfig config;
   config.max_batch = max_batch;
   config.flush_deadline_ms = 0;  // timing measures batching, not timers
-  serve::ServingEngine engine(&ensemble, config);
+  serve::ServingEngine engine(ensemble, config);
 
   const int64_t num_streams = static_cast<int64_t>(streams.size());
   for (int64_t s = 0; s < num_streams; ++s) {
@@ -88,7 +99,7 @@ ServeEntry RunCell(const core::CaeEnsemble& ensemble,
   CAEE_CHECK(engine.Flush(&results).ok());
   const double seconds = timer.ElapsedSeconds();
 
-  const int64_t w = ensemble.config().window;
+  const int64_t w = ensemble->config().window;
   const int64_t expected =
       num_streams * (static_cast<int64_t>(length) - w + 1);
   CAEE_CHECK_MSG(static_cast<int64_t>(results.size()) == expected,
@@ -100,7 +111,8 @@ ServeEntry RunCell(const core::CaeEnsemble& ensemble,
   ServeEntry entry;
   entry.streams = num_streams;
   entry.max_batch = max_batch;
-  entry.threads = static_cast<int64_t>(ensemble.config().num_threads);
+  entry.threads = static_cast<int64_t>(ensemble->config().num_threads);
+  entry.impl = backend == core::ScoringBackend::kPlan ? "plan" : "graph";
   entry.windows_per_sec = static_cast<double>(results.size()) / seconds;
   entry.ns_per_window =
       seconds * 1e9 / static_cast<double>(results.size());
@@ -152,8 +164,8 @@ int Main(int argc, char** argv) {
       static_cast<long long>(config.window), static_cast<long long>(dims),
       static_cast<long long>(obs_per_stream),
       static_cast<long long>(config.num_threads));
-  std::printf("%8s %10s %16s %14s\n", "streams", "max_batch", "windows/sec",
-              "ns/window");
+  std::printf("%8s %10s %7s %16s %14s\n", "streams", "max_batch", "impl",
+              "windows/sec", "ns/window");
 
   std::vector<ServeEntry> entries;
   for (const int64_t num_streams : {int64_t{1}, int64_t{4}, int64_t{16}}) {
@@ -163,25 +175,40 @@ int Main(int argc, char** argv) {
                                    1000 + static_cast<uint64_t>(s)));
     }
     double base_checksum = 0.0;
+    bool have_base = false;
     for (const int64_t max_batch : {int64_t{1}, int64_t{4}, int64_t{16}}) {
-      const ServeEntry entry = RunCell(ensemble, streams, max_batch);
-      std::printf("%8lld %10lld %16.1f %14.1f\n",
-                  static_cast<long long>(entry.streams),
-                  static_cast<long long>(entry.max_batch),
-                  entry.windows_per_sec, entry.ns_per_window);
-      // Cross-batch determinism: identical inputs must sum to the
-      // identical checksum at every batch size.
-      if (max_batch == 1) {
-        base_checksum = entry.checksum;
-      } else {
-        CAEE_CHECK_MSG(entry.checksum == base_checksum,
-                       "checksum drift at streams=" << num_streams
-                           << " max_batch=" << max_batch
-                           << " — batching changed scores");
+      for (const auto backend :
+           {core::ScoringBackend::kPlan, core::ScoringBackend::kGraph}) {
+        const ServeEntry entry =
+            RunCell(&ensemble, streams, max_batch, backend);
+        std::printf("%8lld %10lld %7s %16.1f %14.1f\n",
+                    static_cast<long long>(entry.streams),
+                    static_cast<long long>(entry.max_batch), entry.impl,
+                    entry.windows_per_sec, entry.ns_per_window);
+        // Determinism across batch sizes AND backends: identical inputs
+        // must sum to the identical checksum everywhere.
+        if (!have_base) {
+          base_checksum = entry.checksum;
+          have_base = true;
+        } else {
+          CAEE_CHECK_MSG(entry.checksum == base_checksum,
+                         "checksum drift at streams=" << num_streams
+                             << " max_batch=" << max_batch << " impl="
+                             << entry.impl
+                             << " — batching or backend changed scores");
+        }
+        entries.push_back(entry);
       }
-      entries.push_back(entry);
     }
     std::printf("\n");
+  }
+
+  // The tail-latency summary: one window per pass, nothing amortised.
+  for (const ServeEntry& e : entries) {
+    if (e.streams == 1 && e.max_batch == 1) {
+      std::printf("B=1 latency (%5s): %.1f us/window\n", e.impl,
+                  e.ns_per_window / 1000.0);
+    }
   }
 
   if (!json_path.empty()) {
@@ -190,18 +217,18 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
       return 1;
     }
-    std::fprintf(f, "{\n  \"bench\": \"bench_serve\",\n  \"schema\": 1,\n"
+    std::fprintf(f, "{\n  \"bench\": \"bench_serve\",\n  \"schema\": 2,\n"
                     "  \"entries\": [\n");
     for (size_t i = 0; i < entries.size(); ++i) {
       const ServeEntry& e = entries[i];
       std::fprintf(
           f,
           "    {\"streams\": %lld, \"max_batch\": %lld, \"threads\": %lld, "
-          "\"windows_per_sec\": %.1f, \"ns_per_window\": %.1f, "
-          "\"checksum\": %.17g}%s\n",
+          "\"impl\": \"%s\", \"windows_per_sec\": %.1f, "
+          "\"ns_per_window\": %.1f, \"checksum\": %.17g}%s\n",
           static_cast<long long>(e.streams),
           static_cast<long long>(e.max_batch),
-          static_cast<long long>(e.threads), e.windows_per_sec,
+          static_cast<long long>(e.threads), e.impl, e.windows_per_sec,
           e.ns_per_window, e.checksum,
           i + 1 < entries.size() ? "," : "");
     }

@@ -1,18 +1,27 @@
 #!/usr/bin/env python3
-"""Compare a bench_micro_ops --caee_json run against the committed baseline.
+"""Compare a bench --caee_json run against its committed baseline.
 
 Usage: check_bench_regression.py BASELINE.json CURRENT.json [--max-ratio 2.0]
 
-Fails (exit 1) if any (op, shape, threads, impl) entry present in both files
-got slower than --max-ratio x the baseline ns/iter. The threshold is loose on
-purpose: baselines are recorded on one machine and CI runs on another, so
-only real kernel regressions (an accidentally de-vectorised loop, a lost
-blocking path) should trip it, not runner-to-runner variance.
+Handles both JSON schemas the benches emit:
+
+  bench_micro_ops  entries keyed by (op, shape, threads, impl), timed by
+                   ns_per_iter (BENCH_3.json baseline)
+  bench_serve      entries keyed by (streams, max_batch, threads, impl),
+                   timed by ns_per_window (BENCH_5.json baseline) — the
+                   graph-free plan path's serving guard
+
+Fails (exit 1) if any entry present in both files got slower than
+--max-ratio x the baseline time. The threshold is loose on purpose:
+baselines are recorded on one machine and CI runs on another, so only real
+regressions (an accidentally de-vectorised loop, a lost blocking path, a
+scoring path that fell back to graph construction) should trip it, not
+runner-to-runner variance.
 
 Checksum drift is reported as a warning, not a failure: matmul/conv
 checksums are exact-order IEEE sums and should match across machines, but
-libm-backed ops (sigmoid, softmax) legitimately differ between glibc
-versions.
+libm-backed ops (sigmoid, softmax, the trained ensembles bench_serve
+scores) legitimately differ between glibc versions.
 """
 
 import argparse
@@ -20,8 +29,23 @@ import json
 import sys
 
 
-def key(e):
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return doc.get("bench", "bench_micro_ops"), doc["entries"]
+
+
+def entry_key(bench, e):
+    # .get("impl"): schema-1 bench_serve files (the historical BENCH_4.json)
+    # predate the impl field; keying them as impl="" makes a schema mismatch
+    # a clean "missing from current run" diff instead of a KeyError.
+    if bench == "bench_serve":
+        return (e["streams"], e["max_batch"], e["threads"], e.get("impl", ""))
     return (e["op"], e["shape"], e["threads"], e["impl"])
+
+
+def metric_name(bench):
+    return "ns_per_window" if bench == "bench_serve" else "ns_per_iter"
 
 
 def main():
@@ -31,36 +55,44 @@ def main():
     ap.add_argument("--max-ratio", type=float, default=2.0)
     args = ap.parse_args()
 
-    with open(args.baseline) as f:
-        baseline = {key(e): e for e in json.load(f)["entries"]}
-    with open(args.current) as f:
-        current = {key(e): e for e in json.load(f)["entries"]}
+    base_bench, base_entries = load(args.baseline)
+    cur_bench, cur_entries = load(args.current)
+    if base_bench != cur_bench:
+        print(
+            f"bench mismatch: baseline is {base_bench}, current is "
+            f"{cur_bench}",
+            file=sys.stderr,
+        )
+        return 1
+    metric = metric_name(base_bench)
+    baseline = {entry_key(base_bench, e): e for e in base_entries}
+    current = {entry_key(cur_bench, e): e for e in cur_entries}
 
     failures = []
     warnings = []
     compared = 0
-    # A baseline entry the current run no longer emits means the kernel the
+    # A baseline entry the current run no longer emits means the path the
     # gate protects is no longer measured — that is a failure, not a skip.
-    for k in sorted(baseline.keys() - current.keys()):
+    for k in sorted(baseline.keys() - current.keys(), key=str):
         failures.append(f"{k}: present in baseline but missing from current run")
-    for k, cur in sorted(current.items()):
+    for k, cur in sorted(current.items(), key=lambda kv: str(kv[0])):
         base = baseline.get(k)
         if base is None:
             warnings.append(f"new entry (no baseline): {k}")
             continue
         compared += 1
-        ratio = cur["ns_per_iter"] / base["ns_per_iter"]
+        ratio = cur[metric] / base[metric]
         marker = ""
         if ratio > args.max_ratio:
             failures.append(
-                f"{k}: {base['ns_per_iter']:.0f} -> {cur['ns_per_iter']:.0f} "
-                f"ns/iter ({ratio:.2f}x)"
+                f"{k}: {base[metric]:.0f} -> {cur[metric]:.0f} "
+                f"{metric} ({ratio:.2f}x)"
             )
             marker = "  <-- REGRESSION"
         print(
-            f"  {k[0]:<18} {k[1]:<22} t={k[2]} {k[3]:<6} "
-            f"{base['ns_per_iter']:>12.0f} -> {cur['ns_per_iter']:>12.0f} "
-            f"ns/iter ({ratio:5.2f}x){marker}"
+            f"  {str(k):<48} "
+            f"{base[metric]:>12.0f} -> {cur[metric]:>12.0f} "
+            f"{metric} ({ratio:5.2f}x){marker}"
         )
         b_ck, c_ck = base["checksum"], cur["checksum"]
         denom = max(abs(b_ck), abs(c_ck), 1e-30)

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Runs the kernel micro-benchmarks (emitting a machine-readable
 # BENCH_3.json: op, shape, threads, impl, ns/iter, checksum), the
-# multi-stream serving throughput table (BENCH_4.json: streams x max-batch
-# windows/sec), and the two timing benches at 1 and 4 engine threads with a
+# multi-stream serving throughput table (BENCH_5.json: streams x max-batch
+# x impl windows/sec, with graph-vs-plan rows and the B=1 tail-latency
+# case), and the two timing benches at 1 and 4 engine threads with a
 # before/after table for the parallel execution engine.
 #
 # Usage: scripts/run_benches.sh [build_dir]
@@ -11,7 +12,8 @@
 #                    against the committed baseline with
 #                    scripts/check_bench_regression.py)
 #   SERVE_JSON=path  where to write the serving-throughput entries
-#                    (default: BENCH_4.json in the repo root)
+#                    (default: BENCH_5.json in the repo root; same
+#                    regression checker, BENCH_5.json baseline)
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -19,7 +21,7 @@ SCALE="${SCALE:-0.15}"
 MODELS="${MODELS:-4}"
 EPOCHS="${EPOCHS:-2}"
 BENCH_JSON="${BENCH_JSON:-BENCH_3.json}"
-SERVE_JSON="${SERVE_JSON:-BENCH_4.json}"
+SERVE_JSON="${SERVE_JSON:-BENCH_5.json}"
 
 if [[ ! -x "${BUILD_DIR}/bench_training_time" ]]; then
   echo "error: ${BUILD_DIR}/bench_training_time not found." >&2
@@ -45,7 +47,7 @@ else
 fi
 
 if [[ -x "${BUILD_DIR}/bench_serve" ]]; then
-  echo "=== Multi-stream serving (streams x max-batch; writes ${SERVE_JSON}) ==="
+  echo "=== Multi-stream serving (streams x max-batch x impl; writes ${SERVE_JSON}) ==="
   "${BUILD_DIR}/bench_serve" --models="${MODELS}" --epochs="${EPOCHS}" \
     --caee_json="${SERVE_JSON}"
   echo

@@ -103,35 +103,28 @@ void SetGlobalParallelism(size_t threads) {
 
 size_t GetGlobalParallelism() {
   size_t n = g_parallelism.load(std::memory_order_relaxed);
-  if (n == 0) n = std::max<size_t>(1, std::thread::hardware_concurrency());
+  if (n == 0) {
+    // hardware_concurrency() is a sysconf read (~microseconds) and this
+    // runs on every ParallelFor dispatch check — cache it once. The value
+    // cannot change for the life of the process.
+    static const size_t hw =
+        std::max<size_t>(1, std::thread::hardware_concurrency());
+    n = hw;
+  }
   return n;
 }
 
-void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
-                 size_t grain, size_t max_threads) {
-  if (n == 0) return;
+namespace internal {
+
+bool ShouldDispatch(size_t n, size_t serial_threshold, size_t max_threads) {
   const size_t threads = EffectiveParallelism(max_threads);
-  if (threads <= 1 || n <= grain || ThreadPool::InWorker()) {
-    for (size_t i = 0; i < n; ++i) fn(i);
-    return;
-  }
-  ParallelForRange(
-      n,
-      [&fn](size_t begin, size_t end) {
-        for (size_t i = begin; i < end; ++i) fn(i);
-      },
-      grain, max_threads);
+  return threads > 1 && n > serial_threshold && !ThreadPool::InWorker();
 }
 
-void ParallelForRange(size_t n,
-                      const std::function<void(size_t, size_t)>& fn,
-                      size_t min_chunk, size_t max_threads) {
-  if (n == 0) return;
+void ParallelForRangeDispatch(size_t n,
+                              const std::function<void(size_t, size_t)>& fn,
+                              size_t min_chunk, size_t max_threads) {
   const size_t threads = EffectiveParallelism(max_threads);
-  if (threads <= 1 || n <= min_chunk || ThreadPool::InWorker()) {
-    fn(0, n);
-    return;
-  }
   ThreadPool& pool = ThreadPool::Global();
   const size_t chunks = std::min(threads, (n + min_chunk - 1) / min_chunk);
   const size_t chunk_size = (n + chunks - 1) / chunks;
@@ -143,5 +136,7 @@ void ParallelForRange(size_t n,
   }
   pool.Wait();
 }
+
+}  // namespace internal
 
 }  // namespace caee

@@ -77,18 +77,58 @@ class ParallelismCap {
   size_t prev_;
 };
 
+namespace internal {
+
+/// \brief True when a parallel helper should fan out to the pool for `n`
+/// items at the given serial threshold; false selects the inline serial
+/// path (single effective thread, small n, or already inside a pool
+/// worker — the nested-Wait deadlock guard).
+bool ShouldDispatch(size_t n, size_t serial_threshold, size_t max_threads);
+
+/// \brief Pool fan-out shared by the ParallelFor templates. Only reached
+/// when ShouldDispatch returned true; type-erases the callable at the
+/// latest possible point so the serial fast path never touches
+/// std::function (and therefore never heap-allocates).
+void ParallelForRangeDispatch(size_t n,
+                              const std::function<void(size_t, size_t)>& fn,
+                              size_t min_chunk, size_t max_threads);
+
+}  // namespace internal
+
 /// \brief Run fn(i) for i in [0, n), split into contiguous grains across the
 /// global pool. Falls back to serial execution for small n. `max_threads`
 /// additionally bounds the fan-out (0 = no extra bound beyond the global
-/// level and any active ParallelismCap).
-void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
-                 size_t grain = 64, size_t max_threads = 0);
+/// level and any active ParallelismCap). The serial path invokes the
+/// callable directly — no std::function construction, no allocation — which
+/// is what keeps capped (num_threads == 1) kernel dispatch allocation-free.
+template <typename F>
+void ParallelFor(size_t n, const F& fn, size_t grain = 64,
+                 size_t max_threads = 0) {
+  if (n == 0) return;
+  if (!internal::ShouldDispatch(n, grain, max_threads)) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  internal::ParallelForRangeDispatch(
+      n,
+      [&fn](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) fn(i);
+      },
+      grain, max_threads);
+}
 
 /// \brief Range version: fn(begin, end) per chunk; lower overhead for tight
-/// loops.
-void ParallelForRange(size_t n,
-                      const std::function<void(size_t, size_t)>& fn,
-                      size_t min_chunk = 256, size_t max_threads = 0);
+/// loops. Same allocation-free serial fast path as ParallelFor.
+template <typename F>
+void ParallelForRange(size_t n, const F& fn, size_t min_chunk = 256,
+                      size_t max_threads = 0) {
+  if (n == 0) return;
+  if (!internal::ShouldDispatch(n, min_chunk, max_threads)) {
+    fn(0, n);
+    return;
+  }
+  internal::ParallelForRangeDispatch(n, fn, min_chunk, max_threads);
+}
 
 /// \brief Override the parallelism used by ParallelFor (0 = hardware).
 void SetGlobalParallelism(size_t threads);

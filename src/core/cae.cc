@@ -46,6 +46,34 @@ Cae::Cae(const CaeConfig& config, Rng* rng) : config_(config) {
   RegisterModule("head.conv", head_conv_.get());
 }
 
+infer::CaePlan Cae::CompilePlan(size_t slot_base) const {
+  // Records the exact layer walk Reconstruct performs; keep the two in
+  // lockstep (the plan-vs-graph identity tests assert the equivalence).
+  infer::CaePlan plan(config_.embed_dim, slot_base);
+  for (const auto& layer : encoder_) {
+    plan.AddEncoderLayer(infer::MakeConvStep(layer.glu->a1()),
+                         infer::MakeConvStep(layer.glu->a2()),
+                         infer::MakeConvStep(*layer.conv), config_.enc_act);
+  }
+  for (size_t l = 0; l < decoder_.size(); ++l) {
+    const auto& layer = decoder_[l];
+    plan.AddDecoderLayer(infer::MakeConvStep(layer.glu->a1()),
+                         infer::MakeConvStep(layer.glu->a2()),
+                         infer::MakeConvStep(*layer.conv), config_.dec_act);
+    if (layer.attention) {
+      const nn::Linear& z = layer.attention->z_proj();
+      plan.SetDecoderAttention(l, z.weight()->value(),
+                               z.bias() != nullptr
+                                   ? z.bias()->value().data()
+                                   : nullptr);
+    }
+  }
+  plan.SetHead(infer::MakeConvStep(head_glu_->a1()),
+               infer::MakeConvStep(head_glu_->a2()),
+               infer::MakeConvStep(*head_conv_), config_.recon_act);
+  return plan;
+}
+
 ag::Var Cae::Reconstruct(const ag::Var& x) const {
   const Tensor& xv = x->value();
   CAEE_CHECK_MSG(xv.rank() == 3, "Cae input must be (B, w, D')");

@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "infer/plan.h"
 #include "nn/activations.h"
 #include "nn/attention.h"
 #include "nn/conv1d.h"
@@ -52,6 +53,15 @@ class Cae : public nn::Module {
 
   /// \brief Reconstruct an embedded window batch: (B, w, D') -> (B, w, D').
   ag::Var Reconstruct(const ag::Var& x) const;
+
+  /// \brief Compile the graph-free forward plan for this model: the same
+  /// layer sequence as Reconstruct with resolved weight pointers, executed
+  /// via infer::CaePlan::Execute with bitwise-identical results and no
+  /// graph construction (docs/inference.md). The plan borrows this model's
+  /// parameter storage — recompile after any weight mutation that
+  /// reallocates tensors, and keep the model alive while the plan is used.
+  /// `slot_base` is forwarded to the plan's arena slot assignment.
+  infer::CaePlan CompilePlan(size_t slot_base) const;
 
   const CaeConfig& config() const { return config_; }
 

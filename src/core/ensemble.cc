@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <string>
 #include <utility>
 
@@ -10,11 +11,25 @@
 #include "common/thread_pool.h"
 #include "core/diversity.h"
 #include "core/scoring.h"
+#include "infer/arena.h"
 #include "optim/adam.h"
 #include "optim/clip.h"
 
 namespace caee {
 namespace core {
+
+namespace {
+
+// Arena slot layout of the scoring hot path. The compiled member plans get
+// everything from kSlotPlanBase upward; the slots below hold the buffers
+// the caller keeps live across a plan execution (the scaled raw windows,
+// the shared embedded batch, and the per-thread reconstruction output).
+constexpr size_t kSlotScaled = 0;
+constexpr size_t kSlotEmbed = 1;
+constexpr size_t kSlotRecon = 2;
+constexpr size_t kSlotPlanBase = 3;
+
+}  // namespace
 
 CaeEnsemble::CaeEnsemble(const EnsembleConfig& config) : config_(config) {
   CAEE_CHECK_MSG(config_.num_models >= 1, "need at least one basic model");
@@ -110,8 +125,39 @@ StatusOr<std::unique_ptr<CaeEnsemble>> CaeEnsemble::Restore(
   }
   ensemble->stats_.parameters_per_model =
       ensemble->models_.front()->NumParameters();
+  ensemble->CompilePlans();
   ensemble->fitted_ = true;
   return ensemble;
+}
+
+void CaeEnsemble::CompilePlans() {
+  embed_plan_ = std::make_unique<infer::EmbeddingPlan>(
+      infer::EmbeddingPlan::Compile(*embedding_));
+  member_plans_.clear();
+  member_plans_.reserve(models_.size());
+  for (const auto& model : models_) {
+    member_plans_.push_back(model->CompilePlan(kSlotPlanBase));
+  }
+}
+
+Tensor CaeEnsemble::EmbedBatch(const Tensor& batch) const {
+  if (backend_ == ScoringBackend::kGraph || embed_plan_ == nullptr) {
+    return EmbedConstant(batch)->value();
+  }
+  Tensor out = Tensor::Uninitialized(
+      Shape{batch.dim(0), batch.dim(1), config_.cae.embed_dim});
+  embed_plan_->Execute(batch.data(), batch.dim(0), out.data());
+  return out;
+}
+
+Tensor CaeEnsemble::ReconstructForward(size_t mi, const Tensor& x) const {
+  if (backend_ == ScoringBackend::kGraph || member_plans_.empty()) {
+    return models_[mi]->Reconstruct(ag::Constant(x))->value();
+  }
+  Tensor out = Tensor::Uninitialized(x.shape());
+  member_plans_[mi].Execute(x.data(), x.dim(0), x.dim(1),
+                            &infer::ThreadArena(), out.data());
+  return out;
 }
 
 ts::TimeSeries CaeEnsemble::Preprocess(const ts::TimeSeries& series) const {
@@ -314,6 +360,7 @@ Status CaeEnsemble::Fit(const ts::TimeSeries& train) {
     }
   }
 
+  CompilePlans();
   stats_.train_seconds = timer.ElapsedSeconds();
   fitted_ = true;
   return Status::OK();
@@ -412,7 +459,7 @@ void CaeEnsemble::ForEachEmbeddedBatch(
     const ts::WindowDataset& dataset,
     const std::vector<std::vector<int64_t>>& batches,
     const ParallelTrainer& trainer,
-    const std::function<void(size_t, size_t, const ag::Var&)>& fn) const {
+    const std::function<void(size_t, size_t, const Tensor&)>& fn) const {
   // Waves of a few batches per worker bound residency: a long series
   // embedded whole would be a window-factor copy of it. Wave size does not
   // affect results (fn writes per-(member, batch) slots only).
@@ -420,9 +467,9 @@ void CaeEnsemble::ForEachEmbeddedBatch(
   const size_t wave = std::max<size_t>(4, trainer.num_threads() * 4);
   for (size_t wb = 0; wb < batches.size(); wb += wave) {
     const size_t we = std::min(batches.size(), wb + wave);
-    std::vector<ag::Var> embedded(we - wb);
+    std::vector<Tensor> embedded(we - wb);
     trainer.Run(we - wb, [&](size_t i) {
-      embedded[i] = EmbedConstant(dataset.GetBatch(batches[wb + i]));
+      embedded[i] = EmbedBatch(dataset.GetBatch(batches[wb + i]));
     });
     trainer.RunGrid(m, we - wb, [&](size_t mi, size_t i) {
       fn(mi, wb + i, embedded[i]);
@@ -454,9 +501,9 @@ StatusOr<std::vector<std::vector<double>>> CaeEnsemble::PerModelScores(
   // slots, so scores are bitwise identical at any thread count.
   const auto batches = dataset.Batches(config_.batch_size);
   ForEachEmbeddedBatch(dataset, batches, trainer,
-                       [&](size_t mi, size_t b, const ag::Var& x) {
-    ag::Var recon = models_[mi]->Reconstruct(x);
-    const auto errors = WindowErrors(x->value(), recon->value());
+                       [&](size_t mi, size_t b, const Tensor& x) {
+    const Tensor recon = ReconstructForward(mi, x);
+    const auto errors = WindowErrors(x, recon);
     for (size_t bi = 0; bi < batches[b].size(); ++bi) {
       assemblers[mi].AddWindow(batches[b][bi], errors[bi]);
     }
@@ -492,10 +539,10 @@ StatusOr<double> CaeEnsemble::MeanReconstructionError(
   const size_t m = models_.size();
   std::vector<double> partial(m * batches.size(), 0.0);
   ForEachEmbeddedBatch(dataset, batches, trainer,
-                       [&](size_t mi, size_t b, const ag::Var& x) {
-    ag::Var recon = models_[mi]->Reconstruct(x);
-    const Tensor& xv = x->value();
-    const Tensor& rv = recon->value();
+                       [&](size_t mi, size_t b, const Tensor& x) {
+    const Tensor recon = ReconstructForward(mi, x);
+    const Tensor& xv = x;
+    const Tensor& rv = recon;
     double acc = 0.0;
     for (int64_t j = 0; j < xv.numel(); ++j) {
       const double d = static_cast<double>(xv[j]) - rv[j];
@@ -530,32 +577,52 @@ StatusOr<std::vector<double>> CaeEnsemble::ScoreWindowsLast(
   if (windows.dim(2) != input_dim()) {
     return Status::InvalidArgument("window dimensionality mismatch");
   }
-  const int64_t batch = windows.dim(0);
-  Tensor scaled = windows;
-  if (config_.rescale_enabled) {
-    const auto& mean = scaler_.mean();
-    const auto& stddev = scaler_.stddev();
-    const int64_t d = windows.dim(2);
-    // Per-element double-precision z-score, the exact op the single-window
-    // path always ran — scaling is element-local, so batching cannot
-    // change it.
-    for (int64_t b = 0; b < batch; ++b) {
-      for (int64_t t = 0; t < config_.window; ++t) {
-        for (int64_t j = 0; j < d; ++j) {
-          scaled.at(b, t, j) = static_cast<float>(
-              (scaled.at(b, t, j) - mean[static_cast<size_t>(j)]) /
-              stddev[static_cast<size_t>(j)]);
-        }
-      }
+  if (backend_ == ScoringBackend::kGraph) {
+    return ScoreWindowsLastGraph(windows);
+  }
+  std::vector<double> scores;
+  if (Status s = ScoreWindowsLastInto(windows.data(), windows.dim(0), &scores);
+      !s.ok()) {
+    return s;
+  }
+  return scores;
+}
+
+void CaeEnsemble::ScaleWindowsRaw(const float* windows, int64_t batch,
+                                  float* out) const {
+  // Per-element double-precision z-score, the exact op the single-window
+  // path always ran — scaling is element-local, so batching cannot change
+  // it. Raw row pointers with the per-dimension stats hoisted once, instead
+  // of bounds-checked Tensor::at per element.
+  const double* mean = scaler_.mean().data();
+  const double* stddev = scaler_.stddev().data();
+  const int64_t d = static_cast<int64_t>(scaler_.mean().size());
+  const int64_t rows = batch * config_.window;
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* src = windows + r * d;
+    float* dst = out + r * d;
+    for (int64_t j = 0; j < d; ++j) {
+      dst[j] = static_cast<float>((src[j] - mean[j]) / stddev[j]);
     }
   }
-  // The online-inference hot path (Table 8 at B = 1; the multi-stream
-  // serving engine at B > 1): M independent forward passes over the whole
-  // window batch, fanned across the pool. Every kernel reduction stays
-  // within one window's rows, so per-window results do not depend on B.
+}
+
+StatusOr<std::vector<double>> CaeEnsemble::ScoreWindowsLastGraph(
+    const Tensor& windows) const {
+  // Reference implementation: the original ag::Var forward. Kept verbatim
+  // (minus the needless deep copy when rescaling is off) so tests and
+  // benches can compare the plan path against it bit for bit.
+  const int64_t batch = windows.dim(0);
   const EngineScope engine(config_.num_threads);
   const ParallelTrainer& trainer = engine.trainer();
-  ag::Var x = EmbedConstant(scaled);
+  const Tensor* input = &windows;
+  Tensor scaled;
+  if (config_.rescale_enabled) {
+    scaled = Tensor::Uninitialized(windows.shape());
+    ScaleWindowsRaw(windows.data(), batch, scaled.data());
+    input = &scaled;
+  }
+  ag::Var x = EmbedConstant(*input);
   std::vector<std::vector<double>> errors(models_.size());
   trainer.Run(models_.size(), [&](size_t mi) {
     ag::Var recon = models_[mi]->Reconstruct(x);
@@ -573,6 +640,87 @@ StatusOr<std::vector<double>> CaeEnsemble::ScoreWindowsLast(
   return scores;
 }
 
+Status CaeEnsemble::ScoreWindowsLastInto(const float* windows, int64_t batch,
+                                         std::vector<double>* scores) const {
+  if (!fitted_) return Status::FailedPrecondition("score before Fit");
+  if (windows == nullptr || scores == nullptr || batch < 1) {
+    return Status::InvalidArgument(
+        "ScoreWindowsLastInto needs a window buffer, an output vector, and "
+        "batch >= 1");
+  }
+  const int64_t w = config_.window;
+  const int64_t d = input_dim();
+  if (backend_ == ScoringBackend::kGraph) {
+    // Reference backend: wrap the raw buffer and take the graph path
+    // (allocates freely — it exists for comparison, not serving).
+    Tensor wrapped = Tensor::Uninitialized(Shape{batch, w, d});
+    std::memcpy(wrapped.data(), windows,
+                static_cast<size_t>(batch * w * d) * sizeof(float));
+    auto result = ScoreWindowsLastGraph(wrapped);
+    if (!result.ok()) return result.status();
+    *scores = std::move(result).value();
+    return Status::OK();
+  }
+
+  // The graph-free online-inference hot path (Table 8 at B = 1; the
+  // multi-stream serving engine at B > 1): M compiled forward plans over
+  // the whole window batch, fanned across the pool. Every kernel reduction
+  // stays within one window's rows, so per-window results do not depend on
+  // B. All buffers below are grow-only (thread arenas, kernel scratch,
+  // thread_local staging) — steady-state calls allocate nothing.
+  const int64_t dp = config_.cae.embed_dim;
+  const EngineScope engine(config_.num_threads);
+  const ParallelTrainer& trainer = engine.trainer();
+  infer::Arena& arena = infer::ThreadArena();
+
+  const float* input = windows;
+  if (config_.rescale_enabled) {
+    float* buf = arena.Slot(kSlotScaled, static_cast<size_t>(batch * w * d));
+    ScaleWindowsRaw(windows, batch, buf);
+    input = buf;
+  }
+  float* x = arena.Slot(kSlotEmbed, static_cast<size_t>(batch * w * dp));
+  embed_plan_->Execute(input, batch, x);
+
+  const size_t m = models_.size();
+  // Member-major error matrix on the orchestrating thread; worker tasks
+  // write disjoint rows through the raw pointer (capturing the pointer, not
+  // the thread_local, so pool workers hit the caller's buffer).
+  thread_local std::vector<double> errors;
+  if (errors.size() < m * static_cast<size_t>(batch)) {
+    errors.resize(m * static_cast<size_t>(batch));
+  }
+  double* errors_ptr = errors.data();
+  const float* x_ptr = x;
+  auto score_member = [this, x_ptr, errors_ptr, batch, w, dp](size_t mi) {
+    infer::Arena& worker_arena = infer::ThreadArena();
+    float* recon =
+        worker_arena.Slot(kSlotRecon, static_cast<size_t>(batch * w * dp));
+    member_plans_[mi].Execute(x_ptr, batch, w, &worker_arena, recon);
+    LastPositionErrorsRaw(x_ptr, recon, batch, w, dp,
+                          errors_ptr + static_cast<int64_t>(mi) * batch);
+  };
+  if (trainer.sequential()) {
+    // Inline loop: no std::function construction, keeping the sequential
+    // hot path allocation-free.
+    for (size_t mi = 0; mi < m; ++mi) score_member(mi);
+  } else {
+    trainer.Run(m, score_member);
+  }
+
+  // Per-window median across members, reduced in index order (Eq. 15).
+  scores->resize(static_cast<size_t>(batch));
+  thread_local std::vector<double> column;
+  if (column.size() < m) column.resize(m);
+  for (int64_t b = 0; b < batch; ++b) {
+    for (size_t mi = 0; mi < m; ++mi) {
+      column[mi] = errors_ptr[static_cast<int64_t>(mi) * batch + b];
+    }
+    (*scores)[static_cast<size_t>(b)] = MedianInPlace(column.data(), m);
+  }
+  return Status::OK();
+}
+
 StatusOr<double> CaeEnsemble::Diversity(const ts::TimeSeries& series) const {
   if (!fitted_) return Status::FailedPrecondition("evaluate before Fit");
   if (series.length() < config_.window) {
@@ -586,10 +734,10 @@ StatusOr<double> CaeEnsemble::Diversity(const ts::TimeSeries& series) const {
   // Batch-at-a-time (the accumulator is order-sensitive state); the M
   // forward passes per batch fan across the pool.
   for (const auto& batch : dataset.Batches(config_.batch_size)) {
-    ag::Var x = EmbedConstant(dataset.GetBatch(batch));
+    const Tensor x = EmbedBatch(dataset.GetBatch(batch));
     std::vector<Tensor> outputs(models_.size());
     trainer.Run(models_.size(), [&](size_t mi) {
-      outputs[mi] = models_[mi]->Reconstruct(x)->value();
+      outputs[mi] = ReconstructForward(mi, x);
     });
     acc.AddBatch(outputs);
   }

@@ -18,6 +18,7 @@
 
 #include "core/cae.h"
 #include "core/parallel_trainer.h"
+#include "infer/plan.h"
 #include "nn/embedding.h"
 #include "nn/serialize.h"
 #include "ts/scaler.h"
@@ -104,6 +105,15 @@ struct TrainStats {
   int64_t parameters_per_model = 0;
 };
 
+/// \brief Which execution engine the forward-only scoring paths use.
+/// kPlan (the default) runs the compiled graph-free forward plans
+/// (infer/plan.h): same kernels, same call order, bitwise-identical scores,
+/// no per-op graph construction or heap traffic. kGraph forces the original
+/// ag::Var module-tree forward — the reference implementation the identity
+/// tests and benches compare against (the kernels::reference:: precedent).
+/// Training always uses the graph.
+enum class ScoringBackend { kPlan, kGraph };
+
 /// \brief Born-again parameter transfer (Fig. 9): copy an element-wise
 /// Bernoulli(beta) mask of `from`'s parameters into `to`. The modules must
 /// have identical parameter sets (same names/shapes). Returns the fraction
@@ -155,6 +165,21 @@ class CaeEnsemble {
   /// sequential ones.
   StatusOr<std::vector<double>> ScoreWindowsLast(const Tensor& windows) const;
 
+  /// \brief Allocation-free form of ScoreWindowsLast: `windows` is a raw
+  /// (batch, w, D) row-major buffer, `scores` is resized to `batch` (its
+  /// capacity is reused across calls). On the plan backend with
+  /// num_threads == 1, steady-state calls perform ZERO heap allocations —
+  /// activations live in per-thread arenas, scratch and score buffers are
+  /// grow-only (asserted by tests/alloc_count_test.cc). This is the entry
+  /// point serve::ServingEngine's flush loop runs.
+  Status ScoreWindowsLastInto(const float* windows, int64_t batch,
+                              std::vector<double>* scores) const;
+
+  /// \brief Select the scoring execution engine (default kPlan). The graph
+  /// backend exists as the bitwise reference for tests and benches.
+  void set_scoring_backend(ScoringBackend backend) { backend_ = backend; }
+  ScoringBackend scoring_backend() const { return backend_; }
+
   /// \brief Change the parallel-engine worker count after construction.
   /// Scoring parallelism is a runtime choice (trained weights are
   /// thread-count independent), so a fitted ensemble can be re-targeted
@@ -200,6 +225,31 @@ class CaeEnsemble {
   /// result is a constant graph leaf (no gradient bookkeeping).
   ag::Var EmbedConstant(const Tensor& batch) const;
 
+  /// \brief Backend-dispatched embedding of a raw window batch into a
+  /// plain tensor (plan: EmbeddingPlan::Execute; graph: EmbedConstant).
+  Tensor EmbedBatch(const Tensor& batch) const;
+
+  /// \brief Backend-dispatched forward-only reconstruction by member `mi`
+  /// (plan: CaePlan::Execute into a fresh tensor; graph: Reconstruct).
+  /// Bitwise identical either way. The batched-scoring hot path uses the
+  /// plans directly on arena buffers instead.
+  Tensor ReconstructForward(size_t mi, const Tensor& x) const;
+
+  /// \brief Compile the embedding + member forward plans from the fitted
+  /// modules; called at the end of Fit and Restore (weight tensors must not
+  /// be reallocated afterwards — the plans hold raw pointers into them).
+  void CompilePlans();
+
+  /// \brief The original autograd implementation of ScoreWindowsLast, kept
+  /// as the reference the plan path is compared against.
+  StatusOr<std::vector<double>> ScoreWindowsLastGraph(
+      const Tensor& windows) const;
+
+  /// \brief Z-score a raw (batch, w, D) window buffer into `out` with the
+  /// fitted scaler stats — the same per-element double-precision transform
+  /// Preprocess applies, over hoisted row pointers.
+  void ScaleWindowsRaw(const float* windows, int64_t batch, float* out) const;
+
   /// \brief Preprocess a series per the config (optional z-score transform).
   ts::TimeSeries Preprocess(const ts::TimeSeries& series) const;
 
@@ -211,7 +261,7 @@ class CaeEnsemble {
       const ts::WindowDataset& dataset,
       const std::vector<std::vector<int64_t>>& batches,
       const ParallelTrainer& trainer,
-      const std::function<void(size_t, size_t, const ag::Var&)>& fn) const;
+      const std::function<void(size_t, size_t, const Tensor&)>& fn) const;
 
   /// \brief Train one basic model on the pre-embedded batches.
   /// `ensemble_output_sum` (running sum of frozen-model outputs, divided by
@@ -228,6 +278,13 @@ class CaeEnsemble {
   ts::Scaler scaler_;
   std::unique_ptr<nn::WindowEmbedding> embedding_;
   std::vector<std::unique_ptr<Cae>> models_;
+  // Compiled graph-free forward plans (one per member + the shared
+  // embedding), rebuilt by CompilePlans after every Fit/Restore. All member
+  // plans share one arena slot layout: a thread executes one member at a
+  // time, so per-thread arenas never see two members concurrently.
+  std::unique_ptr<infer::EmbeddingPlan> embed_plan_;
+  std::vector<infer::CaePlan> member_plans_;
+  ScoringBackend backend_ = ScoringBackend::kPlan;
   TrainStats stats_;
   bool fitted_ = false;
 };

@@ -27,20 +27,25 @@ std::vector<double> LastPositionErrors(const Tensor& x, const Tensor& recon) {
   CAEE_CHECK_MSG(x.rank() == 3, "LastPositionErrors expects (B,w,D)");
   const int64_t b = x.dim(0), w = x.dim(1), d = x.dim(2);
   std::vector<double> out(static_cast<size_t>(b));
+  LastPositionErrorsRaw(x.data(), recon.data(), b, w, d, out.data());
+  return out;
+}
+
+void LastPositionErrorsRaw(const float* x, const float* recon, int64_t b,
+                           int64_t w, int64_t d, double* out) {
   for (int64_t bb = 0; bb < b; ++bb) {
     // Identical accumulation to ops::SquaredErrorPerPosition's row loop
     // (ascending j, double accumulator) — the bitwise contract with
     // WindowErrors depends on it.
-    const float* xr = x.data() + (bb * w + (w - 1)) * d;
-    const float* rr = recon.data() + (bb * w + (w - 1)) * d;
+    const float* xr = x + (bb * w + (w - 1)) * d;
+    const float* rr = recon + (bb * w + (w - 1)) * d;
     double acc = 0.0;
     for (int64_t j = 0; j < d; ++j) {
       const double diff = static_cast<double>(xr[j]) - rr[j];
       acc += diff * diff;
     }
-    out[static_cast<size_t>(bb)] = acc;
+    out[bb] = acc;
   }
-  return out;
 }
 
 WindowScoreAssembler::WindowScoreAssembler(int64_t num_windows, int64_t window)
@@ -87,13 +92,16 @@ std::vector<double> WindowScoreAssembler::Finalize() const {
 
 double Median(std::vector<double> values) {
   CAEE_CHECK_MSG(!values.empty(), "median of empty vector");
-  const size_t n = values.size();
+  return MedianInPlace(values.data(), values.size());
+}
+
+double MedianInPlace(double* values, size_t n) {
+  CAEE_CHECK_MSG(n > 0, "median of empty buffer");
   const size_t mid = n / 2;
-  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  std::nth_element(values, values + mid, values + n);
   const double upper = values[mid];
   if (n % 2 == 1) return upper;
-  const double lower =
-      *std::max_element(values.begin(), values.begin() + mid);
+  const double lower = *std::max_element(values, values + mid);
   return 0.5 * (lower + upper);
 }
 

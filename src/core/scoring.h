@@ -32,6 +32,12 @@ std::vector<std::vector<double>> WindowErrors(const Tensor& x,
 /// (Fig. 10), so scoring B ready windows needs B row reductions, not B*w.
 std::vector<double> LastPositionErrors(const Tensor& x, const Tensor& recon);
 
+/// \brief Raw-buffer form of LastPositionErrors for the graph-free plan
+/// path (x and recon are (b, w, d) row-major activation buffers, out holds
+/// b doubles). Identical accumulation, no allocation.
+void LastPositionErrorsRaw(const float* x, const float* recon, int64_t b,
+                           int64_t w, int64_t d, double* out);
+
 /// \brief Assembles per-observation scores for one model (Fig. 10 policy).
 class WindowScoreAssembler {
  public:
@@ -66,6 +72,11 @@ std::vector<double> MedianAcrossModels(
 /// \brief Median of a small vector (copies; average of middle pair for even
 /// sizes — reduces to the classic midpoint definition).
 double Median(std::vector<double> values);
+
+/// \brief Same median over a caller-owned buffer, which is PERMUTED in
+/// place (nth_element) — the allocation-free form the serving hot path
+/// uses. Identical selection algorithm, hence identical result bits.
+double MedianInPlace(double* values, size_t n);
 
 }  // namespace core
 }  // namespace caee

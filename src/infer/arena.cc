@@ -1,0 +1,25 @@
+#include "infer/arena.h"
+
+namespace caee {
+namespace infer {
+
+float* Arena::Slot(size_t slot, size_t n) {
+  if (slot >= slots_.size()) slots_.resize(slot + 1);
+  FloatBuffer& buf = slots_[slot];
+  if (buf.size() < n) buf.resize(n);
+  return buf.data();
+}
+
+size_t Arena::bytes() const {
+  size_t total = 0;
+  for (const FloatBuffer& buf : slots_) total += buf.size() * sizeof(float);
+  return total;
+}
+
+Arena& ThreadArena() {
+  static thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace infer
+}  // namespace caee

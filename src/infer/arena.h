@@ -1,0 +1,64 @@
+// Activation arenas for the graph-free inference engine.
+//
+// A compiled forward plan (plan.h) executes a fixed layer sequence whose
+// intermediate activations have shapes known from the plan's shape walk:
+// every buffer is (B, w, D') except the attention score matrix (B, w, w).
+// Allocating those tensors per op — what the autograd path does via one
+// heap-allocated ag::Var node per op — is the dominant cost of small-batch
+// online scoring. An Arena instead keeps one grow-only uninitialised buffer
+// per SLOT (a stable index the plan compiler assigns: ping-pong activation
+// buffers, GLU temporaries, per-layer encoder states, the attention score
+// matrix), so steady-state plan execution performs zero heap allocations:
+// the first call at a given batch size grows the slots, every later call
+// reuses them.
+//
+// Thread safety: arenas are NOT internally synchronised. Use ThreadArena()
+// for the conventional per-thread instance (thread_local, like the
+// kernels/scratch pool): concurrent plan executions on different ensemble
+// worker threads then never share activation memory. A buffer obtained from
+// one thread's arena may be READ by other threads (the ensemble shares the
+// embedded input batch this way) as long as the owning thread does not
+// reuse the slot while readers are active.
+
+#ifndef CAEE_INFER_ARENA_H_
+#define CAEE_INFER_ARENA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace caee {
+namespace infer {
+
+class Arena {
+ public:
+  /// \brief Borrow the buffer for `slot`, grown to at least `n` floats.
+  /// Contents are unspecified on growth and otherwise whatever the last
+  /// user of the slot left there; valid until the next Slot() call for the
+  /// same slot that requests a larger size.
+  float* Slot(size_t slot, size_t n);
+
+  /// \brief Bytes currently retained across all slots (observability and
+  /// the allocation-count tests).
+  size_t bytes() const;
+
+  /// \brief Slots ever requested.
+  size_t num_slots() const { return slots_.size(); }
+
+ private:
+  // FloatBuffer's DefaultInitAllocator makes growth a pure allocation (no
+  // zero-fill pass) — plan steps fully overwrite the ranges they use.
+  std::vector<FloatBuffer> slots_;
+};
+
+/// \brief The calling thread's arena (lazily constructed, lives until
+/// thread exit). All plan executions on a thread share it; plans partition
+/// the slot index space so concurrent *users* on the same thread (the
+/// embedding plan's output feeding a member plan) never collide.
+Arena& ThreadArena();
+
+}  // namespace infer
+}  // namespace caee
+
+#endif  // CAEE_INFER_ARENA_H_

@@ -1,0 +1,169 @@
+// Compiled forward plans: the graph-free inference execution layer.
+//
+// Online scoring never calls backward, yet a module-tree forward
+// (Cae::Reconstruct) still builds the full autograd graph — one
+// heap-allocated ag::Var node, captured backward closure, and output Tensor
+// per op. A ForwardPlan is the same forward pass compiled once from the
+// FITTED module tree: it records the layer sequence with resolved
+// weight/bias tensor pointers and the per-layer output shapes (the "shape
+// walk" that sizes the activation arena), then executes directly on raw
+// activation buffers through the exact same kernels:: entry points the
+// autograd ops call, in the exact same order, with the exact same
+// accumulation — so plan scores are BITWISE IDENTICAL to the ag::Var path
+// (docs/inference.md walks the argument; docs/numeric-contract.md states
+// the repo-wide policy).
+//
+// Two plan types exist, matching the two module trees on the scoring path:
+//
+//   EmbeddingPlan — the shared frozen WindowEmbedding. The position branch
+//       depends only on constants, so it is folded to a (w, D') table at
+//       compile time; the observation branch keeps its weight pre-packed
+//       (the transpose ops::MatMul would otherwise re-pack per call).
+//   CaePlan — one basic model: encoder / decoder / head layer records with
+//       resolved conv weight pointers, padding amounts, activations, and
+//       pre-packed attention projections.
+//
+// Lifetime: a plan borrows the module's parameter storage (raw pointers
+// into the ag::Var value tensors). It stays valid while the module is
+// alive and its parameters are not reallocated; recompile after anything
+// that rebuilds or re-fits the model. Plans are immutable after
+// compilation and safe to execute concurrently from many threads, each
+// with its own Arena.
+
+#ifndef CAEE_INFER_PLAN_H_
+#define CAEE_INFER_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "infer/arena.h"
+#include "nn/activations.h"
+#include "nn/conv1d.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "tensor/tensor.h"
+
+namespace caee {
+namespace infer {
+
+/// \brief One resolved convolution: weight/bias pointers plus the padding
+/// amounts Conv1dLayer::Forward would pass to ag::Conv1d.
+struct ConvStep {
+  const float* weight = nullptr;  // (cout, k, cin), flat
+  const float* bias = nullptr;    // (cout)
+  int64_t cout = 0;
+  int64_t k = 0;
+  int64_t cin = 0;
+  int64_t pad_left = 0;
+  int64_t pad_right = 0;
+};
+
+/// \brief Resolve a fitted Conv1dLayer into a ConvStep (same padding
+/// arithmetic as its Forward).
+ConvStep MakeConvStep(const nn::Conv1dLayer& layer);
+
+/// \brief Compiled plan for one Cae basic model. Built by
+/// core::Cae::CompilePlan via the builder methods below, in the same order
+/// Cae::Reconstruct runs its layers.
+class CaePlan {
+ public:
+  /// \brief `slot_base` is the first arena slot index this plan may use;
+  /// the plan claims [slot_base, slot_base + num_slots()). Callers that
+  /// keep other live arena buffers (the embedded input, the reconstruction
+  /// output) hand out disjoint indices.
+  CaePlan(int64_t embed_dim, size_t slot_base);
+
+  /// \brief One encoder block: GLU branches, conv, activation (Eq. 3-5).
+  void AddEncoderLayer(ConvStep glu_a1, ConvStep glu_a2, ConvStep conv,
+                       nn::Activation act);
+
+  /// \brief One decoder block (Eq. 6); attach attention separately.
+  void AddDecoderLayer(ConvStep glu_a1, ConvStep glu_a2, ConvStep conv,
+                       nn::Activation act);
+
+  /// \brief Global attention after decoder layer `layer` (Eq. 7):
+  /// pre-packs the z-projection weight transpose, so execution skips the
+  /// per-call PackTranspose that ops::MatMul performs.
+  void SetDecoderAttention(size_t layer, const Tensor& z_weight,
+                           const float* z_bias);
+
+  /// \brief Reconstruction head (Sec. 3.1.5).
+  void SetHead(ConvStep glu_a1, ConvStep glu_a2, ConvStep conv,
+               nn::Activation recon_act);
+
+  /// \brief Run the compiled forward pass: x (batch, w, embed_dim) raw
+  /// input -> out (batch, w, embed_dim), fully overwritten. All
+  /// intermediate activations live in `arena`; steady-state calls perform
+  /// zero heap allocations. Bitwise identical to Cae::Reconstruct on the
+  /// same weights.
+  void Execute(const float* x, int64_t batch, int64_t w, Arena* arena,
+               float* out) const;
+
+  /// \brief Size every arena slot for (batch, w) in one pass — the plan's
+  /// shape walk. Execute calls this itself; exposed for warm-up and tests.
+  void ReserveArena(int64_t batch, int64_t w, Arena* arena) const;
+
+  /// \brief Arena slots this plan uses: 2 GLU temporaries, 2 ping-pong
+  /// activation buffers, 1 attention score matrix, plus one retained
+  /// encoder state per layer.
+  size_t num_slots() const { return 5 + encoder_.size(); }
+
+  int64_t embed_dim() const { return embed_dim_; }
+  size_t slot_base() const { return slot_base_; }
+  size_t num_layers() const { return encoder_.size(); }
+
+ private:
+  struct Layer {
+    ConvStep glu_a1;
+    ConvStep glu_a2;
+    ConvStep conv;
+    nn::Activation act = nn::Activation::kIdentity;
+    // Attention (decoder layers only; empty z_wt means none).
+    bool has_attention = false;
+    Tensor z_wt;                    // (dim, dim) pre-packed W_z^T
+    const float* z_bias = nullptr;  // (dim)
+  };
+
+  int64_t embed_dim_;
+  size_t slot_base_;
+  std::vector<Layer> encoder_;
+  std::vector<Layer> decoder_;
+  Layer head_;
+  bool has_head_ = false;
+};
+
+/// \brief Compiled plan for the shared frozen WindowEmbedding: one
+/// pre-packed observation projection plus the constant-folded position
+/// table. Needs no arena (it writes straight into the output buffer).
+class EmbeddingPlan {
+ public:
+  /// \brief Compile from a fitted embedding. The position branch is
+  /// evaluated once HERE through the regular autograd ops, so the folded
+  /// table carries the exact bits the graph path would recompute per call.
+  static EmbeddingPlan Compile(const nn::WindowEmbedding& embedding);
+
+  /// \brief s (batch, window, input_dim) raw -> out (batch, window,
+  /// embed_dim), fully overwritten. Allocation-free after kernel scratch
+  /// warm-up; bitwise identical to WindowEmbedding::Forward.
+  void Execute(const float* s, int64_t batch, float* out) const;
+
+  int64_t input_dim() const { return input_dim_; }
+  int64_t embed_dim() const { return embed_dim_; }
+  int64_t window() const { return window_; }
+
+ private:
+  EmbeddingPlan() = default;
+
+  int64_t input_dim_ = 0;
+  int64_t embed_dim_ = 0;
+  int64_t window_ = 0;
+  Tensor obs_wt_;                 // (input_dim, embed_dim) packed W^T
+  const float* obs_bias_ = nullptr;
+  nn::Activation obs_act_ = nn::Activation::kIdentity;
+  Tensor pos_;                    // (window, embed_dim) folded position table
+};
+
+}  // namespace infer
+}  // namespace caee
+
+#endif  // CAEE_INFER_PLAN_H_

@@ -23,6 +23,10 @@ class GlobalAttention : public Module {
   /// diagnostics.
   ag::Var Scores(const ag::Var& d, const ag::Var& e) const;
 
+  /// \brief The state-summary projection W_z, exposed for the inference
+  /// plan compiler (infer/plan.h).
+  const Linear& z_proj() const { return z_proj_; }
+
  private:
   Linear z_proj_;
 };

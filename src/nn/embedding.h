@@ -29,6 +29,15 @@ class WindowEmbedding : public Module {
   int64_t embed_dim() const { return embed_dim_; }
   int64_t window() const { return window_; }
 
+  /// \brief Branch internals, exposed so the inference plan compiler
+  /// (infer/plan.h) can pre-pack the observation projection and
+  /// constant-fold the position branch.
+  const Linear& obs() const { return obs_; }
+  const Linear& pos() const { return pos_; }
+  const Tensor& positions() const { return positions_; }
+  Activation obs_act() const { return obs_act_; }
+  Activation pos_act() const { return pos_act_; }
+
  private:
   int64_t input_dim_;
   int64_t embed_dim_;

@@ -20,6 +20,11 @@ class Glu : public Module {
   /// \brief x (B,W,C) -> (B,W,C).
   ag::Var Forward(const ag::Var& x) const;
 
+  /// \brief The two conv branches (A1 content, A2 gate), exposed so the
+  /// inference plan compiler (infer/plan.h) can record their kernel calls.
+  const Conv1dLayer& a1() const { return a1_; }
+  const Conv1dLayer& a2() const { return a2_; }
+
  private:
   Conv1dLayer a1_;
   Conv1dLayer a2_;

@@ -58,15 +58,17 @@ Status ServingEngine::Push(int64_t stream_id,
   if (!session.warm()) return Status::OK();
 
   // Snapshot now: the ring overwrites its oldest row on the next push.
-  PendingWindow pending;
+  // Recycled pool entries keep their snapshot capacity, so a warm engine
+  // enqueues without allocating.
+  if (pending_count_ == pending_.size()) pending_.emplace_back();
+  PendingWindow& pending = pending_[pending_count_++];
   pending.stream_id = stream_id;
   pending.index = session.next_index() - 1;
   pending.enqueued_at = std::chrono::steady_clock::now();
   pending.values.resize(static_cast<size_t>(window_ * dims_));
   session.SnapshotWindowTo(pending.values.data());
-  pending_.push_back(std::move(pending));
 
-  if (static_cast<int64_t>(pending_.size()) >= config_.max_batch) {
+  if (static_cast<int64_t>(pending_count_) >= config_.max_batch) {
     return FlushLocked(out);
   }
   return Status::OK();
@@ -79,7 +81,9 @@ Status ServingEngine::Flush(std::vector<StreamScore>* out) {
 
 Status ServingEngine::FlushIfExpired(std::vector<StreamScore>* out) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (config_.flush_deadline_ms <= 0 || pending_.empty()) return Status::OK();
+  if (config_.flush_deadline_ms <= 0 || pending_count_ == 0) {
+    return Status::OK();
+  }
   const auto waited = std::chrono::steady_clock::now() -
                       pending_.front().enqueued_at;
   if (waited < std::chrono::milliseconds(config_.flush_deadline_ms)) {
@@ -89,30 +93,46 @@ Status ServingEngine::FlushIfExpired(std::vector<StreamScore>* out) {
 }
 
 Status ServingEngine::FlushLocked(std::vector<StreamScore>* out) {
-  while (!pending_.empty()) {
+  const size_t stride = static_cast<size_t>(window_ * dims_);
+  size_t next = 0;
+  while (next < pending_count_) {
     const int64_t batch = std::min<int64_t>(
-        static_cast<int64_t>(pending_.size()), config_.max_batch);
-    // One (B, w, D) tensor, one batched forward pass per basic model. Rows
-    // are fully overwritten, so skip the zero-fill.
-    Tensor windows = Tensor::Uninitialized(Shape{batch, window_, dims_});
-    for (int64_t b = 0; b < batch; ++b) {
-      std::memcpy(windows.data() + b * window_ * dims_,
-                  pending_[static_cast<size_t>(b)].values.data(),
-                  static_cast<size_t>(window_ * dims_) * sizeof(float));
+        static_cast<int64_t>(pending_count_ - next), config_.max_batch);
+    // One (B, w, D) staging buffer, one batched graph-free forward pass per
+    // basic model (ScoreWindowsLastInto). Both staging vectors are
+    // grow-only, so a warm flush allocates nothing.
+    if (batch_values_.size() < static_cast<size_t>(batch) * stride) {
+      batch_values_.resize(static_cast<size_t>(batch) * stride);
     }
-    auto scores = ensemble_->ScoreWindowsLast(windows);
-    if (!scores.ok()) return scores.status();
     for (int64_t b = 0; b < batch; ++b) {
-      const PendingWindow& p = pending_[static_cast<size_t>(b)];
+      std::memcpy(batch_values_.data() + static_cast<size_t>(b) * stride,
+                  pending_[next + static_cast<size_t>(b)].values.data(),
+                  stride * sizeof(float));
+    }
+    if (Status s = ensemble_->ScoreWindowsLastInto(batch_values_.data(),
+                                                   batch, &batch_scores_);
+        !s.ok()) {
+      // Keep the unscored tail queued: recycle the scored prefix by
+      // swapping the survivors to the front (swap preserves the pool
+      // entries' snapshot capacity).
+      for (size_t i = next; i < pending_count_; ++i) {
+        std::swap(pending_[i - next], pending_[i]);
+      }
+      pending_count_ -= next;
+      return s;
+    }
+    for (int64_t b = 0; b < batch; ++b) {
+      const PendingWindow& p = pending_[next + static_cast<size_t>(b)];
       StreamScore result;
       result.stream_id = p.stream_id;
       result.index = p.index;
-      result.score = scores.value()[static_cast<size_t>(b)];
+      result.score = batch_scores_[static_cast<size_t>(b)];
       result.flag = threshold_.has_value() && result.score > *threshold_;
       if (out != nullptr) out->push_back(result);
     }
-    pending_.erase(pending_.begin(), pending_.begin() + batch);
+    next += static_cast<size_t>(batch);
   }
+  pending_count_ = 0;
   return Status::OK();
 }
 
@@ -123,7 +143,7 @@ int64_t ServingEngine::num_streams() const {
 
 int64_t ServingEngine::pending_windows() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<int64_t>(pending_.size());
+  return static_cast<int64_t>(pending_count_);
 }
 
 }  // namespace serve

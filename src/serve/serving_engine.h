@@ -34,7 +34,6 @@
 
 #include <chrono>
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -115,8 +114,8 @@ class ServingEngine {
 
  private:
   struct PendingWindow {
-    int64_t stream_id;
-    int64_t index;  // observation index within the stream
+    int64_t stream_id = 0;
+    int64_t index = 0;  // observation index within the stream
     std::chrono::steady_clock::time_point enqueued_at;
     std::vector<float> values;  // w x dims snapshot, oldest row first
   };
@@ -133,7 +132,16 @@ class ServingEngine {
 
   mutable std::mutex mu_;
   std::map<int64_t, StreamSession> sessions_;
-  std::deque<PendingWindow> pending_;
+  // Pending queue as a reuse pool: the first pending_count_ entries of
+  // pending_ are live, in arrival order; entries past that are retained
+  // (window snapshots keep their capacity) and recycled by the next Push.
+  // Together with the grow-only batch/score staging buffers below and the
+  // ensemble's arena-backed ScoreWindowsLastInto, steady-state scoring
+  // performs zero heap allocations (tests/alloc_count_test.cc).
+  std::vector<PendingWindow> pending_;
+  size_t pending_count_ = 0;
+  std::vector<float> batch_values_;   // max_batch x w x dims staging
+  std::vector<double> batch_scores_;  // scores of one flushed chunk
 };
 
 }  // namespace serve

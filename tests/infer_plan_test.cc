@@ -1,0 +1,260 @@
+// Plan-vs-graph bitwise identity: the compiled forward plans (infer/plan.h)
+// must reproduce the autograd scoring paths bit for bit — same kernels,
+// same call order, same accumulation (docs/inference.md). Every comparison
+// here is EXPECT_EQ on doubles: any reassociation, fused step, or dropped
+// op in the plan executor fails loudly. golden_regression_test pins the
+// same contract against absolute constants.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/ensemble.h"
+#include "core/streaming.h"
+#include "infer/arena.h"
+#include "serve/serving_engine.h"
+#include "test_util.h"
+
+namespace caee {
+namespace {
+
+core::EnsembleConfig SmallConfig() {
+  core::EnsembleConfig config;
+  config.cae.embed_dim = 8;
+  config.cae.num_layers = 1;
+  config.window = 8;
+  config.num_models = 3;
+  config.epochs_per_model = 1;
+  config.batch_size = 16;
+  config.max_train_windows = 48;
+  config.num_threads = 1;
+  config.seed = 11;
+  return config;
+}
+
+Tensor RandomWindows(int64_t batch, int64_t window, int64_t dims,
+                     uint64_t seed) {
+  Rng rng(seed);
+  Tensor windows(Shape{batch, window, dims});
+  for (int64_t i = 0; i < windows.numel(); ++i) {
+    windows[i] = static_cast<float>(rng.Gaussian());
+  }
+  return windows;
+}
+
+// Scores the same windows through both backends and demands equality to the
+// last bit, at every batch size and thread count the serving layer uses.
+void ExpectPlanMatchesGraph(core::CaeEnsemble* ensemble, int64_t dims,
+                            uint64_t seed) {
+  for (const int64_t batch : {int64_t{1}, int64_t{3}, int64_t{16}}) {
+    const Tensor windows =
+        RandomWindows(batch, ensemble->config().window, dims, seed + batch);
+    for (const int64_t threads : {int64_t{1}, int64_t{4}}) {
+      ensemble->set_num_threads(threads);
+      ensemble->set_scoring_backend(core::ScoringBackend::kPlan);
+      auto plan = ensemble->ScoreWindowsLast(windows);
+      ASSERT_TRUE(plan.ok()) << plan.status();
+      ensemble->set_scoring_backend(core::ScoringBackend::kGraph);
+      auto graph = ensemble->ScoreWindowsLast(windows);
+      ASSERT_TRUE(graph.ok()) << graph.status();
+      ensemble->set_scoring_backend(core::ScoringBackend::kPlan);
+      ASSERT_EQ(plan.value().size(), graph.value().size());
+      for (size_t b = 0; b < plan.value().size(); ++b) {
+        EXPECT_EQ(plan.value()[b], graph.value()[b])
+            << "batch=" << batch << " threads=" << threads << " window " << b;
+      }
+    }
+  }
+}
+
+TEST(InferPlanTest, MatchesGraphOnDefaultArchitecture) {
+  auto config = SmallConfig();
+  const int64_t dims = 4;
+  core::CaeEnsemble ensemble(config);
+  ASSERT_TRUE(ensemble.Fit(testutil::PlantedSeries(96, dims, 5)).ok());
+  ExpectPlanMatchesGraph(&ensemble, dims, 100);
+}
+
+TEST(InferPlanTest, MatchesGraphWithOddDimsAndDeepStack) {
+  auto config = SmallConfig();
+  config.cae.embed_dim = 7;  // odd embed dim: ragged GEMM edges everywhere
+  config.cae.num_layers = 3;
+  config.window = 9;
+  config.num_models = 4;  // even member count: median midpoint-average path
+  const int64_t dims = 5;
+  core::CaeEnsemble ensemble(config);
+  ASSERT_TRUE(ensemble.Fit(testutil::PlantedSeries(90, dims, 6)).ok());
+  ExpectPlanMatchesGraph(&ensemble, dims, 200);
+}
+
+TEST(InferPlanTest, MatchesGraphWhenKernelExceedsWindow) {
+  auto config = SmallConfig();
+  config.cae.kernel = 7;  // kernel > window: padding clips on both sides
+  config.window = 4;
+  const int64_t dims = 3;
+  core::CaeEnsemble ensemble(config);
+  ASSERT_TRUE(ensemble.Fit(testutil::PlantedSeries(80, dims, 7)).ok());
+  ExpectPlanMatchesGraph(&ensemble, dims, 300);
+}
+
+TEST(InferPlanTest, MatchesGraphAcrossAttentionModes) {
+  for (const auto mode :
+       {core::AttentionMode::kNone, core::AttentionMode::kLastLayer,
+        core::AttentionMode::kAllLayers}) {
+    auto config = SmallConfig();
+    config.cae.attention = mode;
+    config.cae.num_layers = 2;
+    const int64_t dims = 4;
+    core::CaeEnsemble ensemble(config);
+    ASSERT_TRUE(ensemble.Fit(testutil::PlantedSeries(88, dims, 8)).ok());
+    ExpectPlanMatchesGraph(&ensemble, dims, 400);
+  }
+}
+
+TEST(InferPlanTest, MatchesGraphWithoutRescaling) {
+  auto config = SmallConfig();
+  config.rescale_enabled = false;
+  const int64_t dims = 4;
+  core::CaeEnsemble ensemble(config);
+  ASSERT_TRUE(ensemble.Fit(testutil::PlantedSeries(96, dims, 9)).ok());
+  ExpectPlanMatchesGraph(&ensemble, dims, 500);
+}
+
+TEST(InferPlanTest, MatchesGraphWithNonDefaultActivations) {
+  auto config = SmallConfig();
+  config.cae.enc_act = nn::Activation::kTanh;
+  config.cae.dec_act = nn::Activation::kSigmoid;
+  config.cae.recon_act = nn::Activation::kTanh;
+  config.embed_obs_act = nn::Activation::kRelu;
+  config.embed_pos_act = nn::Activation::kTanh;
+  const int64_t dims = 4;
+  core::CaeEnsemble ensemble(config);
+  ASSERT_TRUE(ensemble.Fit(testutil::PlantedSeries(96, dims, 10)).ok());
+  ExpectPlanMatchesGraph(&ensemble, dims, 600);
+}
+
+// The offline paths (PerModelScores -> Score, MeanReconstructionError,
+// Diversity) also run on the plans; all three must match the graph bitwise.
+TEST(InferPlanTest, OfflineScoringPathsMatchGraph) {
+  auto config = SmallConfig();
+  config.cae.num_layers = 2;
+  const int64_t dims = 4;
+  core::CaeEnsemble ensemble(config);
+  ASSERT_TRUE(ensemble.Fit(testutil::PlantedSeries(96, dims, 12)).ok());
+  const ts::TimeSeries eval = testutil::PlantedSeries(64, dims, 13, {30});
+
+  ensemble.set_scoring_backend(core::ScoringBackend::kPlan);
+  auto plan_scores = ensemble.Score(eval);
+  auto plan_mre = ensemble.MeanReconstructionError(eval);
+  auto plan_div = ensemble.Diversity(eval);
+  ensemble.set_scoring_backend(core::ScoringBackend::kGraph);
+  auto graph_scores = ensemble.Score(eval);
+  auto graph_mre = ensemble.MeanReconstructionError(eval);
+  auto graph_div = ensemble.Diversity(eval);
+
+  ASSERT_TRUE(plan_scores.ok() && graph_scores.ok());
+  ASSERT_EQ(plan_scores.value().size(), graph_scores.value().size());
+  for (size_t i = 0; i < plan_scores.value().size(); ++i) {
+    EXPECT_EQ(plan_scores.value()[i], graph_scores.value()[i])
+        << "observation " << i;
+  }
+  ASSERT_TRUE(plan_mre.ok() && graph_mre.ok());
+  EXPECT_EQ(plan_mre.value(), graph_mre.value());
+  ASSERT_TRUE(plan_div.ok() && graph_div.ok());
+  EXPECT_EQ(plan_div.value(), graph_div.value());
+}
+
+// ScoreWindowsLastInto is the serving entry point: same scores as the
+// tensor API, and the output vector's capacity is reused across calls.
+TEST(InferPlanTest, IntoVariantMatchesAndReusesCapacity) {
+  auto config = SmallConfig();
+  const int64_t dims = 4;
+  core::CaeEnsemble ensemble(config);
+  ASSERT_TRUE(ensemble.Fit(testutil::PlantedSeries(96, dims, 14)).ok());
+
+  const Tensor windows = RandomWindows(5, config.window, dims, 900);
+  auto reference = ensemble.ScoreWindowsLast(windows);
+  ASSERT_TRUE(reference.ok());
+
+  std::vector<double> scores;
+  ASSERT_TRUE(
+      ensemble.ScoreWindowsLastInto(windows.data(), 5, &scores).ok());
+  ASSERT_EQ(scores.size(), reference.value().size());
+  for (size_t b = 0; b < scores.size(); ++b) {
+    EXPECT_EQ(scores[b], reference.value()[b]);
+  }
+
+  const double* data_before = scores.data();
+  ASSERT_TRUE(
+      ensemble.ScoreWindowsLastInto(windows.data(), 5, &scores).ok());
+  EXPECT_EQ(scores.data(), data_before) << "score buffer was reallocated";
+  for (size_t b = 0; b < scores.size(); ++b) {
+    EXPECT_EQ(scores[b], reference.value()[b]);
+  }
+}
+
+TEST(InferPlanTest, IntoVariantValidatesArguments) {
+  auto config = SmallConfig();
+  core::CaeEnsemble unfitted(config);
+  std::vector<double> scores;
+  float dummy = 0.0f;
+  EXPECT_FALSE(unfitted.ScoreWindowsLastInto(&dummy, 1, &scores).ok());
+
+  const int64_t dims = 4;
+  core::CaeEnsemble ensemble(config);
+  ASSERT_TRUE(ensemble.Fit(testutil::PlantedSeries(96, dims, 15)).ok());
+  EXPECT_FALSE(ensemble.ScoreWindowsLastInto(nullptr, 1, &scores).ok());
+  EXPECT_FALSE(ensemble.ScoreWindowsLastInto(&dummy, 0, &scores).ok());
+  EXPECT_FALSE(ensemble.ScoreWindowsLastInto(&dummy, 1, nullptr).ok());
+}
+
+// The engine's cross-stream batching contract (bitwise equal to dedicated
+// per-stream scorers) must survive the plan rewiring end to end.
+TEST(InferPlanTest, ServingEngineMatchesStreamingScorerOnPlanPath) {
+  auto config = SmallConfig();
+  const int64_t dims = 4;
+  core::CaeEnsemble ensemble(config);
+  ASSERT_TRUE(ensemble.Fit(testutil::PlantedSeries(96, dims, 16)).ok());
+  ASSERT_EQ(ensemble.scoring_backend(), core::ScoringBackend::kPlan);
+
+  const ts::TimeSeries stream = testutil::PlantedSeries(40, dims, 17, {25});
+  core::StreamingScorer reference(&ensemble);
+  serve::ServeConfig serve_config;
+  serve_config.max_batch = 4;
+  serve::ServingEngine engine(&ensemble, serve_config);
+  ASSERT_TRUE(engine.OpenStream(1).ok());
+
+  std::vector<serve::StreamScore> results;
+  std::vector<double> expected;
+  for (int64_t t = 0; t < stream.length(); ++t) {
+    std::vector<float> row(static_cast<size_t>(dims));
+    for (int64_t j = 0; j < dims; ++j) row[static_cast<size_t>(j)] =
+        stream.value(t, j);
+    auto ref = reference.Push(row);
+    ASSERT_TRUE(ref.ok());
+    if (ref.value().has_value()) expected.push_back(*ref.value());
+    ASSERT_TRUE(engine.Push(1, row, &results).ok());
+  }
+  ASSERT_TRUE(engine.Flush(&results).ok());
+  ASSERT_EQ(results.size(), expected.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].score, expected[i]) << "window " << i;
+  }
+}
+
+// Arena lifecycle: slots grow to the shape-walk maximum and stay there —
+// re-executing at a smaller batch must not shrink or reallocate.
+TEST(InferPlanTest, ArenaIsGrowOnly) {
+  infer::Arena arena;
+  float* big = arena.Slot(0, 1024);
+  EXPECT_EQ(arena.bytes(), 1024 * sizeof(float));
+  float* small = arena.Slot(0, 16);
+  EXPECT_EQ(small, big) << "shrinking request must reuse the buffer";
+  EXPECT_EQ(arena.bytes(), 1024 * sizeof(float));
+  arena.Slot(3, 8);
+  EXPECT_EQ(arena.num_slots(), 4u);
+  EXPECT_EQ(arena.bytes(), (1024 + 8) * sizeof(float));
+}
+
+}  // namespace
+}  // namespace caee
