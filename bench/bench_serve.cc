@@ -23,9 +23,23 @@
 // not move it by a single bit, so drift here is a determinism regression,
 // not noise.
 //
+// SCALE TABLE (PR 6): a second table sweeps streams {1k, 10k, 100k} x
+// shards {1, 4, 16} at max_batch=16 on the plan backend, measuring the
+// metric the sharded engine exists for — BYTES PER IDLE STREAM (open S
+// sessions, warm each ring to w-1 observations so nothing is pending, then
+// divide serve::ServingEngine::MemoryBytes() by S) — plus scored-window
+// throughput over a small ACTIVE subset (min(S, 64) streams fed
+// round-robin) while the rest of the sessions sit idle, the
+// mostly-idle-tenant shape docs/capacity.md sizes deployments around.
+// `--caee_scale_json=PATH` writes these rows as a separate
+// {"bench": "bench_serve_scale"} document (BENCH_6.json in CI); the cell
+// checksum must match across shard counts — sharding must not move a
+// score by a single bit.
+//
 // Extra flags beyond bench_util.h: --obs=N observations per stream
-// (default 48), --caee_json=PATH.
+// (default 48), --caee_json=PATH, --caee_scale_json=PATH.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -69,6 +83,98 @@ std::vector<std::vector<float>> MakeStream(int64_t length, int64_t dims,
     }
   }
   return rows;
+}
+
+struct ScaleEntry {
+  int64_t streams;
+  int64_t shards;
+  int64_t max_batch;
+  int64_t threads;
+  const char* impl;
+  double windows_per_sec;
+  double ns_per_window;
+  double bytes_per_idle_stream;
+  double checksum;
+};
+
+// One scale cell: S mostly-idle sessions, an active subset doing the work.
+ScaleEntry RunScaleCell(core::CaeEnsemble* ensemble, int64_t num_streams,
+                        int64_t num_shards, int64_t obs_per_stream,
+                        int64_t dims) {
+  ensemble->set_scoring_backend(core::ScoringBackend::kPlan);
+  const int64_t w = ensemble->config().window;
+  serve::ServeConfig config;
+  config.max_batch = 16;
+  config.flush_deadline_ms = 0;
+  config.num_shards = num_shards;
+  serve::ServingEngine engine(ensemble, config);
+
+  // Idle population: every session opened and warmed to w-1 observations —
+  // the ring is allocated and full-but-one, nothing is pending. This is
+  // the steady state of a mostly-idle tenant, and the state MemoryBytes()
+  // is divided over. Idle streams share one warm block (their contents
+  // never get scored); active streams score from real per-stream data.
+  const auto warm_rows = MakeStream(w - 1, dims, 7);
+  std::vector<serve::StreamScore> results;
+  for (int64_t s = 0; s < num_streams; ++s) {
+    CAEE_CHECK(engine.OpenStream(s).ok());
+    for (const auto& row : warm_rows) {
+      CAEE_CHECK(engine.Push(s, row, &results).ok());
+    }
+  }
+  CAEE_CHECK(results.empty());
+  CAEE_CHECK(engine.pending_windows() == 0);
+  const double bytes_per_idle_stream =
+      static_cast<double>(engine.MemoryBytes()) /
+      static_cast<double>(num_streams);
+
+  // Throughput over the active subset, round-robin; every push past warm-up
+  // yields one ready window.
+  const int64_t active = std::min<int64_t>(num_streams, 64);
+  std::vector<std::vector<std::vector<float>>> streams;
+  for (int64_t s = 0; s < active; ++s) {
+    streams.push_back(
+        MakeStream(obs_per_stream, dims, 1000 + static_cast<uint64_t>(s)));
+  }
+  Stopwatch timer;
+  for (int64_t t = 0; t < obs_per_stream; ++t) {
+    for (int64_t s = 0; s < active; ++s) {
+      CAEE_CHECK(engine.Push(s, streams[static_cast<size_t>(s)]
+                                       [static_cast<size_t>(t)],
+                             &results)
+                     .ok());
+    }
+  }
+  CAEE_CHECK(engine.Flush(&results).ok());
+  const double seconds = timer.ElapsedSeconds();
+
+  CAEE_CHECK_MSG(static_cast<int64_t>(results.size()) ==
+                     active * obs_per_stream,
+                 "scored " << results.size() << " windows, expected "
+                           << active * obs_per_stream);
+  // Individual scores are bitwise shard-count-invariant, but arrival ORDER
+  // is not (each shard flushes its own queue) — and double addition is not
+  // associative. Sum in canonical (stream, index) order so the checksum
+  // compares the score SET, which is the actual contract.
+  std::sort(results.begin(), results.end(),
+            [](const serve::StreamScore& a, const serve::StreamScore& b) {
+              return a.stream_id != b.stream_id ? a.stream_id < b.stream_id
+                                                : a.index < b.index;
+            });
+  double checksum = 0.0;
+  for (const auto& r : results) checksum += r.score;
+
+  ScaleEntry entry;
+  entry.streams = num_streams;
+  entry.shards = num_shards;
+  entry.max_batch = config.max_batch;
+  entry.threads = static_cast<int64_t>(ensemble->config().num_threads);
+  entry.impl = "plan";
+  entry.windows_per_sec = static_cast<double>(results.size()) / seconds;
+  entry.ns_per_window = seconds * 1e9 / static_cast<double>(results.size());
+  entry.bytes_per_idle_stream = bytes_per_idle_stream;
+  entry.checksum = checksum;
+  return entry;
 }
 
 ServeEntry RunCell(core::CaeEnsemble* ensemble,
@@ -122,10 +228,12 @@ ServeEntry RunCell(core::CaeEnsemble* ensemble,
 
 int Main(int argc, char** argv) {
   bench::Flags flags = bench::Flags::Parse(argc, argv);
-  std::string json_path;
+  std::string json_path, scale_json_path;
   int64_t obs_per_stream = 48;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--caee_json=", 12) == 0) {
+    if (std::strncmp(argv[i], "--caee_scale_json=", 18) == 0) {
+      scale_json_path = argv[i] + 18;
+    } else if (std::strncmp(argv[i], "--caee_json=", 12) == 0) {
       json_path = argv[i] + 12;
     } else if (std::strncmp(argv[i], "--obs=", 6) == 0) {
       obs_per_stream = std::atoll(argv[i] + 6);
@@ -211,6 +319,47 @@ int Main(int argc, char** argv) {
     }
   }
 
+  // -------------------------------------------------------------------
+  // Scale table: mostly-idle populations, sharded engines.
+  // -------------------------------------------------------------------
+  std::printf("\nscale table (max_batch=16, impl=plan, active streams "
+              "capped at 64):\n");
+  std::printf("%9s %7s %16s %14s %18s\n", "streams", "shards", "windows/sec",
+              "ns/window", "bytes/idle-stream");
+  std::vector<ScaleEntry> scale_entries;
+  for (const int64_t num_streams :
+       {int64_t{1000}, int64_t{10000}, int64_t{100000}}) {
+    double base_checksum = 0.0;
+    bool have_base = false;
+    for (const int64_t num_shards : {int64_t{1}, int64_t{4}, int64_t{16}}) {
+      const ScaleEntry entry = RunScaleCell(&ensemble, num_streams,
+                                            num_shards, obs_per_stream, dims);
+      std::printf("%9lld %7lld %16.1f %14.1f %18.1f\n",
+                  static_cast<long long>(entry.streams),
+                  static_cast<long long>(entry.shards), entry.windows_per_sec,
+                  entry.ns_per_window, entry.bytes_per_idle_stream);
+      // Shard-count invariance: same active streams, same data — the
+      // score sum must not move by a bit when only the sharding changes.
+      if (!have_base) {
+        base_checksum = entry.checksum;
+        have_base = true;
+      } else {
+        CAEE_CHECK_MSG(entry.checksum == base_checksum,
+                       "checksum drift at streams=" << num_streams
+                           << " shards=" << num_shards
+                           << " — sharding changed scores");
+      }
+      scale_entries.push_back(entry);
+    }
+  }
+  const ScaleEntry& biggest = scale_entries.back();
+  std::printf("at %lld streams / %lld shards: %.1f bytes per idle stream "
+              "(~%.1f MiB per 10^6 streams)\n",
+              static_cast<long long>(biggest.streams),
+              static_cast<long long>(biggest.shards),
+              biggest.bytes_per_idle_stream,
+              biggest.bytes_per_idle_stream * 1e6 / (1024.0 * 1024.0));
+
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
     if (f == nullptr) {
@@ -236,6 +385,35 @@ int Main(int argc, char** argv) {
     std::fclose(f);
     std::printf("wrote %s (%zu entries)\n", json_path.c_str(),
                 entries.size());
+  }
+
+  if (!scale_json_path.empty()) {
+    std::FILE* f = std::fopen(scale_json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", scale_json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"bench_serve_scale\",\n  \"schema\": 1,\n"
+                 "  \"entries\": [\n");
+    for (size_t i = 0; i < scale_entries.size(); ++i) {
+      const ScaleEntry& e = scale_entries[i];
+      std::fprintf(
+          f,
+          "    {\"streams\": %lld, \"shards\": %lld, \"max_batch\": %lld, "
+          "\"threads\": %lld, \"impl\": \"%s\", \"windows_per_sec\": %.1f, "
+          "\"ns_per_window\": %.1f, \"bytes_per_idle_stream\": %.1f, "
+          "\"checksum\": %.17g}%s\n",
+          static_cast<long long>(e.streams), static_cast<long long>(e.shards),
+          static_cast<long long>(e.max_batch),
+          static_cast<long long>(e.threads), e.impl, e.windows_per_sec,
+          e.ns_per_window, e.bytes_per_idle_stream, e.checksum,
+          i + 1 < scale_entries.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu entries)\n", scale_json_path.c_str(),
+                scale_entries.size());
   }
   return 0;
 }

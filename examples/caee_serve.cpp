@@ -17,18 +17,33 @@
 // round-trip check CI runs.
 //
 // MULTI-STREAM (--streams): one process serves N independent series against
-// the same loaded ensemble, scoring ready windows from different streams in
-// one batched forward pass (serve::ServingEngine). Input lines:
+// the same loaded ensemble, sharded across --shards independent engine
+// shards (stream id -> shard by hash; see docs/serving.md), scoring ready
+// windows from different streams in one batched forward pass per shard
+// (serve::ServingEngine). Text input lines:
 //
 //   open,<id>            open a session for stream <id>
 //   <id>,v1,v2,...       one observation for stream <id>
-//   close,<id>           close the session (pending windows are flushed)
+//   close,<id>           close the session (its shard's pending windows
+//                        are flushed)
 //
-// Output lines are `stream,index,score,flag`. --max-batch bounds the
-// micro-batch; --flush-ms bounds how long a ready window may wait when
-// input trickles (a background timer flushes expired batches, so a stalled
-// stdin cannot hold scores hostage). Scores are bitwise identical to
-// serving each stream in its own single-stream process.
+// Output lines are `stream,index,score,flag`. --max-batch bounds each
+// shard's micro-batch; --flush-ms bounds how long a ready window may wait
+// when input trickles (a background timer flushes expired batches, so a
+// stalled stdin cannot hold scores hostage). Scores are bitwise identical
+// to serving each stream in its own single-stream process, at ANY shard
+// count.
+//
+// BINARY PROTOCOL (--streams --binary): same session semantics over the
+// length-prefixed CRC-checked framing of docs/protocol.md — requests in on
+// stdin, response frames (score/ok/error/backpressure) out on stdout.
+// --max-pending arms per-shard admission control: a push to a full shard
+// is answered with a backpressure frame and consumes nothing. The
+// --encode-frames / --decode-frames translator modes (no --model needed)
+// convert the text protocol to request frames and response frames back to
+// text — `caee_serve --encode-frames | caee_serve --streams --binary |
+// caee_serve --decode-frames` is byte-identical to the text pipeline, the
+// equivalence CI smoke-checks.
 
 #include <atomic>
 #include <chrono>
@@ -45,6 +60,7 @@
 #include "cli_util.h"
 #include "core/persistence.h"
 #include "core/streaming.h"
+#include "serve/framing.h"
 #include "serve/serving_engine.h"
 
 using namespace caee;
@@ -54,7 +70,9 @@ namespace {
 const char kUsage[] =
     "usage: caee_serve --model model.caee [--input obs.csv] [--threads T]\n"
     "                  [--expect-scores scores.txt [--tolerance X]]\n"
-    "                  [--streams [--max-batch N] [--flush-ms MS]]\n"
+    "                  [--streams [--max-batch N] [--flush-ms MS]\n"
+    "                   [--shards S] [--max-pending N] [--binary]]\n"
+    "       caee_serve --encode-frames | --decode-frames   (no --model)\n"
     "  Default mode reads comma-separated observations from --input\n"
     "  (default: stdin) and prints `index,score,flag` per scored\n"
     "  observation (flag=1 above the calibrated threshold).\n"
@@ -62,10 +80,18 @@ const char kUsage[] =
     "  batch scores and fails on mismatch.\n"
     "  --streams serves many sessions at once: lines are `open,<id>`,\n"
     "  `close,<id>`, or `<id>,v1,v2,...`; output is\n"
-    "  `stream,index,score,flag`. Ready windows from different streams are\n"
-    "  scored in one batched forward pass (<= --max-batch windows, default\n"
-    "  8); --flush-ms (default 50, 0 = off) bounds the wait of a partially\n"
-    "  filled batch.\n";
+    "  `stream,index,score,flag`. Sessions are sharded across --shards\n"
+    "  (default 1) independent engine shards; ready windows from different\n"
+    "  streams of a shard are scored in one batched forward pass\n"
+    "  (<= --max-batch windows, default 8); --flush-ms (default 50,\n"
+    "  0 = off) bounds the wait of a partially filled batch.\n"
+    "  --binary swaps the text protocol for the length-prefixed binary\n"
+    "  framing of docs/protocol.md (request frames in, response frames\n"
+    "  out); --max-pending N (default 0 = unbounded) arms per-shard\n"
+    "  admission control, answered with backpressure frames.\n"
+    "  --encode-frames converts text-protocol lines on stdin to request\n"
+    "  frames on stdout; --decode-frames converts response frames on\n"
+    "  stdin back to text lines. Neither needs a model.\n";
 
 int Fail(const Status& status) {
   std::cerr << "caee_serve: " << status << "\n";
@@ -215,14 +241,29 @@ bool ParseStreamObservation(const std::string& line, int64_t* id,
   return ParseObservation(line.substr(comma + 1), out);
 }
 
-int RunMultiStream(const cli::Args& args, core::CaeEnsemble& ensemble,
-                   std::optional<double> threshold, std::istream& in) {
+StatusOr<serve::ServeConfig> MultiStreamConfig(const cli::Args& args) {
   serve::ServeConfig config;
   config.max_batch = args.GetInt("max-batch", 8);
   config.flush_deadline_ms = args.GetInt("flush-ms", 50);
+  config.num_shards = args.GetInt("shards", 1);
+  config.max_pending = args.GetInt("max-pending", 0);
   if (config.max_batch < 1) {
-    return Fail(Status::InvalidArgument("--max-batch must be >= 1"));
+    return Status::InvalidArgument("--max-batch must be >= 1");
   }
+  if (config.num_shards < 1) {
+    return Status::InvalidArgument("--shards must be >= 1");
+  }
+  if (config.max_pending < 0) {
+    return Status::InvalidArgument("--max-pending must be >= 0");
+  }
+  return config;
+}
+
+int RunMultiStream(const cli::Args& args, core::CaeEnsemble& ensemble,
+                   std::optional<double> threshold, std::istream& in) {
+  auto config_or = MultiStreamConfig(args);
+  if (!config_or.ok()) return Fail(config_or.status());
+  const serve::ServeConfig config = config_or.value();
   serve::ServingEngine engine(&ensemble, config, threshold);
 
   // Delivery is the single tally point: scores can arrive from the main
@@ -328,21 +369,290 @@ int RunMultiStream(const cli::Args& args, core::CaeEnsemble& ensemble,
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Binary-protocol multi-stream mode (docs/protocol.md).
+// ---------------------------------------------------------------------------
+
+int RunMultiStreamBinary(const cli::Args& args, core::CaeEnsemble& ensemble,
+                         std::optional<double> threshold, std::istream& in) {
+  namespace fr = serve::framing;
+  auto config_or = MultiStreamConfig(args);
+  if (!config_or.ok()) return Fail(config_or.status());
+  const serve::ServeConfig config = config_or.value();
+  serve::ServingEngine engine(&ensemble, config, threshold);
+
+  // One serialisation point for response frames: scores can come from the
+  // main loop or the deadline timer, and frames must never interleave
+  // mid-frame on the wire.
+  std::mutex out_mu;
+  int64_t scored = 0, alerts = 0, backpressured = 0;
+  auto respond = [&](const fr::Frame& frame) {
+    std::lock_guard<std::mutex> lock(out_mu);
+    fr::WriteFrame(std::cout, frame);
+  };
+  auto deliver = [&](const std::vector<serve::StreamScore>& results) {
+    if (results.empty()) return;
+    std::lock_guard<std::mutex> lock(out_mu);
+    for (const auto& r : results) {
+      ++scored;
+      alerts += r.flag;
+      fr::WriteFrame(std::cout, fr::MakeScoreFrame(r));
+    }
+    std::cout.flush();
+  };
+
+  std::atomic<bool> done{false};
+  std::mutex flusher_status_mu;
+  Status flusher_status;  // guarded by flusher_status_mu
+  std::thread flusher;
+  if (config.flush_deadline_ms > 0) {
+    flusher = std::thread([&] {
+      const auto tick = std::chrono::milliseconds(
+          std::max<int64_t>(1, config.flush_deadline_ms / 2));
+      while (!done.load()) {
+        std::this_thread::sleep_for(tick);
+        std::vector<serve::StreamScore> results;
+        const Status status = engine.FlushIfExpired(&results);
+        if (!status.ok()) {
+          std::lock_guard<std::mutex> lock(flusher_status_mu);
+          flusher_status = status;
+          return;
+        }
+        deliver(results);
+      }
+    });
+  }
+  auto stop_flusher = [&] {
+    done.store(true);
+    if (flusher.joinable()) flusher.join();
+  };
+  auto check_flusher = [&]() -> Status {
+    std::lock_guard<std::mutex> lock(flusher_status_mu);
+    return flusher_status;
+  };
+
+  // Tenant-level rejections (unknown stream, width mismatch, double open,
+  // full shard) are ANSWERED — an error or backpressure frame — and the
+  // server keeps serving; only wire-level corruption (truncation, CRC,
+  // version skew) is fatal, because a byte stream cannot resync past it.
+  fr::Frame frame;
+  std::vector<float> observation;
+  std::vector<serve::StreamScore> results;
+  int64_t frame_no = 0;
+  while (true) {
+    if (Status status = check_flusher(); !status.ok()) {
+      stop_flusher();
+      return Fail(Status(status.code(),
+                         "deadline flush failed: " + status.message()));
+    }
+    bool eof = false;
+    if (Status status = fr::ReadFrame(in, &frame, &eof); !status.ok()) {
+      stop_flusher();
+      return Fail(Status(status.code(), "frame " + std::to_string(frame_no) +
+                                            ": " + status.message()));
+    }
+    if (eof) break;
+    ++frame_no;
+    results.clear();
+    switch (frame.frame_type()) {
+      case fr::FrameType::kOpen: {
+        const Status status = engine.OpenStream(frame.stream_id);
+        respond(status.ok() ? fr::MakeOkFrame(frame.stream_id)
+                            : fr::MakeErrorFrame(frame.stream_id, status));
+        break;
+      }
+      case fr::FrameType::kClose: {
+        const Status status = engine.CloseStream(frame.stream_id, &results);
+        deliver(results);
+        respond(status.ok() ? fr::MakeOkFrame(frame.stream_id)
+                            : fr::MakeErrorFrame(frame.stream_id, status));
+        break;
+      }
+      case fr::FrameType::kObserve: {
+        if (Status status = fr::ParseObserve(frame, &observation);
+            !status.ok()) {
+          respond(fr::MakeErrorFrame(frame.stream_id, status));
+          break;
+        }
+        const Status status =
+            engine.Push(frame.stream_id, observation, &results);
+        if (status.code() == StatusCode::kResourceExhausted) {
+          ++backpressured;
+          respond(fr::MakeBackpressureFrame(frame.stream_id));
+        } else if (!status.ok()) {
+          respond(fr::MakeErrorFrame(frame.stream_id, status));
+        } else {
+          deliver(results);
+        }
+        break;
+      }
+      case fr::FrameType::kFlush: {
+        const Status status = engine.Flush(&results);
+        deliver(results);
+        if (!status.ok()) {
+          respond(fr::MakeErrorFrame(0, status));
+        }
+        break;
+      }
+      default:
+        respond(fr::MakeErrorFrame(
+            frame.stream_id,
+            Status::InvalidArgument("unknown frame type " +
+                                    std::to_string(frame.type))));
+        break;
+    }
+  }
+
+  // End of input: drain every shard, then stop the timer.
+  results.clear();
+  const Status status = engine.Flush(&results);
+  stop_flusher();
+  if (!status.ok()) return Fail(status);
+  if (Status parked = check_flusher(); !parked.ok()) {
+    return Fail(Status(parked.code(),
+                       "deadline flush failed: " + parked.message()));
+  }
+  deliver(results);
+  std::cout.flush();
+
+  std::cerr << "scored " << scored << " windows across streams, " << alerts
+            << " above threshold, " << backpressured
+            << " pushes backpressured (" << engine.num_streams()
+            << " sessions still open at EOF, " << config.num_shards
+            << " shards)\n";
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Translator modes: text protocol <-> binary framing (no model involved).
+// ---------------------------------------------------------------------------
+
+int RunEncodeFrames(std::istream& in) {
+  namespace fr = serve::framing;
+  std::string line;
+  std::vector<float> observation;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::string verb;
+    int64_t id = 0;
+    if (ParseControl(line, &verb, &id)) {
+      fr::WriteFrame(std::cout, verb == "open" ? fr::MakeOpenFrame(id)
+                                               : fr::MakeCloseFrame(id));
+    } else if (ParseStreamObservation(line, &id, &observation)) {
+      fr::WriteFrame(std::cout, fr::MakeObserveFrame(id, observation));
+    } else {
+      return Fail(Status::InvalidArgument(
+          "line " + std::to_string(line_no) +
+          " is neither `open,<id>`/`close,<id>` nor `<id>,v1,v2,...`"));
+    }
+  }
+  std::cout.flush();
+  return 0;
+}
+
+int RunDecodeFrames(std::istream& in) {
+  namespace fr = serve::framing;
+  fr::Frame frame;
+  int64_t frame_no = 0, errors = 0;
+  while (true) {
+    bool eof = false;
+    if (Status status = fr::ReadFrame(in, &frame, &eof); !status.ok()) {
+      return Fail(Status(status.code(), "frame " + std::to_string(frame_no) +
+                                            ": " + status.message()));
+    }
+    if (eof) break;
+    ++frame_no;
+    switch (frame.frame_type()) {
+      case fr::FrameType::kScore: {
+        serve::StreamScore score;
+        if (Status status = fr::ParseScore(frame, &score); !status.ok()) {
+          return Fail(status);
+        }
+        std::cout << score.stream_id << "," << score.index << ","
+                  << score.score << "," << (score.flag ? 1 : 0) << "\n";
+        break;
+      }
+      case fr::FrameType::kOk:
+        break;  // open/close ack: nothing to print
+      case fr::FrameType::kBackpressure:
+        std::cerr << "backpressure: stream " << frame.stream_id
+                  << " rejected (shard pending pool full)\n";
+        break;
+      case fr::FrameType::kError: {
+        Status error;
+        if (Status status = fr::ParseError(frame, &error); !status.ok()) {
+          return Fail(status);
+        }
+        std::cerr << "server error for stream " << frame.stream_id << ": "
+                  << error << "\n";
+        ++errors;
+        break;
+      }
+      default:
+        return Fail(Status::InvalidArgument(
+            "unexpected frame type " + std::to_string(frame.type) +
+            " in a response stream"));
+    }
+  }
+  std::cout.flush();
+  return errors == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   cli::Args args(argc, argv);
   args.RejectUnknown({"model", "input", "threads", "expect-scores",
                       "tolerance", "streams", "max-batch", "flush-ms",
-                      "help"},
+                      "shards", "max-pending", "binary", "encode-frames",
+                      "decode-frames", "help"},
                      kUsage);
-  if (args.Has("help") || !args.Has("model")) {
+  if (args.Has("help")) {
     std::cerr << kUsage;
-    return args.Has("help") ? 0 : 2;
+    return 0;
+  }
+
+  // Translator modes are pure wire-format conversions — no model, no
+  // engine. They reject every serving flag so a typo'd serving invocation
+  // cannot silently degrade into a translator.
+  if (args.Has("encode-frames") || args.Has("decode-frames")) {
+    for (const char* flag :
+         {"model", "threads", "expect-scores", "tolerance", "streams",
+          "max-batch", "flush-ms", "shards", "max-pending", "binary"}) {
+      if (args.Has(flag)) {
+        std::cerr << "--encode-frames/--decode-frames take only --input\n"
+                  << kUsage;
+        return 2;
+      }
+    }
+    if (args.Has("encode-frames") && args.Has("decode-frames")) {
+      std::cerr << "pick one of --encode-frames / --decode-frames\n"
+                << kUsage;
+      return 2;
+    }
+    std::ifstream file;
+    if (args.Has("input")) {
+      file.open(args.Get("input", ""), std::ios::binary);
+      if (!file) return Fail(Status::IOError("cannot open input file"));
+    }
+    std::istream& in = args.Has("input") ? file : std::cin;
+    std::cout.precision(std::numeric_limits<double>::max_digits10);
+    return args.Has("encode-frames") ? RunEncodeFrames(in)
+                                     : RunDecodeFrames(in);
+  }
+
+  if (!args.Has("model")) {
+    std::cerr << kUsage;
+    return 2;
   }
   if (!args.Has("streams") &&
-      (args.Has("max-batch") || args.Has("flush-ms"))) {
-    std::cerr << "--max-batch/--flush-ms require --streams\n" << kUsage;
+      (args.Has("max-batch") || args.Has("flush-ms") || args.Has("shards") ||
+       args.Has("max-pending") || args.Has("binary"))) {
+    std::cerr << "--max-batch/--flush-ms/--shards/--max-pending/--binary "
+                 "require --streams\n"
+              << kUsage;
     return 2;
   }
   if (args.Has("streams") &&
@@ -369,13 +679,17 @@ int main(int argc, char** argv) {
 
   std::ifstream file;
   if (args.Has("input")) {
-    file.open(args.Get("input", ""));
+    // Binary so frame bytes pass through untranslated; harmless for text.
+    file.open(args.Get("input", ""), std::ios::binary);
     if (!file) return Fail(Status::IOError("cannot open input file"));
   }
   std::istream& in = args.Has("input") ? file : std::cin;
   std::cout.precision(std::numeric_limits<double>::max_digits10);
 
   if (args.Has("streams")) {
+    if (args.Has("binary")) {
+      return RunMultiStreamBinary(args, ensemble, loaded->threshold, in);
+    }
     return RunMultiStream(args, ensemble, loaded->threshold, in);
   }
   return RunSingleStream(args, ensemble, threshold, in);

@@ -5,11 +5,17 @@ Usage: check_bench_regression.py BASELINE.json CURRENT.json [--max-ratio 2.0]
 
 Handles both JSON schemas the benches emit:
 
-  bench_micro_ops  entries keyed by (op, shape, threads, impl), timed by
-                   ns_per_iter (BENCH_3.json baseline)
-  bench_serve      entries keyed by (streams, max_batch, threads, impl),
-                   timed by ns_per_window (BENCH_5.json baseline) — the
-                   graph-free plan path's serving guard
+  bench_micro_ops    entries keyed by (op, shape, threads, impl), timed by
+                     ns_per_iter (BENCH_3.json baseline)
+  bench_serve        entries keyed by (streams, max_batch, threads, impl),
+                     timed by ns_per_window (BENCH_5.json baseline) — the
+                     graph-free plan path's serving guard
+  bench_serve_scale  entries keyed by (streams, shards, max_batch, threads,
+                     impl), timed by ns_per_window (BENCH_6.json baseline).
+                     Additionally gates bytes_per_idle_stream at
+                     --max-bytes-ratio: the per-stream memory footprint is
+                     allocation arithmetic, not wall-clock, so it is stable
+                     across runners and a tighter bound than time.
 
 Fails (exit 1) if any entry present in both files got slower than
 --max-ratio x the baseline time. The threshold is loose on purpose:
@@ -39,13 +45,18 @@ def entry_key(bench, e):
     # .get("impl"): schema-1 bench_serve files (the historical BENCH_4.json)
     # predate the impl field; keying them as impl="" makes a schema mismatch
     # a clean "missing from current run" diff instead of a KeyError.
+    if bench == "bench_serve_scale":
+        return (e["streams"], e["shards"], e["max_batch"], e["threads"],
+                e["impl"])
     if bench == "bench_serve":
         return (e["streams"], e["max_batch"], e["threads"], e.get("impl", ""))
     return (e["op"], e["shape"], e["threads"], e["impl"])
 
 
 def metric_name(bench):
-    return "ns_per_window" if bench == "bench_serve" else "ns_per_iter"
+    if bench in ("bench_serve", "bench_serve_scale"):
+        return "ns_per_window"
+    return "ns_per_iter"
 
 
 def main():
@@ -53,6 +64,7 @@ def main():
     ap.add_argument("baseline")
     ap.add_argument("current")
     ap.add_argument("--max-ratio", type=float, default=2.0)
+    ap.add_argument("--max-bytes-ratio", type=float, default=1.25)
     args = ap.parse_args()
 
     base_bench, base_entries = load(args.baseline)
@@ -98,6 +110,19 @@ def main():
         denom = max(abs(b_ck), abs(c_ck), 1e-30)
         if abs(b_ck - c_ck) / denom > 1e-6:
             warnings.append(f"checksum drift at {k}: {b_ck!r} -> {c_ck!r}")
+        # The scale bench's memory metric: per-idle-stream bytes growing
+        # past the bound means the packed session store regressed (a
+        # re-introduced per-session node allocation shows up here long
+        # before it shows up in wall-clock).
+        if "bytes_per_idle_stream" in base and "bytes_per_idle_stream" in cur:
+            b_mem, c_mem = (base["bytes_per_idle_stream"],
+                            cur["bytes_per_idle_stream"])
+            mem_ratio = c_mem / b_mem
+            if mem_ratio > args.max_bytes_ratio:
+                failures.append(
+                    f"{k}: {b_mem:.0f} -> {c_mem:.0f} bytes/idle-stream "
+                    f"({mem_ratio:.2f}x > {args.max_bytes_ratio}x)"
+                )
 
     for w in warnings:
         print(f"WARNING: {w}", file=sys.stderr)

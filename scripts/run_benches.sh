@@ -14,6 +14,10 @@
 #   SERVE_JSON=path  where to write the serving-throughput entries
 #                    (default: BENCH_5.json in the repo root; same
 #                    regression checker, BENCH_5.json baseline)
+#   SCALE_JSON=path  where to write the sharded-engine scale entries
+#                    (streams x shards with bytes-per-idle-stream;
+#                    default: BENCH_6.json in the repo root; same
+#                    regression checker, BENCH_6.json baseline)
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -22,6 +26,7 @@ MODELS="${MODELS:-4}"
 EPOCHS="${EPOCHS:-2}"
 BENCH_JSON="${BENCH_JSON:-BENCH_3.json}"
 SERVE_JSON="${SERVE_JSON:-BENCH_5.json}"
+SCALE_JSON="${SCALE_JSON:-BENCH_6.json}"
 
 if [[ ! -x "${BUILD_DIR}/bench_training_time" ]]; then
   echo "error: ${BUILD_DIR}/bench_training_time not found." >&2
@@ -47,9 +52,10 @@ else
 fi
 
 if [[ -x "${BUILD_DIR}/bench_serve" ]]; then
-  echo "=== Multi-stream serving (streams x max-batch x impl; writes ${SERVE_JSON}) ==="
+  echo "=== Multi-stream serving (streams x max-batch x impl; writes ${SERVE_JSON};"
+  echo "    scale table streams x shards with bytes/idle-stream; writes ${SCALE_JSON}) ==="
   "${BUILD_DIR}/bench_serve" --models="${MODELS}" --epochs="${EPOCHS}" \
-    --caee_json="${SERVE_JSON}"
+    --caee_json="${SERVE_JSON}" --caee_scale_json="${SCALE_JSON}"
   echo
 else
   echo "error: ${BUILD_DIR}/bench_serve not found (build first)" >&2

@@ -1,7 +1,8 @@
 // Little binary-I/O helpers shared by the serialization layers
-// (nn/serialize, core/persistence). All reads check the stream state so
-// truncated or corrupt input surfaces as a Status instead of propagating
-// uninitialised values.
+// (nn/serialize, core/persistence) and the serving wire protocol
+// (serve/framing). All reads check the stream state so truncated or
+// corrupt input surfaces as a Status instead of propagating uninitialised
+// values.
 //
 // The on-disk byte order is the host's (the library targets a single
 // architecture per deployment; artifacts are not a cross-endian exchange
@@ -15,6 +16,7 @@
 #include <ostream>
 #include <string>
 #include <type_traits>
+#include <vector>
 
 #include "common/status.h"
 
@@ -54,6 +56,20 @@ inline Status ReadString(std::istream& in, std::string* s) {
   s->assign(size, '\0');
   in.read(s->data(), size);
   if (!in) return Status::IOError("unexpected end of input in string");
+  return Status::OK();
+}
+
+inline void WriteBytes(std::ostream& out, const void* data, size_t size) {
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(size));
+}
+
+/// \brief Read exactly `size` bytes into `dst` (which must have room).
+/// IOError on a short read — callers bound `size` BEFORE calling (a corrupt
+/// length prefix must be rejected before it sizes a buffer).
+inline Status ReadBytes(std::istream& in, void* dst, size_t size) {
+  in.read(static_cast<char*>(dst), static_cast<std::streamsize>(size));
+  if (!in) return Status::IOError("unexpected end of input");
   return Status::OK();
 }
 

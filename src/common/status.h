@@ -25,6 +25,7 @@ enum class StatusCode {
   kInternal = 5,
   kIOError = 6,
   kUnimplemented = 7,
+  kResourceExhausted = 8,
 };
 
 /// \brief Result of a fallible operation: a code plus a human-readable
@@ -56,6 +57,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

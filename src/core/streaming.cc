@@ -14,14 +14,31 @@ WindowState::WindowState(int64_t window, int64_t dims)
   ring_.resize(static_cast<size_t>(window_ * dims_));
 }
 
+void WindowState::WriteRingRow(float* ring, int64_t dims, int64_t head,
+                               const float* row) {
+  std::memcpy(ring + head * dims, row,
+              static_cast<size_t>(dims) * sizeof(float));
+}
+
+void WindowState::CopyRingWindow(const float* ring, int64_t window,
+                                 int64_t dims, int64_t head, float* dst) {
+  // A full ring's head is both the slot of the OLDEST observation and the
+  // seam: [head, window) is the older run, [0, head) the newer one.
+  const size_t tail_floats = static_cast<size_t>((window - head) * dims);
+  std::memcpy(dst, ring + head * dims, tail_floats * sizeof(float));
+  if (head > 0) {
+    std::memcpy(dst + tail_floats, ring,
+                static_cast<size_t>(head * dims) * sizeof(float));
+  }
+}
+
 Status WindowState::Push(const std::vector<float>& observation) {
   if (static_cast<int64_t>(observation.size()) != dims_) {
     return Status::InvalidArgument(
         "observation has " + std::to_string(observation.size()) +
         " dims but the stream carries " + std::to_string(dims_));
   }
-  std::memcpy(ring_.data() + head_ * dims_, observation.data(),
-              static_cast<size_t>(dims_) * sizeof(float));
+  WriteRingRow(ring_.data(), dims_, head_, observation.data());
   head_ = (head_ + 1) % window_;
   count_ = std::min(count_ + 1, window_);
   ++seen_;
@@ -30,14 +47,7 @@ Status WindowState::Push(const std::vector<float>& observation) {
 
 void WindowState::CopyWindowTo(float* dst) const {
   CAEE_CHECK_MSG(warm(), "CopyWindowTo before the window is full");
-  // Once warm, head_ is both the slot of the OLDEST observation and the ring
-  // seam: [head_, window_) is the older run, [0, head_) the newer one.
-  const size_t tail_floats = static_cast<size_t>((window_ - head_) * dims_);
-  std::memcpy(dst, ring_.data() + head_ * dims_, tail_floats * sizeof(float));
-  if (head_ > 0) {
-    std::memcpy(dst + tail_floats, ring_.data(),
-                static_cast<size_t>(head_ * dims_) * sizeof(float));
-  }
+  CopyRingWindow(ring_.data(), window_, dims_, head_, dst);
 }
 
 Tensor WindowState::MakeWindowTensor() const {

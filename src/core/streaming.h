@@ -39,6 +39,20 @@ class WindowState {
   /// \brief `window` >= 1 observations of `dims` >= 1 values each.
   WindowState(int64_t window, int64_t dims);
 
+  /// \brief Slab-backed ring primitives. The serve layer packs 10^5..10^6
+  /// per-stream rings into one contiguous per-shard slab (one slot of
+  /// window x dims floats per stream, cursor state held separately) instead
+  /// of one heap vector per WindowState; these statics are the single
+  /// implementation of the ring geometry both representations run on.
+  /// `head` is the slot the NEXT observation lands in — and, once the ring
+  /// is full, also the seam (the OLDEST buffered row).
+  static void WriteRingRow(float* ring, int64_t dims, int64_t head,
+                           const float* row);
+  /// \brief Copy a FULL ring out as window x dims floats, oldest row first
+  /// (at most two memcpys around the seam at `head`).
+  static void CopyRingWindow(const float* ring, int64_t window, int64_t dims,
+                             int64_t head, float* dst);
+
   /// \brief Append one observation. Returns InvalidArgument (and changes
   /// nothing — seen() is not advanced) when the width is not dims(); this
   /// holds for EVERY push, not just the first.

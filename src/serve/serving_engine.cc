@@ -1,149 +1,80 @@
 #include "serve/serving_engine.h"
 
-#include <algorithm>
-#include <cstring>
-#include <string>
-#include <utility>
-
 namespace caee {
 namespace serve {
 
 ServingEngine::ServingEngine(const core::CaeEnsemble* ensemble,
                              const ServeConfig& config,
                              std::optional<double> threshold)
-    : ensemble_(ensemble), config_(config), threshold_(threshold) {
-  CAEE_CHECK_MSG(ensemble_ != nullptr, "null ensemble");
-  CAEE_CHECK_MSG(ensemble_->fitted(), "ServingEngine needs a fitted ensemble");
-  CAEE_CHECK_MSG(config_.max_batch >= 1, "max_batch must be >= 1");
-  window_ = ensemble_->config().window;
-  dims_ = ensemble_->input_dim();
+    : config_(config), threshold_(threshold) {
+  CAEE_CHECK_MSG(config_.num_shards >= 1, "num_shards must be >= 1");
+  ShardConfig shard_config;
+  shard_config.max_batch = config_.max_batch;
+  shard_config.flush_deadline_ms = config_.flush_deadline_ms;
+  shard_config.max_pending = config_.max_pending;
+  shards_.reserve(static_cast<size_t>(config_.num_shards));
+  for (int64_t s = 0; s < config_.num_shards; ++s) {
+    shards_.push_back(
+        std::make_unique<EngineShard>(ensemble, shard_config, threshold));
+  }
+}
+
+size_t ServingEngine::ShardOf(int64_t stream_id, size_t num_shards) {
+  // SplitMix64 finalizer: adjacent tenant ids (0, 1, 2, ...) must spread
+  // across shards, not land on one.
+  uint64_t x = static_cast<uint64_t>(stream_id);
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<size_t>(x % num_shards);
 }
 
 Status ServingEngine::OpenStream(int64_t stream_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (sessions_.count(stream_id) > 0) {
-    return Status::FailedPrecondition(
-        "stream " + std::to_string(stream_id) + " is already open");
-  }
-  sessions_.emplace(stream_id, StreamSession(window_, dims_));
-  return Status::OK();
+  return ShardFor(stream_id).OpenStream(stream_id);
 }
 
 Status ServingEngine::CloseStream(int64_t stream_id,
                                   std::vector<StreamScore>* out) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = sessions_.find(stream_id);
-  if (it == sessions_.end()) {
-    return Status::NotFound("stream " + std::to_string(stream_id) +
-                            " is not open");
-  }
-  // Drain everything before the session disappears — a pending window of
-  // this stream must still be scored and attributed to it.
-  CAEE_RETURN_NOT_OK(FlushLocked(out));
-  sessions_.erase(it);
-  return Status::OK();
+  return ShardFor(stream_id).CloseStream(stream_id, out);
 }
 
 Status ServingEngine::Push(int64_t stream_id,
                            const std::vector<float>& observation,
                            std::vector<StreamScore>* out) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = sessions_.find(stream_id);
-  if (it == sessions_.end()) {
-    return Status::NotFound("stream " + std::to_string(stream_id) +
-                            " is not open (protocol: open it first)");
-  }
-  StreamSession& session = it->second;
-  CAEE_RETURN_NOT_OK(session.Push(observation));
-  if (!session.warm()) return Status::OK();
+  return ShardFor(stream_id).Push(stream_id, observation, out);
+}
 
-  // Snapshot now: the ring overwrites its oldest row on the next push.
-  // Recycled pool entries keep their snapshot capacity, so a warm engine
-  // enqueues without allocating.
-  if (pending_count_ == pending_.size()) pending_.emplace_back();
-  PendingWindow& pending = pending_[pending_count_++];
-  pending.stream_id = stream_id;
-  pending.index = session.next_index() - 1;
-  pending.enqueued_at = std::chrono::steady_clock::now();
-  pending.values.resize(static_cast<size_t>(window_ * dims_));
-  session.SnapshotWindowTo(pending.values.data());
-
-  if (static_cast<int64_t>(pending_count_) >= config_.max_batch) {
-    return FlushLocked(out);
+Status ServingEngine::Flush(std::vector<StreamScore>* out) {
+  for (auto& shard : shards_) {
+    CAEE_RETURN_NOT_OK(shard->Flush(out));
   }
   return Status::OK();
 }
 
-Status ServingEngine::Flush(std::vector<StreamScore>* out) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return FlushLocked(out);
-}
-
 Status ServingEngine::FlushIfExpired(std::vector<StreamScore>* out) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (config_.flush_deadline_ms <= 0 || pending_count_ == 0) {
-    return Status::OK();
+  for (auto& shard : shards_) {
+    CAEE_RETURN_NOT_OK(shard->FlushIfExpired(out));
   }
-  const auto waited = std::chrono::steady_clock::now() -
-                      pending_.front().enqueued_at;
-  if (waited < std::chrono::milliseconds(config_.flush_deadline_ms)) {
-    return Status::OK();
-  }
-  return FlushLocked(out);
-}
-
-Status ServingEngine::FlushLocked(std::vector<StreamScore>* out) {
-  const size_t stride = static_cast<size_t>(window_ * dims_);
-  size_t next = 0;
-  while (next < pending_count_) {
-    const int64_t batch = std::min<int64_t>(
-        static_cast<int64_t>(pending_count_ - next), config_.max_batch);
-    // One (B, w, D) staging buffer, one batched graph-free forward pass per
-    // basic model (ScoreWindowsLastInto). Both staging vectors are
-    // grow-only, so a warm flush allocates nothing.
-    if (batch_values_.size() < static_cast<size_t>(batch) * stride) {
-      batch_values_.resize(static_cast<size_t>(batch) * stride);
-    }
-    for (int64_t b = 0; b < batch; ++b) {
-      std::memcpy(batch_values_.data() + static_cast<size_t>(b) * stride,
-                  pending_[next + static_cast<size_t>(b)].values.data(),
-                  stride * sizeof(float));
-    }
-    if (Status s = ensemble_->ScoreWindowsLastInto(batch_values_.data(),
-                                                   batch, &batch_scores_);
-        !s.ok()) {
-      // Keep the unscored tail queued: recycle the scored prefix by
-      // swapping the survivors to the front (swap preserves the pool
-      // entries' snapshot capacity).
-      for (size_t i = next; i < pending_count_; ++i) {
-        std::swap(pending_[i - next], pending_[i]);
-      }
-      pending_count_ -= next;
-      return s;
-    }
-    for (int64_t b = 0; b < batch; ++b) {
-      const PendingWindow& p = pending_[next + static_cast<size_t>(b)];
-      StreamScore result;
-      result.stream_id = p.stream_id;
-      result.index = p.index;
-      result.score = batch_scores_[static_cast<size_t>(b)];
-      result.flag = threshold_.has_value() && result.score > *threshold_;
-      if (out != nullptr) out->push_back(result);
-    }
-    next += static_cast<size_t>(batch);
-  }
-  pending_count_ = 0;
   return Status::OK();
 }
 
 int64_t ServingEngine::num_streams() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<int64_t>(sessions_.size());
+  int64_t total = 0;
+  for (const auto& shard : shards_) total += shard->num_streams();
+  return total;
 }
 
 int64_t ServingEngine::pending_windows() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<int64_t>(pending_count_);
+  int64_t total = 0;
+  for (const auto& shard : shards_) total += shard->pending_windows();
+  return total;
+}
+
+size_t ServingEngine::MemoryBytes() const {
+  size_t total = sizeof(*this);
+  for (const auto& shard : shards_) total += shard->MemoryBytes();
+  return total;
 }
 
 }  // namespace serve

@@ -1,147 +1,154 @@
-// Multi-stream serving engine with cross-stream micro-batching.
+// Sharded multi-stream serving engine with cross-stream micro-batching.
 //
 // The single-stream online path (core::StreamingScorer) runs one frozen
-// forward pass per arriving observation. A serving process fronting a fleet
-// of independent series — the workload shape of the boosting-ensemble and
-// multivariate-ensemble deployment lines of work — would pay O(streams)
-// sequential passes per tick. ServingEngine owns ONE loaded ensemble and N
-// stream sessions, and scores ready windows from *different* streams in one
-// batched forward pass (core::CaeEnsemble::ScoreWindowsLast), turning the
-// hot path into O(streams / max_batch) batched GEMMs fanned over
-// ThreadPool::Global() by the parallel engine.
+// forward pass per arriving observation; PR 4's engine batched ready
+// windows from many streams into one forward pass but kept ONE mutex, ONE
+// session table, and ONE pending queue — a push had to wait for any
+// in-flight flush, and the session table paid std::map node overhead per
+// tenant. At the 10^5-10^6 mostly-idle-stream scale the serving layer
+// itself became the bottleneck.
 //
-// Batching policy: a push to a warm stream snapshots one ready window into
-// the pending queue. The queue is scored (flushed) when it reaches
-// ServeConfig::max_batch windows, when the oldest pending window has waited
-// flush_deadline_ms (FlushIfExpired — latency bound under trickling
-// traffic), on explicit Flush, and before a stream closes.
+// ServingEngine is now a thin router over ServeConfig::num_shards
+// independent EngineShards (serve/shard.h). Each stream id is assigned to
+// one shard by a SplitMix64 hash (ShardOf), and each shard owns its own
+// mutex, packed session store (slab-backed rings + open-addressing index),
+// pending pool, staging buffers, and flush deadline. Pushes on one shard
+// never contend with pushes or flushes on another; a full-batch flush runs
+// inline on the triggering push and scores only that shard's queue.
+//
+// Batching policy (per shard): a push to a warm stream snapshots one ready
+// window into the shard's pending queue. The queue is scored (flushed)
+// when it reaches max_batch windows, when the shard's oldest pending
+// window has waited flush_deadline_ms (FlushIfExpired), on explicit Flush
+// (all shards, shard order), and before one of the SHARD's streams closes.
+// ServeConfig::max_pending bounds each shard's queue: a push that would
+// exceed it is rejected with ResourceExhausted and consumes NOTHING — the
+// session cursor does not advance and the same observation can be retried
+// (the binary protocol's backpressure frame; docs/protocol.md).
 //
 // Determinism contract: a window's score depends only on the window's
-// contents — never on batch size, batch composition, flush timing, or
-// thread count — and is bitwise identical to what a dedicated
+// contents — never on batch size, batch composition, flush timing, thread
+// count, or SHARD COUNT — and is bitwise identical to what a dedicated
 // core::StreamingScorer on that stream would have produced. Enforced by
-// tests/serve_test.cc; policy details in docs/serving.md and
-// docs/numeric-contract.md.
+// tests/serve_test.cc across shard counts {1, 4, 16}; policy details in
+// docs/serving.md and docs/numeric-contract.md.
 //
-// Thread safety: all public methods are safe to call concurrently (one
-// internal mutex; flushes serialise, and the parallelism inside a flush
-// comes from the ensemble's engine). Scored results are handed back through
-// out-parameters rather than a callback so callers choose their own
-// delivery locking.
+// Thread safety: all public methods are safe to call concurrently. Locking
+// is per shard; cross-shard aggregates (num_streams, pending_windows,
+// Flush) take the shard locks one at a time, so they see a consistent
+// per-shard — not globally atomic — snapshot. Scored results are handed
+// back through out-parameters rather than a callback so callers choose
+// their own delivery locking.
 
 #ifndef CAEE_SERVE_SERVING_ENGINE_H_
 #define CAEE_SERVE_SERVING_ENGINE_H_
 
-#include <chrono>
 #include <cstdint>
-#include <map>
-#include <mutex>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "core/ensemble.h"
-#include "serve/stream_session.h"
+#include "serve/shard.h"
 
 namespace caee {
 namespace serve {
 
-/// \brief Micro-batching knobs. Worker count is the ensemble's own
+/// \brief Engine-wide knobs. Worker count is the ensemble's own
 /// num_threads knob (core::CaeEnsemble::set_num_threads) — the engine adds
 /// no parallelism of its own.
 struct ServeConfig {
-  /// Ready windows per batched forward pass; reaching it triggers an
-  /// immediate flush. Must be >= 1. Larger batches amortise better but
-  /// buffer longer under trickling traffic.
+  /// Ready windows per batched forward pass, per shard; reaching it
+  /// triggers an immediate flush of that shard. Must be >= 1.
   int64_t max_batch = 8;
-  /// Latency bound: FlushIfExpired scores the queue once the OLDEST
-  /// pending window has waited this long. <= 0 disables the deadline
-  /// (flushes happen only on a full batch, explicit Flush, or close).
+  /// Latency bound: FlushIfExpired scores a shard's queue once its oldest
+  /// pending window has waited this long. <= 0 disables the deadline.
   int64_t flush_deadline_ms = 50;
-};
-
-/// \brief One scored observation: which stream, its index within that
-/// stream, the outlier score, and the threshold verdict (always false when
-/// the engine has no threshold).
-struct StreamScore {
-  int64_t stream_id = 0;
-  int64_t index = 0;
-  double score = 0.0;
-  bool flag = false;
+  /// Number of independent engine shards (stream id -> shard by hash).
+  /// Must be >= 1. More shards = less lock contention and smaller
+  /// per-flush queues; scores are bitwise identical at ANY shard count.
+  int64_t num_shards = 1;
+  /// Admission control: per-shard pending-pool bound. A push that would
+  /// enqueue a ready window past it is rejected with ResourceExhausted and
+  /// consumes nothing. 0 = unbounded.
+  int64_t max_pending = 0;
 };
 
 class ServingEngine {
  public:
   /// \brief The ensemble must be fitted and outlive the engine. `threshold`
   /// is the calibrated alert threshold from the artifact (flags stay false
-  /// without one). Aborts on max_batch < 1 or an unfitted ensemble —
-  /// construction arguments are programmer input, not tenant input.
+  /// without one). Aborts on max_batch < 1, num_shards < 1, or an unfitted
+  /// ensemble — construction arguments are programmer input, not tenant
+  /// input.
   ServingEngine(const core::CaeEnsemble* ensemble, const ServeConfig& config,
                 std::optional<double> threshold = std::nullopt);
 
-  /// \brief Open a session. FailedPrecondition if `stream_id` is already
-  /// open. Streams warm up independently: the first w-1 observations of a
-  /// fresh session score nothing.
+  /// \brief Open a session on the stream's shard. FailedPrecondition if
+  /// `stream_id` is already open. Streams warm up independently: the first
+  /// w-1 observations of a fresh session score nothing.
   Status OpenStream(int64_t stream_id);
 
-  /// \brief Close a session. The whole pending queue is flushed first so no
-  /// enqueued window of this (or any) stream is dropped; results land in
-  /// *out. NotFound if the stream is not open. Reopening the same id later
+  /// \brief Close a session. The OWNING SHARD's pending queue is flushed
+  /// first so no enqueued window of this (or any co-sharded) stream is
+  /// dropped; results land in *out. Other shards' queues are untouched.
+  /// NotFound if the stream is not open. Reopening the same id later
   /// starts a fresh, cold session.
   Status CloseStream(int64_t stream_id, std::vector<StreamScore>* out);
 
   /// \brief Feed one observation to an open stream. If the stream is warm
-  /// this enqueues one ready window; if that fills the micro-batch, the
-  /// batched pass runs inline and its scores (for ALL streams in the batch)
-  /// are appended to *out. NotFound for unknown streams, InvalidArgument
-  /// for a width mismatch (the session is untouched and stays usable).
+  /// this enqueues one ready window on its shard; if that fills the shard's
+  /// micro-batch, the batched pass runs inline and its scores (for ALL
+  /// streams in that shard's batch) are appended to *out. NotFound for
+  /// unknown streams, InvalidArgument for a width mismatch,
+  /// ResourceExhausted when the shard's pending pool is full — in every
+  /// rejection case NOTHING changes on ANY shard and the session stays
+  /// usable.
   Status Push(int64_t stream_id, const std::vector<float>& observation,
               std::vector<StreamScore>* out);
 
-  /// \brief Score every pending window now, regardless of batch occupancy
-  /// (in chunks of max_batch). Call at end-of-input.
+  /// \brief Score every pending window on every shard now, regardless of
+  /// batch occupancy (in chunks of max_batch, shards in index order). Call
+  /// at end-of-input.
   Status Flush(std::vector<StreamScore>* out);
 
-  /// \brief Flush only if the deadline has expired on the oldest pending
-  /// window (no-op when flush_deadline_ms <= 0 or nothing is pending).
-  /// Drive this from a timer when input can stall mid-batch.
+  /// \brief Per shard: flush only if the deadline has expired on that
+  /// shard's oldest pending window (no-op when flush_deadline_ms <= 0 or
+  /// nothing is pending). Drive this from a timer when input can stall
+  /// mid-batch.
   Status FlushIfExpired(std::vector<StreamScore>* out);
 
+  /// \brief Open sessions across all shards.
   int64_t num_streams() const;
-  /// \brief Ready windows currently waiting for a batch slot.
+  /// \brief Ready windows currently waiting for a batch slot, all shards.
   int64_t pending_windows() const;
+  /// \brief Heap bytes owned by the serving layer (all shards' ring slabs,
+  /// session records, index tables, pending pools, staging buffers — at
+  /// capacity). The bytes-per-idle-stream number in BENCH_6.json and
+  /// docs/capacity.md is this, divided by open streams.
+  size_t MemoryBytes() const;
+
+  int64_t num_shards() const { return static_cast<int64_t>(shards_.size()); }
   const ServeConfig& config() const { return config_; }
   std::optional<double> threshold() const { return threshold_; }
 
+  /// \brief The stream -> shard assignment (SplitMix64 hash mod
+  /// num_shards). Exposed so tests and capacity tooling can reason about
+  /// co-sharded streams; the mapping is a deployment detail, not an API
+  /// promise — scores never depend on it.
+  static size_t ShardOf(int64_t stream_id, size_t num_shards);
+
  private:
-  struct PendingWindow {
-    int64_t stream_id = 0;
-    int64_t index = 0;  // observation index within the stream
-    std::chrono::steady_clock::time_point enqueued_at;
-    std::vector<float> values;  // w x dims snapshot, oldest row first
-  };
+  EngineShard& ShardFor(int64_t stream_id) {
+    return *shards_[ShardOf(stream_id, shards_.size())];
+  }
 
-  /// \brief Score and drain the whole pending queue (chunks of max_batch),
-  /// appending results in arrival order. Requires mu_ held.
-  Status FlushLocked(std::vector<StreamScore>* out);
-
-  const core::CaeEnsemble* ensemble_;
   ServeConfig config_;
   std::optional<double> threshold_;
-  int64_t window_;
-  int64_t dims_;
-
-  mutable std::mutex mu_;
-  std::map<int64_t, StreamSession> sessions_;
-  // Pending queue as a reuse pool: the first pending_count_ entries of
-  // pending_ are live, in arrival order; entries past that are retained
-  // (window snapshots keep their capacity) and recycled by the next Push.
-  // Together with the grow-only batch/score staging buffers below and the
-  // ensemble's arena-backed ScoreWindowsLastInto, steady-state scoring
-  // performs zero heap allocations (tests/alloc_count_test.cc).
-  std::vector<PendingWindow> pending_;
-  size_t pending_count_ = 0;
-  std::vector<float> batch_values_;   // max_batch x w x dims staging
-  std::vector<double> batch_scores_;  // scores of one flushed chunk
+  // unique_ptr per shard: EngineShard owns a mutex (immovable), and each
+  // shard gets its own cache-line neighborhood instead of sharing one
+  // contiguous allocation with its siblings.
+  std::vector<std::unique_ptr<EngineShard>> shards_;
 };
 
 }  // namespace serve

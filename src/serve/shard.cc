@@ -1,0 +1,297 @@
+#include "serve/shard.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "core/streaming.h"
+
+namespace caee {
+namespace serve {
+
+namespace {
+
+// SplitMix64 finalizer: the same mix ServingEngine::ShardOf uses, reused
+// here to spread sequential stream ids across index slots.
+uint64_t MixId(int64_t id) {
+  uint64_t x = static_cast<uint64_t>(id);
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// StreamIndex
+// ---------------------------------------------------------------------------
+
+uint32_t StreamIndex::Find(int64_t key) const {
+  if (entries_.empty()) return kNotFound;
+  const size_t mask = entries_.size() - 1;
+  size_t i = static_cast<size_t>(MixId(key)) & mask;
+  while (state_[i] != kEmpty) {
+    if (state_[i] == kFull && entries_[i].key == key) {
+      return entries_[i].slot;
+    }
+    i = (i + 1) & mask;
+  }
+  return kNotFound;
+}
+
+void StreamIndex::Insert(int64_t key, uint32_t slot) {
+  CAEE_CHECK_MSG(Find(key) == kNotFound, "StreamIndex: duplicate key");
+  // Grow past 70% occupancy (full + tombstones — probes walk both).
+  if (entries_.empty() || (used_ + 1) * 10 >= entries_.size() * 7) {
+    const size_t want = std::max<size_t>(16, (size_ + 1) * 2);
+    size_t cap = 16;
+    while (cap < want) cap <<= 1;
+    Rehash(cap);
+  }
+  const size_t mask = entries_.size() - 1;
+  size_t i = static_cast<size_t>(MixId(key)) & mask;
+  while (state_[i] == kFull) i = (i + 1) & mask;
+  if (state_[i] == kEmpty) ++used_;  // reusing a tombstone keeps used_
+  state_[i] = kFull;
+  entries_[i] = Entry{key, slot};
+  ++size_;
+}
+
+void StreamIndex::Erase(int64_t key) {
+  CAEE_CHECK_MSG(!entries_.empty(), "StreamIndex: erase from empty index");
+  const size_t mask = entries_.size() - 1;
+  size_t i = static_cast<size_t>(MixId(key)) & mask;
+  while (state_[i] != kEmpty) {
+    if (state_[i] == kFull && entries_[i].key == key) {
+      state_[i] = kTombstone;  // keeps probe chains through this slot alive
+      --size_;
+      return;
+    }
+    i = (i + 1) & mask;
+  }
+  CAEE_CHECK_MSG(false, "StreamIndex: erase of absent key");
+}
+
+void StreamIndex::Rehash(size_t new_capacity) {
+  std::vector<Entry> old_entries = std::move(entries_);
+  std::vector<uint8_t> old_state = std::move(state_);
+  entries_.assign(new_capacity, Entry{0, 0});
+  state_.assign(new_capacity, kEmpty);
+  used_ = 0;
+  const size_t mask = new_capacity - 1;
+  for (size_t j = 0; j < old_entries.size(); ++j) {
+    if (old_state[j] != kFull) continue;
+    size_t i = static_cast<size_t>(MixId(old_entries[j].key)) & mask;
+    while (state_[i] == kFull) i = (i + 1) & mask;
+    state_[i] = kFull;
+    entries_[i] = old_entries[j];
+    ++used_;
+  }
+}
+
+size_t StreamIndex::MemoryBytes() const {
+  return entries_.capacity() * sizeof(Entry) +
+         state_.capacity() * sizeof(uint8_t);
+}
+
+// ---------------------------------------------------------------------------
+// EngineShard
+// ---------------------------------------------------------------------------
+
+EngineShard::EngineShard(const core::CaeEnsemble* ensemble,
+                         const ShardConfig& config,
+                         std::optional<double> threshold)
+    : ensemble_(ensemble), config_(config), threshold_(threshold) {
+  CAEE_CHECK_MSG(ensemble_ != nullptr, "null ensemble");
+  CAEE_CHECK_MSG(ensemble_->fitted(), "EngineShard needs a fitted ensemble");
+  CAEE_CHECK_MSG(config_.max_batch >= 1, "max_batch must be >= 1");
+  window_ = ensemble_->config().window;
+  dims_ = ensemble_->input_dim();
+  ring_stride_ = static_cast<size_t>(window_ * dims_);
+}
+
+Status EngineShard::OpenStream(int64_t stream_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index_.Find(stream_id) != StreamIndex::kNotFound) {
+    return Status::FailedPrecondition(
+        "stream " + std::to_string(stream_id) + " is already open");
+  }
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(sessions_.size());
+    sessions_.emplace_back();
+    rings_.resize(rings_.size() + ring_stride_);
+  }
+  sessions_[slot] = PackedSession{};  // recycled slots start cold
+  index_.Insert(stream_id, slot);
+  return Status::OK();
+}
+
+Status EngineShard::CloseStream(int64_t stream_id,
+                                std::vector<StreamScore>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint32_t slot = index_.Find(stream_id);
+  if (slot == StreamIndex::kNotFound) {
+    return Status::NotFound("stream " + std::to_string(stream_id) +
+                            " is not open");
+  }
+  // Drain THIS SHARD's queue before the session disappears — a pending
+  // window of this stream must still be scored and attributed to it.
+  // Other shards' queues are untouched (that independence is the point of
+  // sharding; see docs/serving.md "Close semantics").
+  CAEE_RETURN_NOT_OK(FlushLocked(out));
+  index_.Erase(stream_id);
+  free_slots_.push_back(slot);
+  return Status::OK();
+}
+
+Status EngineShard::Push(int64_t stream_id,
+                         const std::vector<float>& observation,
+                         std::vector<StreamScore>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint32_t slot = index_.Find(stream_id);
+  if (slot == StreamIndex::kNotFound) {
+    return Status::NotFound("stream " + std::to_string(stream_id) +
+                            " is not open (protocol: open it first)");
+  }
+  if (static_cast<int64_t>(observation.size()) != dims_) {
+    return Status::InvalidArgument(
+        "observation has " + std::to_string(observation.size()) +
+        " dims but the stream carries " + std::to_string(dims_));
+  }
+  PackedSession& session = sessions_[slot];
+  const bool will_enqueue = session.count + 1 >= window_;
+  if (will_enqueue && config_.max_pending > 0 &&
+      static_cast<int64_t>(pending_count_) >= config_.max_pending) {
+    // Admission control: reject BEFORE any state changes so the caller can
+    // retry the same observation after draining (the binary protocol's
+    // backpressure frame; docs/protocol.md). The session cursor, the ring,
+    // and every other shard are untouched.
+    return Status::ResourceExhausted(
+        "shard pending pool is full (" + std::to_string(pending_count_) +
+        " windows, max_pending " + std::to_string(config_.max_pending) +
+        ") — drain or retry later");
+  }
+
+  float* ring = RingOf(slot);
+  core::WindowState::WriteRingRow(ring, dims_, session.head,
+                                  observation.data());
+  session.head = static_cast<uint32_t>((session.head + 1) % window_);
+  session.count = std::min<uint32_t>(session.count + 1,
+                                     static_cast<uint32_t>(window_));
+  ++session.seen;
+  if (session.count < window_) return Status::OK();
+
+  // Snapshot now: the ring overwrites its oldest row on the next push.
+  // Recycled pool entries keep their snapshot capacity, so a warm shard
+  // enqueues without allocating.
+  if (pending_count_ == pending_.size()) pending_.emplace_back();
+  PendingWindow& pending = pending_[pending_count_++];
+  pending.stream_id = stream_id;
+  pending.index = session.seen - 1;
+  pending.enqueued_at = std::chrono::steady_clock::now();
+  pending.values.resize(ring_stride_);
+  core::WindowState::CopyRingWindow(ring, window_, dims_, session.head,
+                                    pending.values.data());
+
+  if (static_cast<int64_t>(pending_count_) >= config_.max_batch) {
+    return FlushLocked(out);
+  }
+  return Status::OK();
+}
+
+Status EngineShard::Flush(std::vector<StreamScore>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushLocked(out);
+}
+
+Status EngineShard::FlushIfExpired(std::vector<StreamScore>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (config_.flush_deadline_ms <= 0 || pending_count_ == 0) {
+    return Status::OK();
+  }
+  const auto waited =
+      std::chrono::steady_clock::now() - pending_.front().enqueued_at;
+  if (waited < std::chrono::milliseconds(config_.flush_deadline_ms)) {
+    return Status::OK();
+  }
+  return FlushLocked(out);
+}
+
+Status EngineShard::FlushLocked(std::vector<StreamScore>* out) {
+  size_t next = 0;
+  while (next < pending_count_) {
+    const int64_t batch = std::min<int64_t>(
+        static_cast<int64_t>(pending_count_ - next), config_.max_batch);
+    // One (B, w, D) staging buffer, one batched graph-free forward pass per
+    // basic model (ScoreWindowsLastInto). Both staging vectors are
+    // grow-only, so a warm flush allocates nothing.
+    if (batch_values_.size() < static_cast<size_t>(batch) * ring_stride_) {
+      batch_values_.resize(static_cast<size_t>(batch) * ring_stride_);
+    }
+    for (int64_t b = 0; b < batch; ++b) {
+      std::memcpy(
+          batch_values_.data() + static_cast<size_t>(b) * ring_stride_,
+          pending_[next + static_cast<size_t>(b)].values.data(),
+          ring_stride_ * sizeof(float));
+    }
+    if (Status s = ensemble_->ScoreWindowsLastInto(batch_values_.data(),
+                                                   batch, &batch_scores_);
+        !s.ok()) {
+      // Keep the unscored tail queued: recycle the scored prefix by
+      // swapping the survivors to the front (swap preserves the pool
+      // entries' snapshot capacity).
+      for (size_t i = next; i < pending_count_; ++i) {
+        std::swap(pending_[i - next], pending_[i]);
+      }
+      pending_count_ -= next;
+      return s;
+    }
+    for (int64_t b = 0; b < batch; ++b) {
+      const PendingWindow& p = pending_[next + static_cast<size_t>(b)];
+      StreamScore result;
+      result.stream_id = p.stream_id;
+      result.index = p.index;
+      result.score = batch_scores_[static_cast<size_t>(b)];
+      result.flag = threshold_.has_value() && result.score > *threshold_;
+      if (out != nullptr) out->push_back(result);
+    }
+    next += static_cast<size_t>(batch);
+  }
+  pending_count_ = 0;
+  return Status::OK();
+}
+
+int64_t EngineShard::num_streams() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(index_.size());
+}
+
+int64_t EngineShard::pending_windows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(pending_count_);
+}
+
+size_t EngineShard::MemoryBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t bytes = sizeof(*this);
+  bytes += rings_.capacity() * sizeof(float);
+  bytes += sessions_.capacity() * sizeof(PackedSession);
+  bytes += free_slots_.capacity() * sizeof(uint32_t);
+  bytes += index_.MemoryBytes();
+  bytes += pending_.capacity() * sizeof(PendingWindow);
+  for (const PendingWindow& p : pending_) {
+    bytes += p.values.capacity() * sizeof(float);
+  }
+  bytes += batch_values_.capacity() * sizeof(float);
+  bytes += batch_scores_.capacity() * sizeof(double);
+  return bytes;
+}
+
+}  // namespace serve
+}  // namespace caee

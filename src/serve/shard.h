@@ -1,0 +1,188 @@
+// One serving-engine shard: an independent session table, pending pool,
+// staging buffers, and flush deadline behind its OWN mutex.
+//
+// serve::ServingEngine partitions its streams across S EngineShards by a
+// hash of the stream id, so a push on one shard never contends with a push
+// or flush on another — the property that lets one process front 10^5-10^6
+// mostly-idle tenant streams. The shard is where the per-stream memory
+// budget is enforced (docs/capacity.md):
+//
+//   - Session state is PACKED: instead of one heap-allocated
+//     core::WindowState (ring vector + 40 bytes of cursors) behind a
+//     std::map node per stream, a shard keeps
+//       * one contiguous float slab holding every stream's w x dims ring
+//         (slot s at [s * w * dims, (s+1) * w * dims)),
+//       * a dense vector of 16-byte PackedSession cursor records
+//         (seen / head / count — window and dims are shard-wide constants
+//         taken from the ensemble, not stored per stream),
+//       * an open-addressing StreamIndex mapping stream id -> slot
+//         (~16 bytes per slot at <= 70% load; no per-entry heap nodes).
+//     Slots of closed streams are recycled through a free list. The ring
+//     geometry itself (seam copy, head advance) is shared with
+//     core::WindowState via its static WriteRingRow / CopyRingWindow.
+//   - Admission control: ShardConfig::max_pending bounds the shard's
+//     pending pool. A push that would enqueue a ready window past the bound
+//     is rejected with ResourceExhausted BEFORE any state changes — the
+//     observation is not consumed, the session cursor does not advance, and
+//     retrying the same observation after a flush yields the same score.
+//     The binary protocol maps this rejection to a backpressure frame
+//     (docs/protocol.md).
+//
+// Determinism: a window's score depends only on the window's contents, so
+// the shard count, the hash, and the per-shard batch composition cannot
+// move a score by a bit (tests/serve_test.cc re-proves the contract at
+// shard counts {1, 4, 16}). Within one shard, results come back in arrival
+// order, exactly like the pre-shard engine.
+
+#ifndef CAEE_SERVE_SHARD_H_
+#define CAEE_SERVE_SHARD_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/ensemble.h"
+
+namespace caee {
+namespace serve {
+
+/// \brief One scored observation: which stream, its index within that
+/// stream, the outlier score, and the threshold verdict (always false when
+/// the engine has no threshold).
+struct StreamScore {
+  int64_t stream_id = 0;
+  int64_t index = 0;
+  double score = 0.0;
+  bool flag = false;
+};
+
+/// \brief Per-shard policy knobs (ServingEngine copies them out of its
+/// ServeConfig, one copy per shard).
+struct ShardConfig {
+  /// Ready windows per batched forward pass; reaching it triggers an
+  /// immediate flush of this shard's queue. Must be >= 1.
+  int64_t max_batch = 8;
+  /// Latency bound: FlushIfExpired scores the shard's queue once ITS oldest
+  /// pending window has waited this long. <= 0 disables the deadline.
+  int64_t flush_deadline_ms = 50;
+  /// Admission control: upper bound on this shard's pending pool. A push
+  /// that would enqueue past the bound is rejected with ResourceExhausted
+  /// and consumes nothing. 0 = unbounded.
+  int64_t max_pending = 0;
+};
+
+/// \brief Open-addressing stream-id -> ring-slot index (linear probing,
+/// power-of-two capacity, tombstone deletion). Exists because a
+/// std::map/std::unordered_map node costs ~50-80 heap bytes per entry —
+/// the single biggest per-idle-stream overhead after the ring itself
+/// (docs/capacity.md). ~16 bytes per SLOT here, <= 70% load.
+class StreamIndex {
+ public:
+  static constexpr uint32_t kNotFound = UINT32_MAX;
+
+  /// \brief Slot mapped to `key`, or kNotFound.
+  uint32_t Find(int64_t key) const;
+  /// \brief Insert a NOT-present key (CHECKed — presence is the engine's
+  /// open/close protocol to enforce).
+  void Insert(int64_t key, uint32_t slot);
+  /// \brief Erase a present key (CHECKed).
+  void Erase(int64_t key);
+
+  size_t size() const { return size_; }
+  /// \brief Heap bytes behind the table (capacity, not occupancy).
+  size_t MemoryBytes() const;
+
+ private:
+  struct Entry {
+    int64_t key;
+    uint32_t slot;
+  };
+  enum : uint8_t { kEmpty = 0, kFull = 1, kTombstone = 2 };
+
+  void Rehash(size_t new_capacity);
+
+  std::vector<Entry> entries_;
+  std::vector<uint8_t> state_;  // kEmpty / kFull / kTombstone per slot
+  size_t size_ = 0;             // kFull slots
+  size_t used_ = 0;             // kFull + kTombstone slots
+};
+
+class EngineShard {
+ public:
+  /// \brief The ensemble must be fitted and outlive the shard; `threshold`
+  /// semantics match ServingEngine's.
+  EngineShard(const core::CaeEnsemble* ensemble, const ShardConfig& config,
+              std::optional<double> threshold);
+
+  // The five engine operations, scoped to this shard's streams and queue.
+  // Semantics (including error codes) match the engine-level doc comments
+  // in serving_engine.h; CloseStream drains THIS shard's queue only.
+  Status OpenStream(int64_t stream_id);
+  Status CloseStream(int64_t stream_id, std::vector<StreamScore>* out);
+  Status Push(int64_t stream_id, const std::vector<float>& observation,
+              std::vector<StreamScore>* out);
+  Status Flush(std::vector<StreamScore>* out);
+  Status FlushIfExpired(std::vector<StreamScore>* out);
+
+  int64_t num_streams() const;
+  int64_t pending_windows() const;
+  /// \brief Bytes of heap owned by this shard: ring slab, session records,
+  /// index table, free list, pending pool, staging buffers (all counted at
+  /// CAPACITY — the steady-state footprint, not the instantaneous one).
+  size_t MemoryBytes() const;
+
+ private:
+  /// \brief Per-stream cursor record; the ring payload lives in rings_.
+  /// window/dims are shard-wide constants, so 16 bytes covers a session.
+  struct PackedSession {
+    int64_t seen = 0;     // accepted observations (rejected ones excluded)
+    uint32_t head = 0;    // ring slot the NEXT observation lands in
+    uint32_t count = 0;   // buffered observations, saturates at window
+  };
+
+  struct PendingWindow {
+    int64_t stream_id = 0;
+    int64_t index = 0;  // observation index within the stream
+    std::chrono::steady_clock::time_point enqueued_at;
+    std::vector<float> values;  // w x dims snapshot, oldest row first
+  };
+
+  /// \brief Score and drain the whole pending queue (chunks of max_batch),
+  /// appending results in arrival order. Requires mu_ held.
+  Status FlushLocked(std::vector<StreamScore>* out);
+
+  float* RingOf(uint32_t slot) {
+    return rings_.data() + static_cast<size_t>(slot) * ring_stride_;
+  }
+
+  const core::CaeEnsemble* ensemble_;
+  ShardConfig config_;
+  std::optional<double> threshold_;
+  int64_t window_;
+  int64_t dims_;
+  size_t ring_stride_;  // window_ * dims_ floats per ring slot
+
+  mutable std::mutex mu_;
+  StreamIndex index_;
+  std::vector<PackedSession> sessions_;  // slot-indexed, parallel to rings_
+  std::vector<float> rings_;             // session ring slab
+  std::vector<uint32_t> free_slots_;     // slots of closed streams
+
+  // Pending queue as a reuse pool: the first pending_count_ entries of
+  // pending_ are live, in arrival order; entries past that keep their
+  // snapshot capacity and are recycled by the next push. Together with the
+  // grow-only staging buffers and the ensemble's arena-backed
+  // ScoreWindowsLastInto, steady-state scoring performs zero heap
+  // allocations (tests/alloc_count_test.cc).
+  std::vector<PendingWindow> pending_;
+  size_t pending_count_ = 0;
+  std::vector<float> batch_values_;   // max_batch x w x dims staging
+  std::vector<double> batch_scores_;  // scores of one flushed chunk
+};
+
+}  // namespace serve
+}  // namespace caee
+
+#endif  // CAEE_SERVE_SHARD_H_

@@ -1,0 +1,268 @@
+// Binary serving protocol (serve/framing.h, docs/protocol.md): wire-level
+// robustness. Every frame type round-trips; truncation at EVERY byte
+// boundary, a bit flip at EVERY position under the CRC, version skew, a
+// non-zero reserved field, and an oversized length prefix all surface as a
+// descriptive Status — never a crash, never a silently wrong decode.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/crc32.h"
+#include "serve/framing.h"
+
+namespace caee {
+namespace serve {
+namespace framing {
+namespace {
+
+std::string Encode(const Frame& frame) {
+  std::ostringstream out;
+  WriteFrame(out, frame);
+  return out.str();
+}
+
+// Decode exactly one frame from `bytes`.
+Status Decode(const std::string& bytes, Frame* frame, bool* eof) {
+  std::istringstream in(bytes);
+  return ReadFrame(in, frame, eof);
+}
+
+std::vector<Frame> AllFrameKinds() {
+  StreamScore score;
+  score.stream_id = 7;
+  score.index = 41;
+  score.score = 3.14159;
+  score.flag = true;
+  return {
+      MakeOpenFrame(3),
+      MakeCloseFrame(-9),  // negative ids are legal tenant ids
+      MakeObserveFrame(12345678901ll, {1.5f, -2.25f, 0.0f}),
+      MakeFlushFrame(),
+      MakeScoreFrame(score),
+      MakeOkFrame(3),
+      MakeErrorFrame(5, Status::NotFound("stream 5 is not open")),
+      MakeBackpressureFrame(99),
+  };
+}
+
+TEST(FramingTest, EveryFrameTypeRoundTrips) {
+  for (const Frame& sent : AllFrameKinds()) {
+    Frame got;
+    bool eof = true;
+    ASSERT_TRUE(Decode(Encode(sent), &got, &eof).ok())
+        << "type " << static_cast<int>(sent.type);
+    EXPECT_FALSE(eof);
+    EXPECT_EQ(got.version, kFramingVersion);
+    EXPECT_EQ(got.type, sent.type);
+    EXPECT_EQ(got.stream_id, sent.stream_id);
+    EXPECT_EQ(got.payload, sent.payload);
+  }
+}
+
+TEST(FramingTest, ObservePayloadRoundTripsValues) {
+  const std::vector<float> values = {0.5f, -1.0f, 3.25f, 1e-6f};
+  Frame frame;
+  bool eof = false;
+  ASSERT_TRUE(Decode(Encode(MakeObserveFrame(42, values)), &frame, &eof).ok());
+  std::vector<float> decoded;
+  ASSERT_TRUE(ParseObserve(frame, &decoded).ok());
+  EXPECT_EQ(decoded, values);
+}
+
+TEST(FramingTest, ScorePayloadRoundTripsBitwise) {
+  StreamScore sent;
+  sent.stream_id = -5;
+  sent.index = 1234567;
+  sent.score = 0.1 + 0.2;  // a value with no short representation
+  sent.flag = true;
+  Frame frame;
+  bool eof = false;
+  ASSERT_TRUE(Decode(Encode(MakeScoreFrame(sent)), &frame, &eof).ok());
+  StreamScore got;
+  ASSERT_TRUE(ParseScore(frame, &got).ok());
+  EXPECT_EQ(got.stream_id, sent.stream_id);
+  EXPECT_EQ(got.index, sent.index);
+  EXPECT_EQ(got.score, sent.score);  // bitwise: f64 travels as its 8 bytes
+  EXPECT_EQ(got.flag, sent.flag);
+}
+
+TEST(FramingTest, ErrorPayloadCarriesCodeAndMessage) {
+  const Status sent =
+      Status::InvalidArgument("observation has 3 values, stream expects 2");
+  Frame frame;
+  bool eof = false;
+  ASSERT_TRUE(Decode(Encode(MakeErrorFrame(8, sent)), &frame, &eof).ok());
+  Status got;
+  ASSERT_TRUE(ParseError(frame, &got).ok());
+  EXPECT_EQ(got.code(), sent.code());
+  EXPECT_EQ(got.message(), sent.message());
+}
+
+TEST(FramingTest, EmptyStreamIsCleanEof) {
+  Frame frame;
+  bool eof = false;
+  ASSERT_TRUE(Decode("", &frame, &eof).ok());
+  EXPECT_TRUE(eof);
+}
+
+TEST(FramingTest, TruncationAtEveryByteBoundaryIsAnError) {
+  // Cut the wire image of an observe frame after every prefix length from
+  // 1 byte up to one-short-of-complete. Every cut must be IOError — a cut
+  // inside the length prefix, the header, the payload, and the CRC alike.
+  const std::string wire = Encode(MakeObserveFrame(17, {1.0f, 2.0f}));
+  ASSERT_GT(wire.size(), 20u);
+  for (size_t cut = 1; cut < wire.size(); ++cut) {
+    Frame frame;
+    bool eof = false;
+    const Status status = Decode(wire.substr(0, cut), &frame, &eof);
+    EXPECT_EQ(status.code(), StatusCode::kIOError) << "cut at " << cut;
+    EXPECT_FALSE(eof) << "cut at " << cut;
+  }
+}
+
+TEST(FramingTest, BitFlipAnywhereUnderTheCrcIsCaught) {
+  const std::string wire = Encode(MakeObserveFrame(17, {1.0f, 2.0f}));
+  // Bytes 4 .. size-5 are [version .. payload]: exactly the CRC's input.
+  // Flip every bit of every such byte; the CRC (or a secondary validity
+  // check) must reject every single one.
+  for (size_t i = 4; i + 4 < wire.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = wire;
+      corrupt[i] = static_cast<char>(corrupt[i] ^ (1 << bit));
+      Frame frame;
+      bool eof = false;
+      const Status status = Decode(corrupt, &frame, &eof);
+      EXPECT_FALSE(status.ok()) << "byte " << i << " bit " << bit;
+    }
+  }
+}
+
+TEST(FramingTest, FlippedCrcItselfIsCaught) {
+  std::string wire = Encode(MakeOkFrame(1));
+  wire[wire.size() - 1] = static_cast<char>(wire[wire.size() - 1] ^ 0x40);
+  Frame frame;
+  bool eof = false;
+  EXPECT_EQ(Decode(wire, &frame, &eof).code(), StatusCode::kIOError);
+}
+
+TEST(FramingTest, UnknownFrameTypeSurvivesReadFrame) {
+  // A reader must hand an unknown type to the caller (so a server can
+  // answer kError) rather than failing the connection.
+  Frame weird;
+  weird.type = 200;
+  weird.stream_id = 6;
+  weird.payload = {1, 2, 3};
+  Frame got;
+  bool eof = false;
+  ASSERT_TRUE(Decode(Encode(weird), &got, &eof).ok());
+  EXPECT_EQ(got.type, 200);
+  EXPECT_EQ(got.payload, weird.payload);
+}
+
+TEST(FramingTest, VersionSkewIsRejected) {
+  Frame future;
+  future.version = kFramingVersion + 1;
+  future.type = static_cast<uint8_t>(FrameType::kOpen);
+  Frame got;
+  bool eof = false;
+  const Status status = Decode(Encode(future), &got, &eof);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("version"), std::string::npos);
+}
+
+TEST(FramingTest, NonZeroReservedFieldIsRejected) {
+  // Build the wire image by hand: reserved sits at bytes 6..7 (after the
+  // u32 length, version, type). Recompute the CRC over the altered bytes
+  // so ONLY the reserved-field check can fire — a stale CRC would mask it.
+  std::string wire = Encode(MakeOpenFrame(1));
+  wire[6] = 1;
+  const uint32_t crc = Crc32(wire.data() + 4, wire.size() - 8);
+  std::memcpy(wire.data() + wire.size() - 4, &crc, sizeof(crc));
+  Frame got;
+  bool eof = false;
+  const Status status = Decode(wire, &got, &eof);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("reserved"), std::string::npos);
+}
+
+TEST(FramingTest, OversizedLengthPrefixIsRejectedNotAllocated) {
+  std::string wire(4, '\0');
+  const uint32_t huge = kMaxFrameBytes + 1;
+  std::memcpy(wire.data(), &huge, sizeof(huge));
+  Frame frame;
+  bool eof = false;
+  const Status status = Decode(wire, &frame, &eof);
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_NE(status.message().find("bound"), std::string::npos);
+}
+
+TEST(FramingTest, UndersizedLengthPrefixIsRejected) {
+  // length must cover at least header-rest + crc = 16 bytes.
+  std::string wire(4, '\0');
+  const uint32_t tiny = 15;
+  std::memcpy(wire.data(), &tiny, sizeof(tiny));
+  Frame frame;
+  bool eof = false;
+  EXPECT_EQ(Decode(wire, &frame, &eof).code(), StatusCode::kIOError);
+}
+
+TEST(FramingTest, PayloadDecodersValidateTypeAndShape) {
+  std::vector<float> values;
+  StreamScore score;
+  Status error;
+  // Wrong type for every decoder.
+  EXPECT_EQ(ParseObserve(MakeOkFrame(1), &values).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseScore(MakeOkFrame(1), &score).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseError(MakeOkFrame(1), &error).code(),
+            StatusCode::kInvalidArgument);
+
+  // Observe whose declared count disagrees with the byte count.
+  Frame observe = MakeObserveFrame(1, {1.0f, 2.0f});
+  observe.payload.pop_back();
+  EXPECT_EQ(ParseObserve(observe, &values).code(),
+            StatusCode::kInvalidArgument);
+
+  // Score payload with trailing bytes.
+  StreamScore s2;
+  s2.stream_id = 1;
+  Frame bad_score = MakeScoreFrame(s2);
+  bad_score.payload.push_back(0);
+  EXPECT_EQ(ParseScore(bad_score, &score).code(),
+            StatusCode::kInvalidArgument);
+
+  // Error payload whose declared message length lies.
+  Frame bad_error = MakeErrorFrame(1, Status::NotFound("x"));
+  bad_error.payload.pop_back();
+  EXPECT_EQ(ParseError(bad_error, &error).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FramingTest, BackToBackFramesDecodeInOrder) {
+  std::string wire;
+  for (const Frame& f : AllFrameKinds()) wire += Encode(f);
+  std::istringstream in(wire);
+  size_t count = 0;
+  const auto kinds = AllFrameKinds();
+  while (true) {
+    Frame frame;
+    bool eof = false;
+    ASSERT_TRUE(ReadFrame(in, &frame, &eof).ok());
+    if (eof) break;
+    ASSERT_LT(count, kinds.size());
+    EXPECT_EQ(frame.type, kinds[count].type);
+    EXPECT_EQ(frame.stream_id, kinds[count].stream_id);
+    ++count;
+  }
+  EXPECT_EQ(count, kinds.size());
+}
+
+}  // namespace
+}  // namespace framing
+}  // namespace serve
+}  // namespace caee

@@ -334,6 +334,242 @@ TEST_F(ServeTest, WidthMismatchRejectedSessionStaysUsable) {
   EXPECT_EQ(results[0].index, ensemble_->config().window - 1);
 }
 
+// ---------------------------------------------------------------------------
+// Sharded-engine contracts (PR 6): shard count must be invisible in the
+// scores, rejections must leave every shard untouched, and close must drain
+// exactly the owning shard.
+// ---------------------------------------------------------------------------
+
+// The tentpole determinism statement: for every shard count in {1, 4, 16}
+// and batch size in {1, 3, 8}, the sharded engine's scores are BITWISE
+// equal (EXPECT_EQ on doubles) to dedicated per-stream scorers — sharding
+// changes who holds which lock, never what a window scores.
+TEST_F(ServeTest, ShardedScoresBitwiseEqualAtAnyShardCount) {
+  const int64_t kStreams = 6, kLength = 20;
+  const auto streams = MakeStreams(kStreams, kLength);
+  const auto expected = SingleStreamScores(ensemble_.get(), streams);
+  // Spread ids so several map to the same shard at 4 shards and the
+  // mapping is non-trivial at 16.
+  const std::vector<int64_t> ids = {3, 17, 1000003, -4, 0, 271828};
+
+  for (const int64_t num_shards : {int64_t{1}, int64_t{4}, int64_t{16}}) {
+    for (const int64_t max_batch : {int64_t{1}, int64_t{3}, int64_t{8}}) {
+      serve::ServeConfig config;
+      config.max_batch = max_batch;
+      config.flush_deadline_ms = 0;
+      config.num_shards = num_shards;
+      serve::ServingEngine engine(ensemble_.get(), config);
+      ASSERT_EQ(engine.num_shards(), num_shards);
+
+      std::vector<serve::StreamScore> results;
+      for (int64_t id : ids) ASSERT_TRUE(engine.OpenStream(id).ok());
+      // Round-robin interleave: consecutive pushes land on different
+      // shards, so every batch mixes co-sharded and foreign streams.
+      for (int64_t t = 0; t < kLength; ++t) {
+        for (size_t s = 0; s < ids.size(); ++s) {
+          ASSERT_TRUE(engine.Push(ids[s], Row(streams[s], t), &results).ok());
+        }
+      }
+      ASSERT_TRUE(engine.Flush(&results).ok());
+
+      std::map<int64_t, std::vector<double>> per_stream;
+      for (const auto& r : results) per_stream[r.stream_id].push_back(r.score);
+      for (size_t s = 0; s < ids.size(); ++s) {
+        const auto& got = per_stream[ids[s]];
+        const auto& want = expected[s];
+        ASSERT_EQ(got.size(), want.size())
+            << "stream " << ids[s] << " shards " << num_shards;
+        for (size_t i = 0; i < want.size(); ++i) {
+          EXPECT_EQ(got[i], want[i]) << "stream " << ids[s] << " window " << i
+                                     << " shards " << num_shards << " batch "
+                                     << max_batch;
+        }
+      }
+    }
+  }
+}
+
+// Property: a rejected push (width mismatch here) consumes nothing on ANY
+// shard — an engine fed garbage interleaved with good observations ends up
+// bitwise identical to one fed only the good observations.
+TEST_F(ServeTest, RejectedPushLeavesEveryShardUntouched) {
+  const int64_t kStreams = 4, kLength = 15;
+  const auto streams = MakeStreams(kStreams, kLength);
+  const std::vector<int64_t> ids = {2, 9, 5001, 42};
+
+  for (const int64_t num_shards : {int64_t{1}, int64_t{4}, int64_t{16}}) {
+    serve::ServeConfig config;
+    config.max_batch = 3;
+    config.flush_deadline_ms = 0;
+    config.num_shards = num_shards;
+
+    auto run = [&](bool inject_garbage) {
+      serve::ServingEngine engine(ensemble_.get(), config);
+      std::vector<serve::StreamScore> results;
+      for (int64_t id : ids) CAEE_CHECK(engine.OpenStream(id).ok());
+      const std::vector<float> bad = {1.0f, 2.0f, 3.0f};  // dims is 2
+      int64_t rejected = 0;
+      for (int64_t t = 0; t < kLength; ++t) {
+        for (size_t s = 0; s < ids.size(); ++s) {
+          if (inject_garbage && (t + static_cast<int64_t>(s)) % 3 == 0) {
+            const Status status = engine.Push(ids[s], bad, &results);
+            CAEE_CHECK(status.code() == StatusCode::kInvalidArgument);
+            ++rejected;
+          }
+          CAEE_CHECK(engine.Push(ids[s], Row(streams[s], t), &results).ok());
+        }
+      }
+      CAEE_CHECK(engine.Flush(&results).ok());
+      if (inject_garbage) CAEE_CHECK(rejected > 0);
+      return results;
+    };
+
+    const auto clean = run(false);
+    const auto with_garbage = run(true);
+    ASSERT_EQ(clean.size(), with_garbage.size()) << "shards " << num_shards;
+    ASSERT_FALSE(clean.empty());
+    for (size_t i = 0; i < clean.size(); ++i) {
+      EXPECT_EQ(clean[i].stream_id, with_garbage[i].stream_id);
+      EXPECT_EQ(clean[i].index, with_garbage[i].index);
+      EXPECT_EQ(clean[i].score, with_garbage[i].score)
+          << "result " << i << " shards " << num_shards;
+    }
+  }
+}
+
+// Admission control: max_pending bounds each shard's queue, the rejection
+// is ResourceExhausted, it consumes nothing, and retrying the SAME
+// observation after a flush yields the score an unbounded engine produces.
+TEST_F(ServeTest, BackpressureRejectsWithoutConsumingAndRetrySucceeds) {
+  const ts::TimeSeries series = testutil::PlantedSeries(20, 2, 9);
+  const int64_t w = ensemble_->config().window;
+
+  serve::ServeConfig unbounded;
+  unbounded.max_batch = 64;
+  unbounded.flush_deadline_ms = 0;
+  serve::ServingEngine reference(ensemble_.get(), unbounded);
+  std::vector<serve::StreamScore> want;
+  ASSERT_TRUE(reference.OpenStream(1).ok());
+  for (int64_t t = 0; t < w + 4; ++t) {
+    ASSERT_TRUE(reference.Push(1, Row(series, t), &want).ok());
+  }
+  ASSERT_TRUE(reference.Flush(&want).ok());
+  ASSERT_EQ(want.size(), 5u);  // windows w-1 .. w+3
+
+  serve::ServeConfig bounded = unbounded;
+  bounded.max_pending = 2;
+  serve::ServingEngine engine(ensemble_.get(), bounded);
+  std::vector<serve::StreamScore> got;
+  ASSERT_TRUE(engine.OpenStream(1).ok());
+  int64_t t = 0;
+  while (t < w + 4) {
+    const Status status = engine.Push(1, Row(series, t), &got);
+    if (status.ok()) {
+      ++t;
+      continue;
+    }
+    // Pool full: the queue is at its bound, the cursor did not advance,
+    // and draining makes the SAME observation admissible.
+    ASSERT_EQ(status.code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(engine.pending_windows(), 2);
+    ASSERT_TRUE(engine.Flush(&got).ok());
+  }
+  ASSERT_TRUE(engine.Flush(&got).ok());
+
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].index, want[i].index);
+    EXPECT_EQ(got[i].score, want[i].score) << "window " << i;
+  }
+}
+
+// Close drains the OWNING shard only: a pending window on another shard
+// stays pending (PR 4's single-queue engine drained everything — the
+// changed contract docs/serving.md documents).
+TEST_F(ServeTest, CloseDrainsOnlyTheOwningShard) {
+  const size_t kShards = 4;
+  // Find two ids on different shards (the hash spreads, so this finds one
+  // within a handful of tries).
+  const int64_t id_a = 1;
+  int64_t id_b = 2;
+  while (serve::ServingEngine::ShardOf(id_b, kShards) ==
+         serve::ServingEngine::ShardOf(id_a, kShards)) {
+    ++id_b;
+  }
+
+  serve::ServeConfig config;
+  config.max_batch = 64;
+  config.flush_deadline_ms = 0;
+  config.num_shards = static_cast<int64_t>(kShards);
+  serve::ServingEngine engine(ensemble_.get(), config);
+  ASSERT_TRUE(engine.OpenStream(id_a).ok());
+  ASSERT_TRUE(engine.OpenStream(id_b).ok());
+
+  const ts::TimeSeries series = testutil::PlantedSeries(10, 2, 10);
+  const int64_t w = ensemble_->config().window;
+  std::vector<serve::StreamScore> results;
+  for (int64_t t = 0; t < w; ++t) {
+    ASSERT_TRUE(engine.Push(id_a, Row(series, t), &results).ok());
+    ASSERT_TRUE(engine.Push(id_b, Row(series, t), &results).ok());
+  }
+  EXPECT_EQ(engine.pending_windows(), 2);
+  EXPECT_TRUE(results.empty());
+
+  ASSERT_TRUE(engine.CloseStream(id_a, &results).ok());
+  ASSERT_EQ(results.size(), 1u);  // id_a's window, and ONLY id_a's
+  EXPECT_EQ(results[0].stream_id, id_a);
+  EXPECT_EQ(engine.pending_windows(), 1);  // id_b's window survived
+  EXPECT_EQ(engine.num_streams(), 1);
+
+  results.clear();
+  ASSERT_TRUE(engine.Flush(&results).ok());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].stream_id, id_b);
+}
+
+// Cross-shard aggregates count everything, and the memory accounting that
+// backs BENCH_6.json's bytes-per-idle-stream metric moves with sessions.
+TEST_F(ServeTest, AggregateCountersAndMemoryAccountingSpanShards) {
+  serve::ServeConfig config;
+  config.max_batch = 64;
+  config.flush_deadline_ms = 0;
+  config.num_shards = 4;
+  serve::ServingEngine engine(ensemble_.get(), config);
+
+  const size_t empty_bytes = engine.MemoryBytes();
+  EXPECT_GT(empty_bytes, 0u);
+
+  const int64_t kStreams = 64;
+  for (int64_t id = 0; id < kStreams; ++id) {
+    ASSERT_TRUE(engine.OpenStream(id).ok());
+  }
+  EXPECT_EQ(engine.num_streams(), kStreams);
+  // Sessions cost real, accounted bytes: ring slab + cursor + index slot.
+  const size_t open_bytes = engine.MemoryBytes();
+  EXPECT_GT(open_bytes, empty_bytes);
+  const int64_t w = ensemble_->config().window;
+  const size_t ring_floor = static_cast<size_t>(kStreams) *
+                            static_cast<size_t>(w) * 2 * sizeof(float);
+  EXPECT_GE(open_bytes - empty_bytes, ring_floor);
+
+  const ts::TimeSeries series = testutil::PlantedSeries(10, 2, 12);
+  std::vector<serve::StreamScore> results;
+  for (int64_t id = 0; id < kStreams; ++id) {
+    for (int64_t t = 0; t < w; ++t) {
+      ASSERT_TRUE(engine.Push(id, Row(series, t), &results).ok());
+    }
+  }
+  EXPECT_EQ(engine.pending_windows(), kStreams);  // spread over 4 shards
+  ASSERT_TRUE(engine.Flush(&results).ok());
+  EXPECT_EQ(engine.pending_windows(), 0);
+  ASSERT_EQ(results.size(), static_cast<size_t>(kStreams));
+
+  for (int64_t id = 0; id < kStreams; ++id) {
+    ASSERT_TRUE(engine.CloseStream(id, &results).ok());
+  }
+  EXPECT_EQ(engine.num_streams(), 0);
+}
+
 TEST_F(ServeTest, ThresholdControlsFlag) {
   const ts::TimeSeries series = testutil::PlantedSeries(10, 2, 8);
   const int64_t w = ensemble_->config().window;
