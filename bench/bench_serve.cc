@@ -36,19 +36,35 @@
 // checksum must match across shard counts — sharding must not move a
 // score by a single bit.
 //
+// POLICY TABLE (PR 7): a third table compares the two threshold policies
+// (docs/thresholds.md) on the plan backend — static (the pre-SPOT
+// baseline, engine built without SPOT params) vs spot (per-stream GPD
+// tail state, adaptive verdicts) — reporting ns/window and bytes per
+// idle stream so the per-stream cost of the adaptive policy
+// (core::SpotBytesPerStream) shows up next to its throughput cost.
+// The cell checksum must match across policies: a verdict policy decides
+// FLAGS, never scores, so checksum drift here means the policy layer
+// leaked into scoring. `--caee_policy_json=PATH` writes the rows as a
+// {"bench": "bench_serve_policy"} document (BENCH_7.json in CI); the
+// regression checker gates ns_per_window and bytes_per_idle_stream like
+// the scale table.
+//
 // Extra flags beyond bench_util.h: --obs=N observations per stream
-// (default 48), --caee_json=PATH, --caee_scale_json=PATH.
+// (default 48), --caee_json=PATH, --caee_scale_json=PATH,
+// --caee_policy_json=PATH.
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "core/spot.h"
 #include "serve/serving_engine.h"
 
 namespace caee {
@@ -177,6 +193,82 @@ ScaleEntry RunScaleCell(core::CaeEnsemble* ensemble, int64_t num_streams,
   return entry;
 }
 
+struct PolicyEntry {
+  int64_t streams;
+  int64_t max_batch;
+  int64_t threads;
+  const char* policy;  // "static" or "spot"
+  double windows_per_sec;
+  double ns_per_window;
+  double bytes_per_idle_stream;
+  double checksum;  // policy-invariant: verdicts never touch scores
+};
+
+// One policy cell: the same streams scored under one threshold policy.
+// The static cell builds the engine WITHOUT SPOT params — the true
+// pre-policy baseline — so the spot-vs-static bytes delta is the whole
+// per-stream cost of the adaptive policy, not just its ring slab.
+PolicyEntry RunPolicyCell(
+    core::CaeEnsemble* ensemble, const std::optional<core::SpotInit>& spot,
+    core::ThresholdPolicy policy,
+    const std::vector<std::vector<std::vector<float>>>& streams) {
+  ensemble->set_scoring_backend(core::ScoringBackend::kPlan);
+  const int64_t w = ensemble->config().window;
+  serve::ServeConfig config;
+  config.max_batch = 16;
+  config.flush_deadline_ms = 0;
+  config.threshold_policy = policy;
+  serve::ServingEngine engine(ensemble, config, std::nullopt, spot);
+
+  const int64_t num_streams = static_cast<int64_t>(streams.size());
+  std::vector<serve::StreamScore> results;
+  for (int64_t s = 0; s < num_streams; ++s) {
+    CAEE_CHECK(engine.OpenStream(s).ok());
+    for (int64_t t = 0; t < w - 1; ++t) {
+      CAEE_CHECK(engine.Push(s, streams[static_cast<size_t>(s)]
+                                       [static_cast<size_t>(t)],
+                             &results)
+                     .ok());
+    }
+  }
+  CAEE_CHECK(results.empty());
+  const double bytes_per_idle_stream =
+      static_cast<double>(engine.MemoryBytes()) /
+      static_cast<double>(num_streams);
+
+  const int64_t length = static_cast<int64_t>(streams.front().size());
+  Stopwatch timer;
+  for (int64_t t = w - 1; t < length; ++t) {
+    for (int64_t s = 0; s < num_streams; ++s) {
+      CAEE_CHECK(engine.Push(s, streams[static_cast<size_t>(s)]
+                                       [static_cast<size_t>(t)],
+                             &results)
+                     .ok());
+    }
+  }
+  CAEE_CHECK(engine.Flush(&results).ok());
+  const double seconds = timer.ElapsedSeconds();
+
+  const int64_t expected = num_streams * (length - w + 1);
+  CAEE_CHECK_MSG(static_cast<int64_t>(results.size()) == expected,
+                 "scored " << results.size() << " windows, expected "
+                           << expected);
+  double checksum = 0.0;
+  for (const auto& r : results) checksum += r.score;
+
+  PolicyEntry entry;
+  entry.streams = num_streams;
+  entry.max_batch = config.max_batch;
+  entry.threads = static_cast<int64_t>(ensemble->config().num_threads);
+  entry.policy =
+      policy == core::ThresholdPolicy::kSpot ? "spot" : "static";
+  entry.windows_per_sec = static_cast<double>(results.size()) / seconds;
+  entry.ns_per_window = seconds * 1e9 / static_cast<double>(results.size());
+  entry.bytes_per_idle_stream = bytes_per_idle_stream;
+  entry.checksum = checksum;
+  return entry;
+}
+
 ServeEntry RunCell(core::CaeEnsemble* ensemble,
                    const std::vector<std::vector<std::vector<float>>>& streams,
                    int64_t max_batch, core::ScoringBackend backend) {
@@ -228,11 +320,13 @@ ServeEntry RunCell(core::CaeEnsemble* ensemble,
 
 int Main(int argc, char** argv) {
   bench::Flags flags = bench::Flags::Parse(argc, argv);
-  std::string json_path, scale_json_path;
+  std::string json_path, scale_json_path, policy_json_path;
   int64_t obs_per_stream = 48;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--caee_scale_json=", 18) == 0) {
       scale_json_path = argv[i] + 18;
+    } else if (std::strncmp(argv[i], "--caee_policy_json=", 19) == 0) {
+      policy_json_path = argv[i] + 19;
     } else if (std::strncmp(argv[i], "--caee_json=", 12) == 0) {
       json_path = argv[i] + 12;
     } else if (std::strncmp(argv[i], "--obs=", 6) == 0) {
@@ -253,6 +347,7 @@ int Main(int argc, char** argv) {
 
   const int64_t dims = 4;
   core::CaeEnsemble ensemble(config);
+  std::vector<double> train_scores;  // SPOT calibration reference
   {
     const auto train_rows = MakeStream(260, dims, flags.seed);
     ts::TimeSeries train(static_cast<int64_t>(train_rows.size()), dims);
@@ -263,6 +358,9 @@ int Main(int argc, char** argv) {
       }
     }
     CAEE_CHECK(ensemble.Fit(train).ok());
+    auto scored = ensemble.Score(train);
+    CAEE_CHECK(scored.ok());
+    train_scores = std::move(scored).value();
   }
 
   std::printf(
@@ -360,6 +458,62 @@ int Main(int argc, char** argv) {
               biggest.bytes_per_idle_stream,
               biggest.bytes_per_idle_stream * 1e6 / (1024.0 * 1024.0));
 
+  // -------------------------------------------------------------------
+  // Policy table: static vs streaming-SPOT verdicts on the same streams.
+  // -------------------------------------------------------------------
+  // level 0.9 (not the serving default 0.98) so this small training set
+  // yields comfortably more than kSpotMinPeaks excesses.
+  core::SpotConfig spot_config;
+  spot_config.level = 0.9;
+  spot_config.q = 0.02;
+  spot_config.peak_capacity = 32;
+  auto calibrated = core::CalibrateSpot(train_scores, spot_config);
+  CAEE_CHECK_MSG(calibrated.ok(),
+                 "SPOT calibration failed: " << calibrated.status());
+  const std::optional<core::SpotInit> spot(std::move(calibrated).value());
+
+  std::printf("\npolicy table (max_batch=16, impl=plan, peak_capacity=%lld; "
+              "verdict policy must not move scores):\n",
+              static_cast<long long>(spot_config.peak_capacity));
+  std::printf("%8s %8s %16s %14s %18s\n", "streams", "policy", "windows/sec",
+              "ns/window", "bytes/idle-stream");
+  std::vector<PolicyEntry> policy_entries;
+  for (const int64_t num_streams : {int64_t{4}, int64_t{16}}) {
+    std::vector<std::vector<std::vector<float>>> streams;
+    for (int64_t s = 0; s < num_streams; ++s) {
+      streams.push_back(MakeStream(obs_per_stream, dims,
+                                   1000 + static_cast<uint64_t>(s)));
+    }
+    double base_checksum = 0.0;
+    bool have_base = false;
+    for (const bool use_spot : {false, true}) {
+      const PolicyEntry entry = RunPolicyCell(
+          &ensemble, use_spot ? spot : std::optional<core::SpotInit>{},
+          use_spot ? core::ThresholdPolicy::kSpot
+                   : core::ThresholdPolicy::kStatic,
+          streams);
+      std::printf("%8lld %8s %16.1f %14.1f %18.1f\n",
+                  static_cast<long long>(entry.streams), entry.policy,
+                  entry.windows_per_sec, entry.ns_per_window,
+                  entry.bytes_per_idle_stream);
+      // A threshold policy decides flags, never scores: any checksum
+      // drift means the policy layer leaked into scoring.
+      if (!have_base) {
+        base_checksum = entry.checksum;
+        have_base = true;
+      } else {
+        CAEE_CHECK_MSG(entry.checksum == base_checksum,
+                       "checksum drift at streams="
+                           << num_streams << " policy=" << entry.policy
+                           << " — the threshold policy changed scores");
+      }
+      policy_entries.push_back(entry);
+    }
+  }
+  std::printf("spot per-stream overhead at this capacity: "
+              "core::SpotBytesPerStream = %lld bytes\n",
+              static_cast<long long>(core::SpotBytesPerStream(spot_config)));
+
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
     if (f == nullptr) {
@@ -414,6 +568,35 @@ int Main(int argc, char** argv) {
     std::fclose(f);
     std::printf("wrote %s (%zu entries)\n", scale_json_path.c_str(),
                 scale_entries.size());
+  }
+
+  if (!policy_json_path.empty()) {
+    std::FILE* f = std::fopen(policy_json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", policy_json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"bench_serve_policy\",\n  \"schema\": 1,\n"
+                 "  \"entries\": [\n");
+    for (size_t i = 0; i < policy_entries.size(); ++i) {
+      const PolicyEntry& e = policy_entries[i];
+      std::fprintf(
+          f,
+          "    {\"streams\": %lld, \"max_batch\": %lld, \"threads\": %lld, "
+          "\"policy\": \"%s\", \"windows_per_sec\": %.1f, "
+          "\"ns_per_window\": %.1f, \"bytes_per_idle_stream\": %.1f, "
+          "\"checksum\": %.17g}%s\n",
+          static_cast<long long>(e.streams),
+          static_cast<long long>(e.max_batch),
+          static_cast<long long>(e.threads), e.policy, e.windows_per_sec,
+          e.ns_per_window, e.bytes_per_idle_stream, e.checksum,
+          i + 1 < policy_entries.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu entries)\n", policy_json_path.c_str(),
+                policy_entries.size());
   }
   return 0;
 }

@@ -69,18 +69,25 @@ namespace {
 
 const char kUsage[] =
     "usage: caee_serve --model model.caee [--input obs.csv] [--threads T]\n"
+    "                  [--threshold-policy static|spot]\n"
     "                  [--expect-scores scores.txt [--tolerance X]]\n"
     "                  [--streams [--max-batch N] [--flush-ms MS]\n"
     "                   [--shards S] [--max-pending N] [--binary]]\n"
     "       caee_serve --encode-frames | --decode-frames   (no --model)\n"
     "  Default mode reads comma-separated observations from --input\n"
     "  (default: stdin) and prints `index,score,flag` per scored\n"
-    "  observation (flag=1 above the calibrated threshold).\n"
+    "  observation (flag=1 above the calibrated threshold; a non-finite\n"
+    "  score always flags).\n"
+    "  --threshold-policy picks how verdicts are made (default static):\n"
+    "  `spot` adapts the threshold online per stream via streaming\n"
+    "  Peaks-Over-Threshold and needs an artifact trained with --spot\n"
+    "  (docs/thresholds.md).\n"
     "  --expect-scores cross-checks the streaming scores against offline\n"
     "  batch scores and fails on mismatch.\n"
-    "  --streams serves many sessions at once: lines are `open,<id>`,\n"
-    "  `close,<id>`, or `<id>,v1,v2,...`; output is\n"
-    "  `stream,index,score,flag`. Sessions are sharded across --shards\n"
+    "  --streams serves many sessions at once: lines are\n"
+    "  `open,<id>[,static|spot]`, `close,<id>`, or `<id>,v1,v2,...`;\n"
+    "  output is `stream,index,score,flag`. Sessions are sharded across\n"
+    "  --shards\n"
     "  (default 1) independent engine shards; ready windows from different\n"
     "  streams of a shard are scored in one batched forward pass\n"
     "  (<= --max-batch windows, default 8); --flush-ms (default 50,\n"
@@ -120,7 +127,9 @@ bool ParseObservation(const std::string& line, std::vector<float>* out) {
 // ---------------------------------------------------------------------------
 
 int RunSingleStream(const cli::Args& args, core::CaeEnsemble& ensemble,
-                    double threshold, std::istream& in) {
+                    double threshold, core::ThresholdPolicy policy,
+                    const std::optional<core::SpotInit>& spot,
+                    std::istream& in) {
   std::vector<double> expected;
   if (args.Has("expect-scores")) {
     std::ifstream scores_in(args.Get("expect-scores", ""));
@@ -137,9 +146,14 @@ int RunSingleStream(const cli::Args& args, core::CaeEnsemble& ensemble,
   const double tolerance = args.GetDouble("tolerance", 0.0);
 
   core::StreamingScorer scorer(&ensemble);
+  // The single-stream SPOT path is the same owning state the serve tests
+  // use as the sequential reference for the sharded engine.
+  std::optional<core::SpotState> spot_state;
+  if (policy == core::ThresholdPolicy::kSpot) spot_state.emplace(*spot);
   std::string line;
   std::vector<float> observation;
   int64_t index = -1, scored = 0, alerts = 0, mismatches = 0;
+  int64_t non_finite = 0;
   double worst_diff = 0.0;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
@@ -152,7 +166,13 @@ int RunSingleStream(const cli::Args& args, core::CaeEnsemble& ensemble,
     if (!result.ok()) return Fail(result.status());
     if (!result->has_value()) continue;  // warming up
     const double score = result->value();
-    const bool flag = score > threshold;
+    // ThresholdExceeded, not `score > threshold`: a NaN score must flag
+    // (with no calibrated threshold the static policy otherwise never
+    // flags — threshold is +inf — but a non-finite score still must).
+    const bool flag = spot_state.has_value()
+                          ? spot_state->Observe(score)
+                          : core::ThresholdExceeded(score, threshold);
+    non_finite += !std::isfinite(score);
     ++scored;
     alerts += flag;
     std::cout << index << "," << score << "," << (flag ? 1 : 0) << "\n";
@@ -179,7 +199,8 @@ int RunSingleStream(const cli::Args& args, core::CaeEnsemble& ensemble,
   }
 
   std::cerr << "scored " << scored << " observations, " << alerts
-            << " above threshold\n";
+            << " flagged, " << non_finite << " non-finite scores ("
+            << core::ThresholdPolicyName(policy) << " policy)\n";
   if (!expected.empty()) {
     if (mismatches > 0) {
       std::cerr << mismatches << " streaming/batch mismatches (worst |diff| "
@@ -208,13 +229,24 @@ int RunSingleStream(const cli::Args& args, core::CaeEnsemble& ensemble,
 // Multi-stream mode.
 // ---------------------------------------------------------------------------
 
-// `open,3` / `close,3` control lines. Returns false for data lines.
-bool ParseControl(const std::string& line, std::string* verb, int64_t* id) {
+// `open,3` / `open,3,spot` / `close,3` control lines. Returns false for
+// data lines; a threshold-policy suffix is legal only on open.
+bool ParseControl(const std::string& line, std::string* verb, int64_t* id,
+                  std::optional<core::ThresholdPolicy>* policy) {
+  policy->reset();
   const size_t comma = line.find(',');
   if (comma == std::string::npos) return false;
   const std::string head = line.substr(0, comma);
   if (head != "open" && head != "close") return false;
-  const std::string rest = line.substr(comma + 1);
+  std::string rest = line.substr(comma + 1);
+  const size_t second = rest.find(',');
+  if (second != std::string::npos) {
+    if (head != "open") return false;
+    auto parsed = core::ParseThresholdPolicy(rest.substr(second + 1));
+    if (!parsed.ok()) return false;
+    *policy = parsed.value();
+    rest.resize(second);
+  }
   try {
     size_t consumed = 0;
     *id = std::stoll(rest, &consumed);
@@ -260,11 +292,15 @@ StatusOr<serve::ServeConfig> MultiStreamConfig(const cli::Args& args) {
 }
 
 int RunMultiStream(const cli::Args& args, core::CaeEnsemble& ensemble,
-                   std::optional<double> threshold, std::istream& in) {
+                   std::optional<double> threshold,
+                   core::ThresholdPolicy policy,
+                   const std::optional<core::SpotInit>& spot,
+                   std::istream& in) {
   auto config_or = MultiStreamConfig(args);
   if (!config_or.ok()) return Fail(config_or.status());
-  const serve::ServeConfig config = config_or.value();
-  serve::ServingEngine engine(&ensemble, config, threshold);
+  serve::ServeConfig config = config_or.value();
+  config.threshold_policy = policy;
+  serve::ServingEngine engine(&ensemble, config, threshold, spot);
 
   // Delivery is the single tally point: scores can arrive from the main
   // loop OR from the deadline timer below, and both must count toward the
@@ -333,16 +369,21 @@ int RunMultiStream(const cli::Args& args, core::CaeEnsemble& ensemble,
     Status status;
     std::string verb;
     int64_t id = 0;
-    if (ParseControl(line, &verb, &id)) {
-      status = verb == "open" ? engine.OpenStream(id)
-                              : engine.CloseStream(id, &results);
+    std::optional<core::ThresholdPolicy> open_policy;
+    if (ParseControl(line, &verb, &id, &open_policy)) {
+      status = verb == "open"
+                   ? (open_policy.has_value()
+                          ? engine.OpenStream(id, *open_policy)
+                          : engine.OpenStream(id))
+                   : engine.CloseStream(id, &results);
     } else if (ParseStreamObservation(line, &id, &observation)) {
       status = engine.Push(id, observation, &results);
     } else {
       stop_flusher();
       return Fail(Status::InvalidArgument(
           "line " + std::to_string(line_no) +
-          " is neither `open,<id>`/`close,<id>` nor `<id>,v1,v2,...`"));
+          " is neither `open,<id>[,static|spot]`/`close,<id>` nor "
+          "`<id>,v1,v2,...`"));
     }
     if (!status.ok()) {
       stop_flusher();
@@ -363,9 +404,16 @@ int RunMultiStream(const cli::Args& args, core::CaeEnsemble& ensemble,
   }
   deliver(results);
 
+  const serve::EngineStats stats = engine.Stats();
   std::cerr << "scored " << scored << " windows across streams, " << alerts
-            << " above threshold (" << engine.num_streams()
+            << " flagged, " << stats.non_finite_scores
+            << " non-finite scores (" << engine.num_streams()
             << " sessions still open at EOF)\n";
+  if (engine.spot() != nullptr) {
+    std::cerr << "drift: |exceed-rate shift| " << stats.drift << " over "
+              << stats.drift_window << " recent scores vs the calibration "
+              << "baseline (docs/thresholds.md)\n";
+  }
   return 0;
 }
 
@@ -374,12 +422,16 @@ int RunMultiStream(const cli::Args& args, core::CaeEnsemble& ensemble,
 // ---------------------------------------------------------------------------
 
 int RunMultiStreamBinary(const cli::Args& args, core::CaeEnsemble& ensemble,
-                         std::optional<double> threshold, std::istream& in) {
+                         std::optional<double> threshold,
+                         core::ThresholdPolicy policy,
+                         const std::optional<core::SpotInit>& spot,
+                         std::istream& in) {
   namespace fr = serve::framing;
   auto config_or = MultiStreamConfig(args);
   if (!config_or.ok()) return Fail(config_or.status());
-  const serve::ServeConfig config = config_or.value();
-  serve::ServingEngine engine(&ensemble, config, threshold);
+  serve::ServeConfig config = config_or.value();
+  config.threshold_policy = policy;
+  serve::ServingEngine engine(&ensemble, config, threshold, spot);
 
   // One serialisation point for response frames: scores can come from the
   // main loop or the deadline timer, and frames must never interleave
@@ -456,7 +508,16 @@ int RunMultiStreamBinary(const cli::Args& args, core::CaeEnsemble& ensemble,
     results.clear();
     switch (frame.frame_type()) {
       case fr::FrameType::kOpen: {
-        const Status status = engine.OpenStream(frame.stream_id);
+        // An empty payload opens with the server's default policy; a
+        // 1-byte payload selects per session (docs/protocol.md). A
+        // malformed payload is a tenant error, answered not fatal.
+        std::optional<core::ThresholdPolicy> open_policy;
+        Status status = fr::ParseOpenPolicy(frame, &open_policy);
+        if (status.ok()) {
+          status = open_policy.has_value()
+                       ? engine.OpenStream(frame.stream_id, *open_policy)
+                       : engine.OpenStream(frame.stream_id);
+        }
         respond(status.ok() ? fr::MakeOkFrame(frame.stream_id)
                             : fr::MakeErrorFrame(frame.stream_id, status));
         break;
@@ -515,11 +576,18 @@ int RunMultiStreamBinary(const cli::Args& args, core::CaeEnsemble& ensemble,
   deliver(results);
   std::cout.flush();
 
+  const serve::EngineStats stats = engine.Stats();
   std::cerr << "scored " << scored << " windows across streams, " << alerts
-            << " above threshold, " << backpressured
+            << " flagged, " << stats.non_finite_scores
+            << " non-finite scores, " << backpressured
             << " pushes backpressured (" << engine.num_streams()
             << " sessions still open at EOF, " << config.num_shards
             << " shards)\n";
+  if (engine.spot() != nullptr) {
+    std::cerr << "drift: |exceed-rate shift| " << stats.drift << " over "
+              << stats.drift_window << " recent scores vs the calibration "
+              << "baseline (docs/thresholds.md)\n";
+  }
   return 0;
 }
 
@@ -537,15 +605,24 @@ int RunEncodeFrames(std::istream& in) {
     if (line.empty()) continue;
     std::string verb;
     int64_t id = 0;
-    if (ParseControl(line, &verb, &id)) {
-      fr::WriteFrame(std::cout, verb == "open" ? fr::MakeOpenFrame(id)
-                                               : fr::MakeCloseFrame(id));
+    std::optional<core::ThresholdPolicy> open_policy;
+    if (ParseControl(line, &verb, &id, &open_policy)) {
+      fr::Frame frame;
+      if (verb == "close") {
+        frame = fr::MakeCloseFrame(id);
+      } else if (open_policy.has_value()) {
+        frame = fr::MakeOpenFrame(id, *open_policy);
+      } else {
+        frame = fr::MakeOpenFrame(id);
+      }
+      fr::WriteFrame(std::cout, frame);
     } else if (ParseStreamObservation(line, &id, &observation)) {
       fr::WriteFrame(std::cout, fr::MakeObserveFrame(id, observation));
     } else {
       return Fail(Status::InvalidArgument(
           "line " + std::to_string(line_no) +
-          " is neither `open,<id>`/`close,<id>` nor `<id>,v1,v2,...`"));
+          " is neither `open,<id>[,static|spot]`/`close,<id>` nor "
+          "`<id>,v1,v2,...`"));
     }
   }
   std::cout.flush();
@@ -606,8 +683,8 @@ int main(int argc, char** argv) {
   cli::Args args(argc, argv);
   args.RejectUnknown({"model", "input", "threads", "expect-scores",
                       "tolerance", "streams", "max-batch", "flush-ms",
-                      "shards", "max-pending", "binary", "encode-frames",
-                      "decode-frames", "help"},
+                      "shards", "max-pending", "binary", "threshold-policy",
+                      "encode-frames", "decode-frames", "help"},
                      kUsage);
   if (args.Has("help")) {
     std::cerr << kUsage;
@@ -620,7 +697,8 @@ int main(int argc, char** argv) {
   if (args.Has("encode-frames") || args.Has("decode-frames")) {
     for (const char* flag :
          {"model", "threads", "expect-scores", "tolerance", "streams",
-          "max-batch", "flush-ms", "shards", "max-pending", "binary"}) {
+          "max-batch", "flush-ms", "shards", "max-pending", "binary",
+          "threshold-policy"}) {
       if (args.Has(flag)) {
         std::cerr << "--encode-frames/--decode-frames take only --input\n"
                   << kUsage;
@@ -670,12 +748,26 @@ int main(int argc, char** argv) {
   ensemble.set_num_threads(args.GetInt("threads", 0));
   const double threshold =
       loaded->threshold.value_or(std::numeric_limits<double>::infinity());
+
+  core::ThresholdPolicy policy = core::ThresholdPolicy::kStatic;
+  if (args.Has("threshold-policy")) {
+    auto parsed =
+        core::ParseThresholdPolicy(args.Get("threshold-policy", ""));
+    if (!parsed.ok()) return Fail(parsed.status());
+    policy = *parsed;
+  }
+  if (policy == core::ThresholdPolicy::kSpot && !loaded->spot.has_value()) {
+    return Fail(Status::FailedPrecondition(
+        "--threshold-policy spot needs SPOT init params in the artifact; "
+        "retrain with caee_train --spot (docs/thresholds.md)"));
+  }
+
   std::cerr << "loaded ensemble: " << ensemble.num_models() << " models, "
             << "window " << ensemble.config().window << ", "
             << ensemble.input_dim() << " dims"
             << (loaded->threshold ? ", threshold " + std::to_string(threshold)
                                   : ", no threshold (flag always 0)")
-            << "\n";
+            << (loaded->spot ? ", spot-calibrated" : "") << "\n";
 
   std::ifstream file;
   if (args.Has("input")) {
@@ -688,9 +780,11 @@ int main(int argc, char** argv) {
 
   if (args.Has("streams")) {
     if (args.Has("binary")) {
-      return RunMultiStreamBinary(args, ensemble, loaded->threshold, in);
+      return RunMultiStreamBinary(args, ensemble, loaded->threshold, policy,
+                                  loaded->spot, in);
     }
-    return RunMultiStream(args, ensemble, loaded->threshold, in);
+    return RunMultiStream(args, ensemble, loaded->threshold, policy,
+                          loaded->spot, in);
   }
-  return RunSingleStream(args, ensemble, threshold, in);
+  return RunSingleStream(args, ensemble, threshold, policy, loaded->spot, in);
 }

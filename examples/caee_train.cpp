@@ -13,12 +13,15 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cli_util.h"
 #include "core/ensemble.h"
 #include "core/persistence.h"
+#include "core/spot.h"
 #include "core/threshold.h"
 #include "data/registry.h"
 #include "ts/csv.h"
@@ -36,6 +39,9 @@ const char kUsage[] =
     "  model:     --window W --models M --epochs E --batch B --embed-dim D'\n"
     "             --layers L --max-train-windows N --lr R --seed S --threads T\n"
     "  threshold: --topk-percent P (default 5; top P%% of training scores)\n"
+    "             --spot also calibrates streaming SPOT threshold params\n"
+    "             (docs/thresholds.md) tuned by --spot-q Q (default 1e-3),\n"
+    "             --spot-level L (default 0.98), --spot-peaks N (default 64)\n"
     "  outputs:   --output artifact path (required)\n"
     "             --dump-input CSV copy of the training series (for replay)\n"
     "             --scores training-set scores, one per line (full precision)\n";
@@ -52,7 +58,8 @@ int main(int argc, char** argv) {
   args.RejectUnknown(
       {"input", "labels", "synthetic", "scale", "output", "dump-input",
        "scores", "window", "models", "epochs", "batch", "embed-dim", "layers",
-       "max-train-windows", "lr", "seed", "threads", "topk-percent", "help"},
+       "max-train-windows", "lr", "seed", "threads", "topk-percent", "spot",
+       "spot-q", "spot-level", "spot-peaks", "help"},
       kUsage);
   if (args.Has("help") || !args.Has("output") ||
       (args.Has("input") == args.Has("synthetic"))) {
@@ -134,6 +141,22 @@ int main(int argc, char** argv) {
   std::cout << "calibrated threshold (top " << threshold_config.top_k_percent
             << "%): " << threshold.value() << "\n";
 
+  // --- Optional SPOT calibration (docs/thresholds.md) ----------------------
+  std::optional<core::SpotInit> spot;
+  if (args.Has("spot")) {
+    core::SpotConfig spot_config;
+    spot_config.q = args.GetDouble("spot-q", spot_config.q);
+    spot_config.level = args.GetDouble("spot-level", spot_config.level);
+    spot_config.peak_capacity =
+        args.GetInt("spot-peaks", spot_config.peak_capacity);
+    auto init = core::CalibrateSpot(train_scores.value(), spot_config);
+    if (!init.ok()) return Fail(init.status());
+    spot = std::move(init).value();
+    std::cout << "calibrated SPOT (level " << spot_config.level << ", q "
+              << spot_config.q << "): t " << spot->t << ", z " << spot->z
+              << ", " << spot->peaks.size() << " seed peaks\n";
+  }
+
   if (args.Has("scores")) {
     std::ofstream out(args.Get("scores", ""));
     if (!out) return Fail(Status::IOError("cannot write scores file"));
@@ -143,7 +166,8 @@ int main(int argc, char** argv) {
 
   // --- Persist -------------------------------------------------------------
   const std::string output = args.Get("output", "");
-  if (Status s = core::SaveEnsemble(ensemble, output, threshold.value());
+  if (Status s = core::SaveEnsemble(ensemble, output, threshold.value(),
+                                    spot ? &*spot : nullptr);
       !s.ok()) {
     return Fail(s);
   }

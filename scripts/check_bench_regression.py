@@ -16,6 +16,12 @@ Handles both JSON schemas the benches emit:
                      --max-bytes-ratio: the per-stream memory footprint is
                      allocation arithmetic, not wall-clock, so it is stable
                      across runners and a tighter bound than time.
+  bench_serve_policy entries keyed by (streams, max_batch, threads,
+                     policy), timed by ns_per_window (BENCH_7.json
+                     baseline) — static vs streaming-SPOT threshold
+                     policies. Gates bytes_per_idle_stream too, so a
+                     static-policy stream silently growing SPOT state (or
+                     the SPOT slab bloating) fails the build.
 
 Fails (exit 1) if any entry present in both files got slower than
 --max-ratio x the baseline time. The threshold is loose on purpose:
@@ -48,13 +54,15 @@ def entry_key(bench, e):
     if bench == "bench_serve_scale":
         return (e["streams"], e["shards"], e["max_batch"], e["threads"],
                 e["impl"])
+    if bench == "bench_serve_policy":
+        return (e["streams"], e["max_batch"], e["threads"], e["policy"])
     if bench == "bench_serve":
         return (e["streams"], e["max_batch"], e["threads"], e.get("impl", ""))
     return (e["op"], e["shape"], e["threads"], e["impl"])
 
 
 def metric_name(bench):
-    if bench in ("bench_serve", "bench_serve_scale"):
+    if bench in ("bench_serve", "bench_serve_scale", "bench_serve_policy"):
         return "ns_per_window"
     return "ns_per_iter"
 

@@ -18,6 +18,10 @@
 #                    (streams x shards with bytes-per-idle-stream;
 #                    default: BENCH_6.json in the repo root; same
 #                    regression checker, BENCH_6.json baseline)
+#   POLICY_JSON=path where to write the threshold-policy entries
+#                    (static vs streaming-SPOT verdicts, ns/window and
+#                    bytes/idle-stream; default: BENCH_7.json in the repo
+#                    root; same regression checker, BENCH_7.json baseline)
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -27,6 +31,7 @@ EPOCHS="${EPOCHS:-2}"
 BENCH_JSON="${BENCH_JSON:-BENCH_3.json}"
 SERVE_JSON="${SERVE_JSON:-BENCH_5.json}"
 SCALE_JSON="${SCALE_JSON:-BENCH_6.json}"
+POLICY_JSON="${POLICY_JSON:-BENCH_7.json}"
 
 if [[ ! -x "${BUILD_DIR}/bench_training_time" ]]; then
   echo "error: ${BUILD_DIR}/bench_training_time not found." >&2
@@ -53,9 +58,11 @@ fi
 
 if [[ -x "${BUILD_DIR}/bench_serve" ]]; then
   echo "=== Multi-stream serving (streams x max-batch x impl; writes ${SERVE_JSON};"
-  echo "    scale table streams x shards with bytes/idle-stream; writes ${SCALE_JSON}) ==="
+  echo "    scale table streams x shards with bytes/idle-stream; writes ${SCALE_JSON};"
+  echo "    threshold-policy table static vs spot; writes ${POLICY_JSON}) ==="
   "${BUILD_DIR}/bench_serve" --models="${MODELS}" --epochs="${EPOCHS}" \
-    --caee_json="${SERVE_JSON}" --caee_scale_json="${SCALE_JSON}"
+    --caee_json="${SERVE_JSON}" --caee_scale_json="${SCALE_JSON}" \
+    --caee_policy_json="${POLICY_JSON}"
   echo
 else
   echo "error: ${BUILD_DIR}/bench_serve not found (build first)" >&2

@@ -22,6 +22,7 @@ enum SectionTag : uint32_t {
   kSectionEmbedding = 3,
   kSectionMember = 4,
   kSectionThreshold = 5,
+  kSectionSpot = 6,  // optional; absent unless calibrated (header comment)
 };
 
 // Sanity bounds applied while parsing untrusted artifact bytes. Generous
@@ -40,6 +41,7 @@ std::string TagName(uint32_t tag) {
     case kSectionEmbedding: return "embedding";
     case kSectionMember: return "member";
     case kSectionThreshold: return "threshold";
+    case kSectionSpot: return "spot";
     default: return "tag " + std::to_string(tag);
   }
 }
@@ -201,6 +203,47 @@ Status ParseScalerPayload(std::istream& in, ts::Scaler* scaler) {
   return scaler->Restore(std::move(mean), std::move(stddev));
 }
 
+// Fixed field sequence tied to kArtifactVersion like every other payload
+// (the section is optional; its LAYOUT is not negotiable).
+void WriteSpotPayload(std::ostream& out, const SpotInit& spot) {
+  io::WritePod(out, spot.config.q);
+  io::WritePod(out, spot.config.level);
+  io::WritePod(out, spot.config.peak_capacity);
+  io::WritePod(out, spot.t);
+  io::WritePod(out, spot.z);
+  io::WritePod(out, spot.n);
+  io::WritePod(out, spot.peaks_total);
+  io::WritePod(out, static_cast<uint64_t>(spot.peaks.size()));
+  for (const double p : spot.peaks) io::WritePod(out, p);
+}
+
+Status ParseSpotPayload(std::istream& in, SpotInit* spot) {
+  CAEE_RETURN_NOT_OK(io::ReadPod(in, &spot->config.q));
+  CAEE_RETURN_NOT_OK(io::ReadPod(in, &spot->config.level));
+  CAEE_RETURN_NOT_OK(io::ReadPod(in, &spot->config.peak_capacity));
+  CAEE_RETURN_NOT_OK(io::ReadPod(in, &spot->t));
+  CAEE_RETURN_NOT_OK(io::ReadPod(in, &spot->z));
+  CAEE_RETURN_NOT_OK(io::ReadPod(in, &spot->n));
+  CAEE_RETURN_NOT_OK(io::ReadPod(in, &spot->peaks_total));
+  uint64_t count = 0;
+  CAEE_RETURN_NOT_OK(io::ReadPod(in, &count));
+  // The allocation bound BEFORE the element loop; everything else
+  // (knob ranges, count consistency, finite peaks) is ValidateSpotInit.
+  if (count > static_cast<uint64_t>(kSpotMaxPeaks)) {
+    return Status::InvalidArgument("artifact spot section claims " +
+                                   std::to_string(count) +
+                                   " seed peaks (corrupt)");
+  }
+  spot->peaks.resize(count);
+  for (auto& p : spot->peaks) CAEE_RETURN_NOT_OK(io::ReadPod(in, &p));
+  Status valid = ValidateSpotInit(*spot);
+  if (!valid.ok()) {
+    return Status::InvalidArgument("artifact spot section is invalid: " +
+                                   valid.message());
+  }
+  return Status::OK();
+}
+
 struct Section {
   uint32_t tag;
   std::string payload;
@@ -265,13 +308,14 @@ Status CheckFullyConsumed(std::istream& in, uint32_t tag) {
 }  // namespace
 
 Status SaveEnsemble(const CaeEnsemble& ensemble, const std::string& path,
-                    std::optional<double> threshold) {
+                    std::optional<double> threshold, const SpotInit* spot) {
   if (!ensemble.fitted()) {
     return Status::FailedPrecondition("SaveEnsemble needs a fitted ensemble");
   }
   if (threshold.has_value() && !std::isfinite(*threshold)) {
     return Status::InvalidArgument("threshold must be finite");
   }
+  if (spot != nullptr) CAEE_RETURN_NOT_OK(ValidateSpotInit(*spot));
   const EnsembleConfig& cfg = ensemble.config();
   std::vector<Section> sections;
 
@@ -301,6 +345,11 @@ Status SaveEnsemble(const CaeEnsemble& ensemble, const std::string& path,
     std::ostringstream os;
     io::WritePod(os, *threshold);
     sections.push_back({kSectionThreshold, os.str()});
+  }
+  if (spot != nullptr) {
+    std::ostringstream os;
+    WriteSpotPayload(os, *spot);
+    sections.push_back({kSectionSpot, os.str()});
   }
   return WriteArtifact(path, sections);
 }
@@ -350,6 +399,7 @@ StatusOr<LoadedEnsemble> LoadEnsemble(const std::string& path) {
   nn::StateDict embedding_state;
   std::vector<nn::StateDict> member_states;
   std::optional<double> threshold;
+  std::optional<SpotInit> spot;
 
   size_t offset = kHeaderBytes;
   for (uint32_t i = 0; i < section_count; ++i) {
@@ -419,6 +469,15 @@ StatusOr<LoadedEnsemble> LoadEnsemble(const std::string& path) {
         threshold = value;
         break;
       }
+      case kSectionSpot: {
+        if (spot.has_value()) {
+          return Status::IOError("artifact has duplicate spot sections");
+        }
+        SpotInit parsed;
+        CAEE_RETURN_NOT_OK(ParseSpotPayload(is, &parsed));
+        spot = std::move(parsed);
+        break;
+      }
       default:
         return Status::IOError("unknown artifact section " + TagName(tag) +
                                " (version skew?)");
@@ -450,6 +509,7 @@ StatusOr<LoadedEnsemble> LoadEnsemble(const std::string& path) {
   LoadedEnsemble loaded;
   loaded.ensemble = std::move(ensemble).value();
   loaded.threshold = threshold;
+  loaded.spot = std::move(spot);
   return loaded;
 }
 

@@ -11,9 +11,12 @@ StatusOr<RepairResult> RepairOutliers(const ts::TimeSeries& series,
   if (static_cast<int64_t>(flags.size()) != series.length()) {
     return Status::InvalidArgument("flags length != series length");
   }
+  if (series.length() == 0) {
+    return Status::InvalidArgument("empty series; nothing to repair");
+  }
   int64_t flagged = 0;
   for (int f : flags) flagged += (f != 0);
-  if (flagged == series.length() && series.length() > 0) {
+  if (flagged == series.length()) {
     return Status::InvalidArgument(
         "every observation flagged; nothing to anchor the repair on");
   }
@@ -38,7 +41,9 @@ StatusOr<RepairResult> RepairOutliers(const ts::TimeSeries& series,
       mean[static_cast<size_t>(j)] += series.value(t, j);
     }
   }
-  for (auto& m : mean) m /= static_cast<double>(std::max<int64_t>(1, clean));
+  // The guards above leave clean >= 1; the old max(1, clean) clamp would
+  // have silently turned a zero-anchor repair into "repair with 0.0".
+  for (auto& m : mean) m /= static_cast<double>(clean);
 
   for (int64_t t = 0; t < n; ++t) {
     if (!flags[static_cast<size_t>(t)]) continue;

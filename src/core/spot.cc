@@ -1,0 +1,219 @@
+#include "core/spot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "core/threshold.h"
+
+namespace caee {
+namespace core {
+
+namespace {
+
+/// Refit the GPD over the buffered excesses and recompute z. Keeps the
+/// previous z when the window is still thin (< kSpotMinPeaks), when the
+/// excesses are degenerate (mean <= 0 after cancellation), or when the
+/// quantile formula overflows — a threshold must never become NaN.
+void RefitThreshold(const SpotInit& init, SpotTail* tail) {
+  if (tail->count < kSpotMinPeaks) return;
+  const double cnt = static_cast<double>(tail->count);
+  const double m = tail->sum / cnt;
+  if (!(m > 0.0)) return;
+  double v = tail->sumsq / cnt - m * m;
+
+  // Method of moments: gamma = (1 - m^2/v)/2, sigma = m (1 + m^2/v)/2.
+  // v <= 0 (floating-point cancellation on near-identical excesses)
+  // degenerates to the exponential tail gamma = 0, sigma = m.
+  double gamma = 0.0;
+  double sigma = m;
+  if (v > 0.0) {
+    const double r = m * m / v;
+    gamma = 0.5 * (1.0 - r);
+    sigma = 0.5 * m * (1.0 + r);
+  }
+  // Cap the shape below 1: gamma >= 1 is an infinite-mean tail where the
+  // quantile formula explodes; the windowed moments can wander there
+  // transiently and the cap keeps z finite.
+  gamma = std::min(gamma, 0.95);
+
+  const double ratio = init.config.q * static_cast<double>(tail->n) /
+                       static_cast<double>(tail->peaks_total);
+  double z;
+  if (std::abs(gamma) < 1e-9) {
+    z = init.t - sigma * std::log(ratio);
+  } else {
+    z = init.t + (sigma / gamma) * (std::pow(ratio, -gamma) - 1.0);
+  }
+  // z < t would alert inside the region the fit is built from; clamp.
+  if (std::isfinite(z)) tail->z = std::max(z, init.t);
+}
+
+/// Fold one excess into the ring + running moments (shared by the online
+/// update and the calibration replay). Requires excess > 0.
+void PushPeak(const SpotInit& init, SpotTail* tail, double* peaks,
+              double excess) {
+  const uint32_t capacity =
+      static_cast<uint32_t>(init.config.peak_capacity);
+  if (tail->count == capacity) {
+    const double old = peaks[tail->head];
+    tail->sum -= old;
+    tail->sumsq -= old * old;
+  } else {
+    ++tail->count;
+  }
+  peaks[tail->head] = excess;
+  tail->head = (tail->head + 1) % capacity;
+  tail->sum += excess;
+  tail->sumsq += excess * excess;
+  ++tail->peaks_total;
+}
+
+Status CheckConfig(const SpotConfig& config) {
+  if (!std::isfinite(config.q) || config.q <= 0.0 || config.q >= 1.0) {
+    return Status::InvalidArgument("spot q must be in (0, 1)");
+  }
+  if (!std::isfinite(config.level) || config.level <= 0.0 ||
+      config.level >= 1.0) {
+    return Status::InvalidArgument("spot level must be in (0, 1)");
+  }
+  if (config.q >= 1.0 - config.level) {
+    return Status::InvalidArgument(
+        "spot q must be below 1 - level (the alert tail must be rarer "
+        "than the peaks tail it is estimated from)");
+  }
+  if (config.peak_capacity < static_cast<int64_t>(kSpotMinPeaks) ||
+      config.peak_capacity > kSpotMaxPeaks) {
+    return Status::InvalidArgument(
+        "spot peak_capacity out of [" + std::to_string(kSpotMinPeaks) +
+        ", " + std::to_string(kSpotMaxPeaks) + "]");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<SpotInit> CalibrateSpot(const std::vector<double>& reference_scores,
+                                 const SpotConfig& config) {
+  CAEE_RETURN_NOT_OK(CheckConfig(config));
+  if (reference_scores.empty()) {
+    return Status::InvalidArgument("no reference scores to calibrate on");
+  }
+  for (double s : reference_scores) {
+    if (!std::isfinite(s)) {
+      return Status::InvalidArgument(
+          "reference scores contain a non-finite value");
+    }
+  }
+
+  ThresholdConfig tc;
+  tc.strategy = ThresholdStrategy::kQuantile;
+  tc.quantile = config.level;
+  auto t = CalibrateThreshold(reference_scores, tc);
+  if (!t.ok()) return t.status();
+
+  SpotInit init;
+  init.config = config;
+  init.t = t.value();
+  init.z = init.t;
+
+  // Replay the reference through the same ring/moments the online path
+  // runs: every excess over t joins the fit (calibration has no alert
+  // exclusion — the reference sample IS the tail model), then one refit
+  // over the final window yields z0.
+  SpotTail tail;
+  std::vector<double> ring(static_cast<size_t>(config.peak_capacity), 0.0);
+  for (double s : reference_scores) {
+    ++tail.n;
+    if (s > init.t) PushPeak(init, &tail, ring.data(), s - init.t);
+  }
+  if (tail.peaks_total < static_cast<int64_t>(kSpotMinPeaks)) {
+    return Status::InvalidArgument(
+        "only " + std::to_string(tail.peaks_total) + " reference excesses " +
+        "over the level-" + std::to_string(config.level) + " quantile; SPOT " +
+        "needs >= " + std::to_string(kSpotMinPeaks) +
+        " (lower level or provide more reference scores)");
+  }
+  tail.z = init.t;
+  RefitThreshold(init, &tail);
+
+  init.z = tail.z;
+  init.n = tail.n;
+  init.peaks_total = tail.peaks_total;
+  // Unroll the ring oldest-first: when full the seam is at head; before
+  // that the ring filled from slot 0 and head == count.
+  init.peaks.resize(tail.count);
+  const uint32_t capacity = static_cast<uint32_t>(config.peak_capacity);
+  const uint32_t start = tail.count == capacity ? tail.head : 0;
+  for (uint32_t i = 0; i < tail.count; ++i) {
+    init.peaks[i] = ring[(start + i) % capacity];
+  }
+  return init;
+}
+
+Status ValidateSpotInit(const SpotInit& init) {
+  CAEE_RETURN_NOT_OK(CheckConfig(init.config));
+  if (!std::isfinite(init.t) || !std::isfinite(init.z) || init.z < init.t) {
+    return Status::InvalidArgument(
+        "spot init thresholds must be finite with z >= t");
+  }
+  if (init.n < 1 || init.peaks_total < static_cast<int64_t>(kSpotMinPeaks) ||
+      init.peaks_total > init.n) {
+    return Status::InvalidArgument("spot init counts are inconsistent");
+  }
+  const int64_t expect =
+      std::min<int64_t>(init.config.peak_capacity, init.peaks_total);
+  if (static_cast<int64_t>(init.peaks.size()) != expect) {
+    return Status::InvalidArgument(
+        "spot init carries " + std::to_string(init.peaks.size()) +
+        " seed peaks but min(capacity, peaks_total) is " +
+        std::to_string(expect));
+  }
+  for (double p : init.peaks) {
+    if (!std::isfinite(p) || p < 0.0) {
+      return Status::InvalidArgument("spot init seed peak is not a "
+                                     "finite non-negative excess");
+    }
+  }
+  return Status::OK();
+}
+
+void SpotSeedTail(const SpotInit& init, SpotTail* tail, double* peaks) {
+  *tail = SpotTail{};
+  tail->z = init.z;
+  tail->n = init.n;
+  tail->peaks_total = init.peaks_total;
+  // Accumulate in seed order so every seeded stream starts from the same
+  // sums bit for bit (the determinism contract starts here).
+  for (double p : init.peaks) {
+    peaks[tail->count] = p;
+    tail->sum += p;
+    tail->sumsq += p * p;
+    ++tail->count;
+  }
+  tail->head = tail->count %
+               static_cast<uint32_t>(init.config.peak_capacity);
+}
+
+bool SpotObserve(const SpotInit& init, SpotTail* tail, double* peaks,
+                 double score) {
+  if (!std::isfinite(score)) return true;
+  if (score > tail->z) return true;
+  ++tail->n;
+  if (score > init.t) {
+    PushPeak(init, tail, peaks, score - init.t);
+    RefitThreshold(init, tail);
+  }
+  return false;
+}
+
+SpotState::SpotState(const SpotInit& init)
+    : init_(init),
+      peaks_(static_cast<size_t>(init.config.peak_capacity), 0.0) {
+  const Status valid = ValidateSpotInit(init_);
+  CAEE_CHECK_MSG(valid.ok(), "SpotState: invalid init params");
+  SpotSeedTail(init_, &tail_, peaks_.data());
+}
+
+}  // namespace core
+}  // namespace caee

@@ -1,6 +1,7 @@
 #include "core/streaming.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <string>
 
@@ -37,6 +38,15 @@ Status WindowState::Push(const std::vector<float>& observation) {
     return Status::InvalidArgument(
         "observation has " + std::to_string(observation.size()) +
         " dims but the stream carries " + std::to_string(dims_));
+  }
+  // Reject BEFORE any cursor mutation, like the width check: a NaN row in
+  // the ring would poison every window it overlaps and surface as scores
+  // the threshold path then has to distrust.
+  for (float v : observation) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument(
+          "observation contains a non-finite value");
+    }
   }
   WriteRingRow(ring_.data(), dims_, head_, observation.data());
   head_ = (head_ + 1) % window_;

@@ -30,10 +30,11 @@ namespace core {
 ///
 /// Holds the most recent `window` observations of a fixed-width stream in a
 /// contiguous ring (no per-observation allocation once warm). Invariants:
-/// every accepted observation has exactly dims() values (anything else is
-/// rejected with InvalidArgument and leaves the state untouched), and once
-/// warm() the buffer always holds exactly the last window() observations in
-/// arrival order.
+/// every accepted observation has exactly dims() FINITE values (a width
+/// mismatch or a NaN/inf value is rejected with InvalidArgument and leaves
+/// the state untouched — a non-finite row would poison every window it
+/// overlaps), and once warm() the buffer always holds exactly the last
+/// window() observations in arrival order.
 class WindowState {
  public:
   /// \brief `window` >= 1 observations of `dims` >= 1 values each.
@@ -54,8 +55,8 @@ class WindowState {
                              int64_t head, float* dst);
 
   /// \brief Append one observation. Returns InvalidArgument (and changes
-  /// nothing — seen() is not advanced) when the width is not dims(); this
-  /// holds for EVERY push, not just the first.
+  /// nothing — seen() is not advanced) when the width is not dims() or any
+  /// value is non-finite; this holds for EVERY push, not just the first.
   Status Push(const std::vector<float>& observation);
 
   /// \brief True once window() observations are buffered (a full window is

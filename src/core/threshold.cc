@@ -35,9 +35,14 @@ StatusOr<double> CalibrateThreshold(
       }
       std::vector<double> sorted = reference_scores;
       std::sort(sorted.begin(), sorted.end());
-      const auto idx = static_cast<size_t>(
-          std::min<double>(static_cast<double>(sorted.size() - 1),
-                           config.quantile * static_cast<double>(sorted.size())));
+      // Nearest-rank: the smallest value with at least a q fraction of the
+      // sample at or below it, index ceil(q*n) - 1. (The old `q*n` truncation
+      // was biased one rank high: q=0.5 over n=4 picked sorted[2].)
+      const double rank =
+          std::ceil(config.quantile * static_cast<double>(sorted.size()));
+      const size_t idx = static_cast<size_t>(
+          std::min<double>(static_cast<double>(sorted.size()),
+                           std::max(rank, 1.0))) - 1;
       return sorted[idx];
     }
     case ThresholdStrategy::kMaxRef: {
@@ -48,11 +53,37 @@ StatusOr<double> CalibrateThreshold(
   return Status::Internal("unknown threshold strategy");
 }
 
+const char* ThresholdPolicyName(ThresholdPolicy policy) {
+  switch (policy) {
+    case ThresholdPolicy::kStatic: return "static";
+    case ThresholdPolicy::kSpot: return "spot";
+  }
+  return "unknown";
+}
+
+StatusOr<ThresholdPolicy> ParseThresholdPolicy(const std::string& name) {
+  if (name == "static") return ThresholdPolicy::kStatic;
+  if (name == "spot") return ThresholdPolicy::kSpot;
+  return Status::InvalidArgument("unknown threshold policy '" + name +
+                                 "' (expected static|spot)");
+}
+
 std::vector<int> ApplyThreshold(const std::vector<double>& scores,
                                 double threshold) {
   std::vector<int> flags(scores.size());
   for (size_t i = 0; i < scores.size(); ++i) {
-    flags[i] = scores[i] > threshold ? 1 : 0;
+    flags[i] = ThresholdExceeded(scores[i], threshold) ? 1 : 0;
+  }
+  return flags;
+}
+
+std::vector<int> ApplyThreshold(const std::vector<double>& scores,
+                                double threshold,
+                                int64_t* non_finite_scores) {
+  std::vector<int> flags(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (!std::isfinite(scores[i])) ++*non_finite_scores;
+    flags[i] = ThresholdExceeded(scores[i], threshold) ? 1 : 0;
   }
   return flags;
 }

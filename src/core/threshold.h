@@ -6,6 +6,8 @@
 #ifndef CAEE_CORE_THRESHOLD_H_
 #define CAEE_CORE_THRESHOLD_H_
 
+#include <cmath>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -20,6 +22,27 @@ enum class ThresholdStrategy {
   kMaxRef,    // strictly above the maximum reference score
 };
 
+/// \brief HOW a serving session turns scores into verdicts — orthogonal to
+/// ThresholdStrategy (which picks the static scalar at calibration time).
+/// Selected per session in the serve layer; docs/thresholds.md.
+enum class ThresholdPolicy {
+  kStatic,  // one calibrated scalar, frozen at train time
+  kSpot,    // per-stream streaming Peaks-Over-Threshold (core/spot.h)
+};
+
+/// \brief CLI/protocol name of a policy ("static" / "spot").
+const char* ThresholdPolicyName(ThresholdPolicy policy);
+/// \brief Inverse of ThresholdPolicyName; InvalidArgument on anything else.
+StatusOr<ThresholdPolicy> ParseThresholdPolicy(const std::string& name);
+
+/// \brief NaN-safe verdict for one score: a non-finite score ALWAYS flags.
+/// `score > threshold` alone is false for NaN — a scoring-path numeric bug
+/// would read as "all clear", the one answer an outlier detector must
+/// never give by accident.
+inline bool ThresholdExceeded(double score, double threshold) {
+  return !std::isfinite(score) || score > threshold;
+}
+
 struct ThresholdConfig {
   ThresholdStrategy strategy = ThresholdStrategy::kTopK;
   double top_k_percent = 5.0;  // kTopK: expected outlier ratio
@@ -31,9 +54,16 @@ struct ThresholdConfig {
 StatusOr<double> CalibrateThreshold(const std::vector<double>& reference_scores,
                                     const ThresholdConfig& config);
 
-/// \brief Apply a threshold: flags[i] = scores[i] > threshold.
+/// \brief Apply a threshold: flags[i] = ThresholdExceeded(scores[i]) — a
+/// non-finite score flags as an outlier, never as benign.
 std::vector<int> ApplyThreshold(const std::vector<double>& scores,
                                 double threshold);
+
+/// \brief Same, and additionally counts the non-finite scores into
+/// *non_finite_scores (not reset first — callers accumulate).
+std::vector<int> ApplyThreshold(const std::vector<double>& scores,
+                                double threshold,
+                                int64_t* non_finite_scores);
 
 }  // namespace core
 }  // namespace caee

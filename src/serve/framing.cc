@@ -114,8 +114,26 @@ Status ReadFrame(std::istream& in, Frame* frame, bool* eof) {
   return Status::OK();
 }
 
+namespace {
+
+// Wire codes of the open frame's optional policy byte. Distinct from the
+// ThresholdPolicy enum values on purpose: the wire encoding is frozen by
+// docs/protocol.md, the C++ enum is free to change.
+constexpr uint8_t kWirePolicyStatic = 1;
+constexpr uint8_t kWirePolicySpot = 2;
+
+}  // namespace
+
 Frame MakeOpenFrame(int64_t stream_id) {
   return MakeFrame(FrameType::kOpen, stream_id);
+}
+
+Frame MakeOpenFrame(int64_t stream_id, core::ThresholdPolicy policy) {
+  Frame frame = MakeFrame(FrameType::kOpen, stream_id);
+  frame.payload.push_back(policy == core::ThresholdPolicy::kSpot
+                              ? kWirePolicySpot
+                              : kWirePolicyStatic);
+  return frame;
 }
 
 Frame MakeCloseFrame(int64_t stream_id) {
@@ -165,6 +183,30 @@ Frame MakeErrorFrame(int64_t stream_id, const Status& status) {
 
 Frame MakeBackpressureFrame(int64_t stream_id) {
   return MakeFrame(FrameType::kBackpressure, stream_id);
+}
+
+Status ParseOpenPolicy(const Frame& frame,
+                       std::optional<core::ThresholdPolicy>* policy) {
+  CAEE_RETURN_NOT_OK(CheckTypeAndSize(frame, FrameType::kOpen, 0, "open"));
+  policy->reset();
+  if (frame.payload.empty()) return Status::OK();
+  if (frame.payload.size() != 1) {
+    return Status::InvalidArgument(
+        "open payload is " + std::to_string(frame.payload.size()) +
+        " bytes; expected empty (server default) or 1 policy byte");
+  }
+  switch (frame.payload[0]) {
+    case kWirePolicyStatic:
+      *policy = core::ThresholdPolicy::kStatic;
+      return Status::OK();
+    case kWirePolicySpot:
+      *policy = core::ThresholdPolicy::kSpot;
+      return Status::OK();
+    default:
+      return Status::InvalidArgument(
+          "unknown open policy byte " + std::to_string(frame.payload[0]) +
+          " (expected 1 = static, 2 = spot)");
+  }
 }
 
 Status ParseObserve(const Frame& frame, std::vector<float>* values) {

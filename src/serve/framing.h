@@ -33,11 +33,13 @@
 
 #include <cstdint>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "core/threshold.h"
 #include "serve/shard.h"
 
 namespace caee {
@@ -57,7 +59,8 @@ inline constexpr uint32_t kMaxFrameBytes = 1u << 20;
 
 enum class FrameType : uint8_t {
   // Requests.
-  kOpen = 1,      // open a session; empty payload
+  kOpen = 1,      // open a session; empty payload = the server's default
+                  // threshold policy, or 1 byte: 1 = static, 2 = spot
   kClose = 2,     // close a session (owning shard drains); empty payload
   kObserve = 3,   // one observation: u32 count, count x f32
   kFlush = 4,     // flush every shard now; stream_id 0; empty payload
@@ -93,6 +96,11 @@ Status ReadFrame(std::istream& in, Frame* frame, bool* eof);
 
 // Request encoders.
 Frame MakeOpenFrame(int64_t stream_id);
+/// \brief Open with an explicit threshold policy (1-byte payload). The
+/// no-policy form writes an EMPTY payload — byte-identical to what
+/// pre-policy clients sent, which is why this rode in without a framing
+/// version bump (docs/protocol.md "Version and evolution policy").
+Frame MakeOpenFrame(int64_t stream_id, core::ThresholdPolicy policy);
 Frame MakeCloseFrame(int64_t stream_id);
 Frame MakeObserveFrame(int64_t stream_id, const std::vector<float>& values);
 Frame MakeFlushFrame();
@@ -105,6 +113,11 @@ Frame MakeBackpressureFrame(int64_t stream_id);
 
 // Payload decoders. Each validates the frame's type and exact payload
 // size/contents and returns InvalidArgument on mismatch.
+/// \brief Decode an open frame's policy selector: nullopt for the legacy
+/// empty payload (use the server default), the policy for a valid 1-byte
+/// payload, InvalidArgument for anything else.
+Status ParseOpenPolicy(const Frame& frame,
+                       std::optional<core::ThresholdPolicy>* policy);
 Status ParseObserve(const Frame& frame, std::vector<float>* values);
 Status ParseScore(const Frame& frame, StreamScore* score);
 Status ParseError(const Frame& frame, Status* error);

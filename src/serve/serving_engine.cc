@@ -1,21 +1,35 @@
 #include "serve/serving_engine.h"
 
+#include <algorithm>
+#include <utility>
+
 namespace caee {
 namespace serve {
 
 ServingEngine::ServingEngine(const core::CaeEnsemble* ensemble,
                              const ServeConfig& config,
-                             std::optional<double> threshold)
+                             std::optional<double> threshold,
+                             std::optional<core::SpotInit> spot)
     : config_(config), threshold_(threshold) {
   CAEE_CHECK_MSG(config_.num_shards >= 1, "num_shards must be >= 1");
+  if (spot.has_value()) {
+    const Status valid = core::ValidateSpotInit(*spot);
+    CAEE_CHECK_MSG(valid.ok(), "ServingEngine: invalid SPOT init params");
+    spot_ = std::make_unique<const core::SpotInit>(std::move(*spot));
+  }
+  CAEE_CHECK_MSG(
+      config_.threshold_policy != core::ThresholdPolicy::kSpot ||
+          spot_ != nullptr,
+      "default threshold policy kSpot needs SPOT init params");
   ShardConfig shard_config;
   shard_config.max_batch = config_.max_batch;
   shard_config.flush_deadline_ms = config_.flush_deadline_ms;
   shard_config.max_pending = config_.max_pending;
   shards_.reserve(static_cast<size_t>(config_.num_shards));
   for (int64_t s = 0; s < config_.num_shards; ++s) {
-    shards_.push_back(
-        std::make_unique<EngineShard>(ensemble, shard_config, threshold));
+    shards_.push_back(std::make_unique<EngineShard>(
+        ensemble, shard_config, threshold, config_.threshold_policy,
+        spot_.get()));
   }
 }
 
@@ -31,7 +45,13 @@ size_t ServingEngine::ShardOf(int64_t stream_id, size_t num_shards) {
 }
 
 Status ServingEngine::OpenStream(int64_t stream_id) {
-  return ShardFor(stream_id).OpenStream(stream_id);
+  return ShardFor(stream_id).OpenStream(stream_id,
+                                        config_.threshold_policy);
+}
+
+Status ServingEngine::OpenStream(int64_t stream_id,
+                                 core::ThresholdPolicy policy) {
+  return ShardFor(stream_id).OpenStream(stream_id, policy);
 }
 
 Status ServingEngine::CloseStream(int64_t stream_id,
@@ -57,6 +77,19 @@ Status ServingEngine::FlushIfExpired(std::vector<StreamScore>* out) {
     CAEE_RETURN_NOT_OK(shard->FlushIfExpired(out));
   }
   return Status::OK();
+}
+
+EngineStats ServingEngine::Stats() const {
+  EngineStats total;
+  for (const auto& shard : shards_) {
+    const EngineStats s = shard->Stats();
+    total.scored_windows += s.scored_windows;
+    total.alerts += s.alerts;
+    total.non_finite_scores += s.non_finite_scores;
+    total.drift_window += s.drift_window;
+    total.drift = std::max(total.drift, s.drift);
+  }
+  return total;
 }
 
 int64_t ServingEngine::num_streams() const {

@@ -72,22 +72,37 @@ struct ServeConfig {
   /// enqueue a ready window past it is rejected with ResourceExhausted and
   /// consumes nothing. 0 = unbounded.
   int64_t max_pending = 0;
+  /// Threshold policy for sessions opened without an explicit one
+  /// (docs/thresholds.md). kStatic keeps every verdict, golden constant,
+  /// and benchmark checksum exactly as before; kSpot requires the engine
+  /// to be constructed with SPOT init params.
+  core::ThresholdPolicy threshold_policy = core::ThresholdPolicy::kStatic;
 };
 
 class ServingEngine {
  public:
   /// \brief The ensemble must be fitted and outlive the engine. `threshold`
-  /// is the calibrated alert threshold from the artifact (flags stay false
-  /// without one). Aborts on max_batch < 1, num_shards < 1, or an unfitted
-  /// ensemble — construction arguments are programmer input, not tenant
-  /// input.
+  /// is the calibrated alert threshold from the artifact (kStatic flags
+  /// stay false without one — except that non-finite scores always flag).
+  /// `spot` carries the artifact's SPOT init params; without them kSpot
+  /// sessions cannot be opened. Aborts on max_batch < 1, num_shards < 1,
+  /// an unfitted ensemble, a kSpot default policy without init params, or
+  /// init params that fail core::ValidateSpotInit — construction arguments
+  /// are programmer input, not tenant input.
   ServingEngine(const core::CaeEnsemble* ensemble, const ServeConfig& config,
-                std::optional<double> threshold = std::nullopt);
+                std::optional<double> threshold = std::nullopt,
+                std::optional<core::SpotInit> spot = std::nullopt);
 
-  /// \brief Open a session on the stream's shard. FailedPrecondition if
-  /// `stream_id` is already open. Streams warm up independently: the first
-  /// w-1 observations of a fresh session score nothing.
+  /// \brief Open a session on the stream's shard with the engine's default
+  /// threshold policy. FailedPrecondition if `stream_id` is already open.
+  /// Streams warm up independently: the first w-1 observations of a fresh
+  /// session score nothing.
   Status OpenStream(int64_t stream_id);
+
+  /// \brief Open a session with an explicit per-session threshold policy
+  /// (the wire protocols' `open,<id>,spot` / policy byte). kSpot on an
+  /// engine without SPOT init params is FailedPrecondition.
+  Status OpenStream(int64_t stream_id, core::ThresholdPolicy policy);
 
   /// \brief Close a session. The OWNING SHARD's pending queue is flushed
   /// first so no enqueued window of this (or any co-sharded) stream is
@@ -118,6 +133,12 @@ class ServingEngine {
   /// mid-batch.
   Status FlushIfExpired(std::vector<StreamScore>* out);
 
+  /// \brief Monitoring counters summed across shards; `drift` is the MAX
+  /// over shards (a healthy fleet with one drifting shard should read as
+  /// drifting, not averaged away). See EngineStats (serve/shard.h) and
+  /// docs/thresholds.md.
+  EngineStats Stats() const;
+
   /// \brief Open sessions across all shards.
   int64_t num_streams() const;
   /// \brief Ready windows currently waiting for a batch slot, all shards.
@@ -131,6 +152,9 @@ class ServingEngine {
   int64_t num_shards() const { return static_cast<int64_t>(shards_.size()); }
   const ServeConfig& config() const { return config_; }
   std::optional<double> threshold() const { return threshold_; }
+  /// \brief The loaded SPOT init params, or nullptr — i.e. whether kSpot
+  /// sessions can be opened.
+  const core::SpotInit* spot() const { return spot_.get(); }
 
   /// \brief The stream -> shard assignment (SplitMix64 hash mod
   /// num_shards). Exposed so tests and capacity tooling can reason about
@@ -145,6 +169,9 @@ class ServingEngine {
 
   ServeConfig config_;
   std::optional<double> threshold_;
+  // Heap-owned so its address survives an engine move — every shard holds
+  // a raw pointer to these shared, immutable init params.
+  std::unique_ptr<const core::SpotInit> spot_;
   // unique_ptr per shard: EngineShard owns a mutex (immovable), and each
   // shard gets its own cache-line neighborhood instead of sharing one
   // contiguous allocation with its siblings.

@@ -1,6 +1,7 @@
 #include "serve/shard.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <string>
 #include <utility>
@@ -102,18 +103,42 @@ size_t StreamIndex::MemoryBytes() const {
 
 EngineShard::EngineShard(const core::CaeEnsemble* ensemble,
                          const ShardConfig& config,
-                         std::optional<double> threshold)
-    : ensemble_(ensemble), config_(config), threshold_(threshold) {
+                         std::optional<double> threshold,
+                         core::ThresholdPolicy default_policy,
+                         const core::SpotInit* spot)
+    : ensemble_(ensemble),
+      config_(config),
+      threshold_(threshold),
+      default_policy_(default_policy),
+      spot_(spot) {
   CAEE_CHECK_MSG(ensemble_ != nullptr, "null ensemble");
   CAEE_CHECK_MSG(ensemble_->fitted(), "EngineShard needs a fitted ensemble");
   CAEE_CHECK_MSG(config_.max_batch >= 1, "max_batch must be >= 1");
+  CAEE_CHECK_MSG(default_policy_ != core::ThresholdPolicy::kSpot ||
+                     spot_ != nullptr,
+                 "default policy kSpot needs SPOT init params");
   window_ = ensemble_->config().window;
   dims_ = ensemble_->input_dim();
   ring_stride_ = static_cast<size_t>(window_ * dims_);
+  spot_stride_ =
+      spot_ != nullptr ? static_cast<size_t>(spot_->config.peak_capacity) : 0;
+  if (spot_ != nullptr) {
+    // Drift needs the calibration baseline, so it exists exactly when
+    // SPOT params do. Fixed capacity up front: drift updates never
+    // allocate.
+    drift_ring_.resize(kDriftWindow, 0);
+  }
 }
 
-Status EngineShard::OpenStream(int64_t stream_id) {
+Status EngineShard::OpenStream(int64_t stream_id,
+                               core::ThresholdPolicy policy) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (policy == core::ThresholdPolicy::kSpot && spot_ == nullptr) {
+    return Status::FailedPrecondition(
+        "stream " + std::to_string(stream_id) +
+        " requested the spot policy but the engine has no SPOT init "
+        "params (train with --spot; docs/thresholds.md)");
+  }
   if (index_.Find(stream_id) != StreamIndex::kNotFound) {
     return Status::FailedPrecondition(
         "stream " + std::to_string(stream_id) + " is already open");
@@ -126,8 +151,19 @@ Status EngineShard::OpenStream(int64_t stream_id) {
     slot = static_cast<uint32_t>(sessions_.size());
     sessions_.emplace_back();
     rings_.resize(rings_.size() + ring_stride_);
+    policies_.push_back(0);
+    if (spot_ != nullptr) {
+      spot_tails_.emplace_back();
+      spot_peaks_.resize(spot_peaks_.size() + spot_stride_);
+    }
   }
   sessions_[slot] = PackedSession{};  // recycled slots start cold
+  policies_[slot] = static_cast<uint8_t>(policy);
+  if (policy == core::ThresholdPolicy::kSpot) {
+    // A fresh (or recycled) session restarts SPOT from the calibrated
+    // init, matching the cold window ring.
+    core::SpotSeedTail(*spot_, &spot_tails_[slot], SpotPeaksOf(slot));
+  }
   index_.Insert(stream_id, slot);
   return Status::OK();
 }
@@ -163,6 +199,14 @@ Status EngineShard::Push(int64_t stream_id,
     return Status::InvalidArgument(
         "observation has " + std::to_string(observation.size()) +
         " dims but the stream carries " + std::to_string(dims_));
+  }
+  // Like the width check: rejected BEFORE any state changes (the same
+  // guard core::WindowState::Push applies on the single-stream path).
+  for (float v : observation) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument(
+          "observation contains a non-finite value");
+    }
   }
   PackedSession& session = sessions_[slot];
   const bool will_enqueue = session.count + 1 >= window_;
@@ -258,13 +302,67 @@ Status EngineShard::FlushLocked(std::vector<StreamScore>* out) {
       result.stream_id = p.stream_id;
       result.index = p.index;
       result.score = batch_scores_[static_cast<size_t>(b)];
-      result.flag = threshold_.has_value() && result.score > *threshold_;
+      result.flag = VerdictLocked(p.stream_id, result.score);
       if (out != nullptr) out->push_back(result);
     }
     next += static_cast<size_t>(batch);
   }
   pending_count_ = 0;
   return Status::OK();
+}
+
+bool EngineShard::VerdictLocked(int64_t stream_id, double score) {
+  ++stats_.scored_windows;
+  const bool finite = std::isfinite(score);
+  if (!finite) ++stats_.non_finite_scores;
+
+  // Verdicts run in per-shard arrival order (FlushLocked walks the queue
+  // front to back), which preserves each stream's own observation order —
+  // the whole SPOT determinism argument. The close protocol drains this
+  // queue before the session is erased, so the slot lookup can only miss
+  // if a caller bypasses it; fall back to the static verdict then.
+  bool flag;
+  const uint32_t slot = index_.Find(stream_id);
+  if (slot != StreamIndex::kNotFound &&
+      policies_[slot] ==
+          static_cast<uint8_t>(core::ThresholdPolicy::kSpot)) {
+    flag = core::SpotObserve(*spot_, &spot_tails_[slot], SpotPeaksOf(slot),
+                             score);
+  } else {
+    // NaN-safe static verdict: a non-finite score always flags, even
+    // without a calibrated threshold (`score > *threshold_` alone is
+    // false for NaN — the silent-non-alert bug this replaced).
+    flag = !finite || (threshold_.has_value() && score > *threshold_);
+  }
+  if (flag) ++stats_.alerts;
+
+  if (spot_ != nullptr) {
+    // Drift ring: exceed bit vs the CALIBRATION peaks threshold t (not
+    // the adaptive z — the point is to compare live traffic against what
+    // the artifact promised). Non-finite scores count as exceeds.
+    const uint8_t exceed = (!finite || score > spot_->t) ? 1 : 0;
+    if (drift_count_ == kDriftWindow) {
+      drift_exceed_ -= drift_ring_[drift_head_];
+    } else {
+      ++drift_count_;
+    }
+    drift_ring_[drift_head_] = exceed;
+    drift_head_ = (drift_head_ + 1) % kDriftWindow;
+    drift_exceed_ += exceed;
+  }
+  return flag;
+}
+
+EngineStats EngineShard::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  EngineStats stats = stats_;
+  stats.drift_window = drift_count_;
+  if (spot_ != nullptr && drift_count_ > 0) {
+    const double observed = static_cast<double>(drift_exceed_) /
+                            static_cast<double>(drift_count_);
+    stats.drift = std::abs(observed - (1.0 - spot_->config.level));
+  }
+  return stats;
 }
 
 int64_t EngineShard::num_streams() const {
@@ -282,6 +380,10 @@ size_t EngineShard::MemoryBytes() const {
   size_t bytes = sizeof(*this);
   bytes += rings_.capacity() * sizeof(float);
   bytes += sessions_.capacity() * sizeof(PackedSession);
+  bytes += policies_.capacity() * sizeof(uint8_t);
+  bytes += spot_tails_.capacity() * sizeof(core::SpotTail);
+  bytes += spot_peaks_.capacity() * sizeof(double);
+  bytes += drift_ring_.capacity() * sizeof(uint8_t);
   bytes += free_slots_.capacity() * sizeof(uint32_t);
   bytes += index_.MemoryBytes();
   bytes += pending_.capacity() * sizeof(PendingWindow);

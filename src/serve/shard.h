@@ -20,6 +20,11 @@
 //     Slots of closed streams are recycled through a free list. The ring
 //     geometry itself (seam copy, head advance) is shared with
 //     core::WindowState via its static WriteRingRow / CopyRingWindow.
+//     Per-session SPOT threshold state follows the same discipline: a
+//     48-byte core::SpotTail cursor per slot plus one contiguous
+//     peak-ring slab (peak_capacity doubles per slot), allocated only
+//     when the engine carries SPOT init params (docs/thresholds.md,
+//     docs/capacity.md).
 //   - Admission control: ShardConfig::max_pending bounds the shard's
 //     pending pool. A push that would enqueue a ready window past the bound
 //     is rejected with ResourceExhausted BEFORE any state changes — the
@@ -44,19 +49,43 @@
 #include <vector>
 
 #include "core/ensemble.h"
+#include "core/spot.h"
+#include "core/threshold.h"
 
 namespace caee {
 namespace serve {
 
 /// \brief One scored observation: which stream, its index within that
-/// stream, the outlier score, and the threshold verdict (always false when
-/// the engine has no threshold).
+/// stream, the outlier score, and the threshold verdict (false when a
+/// kStatic session has no threshold; NON-FINITE SCORES ALWAYS FLAG under
+/// either policy — docs/thresholds.md).
 struct StreamScore {
   int64_t stream_id = 0;
   int64_t index = 0;
   double score = 0.0;
   bool flag = false;
 };
+
+/// \brief Monitoring counters the engine aggregates across its shards
+/// (ServingEngine::Stats). Counters are cumulative since construction;
+/// `drift` is the current value of the score-distribution drift statistic
+/// (docs/thresholds.md): over a per-shard ring of the last kDriftWindow
+/// scores, |rate(score > calibration t) - (1 - level)| — how far the live
+/// exceed rate has moved from what the artifact's calibration promised.
+/// Only meaningful when the engine carries SPOT init params (the
+/// calibration summary IS the baseline); 0 otherwise.
+struct EngineStats {
+  int64_t scored_windows = 0;
+  int64_t alerts = 0;              // flagged verdicts, either policy
+  int64_t non_finite_scores = 0;   // NaN/inf scores (always flagged)
+  int64_t drift_window = 0;        // scores in the drift ring (all shards)
+  double drift = 0.0;              // max over shards; in [0, 1]
+};
+
+/// \brief Scores per shard the drift statistic is computed over. Small
+/// enough to react within a few batches, large enough that the exceed
+/// rate at level 0.98 has ~5 expected hits when healthy.
+inline constexpr uint32_t kDriftWindow = 256;
 
 /// \brief Per-shard policy knobs (ServingEngine copies them out of its
 /// ServeConfig, one copy per shard).
@@ -112,14 +141,20 @@ class StreamIndex {
 class EngineShard {
  public:
   /// \brief The ensemble must be fitted and outlive the shard; `threshold`
-  /// semantics match ServingEngine's.
+  /// semantics match ServingEngine's. `default_policy` is the policy
+  /// sessions opened without an explicit one get; `spot` points at the
+  /// ENGINE-owned, loader-validated SPOT init params (shared by every
+  /// shard, address-stable for the shard's lifetime), or nullptr when the
+  /// engine is not SPOT-capable — opening a kSpot session then fails.
   EngineShard(const core::CaeEnsemble* ensemble, const ShardConfig& config,
-              std::optional<double> threshold);
+              std::optional<double> threshold,
+              core::ThresholdPolicy default_policy,
+              const core::SpotInit* spot);
 
   // The five engine operations, scoped to this shard's streams and queue.
   // Semantics (including error codes) match the engine-level doc comments
   // in serving_engine.h; CloseStream drains THIS shard's queue only.
-  Status OpenStream(int64_t stream_id);
+  Status OpenStream(int64_t stream_id, core::ThresholdPolicy policy);
   Status CloseStream(int64_t stream_id, std::vector<StreamScore>* out);
   Status Push(int64_t stream_id, const std::vector<float>& observation,
               std::vector<StreamScore>* out);
@@ -128,9 +163,12 @@ class EngineShard {
 
   int64_t num_streams() const;
   int64_t pending_windows() const;
+  /// \brief This shard's contribution to ServingEngine::Stats().
+  EngineStats Stats() const;
   /// \brief Bytes of heap owned by this shard: ring slab, session records,
-  /// index table, free list, pending pool, staging buffers (all counted at
-  /// CAPACITY — the steady-state footprint, not the instantaneous one).
+  /// SPOT tail records + peak slab, index table, free list, pending pool,
+  /// staging buffers (all counted at CAPACITY — the steady-state
+  /// footprint, not the instantaneous one).
   size_t MemoryBytes() const;
 
  private:
@@ -153,22 +191,46 @@ class EngineShard {
   /// appending results in arrival order. Requires mu_ held.
   Status FlushLocked(std::vector<StreamScore>* out);
 
+  /// \brief Threshold verdict + stats/drift update for one scored window,
+  /// applied in arrival order (the SPOT determinism contract hangs on this
+  /// ordering). Requires mu_ held.
+  bool VerdictLocked(int64_t stream_id, double score);
+
   float* RingOf(uint32_t slot) {
     return rings_.data() + static_cast<size_t>(slot) * ring_stride_;
+  }
+  double* SpotPeaksOf(uint32_t slot) {
+    return spot_peaks_.data() + static_cast<size_t>(slot) * spot_stride_;
   }
 
   const core::CaeEnsemble* ensemble_;
   ShardConfig config_;
   std::optional<double> threshold_;
+  core::ThresholdPolicy default_policy_;
+  const core::SpotInit* spot_;  // engine-owned; nullptr = not SPOT-capable
   int64_t window_;
   int64_t dims_;
   size_t ring_stride_;  // window_ * dims_ floats per ring slot
+  size_t spot_stride_;  // peak_capacity doubles per slot (0 without spot_)
 
   mutable std::mutex mu_;
   StreamIndex index_;
   std::vector<PackedSession> sessions_;  // slot-indexed, parallel to rings_
   std::vector<float> rings_;             // session ring slab
   std::vector<uint32_t> free_slots_;     // slots of closed streams
+  // Per-session threshold policy + SPOT state, slot-parallel to sessions_.
+  // The SPOT vectors stay empty on non-SPOT-capable shards, so a static
+  // deployment pays one policy byte per stream and nothing else.
+  std::vector<uint8_t> policies_;          // core::ThresholdPolicy per slot
+  std::vector<core::SpotTail> spot_tails_;
+  std::vector<double> spot_peaks_;         // peak-ring slab
+
+  // Stats + drift ring (docs/thresholds.md), all guarded by mu_.
+  EngineStats stats_;
+  std::vector<uint8_t> drift_ring_;  // exceed bit per recent score
+  uint32_t drift_head_ = 0;
+  uint32_t drift_count_ = 0;
+  uint32_t drift_exceed_ = 0;        // set bits in the ring
 
   // Pending queue as a reuse pool: the first pending_count_ entries of
   // pending_ are live, in arrival order; entries past that keep their

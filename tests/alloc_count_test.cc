@@ -19,6 +19,7 @@
 #include <gtest/gtest.h>
 
 #include "core/ensemble.h"
+#include "core/spot.h"
 #include "infer/arena.h"
 #include "serve/serving_engine.h"
 #include "test_util.h"
@@ -127,6 +128,80 @@ TEST(AllocCountTest, SteadyStateServingAllocatesNothing) {
       << "activation arena grew after warm-up";
   // The window really did score work: 80 ticks x 2 warm streams.
   EXPECT_GE(results.size(), 160u);
+}
+
+// kSpot variant: the per-stream SPOT update (ring write + moments + GPD
+// refit + drift ring) runs inside the same counting window and must also
+// be allocation-free — the policy was designed as pure arithmetic over
+// the shard's packed slabs (docs/thresholds.md "In the sharded engine").
+TEST(AllocCountTest, SteadyStateSpotServingAllocatesNothing) {
+  core::EnsembleConfig config;
+  config.cae.embed_dim = 8;
+  config.cae.num_layers = 2;
+  config.window = 8;
+  config.num_models = 3;
+  config.epochs_per_model = 1;
+  config.batch_size = 16;
+  config.max_train_windows = 48;
+  config.num_threads = 1;
+  config.seed = 3;
+  const int64_t dims = 4;
+
+  core::CaeEnsemble ensemble(config);
+  const ts::TimeSeries train = testutil::PlantedSeries(96, dims, 4);
+  ASSERT_TRUE(ensemble.Fit(train).ok());
+
+  auto reference = ensemble.Score(train);
+  ASSERT_TRUE(reference.ok());
+  core::SpotConfig spot_config;
+  spot_config.level = 0.8;
+  spot_config.q = 0.05;
+  spot_config.peak_capacity = 16;
+  auto init = core::CalibrateSpot(reference.value(), spot_config);
+  ASSERT_TRUE(init.ok()) << init.status();
+
+  serve::ServeConfig serve_config;
+  serve_config.max_batch = 4;
+  serve_config.flush_deadline_ms = 0;
+  serve_config.threshold_policy = core::ThresholdPolicy::kSpot;
+  serve::ServingEngine engine(&ensemble, serve_config, std::nullopt,
+                              std::move(init).value());
+  const int64_t kStreams = 2;
+  for (int64_t s = 0; s < kStreams; ++s) {
+    ASSERT_TRUE(engine.OpenStream(s).ok());
+  }
+
+  std::vector<float> row(static_cast<size_t>(dims));
+  std::vector<serve::StreamScore> results;
+  results.reserve(4096);
+  auto push_tick = [&](int64_t t) {
+    bool ok = true;
+    for (int64_t s = 0; s < kStreams; ++s) {
+      for (int64_t j = 0; j < dims; ++j) {
+        row[static_cast<size_t>(j)] =
+            static_cast<float>(0.1 * static_cast<double>(t + s * 7 + j));
+      }
+      ok = engine.Push(s, row, &results).ok() && ok;
+    }
+    return ok;
+  };
+
+  for (int64_t t = 0; t < 40; ++t) ASSERT_TRUE(push_tick(t));
+  ASSERT_TRUE(engine.Flush(&results).ok());
+  ASSERT_GT(results.size(), 0u);
+
+  bool pushes_ok = true;
+  const int64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int64_t t = 40; t < 120; ++t) pushes_ok = push_tick(t) && pushes_ok;
+  const int64_t after = g_allocations.load(std::memory_order_relaxed);
+
+  ASSERT_TRUE(pushes_ok);
+  EXPECT_EQ(after - before, 0)
+      << "steady-state SPOT serving performed heap allocations";
+  EXPECT_GE(results.size(), 160u);
+  // The policy actually ran: SPOT counters advanced past the seed.
+  const serve::EngineStats stats = engine.Stats();
+  EXPECT_GE(stats.scored_windows, 160);
 }
 
 // Direct ensemble-level variant: ScoreWindowsLastInto on a raw buffer is

@@ -2,6 +2,7 @@
 // outlier repair (the paper's future-work direction).
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -208,6 +209,119 @@ TEST(RepairTest, EndToEndCleaningReducesDeviation) {
     }
   }
   EXPECT_LT(err_after, 0.2 * err_before);
+}
+
+// ---------------------------------------------------------------------------
+// Bugfix regressions: nearest-rank quantile edges, NaN-safe verdicts,
+// repair boundary cases (the PR-7 sweep — docs/thresholds.md).
+// ---------------------------------------------------------------------------
+
+TEST(ThresholdTest, QuantileNearestRankEdges) {
+  // Nearest-rank ceil(q*n) - 1 at the edges. The pre-fix truncation
+  // `q*n` read one rank high: q=0.5 over {1,2,3,4} returned 3, not 2.
+  core::ThresholdConfig cfg;
+  cfg.strategy = core::ThresholdStrategy::kQuantile;
+  const std::vector<double> scores = {1.0, 2.0, 3.0, 4.0};
+
+  cfg.quantile = 0.0;  // rank clamps to 1 -> the minimum
+  EXPECT_EQ(*core::CalibrateThreshold(scores, cfg), 1.0);
+  cfg.quantile = 0.5;  // ceil(0.5 * 4) = 2 -> sorted[1]
+  EXPECT_EQ(*core::CalibrateThreshold(scores, cfg), 2.0);
+  cfg.quantile = 1.0;  // ceil(4) = 4 -> the maximum, never out of range
+  EXPECT_EQ(*core::CalibrateThreshold(scores, cfg), 4.0);
+
+  // n = 1: every quantile is the one sample.
+  for (double q : {0.0, 0.3, 0.5, 1.0}) {
+    cfg.quantile = q;
+    EXPECT_EQ(*core::CalibrateThreshold({7.5}, cfg), 7.5) << "q " << q;
+  }
+
+  // Odd-n median lands on the middle element.
+  cfg.quantile = 0.5;
+  EXPECT_EQ(*core::CalibrateThreshold({5.0, 1.0, 3.0}, cfg), 3.0);
+}
+
+TEST(ThresholdTest, NonFiniteScoreAlwaysFlags) {
+  // The alerting bugfix: `score > threshold` is false for NaN, so a NaN
+  // score silently passed as normal. ThresholdExceeded must flag every
+  // non-finite score no matter the threshold.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (double threshold : {-1.0, 0.0, 1e12, inf}) {
+    EXPECT_TRUE(core::ThresholdExceeded(nan, threshold)) << threshold;
+    EXPECT_TRUE(core::ThresholdExceeded(inf, threshold)) << threshold;
+    EXPECT_TRUE(core::ThresholdExceeded(-inf, threshold)) << threshold;
+  }
+  EXPECT_FALSE(core::ThresholdExceeded(1.0, 2.0));
+  EXPECT_TRUE(core::ThresholdExceeded(3.0, 2.0));
+
+  int64_t non_finite = 0;
+  const auto flags =
+      core::ApplyThreshold({1.0, nan, 5.0, -inf, inf}, 2.0, &non_finite);
+  EXPECT_EQ(flags, (std::vector<int>{0, 1, 1, 1, 1}));
+  EXPECT_EQ(non_finite, 3);
+  // The counting overload and the plain overload agree on the verdicts.
+  EXPECT_EQ(core::ApplyThreshold({1.0, nan, 5.0, -inf, inf}, 2.0), flags);
+}
+
+TEST(RepairTest, RejectsEmptySeries) {
+  // Pre-fix, an empty series with empty flags slid past the length check
+  // and "repaired" nothing while reporting success.
+  ts::TimeSeries empty(0, 2);
+  for (auto strategy :
+       {core::RepairStrategy::kInterpolate, core::RepairStrategy::kPrevious,
+        core::RepairStrategy::kMean}) {
+    EXPECT_EQ(core::RepairOutliers(empty, {}, strategy).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(RepairTest, SingleElementSeries) {
+  ts::TimeSeries s(1, 1);
+  s.value(0, 0) = 4.0f;
+  for (auto strategy :
+       {core::RepairStrategy::kInterpolate, core::RepairStrategy::kPrevious,
+        core::RepairStrategy::kMean}) {
+    // Unflagged: identity. Flagged: fully-flagged rejection (there is no
+    // clean neighbor to repair from) — not a divide-by-zero.
+    auto ok = core::RepairOutliers(s, {0}, strategy);
+    ASSERT_TRUE(ok.ok());
+    EXPECT_EQ(ok->series.value(0, 0), 4.0f);
+    EXPECT_EQ(ok->repaired_count, 0);
+    EXPECT_EQ(core::RepairOutliers(s, {1}, strategy).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(RepairTest, LeadingAndTrailingRunsAcrossStrategies) {
+  // One clean island at t=2 (value 2, 4): every strategy must anchor both
+  // the leading and the trailing flagged run on it without reading
+  // garbage past either end.
+  auto corrupted = [] {
+    ts::TimeSeries s = LinearSeries(5);
+    for (int64_t t : {0, 1, 3, 4}) {
+      s.value(t, 0) = 777.0f;
+      s.value(t, 1) = -777.0f;
+    }
+    return s;
+  }();
+  const std::vector<int> flags = {1, 1, 0, 1, 1};
+  for (auto strategy :
+       {core::RepairStrategy::kInterpolate, core::RepairStrategy::kPrevious,
+        core::RepairStrategy::kMean}) {
+    auto result = core::RepairOutliers(corrupted, flags, strategy);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->repaired_count, 4);
+    for (int64_t t = 0; t < 5; ++t) {
+      // The only clean value is (2, 4): interpolate extends it flat past
+      // both edges, previous carries it (backfilling the lead), mean of
+      // the clean set IS it. All three repair to exactly the island.
+      EXPECT_EQ(result->series.value(t, 0), 2.0f)
+          << "t " << t << " strategy " << static_cast<int>(strategy);
+      EXPECT_EQ(result->series.value(t, 1), 4.0f)
+          << "t " << t << " strategy " << static_cast<int>(strategy);
+    }
+  }
 }
 
 }  // namespace

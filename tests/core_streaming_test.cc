@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/streaming.h"
 #include "test_util.h"
 
@@ -250,6 +252,29 @@ TEST(WindowStateTest, RejectsWrongWidthOnEveryPushWithoutSideEffects) {
   }
   EXPECT_EQ(state.seen(), 1);
   EXPECT_FALSE(state.warm());
+  ASSERT_TRUE(state.Push({3.0f, 4.0f}).ok());
+  ASSERT_TRUE(state.warm());
+  Tensor window = state.MakeWindowTensor();
+  EXPECT_EQ(window.at(0, 0, 0), 1.0f);
+  EXPECT_EQ(window.at(0, 1, 1), 4.0f);
+}
+
+TEST(WindowStateTest, RejectsNonFiniteValuesWithoutSideEffects) {
+  // The alerting-path bugfix at the source: a NaN that enters the ring
+  // would surface as a NaN score downstream, so WindowState refuses it
+  // BEFORE any cursor or ring byte moves (docs/thresholds.md).
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  core::WindowState state(/*window=*/2, /*dims=*/2);
+  ASSERT_TRUE(state.Push({1.0f, 2.0f}).ok());
+  for (const auto& bad : std::vector<std::vector<float>>{
+           {nan, 0.0f}, {0.0f, nan}, {inf, 0.0f}, {0.0f, -inf}}) {
+    EXPECT_EQ(state.Push(bad).code(), StatusCode::kInvalidArgument);
+  }
+  EXPECT_EQ(state.seen(), 1);
+  EXPECT_FALSE(state.warm());
+  // The ring is unpoisoned: the next clean push completes the window the
+  // first push started.
   ASSERT_TRUE(state.Push({3.0f, 4.0f}).ok());
   ASSERT_TRUE(state.warm());
   Tensor window = state.MakeWindowTensor();

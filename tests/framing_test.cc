@@ -243,6 +243,49 @@ TEST(FramingTest, PayloadDecodersValidateTypeAndShape) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(FramingTest, OpenPolicyByteRoundTrips) {
+  // The optional policy selector on kOpen (docs/protocol.md). The legacy
+  // empty payload decodes to nullopt — the server default — which is what
+  // keeps pre-policy clients working against new servers unchanged.
+  std::optional<core::ThresholdPolicy> policy;
+
+  Frame legacy = MakeOpenFrame(7);
+  EXPECT_TRUE(legacy.payload.empty());
+  ASSERT_TRUE(ParseOpenPolicy(legacy, &policy).ok());
+  EXPECT_FALSE(policy.has_value());
+
+  for (const auto want : {core::ThresholdPolicy::kStatic,
+                          core::ThresholdPolicy::kSpot}) {
+    Frame open = MakeOpenFrame(7, want);
+    ASSERT_EQ(open.payload.size(), 1u);
+    // Survive an encode/decode cycle, not just in-memory struct passing.
+    Frame decoded;
+    bool eof = false;
+    ASSERT_TRUE(Decode(Encode(open), &decoded, &eof).ok());
+    ASSERT_TRUE(ParseOpenPolicy(decoded, &policy).ok());
+    ASSERT_TRUE(policy.has_value());
+    EXPECT_EQ(*policy, want);
+  }
+}
+
+TEST(FramingTest, OpenPolicyRejectsBadPayloads) {
+  std::optional<core::ThresholdPolicy> policy;
+  // Wrong frame type.
+  EXPECT_EQ(ParseOpenPolicy(MakeOkFrame(1), &policy).code(),
+            StatusCode::kInvalidArgument);
+  // Unknown policy byte.
+  Frame open = MakeOpenFrame(1);
+  open.payload.push_back(0x7f);
+  EXPECT_EQ(ParseOpenPolicy(open, &policy).code(),
+            StatusCode::kInvalidArgument);
+  // Oversized payload: a 2-byte open is a layout the protocol never
+  // defined, not a forward-compatible extension point.
+  open = MakeOpenFrame(1, core::ThresholdPolicy::kSpot);
+  open.payload.push_back(0);
+  EXPECT_EQ(ParseOpenPolicy(open, &policy).code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(FramingTest, BackToBackFramesDecodeInOrder) {
   std::string wire;
   for (const Frame& f : AllFrameKinds()) wire += Encode(f);

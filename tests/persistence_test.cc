@@ -13,7 +13,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/crc32.h"
 #include "core/persistence.h"
+#include "core/spot.h"
 #include "core/streaming.h"
 #include "data/registry.h"
 #include "nn/serialize.h"
@@ -317,6 +319,133 @@ TEST_F(PersistenceTest, MissingFileFails) {
   auto loaded = core::LoadEnsemble(TempPath("does-not-exist.caee"));
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+// ---------------------------------------------------------------------------
+// Optional spot section (docs/thresholds.md, docs/persistence.md).
+// ---------------------------------------------------------------------------
+
+core::SpotInit CalibratedSpot(core::CaeEnsemble* ensemble,
+                              const ts::TimeSeries& train) {
+  auto scores = ensemble->Score(train);
+  CAEE_CHECK(scores.ok());
+  core::SpotConfig config;
+  config.level = 0.8;
+  config.q = 0.05;
+  config.peak_capacity = 16;
+  auto init = core::CalibrateSpot(scores.value(), config);
+  CAEE_CHECK_MSG(init.ok(), "SPOT calibration failed in test setup");
+  return std::move(init).value();
+}
+
+TEST_F(PersistenceTest, SpotSectionRoundTripsExactly) {
+  const core::SpotInit spot = CalibratedSpot(ensemble_.get(), train_);
+  const std::string path = TempPath("spot.caee");
+  ASSERT_TRUE(core::SaveEnsemble(*ensemble_, path, 1.5, &spot).ok());
+
+  auto loaded = core::LoadEnsemble(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_TRUE(loaded->threshold.has_value());  // spot rides WITH the static
+  ASSERT_TRUE(loaded->spot.has_value());
+  // Bitwise field equality: the reloaded init must seed streams exactly
+  // like the in-process one (the determinism contract crosses the
+  // artifact boundary).
+  EXPECT_EQ(loaded->spot->config.q, spot.config.q);
+  EXPECT_EQ(loaded->spot->config.level, spot.config.level);
+  EXPECT_EQ(loaded->spot->config.peak_capacity, spot.config.peak_capacity);
+  EXPECT_EQ(loaded->spot->t, spot.t);
+  EXPECT_EQ(loaded->spot->z, spot.z);
+  EXPECT_EQ(loaded->spot->n, spot.n);
+  EXPECT_EQ(loaded->spot->peaks_total, spot.peaks_total);
+  ASSERT_EQ(loaded->spot->peaks.size(), spot.peaks.size());
+  for (size_t i = 0; i < spot.peaks.size(); ++i) {
+    EXPECT_EQ(loaded->spot->peaks[i], spot.peaks[i]) << "peak " << i;
+  }
+}
+
+TEST_F(PersistenceTest, ArtifactWithoutSpotIsByteIdenticalToPreSpotFormat) {
+  // The no-version-bump rule rests on this: not asking for the section
+  // leaves the artifact bytes exactly as older writers produced them, and
+  // loading reports no SPOT params.
+  const std::string implicit_path = TempPath("nospot_implicit.caee");
+  const std::string explicit_path = TempPath("nospot_explicit.caee");
+  ASSERT_TRUE(core::SaveEnsemble(*ensemble_, implicit_path, 1.5).ok());
+  ASSERT_TRUE(
+      core::SaveEnsemble(*ensemble_, explicit_path, 1.5, nullptr).ok());
+  EXPECT_EQ(ReadFileBytes(implicit_path), ReadFileBytes(explicit_path));
+
+  auto loaded = core::LoadEnsemble(implicit_path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(loaded->spot.has_value());
+
+  const core::SpotInit spot = CalibratedSpot(ensemble_.get(), train_);
+  const std::string spot_path = TempPath("withspot.caee");
+  ASSERT_TRUE(core::SaveEnsemble(*ensemble_, spot_path, 1.5, &spot).ok());
+  EXPECT_GT(ReadFileBytes(spot_path).size(),
+            ReadFileBytes(implicit_path).size());
+}
+
+TEST_F(PersistenceTest, SaveRejectsInvalidSpotInit) {
+  core::SpotInit bad = CalibratedSpot(ensemble_.get(), train_);
+  bad.z = bad.t - 1.0;  // alerting below the peaks threshold
+  EXPECT_EQ(core::SaveEnsemble(*ensemble_, TempPath("badspot.caee"), 1.5,
+                               &bad)
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(PersistenceTest, SemanticallyCorruptSpotSectionRejected) {
+  // A spot payload whose CRC checks out but whose fields are nonsense
+  // (here: z < t) must be rejected by ValidateSpotInit on load — the CRC
+  // guards bit rot, the validator guards hostile or buggy writers.
+  const core::SpotInit spot = CalibratedSpot(ensemble_.get(), train_);
+  const std::string path = TempPath("corrupt_spot.caee");
+  ASSERT_TRUE(core::SaveEnsemble(*ensemble_, path, 1.5, &spot).ok());
+  std::string bytes = ReadFileBytes(path);
+
+  // The spot section is written last: payload = q, level, capacity, t, z,
+  // n, peaks_total, count, count x f64. Its header (u32 tag, u64 size,
+  // u32 crc) sits 16 bytes before the payload.
+  const size_t payload_size =
+      8 * 7 + 8 + spot.peaks.size() * sizeof(double);
+  const size_t payload_at = bytes.size() - payload_size;
+  uint32_t tag = 0;
+  std::memcpy(&tag, bytes.data() + payload_at - 16, sizeof(tag));
+  ASSERT_EQ(tag, 6u);  // kSectionSpot
+
+  const double bad_z = spot.t - 1.0;
+  std::memcpy(&bytes[payload_at + 8 * 4], &bad_z, sizeof(bad_z));
+  const uint32_t new_crc =
+      Crc32(bytes.data() + payload_at, payload_size);
+  std::memcpy(&bytes[payload_at - 4], &new_crc, sizeof(new_crc));
+  WriteFileBytes(path, bytes);
+
+  auto loaded = core::LoadEnsemble(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PersistenceTest, LoadedSpotServesIdenticallyToInProcessInit) {
+  // End to end across the artifact boundary: verdicts from an engine fed
+  // the RELOADED init match an engine fed the in-process init, flag for
+  // flag.
+  const core::SpotInit spot = CalibratedSpot(ensemble_.get(), train_);
+  const std::string path = TempPath("spot_serve.caee");
+  ASSERT_TRUE(core::SaveEnsemble(*ensemble_, path, 1.5, &spot).ok());
+  auto loaded = core::LoadEnsemble(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded->spot.has_value());
+
+  const ts::TimeSeries live = testutil::PlantedSeries(80, 2, 5, {60});
+  auto scores = ensemble_->Score(live);
+  ASSERT_TRUE(scores.ok());
+
+  core::SpotState original(spot);
+  core::SpotState reloaded(*loaded->spot);
+  for (double s : scores.value()) {
+    EXPECT_EQ(original.Observe(s), reloaded.Observe(s));
+    ASSERT_EQ(original.threshold(), reloaded.threshold());
+  }
 }
 
 }  // namespace

@@ -10,11 +10,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <limits>
 #include <map>
 #include <thread>
 #include <vector>
 
+#include "core/spot.h"
 #include "core/streaming.h"
 #include "serve/serving_engine.h"
 #include "test_util.h"
@@ -592,6 +596,229 @@ TEST_F(ServeTest, ThresholdControlsFlag) {
   EXPECT_FALSE(no_threshold.flag);  // no threshold -> never flags
   EXPECT_TRUE(score_with_threshold(no_threshold.score - 1.0).flag);
   EXPECT_FALSE(score_with_threshold(no_threshold.score + 1.0).flag);
+}
+
+// ---------------------------------------------------------------------------
+// SPOT streaming thresholds (core/spot.h, docs/thresholds.md).
+// ---------------------------------------------------------------------------
+
+// Calibrate SPOT init params on the scores the streams actually produce,
+// so the peaks threshold t lands inside the live score distribution and
+// the online update exercises all four SpotObserve cases.
+core::SpotInit SpotInitFor(const std::vector<std::vector<double>>& scores) {
+  std::vector<double> reference;
+  for (const auto& s : scores) reference.insert(reference.end(), s.begin(),
+                                                s.end());
+  core::SpotConfig config;
+  config.level = 0.8;
+  config.q = 0.05;
+  config.peak_capacity = 16;
+  auto init = core::CalibrateSpot(reference, config);
+  CAEE_CHECK_MSG(init.ok(), "SPOT calibration failed in test setup");
+  return std::move(init).value();
+}
+
+// Ground truth for SPOT verdicts: each stream's scores through its own
+// sequential core::SpotState.
+std::vector<std::vector<bool>> SpotReferenceFlags(
+    const core::SpotInit& init,
+    const std::vector<std::vector<double>>& scores) {
+  std::vector<std::vector<bool>> flags(scores.size());
+  for (size_t s = 0; s < scores.size(); ++s) {
+    core::SpotState state(init);
+    for (double score : scores[s]) flags[s].push_back(state.Observe(score));
+  }
+  return flags;
+}
+
+TEST_F(ServeTest, SpotVerdictsBitwiseEqualAcrossShardsBatchesThreads) {
+  // The tentpole contract: SPOT verdicts are a pure function of each
+  // stream's score sequence, so shard count, batch size, and thread count
+  // must not move a single flag — EXPECT_EQ on doubles and bools, no
+  // tolerance, against the sequential SpotState reference.
+  const int64_t kStreams = 5, kLength = 30;
+  const auto streams = MakeStreams(kStreams, kLength);
+  const auto expected_scores = SingleStreamScores(ensemble_.get(), streams);
+  const core::SpotInit init = SpotInitFor(expected_scores);
+  const auto expected_flags = SpotReferenceFlags(init, expected_scores);
+
+  for (const int64_t threads : {int64_t{1}, int64_t{4}}) {
+    ensemble_->set_num_threads(threads);
+    for (const int64_t num_shards : {int64_t{1}, int64_t{4}, int64_t{16}}) {
+      for (const int64_t max_batch : {int64_t{1}, int64_t{3}, int64_t{8}}) {
+        serve::ServeConfig config;
+        config.max_batch = max_batch;
+        config.flush_deadline_ms = 0;
+        config.num_shards = num_shards;
+        config.threshold_policy = core::ThresholdPolicy::kSpot;
+        serve::ServingEngine engine(ensemble_.get(), config,
+                                    /*threshold=*/std::nullopt, init);
+
+        std::vector<serve::StreamScore> results;
+        for (int64_t s = 0; s < kStreams; ++s) {
+          ASSERT_TRUE(engine.OpenStream(s).ok());
+        }
+        // Same skewed interleave as the score-determinism test: batches
+        // mix streams unevenly and shards fill at different rates.
+        std::vector<int64_t> cursor(static_cast<size_t>(kStreams), 0);
+        for (int64_t t = 0; t < kLength * (kStreams + 1); ++t) {
+          for (int64_t s = 0; s < kStreams; ++s) {
+            if (t % (s + 1) != 0) continue;
+            int64_t& c = cursor[static_cast<size_t>(s)];
+            if (c >= kLength) continue;
+            ASSERT_TRUE(
+                engine.Push(s, Row(streams[static_cast<size_t>(s)], c),
+                            &results)
+                    .ok());
+            ++c;
+          }
+        }
+        ASSERT_TRUE(engine.Flush(&results).ok());
+
+        std::map<int64_t, std::vector<std::pair<double, bool>>> per_stream;
+        for (const auto& r : results) {
+          per_stream[r.stream_id].push_back({r.score, r.flag});
+        }
+        for (int64_t s = 0; s < kStreams; ++s) {
+          const auto& got = per_stream[s];
+          const auto& want = expected_scores[static_cast<size_t>(s)];
+          const auto& want_flags = expected_flags[static_cast<size_t>(s)];
+          ASSERT_EQ(got.size(), want.size())
+              << "stream " << s << " shards " << num_shards << " batch "
+              << max_batch << " threads " << threads;
+          for (size_t i = 0; i < want.size(); ++i) {
+            EXPECT_EQ(got[i].first, want[i])
+                << "stream " << s << " obs " << i << " shards " << num_shards
+                << " batch " << max_batch << " threads " << threads;
+            EXPECT_EQ(got[i].second, want_flags[i])
+                << "stream " << s << " obs " << i << " shards " << num_shards
+                << " batch " << max_batch << " threads " << threads;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ServeTest, MixedPoliciesPerSessionOnOneEngine) {
+  // One engine, one shard pool: a kStatic and a kSpot session side by
+  // side. Each must get ITS policy's verdicts — the packed per-slot policy
+  // byte, not the engine default, decides.
+  const int64_t kLength = 30;
+  const auto streams = MakeStreams(2, kLength);
+  const auto expected_scores = SingleStreamScores(ensemble_.get(), streams);
+  const core::SpotInit init = SpotInitFor(expected_scores);
+  const auto expected_flags = SpotReferenceFlags(init, expected_scores);
+
+  // A static threshold ABOVE every score: the static session never flags,
+  // so any flag it raises would be a policy mixup.
+  double max_score = 0.0;
+  for (const auto& s : expected_scores) {
+    for (double v : s) max_score = std::max(max_score, v);
+  }
+
+  serve::ServeConfig config;
+  config.flush_deadline_ms = 0;
+  config.num_shards = 4;
+  serve::ServingEngine engine(ensemble_.get(), config, max_score + 1.0, init);
+  std::vector<serve::StreamScore> results;
+  ASSERT_TRUE(engine.OpenStream(0).ok());  // engine default: kStatic
+  ASSERT_TRUE(engine.OpenStream(1, core::ThresholdPolicy::kSpot).ok());
+  for (int64_t t = 0; t < kLength; ++t) {
+    ASSERT_TRUE(engine.Push(0, Row(streams[0], t), &results).ok());
+    ASSERT_TRUE(engine.Push(1, Row(streams[1], t), &results).ok());
+  }
+  ASSERT_TRUE(engine.Flush(&results).ok());
+
+  std::map<int64_t, std::vector<bool>> flags;
+  for (const auto& r : results) flags[r.stream_id].push_back(r.flag);
+  ASSERT_EQ(flags[0].size(), expected_scores[0].size());
+  ASSERT_EQ(flags[1].size(), expected_scores[1].size());
+  for (bool f : flags[0]) EXPECT_FALSE(f);  // static, threshold above all
+  for (size_t i = 0; i < flags[1].size(); ++i) {
+    EXPECT_EQ(flags[1][i], expected_flags[1][i]) << "spot obs " << i;
+  }
+
+  // The same engine re-serving stream 1 as kStatic after a close: fresh
+  // slot, fresh policy — a recycled SPOT slot must not leak its policy.
+  ASSERT_TRUE(engine.CloseStream(1, &results).ok());
+  ASSERT_TRUE(engine.OpenStream(1).ok());
+  results.clear();
+  for (int64_t t = 0; t < kLength; ++t) {
+    ASSERT_TRUE(engine.Push(1, Row(streams[1], t), &results).ok());
+  }
+  ASSERT_TRUE(engine.Flush(&results).ok());
+  for (const auto& r : results) EXPECT_FALSE(r.flag);
+}
+
+TEST_F(ServeTest, SpotSessionWithoutInitParamsIsFailedPrecondition) {
+  serve::ServingEngine engine(ensemble_.get(), serve::ServeConfig{});
+  EXPECT_EQ(engine.OpenStream(1, core::ThresholdPolicy::kSpot).code(),
+            StatusCode::kFailedPrecondition);
+  // The failed open must not leak a session.
+  EXPECT_EQ(engine.num_streams(), 0);
+  EXPECT_TRUE(engine.OpenStream(1).ok());
+}
+
+TEST_F(ServeTest, NonFiniteObservationRejectedWithoutConsuming) {
+  // Satellite 1 at the serve boundary: a NaN observation is refused with
+  // InvalidArgument BEFORE any cursor moves, so the session keeps scoring
+  // bitwise-identically to a run that never saw the poison.
+  const auto streams = MakeStreams(1, 20);
+  const auto expected = SingleStreamScores(ensemble_.get(), streams);
+
+  serve::ServingEngine engine(ensemble_.get(), serve::ServeConfig{});
+  std::vector<serve::StreamScore> results;
+  ASSERT_TRUE(engine.OpenStream(0).ok());
+  std::vector<float> poison(2, 1.0f);
+  for (int64_t t = 0; t < 20; ++t) {
+    if (t % 5 == 0) {
+      poison[t % 2] = std::numeric_limits<float>::quiet_NaN();
+      EXPECT_EQ(engine.Push(0, poison, &results).code(),
+                StatusCode::kInvalidArgument);
+      poison[t % 2] = std::numeric_limits<float>::infinity();
+      EXPECT_EQ(engine.Push(0, poison, &results).code(),
+                StatusCode::kInvalidArgument);
+      poison[t % 2] = 1.0f;
+    }
+    ASSERT_TRUE(engine.Push(0, Row(streams[0], t), &results).ok());
+  }
+  ASSERT_TRUE(engine.Flush(&results).ok());
+  ASSERT_EQ(results.size(), expected[0].size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].score, expected[0][i]) << "obs " << i;
+  }
+}
+
+TEST_F(ServeTest, StatsCountScoresAlertsAndDrift) {
+  const int64_t kLength = 30;
+  const auto streams = MakeStreams(2, kLength);
+  const auto expected_scores = SingleStreamScores(ensemble_.get(), streams);
+  const core::SpotInit init = SpotInitFor(expected_scores);
+
+  serve::ServeConfig config;
+  config.flush_deadline_ms = 0;
+  config.num_shards = 4;
+  config.threshold_policy = core::ThresholdPolicy::kSpot;
+  serve::ServingEngine engine(ensemble_.get(), config, std::nullopt, init);
+  std::vector<serve::StreamScore> results;
+  for (int64_t s = 0; s < 2; ++s) ASSERT_TRUE(engine.OpenStream(s).ok());
+  for (int64_t t = 0; t < kLength; ++t) {
+    for (int64_t s = 0; s < 2; ++s) {
+      ASSERT_TRUE(engine.Push(s, Row(streams[s], t), &results).ok());
+    }
+  }
+  ASSERT_TRUE(engine.Flush(&results).ok());
+
+  int64_t flagged = 0;
+  for (const auto& r : results) flagged += r.flag ? 1 : 0;
+  const serve::EngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.scored_windows, static_cast<int64_t>(results.size()));
+  EXPECT_EQ(stats.alerts, flagged);
+  EXPECT_EQ(stats.non_finite_scores, 0);  // finite input -> finite scores
+  EXPECT_GE(stats.drift, 0.0);
+  EXPECT_LE(stats.drift, 1.0);
+  EXPECT_GT(stats.drift_window, 0);
 }
 
 }  // namespace

@@ -1,0 +1,273 @@
+// Streaming Peaks-Over-Threshold policy (core/spot.h, docs/thresholds.md):
+// calibration validation, the four-case update semantics, the determinism
+// contract (same init + same scores -> bitwise-identical thresholds and
+// verdicts), and the invariants that keep a threshold usable forever:
+// z stays finite, z >= t, NaN always flags and never mutates state.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "core/spot.h"
+
+namespace caee {
+namespace core {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Deterministic reference sample: 1000 evenly spread scores in [0, 1).
+// With level 0.9 the peaks threshold sits near 0.9 and ~100 excesses
+// feed the calibration fit — comfortably above kSpotMinPeaks.
+std::vector<double> UniformReference(int64_t n = 1000) {
+  std::vector<double> scores(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    scores[static_cast<size_t>(i)] =
+        static_cast<double>(i) / static_cast<double>(n);
+  }
+  return scores;
+}
+
+SpotConfig TestConfig() {
+  SpotConfig config;
+  config.q = 0.01;
+  config.level = 0.9;
+  config.peak_capacity = 32;
+  return config;
+}
+
+SpotInit MustCalibrate(const std::vector<double>& refs,
+                       const SpotConfig& config) {
+  auto init = CalibrateSpot(refs, config);
+  CAEE_CHECK_MSG(init.ok(), "calibration failed in test setup");
+  return std::move(init).value();
+}
+
+TEST(SpotCalibrateTest, RejectsBadKnobsAndBadReferences) {
+  const auto refs = UniformReference();
+  SpotConfig config = TestConfig();
+
+  config.q = 0.0;
+  EXPECT_EQ(CalibrateSpot(refs, config).status().code(),
+            StatusCode::kInvalidArgument);
+  config.q = 1.0;
+  EXPECT_EQ(CalibrateSpot(refs, config).status().code(),
+            StatusCode::kInvalidArgument);
+  config = TestConfig();
+  config.level = 1.0;
+  EXPECT_EQ(CalibrateSpot(refs, config).status().code(),
+            StatusCode::kInvalidArgument);
+  config = TestConfig();
+  config.q = 0.2;  // not rarer than the 1 - level = 0.1 peaks tail
+  EXPECT_EQ(CalibrateSpot(refs, config).status().code(),
+            StatusCode::kInvalidArgument);
+  config = TestConfig();
+  config.peak_capacity = kSpotMinPeaks - 1;
+  EXPECT_EQ(CalibrateSpot(refs, config).status().code(),
+            StatusCode::kInvalidArgument);
+  config.peak_capacity = kSpotMaxPeaks + 1;
+  EXPECT_EQ(CalibrateSpot(refs, config).status().code(),
+            StatusCode::kInvalidArgument);
+
+  config = TestConfig();
+  EXPECT_EQ(CalibrateSpot({}, config).status().code(),
+            StatusCode::kInvalidArgument);
+  auto poisoned = refs;
+  poisoned[17] = kNaN;
+  EXPECT_EQ(CalibrateSpot(poisoned, config).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Too few excesses over the level quantile: 10 scores at level 0.9
+  // leave a single excess.
+  EXPECT_EQ(CalibrateSpot(UniformReference(10), config).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SpotCalibrateTest, ProducesAValidSelfConsistentInit) {
+  const auto refs = UniformReference();
+  const SpotInit init = MustCalibrate(refs, TestConfig());
+
+  EXPECT_TRUE(ValidateSpotInit(init).ok());
+  EXPECT_EQ(init.n, static_cast<int64_t>(refs.size()));
+  // level 0.9 over 1000 scores -> ~100 excesses, ring capacity 32.
+  EXPECT_GT(init.peaks_total, 50);
+  EXPECT_EQ(static_cast<int64_t>(init.peaks.size()),
+            init.config.peak_capacity);
+  EXPECT_TRUE(std::isfinite(init.z));
+  EXPECT_GE(init.z, init.t);
+  // q = 0.01 is rarer than the 1 - level = 0.1 peaks tail, so the fitted
+  // alert threshold must sit strictly beyond the peaks threshold.
+  EXPECT_GT(init.z, init.t);
+  // Seed peaks are the LAST capacity excesses, oldest first: for the
+  // monotone reference each excess is larger than the one before it.
+  for (size_t i = 1; i < init.peaks.size(); ++i) {
+    EXPECT_GT(init.peaks[i], init.peaks[i - 1]) << "seed peak " << i;
+  }
+}
+
+TEST(SpotCalibrateTest, SeedPeaksShorterThanCapacityWhenTailIsSmall) {
+  SpotConfig config = TestConfig();
+  config.peak_capacity = 256;  // more room than the ~100 excesses
+  const SpotInit init = MustCalibrate(UniformReference(), config);
+  EXPECT_EQ(static_cast<int64_t>(init.peaks.size()), init.peaks_total);
+  EXPECT_LT(init.peaks_total, config.peak_capacity);
+  EXPECT_TRUE(ValidateSpotInit(init).ok());
+}
+
+TEST(SpotValidateTest, RejectsTamperedInits) {
+  const SpotInit good = MustCalibrate(UniformReference(), TestConfig());
+  ASSERT_TRUE(ValidateSpotInit(good).ok());
+
+  SpotInit bad = good;
+  bad.z = bad.t - 1.0;  // alerting inside the fit region
+  EXPECT_EQ(ValidateSpotInit(bad).code(),
+            StatusCode::kInvalidArgument);
+  bad = good;
+  bad.t = kNaN;
+  EXPECT_EQ(ValidateSpotInit(bad).code(),
+            StatusCode::kInvalidArgument);
+  bad = good;
+  bad.peaks_total = bad.n + 1;  // more excesses than observations
+  EXPECT_EQ(ValidateSpotInit(bad).code(),
+            StatusCode::kInvalidArgument);
+  bad = good;
+  bad.peaks.pop_back();  // seed count disagrees with the counters
+  EXPECT_EQ(ValidateSpotInit(bad).code(),
+            StatusCode::kInvalidArgument);
+  bad = good;
+  bad.peaks[0] = -1.0;  // an excess cannot be negative
+  EXPECT_EQ(ValidateSpotInit(bad).code(),
+            StatusCode::kInvalidArgument);
+  bad = good;
+  bad.config.q = 0.5;  // knobs are re-checked on load
+  EXPECT_EQ(ValidateSpotInit(bad).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SpotObserveTest, FourCaseSemantics) {
+  const SpotInit init = MustCalibrate(UniformReference(), TestConfig());
+  SpotState state(init);
+  const double z0 = state.threshold();
+  ASSERT_GT(z0, init.t);
+
+  // Case s <= t: no verdict, only n advances.
+  SpotTail before = state.tail();
+  EXPECT_FALSE(state.Observe(init.t - 0.1));
+  EXPECT_EQ(state.tail().n, before.n + 1);
+  EXPECT_EQ(state.tail().peaks_total, before.peaks_total);
+  EXPECT_EQ(state.tail().z, before.z);
+
+  // Case t < s <= z: no verdict, the excess joins the fit.
+  before = state.tail();
+  const double mid = init.t + (z0 - init.t) / 2.0;
+  EXPECT_FALSE(state.Observe(mid));
+  EXPECT_EQ(state.tail().n, before.n + 1);
+  EXPECT_EQ(state.tail().peaks_total, before.peaks_total + 1);
+
+  // Case s > z: verdict, and the alert is EXCLUDED from the fit.
+  before = state.tail();
+  EXPECT_TRUE(state.Observe(state.threshold() + 1.0));
+  EXPECT_EQ(state.tail().n, before.n);
+  EXPECT_EQ(state.tail().peaks_total, before.peaks_total);
+  EXPECT_EQ(state.tail().z, before.z);
+}
+
+TEST(SpotObserveTest, NonFiniteScoreFlagsAndNeverMutates) {
+  const SpotInit init = MustCalibrate(UniformReference(), TestConfig());
+  SpotState state(init);
+  // Mix some live traffic in so the state is mid-flight, not pristine.
+  for (int i = 0; i < 20; ++i) {
+    state.Observe(init.t + 0.001 * static_cast<double>(i));
+  }
+  const SpotTail before = state.tail();
+  for (double s : {kNaN, kInf, -kInf}) {
+    EXPECT_TRUE(state.Observe(s));
+    // Bitwise comparison: not a single state byte may move.
+    EXPECT_EQ(std::memcmp(&before, &state.tail(), sizeof(SpotTail)), 0)
+        << "score " << s << " mutated the tail state";
+  }
+}
+
+TEST(SpotObserveTest, ThresholdAdaptsAndStaysFiniteAboveT) {
+  const SpotInit init = MustCalibrate(UniformReference(), TestConfig());
+  SpotState state(init);
+  const double z0 = state.threshold();
+
+  // A long run of large-but-sub-z excesses: the windowed fit forgets the
+  // calibration tail and learns the fatter live tail, so z must move up —
+  // while never leaving [t, inf).
+  const double fat = init.t + (z0 - init.t) * 0.9;
+  for (int i = 0; i < 500; ++i) {
+    state.Observe(fat);
+    ASSERT_TRUE(std::isfinite(state.threshold())) << "step " << i;
+    ASSERT_GE(state.threshold(), init.t) << "step " << i;
+  }
+  EXPECT_GT(state.threshold(), z0);
+
+  // Ring accounting after heavy eviction traffic: count saturated at
+  // capacity, and the running sum equals capacity * the one excess value
+  // that now fills the whole window.
+  EXPECT_EQ(state.tail().count,
+            static_cast<uint32_t>(init.config.peak_capacity));
+  EXPECT_NEAR(state.tail().sum,
+              static_cast<double>(init.config.peak_capacity) * (fat - init.t),
+              1e-9);
+}
+
+TEST(SpotObserveTest, DeterministicAcrossReplays) {
+  const SpotInit init = MustCalibrate(UniformReference(), TestConfig());
+  // A fixed pseudo-random-ish score tape covering all four cases.
+  std::vector<double> tape;
+  for (int i = 0; i < 300; ++i) {
+    const double phase = std::sin(static_cast<double>(i) * 0.7);
+    tape.push_back(init.t + phase * 0.2);  // below, inside, and above tail
+    if (i % 37 == 0) tape.push_back(init.z + 1.0);  // hard alerts
+    if (i % 53 == 0) tape.push_back(kNaN);          // poison
+  }
+
+  SpotState a(init), b(init);
+  for (size_t i = 0; i < tape.size(); ++i) {
+    const bool va = a.Observe(tape[i]);
+    const bool vb = b.Observe(tape[i]);
+    ASSERT_EQ(va, vb) << "verdict diverged at " << i;
+    ASSERT_EQ(a.threshold(), b.threshold()) << "threshold diverged at " << i;
+  }
+  EXPECT_EQ(std::memcmp(&a.tail(), &b.tail(), sizeof(SpotTail)), 0);
+}
+
+TEST(SpotObserveTest, PackedStateMatchesOwningState) {
+  // The serve layer runs SpotObserve over slab-packed state; SpotState is
+  // the owning reference. Same init + same tape -> bitwise-identical
+  // everything, which is what lets serve_test use SpotState as ground
+  // truth for the sharded engine.
+  const SpotInit init = MustCalibrate(UniformReference(), TestConfig());
+  SpotState owning(init);
+
+  SpotTail tail;
+  std::vector<double> slab(static_cast<size_t>(init.config.peak_capacity),
+                           0.0);
+  SpotSeedTail(init, &tail, slab.data());
+
+  for (int i = 0; i < 200; ++i) {
+    const double s = init.t + std::cos(static_cast<double>(i)) * 0.15;
+    EXPECT_EQ(SpotObserve(init, &tail, slab.data(), s), owning.Observe(s))
+        << "step " << i;
+    ASSERT_EQ(tail.z, owning.threshold()) << "step " << i;
+  }
+  EXPECT_EQ(std::memcmp(&tail, &owning.tail(), sizeof(SpotTail)), 0);
+}
+
+TEST(SpotBytesTest, AccountsTailPlusRing) {
+  SpotConfig config = TestConfig();
+  EXPECT_EQ(SpotBytesPerStream(config),
+            sizeof(SpotTail) +
+                static_cast<size_t>(config.peak_capacity) * sizeof(double));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace caee
