@@ -49,9 +49,27 @@
 // regression checker gates ns_per_window and bytes_per_idle_stream like
 // the scale table.
 //
+// RELOAD TABLE (PR 8): a fourth table measures the cost of zero-downtime
+// hot-swap (docs/operations.md). The trained ensemble is saved to a temp
+// artifact, and each reload cell replays the same streams while swapping
+// that identical artifact in mid-stream three times via
+// serve::ServingEngine::ReloadArtifact — the steady cell is the same
+// replay with zero swaps. Reported per cell: throughput, the worst
+// single-Push latency (max_push_ns — a swap must not stall a push), and
+// the worst single reload wall time (reload_pause_ns — the load + validate
+// + shard fan-out an operator's `reload,<path>` costs). The cell checksum
+// must match between the steady and reload phases and across batch sizes:
+// swapping in bitwise-identical weights must not move a single score, so
+// drift here means a swap dropped, duplicated, or rescored a window.
+// `--caee_reload_json=PATH` writes the rows as a
+// {"bench": "bench_serve_reload"} document (BENCH_8.json in CI);
+// scripts/check_bench_regression.py gates ns_per_window at 2x like the
+// other serve tables (max_push_ns and reload_pause_ns are single-sample
+// maxima — scheduler noise, reported but not gated).
+//
 // Extra flags beyond bench_util.h: --obs=N observations per stream
 // (default 48), --caee_json=PATH, --caee_scale_json=PATH,
-// --caee_policy_json=PATH.
+// --caee_policy_json=PATH, --caee_reload_json=PATH.
 
 #include <algorithm>
 #include <cmath>
@@ -64,6 +82,7 @@
 #include "bench_util.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "core/persistence.h"
 #include "core/spot.h"
 #include "serve/serving_engine.h"
 
@@ -269,6 +288,111 @@ PolicyEntry RunPolicyCell(
   return entry;
 }
 
+struct ReloadEntry {
+  int64_t streams;
+  int64_t max_batch;
+  int64_t threads;
+  const char* phase;  // "steady" (zero swaps) or "reload" (three swaps)
+  int64_t reloads;
+  double windows_per_sec;
+  double ns_per_window;
+  double max_push_ns;      // worst single Push — swaps must not stall one
+  double reload_pause_ns;  // worst single ReloadArtifact; 0 in steady phase
+  double checksum;         // phase- and batch-invariant
+};
+
+// One reload cell: the same round-robin replay as RunCell, with
+// `num_reloads` mid-stream hot-swaps of `artifact_path` — an artifact
+// holding bitwise-identical weights — spaced evenly across the ticks. The
+// swap is issued inline between ticks, exactly where caee_serve's control
+// loop issues `reload,<path>`, so reload_pause_ns is the pause an operator
+// actually pays: file read + parse + validation + shard fan-out.
+ReloadEntry RunReloadCell(
+    core::CaeEnsemble* ensemble,
+    const std::vector<std::vector<std::vector<float>>>& streams,
+    int64_t max_batch, const std::string& artifact_path,
+    int64_t num_reloads) {
+  ensemble->set_scoring_backend(core::ScoringBackend::kPlan);
+  serve::ServeConfig config;
+  config.max_batch = max_batch;
+  config.flush_deadline_ms = 0;
+  serve::ServingEngine engine(ensemble, config);
+
+  const int64_t num_streams = static_cast<int64_t>(streams.size());
+  for (int64_t s = 0; s < num_streams; ++s) {
+    CAEE_CHECK(engine.OpenStream(s).ok());
+  }
+  const int64_t length = static_cast<int64_t>(streams.front().size());
+  std::vector<int64_t> reload_at;
+  for (int64_t r = 1; r <= num_reloads; ++r) {
+    reload_at.push_back(length * r / (num_reloads + 1));
+  }
+
+  std::vector<serve::StreamScore> results;
+  double max_push_ns = 0.0;
+  double reload_pause_ns = 0.0;
+  size_t next_reload = 0;
+  Stopwatch timer;
+  for (int64_t t = 0; t < length; ++t) {
+    if (next_reload < reload_at.size() &&
+        t == reload_at[next_reload]) {
+      Stopwatch pause;
+      const auto swapped = engine.ReloadArtifact(artifact_path);
+      const double pause_ns = pause.ElapsedSeconds() * 1e9;
+      CAEE_CHECK_MSG(swapped.ok(),
+                     "mid-stream reload failed: " << swapped.status());
+      reload_pause_ns = std::max(reload_pause_ns, pause_ns);
+      ++next_reload;
+    }
+    for (int64_t s = 0; s < num_streams; ++s) {
+      Stopwatch push;
+      CAEE_CHECK(engine.Push(s, streams[static_cast<size_t>(s)]
+                                       [static_cast<size_t>(t)],
+                             &results)
+                     .ok());
+      max_push_ns = std::max(max_push_ns, push.ElapsedSeconds() * 1e9);
+    }
+  }
+  CAEE_CHECK(engine.Flush(&results).ok());
+  const double seconds = timer.ElapsedSeconds();
+
+  // Zero-downtime contract, checked in-bench: every swap adopted (the
+  // engine converged to generation 1 + num_reloads), and not one window
+  // was dropped or duplicated along the way.
+  CAEE_CHECK_MSG(engine.generation() == 1 + num_reloads,
+                 "expected generation " << 1 + num_reloads << ", live is "
+                                        << engine.generation());
+  const int64_t w = ensemble->config().window;
+  const int64_t expected = num_streams * (length - w + 1);
+  CAEE_CHECK_MSG(static_cast<int64_t>(results.size()) == expected,
+                 "scored " << results.size() << " windows across "
+                           << num_reloads << " reload(s), expected "
+                           << expected);
+  // Same canonical-order sum as the scale table: swaps do not reorder a
+  // stream's windows, but shard flush interleaving is not an ordering
+  // contract, and double addition is not associative.
+  std::sort(results.begin(), results.end(),
+            [](const serve::StreamScore& a, const serve::StreamScore& b) {
+              return a.stream_id != b.stream_id ? a.stream_id < b.stream_id
+                                                : a.index < b.index;
+            });
+  double checksum = 0.0;
+  for (const auto& r : results) checksum += r.score;
+
+  ReloadEntry entry;
+  entry.streams = num_streams;
+  entry.max_batch = max_batch;
+  entry.threads = static_cast<int64_t>(ensemble->config().num_threads);
+  entry.phase = num_reloads > 0 ? "reload" : "steady";
+  entry.reloads = num_reloads;
+  entry.windows_per_sec = static_cast<double>(results.size()) / seconds;
+  entry.ns_per_window = seconds * 1e9 / static_cast<double>(results.size());
+  entry.max_push_ns = max_push_ns;
+  entry.reload_pause_ns = reload_pause_ns;
+  entry.checksum = checksum;
+  return entry;
+}
+
 ServeEntry RunCell(core::CaeEnsemble* ensemble,
                    const std::vector<std::vector<std::vector<float>>>& streams,
                    int64_t max_batch, core::ScoringBackend backend) {
@@ -320,13 +444,16 @@ ServeEntry RunCell(core::CaeEnsemble* ensemble,
 
 int Main(int argc, char** argv) {
   bench::Flags flags = bench::Flags::Parse(argc, argv);
-  std::string json_path, scale_json_path, policy_json_path;
+  std::string json_path, scale_json_path, policy_json_path,
+      reload_json_path;
   int64_t obs_per_stream = 48;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--caee_scale_json=", 18) == 0) {
       scale_json_path = argv[i] + 18;
     } else if (std::strncmp(argv[i], "--caee_policy_json=", 19) == 0) {
       policy_json_path = argv[i] + 19;
+    } else if (std::strncmp(argv[i], "--caee_reload_json=", 19) == 0) {
+      reload_json_path = argv[i] + 19;
     } else if (std::strncmp(argv[i], "--caee_json=", 12) == 0) {
       json_path = argv[i] + 12;
     } else if (std::strncmp(argv[i], "--obs=", 6) == 0) {
@@ -514,6 +641,61 @@ int Main(int argc, char** argv) {
               "core::SpotBytesPerStream = %lld bytes\n",
               static_cast<long long>(core::SpotBytesPerStream(spot_config)));
 
+  // -------------------------------------------------------------------
+  // Reload table: hot-swapping an identical artifact mid-stream.
+  // -------------------------------------------------------------------
+  const std::string reload_artifact = "bench_serve_reload.caee";
+  {
+    // Same weights, no threshold/SPOT sections — matching the engine the
+    // reload cells construct, so validation always adopts the candidate.
+    const Status saved = core::SaveEnsemble(ensemble, reload_artifact);
+    CAEE_CHECK_MSG(saved.ok(), "artifact save failed: " << saved);
+  }
+  const int64_t kReloads = 3;
+  std::printf("\nreload table (impl=plan, %lld mid-stream swaps of the "
+              "identical artifact; a swap must not move a score):\n",
+              static_cast<long long>(kReloads));
+  std::printf("%8s %10s %7s %16s %14s %13s %16s\n", "streams", "max_batch",
+              "phase", "windows/sec", "ns/window", "max-push-us",
+              "reload-pause-us");
+  std::vector<ReloadEntry> reload_entries;
+  for (const int64_t num_streams : {int64_t{4}, int64_t{16}}) {
+    std::vector<std::vector<std::vector<float>>> streams;
+    for (int64_t s = 0; s < num_streams; ++s) {
+      streams.push_back(MakeStream(obs_per_stream, dims,
+                                   1000 + static_cast<uint64_t>(s)));
+    }
+    double base_checksum = 0.0;
+    bool have_base = false;
+    for (const int64_t max_batch : {int64_t{1}, int64_t{16}}) {
+      for (const int64_t num_reloads : {int64_t{0}, kReloads}) {
+        const ReloadEntry entry =
+            RunReloadCell(&ensemble, streams, max_batch, reload_artifact,
+                          num_reloads);
+        std::printf("%8lld %10lld %7s %16.1f %14.1f %13.1f %16.1f\n",
+                    static_cast<long long>(entry.streams),
+                    static_cast<long long>(entry.max_batch), entry.phase,
+                    entry.windows_per_sec, entry.ns_per_window,
+                    entry.max_push_ns / 1000.0,
+                    entry.reload_pause_ns / 1000.0);
+        // Swap invariance: identical weights in, identical score set out —
+        // regardless of batch size or how many swaps interleaved.
+        if (!have_base) {
+          base_checksum = entry.checksum;
+          have_base = true;
+        } else {
+          CAEE_CHECK_MSG(entry.checksum == base_checksum,
+                         "checksum drift at streams="
+                             << num_streams << " max_batch=" << max_batch
+                             << " phase=" << entry.phase
+                             << " — a hot-swap changed scores");
+        }
+        reload_entries.push_back(entry);
+      }
+    }
+  }
+  std::remove(reload_artifact.c_str());
+
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
     if (f == nullptr) {
@@ -597,6 +779,37 @@ int Main(int argc, char** argv) {
     std::fclose(f);
     std::printf("wrote %s (%zu entries)\n", policy_json_path.c_str(),
                 policy_entries.size());
+  }
+
+  if (!reload_json_path.empty()) {
+    std::FILE* f = std::fopen(reload_json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", reload_json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"bench_serve_reload\",\n  \"schema\": 1,\n"
+                 "  \"entries\": [\n");
+    for (size_t i = 0; i < reload_entries.size(); ++i) {
+      const ReloadEntry& e = reload_entries[i];
+      std::fprintf(
+          f,
+          "    {\"streams\": %lld, \"max_batch\": %lld, \"threads\": %lld, "
+          "\"phase\": \"%s\", \"reloads\": %lld, "
+          "\"windows_per_sec\": %.1f, \"ns_per_window\": %.1f, "
+          "\"max_push_ns\": %.1f, \"reload_pause_ns\": %.1f, "
+          "\"checksum\": %.17g}%s\n",
+          static_cast<long long>(e.streams),
+          static_cast<long long>(e.max_batch),
+          static_cast<long long>(e.threads), e.phase,
+          static_cast<long long>(e.reloads), e.windows_per_sec,
+          e.ns_per_window, e.max_push_ns, e.reload_pause_ns, e.checksum,
+          i + 1 < reload_entries.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu entries)\n", reload_json_path.c_str(),
+                reload_entries.size());
   }
   return 0;
 }

@@ -44,10 +44,21 @@
 // text — `caee_serve --encode-frames | caee_serve --streams --binary |
 // caee_serve --decode-frames` is byte-identical to the text pipeline, the
 // equivalence CI smoke-checks.
+//
+// OPERATIONS (docs/operations.md): in multi-stream modes a
+// `reload,<path>` line (or a reload frame in binary mode) hot-swaps the
+// serving artifact with zero downtime — open sessions keep scoring, a
+// rejected candidate leaves the old generation serving. --drift-threshold
+// arms the drift -> repair escalation: when the SPOT exceed-rate drifts
+// past it, an advisory naming caee_repair lands on stderr. SIGTERM/SIGINT
+// stop intake, drain every shard, and exit 0 — scores already owed are
+// delivered, not dropped.
 
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <csignal>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -72,7 +83,8 @@ const char kUsage[] =
     "                  [--threshold-policy static|spot]\n"
     "                  [--expect-scores scores.txt [--tolerance X]]\n"
     "                  [--streams [--max-batch N] [--flush-ms MS]\n"
-    "                   [--shards S] [--max-pending N] [--binary]]\n"
+    "                   [--shards S] [--max-pending N] [--binary]\n"
+    "                   [--drift-threshold X [--drift-clear Y]]]\n"
     "       caee_serve --encode-frames | --decode-frames   (no --model)\n"
     "  Default mode reads comma-separated observations from --input\n"
     "  (default: stdin) and prints `index,score,flag` per scored\n"
@@ -85,8 +97,11 @@ const char kUsage[] =
     "  --expect-scores cross-checks the streaming scores against offline\n"
     "  batch scores and fails on mismatch.\n"
     "  --streams serves many sessions at once: lines are\n"
-    "  `open,<id>[,static|spot]`, `close,<id>`, or `<id>,v1,v2,...`;\n"
-    "  output is `stream,index,score,flag`. Sessions are sharded across\n"
+    "  `open,<id>[,static|spot]`, `close,<id>`, `<id>,v1,v2,...`, or the\n"
+    "  admin line `reload,<path>` (hot-swap the serving artifact with zero\n"
+    "  downtime; a rejected candidate keeps the old one serving —\n"
+    "  docs/operations.md); output is `stream,index,score,flag`. Sessions\n"
+    "  are sharded across\n"
     "  --shards\n"
     "  (default 1) independent engine shards; ready windows from different\n"
     "  streams of a shard are scored in one batched forward pass\n"
@@ -96,6 +111,13 @@ const char kUsage[] =
     "  framing of docs/protocol.md (request frames in, response frames\n"
     "  out); --max-pending N (default 0 = unbounded) arms per-shard\n"
     "  admission control, answered with backpressure frames.\n"
+    "  --drift-threshold X arms the drift -> repair escalation: once the\n"
+    "  |exceed-rate shift| drift statistic exceeds X an advisory naming\n"
+    "  caee_repair is printed to stderr, once per excursion\n"
+    "  (re-arming below --drift-clear Y, default X/2). Needs a\n"
+    "  SPOT-calibrated artifact (docs/operations.md).\n"
+    "  SIGTERM/SIGINT shut down gracefully: intake stops, every shard is\n"
+    "  drained, and the process exits 0.\n"
     "  --encode-frames converts text-protocol lines on stdin to request\n"
     "  frames on stdout; --decode-frames converts response frames on\n"
     "  stdin back to text lines. Neither needs a model.\n";
@@ -103,6 +125,37 @@ const char kUsage[] =
 int Fail(const Status& status) {
   std::cerr << "caee_serve: " << status << "\n";
   return 1;
+}
+
+// ---------------------------------------------------------------------------
+// Graceful shutdown (docs/operations.md).
+//
+// SIGTERM/SIGINT set a flag; every read loop checks it and treats it as
+// end-of-input, which funnels into the normal drain path: every shard's
+// pending windows are scored and delivered, the deadline flusher is
+// joined, the summary prints, and the process exits 0. The handler is
+// installed WITHOUT SA_RESTART on purpose — a getline/ReadFrame blocked
+// on a quiet stdin must come back with EINTR (reads as EOF) instead of
+// being transparently restarted, or intake would never stop.
+// ---------------------------------------------------------------------------
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void HandleShutdownSignal(int) { g_shutdown = 1; }
+
+void InstallShutdownHandler() {
+#ifndef _WIN32
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = HandleShutdownSignal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocked reads must return EINTR
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+#else
+  std::signal(SIGINT, HandleShutdownSignal);
+  std::signal(SIGTERM, HandleShutdownSignal);
+#endif
 }
 
 bool ParseObservation(const std::string& line, std::vector<float>* out) {
@@ -155,7 +208,7 @@ int RunSingleStream(const cli::Args& args, core::CaeEnsemble& ensemble,
   int64_t index = -1, scored = 0, alerts = 0, mismatches = 0;
   int64_t non_finite = 0;
   double worst_diff = 0.0;
-  while (std::getline(in, line)) {
+  while (!g_shutdown && std::getline(in, line)) {
     if (line.empty()) continue;
     ++index;
     if (!ParseObservation(line, &observation)) {
@@ -198,6 +251,9 @@ int RunSingleStream(const cli::Args& args, core::CaeEnsemble& ensemble,
     }
   }
 
+  if (g_shutdown) {
+    std::cerr << "caee_serve: caught shutdown signal, stopping intake\n";
+  }
   std::cerr << "scored " << scored << " observations, " << alerts
             << " flagged, " << non_finite << " non-finite scores ("
             << core::ThresholdPolicyName(policy) << " policy)\n";
@@ -279,6 +335,8 @@ StatusOr<serve::ServeConfig> MultiStreamConfig(const cli::Args& args) {
   config.flush_deadline_ms = args.GetInt("flush-ms", 50);
   config.num_shards = args.GetInt("shards", 1);
   config.max_pending = args.GetInt("max-pending", 0);
+  config.drift_threshold = args.GetDouble("drift-threshold", 0.0);
+  config.drift_clear = args.GetDouble("drift-clear", 0.0);
   if (config.max_batch < 1) {
     return Status::InvalidArgument("--max-batch must be >= 1");
   }
@@ -288,7 +346,47 @@ StatusOr<serve::ServeConfig> MultiStreamConfig(const cli::Args& args) {
   if (config.max_pending < 0) {
     return Status::InvalidArgument("--max-pending must be >= 0");
   }
+  if (args.Has("drift-threshold") && config.drift_threshold <= 0.0) {
+    return Status::InvalidArgument("--drift-threshold must be > 0");
+  }
+  if (config.drift_clear < 0.0 ||
+      (config.drift_clear > 0.0 &&
+       config.drift_clear >= config.drift_threshold)) {
+    return Status::InvalidArgument(
+        "--drift-clear must be in (0, drift-threshold) — it is the "
+        "re-arm level of the hysteresis");
+  }
   return config;
+}
+
+// Shared by both multi-stream modes: one drift poll, advisory on stderr.
+// The DriftMonitor's hysteresis guarantees at most one advisory per
+// excursion, so polling from both the line loop and the deadline flusher
+// cannot double-report.
+void PollDriftAdvisory(serve::ServingEngine& engine) {
+  if (engine.config().drift_threshold <= 0.0) return;
+  const auto repair = engine.PollDrift();
+  if (!repair.has_value()) return;
+  std::cerr << "drift alert: |exceed-rate shift| " << repair->drift
+            << " over " << repair->drift_window
+            << " recent scores on generation " << repair->generation
+            << " exceeds --drift-threshold "
+            << engine.config().drift_threshold
+            << "; repair with caee_repair and hot-swap the result via "
+               "`reload,<path>` (docs/operations.md)\n";
+}
+
+// `reload,<path>` admin line: hot-swap with zero downtime. A failure is
+// DEGRADED MODE, not fatal — the engine keeps serving the old generation
+// and the error (which names the live generation) goes to stderr.
+void HandleTextReload(serve::ServingEngine& engine, const std::string& path) {
+  auto swapped = engine.ReloadArtifact(path);
+  if (swapped.ok()) {
+    std::cerr << "reloaded: now serving generation " << swapped.value()
+              << " from " << path << "\n";
+  } else {
+    std::cerr << "caee_serve: " << swapped.status() << "\n";
+  }
 }
 
 int RunMultiStream(const cli::Args& args, core::CaeEnsemble& ensemble,
@@ -342,6 +440,7 @@ int RunMultiStream(const cli::Args& args, core::CaeEnsemble& ensemble,
           return;
         }
         deliver(results);
+        PollDriftAdvisory(engine);
       }
     });
   }
@@ -357,13 +456,17 @@ int RunMultiStream(const cli::Args& args, core::CaeEnsemble& ensemble,
   std::string line;
   std::vector<float> observation;
   int64_t line_no = 0;
-  while (std::getline(in, line)) {
+  while (!g_shutdown && std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
     if (Status status = check_flusher(); !status.ok()) {
       stop_flusher();
       return Fail(Status(status.code(),
                          "deadline flush failed: " + status.message()));
+    }
+    if (line.rfind("reload,", 0) == 0) {
+      HandleTextReload(engine, line.substr(7));
+      continue;
     }
     std::vector<serve::StreamScore> results;
     Status status;
@@ -391,9 +494,14 @@ int RunMultiStream(const cli::Args& args, core::CaeEnsemble& ensemble,
                                             ": " + status.message()));
     }
     deliver(results);
+    PollDriftAdvisory(engine);
   }
 
-  // End of input: drain the queue, then stop the timer.
+  // End of input (or a shutdown signal): drain the queue, then stop the
+  // timer — scores already owed are delivered, not dropped.
+  if (g_shutdown) {
+    std::cerr << "caee_serve: caught shutdown signal, draining shards\n";
+  }
   std::vector<serve::StreamScore> results;
   const Status status = engine.Flush(&results);
   stop_flusher();
@@ -409,6 +517,11 @@ int RunMultiStream(const cli::Args& args, core::CaeEnsemble& ensemble,
             << " flagged, " << stats.non_finite_scores
             << " non-finite scores (" << engine.num_streams()
             << " sessions still open at EOF)\n";
+  if (stats.reloads + stats.failed_reloads > 0) {
+    std::cerr << "generation " << stats.generation << " live after "
+              << stats.reloads << " reload(s), " << stats.failed_reloads
+              << " rejected\n";
+  }
   if (engine.spot() != nullptr) {
     std::cerr << "drift: |exceed-rate shift| " << stats.drift << " over "
               << stats.drift_window << " recent scores vs the calibration "
@@ -471,6 +584,7 @@ int RunMultiStreamBinary(const cli::Args& args, core::CaeEnsemble& ensemble,
           return;
         }
         deliver(results);
+        PollDriftAdvisory(engine);
       }
     });
   }
@@ -491,7 +605,7 @@ int RunMultiStreamBinary(const cli::Args& args, core::CaeEnsemble& ensemble,
   std::vector<float> observation;
   std::vector<serve::StreamScore> results;
   int64_t frame_no = 0;
-  while (true) {
+  while (!g_shutdown) {
     if (Status status = check_flusher(); !status.ok()) {
       stop_flusher();
       return Fail(Status(status.code(),
@@ -499,6 +613,9 @@ int RunMultiStreamBinary(const cli::Args& args, core::CaeEnsemble& ensemble,
     }
     bool eof = false;
     if (Status status = fr::ReadFrame(in, &frame, &eof); !status.ok()) {
+      // A frame cut mid-read by the shutdown signal (EINTR) is the signal
+      // doing its job, not wire corruption: stop intake and drain.
+      if (g_shutdown) break;
       stop_flusher();
       return Fail(Status(status.code(), "frame " + std::to_string(frame_no) +
                                             ": " + status.message()));
@@ -555,6 +672,25 @@ int RunMultiStreamBinary(const cli::Args& args, core::CaeEnsemble& ensemble,
         }
         break;
       }
+      case fr::FrameType::kReload: {
+        // Admin hot-swap. A rejected candidate is answered with an error
+        // frame (the engine keeps serving the old generation); only the
+        // wire layer can be fatal here.
+        std::string path;
+        Status status = fr::ParseReload(frame, &path);
+        if (status.ok()) {
+          auto swapped = engine.ReloadArtifact(path);
+          if (swapped.ok()) {
+            std::cerr << "reloaded: now serving generation "
+                      << swapped.value() << " from " << path << "\n";
+          } else {
+            status = swapped.status();
+          }
+        }
+        respond(status.ok() ? fr::MakeOkFrame(frame.stream_id)
+                            : fr::MakeErrorFrame(frame.stream_id, status));
+        break;
+      }
       default:
         respond(fr::MakeErrorFrame(
             frame.stream_id,
@@ -562,9 +698,14 @@ int RunMultiStreamBinary(const cli::Args& args, core::CaeEnsemble& ensemble,
                                     std::to_string(frame.type))));
         break;
     }
+    PollDriftAdvisory(engine);
   }
 
-  // End of input: drain every shard, then stop the timer.
+  // End of input (or a shutdown signal): drain every shard, then stop the
+  // timer.
+  if (g_shutdown) {
+    std::cerr << "caee_serve: caught shutdown signal, draining shards\n";
+  }
   results.clear();
   const Status status = engine.Flush(&results);
   stop_flusher();
@@ -583,6 +724,11 @@ int RunMultiStreamBinary(const cli::Args& args, core::CaeEnsemble& ensemble,
             << " pushes backpressured (" << engine.num_streams()
             << " sessions still open at EOF, " << config.num_shards
             << " shards)\n";
+  if (stats.reloads + stats.failed_reloads > 0) {
+    std::cerr << "generation " << stats.generation << " live after "
+              << stats.reloads << " reload(s), " << stats.failed_reloads
+              << " rejected\n";
+  }
   if (engine.spot() != nullptr) {
     std::cerr << "drift: |exceed-rate shift| " << stats.drift << " over "
               << stats.drift_window << " recent scores vs the calibration "
@@ -603,6 +749,10 @@ int RunEncodeFrames(std::istream& in) {
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
+    if (line.rfind("reload,", 0) == 0) {
+      fr::WriteFrame(std::cout, fr::MakeReloadFrame(line.substr(7)));
+      continue;
+    }
     std::string verb;
     int64_t id = 0;
     std::optional<core::ThresholdPolicy> open_policy;
@@ -684,7 +834,8 @@ int main(int argc, char** argv) {
   args.RejectUnknown({"model", "input", "threads", "expect-scores",
                       "tolerance", "streams", "max-batch", "flush-ms",
                       "shards", "max-pending", "binary", "threshold-policy",
-                      "encode-frames", "decode-frames", "help"},
+                      "drift-threshold", "drift-clear", "encode-frames",
+                      "decode-frames", "help"},
                      kUsage);
   if (args.Has("help")) {
     std::cerr << kUsage;
@@ -698,7 +849,7 @@ int main(int argc, char** argv) {
     for (const char* flag :
          {"model", "threads", "expect-scores", "tolerance", "streams",
           "max-batch", "flush-ms", "shards", "max-pending", "binary",
-          "threshold-policy"}) {
+          "threshold-policy", "drift-threshold", "drift-clear"}) {
       if (args.Has(flag)) {
         std::cerr << "--encode-frames/--decode-frames take only --input\n"
                   << kUsage;
@@ -727,9 +878,10 @@ int main(int argc, char** argv) {
   }
   if (!args.Has("streams") &&
       (args.Has("max-batch") || args.Has("flush-ms") || args.Has("shards") ||
-       args.Has("max-pending") || args.Has("binary"))) {
-    std::cerr << "--max-batch/--flush-ms/--shards/--max-pending/--binary "
-                 "require --streams\n"
+       args.Has("max-pending") || args.Has("binary") ||
+       args.Has("drift-threshold") || args.Has("drift-clear"))) {
+    std::cerr << "--max-batch/--flush-ms/--shards/--max-pending/--binary/"
+                 "--drift-threshold/--drift-clear require --streams\n"
               << kUsage;
     return 2;
   }
@@ -761,6 +913,15 @@ int main(int argc, char** argv) {
         "--threshold-policy spot needs SPOT init params in the artifact; "
         "retrain with caee_train --spot (docs/thresholds.md)"));
   }
+  if (args.GetDouble("drift-threshold", 0.0) > 0.0 &&
+      !loaded->spot.has_value()) {
+    // Drift is measured against the SPOT calibration baseline — without
+    // one the statistic is identically zero and the monitor could never
+    // fire. Refusing beats a silent no-op "armed" monitor.
+    return Fail(Status::FailedPrecondition(
+        "--drift-threshold needs SPOT init params in the artifact; "
+        "retrain with caee_train --spot (docs/operations.md)"));
+  }
 
   std::cerr << "loaded ensemble: " << ensemble.num_models() << " models, "
             << "window " << ensemble.config().window << ", "
@@ -778,6 +939,7 @@ int main(int argc, char** argv) {
   std::istream& in = args.Has("input") ? file : std::cin;
   std::cout.precision(std::numeric_limits<double>::max_digits10);
 
+  InstallShutdownHandler();
   if (args.Has("streams")) {
     if (args.Has("binary")) {
       return RunMultiStreamBinary(args, ensemble, loaded->threshold, policy,

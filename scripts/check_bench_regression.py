@@ -22,6 +22,16 @@ Handles both JSON schemas the benches emit:
                      policies. Gates bytes_per_idle_stream too, so a
                      static-policy stream silently growing SPOT state (or
                      the SPOT slab bloating) fails the build.
+  bench_serve_reload entries keyed by (streams, max_batch, threads,
+                     phase), timed by ns_per_window (BENCH_8.json
+                     baseline) — steady serving vs serving across
+                     mid-stream artifact hot-swaps. The reload-phase rows
+                     include the swap pauses in their wall time, so a
+                     reload path that starts blocking scoring trips the
+                     same 2x gate. max_push_ns and reload_pause_ns ride
+                     along for inspection but are single-sample maxima
+                     (one scheduler preemption moves them 100x), so they
+                     are not gated.
 
 Fails (exit 1) if any entry present in both files got slower than
 --max-ratio x the baseline time. The threshold is loose on purpose:
@@ -56,13 +66,16 @@ def entry_key(bench, e):
                 e["impl"])
     if bench == "bench_serve_policy":
         return (e["streams"], e["max_batch"], e["threads"], e["policy"])
+    if bench == "bench_serve_reload":
+        return (e["streams"], e["max_batch"], e["threads"], e["phase"])
     if bench == "bench_serve":
         return (e["streams"], e["max_batch"], e["threads"], e.get("impl", ""))
     return (e["op"], e["shape"], e["threads"], e["impl"])
 
 
 def metric_name(bench):
-    if bench in ("bench_serve", "bench_serve_scale", "bench_serve_policy"):
+    if bench in ("bench_serve", "bench_serve_scale", "bench_serve_policy",
+                 "bench_serve_reload"):
         return "ns_per_window"
     return "ns_per_iter"
 

@@ -22,6 +22,10 @@
 #                    (static vs streaming-SPOT verdicts, ns/window and
 #                    bytes/idle-stream; default: BENCH_7.json in the repo
 #                    root; same regression checker, BENCH_7.json baseline)
+#   RELOAD_JSON=path where to write the hot-swap reload entries (steady vs
+#                    reload phases with max-push and reload-pause times;
+#                    default: BENCH_8.json in the repo root; same
+#                    regression checker, BENCH_8.json baseline)
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -32,6 +36,7 @@ BENCH_JSON="${BENCH_JSON:-BENCH_3.json}"
 SERVE_JSON="${SERVE_JSON:-BENCH_5.json}"
 SCALE_JSON="${SCALE_JSON:-BENCH_6.json}"
 POLICY_JSON="${POLICY_JSON:-BENCH_7.json}"
+RELOAD_JSON="${RELOAD_JSON:-BENCH_8.json}"
 
 if [[ ! -x "${BUILD_DIR}/bench_training_time" ]]; then
   echo "error: ${BUILD_DIR}/bench_training_time not found." >&2
@@ -59,10 +64,11 @@ fi
 if [[ -x "${BUILD_DIR}/bench_serve" ]]; then
   echo "=== Multi-stream serving (streams x max-batch x impl; writes ${SERVE_JSON};"
   echo "    scale table streams x shards with bytes/idle-stream; writes ${SCALE_JSON};"
-  echo "    threshold-policy table static vs spot; writes ${POLICY_JSON}) ==="
+  echo "    threshold-policy table static vs spot; writes ${POLICY_JSON};"
+  echo "    hot-swap reload table steady vs reload; writes ${RELOAD_JSON}) ==="
   "${BUILD_DIR}/bench_serve" --models="${MODELS}" --epochs="${EPOCHS}" \
     --caee_json="${SERVE_JSON}" --caee_scale_json="${SCALE_JSON}" \
-    --caee_policy_json="${POLICY_JSON}"
+    --caee_policy_json="${POLICY_JSON}" --caee_reload_json="${RELOAD_JSON}"
   echo
 else
   echo "error: ${BUILD_DIR}/bench_serve not found (build first)" >&2

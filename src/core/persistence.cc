@@ -8,6 +8,10 @@
 #include <utility>
 #include <vector>
 
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
 #include "common/binio.h"
 #include "common/crc32.h"
 
@@ -260,32 +264,43 @@ class PayloadBuf : public std::streambuf {
   }
 };
 
-/// Serving processes should never see a half-written artifact: the file is
-/// written to `path`.tmp and renamed into place only after a successful
-/// close, so a crash or full disk mid-write leaves any previous good
-/// artifact at `path` untouched.
+/// Serving processes should never see a half-written artifact: the bytes
+/// are written to `path`.tmp, flushed AND fsync'd to stable storage, and
+/// only then renamed into place. rename(2) is atomic within a filesystem,
+/// so a concurrent reader — or a crash / power loss at any instant — sees
+/// either the complete previous artifact or the complete new one, never a
+/// torn mix. The fsync before the rename matters: without it the rename
+/// can become durable before the data blocks do, and a power loss would
+/// leave a valid name pointing at garbage.
 Status WriteArtifact(const std::string& path,
                      const std::vector<Section>& sections) {
+  std::ostringstream os;
+  io::WritePod(os, kArtifactMagic);
+  io::WritePod(os, kArtifactVersion);
+  io::WritePod(os, static_cast<uint32_t>(sections.size()));
+  for (const Section& section : sections) {
+    io::WritePod(os, section.tag);
+    io::WritePod(os, static_cast<uint64_t>(section.payload.size()));
+    io::WritePod(os, Crc32(section.payload.data(), section.payload.size()));
+    os.write(section.payload.data(),
+             static_cast<std::streamsize>(section.payload.size()));
+  }
+  const std::string blob = os.str();
+
   const std::string tmp_path = path + ".tmp";
-  {
-    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::IOError("cannot open for write: " + tmp_path);
-    io::WritePod(out, kArtifactMagic);
-    io::WritePod(out, kArtifactVersion);
-    io::WritePod(out, static_cast<uint32_t>(sections.size()));
-    for (const Section& section : sections) {
-      io::WritePod(out, section.tag);
-      io::WritePod(out, static_cast<uint64_t>(section.payload.size()));
-      io::WritePod(out,
-                   Crc32(section.payload.data(), section.payload.size()));
-      out.write(section.payload.data(),
-                static_cast<std::streamsize>(section.payload.size()));
-    }
-    out.close();
-    if (!out) {
-      std::remove(tmp_path.c_str());
-      return Status::IOError("write failed: " + tmp_path);
-    }
+  std::FILE* out = std::fopen(tmp_path.c_str(), "wb");
+  if (out == nullptr) {
+    return Status::IOError("cannot open for write: " + tmp_path);
+  }
+  bool ok = std::fwrite(blob.data(), 1, blob.size(), out) == blob.size();
+  if (ok) ok = std::fflush(out) == 0;
+#ifndef _WIN32
+  if (ok) ok = ::fsync(::fileno(out)) == 0;
+#endif
+  if (std::fclose(out) != 0) ok = false;
+  if (!ok) {
+    std::remove(tmp_path.c_str());
+    return Status::IOError("write failed: " + tmp_path);
   }
   if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
     std::remove(tmp_path.c_str());
@@ -365,12 +380,17 @@ StatusOr<LoadedEnsemble> LoadEnsemble(const std::string& path) {
   in.seekg(0);
   in.read(data.data(), file_size);
   if (!in) return Status::IOError("read failed: " + path);
+  return ParseEnsembleArtifact(data, path);
+}
 
+StatusOr<LoadedEnsemble> ParseEnsembleArtifact(const std::string& data,
+                                               const std::string& name) {
   constexpr size_t kHeaderBytes = 3 * sizeof(uint32_t);
   constexpr size_t kSectionHeaderBytes =
       sizeof(uint32_t) + sizeof(uint64_t) + sizeof(uint32_t);
   if (data.size() < kHeaderBytes) {
-    return Status::IOError("truncated artifact (no header): " + path);
+    return Status::IOError("truncated artifact (no header, " +
+                           std::to_string(data.size()) + " bytes): " + name);
   }
   uint32_t magic = 0, version = 0, section_count = 0;
   std::memcpy(&magic, data.data(), sizeof(magic));
@@ -378,7 +398,7 @@ StatusOr<LoadedEnsemble> LoadEnsemble(const std::string& path) {
   std::memcpy(&section_count, data.data() + 8, sizeof(section_count));
   if (magic != kArtifactMagic) {
     return Status::IOError("not a CAEE ensemble artifact (bad magic): " +
-                           path);
+                           name);
   }
   if (version != kArtifactVersion) {
     return Status::InvalidArgument(
@@ -404,32 +424,47 @@ StatusOr<LoadedEnsemble> LoadEnsemble(const std::string& path) {
   size_t offset = kHeaderBytes;
   for (uint32_t i = 0; i < section_count; ++i) {
     if (data.size() - offset < kSectionHeaderBytes) {
-      return Status::IOError("truncated artifact (section " +
-                             std::to_string(i) + " header cut off)");
+      return Status::IOError(
+          "truncated artifact (section " + std::to_string(i) +
+          " header cut off at byte offset " + std::to_string(offset) + " of " +
+          std::to_string(data.size()) + ")");
     }
+    const size_t section_offset = offset;
     uint32_t tag = 0, crc = 0;
     uint64_t size = 0;
     std::memcpy(&tag, data.data() + offset, sizeof(tag));
     std::memcpy(&size, data.data() + offset + 4, sizeof(size));
     std::memcpy(&crc, data.data() + offset + 12, sizeof(crc));
     offset += kSectionHeaderBytes;
+    // Triage context for every per-section failure: which section, where it
+    // starts in the file, how long its payload claims to be. A fault
+    // injected (or real) at byte N is attributable from the message alone.
+    const std::string where = TagName(tag) + " section at byte offset " +
+                              std::to_string(section_offset) + " (payload " +
+                              std::to_string(size) + " bytes)";
     if (size > data.size() - offset) {
-      return Status::IOError("truncated artifact (" + TagName(tag) +
-                             " payload extends past end of file)");
+      return Status::IOError("truncated artifact: " + where +
+                             " extends past end of file (" +
+                             std::to_string(data.size()) + " bytes)");
     }
     const char* payload = data.data() + offset;
     if (Crc32(payload, static_cast<size_t>(size)) != crc) {
-      return Status::IOError("checksum mismatch in " + TagName(tag) +
-                             " section of " + path);
+      return Status::IOError("checksum mismatch in " + where + " of " + name);
     }
     PayloadBuf payload_buf(payload, static_cast<size_t>(size));
     std::istream is(&payload_buf);
+    // Parse failures inside a section keep their own code but gain the
+    // section/offset prefix.
+    const auto annotate = [&where](const Status& s) {
+      return Status(s.code(), "in " + where + ": " + s.message());
+    };
     switch (tag) {
       case kSectionConfig: {
         if (have_config) {
           return Status::IOError("artifact has duplicate config sections");
         }
-        CAEE_RETURN_NOT_OK(ParseConfigPayload(is, &cfg, &input_dim));
+        Status s = ParseConfigPayload(is, &cfg, &input_dim);
+        if (!s.ok()) return annotate(s);
         have_config = true;
         break;
       }
@@ -437,7 +472,8 @@ StatusOr<LoadedEnsemble> LoadEnsemble(const std::string& path) {
         if (have_scaler) {
           return Status::IOError("artifact has duplicate scaler sections");
         }
-        CAEE_RETURN_NOT_OK(ParseScalerPayload(is, &scaler));
+        Status s = ParseScalerPayload(is, &scaler);
+        if (!s.ok()) return annotate(s);
         have_scaler = true;
         break;
       }
@@ -446,14 +482,14 @@ StatusOr<LoadedEnsemble> LoadEnsemble(const std::string& path) {
           return Status::IOError("artifact has duplicate embedding sections");
         }
         auto dict = nn::ReadStateDict(is);
-        if (!dict.ok()) return dict.status();
+        if (!dict.ok()) return annotate(dict.status());
         embedding_state = std::move(dict).value();
         have_embedding = true;
         break;
       }
       case kSectionMember: {
         auto dict = nn::ReadStateDict(is);
-        if (!dict.ok()) return dict.status();
+        if (!dict.ok()) return annotate(dict.status());
         member_states.push_back(std::move(dict).value());
         break;
       }
@@ -462,9 +498,11 @@ StatusOr<LoadedEnsemble> LoadEnsemble(const std::string& path) {
           return Status::IOError("artifact has duplicate threshold sections");
         }
         double value = 0.0;
-        CAEE_RETURN_NOT_OK(io::ReadPod(is, &value));
+        Status s = io::ReadPod(is, &value);
+        if (!s.ok()) return annotate(s);
         if (!std::isfinite(value)) {
-          return Status::IOError("artifact threshold is not finite");
+          return Status::IOError("in " + where +
+                                 ": artifact threshold is not finite");
         }
         threshold = value;
         break;
@@ -474,19 +512,25 @@ StatusOr<LoadedEnsemble> LoadEnsemble(const std::string& path) {
           return Status::IOError("artifact has duplicate spot sections");
         }
         SpotInit parsed;
-        CAEE_RETURN_NOT_OK(ParseSpotPayload(is, &parsed));
+        Status s = ParseSpotPayload(is, &parsed);
+        if (!s.ok()) return annotate(s);
         spot = std::move(parsed);
         break;
       }
       default:
-        return Status::IOError("unknown artifact section " + TagName(tag) +
+        return Status::IOError("unknown artifact section " + where +
                                " (version skew?)");
     }
-    CAEE_RETURN_NOT_OK(CheckFullyConsumed(is, tag));
+    Status consumed = CheckFullyConsumed(is, tag);
+    if (!consumed.ok()) return annotate(consumed);
     offset += size;
   }
   if (offset != data.size()) {
-    return Status::IOError("artifact has trailing bytes after last section");
+    return Status::IOError(
+        "artifact has trailing bytes after last section (sections end at "
+        "byte offset " +
+        std::to_string(offset) + ", file is " + std::to_string(data.size()) +
+        " bytes)");
   }
   if (!have_config) {
     return Status::IOError("artifact is missing its config section");

@@ -1,0 +1,90 @@
+// serve::FaultInjector — deterministic fault hooks for the model-lifecycle
+// robustness tests (tests/fault_injection_test.cc, docs/operations.md).
+//
+// Production binaries never construct one; the engine's fault pointer stays
+// null and the injection sites compile down to one null check. Tests wire an
+// injector in (ServingEngine::set_fault_injector) and arm individual faults
+// to prove the hot-swap path degrades instead of crashing:
+//
+//   fail_loads     the next N artifact read attempts fail with a transient
+//                  IOError BEFORE any byte is read — exercises the bounded
+//                  retry-with-backoff in LoadGeneration.
+//   truncate_at    the artifact image is cut to N bytes after a successful
+//                  read — a half-written or torn file. Parse-stage failure:
+//                  NOT retried, the engine keeps its current generation.
+//   flip_bit_at    bit N of the artifact image is flipped after the read —
+//                  silent corruption the per-section CRCs must catch.
+//   load_delay_ms  every read attempt sleeps first — slow storage; proves a
+//                  reload in progress never blocks the scoring hot path.
+//   nan_scores     the next N scores coming out of a flush are replaced
+//                  with quiet NaN — a poisoned-model burst; the NaN rule
+//                  (docs/thresholds.md) must flag every one and count them
+//                  in non_finite_scores.
+//
+// All fields are atomics: tests arm faults from the main thread while
+// pusher/reload threads consume them. Consuming decrements, so "next N"
+// faults expire on their own and the system must then converge.
+
+#ifndef CAEE_SERVE_FAULT_INJECTION_H_
+#define CAEE_SERVE_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace caee {
+namespace serve {
+
+class FaultInjector {
+ public:
+  // --- Arming (test thread) ---------------------------------------------
+  std::atomic<int32_t> fail_loads{0};
+  std::atomic<int64_t> truncate_at{-1};   // byte count; < 0 = off
+  std::atomic<int64_t> flip_bit_at{-1};   // bit index; < 0 = off
+  std::atomic<int32_t> load_delay_ms{0};  // per read attempt; 0 = off
+  std::atomic<int64_t> nan_scores{0};
+
+  // --- Consumption (load / flush paths) ---------------------------------
+
+  /// \brief True exactly `fail_loads` times, then false: one injected
+  /// transient read failure per decrement.
+  bool ConsumeFailLoad() { return ConsumeOne(&fail_loads); }
+
+  /// \brief True exactly `nan_scores` times: one poisoned score per
+  /// decrement.
+  bool ConsumeNanScore() { return ConsumeOne(&nan_scores); }
+
+  /// \brief Apply the armed image corruptions (truncation, bit flip) to an
+  /// artifact image that was just read. These model PERSISTENT on-disk
+  /// corruption, so they are not consumed — every attempt sees the same
+  /// broken bytes until the test disarms them.
+  void MutateImage(std::string* image) const {
+    const int64_t cut = truncate_at.load(std::memory_order_relaxed);
+    if (cut >= 0 && static_cast<size_t>(cut) < image->size()) {
+      image->resize(static_cast<size_t>(cut));
+    }
+    const int64_t bit = flip_bit_at.load(std::memory_order_relaxed);
+    if (bit >= 0 && static_cast<size_t>(bit / 8) < image->size()) {
+      (*image)[static_cast<size_t>(bit / 8)] ^=
+          static_cast<char>(1u << (bit % 8));
+    }
+  }
+
+ private:
+  template <typename T>
+  static bool ConsumeOne(std::atomic<T>* counter) {
+    T n = counter->load(std::memory_order_relaxed);
+    while (n > 0) {
+      if (counter->compare_exchange_weak(n, n - 1,
+                                         std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace serve
+}  // namespace caee
+
+#endif  // CAEE_SERVE_FAULT_INJECTION_H_

@@ -151,6 +151,19 @@ Frame MakeObserveFrame(int64_t stream_id, const std::vector<float>& values) {
 
 Frame MakeFlushFrame() { return MakeFrame(FrameType::kFlush, 0); }
 
+Frame MakeReloadFrame(const std::string& path) {
+  // Paths are operator input; the frame bound leaves ample headroom, but a
+  // path that cannot fit is a caller bug, not a tenant error.
+  CAEE_CHECK_MSG(path.size() + 64 < kMaxFrameBytes,
+                 "reload path exceeds the frame bound");
+  Frame frame = MakeFrame(FrameType::kReload, 0);
+  const uint32_t len = static_cast<uint32_t>(path.size());
+  frame.payload.reserve(sizeof(len) + path.size());
+  AppendPod(&frame.payload, &len, sizeof(len));
+  if (!path.empty()) AppendPod(&frame.payload, path.data(), path.size());
+  return frame;
+}
+
 Frame MakeScoreFrame(const StreamScore& score) {
   Frame frame = MakeFrame(FrameType::kScore, score.stream_id);
   const uint64_t index = static_cast<uint64_t>(score.index);
@@ -225,6 +238,26 @@ Status ParseObserve(const Frame& frame, std::vector<float>* values) {
   values->resize(count);
   std::memcpy(values->data(), frame.payload.data() + sizeof(count),
               static_cast<size_t>(count) * sizeof(float));
+  return Status::OK();
+}
+
+Status ParseReload(const Frame& frame, std::string* path) {
+  CAEE_RETURN_NOT_OK(
+      CheckTypeAndSize(frame, FrameType::kReload, sizeof(uint32_t),
+                       "reload"));
+  uint32_t len = 0;
+  std::memcpy(&len, frame.payload.data(), sizeof(len));
+  if (frame.payload.size() != sizeof(len) + len) {
+    return Status::InvalidArgument(
+        "reload payload declares a " + std::to_string(len) +
+        "-byte path but carries " +
+        std::to_string(frame.payload.size() - sizeof(len)) + " bytes");
+  }
+  if (len == 0) {
+    return Status::InvalidArgument("reload path is empty");
+  }
+  path->assign(
+      reinterpret_cast<const char*>(frame.payload.data()) + sizeof(len), len);
   return Status::OK();
 }
 

@@ -64,9 +64,14 @@ enum class FrameType : uint8_t {
   kClose = 2,     // close a session (owning shard drains); empty payload
   kObserve = 3,   // one observation: u32 count, count x f32
   kFlush = 4,     // flush every shard now; stream_id 0; empty payload
+  kReload = 5,    // admin: hot-swap the artifact at the payload path
+                  // (u32 len, len path bytes); stream_id 0; answered kOk
+                  // on swap, kError (old generation kept) on rejection.
+                  // A new TYPE, not a version bump — unknown types pass
+                  // the framing layer by design (docs/protocol.md).
   // Responses.
   kScore = 16,         // u64 index, f64 score, u8 flag
-  kOk = 17,            // open/close acknowledged; empty payload
+  kOk = 17,            // open/close/reload acknowledged; empty payload
   kError = 18,         // u16 StatusCode, u32 len, len message bytes
   kBackpressure = 19,  // shard pending pool full; retry; empty payload
 };
@@ -104,6 +109,9 @@ Frame MakeOpenFrame(int64_t stream_id, core::ThresholdPolicy policy);
 Frame MakeCloseFrame(int64_t stream_id);
 Frame MakeObserveFrame(int64_t stream_id, const std::vector<float>& values);
 Frame MakeFlushFrame();
+/// \brief Admin hot-swap request: serve from the artifact at `path`
+/// (docs/operations.md). The path must fit the frame bound (CHECKed).
+Frame MakeReloadFrame(const std::string& path);
 
 // Response encoders.
 Frame MakeScoreFrame(const StreamScore& score);
@@ -119,6 +127,7 @@ Frame MakeBackpressureFrame(int64_t stream_id);
 Status ParseOpenPolicy(const Frame& frame,
                        std::optional<core::ThresholdPolicy>* policy);
 Status ParseObserve(const Frame& frame, std::vector<float>* values);
+Status ParseReload(const Frame& frame, std::string* path);
 Status ParseScore(const Frame& frame, StreamScore* score);
 Status ParseError(const Frame& frame, Status* error);
 

@@ -1,0 +1,77 @@
+// Generation-versioned ensemble handles: the unit of zero-downtime
+// hot-swap (docs/operations.md).
+//
+// A ServingEngine serves from exactly one live Generation at a time. The
+// handle is refcounted (std::shared_ptr) RCU-style: each shard holds its
+// own reference under its own mutex, a flush in flight finishes on the
+// generation it started with, and ReloadArtifact swaps the references one
+// shard at a time — the old generation's ensemble is freed when the last
+// in-flight reference drops, never under a scoring thread's feet. Stream
+// state (session rings, SPOT tails, pending windows) lives in the SHARDS,
+// not the generation, so a swap drops no stream and no pending window.
+//
+// Generation 1 wraps the caller-owned ensemble the engine was constructed
+// with (owned_ensemble is null); every reloaded generation owns the
+// ensemble it loaded from disk.
+
+#ifndef CAEE_SERVE_GENERATION_H_
+#define CAEE_SERVE_GENERATION_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/persistence.h"
+#include "core/spot.h"
+#include "serve/fault_injection.h"
+
+namespace caee {
+namespace serve {
+
+struct Generation {
+  /// Monotonic id: 1 for the construction-time generation, +1 per
+  /// successful reload. Every StreamScore carries the id of the generation
+  /// that scored it.
+  int64_t id = 0;
+  /// Where the weights came from: the artifact path, or "<construction>".
+  std::string source;
+  /// Non-null for reloaded generations; gen 1's ensemble is caller-owned.
+  /// Non-const so the engine can set runtime knobs (threads, backend) on a
+  /// fresh candidate BEFORE it is shared; after adoption everything reads
+  /// through the const `ensemble` view.
+  std::unique_ptr<core::CaeEnsemble> owned_ensemble;
+  /// The ensemble every shard scores through. Points at owned_ensemble
+  /// when that is set.
+  const core::CaeEnsemble* ensemble = nullptr;
+  /// Calibrated static alert threshold, when the artifact carried one.
+  std::optional<double> threshold;
+  /// SPOT init params, validated; null when the generation is not
+  /// SPOT-capable. Address-stable for the generation's lifetime — shards
+  /// read through their Generation reference.
+  std::unique_ptr<const core::SpotInit> spot;
+};
+
+/// \brief Bounded retry-with-backoff for the artifact READ stage. Only
+/// transient IO failures (open/stat/short read, injected load failures)
+/// are retried; a parse failure means corruption and fails immediately —
+/// re-reading corrupt bytes cannot fix them.
+struct LoadRetryPolicy {
+  int max_attempts = 3;
+  int64_t backoff_ms = 10;  // doubles per retry
+};
+
+/// \brief Load an artifact into a fresh Generation with the given id.
+/// `fault` (nullable) is the test hook: injected load failures count as
+/// transient (retried), injected image corruption as permanent (not).
+/// On failure the returned Status names the attempt count for transient
+/// errors, or the failing section + byte offset for corruption
+/// (core::ParseEnsembleArtifact).
+StatusOr<std::shared_ptr<Generation>> LoadGeneration(
+    const std::string& path, int64_t id, const LoadRetryPolicy& retry,
+    FaultInjector* fault);
+
+}  // namespace serve
+}  // namespace caee
+
+#endif  // CAEE_SERVE_GENERATION_H_

@@ -6,21 +6,40 @@
 namespace caee {
 namespace serve {
 
+namespace {
+
+DriftMonitorConfig MakeDriftConfig(const ServeConfig& config) {
+  DriftMonitorConfig drift;
+  drift.threshold = config.drift_threshold;
+  drift.clear = config.drift_clear;
+  return drift;
+}
+
+}  // namespace
+
 ServingEngine::ServingEngine(const core::CaeEnsemble* ensemble,
                              const ServeConfig& config,
                              std::optional<double> threshold,
                              std::optional<core::SpotInit> spot)
-    : config_(config), threshold_(threshold) {
+    : config_(config), drift_monitor_(MakeDriftConfig(config)) {
   CAEE_CHECK_MSG(config_.num_shards >= 1, "num_shards must be >= 1");
+  // Generation 1 wraps the caller-owned ensemble (serve/generation.h);
+  // every later generation comes from ReloadArtifact and owns its weights.
+  auto gen = std::make_shared<Generation>();
+  gen->id = 1;
+  gen->source = "<construction>";
+  gen->ensemble = ensemble;
+  gen->threshold = threshold;
   if (spot.has_value()) {
     const Status valid = core::ValidateSpotInit(*spot);
     CAEE_CHECK_MSG(valid.ok(), "ServingEngine: invalid SPOT init params");
-    spot_ = std::make_unique<const core::SpotInit>(std::move(*spot));
+    gen->spot = std::make_unique<const core::SpotInit>(std::move(*spot));
   }
   CAEE_CHECK_MSG(
       config_.threshold_policy != core::ThresholdPolicy::kSpot ||
-          spot_ != nullptr,
+          gen->spot != nullptr,
       "default threshold policy kSpot needs SPOT init params");
+  gen_ = gen;
   ShardConfig shard_config;
   shard_config.max_batch = config_.max_batch;
   shard_config.flush_deadline_ms = config_.flush_deadline_ms;
@@ -28,9 +47,115 @@ ServingEngine::ServingEngine(const core::CaeEnsemble* ensemble,
   shards_.reserve(static_cast<size_t>(config_.num_shards));
   for (int64_t s = 0; s < config_.num_shards; ++s) {
     shards_.push_back(std::make_unique<EngineShard>(
-        ensemble, shard_config, threshold, config_.threshold_policy,
-        spot_.get()));
+        gen_, shard_config, config_.threshold_policy));
   }
+}
+
+std::shared_ptr<const Generation> ServingEngine::CurrentGeneration() const {
+  std::lock_guard<std::mutex> lock(gen_mu_);
+  return gen_;
+}
+
+std::optional<double> ServingEngine::threshold() const {
+  return CurrentGeneration()->threshold;
+}
+
+const core::SpotInit* ServingEngine::spot() const {
+  return CurrentGeneration()->spot.get();
+}
+
+int64_t ServingEngine::generation() const { return CurrentGeneration()->id; }
+
+void ServingEngine::set_fault_injector(FaultInjector* fault) {
+  fault_ = fault;
+  for (auto& shard : shards_) shard->set_fault_injector(fault);
+}
+
+StatusOr<int64_t> ServingEngine::ReloadArtifact(const std::string& path) {
+  // One reload at a time, end to end: the shard fan-outs of two concurrent
+  // reloads must not interleave — the engine always converges to exactly
+  // one live generation (the last reload to run wins).
+  std::lock_guard<std::mutex> reload_lock(reload_mu_);
+  const std::shared_ptr<const Generation> current = CurrentGeneration();
+
+  auto fail = [&](Status s) -> Status {
+    reloads_failed_.fetch_add(1, std::memory_order_relaxed);
+    return Status(s.code(),
+                  "reload rejected, still serving generation " +
+                      std::to_string(current->id) + ": " + s.message());
+  };
+
+  auto candidate =
+      LoadGeneration(path, current->id + 1, retry_, fault_);
+  if (!candidate.ok()) return fail(candidate.status());
+  std::shared_ptr<Generation> gen = std::move(candidate).value();
+
+  // Validate the candidate against the LIVE deployment before any shard
+  // sees it. Session rings and SPOT slabs are sized by this geometry, and
+  // open sessions must keep scoring across the swap — an incompatible
+  // artifact is a degraded-mode error, not a crash.
+  const core::CaeEnsemble& live = *current->ensemble;
+  const core::CaeEnsemble& next = *gen->ensemble;
+  if (next.config().window != live.config().window) {
+    return fail(Status::FailedPrecondition(
+        "candidate artifact window " +
+        std::to_string(next.config().window) + " != serving window " +
+        std::to_string(live.config().window)));
+  }
+  if (next.input_dim() != live.input_dim()) {
+    return fail(Status::FailedPrecondition(
+        "candidate artifact input width " +
+        std::to_string(next.input_dim()) + " != serving width " +
+        std::to_string(live.input_dim())));
+  }
+  if ((gen->spot != nullptr) != (current->spot != nullptr)) {
+    return fail(Status::FailedPrecondition(
+        std::string("SPOT capability is fixed at engine construction: "
+                    "candidate artifact ") +
+        (gen->spot != nullptr ? "carries" : "lacks") +
+        " SPOT init params but the engine was loaded " +
+        (current->spot != nullptr ? "with" : "without") + " them"));
+  }
+  if (gen->spot != nullptr &&
+      gen->spot->config.peak_capacity != current->spot->config.peak_capacity) {
+    return fail(Status::FailedPrecondition(
+        "candidate SPOT peak capacity " +
+        std::to_string(gen->spot->config.peak_capacity) +
+        " != serving capacity " +
+        std::to_string(current->spot->config.peak_capacity) +
+        " (per-stream peak slabs are sized by it)"));
+  }
+  // The new ensemble inherits the live one's runtime knobs — they are
+  // deployment configuration, not artifact content. Safe to mutate here:
+  // the candidate is not yet shared with any shard.
+  gen->owned_ensemble->set_num_threads(live.config().num_threads);
+  gen->owned_ensemble->set_scoring_backend(live.scoring_backend());
+
+  // Fan the swap out shard by shard. Each AdoptGeneration takes that
+  // shard's mutex, so any flush in flight finishes on its starting
+  // generation first (the RCU grace period). During the fan-out, shards
+  // ahead of the cursor score on the new generation and shards behind it
+  // on the old — every window still lands on exactly one generation.
+  const std::shared_ptr<const Generation> adopted = std::move(gen);
+  for (auto& shard : shards_) shard->AdoptGeneration(adopted);
+  {
+    std::lock_guard<std::mutex> lock(gen_mu_);
+    gen_ = adopted;
+  }
+  {
+    // New calibration baseline -> a fresh drift excursion accounting.
+    std::lock_guard<std::mutex> lock(drift_mu_);
+    drift_monitor_.Reset();
+  }
+  reloads_ok_.fetch_add(1, std::memory_order_relaxed);
+  return adopted->id;
+}
+
+std::optional<RepairRequest> ServingEngine::PollDrift() {
+  const EngineStats stats = Stats();
+  std::lock_guard<std::mutex> lock(drift_mu_);
+  return drift_monitor_.Update(stats.generation, stats.drift,
+                               stats.drift_window);
 }
 
 size_t ServingEngine::ShardOf(int64_t stream_id, size_t num_shards) {
@@ -89,6 +214,9 @@ EngineStats ServingEngine::Stats() const {
     total.drift_window += s.drift_window;
     total.drift = std::max(total.drift, s.drift);
   }
+  total.generation = generation();
+  total.reloads = reloads_ok_.load(std::memory_order_relaxed);
+  total.failed_reloads = reloads_failed_.load(std::memory_order_relaxed);
   return total;
 }
 

@@ -43,12 +43,17 @@
 #ifndef CAEE_SERVE_SERVING_ENGINE_H_
 #define CAEE_SERVE_SERVING_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/ensemble.h"
+#include "serve/drift_monitor.h"
+#include "serve/generation.h"
 #include "serve/shard.h"
 
 namespace caee {
@@ -77,6 +82,13 @@ struct ServeConfig {
   /// and benchmark checksum exactly as before; kSpot requires the engine
   /// to be constructed with SPOT init params.
   core::ThresholdPolicy threshold_policy = core::ThresholdPolicy::kStatic;
+  /// Drift -> repair escalation (serve/drift_monitor.h,
+  /// docs/operations.md): PollDrift emits a RepairRequest once the drift
+  /// statistic exceeds this. <= 0 (the default) disables the monitor.
+  double drift_threshold = 0.0;
+  /// Hysteresis: the monitor re-arms once drift falls below this.
+  /// <= 0 means drift_threshold / 2.
+  double drift_clear = 0.0;
 };
 
 class ServingEngine {
@@ -133,10 +145,51 @@ class ServingEngine {
   /// mid-batch.
   Status FlushIfExpired(std::vector<StreamScore>* out);
 
+  /// \brief Hot-swap the engine onto the artifact at `path` with zero
+  /// downtime (docs/operations.md). The artifact is loaded with bounded
+  /// retry-with-backoff for transient IO errors, validated against the
+  /// live deployment (same window and input width; SPOT capability and
+  /// peak capacity must match — per-stream slabs are sized by them), and
+  /// adopted shard by shard: a flush in flight finishes on the generation
+  /// it started with, every later flush scores through the new one, and
+  /// no stream, session ring, SPOT tail, or pending window is dropped.
+  /// Every scored window carries the id of exactly one generation and is
+  /// bitwise equal to a single-generation run of that artifact.
+  ///
+  /// Degraded mode: if the candidate fails to load or validate, the
+  /// engine KEEPS SERVING the current generation untouched and returns a
+  /// descriptive error (failed_reloads counts it). Concurrent reloads are
+  /// serialized; the engine always converges to exactly one live
+  /// generation (the last successful swap wins). Returns the new
+  /// generation id on success.
+  StatusOr<int64_t> ReloadArtifact(const std::string& path);
+
+  /// \brief The live generation id (1 = the construction-time ensemble).
+  int64_t generation() const;
+
+  /// \brief Feed the current drift statistic (Stats().drift) to the
+  /// engine's DriftMonitor. Returns a RepairRequest the first time drift
+  /// exceeds ServeConfig::drift_threshold, then nothing until that
+  /// excursion clears (hysteresis) or a reload resets the monitor. Always
+  /// nullopt when drift_threshold <= 0. Thread-safe; call it from the
+  /// same cadence as FlushIfExpired.
+  std::optional<RepairRequest> PollDrift();
+
+  /// \brief Test hook (tests/fault_injection_test.cc): wires fault
+  /// injection into artifact loads and flush scoring. Call before
+  /// concurrent use; nullptr (the default) in production.
+  void set_fault_injector(FaultInjector* fault);
+
+  /// \brief Retry/backoff knobs for ReloadArtifact's read stage.
+  void set_load_retry_policy(const LoadRetryPolicy& retry) {
+    retry_ = retry;
+  }
+
   /// \brief Monitoring counters summed across shards; `drift` is the MAX
   /// over shards (a healthy fleet with one drifting shard should read as
-  /// drifting, not averaged away). See EngineStats (serve/shard.h) and
-  /// docs/thresholds.md.
+  /// drifting, not averaged away), plus the engine-level lifecycle fields
+  /// (generation, reloads, failed_reloads). See EngineStats
+  /// (serve/shard.h) and docs/thresholds.md.
   EngineStats Stats() const;
 
   /// \brief Open sessions across all shards.
@@ -151,10 +204,13 @@ class ServingEngine {
 
   int64_t num_shards() const { return static_cast<int64_t>(shards_.size()); }
   const ServeConfig& config() const { return config_; }
-  std::optional<double> threshold() const { return threshold_; }
-  /// \brief The loaded SPOT init params, or nullptr — i.e. whether kSpot
-  /// sessions can be opened.
-  const core::SpotInit* spot() const { return spot_.get(); }
+  /// \brief The LIVE generation's calibrated threshold.
+  std::optional<double> threshold() const;
+  /// \brief The live generation's SPOT init params, or nullptr — i.e.
+  /// whether kSpot sessions can be opened (capability is invariant across
+  /// reloads, so the null-ness never changes; the pointee is valid until
+  /// the next successful reload).
+  const core::SpotInit* spot() const;
 
   /// \brief The stream -> shard assignment (SplitMix64 hash mod
   /// num_shards). Exposed so tests and capacity tooling can reason about
@@ -167,11 +223,26 @@ class ServingEngine {
     return *shards_[ShardOf(stream_id, shards_.size())];
   }
 
+  std::shared_ptr<const Generation> CurrentGeneration() const;
+
   ServeConfig config_;
-  std::optional<double> threshold_;
-  // Heap-owned so its address survives an engine move — every shard holds
-  // a raw pointer to these shared, immutable init params.
-  std::unique_ptr<const core::SpotInit> spot_;
+  // The live generation handle (serve/generation.h). gen_mu_ guards only
+  // the POINTER — scoring threads never touch it (each shard holds its own
+  // reference under its own lock).
+  mutable std::mutex gen_mu_;
+  std::shared_ptr<const Generation> gen_;
+  // Serializes ReloadArtifact calls end to end: two concurrent reloads
+  // must converge to ONE live generation (the second swap fully replaces
+  // the first), never interleave their shard fan-outs.
+  std::mutex reload_mu_;
+  LoadRetryPolicy retry_;
+  FaultInjector* fault_ = nullptr;  // test hook; null in production
+  std::atomic<int64_t> reloads_ok_{0};
+  std::atomic<int64_t> reloads_failed_{0};
+  // Drift -> repair escalation, guarded by its own mutex (PollDrift may
+  // race Stats readers and reload resets).
+  mutable std::mutex drift_mu_;
+  DriftMonitor drift_monitor_;
   // unique_ptr per shard: EngineShard owns a mutex (immovable), and each
   // shard gets its own cache-line neighborhood instead of sharing one
   // contiguous allocation with its siblings.

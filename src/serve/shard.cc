@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <utility>
 
@@ -101,28 +102,27 @@ size_t StreamIndex::MemoryBytes() const {
 // EngineShard
 // ---------------------------------------------------------------------------
 
-EngineShard::EngineShard(const core::CaeEnsemble* ensemble,
+EngineShard::EngineShard(std::shared_ptr<const Generation> gen,
                          const ShardConfig& config,
-                         std::optional<double> threshold,
-                         core::ThresholdPolicy default_policy,
-                         const core::SpotInit* spot)
-    : ensemble_(ensemble),
+                         core::ThresholdPolicy default_policy)
+    : gen_(std::move(gen)),
       config_(config),
-      threshold_(threshold),
-      default_policy_(default_policy),
-      spot_(spot) {
-  CAEE_CHECK_MSG(ensemble_ != nullptr, "null ensemble");
-  CAEE_CHECK_MSG(ensemble_->fitted(), "EngineShard needs a fitted ensemble");
+      default_policy_(default_policy) {
+  CAEE_CHECK_MSG(gen_ != nullptr, "null generation");
+  CAEE_CHECK_MSG(gen_->ensemble != nullptr, "null ensemble");
+  CAEE_CHECK_MSG(gen_->ensemble->fitted(),
+                 "EngineShard needs a fitted ensemble");
   CAEE_CHECK_MSG(config_.max_batch >= 1, "max_batch must be >= 1");
   CAEE_CHECK_MSG(default_policy_ != core::ThresholdPolicy::kSpot ||
-                     spot_ != nullptr,
+                     gen_->spot != nullptr,
                  "default policy kSpot needs SPOT init params");
-  window_ = ensemble_->config().window;
-  dims_ = ensemble_->input_dim();
+  window_ = gen_->ensemble->config().window;
+  dims_ = gen_->ensemble->input_dim();
   ring_stride_ = static_cast<size_t>(window_ * dims_);
-  spot_stride_ =
-      spot_ != nullptr ? static_cast<size_t>(spot_->config.peak_capacity) : 0;
-  if (spot_ != nullptr) {
+  spot_stride_ = gen_->spot != nullptr
+                     ? static_cast<size_t>(gen_->spot->config.peak_capacity)
+                     : 0;
+  if (gen_->spot != nullptr) {
     // Drift needs the calibration baseline, so it exists exactly when
     // SPOT params do. Fixed capacity up front: drift updates never
     // allocate.
@@ -130,10 +130,39 @@ EngineShard::EngineShard(const core::CaeEnsemble* ensemble,
   }
 }
 
+void EngineShard::AdoptGeneration(std::shared_ptr<const Generation> gen) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // The engine validated compatibility before fan-out; re-CHECK the slab
+  // geometry the session store is sized by — a mismatch here would corrupt
+  // every ring.
+  CAEE_CHECK_MSG(gen != nullptr && gen->ensemble != nullptr,
+                 "AdoptGeneration: null generation");
+  CAEE_CHECK_MSG(gen->ensemble->config().window == window_ &&
+                     gen->ensemble->input_dim() == dims_,
+                 "AdoptGeneration: window/dims mismatch past validation");
+  CAEE_CHECK_MSG((gen->spot != nullptr) == (gen_->spot != nullptr),
+                 "AdoptGeneration: SPOT capability mismatch past validation");
+  CAEE_CHECK_MSG(gen->spot == nullptr ||
+                     static_cast<size_t>(gen->spot->config.peak_capacity) ==
+                         spot_stride_,
+                 "AdoptGeneration: peak capacity mismatch past validation");
+  gen_ = std::move(gen);
+  // Restart drift accounting: the statistic compares live traffic against
+  // the CALIBRATION baseline, and that baseline just changed. Mixing
+  // exceed bits measured against the old t with the new level would read
+  // as phantom drift (or mask real drift) right after a swap.
+  if (!drift_ring_.empty()) {
+    std::fill(drift_ring_.begin(), drift_ring_.end(), 0);
+  }
+  drift_head_ = 0;
+  drift_count_ = 0;
+  drift_exceed_ = 0;
+}
+
 Status EngineShard::OpenStream(int64_t stream_id,
                                core::ThresholdPolicy policy) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (policy == core::ThresholdPolicy::kSpot && spot_ == nullptr) {
+  if (policy == core::ThresholdPolicy::kSpot && gen_->spot == nullptr) {
     return Status::FailedPrecondition(
         "stream " + std::to_string(stream_id) +
         " requested the spot policy but the engine has no SPOT init "
@@ -152,7 +181,7 @@ Status EngineShard::OpenStream(int64_t stream_id,
     sessions_.emplace_back();
     rings_.resize(rings_.size() + ring_stride_);
     policies_.push_back(0);
-    if (spot_ != nullptr) {
+    if (gen_->spot != nullptr) {
       spot_tails_.emplace_back();
       spot_peaks_.resize(spot_peaks_.size() + spot_stride_);
     }
@@ -162,7 +191,7 @@ Status EngineShard::OpenStream(int64_t stream_id,
   if (policy == core::ThresholdPolicy::kSpot) {
     // A fresh (or recycled) session restarts SPOT from the calibrated
     // init, matching the cold window ring.
-    core::SpotSeedTail(*spot_, &spot_tails_[slot], SpotPeaksOf(slot));
+    core::SpotSeedTail(*gen_->spot, &spot_tails_[slot], SpotPeaksOf(slot));
   }
   index_.Insert(stream_id, slot);
   return Status::OK();
@@ -284,8 +313,9 @@ Status EngineShard::FlushLocked(std::vector<StreamScore>* out) {
           pending_[next + static_cast<size_t>(b)].values.data(),
           ring_stride_ * sizeof(float));
     }
-    if (Status s = ensemble_->ScoreWindowsLastInto(batch_values_.data(),
-                                                   batch, &batch_scores_);
+    if (Status s = gen_->ensemble->ScoreWindowsLastInto(batch_values_.data(),
+                                                        batch,
+                                                        &batch_scores_);
         !s.ok()) {
       // Keep the unscored tail queued: recycle the scored prefix by
       // swapping the survivors to the front (swap preserves the pool
@@ -296,6 +326,18 @@ Status EngineShard::FlushLocked(std::vector<StreamScore>* out) {
       pending_count_ -= next;
       return s;
     }
+    if (fault_ != nullptr) {
+      // Test hook: a poisoned-model burst. Injected AFTER the forward pass
+      // so the NaN takes the real verdict/stats path (docs/thresholds.md's
+      // NaN rule is what is under test). One branch when no injector is
+      // wired — the production hot path is untouched.
+      for (int64_t b = 0; b < batch; ++b) {
+        if (fault_->ConsumeNanScore()) {
+          batch_scores_[static_cast<size_t>(b)] =
+              std::numeric_limits<double>::quiet_NaN();
+        }
+      }
+    }
     for (int64_t b = 0; b < batch; ++b) {
       const PendingWindow& p = pending_[next + static_cast<size_t>(b)];
       StreamScore result;
@@ -303,6 +345,7 @@ Status EngineShard::FlushLocked(std::vector<StreamScore>* out) {
       result.index = p.index;
       result.score = batch_scores_[static_cast<size_t>(b)];
       result.flag = VerdictLocked(p.stream_id, result.score);
+      result.generation = gen_->id;
       if (out != nullptr) out->push_back(result);
     }
     next += static_cast<size_t>(batch);
@@ -326,21 +369,22 @@ bool EngineShard::VerdictLocked(int64_t stream_id, double score) {
   if (slot != StreamIndex::kNotFound &&
       policies_[slot] ==
           static_cast<uint8_t>(core::ThresholdPolicy::kSpot)) {
-    flag = core::SpotObserve(*spot_, &spot_tails_[slot], SpotPeaksOf(slot),
-                             score);
+    flag = core::SpotObserve(*gen_->spot, &spot_tails_[slot],
+                             SpotPeaksOf(slot), score);
   } else {
     // NaN-safe static verdict: a non-finite score always flags, even
-    // without a calibrated threshold (`score > *threshold_` alone is
+    // without a calibrated threshold (`score > threshold` alone is
     // false for NaN — the silent-non-alert bug this replaced).
-    flag = !finite || (threshold_.has_value() && score > *threshold_);
+    flag = !finite ||
+           (gen_->threshold.has_value() && score > *gen_->threshold);
   }
   if (flag) ++stats_.alerts;
 
-  if (spot_ != nullptr) {
+  if (gen_->spot != nullptr) {
     // Drift ring: exceed bit vs the CALIBRATION peaks threshold t (not
     // the adaptive z — the point is to compare live traffic against what
     // the artifact promised). Non-finite scores count as exceeds.
-    const uint8_t exceed = (!finite || score > spot_->t) ? 1 : 0;
+    const uint8_t exceed = (!finite || score > gen_->spot->t) ? 1 : 0;
     if (drift_count_ == kDriftWindow) {
       drift_exceed_ -= drift_ring_[drift_head_];
     } else {
@@ -357,10 +401,10 @@ EngineStats EngineShard::Stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   EngineStats stats = stats_;
   stats.drift_window = drift_count_;
-  if (spot_ != nullptr && drift_count_ > 0) {
+  if (gen_->spot != nullptr && drift_count_ > 0) {
     const double observed = static_cast<double>(drift_exceed_) /
                             static_cast<double>(drift_count_);
-    stats.drift = std::abs(observed - (1.0 - spot_->config.level));
+    stats.drift = std::abs(observed - (1.0 - gen_->spot->config.level));
   }
   return stats;
 }

@@ -44,6 +44,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <vector>
@@ -51,6 +52,7 @@
 #include "core/ensemble.h"
 #include "core/spot.h"
 #include "core/threshold.h"
+#include "serve/generation.h"
 
 namespace caee {
 namespace serve {
@@ -64,6 +66,12 @@ struct StreamScore {
   int64_t index = 0;
   double score = 0.0;
   bool flag = false;
+  /// Id of the serve::Generation whose ensemble scored this window
+  /// (docs/operations.md). Under a hot-swap every window is attributable
+  /// to exactly one generation and its score is bitwise equal to a
+  /// single-generation run of that artifact. Process-local bookkeeping —
+  /// deliberately NOT part of the wire score frame or the text output.
+  int64_t generation = 0;
 };
 
 /// \brief Monitoring counters the engine aggregates across its shards
@@ -80,6 +88,11 @@ struct EngineStats {
   int64_t non_finite_scores = 0;   // NaN/inf scores (always flagged)
   int64_t drift_window = 0;        // scores in the drift ring (all shards)
   double drift = 0.0;              // max over shards; in [0, 1]
+  // Model-lifecycle counters, filled by ServingEngine::Stats() (they are
+  // engine-level, not per-shard; shard Stats() leaves them zero).
+  int64_t generation = 0;          // id of the live generation
+  int64_t reloads = 0;             // successful hot-swaps
+  int64_t failed_reloads = 0;      // rejected candidates (old gen kept)
 };
 
 /// \brief Scores per shard the drift statistic is computed over. Small
@@ -140,16 +153,30 @@ class StreamIndex {
 
 class EngineShard {
  public:
-  /// \brief The ensemble must be fitted and outlive the shard; `threshold`
-  /// semantics match ServingEngine's. `default_policy` is the policy
-  /// sessions opened without an explicit one get; `spot` points at the
-  /// ENGINE-owned, loader-validated SPOT init params (shared by every
-  /// shard, address-stable for the shard's lifetime), or nullptr when the
-  /// engine is not SPOT-capable — opening a kSpot session then fails.
-  EngineShard(const core::CaeEnsemble* ensemble, const ShardConfig& config,
-              std::optional<double> threshold,
-              core::ThresholdPolicy default_policy,
-              const core::SpotInit* spot);
+  /// \brief `gen` is the live Generation (serve/generation.h): a fitted
+  /// ensemble, the calibrated threshold, and the SPOT init params when the
+  /// deployment is SPOT-capable (without them opening a kSpot session
+  /// fails). The shard holds its own reference — RCU-style, the engine
+  /// swaps it via AdoptGeneration. `default_policy` is the policy sessions
+  /// opened without an explicit one get.
+  EngineShard(std::shared_ptr<const Generation> gen,
+              const ShardConfig& config,
+              core::ThresholdPolicy default_policy);
+
+  /// \brief Hot-swap this shard onto a new generation. Taking the shard
+  /// mutex IS the RCU grace period: any flush in flight finishes on the
+  /// generation it started with before the swap lands, and every later
+  /// flush scores through the new one. Session rings, SPOT tails, and
+  /// pending windows all survive untouched — the ENGINE validated that the
+  /// new generation's geometry (window, dims, SPOT capability and peak
+  /// capacity) matches before calling this (CHECKed here: a mismatch past
+  /// validation is a programming error). The drift ring restarts: its
+  /// baseline is the new generation's calibration.
+  void AdoptGeneration(std::shared_ptr<const Generation> gen);
+
+  /// \brief Test hook (tests/fault_injection_test.cc): nullptr in
+  /// production. When set, armed score faults poison flush results.
+  void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
 
   // The five engine operations, scoped to this shard's streams and queue.
   // Semantics (including error codes) match the engine-level doc comments
@@ -203,15 +230,19 @@ class EngineShard {
     return spot_peaks_.data() + static_cast<size_t>(slot) * spot_stride_;
   }
 
-  const core::CaeEnsemble* ensemble_;
+  // The live generation, swapped by AdoptGeneration under mu_. Scoring
+  // reads gen_ directly (no per-flush refcount traffic — the mutex is the
+  // grace period), so steady state stays zero-allocation.
+  std::shared_ptr<const Generation> gen_;
   ShardConfig config_;
-  std::optional<double> threshold_;
   core::ThresholdPolicy default_policy_;
-  const core::SpotInit* spot_;  // engine-owned; nullptr = not SPOT-capable
+  FaultInjector* fault_ = nullptr;  // test hook; null in production
+  // Geometry is fixed at construction and validated invariant across
+  // generations (the slabs below are sized by it).
   int64_t window_;
   int64_t dims_;
   size_t ring_stride_;  // window_ * dims_ floats per ring slot
-  size_t spot_stride_;  // peak_capacity doubles per slot (0 without spot_)
+  size_t spot_stride_;  // peak_capacity doubles per slot (0 without SPOT)
 
   mutable std::mutex mu_;
   StreamIndex index_;

@@ -14,11 +14,13 @@
 #include <atomic>
 #include <cstdlib>
 #include <new>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/ensemble.h"
+#include "core/persistence.h"
 #include "core/spot.h"
 #include "infer/arena.h"
 #include "serve/serving_engine.h"
@@ -202,6 +204,78 @@ TEST(AllocCountTest, SteadyStateSpotServingAllocatesNothing) {
   // The policy actually ran: SPOT counters advanced past the seed.
   const serve::EngineStats stats = engine.Stats();
   EXPECT_GE(stats.scored_windows, 160);
+}
+
+// Hot-swap variant (docs/operations.md): ReloadArtifact itself allocates
+// (it loads a whole ensemble — that's the point of doing it off the hot
+// path), but once the new generation's scratch is warm, steady-state
+// scoring through the ADOPTED generation is as allocation-free as the
+// original. The swap must not have left per-push shared_ptr traffic or
+// any other hidden allocation behind in the shards.
+TEST(AllocCountTest, SteadyStateAfterHotSwapAllocatesNothing) {
+  core::EnsembleConfig config;
+  config.cae.embed_dim = 8;
+  config.cae.num_layers = 2;
+  config.window = 8;
+  config.num_models = 3;
+  config.epochs_per_model = 1;
+  config.batch_size = 16;
+  config.max_train_windows = 48;
+  config.num_threads = 1;
+  config.seed = 3;
+  const int64_t dims = 4;
+
+  core::CaeEnsemble ensemble(config);
+  ASSERT_TRUE(ensemble.Fit(testutil::PlantedSeries(96, dims, 4)).ok());
+  const std::string path = ::testing::TempDir() + "/alloc_swap.caee";
+  ASSERT_TRUE(core::SaveEnsemble(ensemble, path, 1.5).ok());
+
+  serve::ServeConfig serve_config;
+  serve_config.max_batch = 4;
+  serve_config.flush_deadline_ms = 0;
+  serve::ServingEngine engine(&ensemble, serve_config);
+  const int64_t kStreams = 2;
+  for (int64_t s = 0; s < kStreams; ++s) {
+    ASSERT_TRUE(engine.OpenStream(s).ok());
+  }
+
+  std::vector<float> row(static_cast<size_t>(dims));
+  std::vector<serve::StreamScore> results;
+  results.reserve(4096);
+  auto push_tick = [&](int64_t t) {
+    bool ok = true;
+    for (int64_t s = 0; s < kStreams; ++s) {
+      for (int64_t j = 0; j < dims; ++j) {
+        row[static_cast<size_t>(j)] =
+            static_cast<float>(0.1 * static_cast<double>(t + s * 7 + j));
+      }
+      ok = engine.Push(s, row, &results).ok() && ok;
+    }
+    return ok;
+  };
+
+  // Warm generation 1, swap (allocation is fine HERE), then warm the
+  // adopted generation's plan scratch the same way.
+  for (int64_t t = 0; t < 40; ++t) ASSERT_TRUE(push_tick(t));
+  ASSERT_TRUE(engine.Flush(&results).ok());
+  auto swapped = engine.ReloadArtifact(path);
+  ASSERT_TRUE(swapped.ok()) << swapped.status();
+  ASSERT_EQ(engine.generation(), 2);
+  for (int64_t t = 40; t < 80; ++t) ASSERT_TRUE(push_tick(t));
+  ASSERT_TRUE(engine.Flush(&results).ok());
+
+  bool pushes_ok = true;
+  const int64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int64_t t = 80; t < 160; ++t) pushes_ok = push_tick(t) && pushes_ok;
+  const int64_t after = g_allocations.load(std::memory_order_relaxed);
+
+  ASSERT_TRUE(pushes_ok);
+  EXPECT_EQ(after - before, 0)
+      << "post-swap steady-state serving performed heap allocations";
+  // Everything in the counting window scored on the new generation.
+  for (const auto& r : results) {
+    if (r.index >= 80) EXPECT_EQ(r.generation, 2);
+  }
 }
 
 // Direct ensemble-level variant: ScoreWindowsLastInto on a raw buffer is

@@ -1,0 +1,297 @@
+// Fault injection (serve/fault_injection.h) against the hot-swap path:
+// the engine must never serve a half-loaded model, never drop a stream,
+// and always converge to exactly one live generation — under transient
+// load failures (retried with backoff), artifact corruption (truncation,
+// bit flips — failed immediately with a section + byte-offset message),
+// slow IO, and NaN score bursts. docs/operations.md lists the scenarios.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/persistence.h"
+#include "serve/fault_injection.h"
+#include "serve/generation.h"
+#include "serve/serving_engine.h"
+#include "test_util.h"
+
+namespace caee {
+namespace {
+
+core::EnsembleConfig TinyConfig(uint64_t seed) {
+  core::EnsembleConfig cfg;
+  cfg.cae.embed_dim = 6;
+  cfg.cae.num_layers = 1;
+  cfg.window = 5;
+  cfg.num_models = 2;
+  cfg.epochs_per_model = 2;
+  cfg.batch_size = 32;
+  cfg.max_train_windows = 64;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<float> Row(const ts::TimeSeries& s, int64_t t) {
+  return std::vector<float>(s.row(t), s.row(t) + s.dims());
+}
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    train_ = testutil::PlantedSeries(220, 2, 1);
+    ensemble_ = std::make_unique<core::CaeEnsemble>(TinyConfig(11));
+    ASSERT_TRUE(ensemble_->Fit(train_).ok());
+    candidate_ = std::make_unique<core::CaeEnsemble>(TinyConfig(23));
+    ASSERT_TRUE(candidate_->Fit(testutil::PlantedSeries(220, 2, 2)).ok());
+    path_ = TempPath("fault_candidate.caee");
+    ASSERT_TRUE(core::SaveEnsemble(*candidate_, path_, 0.5).ok());
+  }
+
+  // An engine wired to the test's injector, with a fast retry policy so
+  // exhaustion tests don't sleep for real. Heap-allocated: the engine owns
+  // mutexes and is deliberately immovable.
+  std::unique_ptr<serve::ServingEngine> MakeEngine() {
+    serve::ServeConfig config;
+    config.max_batch = 4;
+    config.flush_deadline_ms = 0;
+    auto engine =
+        std::make_unique<serve::ServingEngine>(ensemble_.get(), config);
+    engine->set_fault_injector(&fault_);
+    serve::LoadRetryPolicy retry;
+    retry.max_attempts = 3;
+    retry.backoff_ms = 1;
+    engine->set_load_retry_policy(retry);
+    return engine;
+  }
+
+  int64_t ArtifactBytes() {
+    std::ifstream in(path_, std::ios::binary | std::ios::ate);
+    return static_cast<int64_t>(in.tellg());
+  }
+
+  // The engine must keep scoring on `generation` after a failed swap —
+  // degraded mode is "still serving", not "stopped".
+  void ExpectStillServing(serve::ServingEngine& engine, int64_t generation) {
+    EXPECT_EQ(engine.generation(), generation);
+    const auto series = testutil::PlantedSeries(20, 2, 7);
+    std::vector<serve::StreamScore> results;
+    ASSERT_TRUE(engine.OpenStream(777).ok());
+    for (int64_t t = 0; t < series.length(); ++t) {
+      ASSERT_TRUE(engine.Push(777, Row(series, t), &results).ok());
+    }
+    ASSERT_TRUE(engine.Flush(&results).ok());
+    EXPECT_FALSE(results.empty());
+    for (const auto& r : results) {
+      EXPECT_EQ(r.generation, generation);
+      EXPECT_TRUE(std::isfinite(r.score));
+    }
+    ASSERT_TRUE(engine.CloseStream(777, &results).ok());
+  }
+
+  ts::TimeSeries train_;
+  std::unique_ptr<core::CaeEnsemble> ensemble_;
+  std::unique_ptr<core::CaeEnsemble> candidate_;
+  std::string path_;
+  serve::FaultInjector fault_;
+};
+
+TEST_F(FaultInjectionTest, TransientLoadFailuresAreRetriedToSuccess) {
+  auto engine = MakeEngine();
+  fault_.fail_loads.store(2);  // two transient failures, third read wins
+  auto swapped = engine->ReloadArtifact(path_);
+  ASSERT_TRUE(swapped.ok()) << swapped.status();
+  EXPECT_EQ(swapped.value(), 2);
+  EXPECT_EQ(fault_.fail_loads.load(), 0);
+  EXPECT_EQ(engine->Stats().reloads, 1);
+}
+
+TEST_F(FaultInjectionTest, RetryExhaustionKeepsOldGeneration) {
+  auto engine = MakeEngine();
+  fault_.fail_loads.store(10);
+  auto swapped = engine->ReloadArtifact(path_);
+  ASSERT_FALSE(swapped.ok());
+  EXPECT_EQ(swapped.status().code(), StatusCode::kIOError);
+  EXPECT_NE(swapped.status().message().find("after 3 attempt"),
+            std::string::npos)
+      << swapped.status();
+  EXPECT_NE(swapped.status().message().find("still serving generation 1"),
+            std::string::npos);
+  EXPECT_EQ(engine->Stats().failed_reloads, 1);
+  fault_.fail_loads.store(0);
+  ExpectStillServing(*engine, 1);
+}
+
+TEST_F(FaultInjectionTest, MissingArtifactIsATransientClassFailure) {
+  auto engine = MakeEngine();
+  auto swapped = engine->ReloadArtifact(TempPath("does_not_exist.caee"));
+  ASSERT_FALSE(swapped.ok());
+  EXPECT_NE(swapped.status().message().find("after 3 attempt"),
+            std::string::npos)
+      << swapped.status();
+  ExpectStillServing(*engine, 1);
+}
+
+TEST_F(FaultInjectionTest, TruncatedImageFailsWithSectionAndOffset) {
+  auto engine = MakeEngine();
+  // Cut the image mid-swap: a half-loaded model must never be adopted.
+  fault_.truncate_at.store(100);
+  auto swapped = engine->ReloadArtifact(path_);
+  ASSERT_FALSE(swapped.ok());
+  EXPECT_NE(swapped.status().message().find("byte offset"),
+            std::string::npos)
+      << swapped.status();
+  // Corruption is permanent: ONE parse attempt, no retry burned on it.
+  EXPECT_EQ(engine->Stats().failed_reloads, 1);
+  fault_.truncate_at.store(-1);
+  ExpectStillServing(*engine, 1);
+}
+
+TEST_F(FaultInjectionTest, BitFlippedImageFailsClosed) {
+  auto engine = MakeEngine();
+  // Flip one bit deep in the member-weights payload (60% into the image:
+  // member sections dominate the artifact): the section CRC must catch it
+  // and the error must name the section.
+  fault_.flip_bit_at.store(ArtifactBytes() * 8 * 6 / 10);
+  auto swapped = engine->ReloadArtifact(path_);
+  ASSERT_FALSE(swapped.ok());
+  EXPECT_NE(swapped.status().message().find("section"), std::string::npos)
+      << swapped.status();
+  fault_.flip_bit_at.store(-1);
+  ExpectStillServing(*engine, 1);
+
+  // And the same artifact loads fine once the fault clears — the file on
+  // disk was never the problem.
+  auto swapped_clean = engine->ReloadArtifact(path_);
+  ASSERT_TRUE(swapped_clean.ok()) << swapped_clean.status();
+}
+
+TEST_F(FaultInjectionTest, RealOnDiskTruncationFailsClosed) {
+  // Not just the injector: an actually-truncated file (the crash the
+  // tmp+fsync+rename write protocol prevents) must also fail closed.
+  std::ifstream in(path_, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string bytes = buf.str();
+  bytes.resize(bytes.size() / 2);
+  const std::string truncated = TempPath("truncated.caee");
+  std::ofstream out(truncated, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+
+  auto engine = MakeEngine();
+  auto swapped = engine->ReloadArtifact(truncated);
+  ASSERT_FALSE(swapped.ok());
+  EXPECT_NE(swapped.status().message().find("byte offset"),
+            std::string::npos)
+      << swapped.status();
+  ExpectStillServing(*engine, 1);
+}
+
+TEST_F(FaultInjectionTest, SlowLoadStillSwapsAndNeverBlocksScoring) {
+  auto engine = MakeEngine();
+  fault_.load_delay_ms.store(30);
+  ASSERT_TRUE(engine->OpenStream(5).ok());
+  const auto series = testutil::PlantedSeries(20, 2, 7);
+  std::vector<serve::StreamScore> results;
+  for (int64_t t = 0; t < 10; ++t) {
+    ASSERT_TRUE(engine->Push(5, Row(series, t), &results).ok());
+  }
+  auto swapped = engine->ReloadArtifact(path_);
+  ASSERT_TRUE(swapped.ok()) << swapped.status();
+  for (int64_t t = 10; t < series.length(); ++t) {
+    ASSERT_TRUE(engine->Push(5, Row(series, t), &results).ok());
+  }
+  ASSERT_TRUE(engine->Flush(&results).ok());
+  EXPECT_EQ(engine->num_streams(), 1);  // no stream dropped
+}
+
+TEST_F(FaultInjectionTest, NanScoreBurstFlagsLoudlyAndPasses) {
+  auto engine = MakeEngine();
+  ASSERT_TRUE(engine->OpenStream(3).ok());
+  const auto series = testutil::PlantedSeries(30, 2, 7);
+  std::vector<serve::StreamScore> results;
+
+  fault_.nan_scores.store(3);
+  for (int64_t t = 0; t < series.length(); ++t) {
+    ASSERT_TRUE(engine->Push(3, Row(series, t), &results).ok());
+  }
+  ASSERT_TRUE(engine->Flush(&results).ok());
+
+  int64_t nan_count = 0;
+  for (const auto& r : results) {
+    if (!std::isfinite(r.score)) {
+      ++nan_count;
+      EXPECT_TRUE(r.flag) << "a non-finite score must flag";
+    }
+  }
+  EXPECT_EQ(nan_count, 3);
+  EXPECT_EQ(engine->Stats().non_finite_scores, 3);
+  EXPECT_EQ(fault_.nan_scores.load(), 0);
+  // The burst ends: later windows score finite again (the stream's ring
+  // was never poisoned — injection happens after the forward pass).
+  EXPECT_TRUE(std::isfinite(results.back().score));
+}
+
+TEST_F(FaultInjectionTest, ConvergesToOneLiveGenerationThroughFaults) {
+  auto engine = MakeEngine();
+  const std::string path_a = TempPath("converge_a.caee");
+  ASSERT_TRUE(core::SaveEnsemble(*ensemble_, path_a).ok());
+
+  // good, fail (exhausted), good, fail (corrupt), good.
+  ASSERT_TRUE(engine->ReloadArtifact(path_).ok());
+  fault_.fail_loads.store(10);
+  ASSERT_FALSE(engine->ReloadArtifact(path_a).ok());
+  fault_.fail_loads.store(0);
+  ASSERT_TRUE(engine->ReloadArtifact(path_a).ok());
+  fault_.truncate_at.store(40);
+  ASSERT_FALSE(engine->ReloadArtifact(path_).ok());
+  fault_.truncate_at.store(-1);
+  ASSERT_TRUE(engine->ReloadArtifact(path_).ok());
+
+  // Ids count only successful swaps; stats account for every attempt.
+  EXPECT_EQ(engine->generation(), 4);
+  EXPECT_EQ(engine->Stats().reloads, 3);
+  EXPECT_EQ(engine->Stats().failed_reloads, 2);
+  ExpectStillServing(*engine, 4);
+}
+
+TEST_F(FaultInjectionTest, LoadGenerationReportsAttemptsAndBacksOff) {
+  // Direct unit coverage of the retry split: transient = retried,
+  // corruption = one shot.
+  serve::FaultInjector fault;
+  serve::LoadRetryPolicy retry;
+  retry.max_attempts = 4;
+  retry.backoff_ms = 1;
+
+  fault.fail_loads.store(3);
+  auto gen = serve::LoadGeneration(path_, 7, retry, &fault);
+  ASSERT_TRUE(gen.ok()) << gen.status();
+  EXPECT_EQ((*gen)->id, 7);
+  EXPECT_EQ((*gen)->source, path_);
+  ASSERT_NE((*gen)->ensemble, nullptr);
+  EXPECT_TRUE((*gen)->ensemble->fitted());
+
+  fault.fail_loads.store(4);
+  auto exhausted = serve::LoadGeneration(path_, 8, retry, &fault);
+  ASSERT_FALSE(exhausted.ok());
+  EXPECT_NE(exhausted.status().message().find("after 4 attempt"),
+            std::string::npos);
+
+  fault.fail_loads.store(0);
+  fault.truncate_at.store(8);  // inside the artifact header
+  auto corrupt = serve::LoadGeneration(path_, 9, retry, &fault);
+  ASSERT_FALSE(corrupt.ok());
+}
+
+}  // namespace
+}  // namespace caee
