@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Compare an eval_gauntlet run against its committed accuracy baseline.
+
+Usage: check_eval_regression.py BASELINE.json CURRENT.json
+           [--tolerance 0.05] [--drift-tolerance 0.05]
+
+The accuracy counterpart of check_bench_regression.py, gating EVAL_9.json
+(docs/evaluation.md). eval_gauntlet is bit-deterministic for a given
+(matrix, suite) configuration — the config_fingerprint field hashes
+everything accuracy depends on — so unlike the timing gates this one can
+afford absolute tolerances on the metric values themselves.
+
+Failure (exit 1) conditions:
+  - config_fingerprint mismatch: the scenario matrix or detector sizing
+    changed, so the numbers are not comparable. Regenerate the baseline
+    (docs/evaluation.md "Regenerating the baseline") in the same PR.
+  - a (scenario, detector) pair present in the baseline is missing from the
+    current run: the coverage the gate protects silently shrank.
+  - CAE-Ensemble's PR-AUC on any scenario dropped more than --tolerance
+    below the baseline value: an accuracy regression in the model under
+    test (the paper's subject), e.g. a scoring-path bug or a broken
+    ensemble combination rule.
+  - the champion property no longer holds: CAE-Ensemble's mean PR-AUC over
+    the group="paper" scenarios must stay within --tolerance of the best
+    detector's mean. The committed baseline has CAE-Ensemble strictly
+    best; losing that by more than the tolerance means the headline claim
+    of the reproduction regressed.
+
+Warnings (stderr, exit 0) cover baseline-detector drift: any non-CAE-
+Ensemble PR-AUC moving more than --drift-tolerance in either direction.
+Baselines are frozen code, so drift usually means a shared dependency
+(metrics, calibration, dataset generation) changed under them — worth a
+look, not a build failure.
+
+PR-AUC is the gated metric (not F1): it integrates over every threshold,
+so it catches a degraded score ordering even when the single best-F1
+operating point happens to survive.
+"""
+
+import argparse
+import json
+import sys
+
+CHAMPION = "CAE-Ensemble"
+CHAMPION_GROUP = "paper"
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("eval") != "eval_gauntlet":
+        raise ValueError(f"{path}: not an eval_gauntlet document")
+    return doc
+
+
+def entry_key(e):
+    return (e["scenario"], e["detector"])
+
+
+def champion_means(doc):
+    """Per-detector mean PR-AUC over the champion (paper) group."""
+    groups = {s["name"]: s["group"] for s in doc.get("scenarios", [])}
+    sums = {}
+    for e in doc["entries"]:
+        if groups.get(e["scenario"]) != CHAMPION_GROUP:
+            continue
+        total, n = sums.get(e["detector"], (0.0, 0))
+        sums[e["detector"]] = (total + e["pr_auc"], n + 1)
+    return {d: total / n for d, (total, n) in sums.items() if n}
+
+
+def compare(baseline, current, tolerance, drift_tolerance):
+    """Pure comparison: returns (failures, warnings, report_lines)."""
+    failures = []
+    warnings = []
+    lines = []
+
+    b_fp = baseline.get("config_fingerprint", "")
+    c_fp = current.get("config_fingerprint", "")
+    if b_fp != c_fp:
+        failures.append(
+            f"config fingerprint mismatch: baseline {b_fp!r} vs current "
+            f"{c_fp!r} — matrix or detector sizing changed; regenerate the "
+            f"baseline (docs/evaluation.md)"
+        )
+        return failures, warnings, lines
+
+    base = {entry_key(e): e for e in baseline["entries"]}
+    cur = {entry_key(e): e for e in current["entries"]}
+
+    for k in sorted(base.keys() - cur.keys()):
+        failures.append(f"{k}: present in baseline but missing from current run")
+    for k in sorted(cur.keys() - base.keys()):
+        warnings.append(f"new entry (no baseline): {k}")
+
+    for k in sorted(base.keys() & cur.keys()):
+        scenario, detector = k
+        b, c = base[k]["pr_auc"], cur[k]["pr_auc"]
+        delta = c - b
+        marker = ""
+        if detector == CHAMPION:
+            if delta < -tolerance:
+                failures.append(
+                    f"{scenario}: {CHAMPION} PR-AUC {b:.4f} -> {c:.4f} "
+                    f"({delta:+.4f} < -{tolerance})"
+                )
+                marker = "  <-- REGRESSION"
+        elif abs(delta) > drift_tolerance:
+            warnings.append(
+                f"baseline drift at {scenario}/{detector}: PR-AUC "
+                f"{b:.4f} -> {c:.4f} ({delta:+.4f})"
+            )
+            marker = "  <-- drift"
+        lines.append(
+            f"  {scenario:<28} {detector:<14} "
+            f"{b:.4f} -> {c:.4f} ({delta:+.4f}){marker}"
+        )
+
+    means = champion_means(current)
+    if CHAMPION not in means:
+        failures.append(
+            f"{CHAMPION} has no entries in the {CHAMPION_GROUP!r} group of "
+            f"the current run"
+        )
+    elif means:
+        best_name, best = max(means.items(), key=lambda kv: (kv[1], kv[0]))
+        champ = means[CHAMPION]
+        lines.append(
+            f"  champion check: {CHAMPION} mean PR-AUC over "
+            f"{CHAMPION_GROUP!r} = {champ:.4f}, best = {best_name} "
+            f"({best:.4f})"
+        )
+        if best - champ > tolerance:
+            failures.append(
+                f"champion property lost: {best_name} mean PR-AUC {best:.4f} "
+                f"beats {CHAMPION} {champ:.4f} by more than {tolerance} on "
+                f"the {CHAMPION_GROUP!r} group"
+            )
+
+    if not base.keys() & cur.keys():
+        failures.append("no entries compared — empty or disjoint eval runs")
+    return failures, warnings, lines
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.05,
+                    help="max allowed absolute CAE-Ensemble PR-AUC drop")
+    ap.add_argument("--drift-tolerance", type=float, default=0.05,
+                    help="absolute PR-AUC drift on other detectors that "
+                         "triggers a warning")
+    args = ap.parse_args()
+
+    failures, warnings, lines = compare(
+        load(args.baseline), load(args.current),
+        args.tolerance, args.drift_tolerance,
+    )
+    for line in lines:
+        print(line)
+    for w in warnings:
+        print(f"WARNING: {w}", file=sys.stderr)
+    if failures:
+        print(f"\n{len(failures)} failure(s):", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print(f"\nOK: {len(lines)} comparisons within tolerance "
+          f"{args.tolerance}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

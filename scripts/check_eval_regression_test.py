@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Unit tests for check_eval_regression.py's comparison logic.
+
+Run directly (python3 scripts/check_eval_regression_test.py) or via ctest
+(registered as check_eval_regression_py). Exercises the pure compare()
+function on synthetic documents — no eval_gauntlet binary needed.
+"""
+
+import copy
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_eval_regression as cer  # noqa: E402
+
+
+def doc(entries, scenarios=None, fingerprint="fp0"):
+    if scenarios is None:
+        names = {e["scenario"] for e in entries}
+        scenarios = [{"name": n, "group": "paper"} for n in sorted(names)]
+    return {
+        "eval": "eval_gauntlet",
+        "config_fingerprint": fingerprint,
+        "scenarios": scenarios,
+        "entries": entries,
+    }
+
+
+def entry(scenario, detector, pr_auc):
+    return {"scenario": scenario, "detector": detector, "pr_auc": pr_auc}
+
+
+BASE = doc([
+    entry("paper/ecg", "CAE-Ensemble", 0.50),
+    entry("paper/ecg", "LOF", 0.30),
+    entry("paper/smd", "CAE-Ensemble", 0.40),
+    entry("paper/smd", "LOF", 0.35),
+])
+
+
+class CompareTest(unittest.TestCase):
+    def check(self, current, tolerance=0.05, drift=0.05):
+        return cer.compare(BASE, current, tolerance, drift)
+
+    def test_identical_runs_pass(self):
+        failures, warnings, _ = self.check(copy.deepcopy(BASE))
+        self.assertEqual(failures, [])
+        self.assertEqual(warnings, [])
+
+    def test_champion_drop_within_tolerance_passes(self):
+        cur = copy.deepcopy(BASE)
+        cur["entries"][0]["pr_auc"] = 0.46  # -0.04, tolerance 0.05
+        failures, _, _ = self.check(cur)
+        self.assertEqual(failures, [])
+
+    def test_champion_drop_beyond_tolerance_fails(self):
+        cur = copy.deepcopy(BASE)
+        cur["entries"][0]["pr_auc"] = 0.40  # -0.10 on paper/ecg
+        failures, _, _ = self.check(cur)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("paper/ecg", failures[0])
+        self.assertIn("CAE-Ensemble", failures[0])
+
+    def test_champion_improvement_never_fails(self):
+        cur = copy.deepcopy(BASE)
+        cur["entries"][0]["pr_auc"] = 0.90
+        failures, warnings, _ = self.check(cur)
+        self.assertEqual(failures, [])
+        self.assertEqual(warnings, [])  # champion drift is not warned
+
+    def test_baseline_detector_drift_warns_not_fails(self):
+        cur = copy.deepcopy(BASE)
+        cur["entries"][1]["pr_auc"] = 0.45  # LOF +0.15: drift, not failure
+        failures, warnings, _ = self.check(cur)
+        self.assertEqual(failures, [])
+        self.assertEqual(len(warnings), 1)
+        self.assertIn("LOF", warnings[0])
+
+    def test_missing_entry_fails(self):
+        cur = copy.deepcopy(BASE)
+        cur["entries"] = cur["entries"][:-1]  # drop paper/smd LOF
+        failures, _, _ = self.check(cur)
+        self.assertTrue(any("missing from current run" in f
+                            for f in failures))
+
+    def test_new_entry_warns(self):
+        cur = copy.deepcopy(BASE)
+        cur["entries"].append(entry("paper/ecg", "NEW", 0.10))
+        failures, warnings, _ = self.check(cur)
+        self.assertEqual(failures, [])
+        self.assertTrue(any("new entry" in w for w in warnings))
+
+    def test_fingerprint_mismatch_fails_fast(self):
+        cur = copy.deepcopy(BASE)
+        cur["config_fingerprint"] = "fp1"
+        failures, _, lines = self.check(cur)
+        self.assertEqual(len(failures), 1)
+        self.assertIn("fingerprint", failures[0])
+        self.assertEqual(lines, [])  # no per-entry comparison attempted
+
+    def test_champion_property_lost_fails(self):
+        # LOF overtakes CAE-Ensemble's paper-group mean by > tolerance.
+        cur = copy.deepcopy(BASE)
+        cur["entries"][1]["pr_auc"] = 0.62
+        cur["entries"][3]["pr_auc"] = 0.62  # LOF mean 0.62 vs champ 0.45
+        failures, _, _ = self.check(cur, drift=1.0)
+        self.assertTrue(any("champion property lost" in f for f in failures))
+
+    def test_champion_property_within_tolerance_passes(self):
+        cur = copy.deepcopy(BASE)
+        cur["entries"][1]["pr_auc"] = 0.47
+        cur["entries"][3]["pr_auc"] = 0.47  # LOF mean 0.47 vs champ 0.45
+        failures, _, _ = self.check(cur, drift=1.0)
+        self.assertEqual(failures, [])
+
+    def test_non_paper_scenarios_excluded_from_champion_mean(self):
+        scenarios = [
+            {"name": "paper/ecg", "group": "paper"},
+            {"name": "injector/point", "group": "injector"},
+        ]
+        base = doc([
+            entry("paper/ecg", "CAE-Ensemble", 0.50),
+            entry("paper/ecg", "LOF", 0.30),
+            entry("injector/point", "CAE-Ensemble", 0.01),
+            entry("injector/point", "LOF", 0.99),
+        ], scenarios=scenarios)
+        cur = copy.deepcopy(base)
+        failures, _, _ = cer.compare(base, cur, 0.05, 1.0)
+        self.assertEqual(failures, [])  # LOF's injector win is irrelevant
+
+    def test_disjoint_runs_fail(self):
+        cur = doc([entry("paper/other", "CAE-Ensemble", 0.5)])
+        failures, _, _ = self.check(cur)
+        self.assertTrue(any("no entries compared" in f for f in failures))
+
+    def test_champion_missing_from_paper_group_fails(self):
+        cur = doc([
+            entry("paper/ecg", "LOF", 0.30),
+            entry("paper/smd", "LOF", 0.35),
+        ])
+        failures, _, _ = self.check(cur)
+        self.assertTrue(any("no entries in" in f for f in failures))
+
+
+class ChampionMeansTest(unittest.TestCase):
+    def test_means_average_over_group_scenarios_only(self):
+        means = cer.champion_means(BASE)
+        self.assertAlmostEqual(means["CAE-Ensemble"], 0.45)
+        self.assertAlmostEqual(means["LOF"], 0.325)
+
+    def test_empty_document(self):
+        self.assertEqual(cer.champion_means(doc([])), {})
+
+
+if __name__ == "__main__":
+    unittest.main()

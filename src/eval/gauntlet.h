@@ -1,0 +1,115 @@
+// End-to-end accuracy gauntlet: a deterministic, seeded matrix of scenarios
+// (paper-style synthetic stand-ins, per-injector isolation scenarios,
+// univariate / variable-length regimes, CSV-loaded real datasets) scored by
+// CAE-Ensemble and every baseline detector through eval::RunDetector, with a
+// machine-readable JSON report (EVAL_9.json) the CI accuracy-regression gate
+// compares against. docs/evaluation.md is the prose companion: scenario
+// matrix, metric conventions, regeneration procedure, gate policy.
+//
+// Determinism contract: a scenario is fully described by its spec (profile
+// parameters + seed) and the SuiteConfig; two runs with the same specs and
+// suite produce identical scores and therefore byte-identical JSON when
+// timing fields are omitted (include_timing = false). The config fingerprint
+// hashes everything accuracy depends on, so the regression checker can
+// refuse to compare runs of different matrices.
+
+#ifndef CAEE_EVAL_GAUNTLET_H_
+#define CAEE_EVAL_GAUNTLET_H_
+
+#include <string>
+#include <vector>
+
+#include "data/generators.h"
+#include "eval/detector.h"
+#include "eval/runner.h"
+#include "metrics/metrics.h"
+
+namespace caee {
+namespace eval {
+
+/// \brief One scenario of the gauntlet matrix. Synthetic scenarios carry a
+/// full data::SyntheticProfile (seed included); CSV scenarios carry the two
+/// file paths instead (train unlabeled, test with a trailing label column —
+/// ts::ReadCsv conventions).
+struct ScenarioSpec {
+  std::string name;   // e.g. "paper/smd", "injector/point", "csv/ecg-real"
+  std::string group;  // "paper" | "injector" | "regime" | "csv"
+  data::SyntheticProfile profile;
+  std::string train_csv;  // both set <=> CSV scenario (profile ignored)
+  std::string test_csv;
+};
+
+/// \brief Everything one (scenario, detector) cell reports. `report` holds
+/// the best-F1-threshold P/R/F1 plus both AUCs (the paper's Table 3/4
+/// convention); `at_threshold` holds P/R/F1 at the UNSUPERVISED static
+/// threshold calibrated on the detector's own training scores (top-K% with
+/// K = the scenario's expected outlier ratio); `spot` holds P/R/F1 of the
+/// streaming SPOT verdicts seeded from the same training scores
+/// (docs/thresholds.md), when calibration succeeded.
+struct DetectorCell {
+  std::string detector;
+  metrics::AccuracyReport report;
+  double threshold = 0.0;      // calibrated static threshold
+  double top_k_percent = 0.0;  // K used for the calibration
+  metrics::ThresholdMetrics at_threshold;
+  bool has_spot = false;
+  metrics::ThresholdMetrics spot;  // threshold field = final adaptive z
+  double fit_seconds = 0.0;
+  double score_seconds = 0.0;
+};
+
+/// \brief All cells of one scenario plus the dataset facts that make the
+/// run auditable (dims/lengths/achieved outlier ratio/seed).
+struct ScenarioResult {
+  std::string name;
+  std::string group;
+  uint64_t seed = 0;
+  int64_t dims = 0;
+  int64_t train_length = 0;
+  int64_t test_length = 0;
+  double outlier_ratio = 0.0;
+  std::vector<DetectorCell> cells;
+};
+
+struct GauntletConfig {
+  SuiteConfig suite;
+  /// Detector names to run (empty = AllDetectorNames()).
+  std::vector<std::string> detectors;
+  /// SPOT calibration knobs (core::CalibrateSpot on the training scores).
+  double spot_level = 0.9;
+  double spot_q = 0.01;
+  int64_t spot_peaks = 64;
+};
+
+/// \brief The default scenario matrix (docs/evaluation.md lists it): the
+/// ECG/SMD/SMAP paper stand-ins, one isolation scenario per
+/// data::injectors anomaly type, and the univariate / variable-length
+/// regime scenarios. `scale` multiplies series lengths; `seed` forks every
+/// scenario's RNG deterministically.
+std::vector<ScenarioSpec> DefaultScenarioMatrix(double scale, uint64_t seed);
+
+/// \brief Build the scenario's dataset (generator or CSV).
+StatusOr<ts::Dataset> BuildScenarioDataset(const ScenarioSpec& spec);
+
+/// \brief Fit + score every configured detector on one scenario.
+StatusOr<ScenarioResult> RunScenario(const ScenarioSpec& spec,
+                                     const GauntletConfig& config);
+
+/// \brief FNV-1a hash (hex string) over everything the accuracy numbers
+/// depend on: scenario specs (name, seed, dims, lengths, ratio, mix) and
+/// the detector sizing. Timing never contributes. The regression checker
+/// refuses to compare files with different fingerprints.
+std::string ConfigFingerprint(const std::vector<ScenarioSpec>& specs,
+                              const GauntletConfig& config);
+
+/// \brief Serialize results as the EVAL_*.json document (schema
+/// "eval_gauntlet" v1; docs/evaluation.md). With include_timing = false the
+/// output is byte-identical across runs of the same matrix + suite.
+std::string GauntletJson(const std::vector<ScenarioResult>& results,
+                         const std::string& fingerprint, uint64_t seed,
+                         double scale, bool include_timing);
+
+}  // namespace eval
+}  // namespace caee
+
+#endif  // CAEE_EVAL_GAUNTLET_H_

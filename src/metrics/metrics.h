@@ -3,6 +3,20 @@
 // All-threshold metrics: PR-AUC (average precision) and ROC-AUC.
 // Specific-threshold metrics: Precision / Recall / F1 at (a) the best-F1
 // threshold, or (b) the top-K% threshold when the outlier ratio is known.
+//
+// Pinned conventions (tests/metrics_test.cc locks each of these; the
+// gauntlet baseline EVAL_9.json depends on them staying fixed):
+//   - Prediction rule is strictly-greater: outlier <=> score > threshold.
+//   - Tied scores are always treated as one indivisible group: threshold
+//     sweeps (BestF1, PrAuc) place candidate thresholds only between
+//     distinct values, and RocAuc gives tied scores their average rank.
+//   - Empty-class inputs: RocAuc returns 0.5 whenever either class is
+//     absent (all-positive, all-negative, single-sample, or empty input) —
+//     the chance value, since ranking quality is undefined. PrAuc and
+//     BestF1 return 0 when there are no positives (no recall levels to
+//     average over); PrAuc on an uninformative (all-tied) scorer equals
+//     the positive rate, its chance value.
+//   - Precision / Recall / F1 are 0 (not NaN) when their denominator is 0.
 
 #ifndef CAEE_METRICS_METRICS_H_
 #define CAEE_METRICS_METRICS_H_

@@ -1,12 +1,74 @@
 #include "ts/csv.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <limits>
-#include <sstream>
 #include <vector>
 
 namespace caee {
 namespace ts {
+
+namespace {
+
+// Split one line on commas, KEEPING empty fields: "1,2," is three cells the
+// last of which is missing, not a two-cell row. (The stringstream/getline
+// idiom silently drops that trailing empty field, turning a missing value
+// into a ragged-row error two lines later — or worse, into a silently
+// narrower matrix on the first line.)
+std::vector<std::string> SplitLine(const std::string& line) {
+  std::vector<std::string> cells;
+  size_t begin = 0;
+  for (;;) {
+    const size_t comma = line.find(',', begin);
+    if (comma == std::string::npos) {
+      cells.push_back(line.substr(begin));
+      break;
+    }
+    cells.push_back(line.substr(begin, comma - begin));
+    begin = comma + 1;
+  }
+  return cells;
+}
+
+std::string Trim(const std::string& cell) {
+  size_t begin = 0, end = cell.size();
+  while (begin < end && (cell[begin] == ' ' || cell[begin] == '\t')) ++begin;
+  while (end > begin && (cell[end - 1] == ' ' || cell[end - 1] == '\t' ||
+                         cell[end - 1] == '\r')) {
+    --end;
+  }
+  return cell.substr(begin, end - begin);
+}
+
+// Strict full-cell float parse: the entire trimmed cell must be consumed
+// and the value must be finite. "1.5abc", "", "nan" and "inf" all fail —
+// a sensor file containing any of those needs the caller's attention, not
+// a silent partial parse.
+bool ParseFloat(const std::string& trimmed, float* out) {
+  if (trimmed.empty()) return false;
+  const char* begin = trimmed.c_str();
+  char* end = nullptr;
+  const float value = std::strtof(begin, &end);
+  if (end != begin + trimmed.size()) return false;
+  if (!(value == value) ||
+      value > std::numeric_limits<float>::max() ||
+      value < std::numeric_limits<float>::lowest()) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+std::string CellError(const std::string& path, size_t line_number,
+                      size_t column, const std::string& cell) {
+  const std::string shown = cell.empty() ? "<empty>" : cell;
+  return path + ": line " + std::to_string(line_number) + ", column " +
+         std::to_string(column + 1) +
+         (cell.empty() ? ": missing value" : ": bad value '" + shown + "'") +
+         " (cells must be finite numbers; missing values are not supported)";
+}
+
+}  // namespace
 
 Status WriteCsv(const TimeSeries& series, const std::string& path) {
   std::ofstream out(path);
@@ -34,25 +96,44 @@ StatusOr<TimeSeries> ReadCsv(const std::string& path, bool has_labels) {
   std::vector<std::vector<float>> rows;
   std::string line;
   int64_t cols = -1;
+  size_t line_number = 0;
+  bool first_data_line = true;
   while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    std::vector<float> row;
-    std::stringstream ss(line);
-    std::string cell;
-    while (std::getline(ss, cell, ',')) {
-      try {
-        row.push_back(std::stof(cell));
-      } catch (...) {
-        return Status::IOError("non-numeric cell in " + path + ": " + cell);
+    ++line_number;
+    if (Trim(line).empty()) continue;
+    const std::vector<std::string> cells = SplitLine(line);
+
+    // Header auto-detection: a first line whose every cell is non-numeric
+    // ("timestamp,sensor_a,label") is skipped. A *mixed* first line
+    // ("1,abc") is not a header — it falls through to the cell error
+    // below, because silently skipping it would hide a corrupt file.
+    if (first_data_line) {
+      first_data_line = false;  // only the very first line can be a header
+      bool any_numeric = false;
+      float ignored;
+      for (const auto& cell : cells) {
+        any_numeric |= ParseFloat(Trim(cell), &ignored);
+      }
+      if (!any_numeric) continue;
+    }
+
+    std::vector<float> row(cells.size());
+    for (size_t j = 0; j < cells.size(); ++j) {
+      const std::string trimmed = Trim(cells[j]);
+      if (!ParseFloat(trimmed, &row[j])) {
+        return Status::IOError(CellError(path, line_number, j, trimmed));
       }
     }
     if (cols == -1) {
       cols = static_cast<int64_t>(row.size());
-      if (cols == 0 || (has_labels && cols < 2)) {
-        return Status::IOError("too few columns in " + path);
+      if (has_labels && cols < 2) {
+        return Status::IOError(path + ": labelled CSV needs >= 2 columns, got " +
+                               std::to_string(cols));
       }
     } else if (static_cast<int64_t>(row.size()) != cols) {
-      return Status::IOError("ragged CSV in " + path);
+      return Status::IOError(path + ": line " + std::to_string(line_number) +
+                             ": ragged row (" + std::to_string(row.size()) +
+                             " cells, expected " + std::to_string(cols) + ")");
     }
     rows.push_back(std::move(row));
   }
@@ -65,8 +146,17 @@ StatusOr<TimeSeries> ReadCsv(const std::string& path, bool has_labels) {
       series.value(t, j) = rows[static_cast<size_t>(t)][static_cast<size_t>(j)];
     }
     if (has_labels) {
-      series.set_label(
-          t, rows[static_cast<size_t>(t)][static_cast<size_t>(dims)] != 0.0f);
+      // The label column is binary ground truth: require exactly 0 or 1
+      // rather than coercing arbitrary numbers, so a shifted column order
+      // (labels mid-file, values at the end) fails loudly.
+      const float raw = rows[static_cast<size_t>(t)][static_cast<size_t>(dims)];
+      if (raw != 0.0f && raw != 1.0f) {
+        return Status::IOError(path + ": label column contains " +
+                               std::to_string(raw) +
+                               " at observation " + std::to_string(t) +
+                               "; labels must be 0 or 1");
+      }
+      series.set_label(t, raw != 0.0f);
     }
   }
   return series;

@@ -18,7 +18,13 @@ namespace ts {
 Status WriteCsv(const TimeSeries& series, const std::string& path);
 
 /// \brief Read a CSV written by WriteCsv (or any numeric CSV). If
-/// `has_labels`, the last column is parsed as the binary outlier label.
+/// `has_labels`, the last column is parsed as the binary outlier label and
+/// must be exactly 0 or 1. A first line whose cells are all non-numeric
+/// ("timestamp,sensor_a,label") is treated as a header and skipped; a
+/// mixed first line is an error, not a header. Missing values (empty
+/// cells, including the trailing-comma form), partial numbers ("1.5abc"),
+/// NaN/Inf, and ragged rows are rejected with a Status naming the line and
+/// column. Shared by caee_train and eval_gauntlet (docs/evaluation.md).
 StatusOr<TimeSeries> ReadCsv(const std::string& path, bool has_labels);
 
 }  // namespace ts

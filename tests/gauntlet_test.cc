@@ -1,0 +1,193 @@
+// Tests for the accuracy gauntlet (src/eval/gauntlet.*): scenario-matrix
+// construction, per-scenario runs, the determinism contract (same spec +
+// suite => byte-identical JSON without timing fields), and the config
+// fingerprint the regression checker keys on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+
+#include "eval/gauntlet.h"
+
+namespace caee {
+namespace {
+
+eval::GauntletConfig TinyGauntlet() {
+  eval::GauntletConfig config;
+  config.suite.window = 8;
+  config.suite.embed_dim = 6;
+  config.suite.cae_layers = 1;
+  config.suite.num_models = 2;
+  config.suite.epochs_per_model = 1;
+  config.suite.rnn_hidden = 8;
+  config.suite.rnn_epochs = 1;
+  config.suite.ae_epochs = 2;
+  config.suite.max_train_windows = 64;
+  config.detectors = {"LOF", "CAE-Ensemble"};
+  return config;
+}
+
+TEST(ScenarioMatrixTest, CoversPaperInjectorAndRegimeGroups) {
+  auto specs = eval::DefaultScenarioMatrix(0.2, 7);
+  ASSERT_EQ(specs.size(), 10u);
+  int paper = 0, injector = 0, regime = 0;
+  for (const auto& spec : specs) {
+    if (spec.group == "paper") ++paper;
+    if (spec.group == "injector") ++injector;
+    if (spec.group == "regime") ++regime;
+    EXPECT_TRUE(spec.train_csv.empty()) << spec.name;
+  }
+  EXPECT_EQ(paper, 3);
+  EXPECT_EQ(injector, 5);  // one isolation scenario per anomaly type
+  EXPECT_EQ(regime, 2);
+}
+
+TEST(ScenarioMatrixTest, NamesAreUnique) {
+  auto specs = eval::DefaultScenarioMatrix(0.2, 7);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    for (size_t j = i + 1; j < specs.size(); ++j) {
+      EXPECT_NE(specs[i].name, specs[j].name);
+    }
+  }
+}
+
+TEST(ScenarioMatrixTest, SeedForkingIsDeterministicAndSeedSensitive) {
+  auto a = eval::DefaultScenarioMatrix(0.2, 7);
+  auto b = eval::DefaultScenarioMatrix(0.2, 7);
+  auto c = eval::DefaultScenarioMatrix(0.2, 8);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].profile.seed, b[i].profile.seed) << a[i].name;
+    EXPECT_NE(a[i].profile.seed, c[i].profile.seed) << a[i].name;
+  }
+}
+
+TEST(ScenarioMatrixTest, InjectorScenariosIsolateOneAnomalyType) {
+  for (const auto& spec : eval::DefaultScenarioMatrix(0.2, 7)) {
+    if (spec.group != "injector") continue;
+    const auto& mix = spec.profile.mix;
+    const double weights[] = {mix.point, mix.level_shift, mix.collective,
+                              mix.phase_shift, mix.stuck};
+    int nonzero = 0;
+    for (double w : weights) nonzero += w > 0.0 ? 1 : 0;
+    EXPECT_EQ(nonzero, 1) << spec.name;
+  }
+}
+
+TEST(BuildScenarioDatasetTest, ProducesLabeledTestSplit) {
+  auto specs = eval::DefaultScenarioMatrix(0.2, 7);
+  auto ds = eval::BuildScenarioDataset(specs.front());
+  ASSERT_TRUE(ds.ok()) << ds.status();
+  EXPECT_GT(ds->train.length(), 0);
+  EXPECT_GT(ds->test.length(), 0);
+  EXPECT_TRUE(ds->test.has_labels());
+}
+
+TEST(BuildScenarioDatasetTest, CsvScenarioRoundTrips) {
+  const std::string train_path = ::testing::TempDir() + "/gauntlet_train.csv";
+  const std::string test_path = ::testing::TempDir() + "/gauntlet_test.csv";
+  {
+    std::ofstream train(train_path);
+    std::ofstream test(test_path);
+    for (int i = 0; i < 64; ++i) {
+      const double v = std::sin(0.3 * i);
+      train << v << "," << -v << "\n";
+      test << v << "," << -v << "," << (i == 40 ? 1 : 0) << "\n";
+    }
+  }
+  eval::ScenarioSpec spec;
+  spec.name = "csv/tiny";
+  spec.group = "csv";
+  spec.train_csv = train_path;
+  spec.test_csv = test_path;
+  auto ds = eval::BuildScenarioDataset(spec);
+  ASSERT_TRUE(ds.ok()) << ds.status();
+  EXPECT_EQ(ds->train.length(), 64);
+  EXPECT_EQ(ds->train.dims(), 2);
+  EXPECT_FALSE(ds->train.has_labels());
+  ASSERT_TRUE(ds->test.has_labels());
+  EXPECT_EQ(ds->test.labels()[40], 1);
+}
+
+TEST(RunScenarioTest, ReportsOneCellPerDetectorWithFiniteMetrics) {
+  auto specs = eval::DefaultScenarioMatrix(0.15, 7);
+  auto config = TinyGauntlet();
+  auto result = eval::RunScenario(specs.front(), config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->cells.size(), config.detectors.size());
+  for (const auto& cell : result->cells) {
+    EXPECT_TRUE(std::isfinite(cell.report.pr_auc)) << cell.detector;
+    EXPECT_TRUE(std::isfinite(cell.report.roc_auc)) << cell.detector;
+    EXPECT_TRUE(std::isfinite(cell.at_threshold.f1)) << cell.detector;
+    EXPECT_GE(cell.report.pr_auc, 0.0);
+    EXPECT_LE(cell.report.pr_auc, 1.0);
+    EXPECT_GT(cell.top_k_percent, 0.0);
+  }
+  EXPECT_GT(result->outlier_ratio, 0.0);
+  EXPECT_EQ(result->dims, specs.front().profile.dims);
+}
+
+TEST(RunScenarioTest, UnknownDetectorFails) {
+  auto specs = eval::DefaultScenarioMatrix(0.15, 7);
+  auto config = TinyGauntlet();
+  config.detectors = {"DOES-NOT-EXIST"};
+  EXPECT_FALSE(eval::RunScenario(specs.front(), config).ok());
+}
+
+// The contract EVAL_9.json rests on: two runs of the same matrix + suite
+// produce byte-identical JSON once timing fields are excluded.
+TEST(GauntletDeterminismTest, SameSeedsByteIdenticalJson) {
+  auto specs = eval::DefaultScenarioMatrix(0.15, 7);
+  specs.resize(2);
+  const auto config = TinyGauntlet();
+  const std::string fingerprint = eval::ConfigFingerprint(specs, config);
+  std::string json[2];
+  for (auto& out : json) {
+    std::vector<eval::ScenarioResult> results;
+    for (const auto& spec : specs) {
+      auto result = eval::RunScenario(spec, config);
+      ASSERT_TRUE(result.ok()) << result.status();
+      results.push_back(std::move(*result));
+    }
+    out = eval::GauntletJson(results, fingerprint, 7, 0.15,
+                             /*include_timing=*/false);
+  }
+  EXPECT_EQ(json[0], json[1]);
+  EXPECT_NE(json[0].find("\"eval\": \"eval_gauntlet\""), std::string::npos);
+  EXPECT_NE(json[0].find(fingerprint), std::string::npos);
+}
+
+TEST(ConfigFingerprintTest, StableAcrossCallsAndThreadCount) {
+  auto specs = eval::DefaultScenarioMatrix(0.2, 7);
+  auto config = TinyGauntlet();
+  const std::string fp = eval::ConfigFingerprint(specs, config);
+  EXPECT_EQ(fp, eval::ConfigFingerprint(specs, config));
+  // Thread count must not change accuracy, so it must not change the
+  // fingerprint either (CI runners differ in core count).
+  config.suite.num_threads = 3;
+  EXPECT_EQ(fp, eval::ConfigFingerprint(specs, config));
+}
+
+TEST(ConfigFingerprintTest, SensitiveToAccuracyAffectingKnobs) {
+  auto specs = eval::DefaultScenarioMatrix(0.2, 7);
+  const auto config = TinyGauntlet();
+  const std::string fp = eval::ConfigFingerprint(specs, config);
+
+  auto sized = config;
+  sized.suite.window = 16;
+  EXPECT_NE(fp, eval::ConfigFingerprint(specs, sized));
+
+  auto spotted = config;
+  spotted.spot_q = 0.5;
+  EXPECT_NE(fp, eval::ConfigFingerprint(specs, spotted));
+
+  auto reseeded = eval::DefaultScenarioMatrix(0.2, 8);
+  EXPECT_NE(fp, eval::ConfigFingerprint(reseeded, config));
+
+  auto fewer = specs;
+  fewer.pop_back();
+  EXPECT_NE(fp, eval::ConfigFingerprint(fewer, config));
+}
+
+}  // namespace
+}  // namespace caee

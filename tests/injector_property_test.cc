@@ -1,0 +1,187 @@
+// Property tests for data::injectors, the gauntlet's ground-truth source:
+// every injector's labels exactly mark the indices it is allowed to mutate
+// (nothing outside an injector's documented range moves), labels stay in
+// {0, 1} and in bounds, and a rate-0 injection is a byte-identical no-op on
+// the values. A broken label convention here silently corrupts every
+// accuracy number EVAL_9.json commits to.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "data/injectors.h"
+#include "ts/time_series.h"
+
+namespace caee {
+namespace {
+
+// A clean multivariate host series with non-trivial per-dim scales (so the
+// injectors' informative-dimension picking has something to work with).
+ts::TimeSeries CleanSeries(int64_t length = 400, int64_t dims = 4,
+                           uint64_t seed = 11) {
+  ts::TimeSeries series(length, dims);
+  Rng rng(seed);
+  for (int64_t t = 0; t < length; ++t) {
+    float* row = series.row(t);
+    for (int64_t j = 0; j < dims; ++j) {
+      row[j] = static_cast<float>(
+          std::sin(0.07 * static_cast<double>(t) * (1.0 + 0.3 * j)) +
+          0.05 * rng.Gaussian());
+    }
+  }
+  return series;
+}
+
+std::vector<float> Snapshot(const ts::TimeSeries& series) {
+  std::vector<float> values;
+  values.reserve(static_cast<size_t>(series.length() * series.dims()));
+  for (int64_t t = 0; t < series.length(); ++t) {
+    const float* row = series.row(t);
+    values.insert(values.end(), row, row + series.dims());
+  }
+  return values;
+}
+
+// Rows outside [begin, end) must be bitwise untouched.
+void ExpectUntouchedOutside(const ts::TimeSeries& series,
+                            const std::vector<float>& before, int64_t begin,
+                            int64_t end) {
+  const int64_t d = series.dims();
+  for (int64_t t = 0; t < series.length(); ++t) {
+    if (t >= begin && t < end) continue;
+    const float* row = series.row(t);
+    for (int64_t j = 0; j < d; ++j) {
+      ASSERT_EQ(row[j], before[static_cast<size_t>(t * d + j)])
+          << "value mutated outside labelled range at t=" << t << " dim=" << j;
+    }
+  }
+}
+
+// Labels must be exactly 1 on [begin, end) and 0 elsewhere.
+void ExpectLabelsExactly(const ts::TimeSeries& series, int64_t begin,
+                         int64_t end) {
+  ASSERT_TRUE(series.has_labels());
+  ASSERT_EQ(static_cast<int64_t>(series.labels().size()), series.length());
+  for (int64_t t = 0; t < series.length(); ++t) {
+    const int expected = (t >= begin && t < end) ? 1 : 0;
+    ASSERT_EQ(series.labels()[static_cast<size_t>(t)], expected)
+        << "label mismatch at t=" << t;
+  }
+}
+
+TEST(InjectorPropertyTest, SpikeLabelsExactlyTheMutatedTimestamp) {
+  auto series = CleanSeries();
+  const auto before = Snapshot(series);
+  Rng rng(3);
+  const int64_t t = 123;
+  data::InjectSpike(&series, &rng, t, 4.0);
+  ExpectLabelsExactly(series, t, t + 1);
+  ExpectUntouchedOutside(series, before, t, t + 1);
+  // The labelled timestamp must actually deviate.
+  bool changed = false;
+  for (int64_t j = 0; j < series.dims(); ++j) {
+    changed |= series.row(t)[j] != before[static_cast<size_t>(
+                                       t * series.dims() + j)];
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(InjectorPropertyTest, LevelShiftLabelsExactlyTheInterval) {
+  auto series = CleanSeries();
+  const auto before = Snapshot(series);
+  Rng rng(4);
+  data::InjectLevelShift(&series, &rng, 50, 30, 2.0);
+  ExpectLabelsExactly(series, 50, 80);
+  ExpectUntouchedOutside(series, before, 50, 80);
+}
+
+TEST(InjectorPropertyTest, CollectiveIntervalLabelsExactlyTheInterval) {
+  auto series = CleanSeries();
+  const auto before = Snapshot(series);
+  Rng rng(5);
+  data::InjectCollectiveInterval(&series, &rng, 200, 24, 3, 4.0, 0.3);
+  ExpectLabelsExactly(series, 200, 224);
+  ExpectUntouchedOutside(series, before, 200, 224);
+}
+
+TEST(InjectorPropertyTest, PhaseShiftLabelsExactlyTheInterval) {
+  auto series = CleanSeries();
+  const auto before = Snapshot(series);
+  Rng rng(6);
+  data::InjectPhaseShift(&series, &rng, 100, 40, 17);
+  ExpectLabelsExactly(series, 100, 140);
+  ExpectUntouchedOutside(series, before, 100, 140);
+}
+
+TEST(InjectorPropertyTest, StuckSensorLabelsExactlyTheInterval) {
+  auto series = CleanSeries();
+  const auto before = Snapshot(series);
+  Rng rng(7);
+  data::InjectStuckSensor(&series, &rng, 300, 25, /*dims_fraction=*/1.0);
+  ExpectLabelsExactly(series, 300, 325);
+  ExpectUntouchedOutside(series, before, 300, 325);
+}
+
+TEST(InjectorPropertyTest, MixLabelsCoverEveryMutatedIndex) {
+  // The mix-level property: any row whose bytes changed must be labelled.
+  // (The converse does not hold — interval conventions deliberately label
+  // mildly-perturbed neighbours of the strong peaks.)
+  auto series = CleanSeries(800, 4, 12);
+  const auto before = Snapshot(series);
+  Rng rng(8);
+  const double achieved =
+      data::InjectAnomalyMix(&series, &rng, 0.08, data::AnomalyMix{});
+  EXPECT_GT(achieved, 0.0);
+  ASSERT_TRUE(series.has_labels());
+  const int64_t d = series.dims();
+  for (int64_t t = 0; t < series.length(); ++t) {
+    const float* row = series.row(t);
+    bool mutated = false;
+    for (int64_t j = 0; j < d; ++j) {
+      mutated |= row[j] != before[static_cast<size_t>(t * d + j)];
+    }
+    if (mutated) {
+      ASSERT_EQ(series.labels()[static_cast<size_t>(t)], 1)
+          << "mutated but unlabelled at t=" << t;
+    }
+  }
+}
+
+TEST(InjectorPropertyTest, MixLabelsAreBinaryAndAchievedRatioMatches) {
+  auto series = CleanSeries(1000, 3, 13);
+  Rng rng(9);
+  const double achieved =
+      data::InjectAnomalyMix(&series, &rng, 0.05, data::AnomalyMix{});
+  int64_t positives = 0;
+  for (uint8_t label : series.labels()) {
+    ASSERT_LE(label, 1);
+    positives += label;
+  }
+  EXPECT_NEAR(static_cast<double>(positives) /
+                  static_cast<double>(series.length()),
+              achieved, 1e-12);
+  EXPECT_NEAR(achieved, 0.05, 0.03);
+}
+
+TEST(InjectorPropertyTest, RateZeroMixIsByteIdenticalNoOp) {
+  auto series = CleanSeries(500, 5, 14);
+  const auto before = Snapshot(series);
+  Rng rng(10);
+  const double achieved =
+      data::InjectAnomalyMix(&series, &rng, 0.0, data::AnomalyMix{});
+  EXPECT_EQ(achieved, 0.0);
+  const auto after = Snapshot(series);
+  ASSERT_EQ(before.size(), after.size());
+  EXPECT_EQ(0, std::memcmp(before.data(), after.data(),
+                           before.size() * sizeof(float)));
+  // Labels are enabled (the caller asked for injection) but all zero.
+  ASSERT_TRUE(series.has_labels());
+  for (uint8_t label : series.labels()) EXPECT_EQ(label, 0);
+}
+
+}  // namespace
+}  // namespace caee

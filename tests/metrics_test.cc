@@ -297,5 +297,87 @@ TEST_P(MetricRangeTest, AllMetricsInRange) {
 INSTANTIATE_TEST_SUITE_P(RandomSeeds, MetricRangeTest,
                          ::testing::Range<uint64_t>(1, 21));
 
+// ---------------------------------------------------------------------------
+// Pinned edge-case conventions (metrics.h header comment). The gauntlet
+// baseline EVAL_9.json depends on these staying fixed.
+// ---------------------------------------------------------------------------
+
+TEST(EdgeCaseTest, AllPositiveLabels) {
+  const std::vector<double> scores = {0.9, 0.5, 0.1};
+  const std::vector<int> labels = {1, 1, 1};
+  // Negative class empty: ROC-AUC is the chance value.
+  EXPECT_DOUBLE_EQ(metrics::RocAuc(scores, labels), 0.5);
+  // Precision is trivially 1 at full recall, so AP is 1.
+  EXPECT_DOUBLE_EQ(metrics::PrAuc(scores, labels), 1.0);
+  const auto best = metrics::BestF1(scores, labels);
+  EXPECT_DOUBLE_EQ(best.f1, 1.0);
+  EXPECT_DOUBLE_EQ(best.recall, 1.0);
+}
+
+TEST(EdgeCaseTest, AllNegativeLabels) {
+  const std::vector<double> scores = {0.9, 0.5, 0.1};
+  const std::vector<int> labels = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(metrics::RocAuc(scores, labels), 0.5);
+  EXPECT_DOUBLE_EQ(metrics::PrAuc(scores, labels), 0.0);
+  const auto best = metrics::BestF1(scores, labels);
+  EXPECT_DOUBLE_EQ(best.f1, 0.0);
+  EXPECT_DOUBLE_EQ(best.precision, 0.0);
+}
+
+TEST(EdgeCaseTest, SingleSample) {
+  // One sample leaves one class empty either way.
+  EXPECT_DOUBLE_EQ(metrics::RocAuc({0.7}, {1}), 0.5);
+  EXPECT_DOUBLE_EQ(metrics::RocAuc({0.7}, {0}), 0.5);
+  EXPECT_DOUBLE_EQ(metrics::PrAuc({0.7}, {1}), 1.0);
+  EXPECT_DOUBLE_EQ(metrics::PrAuc({0.7}, {0}), 0.0);
+  EXPECT_DOUBLE_EQ(metrics::BestF1({0.7}, {1}).f1, 1.0);
+}
+
+TEST(EdgeCaseTest, EmptyInput) {
+  EXPECT_DOUBLE_EQ(metrics::RocAuc({}, {}), 0.5);
+  EXPECT_DOUBLE_EQ(metrics::PrAuc({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(metrics::BestF1({}, {}).f1, 0.0);
+}
+
+TEST(EdgeCaseTest, AllTiedScoresPrAucIsPositiveRate) {
+  // Uninformative scorer: one tie group, precision = positive rate at
+  // recall 1 — AP equals the chance value.
+  const std::vector<double> scores = {0.4, 0.4, 0.4, 0.4, 0.4};
+  const std::vector<int> labels = {1, 0, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(metrics::PrAuc(scores, labels), 0.4);
+  EXPECT_DOUBLE_EQ(metrics::RocAuc(scores, labels), 0.5);
+}
+
+TEST(EdgeCaseTest, TieGroupIsIndivisibleInPrAuc) {
+  // {0.8: pos}, {0.5: pos, neg — one group}, {0.2: neg}.
+  // Groups: r=1/2 p=1;  r=1 p=2/3;  r=1 p=2/4.
+  // AP = 0.5*1 + 0.5*(2/3) + 0 = 5/6. Splitting the tie favourably would
+  // give a higher value; the convention forbids it.
+  const std::vector<double> scores = {0.8, 0.5, 0.5, 0.2};
+  const std::vector<int> labels = {1, 1, 0, 0};
+  EXPECT_NEAR(metrics::PrAuc(scores, labels), 5.0 / 6.0, 1e-12);
+}
+
+TEST(EdgeCaseTest, TiedRanksAverageInRocAuc) {
+  // pos at 0.5 ties one neg at 0.5; other neg below. Ascending ranks:
+  // 0.2 -> 1, tie group {0.5, 0.5} -> average rank 2.5.
+  // AUC = (2.5 - 1) / (1 * 2) = 0.75.
+  const std::vector<double> scores = {0.5, 0.5, 0.2};
+  const std::vector<int> labels = {1, 0, 0};
+  EXPECT_DOUBLE_EQ(metrics::RocAuc(scores, labels), 0.75);
+}
+
+TEST(EdgeCaseTest, BestF1ThresholdSeparatesChosenGroup) {
+  // The reported threshold must reproduce the reported P/R/F1 under the
+  // strictly-greater prediction rule.
+  const std::vector<double> scores = {0.9, 0.7, 0.7, 0.4, 0.1};
+  const std::vector<int> labels = {1, 1, 0, 0, 0};
+  const auto best = metrics::BestF1(scores, labels);
+  const auto c = metrics::ConfusionAt(scores, labels, best.threshold);
+  EXPECT_DOUBLE_EQ(metrics::Precision(c), best.precision);
+  EXPECT_DOUBLE_EQ(metrics::Recall(c), best.recall);
+  EXPECT_DOUBLE_EQ(metrics::F1(c), best.f1);
+}
+
 }  // namespace
 }  // namespace caee

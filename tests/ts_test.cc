@@ -258,5 +258,87 @@ TEST(CsvTest, RejectsNonNumeric) {
   std::remove(path.c_str());
 }
 
+namespace {
+std::string WriteTempCsv(const std::string& name, const std::string& body) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs(body.c_str(), f);
+  std::fclose(f);
+  return path;
+}
+}  // namespace
+
+TEST(CsvTest, SkipsAllTextHeaderLine) {
+  const std::string path = WriteTempCsv(
+      "caee_header.csv", "sensor_a,sensor_b,label\n1.0,2.0,0\n3.0,4.0,1\n");
+  auto loaded = ts::ReadCsv(path, /*has_labels=*/true);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->length(), 2);
+  EXPECT_EQ(loaded->dims(), 2);
+  EXPECT_EQ(loaded->label(1), 1);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MixedFirstLineIsNotAHeader) {
+  // "1,abc" could be a corrupt data row; silently skipping it as a header
+  // would hide the corruption.
+  const std::string path =
+      WriteTempCsv("caee_mixed.csv", "1,abc\n2.0,3.0\n");
+  auto loaded = ts::ReadCsv(path, /*has_labels=*/false);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("line 1"), std::string::npos)
+      << loaded.status();
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingValueRejectedWithRowAndColumn) {
+  const std::string path =
+      WriteTempCsv("caee_missing.csv", "1.0,2.0\n3.0,\n");
+  auto loaded = ts::ReadCsv(path, /*has_labels=*/false);
+  ASSERT_FALSE(loaded.ok());
+  const std::string message = loaded.status().ToString();
+  EXPECT_NE(message.find("line 2"), std::string::npos) << message;
+  EXPECT_NE(message.find("column 2"), std::string::npos) << message;
+  EXPECT_NE(message.find("missing value"), std::string::npos) << message;
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingLeadingValueRejected) {
+  const std::string path =
+      WriteTempCsv("caee_missing2.csv", ",2.0\n3.0,4.0\n");
+  EXPECT_FALSE(ts::ReadCsv(path, /*has_labels=*/false).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, RejectsPartialNumbersAndNonFinite) {
+  for (const char* body : {"1.5abc,2\n", "nan,2\n", "inf,2\n"}) {
+    const std::string path = WriteTempCsv("caee_bad.csv", body);
+    EXPECT_FALSE(ts::ReadCsv(path, /*has_labels=*/false).ok()) << body;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(CsvTest, RejectsNonBinaryLabels) {
+  const std::string path =
+      WriteTempCsv("caee_badlabel.csv", "1.0,2.0,0\n3.0,4.0,7\n");
+  auto loaded = ts::ReadCsv(path, /*has_labels=*/true);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("labels must be 0 or 1"),
+            std::string::npos)
+      << loaded.status();
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ToleratesCrlfAndPaddedCells) {
+  const std::string path =
+      WriteTempCsv("caee_crlf.csv", "1.0, 2.0,1\r\n 3.0,4.0 ,0\r\n");
+  auto loaded = ts::ReadCsv(path, /*has_labels=*/true);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->length(), 2);
+  EXPECT_EQ(loaded->value(1, 0), 3.0f);
+  EXPECT_EQ(loaded->label(0), 1);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace caee
