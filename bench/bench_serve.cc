@@ -67,9 +67,24 @@
 // other serve tables (max_push_ns and reload_pause_ns are single-sample
 // maxima — scheduler noise, reported but not gated).
 //
+// HEALTH TABLE (PR 10): a fifth table prices label-free model-health
+// monitoring (docs/operations.md "Model-health runbook"). Each cell
+// replays the same streams with `--health` off (the baseline engine) and
+// on (health ring + canary retention ring + dispersion pass on the
+// scoring path), reporting ns/window and bytes per idle stream — the
+// bytes delta is the fixed per-shard health + canary slab cost amortised
+// over the population. The cell checksum must match across the two modes:
+// health monitoring OBSERVES scores, it never changes them, so checksum
+// drift here means the monitor leaked into scoring.
+// `--caee_health_json=PATH` writes the rows as a
+// {"bench": "bench_serve_health"} document (BENCH_10.json in CI);
+// scripts/check_bench_regression.py gates ns_per_window and
+// bytes_per_idle_stream like the policy table.
+//
 // Extra flags beyond bench_util.h: --obs=N observations per stream
 // (default 48), --caee_json=PATH, --caee_scale_json=PATH,
-// --caee_policy_json=PATH, --caee_reload_json=PATH.
+// --caee_policy_json=PATH, --caee_reload_json=PATH,
+// --caee_health_json=PATH.
 
 #include <algorithm>
 #include <cmath>
@@ -82,6 +97,7 @@
 #include "bench_util.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "core/health.h"
 #include "core/persistence.h"
 #include "core/spot.h"
 #include "serve/serving_engine.h"
@@ -288,6 +304,88 @@ PolicyEntry RunPolicyCell(
   return entry;
 }
 
+struct HealthEntry {
+  int64_t streams;
+  int64_t max_batch;
+  int64_t threads;
+  const char* health;  // "off" or "on"
+  double windows_per_sec;
+  double ns_per_window;
+  double bytes_per_idle_stream;
+  double checksum;  // mode-invariant: monitoring observes, never changes
+};
+
+// One health cell: the same streams scored with model-health monitoring
+// off (the baseline engine) or on (health ring + canary retention + the
+// member-dispersion pass all active on the scoring path). The off cell
+// builds the engine without a health reference at all, so the on-vs-off
+// delta is the whole cost of `--health`, not just the ring writes.
+HealthEntry RunHealthCell(
+    core::CaeEnsemble* ensemble, const core::HealthRef& ref, bool enabled,
+    const std::vector<std::vector<std::vector<float>>>& streams) {
+  ensemble->set_scoring_backend(core::ScoringBackend::kPlan);
+  const int64_t w = ensemble->config().window;
+  serve::ServeConfig config;
+  config.max_batch = 16;
+  config.flush_deadline_ms = 0;
+  config.health.enabled = enabled;
+  serve::ServingEngine engine(
+      ensemble, config, std::nullopt, std::nullopt,
+      enabled ? std::optional<core::HealthRef>(ref) : std::nullopt);
+
+  const int64_t num_streams = static_cast<int64_t>(streams.size());
+  std::vector<serve::StreamScore> results;
+  for (int64_t s = 0; s < num_streams; ++s) {
+    CAEE_CHECK(engine.OpenStream(s).ok());
+    for (int64_t t = 0; t < w - 1; ++t) {
+      CAEE_CHECK(engine.Push(s, streams[static_cast<size_t>(s)]
+                                       [static_cast<size_t>(t)],
+                             &results)
+                     .ok());
+    }
+  }
+  CAEE_CHECK(results.empty());
+  const double bytes_per_idle_stream =
+      static_cast<double>(engine.MemoryBytes()) /
+      static_cast<double>(num_streams);
+
+  const int64_t length = static_cast<int64_t>(streams.front().size());
+  Stopwatch timer;
+  for (int64_t t = w - 1; t < length; ++t) {
+    for (int64_t s = 0; s < num_streams; ++s) {
+      CAEE_CHECK(engine.Push(s, streams[static_cast<size_t>(s)]
+                                       [static_cast<size_t>(t)],
+                             &results)
+                     .ok());
+    }
+  }
+  CAEE_CHECK(engine.Flush(&results).ok());
+  const double seconds = timer.ElapsedSeconds();
+
+  const int64_t expected = num_streams * (length - w + 1);
+  CAEE_CHECK_MSG(static_cast<int64_t>(results.size()) == expected,
+                 "scored " << results.size() << " windows, expected "
+                           << expected);
+  if (enabled) {
+    // The monitored path really ran: the health ring saw every window.
+    CAEE_CHECK_MSG(engine.Stats().health_window > 0,
+                   "health monitoring on but the health ring stayed empty");
+  }
+  double checksum = 0.0;
+  for (const auto& r : results) checksum += r.score;
+
+  HealthEntry entry;
+  entry.streams = num_streams;
+  entry.max_batch = config.max_batch;
+  entry.threads = static_cast<int64_t>(ensemble->config().num_threads);
+  entry.health = enabled ? "on" : "off";
+  entry.windows_per_sec = static_cast<double>(results.size()) / seconds;
+  entry.ns_per_window = seconds * 1e9 / static_cast<double>(results.size());
+  entry.bytes_per_idle_stream = bytes_per_idle_stream;
+  entry.checksum = checksum;
+  return entry;
+}
+
 struct ReloadEntry {
   int64_t streams;
   int64_t max_batch;
@@ -445,7 +543,7 @@ ServeEntry RunCell(core::CaeEnsemble* ensemble,
 int Main(int argc, char** argv) {
   bench::Flags flags = bench::Flags::Parse(argc, argv);
   std::string json_path, scale_json_path, policy_json_path,
-      reload_json_path;
+      reload_json_path, health_json_path;
   int64_t obs_per_stream = 48;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--caee_scale_json=", 18) == 0) {
@@ -454,6 +552,8 @@ int Main(int argc, char** argv) {
       policy_json_path = argv[i] + 19;
     } else if (std::strncmp(argv[i], "--caee_reload_json=", 19) == 0) {
       reload_json_path = argv[i] + 19;
+    } else if (std::strncmp(argv[i], "--caee_health_json=", 19) == 0) {
+      health_json_path = argv[i] + 19;
     } else if (std::strncmp(argv[i], "--caee_json=", 12) == 0) {
       json_path = argv[i] + 12;
     } else if (std::strncmp(argv[i], "--obs=", 6) == 0) {
@@ -696,6 +796,54 @@ int Main(int argc, char** argv) {
   }
   std::remove(reload_artifact.c_str());
 
+  // -------------------------------------------------------------------
+  // Health table: model-health monitoring off vs on, same streams.
+  // -------------------------------------------------------------------
+  core::HealthRef health_ref;
+  {
+    // Constant member dispersion: the serving-side cost being priced does
+    // not depend on the reference's values, only on its presence.
+    std::vector<double> dispersions(train_scores.size(), 0.25);
+    auto calibrated_health = core::CalibrateHealthRef(train_scores,
+                                                      dispersions);
+    CAEE_CHECK_MSG(calibrated_health.ok(), "health calibration failed: "
+                                               << calibrated_health.status());
+    health_ref = std::move(calibrated_health).value();
+  }
+  std::printf("\nhealth table (max_batch=16, impl=plan; monitoring must "
+              "not move scores):\n");
+  std::printf("%8s %8s %16s %14s %18s\n", "streams", "health", "windows/sec",
+              "ns/window", "bytes/idle-stream");
+  std::vector<HealthEntry> health_entries;
+  for (const int64_t num_streams : {int64_t{4}, int64_t{16}}) {
+    std::vector<std::vector<std::vector<float>>> streams;
+    for (int64_t s = 0; s < num_streams; ++s) {
+      streams.push_back(MakeStream(obs_per_stream, dims,
+                                   1000 + static_cast<uint64_t>(s)));
+    }
+    double base_checksum = 0.0;
+    bool have_base = false;
+    for (const bool enabled : {false, true}) {
+      const HealthEntry entry =
+          RunHealthCell(&ensemble, health_ref, enabled, streams);
+      std::printf("%8lld %8s %16.1f %14.1f %18.1f\n",
+                  static_cast<long long>(entry.streams), entry.health,
+                  entry.windows_per_sec, entry.ns_per_window,
+                  entry.bytes_per_idle_stream);
+      // Health monitoring observes scores; it must never change one.
+      if (!have_base) {
+        base_checksum = entry.checksum;
+        have_base = true;
+      } else {
+        CAEE_CHECK_MSG(entry.checksum == base_checksum,
+                       "checksum drift at streams="
+                           << num_streams << " health=" << entry.health
+                           << " — health monitoring changed scores");
+      }
+      health_entries.push_back(entry);
+    }
+  }
+
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
     if (f == nullptr) {
@@ -810,6 +958,35 @@ int Main(int argc, char** argv) {
     std::fclose(f);
     std::printf("wrote %s (%zu entries)\n", reload_json_path.c_str(),
                 reload_entries.size());
+  }
+
+  if (!health_json_path.empty()) {
+    std::FILE* f = std::fopen(health_json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", health_json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"bench_serve_health\",\n  \"schema\": 1,\n"
+                 "  \"entries\": [\n");
+    for (size_t i = 0; i < health_entries.size(); ++i) {
+      const HealthEntry& e = health_entries[i];
+      std::fprintf(
+          f,
+          "    {\"streams\": %lld, \"max_batch\": %lld, \"threads\": %lld, "
+          "\"health\": \"%s\", \"windows_per_sec\": %.1f, "
+          "\"ns_per_window\": %.1f, \"bytes_per_idle_stream\": %.1f, "
+          "\"checksum\": %.17g}%s\n",
+          static_cast<long long>(e.streams),
+          static_cast<long long>(e.max_batch),
+          static_cast<long long>(e.threads), e.health, e.windows_per_sec,
+          e.ns_per_window, e.bytes_per_idle_stream, e.checksum,
+          i + 1 < health_entries.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu entries)\n", health_json_path.c_str(),
+                health_entries.size());
   }
   return 0;
 }

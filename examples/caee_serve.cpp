@@ -50,9 +50,13 @@
 // serving artifact with zero downtime — open sessions keep scoring, a
 // rejected candidate leaves the old generation serving. --drift-threshold
 // arms the drift -> repair escalation: when the SPOT exceed-rate drifts
-// past it, an advisory naming caee_repair lands on stderr. SIGTERM/SIGINT
-// stop intake, drain every shard, and exit 0 — scores already owed are
-// delivered, not dropped.
+// past it, an advisory naming caee_repair lands on stderr. --health arms
+// unsupervised model-health validation against the artifact's calibration
+// reference: reload candidates are canary-judged on retained live windows
+// before any shard switches, and a model-degradation verdict during the
+// post-swap probation rolls back to the last-known-good generation
+// automatically. SIGTERM/SIGINT stop intake, drain every shard, and exit
+// 0 — scores already owed are delivered, not dropped.
 
 #include <atomic>
 #include <chrono>
@@ -84,7 +88,10 @@ const char kUsage[] =
     "                  [--expect-scores scores.txt [--tolerance X]]\n"
     "                  [--streams [--max-batch N] [--flush-ms MS]\n"
     "                   [--shards S] [--max-pending N] [--binary]\n"
-    "                   [--drift-threshold X [--drift-clear Y]]]\n"
+    "                   [--drift-threshold X [--drift-clear Y]]\n"
+    "                   [--health [--health-shift X] [--health-dispersion X]\n"
+    "                    [--health-nonfinite X] [--health-alert X]\n"
+    "                    [--probation N]]]\n"
     "       caee_serve --encode-frames | --decode-frames   (no --model)\n"
     "  Default mode reads comma-separated observations from --input\n"
     "  (default: stdin) and prints `index,score,flag` per scored\n"
@@ -116,6 +123,17 @@ const char kUsage[] =
     "  caee_repair is printed to stderr, once per excursion\n"
     "  (re-arming below --drift-clear Y, default X/2). Needs a\n"
     "  SPOT-calibrated artifact (docs/operations.md).\n"
+    "  --health arms unsupervised model-health monitoring against the\n"
+    "  artifact's calibration reference (needs caee_train --health):\n"
+    "  reload candidates are canary-judged on retained live windows before\n"
+    "  any shard switches, every successful swap starts a probation of\n"
+    "  --probation N scored windows (default 512) during which a\n"
+    "  model-degradation verdict rolls back to the last-known-good\n"
+    "  generation automatically, and health excursions land on stderr.\n"
+    "  --health-shift/--health-dispersion/--health-nonfinite/\n"
+    "  --health-alert override the per-signal thresholds\n"
+    "  (docs/operations.md). The admin line `health` (or a health frame in\n"
+    "  binary mode) reports the live gauges.\n"
     "  SIGTERM/SIGINT shut down gracefully: intake stops, every shard is\n"
     "  drained, and the process exits 0.\n"
     "  --encode-frames converts text-protocol lines on stdin to request\n"
@@ -356,6 +374,34 @@ StatusOr<serve::ServeConfig> MultiStreamConfig(const cli::Args& args) {
         "--drift-clear must be in (0, drift-threshold) — it is the "
         "re-arm level of the hysteresis");
   }
+  config.health.enabled = args.Has("health");
+  config.health.shift_threshold =
+      args.GetDouble("health-shift", config.health.shift_threshold);
+  config.health.dispersion_threshold =
+      args.GetDouble("health-dispersion", config.health.dispersion_threshold);
+  config.health.non_finite_threshold =
+      args.GetDouble("health-nonfinite", config.health.non_finite_threshold);
+  config.health.alert_threshold =
+      args.GetDouble("health-alert", config.health.alert_threshold);
+  config.health.probation_windows =
+      args.GetInt("probation", config.health.probation_windows);
+  if (!config.health.enabled &&
+      (args.Has("health-shift") || args.Has("health-dispersion") ||
+       args.Has("health-nonfinite") || args.Has("health-alert") ||
+       args.Has("probation"))) {
+    return Status::InvalidArgument(
+        "--health-shift/--health-dispersion/--health-nonfinite/"
+        "--health-alert/--probation require --health");
+  }
+  if (config.health.enabled &&
+      (config.health.shift_threshold <= 0.0 ||
+       config.health.dispersion_threshold <= 0.0 ||
+       config.health.non_finite_threshold <= 0.0 ||
+       config.health.alert_threshold <= 0.0 ||
+       config.health.probation_windows < 1)) {
+    return Status::InvalidArgument(
+        "--health thresholds must be > 0 and --probation >= 1");
+  }
   return config;
 }
 
@@ -376,6 +422,52 @@ void PollDriftAdvisory(serve::ServingEngine& engine) {
                "`reload,<path>` (docs/operations.md)\n";
 }
 
+// Shared by both multi-stream modes: one health poll, excursions on
+// stderr. Same double-report immunity as PollDriftAdvisory: the
+// HealthMonitor's per-signal hysteresis fires each excursion once.
+// A rollback notice names the restored generation so the operator knows
+// the bad candidate is already out of service.
+void PollHealthAdvisory(serve::ServingEngine& engine) {
+  if (!engine.config().health.enabled) return;
+  const auto event = engine.PollHealth();
+  if (!event.has_value()) return;
+  std::cerr << "health alert ("
+            << serve::HealthVerdictName(event->verdict) << "): "
+            << serve::HealthSignalName(event->signal) << " " << event->value
+            << " over " << event->window
+            << " recent scores on generation " << event->generation
+            << " exceeds " << event->threshold;
+  if (event->rolled_back) {
+    std::cerr << "; rolled back to last-known-good generation "
+              << event->rolled_back_to << " (docs/operations.md)\n";
+  } else if (event->verdict == serve::HealthVerdict::kDataDrift) {
+    std::cerr << "; the DATA has likely shifted — repair with caee_repair "
+                 "and hot-swap the result via `reload,<path>` "
+                 "(docs/operations.md)\n";
+  } else {
+    std::cerr << "; the MODEL looks degraded — hot-swap a known-good "
+                 "artifact via `reload,<path>` (docs/operations.md)\n";
+  }
+}
+
+// `health` admin line: report the live model-health gauges on stderr.
+// Answered even without --health (says monitoring is off) so a generic
+// operator script needs no mode flag.
+void HandleTextHealth(serve::ServingEngine& engine) {
+  if (!engine.config().health.enabled) {
+    std::cerr << "health: monitoring off (serve with --health)\n";
+    return;
+  }
+  const serve::EngineStats stats = engine.Stats();
+  std::cerr << "health: generation " << stats.generation << ", "
+            << stats.health_window << " recent scores, score-shift "
+            << stats.score_shift << ", dispersion-ratio "
+            << stats.dispersion_ratio << ", non-finite-rate "
+            << stats.non_finite_rate << ", alert-rate " << stats.alert_rate
+            << ", " << stats.canary_rejections << " canary rejection(s), "
+            << stats.rollbacks << " rollback(s)\n";
+}
+
 // `reload,<path>` admin line: hot-swap with zero downtime. A failure is
 // DEGRADED MODE, not fatal — the engine keeps serving the old generation
 // and the error (which names the live generation) goes to stderr.
@@ -393,12 +485,13 @@ int RunMultiStream(const cli::Args& args, core::CaeEnsemble& ensemble,
                    std::optional<double> threshold,
                    core::ThresholdPolicy policy,
                    const std::optional<core::SpotInit>& spot,
+                   const std::optional<core::HealthRef>& health,
                    std::istream& in) {
   auto config_or = MultiStreamConfig(args);
   if (!config_or.ok()) return Fail(config_or.status());
   serve::ServeConfig config = config_or.value();
   config.threshold_policy = policy;
-  serve::ServingEngine engine(&ensemble, config, threshold, spot);
+  serve::ServingEngine engine(&ensemble, config, threshold, spot, health);
 
   // Delivery is the single tally point: scores can arrive from the main
   // loop OR from the deadline timer below, and both must count toward the
@@ -441,6 +534,7 @@ int RunMultiStream(const cli::Args& args, core::CaeEnsemble& ensemble,
         }
         deliver(results);
         PollDriftAdvisory(engine);
+        PollHealthAdvisory(engine);
       }
     });
   }
@@ -466,6 +560,10 @@ int RunMultiStream(const cli::Args& args, core::CaeEnsemble& ensemble,
     }
     if (line.rfind("reload,", 0) == 0) {
       HandleTextReload(engine, line.substr(7));
+      continue;
+    }
+    if (line == "health") {
+      HandleTextHealth(engine);
       continue;
     }
     std::vector<serve::StreamScore> results;
@@ -495,6 +593,7 @@ int RunMultiStream(const cli::Args& args, core::CaeEnsemble& ensemble,
     }
     deliver(results);
     PollDriftAdvisory(engine);
+    PollHealthAdvisory(engine);
   }
 
   // End of input (or a shutdown signal): drain the queue, then stop the
@@ -527,6 +626,16 @@ int RunMultiStream(const cli::Args& args, core::CaeEnsemble& ensemble,
               << stats.drift_window << " recent scores vs the calibration "
               << "baseline (docs/thresholds.md)\n";
   }
+  if (config.health.enabled) {
+    std::cerr << "health: " << stats.canary_rejections
+              << " canary rejection(s), " << stats.rollbacks
+              << " rollback(s), gauges over " << stats.health_window
+              << " recent scores: score-shift " << stats.score_shift
+              << ", dispersion-ratio " << stats.dispersion_ratio
+              << ", non-finite-rate " << stats.non_finite_rate
+              << ", alert-rate " << stats.alert_rate
+              << " (docs/operations.md)\n";
+  }
   return 0;
 }
 
@@ -538,13 +647,14 @@ int RunMultiStreamBinary(const cli::Args& args, core::CaeEnsemble& ensemble,
                          std::optional<double> threshold,
                          core::ThresholdPolicy policy,
                          const std::optional<core::SpotInit>& spot,
+                         const std::optional<core::HealthRef>& health,
                          std::istream& in) {
   namespace fr = serve::framing;
   auto config_or = MultiStreamConfig(args);
   if (!config_or.ok()) return Fail(config_or.status());
   serve::ServeConfig config = config_or.value();
   config.threshold_policy = policy;
-  serve::ServingEngine engine(&ensemble, config, threshold, spot);
+  serve::ServingEngine engine(&ensemble, config, threshold, spot, health);
 
   // One serialisation point for response frames: scores can come from the
   // main loop or the deadline timer, and frames must never interleave
@@ -585,6 +695,7 @@ int RunMultiStreamBinary(const cli::Args& args, core::CaeEnsemble& ensemble,
         }
         deliver(results);
         PollDriftAdvisory(engine);
+        PollHealthAdvisory(engine);
       }
     });
   }
@@ -691,6 +802,25 @@ int RunMultiStreamBinary(const cli::Args& args, core::CaeEnsemble& ensemble,
                             : fr::MakeErrorFrame(frame.stream_id, status));
         break;
       }
+      case fr::FrameType::kHealth: {
+        // Admin health report: always answered, even without --health
+        // (enabled=false, gauges zero) — monitoring clients need no mode
+        // flag. Counters come from the same EngineStats the text mode
+        // prints (aggregation contract in serve/shard.h).
+        const serve::EngineStats stats = engine.Stats();
+        fr::HealthStatus health_status;
+        health_status.enabled = config.health.enabled;
+        health_status.generation = stats.generation;
+        health_status.window = stats.health_window;
+        health_status.score_shift = stats.score_shift;
+        health_status.dispersion_ratio = stats.dispersion_ratio;
+        health_status.non_finite_rate = stats.non_finite_rate;
+        health_status.alert_rate = stats.alert_rate;
+        health_status.rollbacks = stats.rollbacks;
+        health_status.canary_rejections = stats.canary_rejections;
+        respond(fr::MakeHealthStatusFrame(health_status));
+        break;
+      }
       default:
         respond(fr::MakeErrorFrame(
             frame.stream_id,
@@ -699,6 +829,7 @@ int RunMultiStreamBinary(const cli::Args& args, core::CaeEnsemble& ensemble,
         break;
     }
     PollDriftAdvisory(engine);
+    PollHealthAdvisory(engine);
   }
 
   // End of input (or a shutdown signal): drain every shard, then stop the
@@ -734,6 +865,16 @@ int RunMultiStreamBinary(const cli::Args& args, core::CaeEnsemble& ensemble,
               << stats.drift_window << " recent scores vs the calibration "
               << "baseline (docs/thresholds.md)\n";
   }
+  if (config.health.enabled) {
+    std::cerr << "health: " << stats.canary_rejections
+              << " canary rejection(s), " << stats.rollbacks
+              << " rollback(s), gauges over " << stats.health_window
+              << " recent scores: score-shift " << stats.score_shift
+              << ", dispersion-ratio " << stats.dispersion_ratio
+              << ", non-finite-rate " << stats.non_finite_rate
+              << ", alert-rate " << stats.alert_rate
+              << " (docs/operations.md)\n";
+  }
   return 0;
 }
 
@@ -751,6 +892,10 @@ int RunEncodeFrames(std::istream& in) {
     if (line.empty()) continue;
     if (line.rfind("reload,", 0) == 0) {
       fr::WriteFrame(std::cout, fr::MakeReloadFrame(line.substr(7)));
+      continue;
+    }
+    if (line == "health") {
+      fr::WriteFrame(std::cout, fr::MakeHealthFrame());
       continue;
     }
     std::string verb;
@@ -817,6 +962,28 @@ int RunDecodeFrames(std::istream& in) {
         ++errors;
         break;
       }
+      case fr::FrameType::kHealthStatus: {
+        // Mirrors HandleTextHealth so the translator pipeline's stderr
+        // matches the text server's (docs/protocol.md).
+        fr::HealthStatus hs;
+        if (Status status = fr::ParseHealthStatus(frame, &hs);
+            !status.ok()) {
+          return Fail(status);
+        }
+        if (!hs.enabled) {
+          std::cerr << "health: monitoring off (serve with --health)\n";
+        } else {
+          std::cerr << "health: generation " << hs.generation << ", "
+                    << hs.window << " recent scores, score-shift "
+                    << hs.score_shift << ", dispersion-ratio "
+                    << hs.dispersion_ratio << ", non-finite-rate "
+                    << hs.non_finite_rate << ", alert-rate " << hs.alert_rate
+                    << ", " << hs.canary_rejections
+                    << " canary rejection(s), " << hs.rollbacks
+                    << " rollback(s)\n";
+        }
+        break;
+      }
       default:
         return Fail(Status::InvalidArgument(
             "unexpected frame type " + std::to_string(frame.type) +
@@ -834,7 +1001,9 @@ int main(int argc, char** argv) {
   args.RejectUnknown({"model", "input", "threads", "expect-scores",
                       "tolerance", "streams", "max-batch", "flush-ms",
                       "shards", "max-pending", "binary", "threshold-policy",
-                      "drift-threshold", "drift-clear", "encode-frames",
+                      "drift-threshold", "drift-clear", "health",
+                      "health-shift", "health-dispersion", "health-nonfinite",
+                      "health-alert", "probation", "encode-frames",
                       "decode-frames", "help"},
                      kUsage);
   if (args.Has("help")) {
@@ -849,7 +1018,9 @@ int main(int argc, char** argv) {
     for (const char* flag :
          {"model", "threads", "expect-scores", "tolerance", "streams",
           "max-batch", "flush-ms", "shards", "max-pending", "binary",
-          "threshold-policy", "drift-threshold", "drift-clear"}) {
+          "threshold-policy", "drift-threshold", "drift-clear", "health",
+          "health-shift", "health-dispersion", "health-nonfinite",
+          "health-alert", "probation"}) {
       if (args.Has(flag)) {
         std::cerr << "--encode-frames/--decode-frames take only --input\n"
                   << kUsage;
@@ -879,9 +1050,13 @@ int main(int argc, char** argv) {
   if (!args.Has("streams") &&
       (args.Has("max-batch") || args.Has("flush-ms") || args.Has("shards") ||
        args.Has("max-pending") || args.Has("binary") ||
-       args.Has("drift-threshold") || args.Has("drift-clear"))) {
+       args.Has("drift-threshold") || args.Has("drift-clear") ||
+       args.Has("health") || args.Has("health-shift") ||
+       args.Has("health-dispersion") || args.Has("health-nonfinite") ||
+       args.Has("health-alert") || args.Has("probation"))) {
     std::cerr << "--max-batch/--flush-ms/--shards/--max-pending/--binary/"
-                 "--drift-threshold/--drift-clear require --streams\n"
+                 "--drift-threshold/--drift-clear/--health (and its knobs) "
+                 "require --streams\n"
               << kUsage;
     return 2;
   }
@@ -922,13 +1097,22 @@ int main(int argc, char** argv) {
         "--drift-threshold needs SPOT init params in the artifact; "
         "retrain with caee_train --spot (docs/operations.md)"));
   }
+  if (args.Has("health") && !loaded->health.has_value()) {
+    // Health is judged against the artifact's own calibration reference —
+    // without one there is nothing to compare live traffic to. Refusing
+    // beats a monitor that silently can never fire.
+    return Fail(Status::FailedPrecondition(
+        "--health needs a model-health reference in the artifact; "
+        "retrain with caee_train --health (docs/operations.md)"));
+  }
 
   std::cerr << "loaded ensemble: " << ensemble.num_models() << " models, "
             << "window " << ensemble.config().window << ", "
             << ensemble.input_dim() << " dims"
             << (loaded->threshold ? ", threshold " + std::to_string(threshold)
                                   : ", no threshold (flag always 0)")
-            << (loaded->spot ? ", spot-calibrated" : "") << "\n";
+            << (loaded->spot ? ", spot-calibrated" : "")
+            << (loaded->health ? ", health-calibrated" : "") << "\n";
 
   std::ifstream file;
   if (args.Has("input")) {
@@ -943,10 +1127,10 @@ int main(int argc, char** argv) {
   if (args.Has("streams")) {
     if (args.Has("binary")) {
       return RunMultiStreamBinary(args, ensemble, loaded->threshold, policy,
-                                  loaded->spot, in);
+                                  loaded->spot, loaded->health, in);
     }
     return RunMultiStream(args, ensemble, loaded->threshold, policy,
-                          loaded->spot, in);
+                          loaded->spot, loaded->health, in);
   }
   return RunSingleStream(args, ensemble, threshold, policy, loaded->spot, in);
 }

@@ -10,6 +10,8 @@
 //   caee_train --synthetic SMD --scale 0.2 --output model.caee
 //       --dump-input train.csv --scores scores.txt
 
+#include <algorithm>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -20,6 +22,7 @@
 
 #include "cli_util.h"
 #include "core/ensemble.h"
+#include "core/health.h"
 #include "core/persistence.h"
 #include "core/spot.h"
 #include "core/threshold.h"
@@ -42,6 +45,10 @@ const char kUsage[] =
     "             --spot also calibrates streaming SPOT threshold params\n"
     "             (docs/thresholds.md) tuned by --spot-q Q (default 1e-3),\n"
     "             --spot-level L (default 0.98), --spot-peaks N (default 64)\n"
+    "  health:    --health also calibrates the model-health reference\n"
+    "             (training-score histogram + member-dispersion baseline)\n"
+    "             that caee_serve --health validates live traffic against\n"
+    "             (docs/operations.md)\n"
     "  outputs:   --output artifact path (required)\n"
     "             --dump-input CSV copy of the training series (for replay)\n"
     "             --scores training-set scores, one per line (full precision)\n";
@@ -59,7 +66,7 @@ int main(int argc, char** argv) {
       {"input", "labels", "synthetic", "scale", "output", "dump-input",
        "scores", "window", "models", "epochs", "batch", "embed-dim", "layers",
        "max-train-windows", "lr", "seed", "threads", "topk-percent", "spot",
-       "spot-q", "spot-level", "spot-peaks", "help"},
+       "spot-q", "spot-level", "spot-peaks", "health", "help"},
       kUsage);
   if (args.Has("help") || !args.Has("output") ||
       (args.Has("input") == args.Has("synthetic"))) {
@@ -157,6 +164,52 @@ int main(int argc, char** argv) {
               << ", " << spot->peaks.size() << " seed peaks\n";
   }
 
+  // --- Optional model-health calibration (docs/operations.md) --------------
+  std::optional<core::HealthRef> health;
+  if (args.Has("health")) {
+    // The reference must describe exactly what SERVING will measure, so the
+    // scores and member dispersions come through the same entry point the
+    // serving shards use — ScoreWindowsLastInto over raw windows — not the
+    // batch Score() path. One full-window score per position, chunked so
+    // memory stays bounded on long series.
+    const int64_t w = config.window;
+    const int64_t dims = train.dims();
+    const int64_t num_windows = train.length() - w + 1;
+    const int64_t chunk = 256;
+    std::vector<float> buffer(
+        static_cast<size_t>(std::min(chunk, num_windows) * w * dims));
+    std::vector<double> window_scores, dispersions;
+    std::vector<double> chunk_scores, chunk_dispersions;
+    window_scores.reserve(static_cast<size_t>(num_windows));
+    dispersions.reserve(static_cast<size_t>(num_windows));
+    for (int64_t start = 0; start < num_windows; start += chunk) {
+      const int64_t n = std::min(chunk, num_windows - start);
+      for (int64_t b = 0; b < n; ++b) {
+        for (int64_t r = 0; r < w; ++r) {
+          std::memcpy(buffer.data() + static_cast<size_t>((b * w + r) * dims),
+                      train.row(start + b + r),
+                      static_cast<size_t>(dims) * sizeof(float));
+        }
+      }
+      if (Status s = ensemble.ScoreWindowsLastInto(
+              buffer.data(), n, &chunk_scores, &chunk_dispersions);
+          !s.ok()) {
+        return Fail(s);
+      }
+      window_scores.insert(window_scores.end(), chunk_scores.begin(),
+                           chunk_scores.end());
+      dispersions.insert(dispersions.end(), chunk_dispersions.begin(),
+                         chunk_dispersions.end());
+    }
+    auto ref = core::CalibrateHealthRef(window_scores, dispersions);
+    if (!ref.ok()) return Fail(ref.status());
+    health = std::move(ref).value();
+    std::cout << "calibrated health reference (" << health->count
+              << " windows, " << core::kHealthBins
+              << " histogram bins, mean dispersion "
+              << health->mean_dispersion << ")\n";
+  }
+
   if (args.Has("scores")) {
     std::ofstream out(args.Get("scores", ""));
     if (!out) return Fail(Status::IOError("cannot write scores file"));
@@ -167,7 +220,8 @@ int main(int argc, char** argv) {
   // --- Persist -------------------------------------------------------------
   const std::string output = args.Get("output", "");
   if (Status s = core::SaveEnsemble(ensemble, output, threshold.value(),
-                                    spot ? &*spot : nullptr);
+                                    spot ? &*spot : nullptr,
+                                    health ? &*health : nullptr);
       !s.ok()) {
     return Fail(s);
   }

@@ -32,6 +32,12 @@ Handles both JSON schemas the benches emit:
                      along for inspection but are single-sample maxima
                      (one scheduler preemption moves them 100x), so they
                      are not gated.
+  bench_serve_health entries keyed by (streams, max_batch, threads,
+                     health), timed by ns_per_window (BENCH_10.json
+                     baseline) — serving with model-health monitoring off
+                     vs on. Gates bytes_per_idle_stream too, so the
+                     health/canary slabs silently bloating (or monitoring
+                     sneaking onto the allocation path) fails the build.
 
 Fails (exit 1) if any entry present in both files got slower than
 --max-ratio x the baseline time. The threshold is loose on purpose:
@@ -68,6 +74,8 @@ def entry_key(bench, e):
         return (e["streams"], e["max_batch"], e["threads"], e["policy"])
     if bench == "bench_serve_reload":
         return (e["streams"], e["max_batch"], e["threads"], e["phase"])
+    if bench == "bench_serve_health":
+        return (e["streams"], e["max_batch"], e["threads"], e["health"])
     if bench == "bench_serve":
         return (e["streams"], e["max_batch"], e["threads"], e.get("impl", ""))
     return (e["op"], e["shape"], e["threads"], e["impl"])
@@ -75,7 +83,7 @@ def entry_key(bench, e):
 
 def metric_name(bench):
     if bench in ("bench_serve", "bench_serve_scale", "bench_serve_policy",
-                 "bench_serve_reload"):
+                 "bench_serve_reload", "bench_serve_health"):
         return "ns_per_window"
     return "ns_per_iter"
 

@@ -26,6 +26,10 @@
 #                    reload phases with max-push and reload-pause times;
 #                    default: BENCH_8.json in the repo root; same
 #                    regression checker, BENCH_8.json baseline)
+#   HEALTH_JSON=path where to write the model-health entries (monitoring
+#                    off vs on, ns/window and bytes/idle-stream; default:
+#                    BENCH_10.json in the repo root; same regression
+#                    checker, BENCH_10.json baseline)
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -37,6 +41,7 @@ SERVE_JSON="${SERVE_JSON:-BENCH_5.json}"
 SCALE_JSON="${SCALE_JSON:-BENCH_6.json}"
 POLICY_JSON="${POLICY_JSON:-BENCH_7.json}"
 RELOAD_JSON="${RELOAD_JSON:-BENCH_8.json}"
+HEALTH_JSON="${HEALTH_JSON:-BENCH_10.json}"
 
 if [[ ! -x "${BUILD_DIR}/bench_training_time" ]]; then
   echo "error: ${BUILD_DIR}/bench_training_time not found." >&2
@@ -65,10 +70,12 @@ if [[ -x "${BUILD_DIR}/bench_serve" ]]; then
   echo "=== Multi-stream serving (streams x max-batch x impl; writes ${SERVE_JSON};"
   echo "    scale table streams x shards with bytes/idle-stream; writes ${SCALE_JSON};"
   echo "    threshold-policy table static vs spot; writes ${POLICY_JSON};"
-  echo "    hot-swap reload table steady vs reload; writes ${RELOAD_JSON}) ==="
+  echo "    hot-swap reload table steady vs reload; writes ${RELOAD_JSON};"
+  echo "    model-health table off vs on; writes ${HEALTH_JSON}) ==="
   "${BUILD_DIR}/bench_serve" --models="${MODELS}" --epochs="${EPOCHS}" \
     --caee_json="${SERVE_JSON}" --caee_scale_json="${SCALE_JSON}" \
-    --caee_policy_json="${POLICY_JSON}" --caee_reload_json="${RELOAD_JSON}"
+    --caee_policy_json="${POLICY_JSON}" --caee_reload_json="${RELOAD_JSON}" \
+    --caee_health_json="${HEALTH_JSON}"
   echo
 else
   echo "error: ${BUILD_DIR}/bench_serve not found (build first)" >&2

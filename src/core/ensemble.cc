@@ -607,8 +607,30 @@ void CaeEnsemble::ScaleWindowsRaw(const float* windows, int64_t batch,
   }
 }
 
+namespace {
+
+// Floor of the member-dispersion denominator: median reconstruction errors
+// are non-negative but can be exactly zero on degenerate inputs, and the
+// relative statistic must stay finite.
+constexpr double kDispersionEps = 1e-12;
+
+// Relative median absolute deviation of the member errors in `column`
+// (size m) around their median `med` — the member-agreement dispersion the
+// health subsystem watches (docs/operations.md). `scratch` (size m) is
+// overwritten; both paths below feed it the same bits, so plan and graph
+// dispersions are bitwise identical like the scores themselves.
+double MemberDispersion(const double* column, double* scratch, size_t m,
+                        double med) {
+  for (size_t mi = 0; mi < m; ++mi) {
+    scratch[mi] = std::fabs(column[mi] - med);
+  }
+  return MedianInPlace(scratch, m) / std::max(med, kDispersionEps);
+}
+
+}  // namespace
+
 StatusOr<std::vector<double>> CaeEnsemble::ScoreWindowsLastGraph(
-    const Tensor& windows) const {
+    const Tensor& windows, std::vector<double>* dispersions) const {
   // Reference implementation: the original ag::Var forward. Kept verbatim
   // (minus the needless deep copy when rescaling is off) so tests and
   // benches can compare the plan path against it bit for bit.
@@ -630,18 +652,26 @@ StatusOr<std::vector<double>> CaeEnsemble::ScoreWindowsLastGraph(
   });
   // Per-window median across members, reduced in index order (Eq. 15).
   std::vector<double> scores(static_cast<size_t>(batch));
+  if (dispersions != nullptr) dispersions->resize(static_cast<size_t>(batch));
   std::vector<double> column(models_.size());
+  std::vector<double> scratch(models_.size());
   for (int64_t b = 0; b < batch; ++b) {
     for (size_t mi = 0; mi < models_.size(); ++mi) {
       column[mi] = errors[mi][static_cast<size_t>(b)];
     }
-    scores[static_cast<size_t>(b)] = Median(column);
+    const double med = Median(column);
+    scores[static_cast<size_t>(b)] = med;
+    if (dispersions != nullptr) {
+      (*dispersions)[static_cast<size_t>(b)] = MemberDispersion(
+          column.data(), scratch.data(), models_.size(), med);
+    }
   }
   return scores;
 }
 
-Status CaeEnsemble::ScoreWindowsLastInto(const float* windows, int64_t batch,
-                                         std::vector<double>* scores) const {
+Status CaeEnsemble::ScoreWindowsLastInto(
+    const float* windows, int64_t batch, std::vector<double>* scores,
+    std::vector<double>* dispersions) const {
   if (!fitted_) return Status::FailedPrecondition("score before Fit");
   if (windows == nullptr || scores == nullptr || batch < 1) {
     return Status::InvalidArgument(
@@ -656,7 +686,7 @@ Status CaeEnsemble::ScoreWindowsLastInto(const float* windows, int64_t batch,
     Tensor wrapped = Tensor::Uninitialized(Shape{batch, w, d});
     std::memcpy(wrapped.data(), windows,
                 static_cast<size_t>(batch * w * d) * sizeof(float));
-    auto result = ScoreWindowsLastGraph(wrapped);
+    auto result = ScoreWindowsLastGraph(wrapped, dispersions);
     if (!result.ok()) return result.status();
     *scores = std::move(result).value();
     return Status::OK();
@@ -710,13 +740,23 @@ Status CaeEnsemble::ScoreWindowsLastInto(const float* windows, int64_t batch,
 
   // Per-window median across members, reduced in index order (Eq. 15).
   scores->resize(static_cast<size_t>(batch));
+  if (dispersions != nullptr) dispersions->resize(static_cast<size_t>(batch));
   thread_local std::vector<double> column;
   if (column.size() < m) column.resize(m);
   for (int64_t b = 0; b < batch; ++b) {
     for (size_t mi = 0; mi < m; ++mi) {
       column[mi] = errors_ptr[static_cast<int64_t>(mi) * batch + b];
     }
-    (*scores)[static_cast<size_t>(b)] = MedianInPlace(column.data(), m);
+    const double med = MedianInPlace(column.data(), m);
+    (*scores)[static_cast<size_t>(b)] = med;
+    if (dispersions != nullptr) {
+      // Second selection pass over the SAME buffer: MedianInPlace only
+      // permutes the member values, so overwriting them with their absolute
+      // deviations feeds MemberDispersion the same multiset the graph path
+      // sees — bitwise-identical dispersion, still zero allocations.
+      (*dispersions)[static_cast<size_t>(b)] =
+          MemberDispersion(column.data(), column.data(), m, med);
+    }
   }
   return Status::OK();
 }

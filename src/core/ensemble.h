@@ -173,7 +173,22 @@ class CaeEnsemble {
   /// grow-only (asserted by tests/alloc_count_test.cc). This is the entry
   /// point serve::ServingEngine's flush loop runs.
   Status ScoreWindowsLastInto(const float* windows, int64_t batch,
-                              std::vector<double>* scores) const;
+                              std::vector<double>* scores) const {
+    return ScoreWindowsLastInto(windows, batch, scores, nullptr);
+  }
+
+  /// \brief As above, additionally producing one member-agreement dispersion
+  /// per window when `dispersions` is non-null: the relative median absolute
+  /// deviation of the per-member last-position errors around their median
+  /// (Eq. 15's aggregation input), i.e. median_m |e_m - med| / max(med, eps).
+  /// Diversity-driven members agree on normal data, so a sustained rise of
+  /// this statistic is the serve layer's label-free model-degradation signal
+  /// (serve::HealthMonitor — docs/operations.md). Passing null skips the
+  /// second median pass entirely; with it the call stays zero-alloc on the
+  /// plan backend (the extra pass reuses the same grow-only scratch).
+  Status ScoreWindowsLastInto(const float* windows, int64_t batch,
+                              std::vector<double>* scores,
+                              std::vector<double>* dispersions) const;
 
   /// \brief Select the scoring execution engine (default kPlan). The graph
   /// backend exists as the bitwise reference for tests and benches.
@@ -241,9 +256,11 @@ class CaeEnsemble {
   void CompilePlans();
 
   /// \brief The original autograd implementation of ScoreWindowsLast, kept
-  /// as the reference the plan path is compared against.
+  /// as the reference the plan path is compared against. Fills per-window
+  /// member dispersions too when `dispersions` is non-null (same statistic
+  /// as the ScoreWindowsLastInto overload, bitwise identical).
   StatusOr<std::vector<double>> ScoreWindowsLastGraph(
-      const Tensor& windows) const;
+      const Tensor& windows, std::vector<double>* dispersions = nullptr) const;
 
   /// \brief Z-score a raw (batch, w, D) window buffer into `out` with the
   /// fitted scaler stats — the same per-element double-precision transform

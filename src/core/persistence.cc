@@ -26,7 +26,8 @@ enum SectionTag : uint32_t {
   kSectionEmbedding = 3,
   kSectionMember = 4,
   kSectionThreshold = 5,
-  kSectionSpot = 6,  // optional; absent unless calibrated (header comment)
+  kSectionSpot = 6,    // optional; absent unless calibrated (header comment)
+  kSectionHealth = 7,  // optional; absent unless --health calibrated one
 };
 
 // Sanity bounds applied while parsing untrusted artifact bytes. Generous
@@ -46,6 +47,7 @@ std::string TagName(uint32_t tag) {
     case kSectionMember: return "member";
     case kSectionThreshold: return "threshold";
     case kSectionSpot: return "spot";
+    case kSectionHealth: return "health";
     default: return "tag " + std::to_string(tag);
   }
 }
@@ -248,6 +250,45 @@ Status ParseSpotPayload(std::istream& in, SpotInit* spot) {
   return Status::OK();
 }
 
+// Fixed field sequence tied to kArtifactVersion like the spot payload
+// (the section is optional; its LAYOUT is not negotiable).
+void WriteHealthPayload(std::ostream& out, const HealthRef& health) {
+  io::WritePod(out, health.count);
+  io::WritePod(out, health.min);
+  io::WritePod(out, health.max);
+  io::WritePod(out, health.mean);
+  io::WritePod(out, health.stddev);
+  io::WritePod(out, health.mean_dispersion);
+  io::WritePod(out, static_cast<uint64_t>(health.bins.size()));
+  for (const double b : health.bins) io::WritePod(out, b);
+}
+
+Status ParseHealthPayload(std::istream& in, HealthRef* health) {
+  CAEE_RETURN_NOT_OK(io::ReadPod(in, &health->count));
+  CAEE_RETURN_NOT_OK(io::ReadPod(in, &health->min));
+  CAEE_RETURN_NOT_OK(io::ReadPod(in, &health->max));
+  CAEE_RETURN_NOT_OK(io::ReadPod(in, &health->mean));
+  CAEE_RETURN_NOT_OK(io::ReadPod(in, &health->stddev));
+  CAEE_RETURN_NOT_OK(io::ReadPod(in, &health->mean_dispersion));
+  uint64_t count = 0;
+  CAEE_RETURN_NOT_OK(io::ReadPod(in, &count));
+  // The allocation bound BEFORE the element loop; everything else (finite
+  // stats, bin ranges, histogram mass) is ValidateHealthRef.
+  if (count != static_cast<uint64_t>(kHealthBins)) {
+    return Status::InvalidArgument("artifact health section claims " +
+                                   std::to_string(count) +
+                                   " histogram bins (corrupt)");
+  }
+  health->bins.resize(count);
+  for (auto& b : health->bins) CAEE_RETURN_NOT_OK(io::ReadPod(in, &b));
+  Status valid = ValidateHealthRef(*health);
+  if (!valid.ok()) {
+    return Status::InvalidArgument("artifact health section is invalid: " +
+                                   valid.message());
+  }
+  return Status::OK();
+}
+
 struct Section {
   uint32_t tag;
   std::string payload;
@@ -323,7 +364,8 @@ Status CheckFullyConsumed(std::istream& in, uint32_t tag) {
 }  // namespace
 
 Status SaveEnsemble(const CaeEnsemble& ensemble, const std::string& path,
-                    std::optional<double> threshold, const SpotInit* spot) {
+                    std::optional<double> threshold, const SpotInit* spot,
+                    const HealthRef* health) {
   if (!ensemble.fitted()) {
     return Status::FailedPrecondition("SaveEnsemble needs a fitted ensemble");
   }
@@ -331,6 +373,7 @@ Status SaveEnsemble(const CaeEnsemble& ensemble, const std::string& path,
     return Status::InvalidArgument("threshold must be finite");
   }
   if (spot != nullptr) CAEE_RETURN_NOT_OK(ValidateSpotInit(*spot));
+  if (health != nullptr) CAEE_RETURN_NOT_OK(ValidateHealthRef(*health));
   const EnsembleConfig& cfg = ensemble.config();
   std::vector<Section> sections;
 
@@ -365,6 +408,11 @@ Status SaveEnsemble(const CaeEnsemble& ensemble, const std::string& path,
     std::ostringstream os;
     WriteSpotPayload(os, *spot);
     sections.push_back({kSectionSpot, os.str()});
+  }
+  if (health != nullptr) {
+    std::ostringstream os;
+    WriteHealthPayload(os, *health);
+    sections.push_back({kSectionHealth, os.str()});
   }
   return WriteArtifact(path, sections);
 }
@@ -420,6 +468,7 @@ StatusOr<LoadedEnsemble> ParseEnsembleArtifact(const std::string& data,
   std::vector<nn::StateDict> member_states;
   std::optional<double> threshold;
   std::optional<SpotInit> spot;
+  std::optional<HealthRef> health;
 
   size_t offset = kHeaderBytes;
   for (uint32_t i = 0; i < section_count; ++i) {
@@ -517,6 +566,16 @@ StatusOr<LoadedEnsemble> ParseEnsembleArtifact(const std::string& data,
         spot = std::move(parsed);
         break;
       }
+      case kSectionHealth: {
+        if (health.has_value()) {
+          return Status::IOError("artifact has duplicate health sections");
+        }
+        HealthRef parsed;
+        Status s = ParseHealthPayload(is, &parsed);
+        if (!s.ok()) return annotate(s);
+        health = std::move(parsed);
+        break;
+      }
       default:
         return Status::IOError("unknown artifact section " + where +
                                " (version skew?)");
@@ -554,6 +613,7 @@ StatusOr<LoadedEnsemble> ParseEnsembleArtifact(const std::string& data,
   loaded.ensemble = std::move(ensemble).value();
   loaded.threshold = threshold;
   loaded.spot = std::move(spot);
+  loaded.health = std::move(health);
   return loaded;
 }
 

@@ -164,6 +164,8 @@ Frame MakeReloadFrame(const std::string& path) {
   return frame;
 }
 
+Frame MakeHealthFrame() { return MakeFrame(FrameType::kHealth, 0); }
+
 Frame MakeScoreFrame(const StreamScore& score) {
   Frame frame = MakeFrame(FrameType::kScore, score.stream_id);
   const uint64_t index = static_cast<uint64_t>(score.index);
@@ -196,6 +198,37 @@ Frame MakeErrorFrame(int64_t stream_id, const Status& status) {
 
 Frame MakeBackpressureFrame(int64_t stream_id) {
   return MakeFrame(FrameType::kBackpressure, stream_id);
+}
+
+namespace {
+
+// kHealthStatus payload: u8 enabled + eight 8-byte fields, in the order
+// frozen by docs/protocol.md.
+constexpr size_t kHealthStatusBytes = 1 + 8 * 8;
+
+}  // namespace
+
+Frame MakeHealthStatusFrame(const HealthStatus& status) {
+  Frame frame = MakeFrame(FrameType::kHealthStatus, 0);
+  frame.payload.reserve(kHealthStatusBytes);
+  frame.payload.push_back(status.enabled ? 1 : 0);
+  const uint64_t generation = static_cast<uint64_t>(status.generation);
+  const uint64_t window = static_cast<uint64_t>(status.window);
+  const uint64_t rollbacks = static_cast<uint64_t>(status.rollbacks);
+  const uint64_t rejections =
+      static_cast<uint64_t>(status.canary_rejections);
+  AppendPod(&frame.payload, &generation, sizeof(generation));
+  AppendPod(&frame.payload, &window, sizeof(window));
+  AppendPod(&frame.payload, &status.score_shift,
+            sizeof(status.score_shift));
+  AppendPod(&frame.payload, &status.dispersion_ratio,
+            sizeof(status.dispersion_ratio));
+  AppendPod(&frame.payload, &status.non_finite_rate,
+            sizeof(status.non_finite_rate));
+  AppendPod(&frame.payload, &status.alert_rate, sizeof(status.alert_rate));
+  AppendPod(&frame.payload, &rollbacks, sizeof(rollbacks));
+  AppendPod(&frame.payload, &rejections, sizeof(rejections));
+  return frame;
 }
 
 Status ParseOpenPolicy(const Frame& frame,
@@ -274,6 +307,30 @@ Status ParseScore(const Frame& frame, StreamScore* score) {
   score->index = static_cast<int64_t>(index);
   std::memcpy(&score->score, frame.payload.data() + 8, sizeof(score->score));
   score->flag = frame.payload[16] != 0;
+  return Status::OK();
+}
+
+Status ParseHealthStatus(const Frame& frame, HealthStatus* status) {
+  CAEE_RETURN_NOT_OK(CheckTypeAndSize(frame, FrameType::kHealthStatus,
+                                      kHealthStatusBytes, "health-status"));
+  if (frame.payload.size() != kHealthStatusBytes) {
+    return Status::InvalidArgument("health-status payload has trailing bytes");
+  }
+  const uint8_t* p = frame.payload.data();
+  status->enabled = p[0] != 0;
+  uint64_t generation = 0, window = 0, rollbacks = 0, rejections = 0;
+  std::memcpy(&generation, p + 1, sizeof(generation));
+  std::memcpy(&window, p + 9, sizeof(window));
+  std::memcpy(&status->score_shift, p + 17, sizeof(double));
+  std::memcpy(&status->dispersion_ratio, p + 25, sizeof(double));
+  std::memcpy(&status->non_finite_rate, p + 33, sizeof(double));
+  std::memcpy(&status->alert_rate, p + 41, sizeof(double));
+  std::memcpy(&rollbacks, p + 49, sizeof(rollbacks));
+  std::memcpy(&rejections, p + 57, sizeof(rejections));
+  status->generation = static_cast<int64_t>(generation);
+  status->window = static_cast<int64_t>(window);
+  status->rollbacks = static_cast<int64_t>(rollbacks);
+  status->canary_rejections = static_cast<int64_t>(rejections);
   return Status::OK();
 }
 

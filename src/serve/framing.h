@@ -22,8 +22,10 @@
 // length prefix all surface as a descriptive Status before any payload is
 // interpreted (tests/framing_test.cc sweeps every one of them).
 //
-// Request frames (client -> server): kOpen, kClose, kObserve, kFlush.
-// Response frames (server -> client): kScore, kOk, kError, kBackpressure.
+// Request frames (client -> server): kOpen, kClose, kObserve, kFlush,
+// kReload, kHealth.
+// Response frames (server -> client): kScore, kOk, kError, kBackpressure,
+// kHealthStatus.
 // kBackpressure is the admission-control signal — the addressed shard's
 // pending pool is full, nothing was consumed, retry the SAME observation
 // after draining (serve/shard.h).
@@ -69,11 +71,19 @@ enum class FrameType : uint8_t {
                   // on swap, kError (old generation kept) on rejection.
                   // A new TYPE, not a version bump — unknown types pass
                   // the framing layer by design (docs/protocol.md).
+  kHealth = 6,    // admin: report model health (docs/operations.md);
+                  // stream_id 0; empty payload; answered kHealthStatus.
+                  // Rode in under the same new-TYPE evolution rule as
+                  // kReload — no framing version bump.
   // Responses.
   kScore = 16,         // u64 index, f64 score, u8 flag
   kOk = 17,            // open/close/reload acknowledged; empty payload
   kError = 18,         // u16 StatusCode, u32 len, len message bytes
   kBackpressure = 19,  // shard pending pool full; retry; empty payload
+  kHealthStatus = 20,  // u8 enabled, u64 generation, u64 window,
+                       // f64 score_shift, f64 dispersion_ratio,
+                       // f64 non_finite_rate, f64 alert_rate,
+                       // u64 rollbacks, u64 canary_rejections
 };
 
 /// \brief One decoded frame. `type` stays a raw byte so unknown types can
@@ -112,12 +122,33 @@ Frame MakeFlushFrame();
 /// \brief Admin hot-swap request: serve from the artifact at `path`
 /// (docs/operations.md). The path must fit the frame bound (CHECKed).
 Frame MakeReloadFrame(const std::string& path);
+/// \brief Admin model-health report request (docs/operations.md).
+Frame MakeHealthFrame();
+
+/// \brief The decoded kHealthStatus payload: the engine's model-health
+/// gauges and lifecycle counters at the moment the kHealth request was
+/// served (EngineStats field semantics; serve/shard.h). `enabled` is
+/// false when the server runs without --health — the gauges are zero
+/// then, and the frame says so rather than erroring, so a generic
+/// monitoring client needs no mode flag.
+struct HealthStatus {
+  bool enabled = false;
+  int64_t generation = 0;
+  int64_t window = 0;            // scores behind the gauges
+  double score_shift = 0.0;
+  double dispersion_ratio = 0.0;
+  double non_finite_rate = 0.0;
+  double alert_rate = 0.0;
+  int64_t rollbacks = 0;
+  int64_t canary_rejections = 0;
+};
 
 // Response encoders.
 Frame MakeScoreFrame(const StreamScore& score);
 Frame MakeOkFrame(int64_t stream_id);
 Frame MakeErrorFrame(int64_t stream_id, const Status& status);
 Frame MakeBackpressureFrame(int64_t stream_id);
+Frame MakeHealthStatusFrame(const HealthStatus& status);
 
 // Payload decoders. Each validates the frame's type and exact payload
 // size/contents and returns InvalidArgument on mismatch.
@@ -130,6 +161,7 @@ Status ParseObserve(const Frame& frame, std::vector<float>* values);
 Status ParseReload(const Frame& frame, std::string* path);
 Status ParseScore(const Frame& frame, StreamScore* score);
 Status ParseError(const Frame& frame, Status* error);
+Status ParseHealthStatus(const Frame& frame, HealthStatus* status);
 
 }  // namespace framing
 }  // namespace serve

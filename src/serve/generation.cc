@@ -82,6 +82,10 @@ StatusOr<std::shared_ptr<Generation>> LoadGeneration(
     gen->spot = std::make_unique<const core::SpotInit>(
         std::move(*loaded->spot));
   }
+  if (loaded->health.has_value()) {
+    gen->health = std::make_unique<const core::HealthRef>(
+        std::move(*loaded->health));
+  }
   return gen;
 }
 

@@ -50,6 +50,11 @@ struct Generation {
   /// SPOT-capable. Address-stable for the generation's lifetime — shards
   /// read through their Generation reference.
   std::unique_ptr<const core::SpotInit> spot;
+  /// Model-health calibration reference (training-score histogram +
+  /// member-dispersion baseline), when the artifact carried one
+  /// (caee_train --health). Null otherwise; health monitoring and the
+  /// canary phase require it. Address-stable like `spot`.
+  std::unique_ptr<const core::HealthRef> health;
 };
 
 /// \brief Bounded retry-with-backoff for the artifact READ stage. Only

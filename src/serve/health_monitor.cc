@@ -1,0 +1,144 @@
+#include "serve/health_monitor.h"
+
+namespace caee {
+namespace serve {
+namespace {
+
+double SnapshotValue(const HealthSnapshot& snapshot, HealthSignal signal) {
+  switch (signal) {
+    case HealthSignal::kScoreShift:
+      return snapshot.score_shift;
+    case HealthSignal::kDispersion:
+      return snapshot.dispersion_ratio;
+    case HealthSignal::kNonFiniteRate:
+      return snapshot.non_finite_rate;
+    case HealthSignal::kAlertRate:
+      return snapshot.alert_rate;
+  }
+  return 0.0;
+}
+
+// Check order: most severe first, so one Update on a badly broken model
+// reports the signal that best explains the breakage.
+constexpr HealthSignal kCheckOrder[kNumHealthSignals] = {
+    HealthSignal::kNonFiniteRate,
+    HealthSignal::kDispersion,
+    HealthSignal::kScoreShift,
+    HealthSignal::kAlertRate,
+};
+
+}  // namespace
+
+const char* HealthSignalName(HealthSignal signal) {
+  switch (signal) {
+    case HealthSignal::kScoreShift:
+      return "score-shift";
+    case HealthSignal::kDispersion:
+      return "dispersion";
+    case HealthSignal::kNonFiniteRate:
+      return "non-finite-rate";
+    case HealthSignal::kAlertRate:
+      return "alert-rate";
+  }
+  return "unknown";
+}
+
+const char* HealthVerdictName(HealthVerdict verdict) {
+  switch (verdict) {
+    case HealthVerdict::kHealthy:
+      return "healthy";
+    case HealthVerdict::kDataDrift:
+      return "data-drift";
+    case HealthVerdict::kModelDegradation:
+      return "model-degradation";
+  }
+  return "unknown";
+}
+
+HealthVerdict ClassifyHealthSignal(HealthSignal signal) {
+  switch (signal) {
+    case HealthSignal::kNonFiniteRate:
+    case HealthSignal::kDispersion:
+      return HealthVerdict::kModelDegradation;
+    case HealthSignal::kScoreShift:
+    case HealthSignal::kAlertRate:
+      return HealthVerdict::kDataDrift;
+  }
+  return HealthVerdict::kHealthy;
+}
+
+HealthMonitor::HealthMonitor(const HealthConfig& config) : config_(config) {}
+
+double HealthMonitor::threshold(HealthSignal signal) const {
+  switch (signal) {
+    case HealthSignal::kScoreShift:
+      return config_.shift_threshold;
+    case HealthSignal::kDispersion:
+      return config_.dispersion_threshold;
+    case HealthSignal::kNonFiniteRate:
+      return config_.non_finite_threshold;
+    case HealthSignal::kAlertRate:
+      return config_.alert_threshold;
+  }
+  return 0.0;
+}
+
+double HealthMonitor::clear_level(HealthSignal signal) const {
+  double clear = 0.0;
+  switch (signal) {
+    case HealthSignal::kScoreShift:
+      clear = config_.shift_clear;
+      break;
+    case HealthSignal::kDispersion:
+      clear = config_.dispersion_clear;
+      break;
+    case HealthSignal::kNonFiniteRate:
+      clear = config_.non_finite_clear;
+      break;
+    case HealthSignal::kAlertRate:
+      clear = config_.alert_clear;
+      break;
+  }
+  return clear > 0.0 ? clear : threshold(signal) / 2.0;
+}
+
+std::optional<HealthEvent> HealthMonitor::Update(
+    int64_t generation, const HealthSnapshot& snapshot) {
+  if (!config_.enabled || snapshot.window < config_.min_window) {
+    return std::nullopt;
+  }
+  std::optional<HealthEvent> fired;
+  for (HealthSignal signal : kCheckOrder) {
+    const double value = SnapshotValue(snapshot, signal);
+    bool& armed = armed_[static_cast<int>(signal)];
+    if (!armed) {
+      // Hysteresis: re-arm only once the statistic drops strictly below
+      // the clear level, so a lingering excursion fires exactly once.
+      if (value < clear_level(signal)) {
+        armed = true;
+      }
+      continue;
+    }
+    if (value > threshold(signal) && !fired.has_value()) {
+      armed = false;
+      HealthEvent event;
+      event.signal = signal;
+      event.verdict = ClassifyHealthSignal(signal);
+      event.generation = generation;
+      event.value = value;
+      event.threshold = threshold(signal);
+      event.window = snapshot.window;
+      fired = event;
+    }
+  }
+  return fired;
+}
+
+void HealthMonitor::Reset() {
+  for (bool& armed : armed_) {
+    armed = true;
+  }
+}
+
+}  // namespace serve
+}  // namespace caee

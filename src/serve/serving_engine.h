@@ -54,6 +54,7 @@
 #include "core/ensemble.h"
 #include "serve/drift_monitor.h"
 #include "serve/generation.h"
+#include "serve/health_monitor.h"
 #include "serve/shard.h"
 
 namespace caee {
@@ -89,6 +90,11 @@ struct ServeConfig {
   /// Hysteresis: the monitor re-arms once drift falls below this.
   /// <= 0 means drift_threshold / 2.
   double drift_clear = 0.0;
+  /// Unsupervised model-health validation, canary reloads, and automatic
+  /// generation rollback (serve/health_monitor.h, docs/operations.md).
+  /// health.enabled requires every generation — construction-time and every
+  /// reload candidate — to carry a core::HealthRef (caee_train --health).
+  HealthConfig health;
 };
 
 class ServingEngine {
@@ -100,10 +106,13 @@ class ServingEngine {
   /// sessions cannot be opened. Aborts on max_batch < 1, num_shards < 1,
   /// an unfitted ensemble, a kSpot default policy without init params, or
   /// init params that fail core::ValidateSpotInit — construction arguments
-  /// are programmer input, not tenant input.
+  /// are programmer input, not tenant input. `health` carries the
+  /// artifact's model-health calibration reference; required (and
+  /// validated) when config.health.enabled, ignored otherwise.
   ServingEngine(const core::CaeEnsemble* ensemble, const ServeConfig& config,
                 std::optional<double> threshold = std::nullopt,
-                std::optional<core::SpotInit> spot = std::nullopt);
+                std::optional<core::SpotInit> spot = std::nullopt,
+                std::optional<core::HealthRef> health = std::nullopt);
 
   /// \brief Open a session on the stream's shard with the engine's default
   /// threshold policy. FailedPrecondition if `stream_id` is already open.
@@ -156,9 +165,28 @@ class ServingEngine {
   /// Every scored window carries the id of exactly one generation and is
   /// bitwise equal to a single-generation run of that artifact.
   ///
+  /// Canary phase (only with ServeConfig::health.enabled): before any
+  /// shard adopts the candidate, the engine shadow-scores the retained
+  /// ring of recent live windows with the candidate and judges the result
+  /// against the CANDIDATE's own calibration reference — non-finite rate,
+  /// score-distribution shift, member-dispersion ratio, each against the
+  /// HealthConfig thresholds. A candidate that fails is rejected exactly
+  /// like a validation failure (counted in canary_rejections as well as
+  /// failed_reloads) and every shard is left bitwise untouched. With
+  /// fewer than health.canary_min_windows retained windows (cold engine)
+  /// the canary is skipped. Every successful swap then enters PROBATION
+  /// (health.probation_windows scored windows) during which a
+  /// model-degradation verdict from PollHealth rolls the engine back to
+  /// the retained last-known-good generation; surviving probation
+  /// promotes the new generation to last-known-good.
+  ///
   /// Degraded mode: if the candidate fails to load or validate, the
   /// engine KEEPS SERVING the current generation untouched and returns a
-  /// descriptive error (failed_reloads counts it). Concurrent reloads are
+  /// descriptive error (failed_reloads counts it). A REJECTED reload also
+  /// re-arms the drift and health monitors: the excursion that prompted
+  /// the repair attempt is still live, and each failed attempt should
+  /// produce a fresh advisory rather than silence
+  /// (tests/drift_monitor_test.cc pins this). Concurrent reloads are
   /// serialized; the engine always converges to exactly one live
   /// generation (the last successful swap wins). Returns the new
   /// generation id on success.
@@ -175,6 +203,19 @@ class ServingEngine {
   /// same cadence as FlushIfExpired.
   std::optional<RepairRequest> PollDrift();
 
+  /// \brief Feed the current health gauges (Stats()) to the engine's
+  /// HealthMonitor. Returns a HealthEvent the first time a signal crosses
+  /// its threshold, then nothing until that signal clears (per-signal
+  /// hysteresis). When the verdict is kModelDegradation and the live
+  /// generation is inside its probation window, the engine AUTOMATICALLY
+  /// rolls back to the last-known-good generation — shard by shard, under
+  /// the reload lock, restoring the retained generation with its ORIGINAL
+  /// id — and marks the event rolled_back. Outside probation a
+  /// degradation event is advisory only (the operator decides). Always
+  /// nullopt when health is off. Thread-safe; call it from the same
+  /// cadence as FlushIfExpired / PollDrift.
+  std::optional<HealthEvent> PollHealth();
+
   /// \brief Test hook (tests/fault_injection_test.cc): wires fault
   /// injection into artifact loads and flush scoring. Call before
   /// concurrent use; nullptr (the default) in production.
@@ -185,12 +226,23 @@ class ServingEngine {
     retry_ = retry;
   }
 
-  /// \brief Monitoring counters summed across shards; `drift` is the MAX
-  /// over shards (a healthy fleet with one drifting shard should read as
-  /// drifting, not averaged away), plus the engine-level lifecycle fields
-  /// (generation, reloads, failed_reloads). See EngineStats
-  /// (serve/shard.h) and docs/thresholds.md.
+  /// \brief Monitoring counters summed across shards; `drift` and the four
+  /// health gauges are the MAX over shards (a healthy fleet with one
+  /// broken shard should read as broken, not averaged away), plus the
+  /// engine-level lifecycle and health-event fields (generation, reloads,
+  /// failed_reloads, canary_rejections, rollbacks, per-signal event
+  /// counts). See EngineStats (serve/shard.h), docs/thresholds.md, and
+  /// docs/operations.md.
   EngineStats Stats() const;
+
+  /// \brief Monitor armed-state accessors, exposed so tests can pin the
+  /// reset/re-arm protocol around rejected reloads and rollbacks
+  /// (tests/drift_monitor_test.cc); not meant for production decisions.
+  bool drift_armed() const;
+  bool health_armed(HealthSignal signal) const;
+  /// \brief Whether the live generation is still inside its probation
+  /// window (always false with health off).
+  bool in_probation() const;
 
   /// \brief Open sessions across all shards.
   int64_t num_streams() const;
@@ -243,6 +295,24 @@ class ServingEngine {
   // race Stats readers and reload resets).
   mutable std::mutex drift_mu_;
   DriftMonitor drift_monitor_;
+  // Model-health escalation + probation state, guarded by health_mu_.
+  // Lock order: reload_mu_ (when held at all) strictly before any of
+  // gen_mu_ / drift_mu_ / health_mu_, which are leaf locks taken one at a
+  // time and never nested into each other while another is held — except
+  // that PollHealth reads gen_ via CurrentGeneration() before taking
+  // health_mu_, never after.
+  mutable std::mutex health_mu_;
+  HealthMonitor health_monitor_;
+  // Last-known-good generation, retained for automatic rollback. Starts
+  // as generation 1 (known-good by definition: the operator deployed it);
+  // promoted to the live generation when a probation window is survived.
+  std::shared_ptr<const Generation> last_good_;
+  bool in_probation_ = false;
+  int64_t probation_start_windows_ = 0;  // Stats().scored_windows at swap
+  std::atomic<int64_t> rollbacks_{0};
+  std::atomic<int64_t> canary_rejections_{0};
+  // Per-signal HealthMonitor firings, indexed by HealthSignal.
+  std::atomic<int64_t> signal_events_[kNumHealthSignals] = {};
   // unique_ptr per shard: EngineShard owns a mutex (immovable), and each
   // shard gets its own cache-line neighborhood instead of sharing one
   // contiguous allocation with its siblings.

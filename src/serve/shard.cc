@@ -7,6 +7,7 @@
 #include <string>
 #include <utility>
 
+#include "core/health.h"
 #include "core/streaming.h"
 
 namespace caee {
@@ -23,6 +24,14 @@ uint64_t MixId(int64_t id) {
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
   return x ^ (x >> 31);
 }
+
+// Health-ring bin sentinel for non-finite scores (core::kHealthBins is 32,
+// far below it). Non-finite windows are excluded from the histogram — they
+// feed the non-finite-rate gauge instead.
+constexpr uint8_t kNonFiniteBin = 0xff;
+
+// Guard for dividing by a (theoretically) zero reference dispersion.
+constexpr double kDispersionFloor = 1e-12;
 
 }  // namespace
 
@@ -128,6 +137,21 @@ EngineShard::EngineShard(std::shared_ptr<const Generation> gen,
     // allocate.
     drift_ring_.resize(kDriftWindow, 0);
   }
+  if (config_.health) {
+    CAEE_CHECK_MSG(gen_->health != nullptr,
+                   "health monitoring needs a health-calibrated generation "
+                   "(train with --health; docs/operations.md)");
+    CAEE_CHECK_MSG(config_.canary_capacity >= 1,
+                   "canary_capacity must be >= 1 when health is on");
+    // Everything the health path touches is sized here, once: steady-state
+    // scoring with health on still allocates nothing.
+    health_bin_ring_.resize(kHealthWindow, 0);
+    health_alert_ring_.resize(kHealthWindow, 0);
+    health_disp_ring_.resize(kHealthWindow, 0.0);
+    health_bin_counts_.resize(core::kHealthBins, 0);
+    canary_ring_.resize(static_cast<size_t>(config_.canary_capacity) *
+                        ring_stride_);
+  }
 }
 
 void EngineShard::AdoptGeneration(std::shared_ptr<const Generation> gen) {
@@ -146,6 +170,8 @@ void EngineShard::AdoptGeneration(std::shared_ptr<const Generation> gen) {
                      static_cast<size_t>(gen->spot->config.peak_capacity) ==
                          spot_stride_,
                  "AdoptGeneration: peak capacity mismatch past validation");
+  CAEE_CHECK_MSG(!config_.health || gen->health != nullptr,
+                 "AdoptGeneration: health reference missing past validation");
   gen_ = std::move(gen);
   // Restart drift accounting: the statistic compares live traffic against
   // the CALIBRATION baseline, and that baseline just changed. Mixing
@@ -157,6 +183,23 @@ void EngineShard::AdoptGeneration(std::shared_ptr<const Generation> gen) {
   drift_head_ = 0;
   drift_count_ = 0;
   drift_exceed_ = 0;
+  // The health ring restarts for the same reason: its bins were indexed
+  // against the OLD generation's calibration histogram. The canary buffer
+  // survives — it holds raw input windows, which no generation owns, so a
+  // reload arriving shortly after a swap (or a rollback) still has traffic
+  // to shadow-score.
+  if (config_.health) {
+    std::fill(health_bin_ring_.begin(), health_bin_ring_.end(), 0);
+    std::fill(health_alert_ring_.begin(), health_alert_ring_.end(), 0);
+    std::fill(health_disp_ring_.begin(), health_disp_ring_.end(), 0.0);
+    std::fill(health_bin_counts_.begin(), health_bin_counts_.end(), 0);
+    health_head_ = 0;
+    health_count_ = 0;
+    health_alerts_ = 0;
+    health_nonfinite_ = 0;
+    health_disp_sum_ = 0.0;
+    health_disp_count_ = 0;
+  }
 }
 
 Status EngineShard::OpenStream(int64_t stream_id,
@@ -313,9 +356,16 @@ Status EngineShard::FlushLocked(std::vector<StreamScore>* out) {
           pending_[next + static_cast<size_t>(b)].values.data(),
           ring_stride_ * sizeof(float));
     }
+    // With health on, the same forward pass also yields each window's
+    // member dispersion (the agreement-collapse signal) — the 4-arg
+    // overload reuses the member-score buffer, so this costs one extra
+    // median pass and no allocation.
+    std::vector<double>* dispersions =
+        config_.health ? &batch_dispersions_ : nullptr;
     if (Status s = gen_->ensemble->ScoreWindowsLastInto(batch_values_.data(),
                                                         batch,
-                                                        &batch_scores_);
+                                                        &batch_scores_,
+                                                        dispersions);
         !s.ok()) {
       // Keep the unscored tail queued: recycle the scored prefix by
       // swapping the survivors to the front (swap preserves the pool
@@ -338,13 +388,29 @@ Status EngineShard::FlushLocked(std::vector<StreamScore>* out) {
         }
       }
     }
+    if (config_.health) {
+      // Retain the scored windows for canary shadow-scoring: raw inputs,
+      // newest-wins ring, plain memcpy into a fixed slab.
+      const uint32_t capacity = static_cast<uint32_t>(config_.canary_capacity);
+      for (int64_t b = 0; b < batch; ++b) {
+        std::memcpy(
+            canary_ring_.data() +
+                static_cast<size_t>(canary_head_) * ring_stride_,
+            batch_values_.data() + static_cast<size_t>(b) * ring_stride_,
+            ring_stride_ * sizeof(float));
+        canary_head_ = (canary_head_ + 1) % capacity;
+        canary_count_ = std::min(canary_count_ + 1, capacity);
+      }
+    }
     for (int64_t b = 0; b < batch; ++b) {
       const PendingWindow& p = pending_[next + static_cast<size_t>(b)];
       StreamScore result;
       result.stream_id = p.stream_id;
       result.index = p.index;
       result.score = batch_scores_[static_cast<size_t>(b)];
-      result.flag = VerdictLocked(p.stream_id, result.score);
+      result.flag = VerdictLocked(
+          p.stream_id, result.score,
+          config_.health ? batch_dispersions_[static_cast<size_t>(b)] : 0.0);
       result.generation = gen_->id;
       if (out != nullptr) out->push_back(result);
     }
@@ -354,7 +420,8 @@ Status EngineShard::FlushLocked(std::vector<StreamScore>* out) {
   return Status::OK();
 }
 
-bool EngineShard::VerdictLocked(int64_t stream_id, double score) {
+bool EngineShard::VerdictLocked(int64_t stream_id, double score,
+                                double dispersion) {
   ++stats_.scored_windows;
   const bool finite = std::isfinite(score);
   if (!finite) ++stats_.non_finite_scores;
@@ -394,6 +461,43 @@ bool EngineShard::VerdictLocked(int64_t stream_id, double score) {
     drift_head_ = (drift_head_ + 1) % kDriftWindow;
     drift_exceed_ += exceed;
   }
+
+  if (config_.health) {
+    // Health record ring: evict the oldest record from the aggregates,
+    // then add this one. All fixed-capacity — no allocation.
+    if (health_count_ == kHealthWindow) {
+      const uint8_t old_bin = health_bin_ring_[health_head_];
+      if (old_bin == kNonFiniteBin) {
+        --health_nonfinite_;
+      } else {
+        --health_bin_counts_[old_bin];
+      }
+      health_alerts_ -= health_alert_ring_[health_head_];
+      const double old_disp = health_disp_ring_[health_head_];
+      if (std::isfinite(old_disp)) {
+        health_disp_sum_ -= old_disp;
+        --health_disp_count_;
+      }
+    } else {
+      ++health_count_;
+    }
+    uint8_t bin = kNonFiniteBin;
+    if (finite) {
+      bin = static_cast<uint8_t>(core::HealthBinIndex(*gen_->health, score));
+      ++health_bin_counts_[bin];
+    } else {
+      ++health_nonfinite_;
+    }
+    health_bin_ring_[health_head_] = bin;
+    health_alert_ring_[health_head_] = flag ? 1 : 0;
+    health_alerts_ += flag ? 1 : 0;
+    health_disp_ring_[health_head_] = dispersion;
+    if (std::isfinite(dispersion)) {
+      health_disp_sum_ += dispersion;
+      ++health_disp_count_;
+    }
+    health_head_ = (health_head_ + 1) % kHealthWindow;
+  }
   return flag;
 }
 
@@ -406,7 +510,34 @@ EngineStats EngineShard::Stats() const {
                             static_cast<double>(drift_count_);
     stats.drift = std::abs(observed - (1.0 - gen_->spot->config.level));
   }
+  if (config_.health && health_count_ > 0) {
+    stats.health_window = health_count_;
+    const double n = static_cast<double>(health_count_);
+    stats.non_finite_rate = static_cast<double>(health_nonfinite_) / n;
+    stats.alert_rate = static_cast<double>(health_alerts_) / n;
+    const int64_t finite = static_cast<int64_t>(health_count_) -
+                           static_cast<int64_t>(health_nonfinite_);
+    stats.score_shift = core::HealthTotalVariation(
+        *gen_->health, health_bin_counts_.data(), finite);
+    if (health_disp_count_ > 0) {
+      const double live = health_disp_sum_ /
+                          static_cast<double>(health_disp_count_);
+      stats.dispersion_ratio =
+          live / std::max(gen_->health->mean_dispersion, kDispersionFloor);
+    }
+  }
   return stats;
+}
+
+int64_t EngineShard::CopyCanaryWindows(std::vector<float>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!config_.health || canary_count_ == 0) return 0;
+  const size_t old_size = out->size();
+  out->resize(old_size + static_cast<size_t>(canary_count_) * ring_stride_);
+  std::memcpy(out->data() + old_size, canary_ring_.data(),
+              static_cast<size_t>(canary_count_) * ring_stride_ *
+                  sizeof(float));
+  return canary_count_;
 }
 
 int64_t EngineShard::num_streams() const {
@@ -436,6 +567,12 @@ size_t EngineShard::MemoryBytes() const {
   }
   bytes += batch_values_.capacity() * sizeof(float);
   bytes += batch_scores_.capacity() * sizeof(double);
+  bytes += health_bin_ring_.capacity() * sizeof(uint8_t);
+  bytes += health_alert_ring_.capacity() * sizeof(uint8_t);
+  bytes += health_disp_ring_.capacity() * sizeof(double);
+  bytes += health_bin_counts_.capacity() * sizeof(int64_t);
+  bytes += canary_ring_.capacity() * sizeof(float);
+  bytes += batch_dispersions_.capacity() * sizeof(double);
   return bytes;
 }
 

@@ -88,17 +88,41 @@ struct EngineStats {
   int64_t non_finite_scores = 0;   // NaN/inf scores (always flagged)
   int64_t drift_window = 0;        // scores in the drift ring (all shards)
   double drift = 0.0;              // max over shards; in [0, 1]
+  // Model-health telemetry (ServeConfig::health; serve/health_monitor.h,
+  // docs/operations.md). Zero while health monitoring is off. Aggregation
+  // follows the drift precedent: `health_window` SUMS over shards, the
+  // four gauges take the MAX over shards — one broken shard must be able
+  // to trip the monitor even when the others still look fine, and a mean
+  // would let healthy shards dilute it.
+  int64_t health_window = 0;       // scores in the health rings
+  double score_shift = 0.0;        // TV distance vs calibration histogram
+  double dispersion_ratio = 0.0;   // live / reference mean member dispersion
+  double non_finite_rate = 0.0;    // non-finite fraction of the ring
+  double alert_rate = 0.0;         // flagged fraction of the ring
   // Model-lifecycle counters, filled by ServingEngine::Stats() (they are
   // engine-level, not per-shard; shard Stats() leaves them zero).
   int64_t generation = 0;          // id of the live generation
   int64_t reloads = 0;             // successful hot-swaps
   int64_t failed_reloads = 0;      // rejected candidates (old gen kept)
+  int64_t canary_rejections = 0;   // subset rejected by shadow-scoring
+  int64_t rollbacks = 0;           // automatic probation rollbacks
+  // Per-signal HealthMonitor firings since construction (engine-level,
+  // cumulative across generations; a rollback does not reset them).
+  int64_t score_shift_events = 0;
+  int64_t dispersion_events = 0;
+  int64_t non_finite_events = 0;
+  int64_t alert_rate_events = 0;
 };
 
 /// \brief Scores per shard the drift statistic is computed over. Small
 /// enough to react within a few batches, large enough that the exceed
 /// rate at level 0.98 has ~5 expected hits when healthy.
 inline constexpr uint32_t kDriftWindow = 256;
+
+/// \brief Scores per shard the health gauges are computed over. Larger
+/// than kDriftWindow: the live histogram spreads over core::kHealthBins
+/// bins, and the TV distance needs enough mass per bin to settle.
+inline constexpr uint32_t kHealthWindow = 512;
 
 /// \brief Per-shard policy knobs (ServingEngine copies them out of its
 /// ServeConfig, one copy per shard).
@@ -113,6 +137,14 @@ struct ShardConfig {
   /// that would enqueue past the bound is rejected with ResourceExhausted
   /// and consumes nothing. 0 = unbounded.
   int64_t max_pending = 0;
+  /// Model-health instrumentation (ServeConfig::health.enabled): maintain
+  /// the per-score health record ring and the canary window buffer.
+  /// Requires the generation to carry a core::HealthRef (CHECKed — the
+  /// engine validates that before shard construction).
+  bool health = false;
+  /// Raw windows this shard retains for canary shadow-scoring when health
+  /// is on. Must be >= 1 when health is on.
+  int64_t canary_capacity = 64;
 };
 
 /// \brief Open-addressing stream-id -> ring-slot index (linear probing,
@@ -192,6 +224,13 @@ class EngineShard {
   int64_t pending_windows() const;
   /// \brief This shard's contribution to ServingEngine::Stats().
   EngineStats Stats() const;
+  /// \brief Append this shard's retained canary windows (the newest
+  /// canary_capacity raw w x dims snapshots it scored, order unspecified)
+  /// to `out`; returns how many were appended. 0 when health is off. The
+  /// engine gathers these across shards to shadow-score a reload candidate
+  /// (docs/operations.md) — a brief per-shard lock each, never all shards
+  /// at once.
+  int64_t CopyCanaryWindows(std::vector<float>* out) const;
   /// \brief Bytes of heap owned by this shard: ring slab, session records,
   /// SPOT tail records + peak slab, index table, free list, pending pool,
   /// staging buffers (all counted at CAPACITY — the steady-state
@@ -218,10 +257,11 @@ class EngineShard {
   /// appending results in arrival order. Requires mu_ held.
   Status FlushLocked(std::vector<StreamScore>* out);
 
-  /// \brief Threshold verdict + stats/drift update for one scored window,
-  /// applied in arrival order (the SPOT determinism contract hangs on this
-  /// ordering). Requires mu_ held.
-  bool VerdictLocked(int64_t stream_id, double score);
+  /// \brief Threshold verdict + stats/drift/health update for one scored
+  /// window, applied in arrival order (the SPOT determinism contract hangs
+  /// on this ordering). `dispersion` is the window's member dispersion
+  /// (0 when health is off — it is only recorded then). Requires mu_ held.
+  bool VerdictLocked(int64_t stream_id, double score, double dispersion);
 
   float* RingOf(uint32_t slot) {
     return rings_.data() + static_cast<size_t>(slot) * ring_stride_;
@@ -263,6 +303,29 @@ class EngineShard {
   uint32_t drift_count_ = 0;
   uint32_t drift_exceed_ = 0;        // set bits in the ring
 
+  // Model-health record ring (docs/operations.md), guarded by mu_ and
+  // allocated once at construction when ShardConfig::health is on. Per
+  // scored window: its histogram bin (kNonFiniteBin sentinel for
+  // non-finite scores), its alert bit, and its member dispersion —
+  // mirrored into incremental aggregates so Stats() is O(bins), and sized
+  // up front so health updates never allocate (alloc_count_test).
+  std::vector<uint8_t> health_bin_ring_;
+  std::vector<uint8_t> health_alert_ring_;
+  std::vector<double> health_disp_ring_;
+  std::vector<int64_t> health_bin_counts_;  // finite scores per bin
+  uint32_t health_head_ = 0;
+  uint32_t health_count_ = 0;
+  uint32_t health_alerts_ = 0;       // set alert bits in the ring
+  uint32_t health_nonfinite_ = 0;    // sentinel bins in the ring
+  double health_disp_sum_ = 0.0;     // sum of FINITE dispersions
+  uint32_t health_disp_count_ = 0;   // finite dispersions in the ring
+  // Canary buffer: the newest canary_capacity raw windows this shard
+  // scored, retained for shadow-scoring reload candidates. Raw INPUTS,
+  // not scores — they stay valid across generation swaps.
+  std::vector<float> canary_ring_;   // canary_capacity x w x dims floats
+  uint32_t canary_head_ = 0;
+  uint32_t canary_count_ = 0;
+
   // Pending queue as a reuse pool: the first pending_count_ entries of
   // pending_ are live, in arrival order; entries past that keep their
   // snapshot capacity and are recycled by the next push. Together with the
@@ -273,6 +336,7 @@ class EngineShard {
   size_t pending_count_ = 0;
   std::vector<float> batch_values_;   // max_batch x w x dims staging
   std::vector<double> batch_scores_;  // scores of one flushed chunk
+  std::vector<double> batch_dispersions_;  // member dispersions, health only
 };
 
 }  // namespace serve

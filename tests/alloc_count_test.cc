@@ -20,6 +20,7 @@
 #include <gtest/gtest.h>
 
 #include "core/ensemble.h"
+#include "core/health.h"
 #include "core/persistence.h"
 #include "core/spot.h"
 #include "infer/arena.h"
@@ -204,6 +205,84 @@ TEST(AllocCountTest, SteadyStateSpotServingAllocatesNothing) {
   // The policy actually ran: SPOT counters advanced past the seed.
   const serve::EngineStats stats = engine.Stats();
   EXPECT_GE(stats.scored_windows, 160);
+}
+
+// Health-monitoring variant (docs/operations.md "Model-health runbook"):
+// with --health on, every flushed window additionally updates the shard's
+// health ring (bin index, non-finite flag, alert flag, member dispersion)
+// and is copied into the canary retention ring. All of those are plain
+// stores into slabs sized at construction, so steady-state scoring must
+// stay exactly as allocation-free as the baseline.
+TEST(AllocCountTest, SteadyStateHealthServingAllocatesNothing) {
+  core::EnsembleConfig config;
+  config.cae.embed_dim = 8;
+  config.cae.num_layers = 2;
+  config.window = 8;
+  config.num_models = 3;
+  config.epochs_per_model = 1;
+  config.batch_size = 16;
+  config.max_train_windows = 48;
+  config.num_threads = 1;
+  config.seed = 3;
+  const int64_t dims = 4;
+
+  core::CaeEnsemble ensemble(config);
+  const ts::TimeSeries train = testutil::PlantedSeries(96, dims, 4);
+  ASSERT_TRUE(ensemble.Fit(train).ok());
+
+  // Calibrate the health reference from the training scores, exactly as
+  // caee_train --health does (constant member dispersion is fine here —
+  // the test exercises the serving-side ring, not the calibration).
+  auto reference = ensemble.Score(train);
+  ASSERT_TRUE(reference.ok());
+  std::vector<double> dispersions(reference.value().size(), 0.25);
+  auto health = core::CalibrateHealthRef(reference.value(), dispersions);
+  ASSERT_TRUE(health.ok()) << health.status();
+
+  serve::ServeConfig serve_config;
+  serve_config.max_batch = 4;
+  serve_config.flush_deadline_ms = 0;
+  serve_config.health.enabled = true;
+  serve_config.health.min_window = 16;
+  serve::ServingEngine engine(&ensemble, serve_config, std::nullopt,
+                              std::nullopt, std::move(health).value());
+  const int64_t kStreams = 2;
+  for (int64_t s = 0; s < kStreams; ++s) {
+    ASSERT_TRUE(engine.OpenStream(s).ok());
+  }
+
+  std::vector<float> row(static_cast<size_t>(dims));
+  std::vector<serve::StreamScore> results;
+  results.reserve(4096);
+  auto push_tick = [&](int64_t t) {
+    bool ok = true;
+    for (int64_t s = 0; s < kStreams; ++s) {
+      for (int64_t j = 0; j < dims; ++j) {
+        row[static_cast<size_t>(j)] =
+            static_cast<float>(0.1 * static_cast<double>(t + s * 7 + j));
+      }
+      ok = engine.Push(s, row, &results).ok() && ok;
+    }
+    return ok;
+  };
+
+  for (int64_t t = 0; t < 40; ++t) ASSERT_TRUE(push_tick(t));
+  ASSERT_TRUE(engine.Flush(&results).ok());
+  ASSERT_GT(results.size(), 0u);
+
+  bool pushes_ok = true;
+  const int64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int64_t t = 40; t < 120; ++t) pushes_ok = push_tick(t) && pushes_ok;
+  const int64_t after = g_allocations.load(std::memory_order_relaxed);
+
+  ASSERT_TRUE(pushes_ok);
+  EXPECT_EQ(after - before, 0)
+      << "steady-state health-monitored serving performed heap allocations";
+  EXPECT_GE(results.size(), 160u);
+  // The health ring really ran inside the counting window.
+  const serve::EngineStats stats = engine.Stats();
+  EXPECT_GT(stats.health_window, 0);
+  EXPECT_GE(stats.dispersion_ratio, 0.0);
 }
 
 // Hot-swap variant (docs/operations.md): ReloadArtifact itself allocates

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "core/health.h"
 #include "core/persistence.h"
 #include "serve/fault_injection.h"
 #include "serve/generation.h"
@@ -240,6 +241,83 @@ TEST_F(FaultInjectionTest, NanScoreBurstFlagsLoudlyAndPasses) {
   // The burst ends: later windows score finite again (the stream's ring
   // was never poisoned — injection happens after the forward pass).
   EXPECT_TRUE(std::isfinite(results.back().score));
+}
+
+TEST_F(FaultInjectionTest, NanBurstDuringProbationTriggersAutomaticRollback) {
+  // The health reference both generations carry: an honest histogram of
+  // the model's own training scores with a constant dispersion baseline.
+  auto make_health = [this](core::CaeEnsemble* ensemble) {
+    auto scores = ensemble->Score(train_);
+    CAEE_CHECK(scores.ok());
+    std::vector<double> dispersions(scores.value().size(), 0.25);
+    auto ref = core::CalibrateHealthRef(scores.value(), dispersions);
+    CAEE_CHECK_MSG(ref.ok(), "health calibration failed in test setup");
+    return std::move(ref).value();
+  };
+  const std::string candidate_path = TempPath("nan_probation.caee");
+  const core::HealthRef candidate_health = make_health(candidate_.get());
+  ASSERT_TRUE(core::SaveEnsemble(*candidate_, candidate_path, 0.5, nullptr,
+                                 &candidate_health)
+                  .ok());
+
+  serve::ServeConfig config;
+  config.max_batch = 4;
+  config.flush_deadline_ms = 0;
+  config.health.enabled = true;
+  config.health.min_window = 8;
+  // Very tolerant shift/dispersion thresholds: the NaN rate must be the
+  // signal that fires, not a distribution quibble.
+  config.health.shift_threshold = 0.999;
+  config.health.dispersion_threshold = 1e9;
+  config.health.alert_threshold = 1.01;
+  auto engine = std::make_unique<serve::ServingEngine>(
+      ensemble_.get(), config, std::nullopt, std::nullopt,
+      make_health(ensemble_.get()));
+  engine->set_fault_injector(&fault_);
+
+  ASSERT_TRUE(engine->OpenStream(3).ok());
+  const auto series = testutil::PlantedSeries(80, 2, 7);
+  std::vector<serve::StreamScore> results;
+  for (int64_t t = 0; t < 30; ++t) {
+    ASSERT_TRUE(engine->Push(3, Row(series, t), &results).ok());
+  }
+  EXPECT_FALSE(engine->in_probation());
+
+  // Adopt the candidate (it shadow-scores clean — the poisoning below is
+  // a runtime fault, exactly the case the canary CANNOT catch and the
+  // probation must).
+  auto swapped = engine->ReloadArtifact(candidate_path);
+  ASSERT_TRUE(swapped.ok()) << swapped.status();
+  ASSERT_EQ(engine->generation(), 2);
+  EXPECT_TRUE(engine->in_probation());
+
+  // A NaN burst on the new generation: the non-finite rate over the
+  // (freshly reset) health ring blows through the threshold as soon as
+  // min_window scores accumulate, and the poll path must answer with a
+  // model-degradation verdict and an automatic rollback to generation 1.
+  fault_.nan_scores.store(12);
+  std::optional<serve::HealthEvent> event;
+  for (int64_t t = 30; t < series.length() && !event.has_value(); ++t) {
+    ASSERT_TRUE(engine->Push(3, Row(series, t), &results).ok());
+    event = engine->PollHealth();
+  }
+  ASSERT_TRUE(event.has_value()) << "health monitor never fired";
+  EXPECT_EQ(event->signal, serve::HealthSignal::kNonFiniteRate);
+  EXPECT_EQ(event->verdict, serve::HealthVerdict::kModelDegradation);
+  EXPECT_EQ(event->generation, 2);
+  EXPECT_TRUE(event->rolled_back);
+  EXPECT_EQ(event->rolled_back_to, 1);
+  EXPECT_GT(event->value, config.health.non_finite_threshold);
+
+  EXPECT_EQ(engine->generation(), 1);
+  EXPECT_FALSE(engine->in_probation());
+  EXPECT_EQ(engine->Stats().rollbacks, 1);
+  EXPECT_EQ(engine->Stats().non_finite_events, 1);
+  EXPECT_EQ(engine->Stats().reloads, 1);
+
+  // Back on the retained generation the engine is fully in service.
+  fault_.nan_scores.store(0);
+  ExpectStillServing(*engine, 1);
 }
 
 TEST_F(FaultInjectionTest, ConvergesToOneLiveGenerationThroughFaults) {

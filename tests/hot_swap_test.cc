@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/health.h"
 #include "core/persistence.h"
 #include "core/spot.h"
 #include "core/streaming.h"
@@ -85,6 +86,25 @@ core::SpotInit CalibratedSpot(core::CaeEnsemble* ensemble,
   return std::move(init).value();
 }
 
+// A health reference distilled from the ensemble's own training scores.
+// `score_scale` shifts the histogram away from where the model really
+// scores (a deliberately miscalibrated candidate the canary must catch);
+// `dispersion` sets the member-agreement baseline the live ratio divides
+// by (tiny values make ANY live traffic read as agreement collapse).
+core::HealthRef CalibratedHealth(core::CaeEnsemble* ensemble,
+                                 const ts::TimeSeries& train,
+                                 double score_scale = 1.0,
+                                 double dispersion = 0.25) {
+  auto scores = ensemble->Score(train);
+  CAEE_CHECK(scores.ok());
+  std::vector<double> scaled = scores.value();
+  for (double& s : scaled) s *= score_scale;
+  std::vector<double> dispersions(scaled.size(), dispersion);
+  auto ref = core::CalibrateHealthRef(scaled, dispersions);
+  CAEE_CHECK_MSG(ref.ok(), "health calibration failed in test setup");
+  return std::move(ref).value();
+}
+
 class HotSwapTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -100,9 +120,11 @@ class HotSwapTest : public ::testing::Test {
 
   std::string SaveB(const std::string& name,
                     std::optional<double> threshold = std::nullopt,
-                    const core::SpotInit* spot = nullptr) {
+                    const core::SpotInit* spot = nullptr,
+                    const core::HealthRef* health = nullptr) {
     const std::string path = TempPath(name);
-    EXPECT_TRUE(core::SaveEnsemble(*ensemble_b_, path, threshold, spot).ok());
+    EXPECT_TRUE(
+        core::SaveEnsemble(*ensemble_b_, path, threshold, spot, health).ok());
     return path;
   }
 
@@ -286,6 +308,246 @@ TEST_F(HotSwapTest, SpotCapabilityAndPeakCapacityAreInvariant) {
   ASSERT_NE(engine.spot(), nullptr);
   EXPECT_EQ(engine.spot()->t, spot_b.t);
   EXPECT_EQ(engine.spot()->config.peak_capacity, 16);
+}
+
+TEST_F(HotSwapTest, CanaryRejectionLeavesScoresBitwiseUntouched) {
+  // Long enough that the live series itself clears kHealthMinScores — the
+  // "healthy candidate" at the end calibrates on it.
+  const auto series = testutil::PlantedSeries(100, 2, 7);
+  const auto ref_a = ReferenceScores(ensemble_a_.get(), series);
+
+  // The candidate's health reference is calibrated 1000x away from where
+  // the model actually scores: shadow-scoring the retained canary windows
+  // lands every score in the bottom bin, total-variation distance ~ 1.
+  const core::HealthRef bad_ref =
+      CalibratedHealth(ensemble_b_.get(), train_, /*score_scale=*/1000.0);
+  const std::string bad_path =
+      SaveB("canary_bad.caee", std::nullopt, nullptr, &bad_ref);
+
+  serve::ServeConfig config;
+  config.max_batch = 3;
+  config.flush_deadline_ms = 0;
+  config.health.enabled = true;
+  serve::ServingEngine engine(ensemble_a_.get(), config, std::nullopt,
+                              std::nullopt,
+                              CalibratedHealth(ensemble_a_.get(), train_));
+  ASSERT_TRUE(engine.OpenStream(1).ok());
+
+  // Enough traffic to fill the canary ring past canary_min_windows, with
+  // one window left PENDING so the rejection must also leave it intact.
+  std::vector<serve::StreamScore> results;
+  const int64_t kRejectAt = 26;
+  for (int64_t t = 0; t < kRejectAt; ++t) {
+    ASSERT_TRUE(engine.Push(1, Row(series, t), &results).ok());
+  }
+  ASSERT_EQ(engine.pending_windows(), 1);
+
+  auto swapped = engine.ReloadArtifact(bad_path);
+  ASSERT_FALSE(swapped.ok());
+  EXPECT_EQ(swapped.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(swapped.status().message().find("canary rejected candidate"),
+            std::string::npos)
+      << swapped.status();
+  EXPECT_NE(swapped.status().message().find("still serving generation 1"),
+            std::string::npos);
+  EXPECT_EQ(engine.generation(), 1);
+  EXPECT_EQ(engine.pending_windows(), 1);  // shards bitwise untouched
+  EXPECT_EQ(engine.Stats().canary_rejections, 1);
+  EXPECT_EQ(engine.Stats().failed_reloads, 1);
+  EXPECT_EQ(engine.Stats().reloads, 0);
+  EXPECT_EQ(engine.Stats().rollbacks, 0);
+
+  // The rejection consumed nothing: every later score is bitwise the
+  // single-generation reference, on generation 1.
+  for (int64_t t = kRejectAt; t < series.length(); ++t) {
+    ASSERT_TRUE(engine.Push(1, Row(series, t), &results).ok());
+  }
+  ASSERT_TRUE(engine.Flush(&results).ok());
+  ASSERT_FALSE(results.empty());
+  for (const auto& r : results) {
+    EXPECT_EQ(r.generation, 1);
+    EXPECT_EQ(r.score, ref_a[static_cast<size_t>(r.index)]) << r.index;
+  }
+
+  // A healthy candidate passes the SAME canary afterwards: the gate
+  // rejects bad models, not reloads per se. "Healthy" means calibrated on
+  // the live traffic's distribution — the canary really is distribution
+  // sensitivity, which the train_-calibrated rejection above also shows.
+  const core::HealthRef good_ref =
+      CalibratedHealth(ensemble_b_.get(), series);
+  auto ok = engine.ReloadArtifact(
+      SaveB("canary_good.caee", std::nullopt, nullptr, &good_ref));
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_EQ(engine.generation(), 2);
+  EXPECT_TRUE(engine.in_probation());
+}
+
+// Satellite audit (docs/operations.md "After a rejected reload"): a
+// rejected reload re-arms BOTH monitors. The rejection proves the live
+// excursion was judged against a candidate that never took over — the
+// incident is still unresolved, and whatever replaces the candidate next
+// deserves a fresh firing, not a monitor that stays disarmed from an
+// excursion accounted to a reload that never happened.
+TEST_F(HotSwapTest, RejectedReloadReArmsDriftAndHealthMonitors) {
+  const auto series = testutil::PlantedSeries(100, 2, 7);
+
+  // SPOT with the calibration threshold forced to 0: every (positive)
+  // score is an exceed, the drift statistic pins at |1.0 - (1 - level)| =
+  // 0.8, and the drift monitor deterministically fires.
+  core::SpotInit spot_a = CalibratedSpot(ensemble_a_.get(), train_);
+  spot_a.t = 0.0;
+  // Health reference scaled 1000x off: every live score lands in the
+  // bottom bin, total variation ~ 1, and the score-shift signal fires.
+  const core::HealthRef shifted =
+      CalibratedHealth(ensemble_a_.get(), train_, /*score_scale=*/1000.0);
+
+  serve::ServeConfig config;
+  config.max_batch = 4;
+  config.flush_deadline_ms = 0;
+  config.drift_threshold = 0.15;
+  config.health.enabled = true;
+  config.health.min_window = 8;
+  serve::ServingEngine engine(ensemble_a_.get(), config, 1e300, spot_a,
+                              shifted);
+  ASSERT_TRUE(engine.OpenStream(1).ok());
+
+  std::vector<serve::StreamScore> results;
+  for (int64_t t = 0; t < series.length(); ++t) {
+    ASSERT_TRUE(engine.Push(1, Row(series, t), &results).ok());
+  }
+  ASSERT_TRUE(engine.Flush(&results).ok());
+
+  // Both monitors fire once, then disarm (hysteresis).
+  ASSERT_TRUE(engine.PollDrift().has_value());
+  ASSERT_FALSE(engine.drift_armed());
+  const auto health = engine.PollHealth();
+  ASSERT_TRUE(health.has_value());
+  EXPECT_EQ(health->signal, serve::HealthSignal::kScoreShift);
+  EXPECT_FALSE(health->rolled_back);
+  ASSERT_FALSE(engine.health_armed(serve::HealthSignal::kScoreShift));
+  EXPECT_FALSE(engine.PollDrift().has_value());
+  EXPECT_FALSE(engine.PollHealth().has_value());
+
+  // A canary-rejected candidate (same 1000x-off reference, judged against
+  // its own histogram) leaves the generation serving — and must re-arm.
+  const core::SpotInit spot_b = CalibratedSpot(ensemble_b_.get(), train_);
+  const core::HealthRef bad_ref =
+      CalibratedHealth(ensemble_b_.get(), train_, /*score_scale=*/1000.0);
+  auto swapped = engine.ReloadArtifact(
+      SaveB("rearm_bad.caee", 1e300, &spot_b, &bad_ref));
+  ASSERT_FALSE(swapped.ok());
+  EXPECT_NE(swapped.status().message().find("canary rejected candidate"),
+            std::string::npos)
+      << swapped.status();
+  EXPECT_EQ(engine.generation(), 1);
+
+  EXPECT_TRUE(engine.drift_armed());
+  EXPECT_TRUE(engine.health_armed(serve::HealthSignal::kScoreShift));
+  // The still-live excursion fires again on the next poll — the actual
+  // point of re-arming.
+  EXPECT_TRUE(engine.PollDrift().has_value());
+  EXPECT_TRUE(engine.PollHealth().has_value());
+}
+
+TEST_F(HotSwapTest, RollbackMidStreamIsBitwisePerGeneration) {
+  const auto series = testutil::PlantedSeries(80, 2, 7);
+  const auto ref_a = ReferenceScores(ensemble_a_.get(), series);
+  const auto ref_b = ReferenceScores(ensemble_b_.get(), series);
+  const int64_t w = ensemble_a_->config().window;
+
+  // The candidate's dispersion baseline is ~0: any live member
+  // disagreement reads as agreement collapse relative to it — a
+  // kModelDegradation verdict the probation must answer with a rollback.
+  // Its score histogram is honest, so the dispersion signal is what must
+  // fire. canary_min_windows is set beyond any retained count so the
+  // candidate is ADOPTED (the bug only shows post-swap here, which is
+  // exactly what probation is for).
+  const core::HealthRef collapsed = CalibratedHealth(
+      ensemble_b_.get(), train_, /*score_scale=*/1.0, /*dispersion=*/1e-9);
+  const std::string bad_path =
+      SaveB("probation_bad.caee", std::nullopt, nullptr, &collapsed);
+
+  serve::ServeConfig config;
+  config.max_batch = 3;
+  config.flush_deadline_ms = 0;
+  config.health.enabled = true;
+  config.health.min_window = 8;
+  config.health.canary_min_windows = 1'000'000;  // skip the canary gate
+  serve::ServingEngine engine(ensemble_a_.get(), config, std::nullopt,
+                              std::nullopt,
+                              CalibratedHealth(ensemble_a_.get(), train_));
+  ASSERT_TRUE(engine.OpenStream(1).ok());
+
+  std::vector<serve::StreamScore> results;
+  const int64_t kSwapAt = 26;
+  for (int64_t t = 0; t < kSwapAt; ++t) {
+    ASSERT_TRUE(engine.Push(1, Row(series, t), &results).ok());
+  }
+
+  auto swapped = engine.ReloadArtifact(bad_path);
+  ASSERT_TRUE(swapped.ok()) << swapped.status();
+  EXPECT_EQ(engine.generation(), 2);
+  EXPECT_TRUE(engine.in_probation());
+
+  // Score on the suspect generation until its health ring reaches
+  // min_window, polling like the server does; the dispersion signal must
+  // fire and roll the engine back mid-stream.
+  std::optional<serve::HealthEvent> event;
+  int64_t t = kSwapAt;
+  for (; t < series.length() && !event.has_value(); ++t) {
+    ASSERT_TRUE(engine.Push(1, Row(series, t), &results).ok());
+    event = engine.PollHealth();
+  }
+  ASSERT_TRUE(event.has_value()) << "health monitor never fired";
+  EXPECT_EQ(event->signal, serve::HealthSignal::kDispersion);
+  EXPECT_EQ(event->verdict, serve::HealthVerdict::kModelDegradation);
+  EXPECT_EQ(event->generation, 2);
+  EXPECT_TRUE(event->rolled_back);
+  EXPECT_EQ(event->rolled_back_to, 1);
+  EXPECT_EQ(engine.generation(), 1);  // the retained generation, original id
+  EXPECT_FALSE(engine.in_probation());
+  EXPECT_EQ(engine.Stats().rollbacks, 1);
+  EXPECT_EQ(engine.Stats().dispersion_events, 1);
+  // Rollback re-arms the monitor (satellite audit): the signal that just
+  // fired is armed again for the restored generation.
+  EXPECT_TRUE(engine.health_armed(serve::HealthSignal::kDispersion));
+  EXPECT_TRUE(engine.drift_armed());
+
+  for (; t < series.length(); ++t) {
+    ASSERT_TRUE(engine.Push(1, Row(series, t), &results).ok());
+  }
+  ASSERT_TRUE(engine.Flush(&results).ok());
+
+  // Exactly-once across the swap AND the rollback, and every score is
+  // bitwise the reference of the generation that produced it: generation
+  // 1 scores (before the swap and after the rollback) match A, generation
+  // 2 scores match B.
+  std::map<int64_t, std::pair<double, int64_t>> by_index;
+  for (const auto& r : results) {
+    ASSERT_TRUE(by_index.emplace(r.index, std::make_pair(r.score,
+                                                         r.generation))
+                    .second)
+        << "index " << r.index << " scored twice";
+  }
+  ASSERT_EQ(static_cast<int64_t>(by_index.size()), series.length() - (w - 1));
+  int64_t gen2 = 0, rolled_back_windows = 0;
+  int64_t last_gen2 = -1;
+  for (const auto& [index, score_gen] : by_index) {
+    const auto& [score, generation] = score_gen;
+    ASSERT_TRUE(generation == 1 || generation == 2);
+    const auto& ref = generation == 1 ? ref_a : ref_b;
+    EXPECT_EQ(score, ref[static_cast<size_t>(index)])
+        << "index " << index << " generation " << generation;
+    if (generation == 2) {
+      ++gen2;
+      last_gen2 = index;
+    }
+  }
+  ASSERT_GT(gen2, 0) << "the suspect generation never scored";
+  for (const auto& [index, score_gen] : by_index) {
+    if (index > last_gen2) ++rolled_back_windows;
+  }
+  EXPECT_GT(rolled_back_windows, 0) << "no windows scored after rollback";
 }
 
 TEST_F(HotSwapTest, ConcurrentPushersNeverDropOrDuplicateAcrossSwaps) {

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "common/crc32.h"
+#include "core/health.h"
 #include "core/persistence.h"
 #include "core/spot.h"
 #include "core/streaming.h"
@@ -423,6 +424,151 @@ TEST_F(PersistenceTest, SemanticallyCorruptSpotSectionRejected) {
   auto loaded = core::LoadEnsemble(path);
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Optional health section (docs/operations.md, docs/persistence.md).
+// ---------------------------------------------------------------------------
+
+core::HealthRef CalibratedHealth(core::CaeEnsemble* ensemble,
+                                 const ts::TimeSeries& train) {
+  auto scores = ensemble->Score(train);
+  CAEE_CHECK(scores.ok());
+  std::vector<double> dispersions(scores.value().size(), 0.25);
+  auto ref = core::CalibrateHealthRef(scores.value(), dispersions);
+  CAEE_CHECK_MSG(ref.ok(), "health calibration failed in test setup");
+  return std::move(ref).value();
+}
+
+TEST_F(PersistenceTest, HealthSectionRoundTripsExactly) {
+  const core::HealthRef health = CalibratedHealth(ensemble_.get(), train_);
+  const std::string path = TempPath("health.caee");
+  ASSERT_TRUE(
+      core::SaveEnsemble(*ensemble_, path, 1.5, nullptr, &health).ok());
+
+  auto loaded = core::LoadEnsemble(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_TRUE(loaded->health.has_value());
+  // Bitwise field equality: the canary and the monitor must judge against
+  // exactly the reference that was calibrated, across the artifact
+  // boundary.
+  EXPECT_EQ(loaded->health->count, health.count);
+  EXPECT_EQ(loaded->health->min, health.min);
+  EXPECT_EQ(loaded->health->max, health.max);
+  EXPECT_EQ(loaded->health->mean, health.mean);
+  EXPECT_EQ(loaded->health->stddev, health.stddev);
+  EXPECT_EQ(loaded->health->mean_dispersion, health.mean_dispersion);
+  ASSERT_EQ(loaded->health->bins.size(), health.bins.size());
+  for (size_t i = 0; i < health.bins.size(); ++i) {
+    EXPECT_EQ(loaded->health->bins[i], health.bins[i]) << "bin " << i;
+  }
+}
+
+TEST_F(PersistenceTest, ArtifactWithoutHealthIsByteIdenticalToPreHealthFormat) {
+  // Same no-version-bump rule as the spot section: not asking for it
+  // leaves the bytes exactly as older writers produced them.
+  const std::string implicit_path = TempPath("nohealth_implicit.caee");
+  const std::string explicit_path = TempPath("nohealth_explicit.caee");
+  ASSERT_TRUE(core::SaveEnsemble(*ensemble_, implicit_path, 1.5).ok());
+  ASSERT_TRUE(core::SaveEnsemble(*ensemble_, explicit_path, 1.5, nullptr,
+                                 nullptr)
+                  .ok());
+  EXPECT_EQ(ReadFileBytes(implicit_path), ReadFileBytes(explicit_path));
+
+  auto loaded = core::LoadEnsemble(implicit_path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(loaded->health.has_value());
+
+  const core::HealthRef health = CalibratedHealth(ensemble_.get(), train_);
+  const std::string health_path = TempPath("withhealth.caee");
+  ASSERT_TRUE(
+      core::SaveEnsemble(*ensemble_, health_path, 1.5, nullptr, &health)
+          .ok());
+  EXPECT_GT(ReadFileBytes(health_path).size(),
+            ReadFileBytes(implicit_path).size());
+}
+
+TEST_F(PersistenceTest, SaveRejectsInvalidHealthRef) {
+  core::HealthRef bad = CalibratedHealth(ensemble_.get(), train_);
+  bad.max = bad.min;  // empty histogram range
+  EXPECT_EQ(core::SaveEnsemble(*ensemble_, TempPath("badhealth.caee"), 1.5,
+                               nullptr, &bad)
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  core::HealthRef bad_bins = CalibratedHealth(ensemble_.get(), train_);
+  bad_bins.bins[0] = 2.0;  // mass > 1 in a bucket
+  EXPECT_EQ(core::SaveEnsemble(*ensemble_, TempPath("badbins.caee"), 1.5,
+                               nullptr, &bad_bins)
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(PersistenceTest, SemanticallyCorruptHealthSectionRejected) {
+  // A health payload whose CRC checks out but whose fields are nonsense
+  // (here: an empty histogram range) must be rejected by ValidateHealthRef
+  // on load — the CRC guards bit rot, the validator guards hostile or
+  // buggy writers.
+  const core::HealthRef health = CalibratedHealth(ensemble_.get(), train_);
+  const std::string path = TempPath("corrupt_health.caee");
+  ASSERT_TRUE(
+      core::SaveEnsemble(*ensemble_, path, 1.5, nullptr, &health).ok());
+  std::string bytes = ReadFileBytes(path);
+
+  // The health section is written last: payload = i64 count, f64 min,
+  // max, mean, stddev, mean_dispersion, u64 bin count, kHealthBins x f64.
+  // Its header (u32 tag, u64 size, u32 crc) sits 16 bytes before the
+  // payload.
+  const size_t payload_size =
+      8 * 6 + 8 + static_cast<size_t>(core::kHealthBins) * sizeof(double);
+  const size_t payload_at = bytes.size() - payload_size;
+  uint32_t tag = 0;
+  std::memcpy(&tag, bytes.data() + payload_at - 16, sizeof(tag));
+  ASSERT_EQ(tag, 7u);  // kSectionHealth
+
+  // max := min (offset 8 + 8 into the payload), CRC recomputed.
+  std::string corrupt = bytes;
+  std::memcpy(&corrupt[payload_at + 16], &health.min, sizeof(double));
+  uint32_t new_crc = Crc32(corrupt.data() + payload_at, payload_size);
+  std::memcpy(&corrupt[payload_at - 4], &new_crc, sizeof(new_crc));
+  WriteFileBytes(path, corrupt);
+  auto loaded = core::LoadEnsemble(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("health"), std::string::npos)
+      << loaded.status();
+
+  // A lying bin count (the u64 before the bins) is caught before any bin
+  // is read — with its own "claims N histogram bins" message.
+  corrupt = bytes;
+  const uint64_t lying_count = 9999;
+  std::memcpy(&corrupt[payload_at + 48], &lying_count, sizeof(lying_count));
+  new_crc = Crc32(corrupt.data() + payload_at, payload_size);
+  std::memcpy(&corrupt[payload_at - 4], &new_crc, sizeof(new_crc));
+  WriteFileBytes(path, corrupt);
+  auto lying = core::LoadEnsemble(path);
+  ASSERT_FALSE(lying.ok());
+  EXPECT_NE(lying.status().message().find("histogram bins"),
+            std::string::npos)
+      << lying.status();
+}
+
+TEST_F(PersistenceTest, SpotAndHealthSectionsCoexist) {
+  // caee_train --spot --health writes both optional sections; each loads
+  // back independently intact.
+  const core::SpotInit spot = CalibratedSpot(ensemble_.get(), train_);
+  const core::HealthRef health = CalibratedHealth(ensemble_.get(), train_);
+  const std::string path = TempPath("spot_and_health.caee");
+  ASSERT_TRUE(
+      core::SaveEnsemble(*ensemble_, path, 1.5, &spot, &health).ok());
+
+  auto loaded = core::LoadEnsemble(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_TRUE(loaded->spot.has_value());
+  ASSERT_TRUE(loaded->health.has_value());
+  EXPECT_EQ(loaded->spot->t, spot.t);
+  EXPECT_EQ(loaded->health->mean, health.mean);
+  EXPECT_EQ(loaded->health->count, health.count);
 }
 
 TEST_F(PersistenceTest, LoadedSpotServesIdenticallyToInProcessInit) {
